@@ -1,0 +1,57 @@
+//! Symbolic vs. explicit-state equivalence checking (§4's motivation):
+//! as header widths grow, the naive product construction over concrete
+//! configurations explodes while the symbolic checker's cost stays
+//! essentially flat. Reproduces the paper's intractability argument as a
+//! measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use leapfrog::checker::check_language_equivalence;
+use leapfrog::explicit::{check_explicit, ExplicitResult};
+use leapfrog_p4a::ast::Automaton;
+use leapfrog_p4a::surface::parse;
+
+/// A pair of equivalent parsers over a `width`-bit header: one reads it
+/// whole, the other in two halves.
+fn pair(width: usize) -> (Automaton, Automaton) {
+    let half = width / 2;
+    let a = parse(&format!(
+        "parser A {{ state s {{ extract(h, {width});
+           select(h[0:0]) {{ 0b1 => accept; _ => reject; }} }} }}"
+    ))
+    .unwrap();
+    let b = parse(&format!(
+        "parser B {{ state s {{ extract(x, {half}); goto t }}
+                     state t {{ extract(y, {});
+           select(x[0:0]) {{ 0b1 => accept; _ => reject; }} }} }}",
+        width - half
+    ))
+    .unwrap();
+    (a, b)
+}
+
+fn explicit_vs_symbolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline/explicit_vs_symbolic");
+    g.sample_size(10);
+    for width in [4usize, 8, 12] {
+        let (a, b) = pair(width);
+        let qa = a.state_by_name("s").unwrap();
+        let qb = b.state_by_name("s").unwrap();
+        g.bench_with_input(BenchmarkId::new("symbolic", width), &width, |bench, _| {
+            bench.iter(|| {
+                assert!(check_language_equivalence(&a, qa, &b, qb).is_equivalent())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("explicit", width), &width, |bench, _| {
+            bench.iter(|| {
+                // Budget of 200k pairs: width 12 already exhausts it,
+                // demonstrating the blow-up (the assert tolerates both).
+                let r = check_explicit(&a, qa, &b, qb, 200_000);
+                assert!(!matches!(r, ExplicitResult::NotEquivalent(_)));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, explicit_vs_symbolic);
+criterion_main!(benches);

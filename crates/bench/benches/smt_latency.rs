@@ -1,0 +1,75 @@
+//! Criterion benches for individual SMT entailment queries (§7.3 reports
+//! that all queries finished within 10 s, 99% within 5 s). These measure
+//! the latency of the kinds of queries the worklist issues: an
+//! acceptance-compatibility check, a buffer-equality entailment, and a
+//! quantified (CEGAR) entailment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leapfrog_logic::confrel::{BitExpr, ConfRel, Pure, Side, VarId};
+use leapfrog_logic::lower::entails_stateless;
+use leapfrog_logic::templates::{Template, TemplatePair};
+use leapfrog_p4a::ast::Target;
+use leapfrog_p4a::sum::sum;
+use leapfrog_suite::utility::mpls;
+
+fn smt_latency(c: &mut Criterion) {
+    let s = sum(&mpls::reference(), &mpls::vectorized());
+    let aut = &s.automaton;
+    let q1 = aut.state_by_name("l.q1").unwrap();
+    let q3 = aut.state_by_name("r.q3").unwrap();
+    let guard = TemplatePair::new(
+        Template { target: Target::State(q1), buf_len: 16 },
+        Template { target: Target::State(q3), buf_len: 16 },
+    );
+
+    let mut g = c.benchmark_group("smt/query_latency");
+
+    // Unsatisfiable-guard query: ⊥ conclusion with no helpful premise.
+    let falsum = ConfRel::forbidden(TemplatePair::new(Template::accept(), Template::reject()));
+    g.bench_function("acceptance_mismatch", |b| {
+        b.iter(|| assert!(!entails_stateless(aut, &[], &falsum)))
+    });
+
+    // 16-bit buffer equality entails a slice equality.
+    let premise = ConfRel {
+        guard,
+        vars: vec![],
+        phi: Pure::eq(BitExpr::Buf(Side::Left), BitExpr::Buf(Side::Right)),
+    };
+    let conclusion = ConfRel {
+        guard,
+        vars: vec![],
+        phi: Pure::eq(
+            BitExpr::Slice(Box::new(BitExpr::Buf(Side::Left)), 4, 8),
+            BitExpr::Slice(Box::new(BitExpr::Buf(Side::Right)), 4, 8),
+        ),
+    };
+    g.bench_function("buffer_slice_entailment", |b| {
+        b.iter(|| assert!(entails_stateless(aut, std::slice::from_ref(&premise), &conclusion)))
+    });
+
+    // Quantified premise: forces the CEGAR loop.
+    let quantified = ConfRel {
+        guard,
+        vars: vec![16],
+        phi: Pure::eq(
+            BitExpr::concat(BitExpr::Buf(Side::Left), BitExpr::Var(VarId(0))),
+            BitExpr::concat(BitExpr::Buf(Side::Right), BitExpr::Var(VarId(0))),
+        ),
+    };
+    let concl = ConfRel {
+        guard,
+        vars: vec![],
+        phi: Pure::eq(BitExpr::Buf(Side::Left), BitExpr::Buf(Side::Right)),
+    };
+    g.bench_function("quantified_cegar_entailment", |b| {
+        b.iter(|| {
+            assert!(entails_stateless(aut, std::slice::from_ref(&quantified), &concl))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, smt_latency);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Benches for the substrates the reproduction had to build: the CDCL SAT
+//! solver, the bit-blaster, the P4A interpreter, and bitvector primitives.
+//! These are not paper experiments; they size the building blocks so
+//! regressions in the lower layers are visible independently of Table 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leapfrog_bitvec::BitVec;
+use leapfrog_p4a::semantics::Config;
+use leapfrog_sat::{Lit, SolveResult, Solver};
+use leapfrog_suite::utility::mpls;
+use leapfrog_suite::workload::packets;
+
+fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
+    let mut s = Solver::new();
+    let grid: Vec<Vec<_>> =
+        (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+    for row in &grid {
+        let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for row2 in grid.iter().skip(p1 + 1) {
+                s.add_clause(&[Lit::neg(grid[p1][h]), Lit::neg(row2[h])]);
+            }
+        }
+    }
+    s
+}
+
+fn substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+
+    g.bench_function("sat/pigeonhole_7_in_6", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(7, 6);
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        })
+    });
+
+    g.bench_function("bitvec/concat_slice_1k", |b| {
+        let x = BitVec::ones(1024);
+        let y = BitVec::zeros(1024);
+        b.iter(|| {
+            let z = x.concat(&y);
+            z.slice(100, 1900)
+        })
+    });
+
+    let aut = mpls::reference();
+    let q1 = aut.state_by_name("q1").unwrap();
+    let pkts = packets(&aut, q1, 12, 64, 0xBEEF);
+    g.bench_function("p4a/interpret_mpls_64_packets", |b| {
+        b.iter(|| {
+            let mut accepted = 0usize;
+            for p in &pkts {
+                if Config::initial(&aut, q1).accepts_chunked(&aut, p) {
+                    accepted += 1;
+                }
+            }
+            accepted
+        })
+    });
+
+    g.bench_function("p4a/interpret_bit_by_bit", |b| {
+        let p = &pkts[0];
+        b.iter(|| Config::initial(&aut, q1).accepts(&aut, p))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, substrate);
+criterion_main!(benches);

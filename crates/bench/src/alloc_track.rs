@@ -1,0 +1,116 @@
+//! A peak-tracking global allocator, reproducing Table 2's Memory column.
+//!
+//! The paper reports maximum resident size of the Coq process; the
+//! equivalent observable for a native reproduction is the peak number of
+//! live heap bytes. Install [`PeakAlloc`] as the global allocator in a
+//! binary and read [`PeakAlloc::peak_bytes`] after each case study (reset
+//! in between).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A [`System`]-backed allocator that tracks current and peak live bytes.
+pub struct PeakAlloc {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl PeakAlloc {
+    /// Creates the allocator (const, for use in a `static`).
+    pub const fn new() -> PeakAlloc {
+        PeakAlloc { current: AtomicUsize::new(0), peak: AtomicUsize::new(0) }
+    }
+
+    /// Peak live bytes since the last [`PeakAlloc::reset`].
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Currently live bytes.
+    pub fn current_bytes(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// Resets the peak to the current level.
+    pub fn reset(&self) {
+        self.peak.store(self.current.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    fn add(&self, size: usize) {
+        let now = self.current.fetch_add(size, Ordering::Relaxed) + size;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub(&self, size: usize) {
+        self.current.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+impl Default for PeakAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: defers to `System` for all allocation; only bookkeeping added.
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            self.add(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        self.sub(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            self.sub(layout.size());
+            self.add(new_size);
+        }
+        p
+    }
+}
+
+/// Formats a byte count like Table 2 (GB with two decimals, falling back
+/// to MB/KB for small values).
+pub fn human_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2} GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.2} MB", b / (KB * KB))
+    } else {
+        format!("{:.2} KB", b / KB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "0.50 KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00 MB");
+        assert!(human_bytes(2 * 1024 * 1024 * 1024).ends_with("GB"));
+    }
+
+    #[test]
+    fn tracking_arithmetic() {
+        let a = PeakAlloc::new();
+        a.add(100);
+        a.add(200);
+        a.sub(150);
+        assert_eq!(a.current_bytes(), 150);
+        assert_eq!(a.peak_bytes(), 300);
+        a.reset();
+        assert_eq!(a.peak_bytes(), 150);
+    }
+}

@@ -1,0 +1,94 @@
+//! Regenerates Table 2 of the paper: every case-study row with States /
+//! Branched bits / Total bits / Runtime / Memory, plus the §7.3 SMT
+//! latency summary and the §7.1 sanity check on inequivalent parsers.
+//!
+//! ```text
+//! LEAPFROG_SCALE=full cargo run --release -p leapfrog-bench --bin table2
+//! ```
+
+use leapfrog::{Checker, Options, Outcome};
+use leapfrog_bench::alloc_track::{human_bytes, PeakAlloc};
+use leapfrog_bench::rows::{
+    run_external_filtering, run_relational_verification, run_row,
+    run_translation_validation, standard_benchmarks, RowResult,
+};
+use leapfrog_suite::utility::sloppy_strict;
+use leapfrog_suite::Scale;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc::new();
+
+fn main() {
+    let scale = Scale::from_env();
+    let options = Options::default();
+    println!("Leapfrog-rs — Table 2 reproduction (scale: {scale:?})");
+    println!(
+        "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9}",
+        "Name", "States", "Branched", "Total", "Runtime", "Memory", "Verified", "|R|", "Queries"
+    );
+
+    let mut all_within_5s = true;
+    let mut print_row = |row: &RowResult, mem: usize| {
+        println!(
+            "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9}",
+            row.name,
+            row.metrics.states,
+            row.metrics.branched_bits,
+            row.metrics.total_bits,
+            format!("{:.2?}", row.runtime),
+            human_bytes(mem),
+            if row.verified { "yes" } else { "NO" },
+            row.relation_size,
+            row.queries,
+        );
+        if row.queries_within_5s < 0.99 {
+            all_within_5s = false;
+        }
+    };
+
+    // Utility rows 1–4 and applicability rows, in Table 2 order.
+    let benches = standard_benchmarks(scale);
+    let (utility, applicability) = benches.split_at(4);
+    for bench in utility {
+        ALLOC.reset();
+        let row = run_row(bench, options);
+        print_row(&row, ALLOC.peak_bytes());
+    }
+    // Rows 5–6: the relational case studies.
+    ALLOC.reset();
+    let row = run_relational_verification(options);
+    print_row(&row, ALLOC.peak_bytes());
+    ALLOC.reset();
+    let row = run_external_filtering(options);
+    print_row(&row, ALLOC.peak_bytes());
+    // Applicability self-comparisons.
+    for bench in applicability {
+        ALLOC.reset();
+        let row = run_row(bench, options);
+        print_row(&row, ALLOC.peak_bytes());
+    }
+    // Translation validation.
+    ALLOC.reset();
+    let row = run_translation_validation(scale, options);
+    print_row(&row, ALLOC.peak_bytes());
+
+    println!();
+    println!(
+        "SMT latency: all case studies {} the paper's '99% of queries ≤ 5 s' bound",
+        if all_within_5s { "meet" } else { "MISS" }
+    );
+
+    // §7.1 sanity check: inequivalent parsers must fail cleanly at Close.
+    let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
+    let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
+    let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
+    // Reach the Close step, as the paper describes.
+    let opts = Options { early_stop: false, ..Options::default() };
+    let mut checker = Checker::new(&sloppy, ql, &strict, qr, opts);
+    match checker.run() {
+        Outcome::NotEquivalent(_) => {
+            println!("Sanity check: sloppy vs strict correctly reported NOT equivalent")
+        }
+        other => println!("Sanity check FAILED: expected NotEquivalent, got {other:?}"),
+    }
+}

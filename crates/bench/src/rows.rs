@@ -1,0 +1,145 @@
+//! Row runners: one function per Table 2 row, returning the measured
+//! columns. Shared by the `table2` binary and the criterion benches.
+
+use std::time::{Duration, Instant};
+
+use leapfrog::{Checker, Options, Outcome};
+use leapfrog_logic::reach::reachable_pairs;
+use leapfrog_suite::applicability;
+use leapfrog_suite::metrics::Table2Metrics;
+use leapfrog_suite::utility::{
+    ip_options, mpls, sloppy_strict, state_rearrangement, vlan_init,
+};
+use leapfrog_suite::{Benchmark, Scale};
+
+/// One measured Table 2 row.
+#[derive(Debug, Clone)]
+pub struct RowResult {
+    /// Row name (matches the paper's).
+    pub name: String,
+    /// Size metrics.
+    pub metrics: Table2Metrics,
+    /// Wall-clock runtime of the check.
+    pub runtime: Duration,
+    /// Whether the property was verified.
+    pub verified: bool,
+    /// SMT queries issued.
+    pub queries: u64,
+    /// Relation size |R|.
+    pub relation_size: u64,
+    /// Fraction of queries within 5 s (paper §7.3 reports 99%).
+    pub queries_within_5s: f64,
+}
+
+/// Runs a plain language-equivalence benchmark.
+pub fn run_row(bench: &Benchmark, options: Options) -> RowResult {
+    let start = Instant::now();
+    let mut checker =
+        Checker::new(&bench.left, bench.left_start, &bench.right, bench.right_start, options);
+    let outcome = checker.run();
+    finish(bench.name, bench.metrics(), start, &checker, &outcome, bench.expect_equivalent)
+}
+
+/// The external-filtering row: sloppy vs strict modulo an EtherType filter
+/// (§7.1), posed by replacing the initial relation.
+pub fn run_external_filtering(options: Options) -> RowResult {
+    let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
+    let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
+    let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
+    let metrics = Table2Metrics::for_pair(&sloppy, &strict);
+    let start = Instant::now();
+    let mut checker = Checker::new(&sloppy, ql, &strict, qr, options);
+    let reach = reachable_pairs(checker.sum_automaton(), &[checker.root()], options.leaps);
+    let init = sloppy_strict::external_filter_init(checker.sum_info(), &reach);
+    checker.replace_init(init);
+    let outcome = checker.run();
+    finish("External filtering", metrics, start, &checker, &outcome, true)
+}
+
+/// The relational-verification row: store correspondence at acceptance
+/// (§7.1), posed by replacing the initial relation.
+pub fn run_relational_verification(options: Options) -> RowResult {
+    let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
+    let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
+    let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
+    let metrics = Table2Metrics::for_pair(&sloppy, &strict);
+    let start = Instant::now();
+    let mut checker = Checker::new(&sloppy, ql, &strict, qr, options);
+    let init = sloppy_strict::store_correspondence_init(checker.sum_info());
+    checker.replace_init(init);
+    let outcome = checker.run();
+    finish("Relational verification", metrics, start, &checker, &outcome, true)
+}
+
+/// The translation-validation row: compile the Edge parser to hardware
+/// tables, translate the tables back, and prove the round trip preserves
+/// the language (§7.2, Figure 8).
+pub fn run_translation_validation(scale: Scale, options: Options) -> RowResult {
+    let edge = applicability::edge(scale);
+    let start_state = edge.state_by_name("parse_eth").unwrap();
+    let hw = leapfrog_hwgen::compile(&edge, start_state, &leapfrog_hwgen::HwBudget::default())
+        .expect("the Edge parser compiles to hardware tables");
+    let (back, back_start) = leapfrog_hwgen::back_translate(&hw);
+    let back_start = back.state_by_name(&back_start).unwrap();
+    let metrics = Table2Metrics::for_pair(&edge, &back);
+    let start = Instant::now();
+    let mut checker = Checker::new(&edge, start_state, &back, back_start, options);
+    let outcome = checker.run();
+    finish("Translation Validation", metrics, start, &checker, &outcome, true)
+}
+
+/// All six utility rows plus the applicability self-comparisons at the
+/// given scale (without translation validation, which needs the hwgen
+/// pipeline and is run separately).
+pub fn standard_benchmarks(scale: Scale) -> Vec<Benchmark> {
+    let mut rows = vec![
+        state_rearrangement::state_rearrangement_benchmark(),
+        ip_options::ip_options_benchmark(scale),
+        vlan_init::vlan_init_benchmark(),
+        mpls::mpls_benchmark(),
+    ];
+    rows.extend(applicability::all_benchmarks(scale));
+    rows
+}
+
+fn finish(
+    name: &str,
+    metrics: Table2Metrics,
+    start: Instant,
+    checker: &Checker,
+    outcome: &Outcome,
+    expect_equivalent: bool,
+) -> RowResult {
+    let runtime = start.elapsed();
+    let verified = outcome.is_equivalent() == expect_equivalent;
+    let stats = checker.stats();
+    RowResult {
+        name: name.to_string(),
+        metrics,
+        runtime,
+        verified,
+        queries: stats.queries.queries,
+        relation_size: stats.extended,
+        queries_within_5s: stats.queries.fraction_within(Duration::from_secs(5)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_rearrangement_row_verifies() {
+        let bench = state_rearrangement::state_rearrangement_benchmark();
+        let row = run_row(&bench, Options::default());
+        assert!(row.verified, "state rearrangement must verify");
+        assert!(row.queries > 0);
+    }
+
+    #[test]
+    fn speculative_loop_row_verifies() {
+        let row = run_row(&mpls::mpls_benchmark(), Options::default());
+        assert!(row.verified);
+        assert!(row.relation_size > 0);
+    }
+}

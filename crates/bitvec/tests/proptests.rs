@@ -1,0 +1,89 @@
+//! Property-based tests for the bitvector substrate: the algebra the whole
+//! stack (semantics, symbolic execution, bit-blasting) relies on.
+
+use leapfrog_bitvec::BitVec;
+use proptest::prelude::*;
+
+fn bitvec(max_len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), 0..=max_len).prop_map(|bits| BitVec::from_bits(&bits))
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(w in bitvec(200)) {
+        let text = w.to_string();
+        let back: BitVec = text.parse().unwrap();
+        prop_assert_eq!(w, back);
+    }
+
+    #[test]
+    fn concat_length_and_content(a in bitvec(150), b in bitvec(150)) {
+        let c = a.concat(&b);
+        prop_assert_eq!(c.len(), a.len() + b.len());
+        for i in 0..a.len() {
+            prop_assert_eq!(c.get(i), a.get(i));
+        }
+        for i in 0..b.len() {
+            prop_assert_eq!(c.get(a.len() + i), b.get(i));
+        }
+    }
+
+    #[test]
+    fn concat_is_associative(a in bitvec(64), b in bitvec(64), c in bitvec(64)) {
+        prop_assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+    }
+
+    #[test]
+    fn split_at_inverts_concat(a in bitvec(100), b in bitvec(100)) {
+        let (x, y) = a.concat(&b).split_at(a.len());
+        prop_assert_eq!(x, a);
+        prop_assert_eq!(y, b);
+    }
+
+    #[test]
+    fn subrange_matches_bit_loop(w in bitvec(120), start in 0usize..120, len in 0usize..60) {
+        prop_assume!(start + len <= w.len());
+        let s = w.subrange(start, len);
+        prop_assert_eq!(s.len(), len);
+        for i in 0..len {
+            prop_assert_eq!(s.get(i), w.get(start + i));
+        }
+    }
+
+    #[test]
+    fn clamped_slice_matches_reference_model(w in bitvec(40), n1 in 0usize..60, n2 in 0usize..60) {
+        // Reference: Definition 3.1 computed naively over Vec<bool>.
+        let bits = w.to_bits();
+        let expected: Vec<bool> = if bits.is_empty() {
+            Vec::new()
+        } else {
+            let lo = n1.min(bits.len() - 1);
+            let hi = n2.min(bits.len() - 1);
+            if lo > hi { Vec::new() } else { bits[lo..=hi].to_vec() }
+        };
+        prop_assert_eq!(w.slice(n1, n2), BitVec::from_bits(&expected));
+    }
+
+    #[test]
+    fn push_pop_are_inverses(w in bitvec(80), bit in any::<bool>()) {
+        let mut v = w.clone();
+        v.push(bit);
+        prop_assert_eq!(v.len(), w.len() + 1);
+        prop_assert_eq!(v.pop(), Some(bit));
+        prop_assert_eq!(v, w);
+    }
+
+    #[test]
+    fn u64_roundtrip(value in any::<u64>(), width in 0usize..=64) {
+        let masked = if width == 64 { value } else { value & ((1u64 << width) - 1).wrapping_sub(0) };
+        let masked = if width == 0 { 0 } else { masked & (u64::MAX >> (64 - width)) };
+        let w = BitVec::from_u64(masked, width);
+        prop_assert_eq!(w.len(), width);
+        prop_assert_eq!(w.to_u64(), masked);
+    }
+
+    #[test]
+    fn equality_agrees_with_bits(a in bitvec(90), b in bitvec(90)) {
+        prop_assert_eq!(a == b, a.to_bits() == b.to_bits());
+    }
+}

@@ -1,0 +1,482 @@
+//! Algorithm 1: the symbolic equivalence-checking worklist (paper, §4.2),
+//! with the reachability-pruning and leap optimizations of §5 (and the
+//! ability to disable either, for the §7.3 ablation).
+//!
+//! The algorithm maintains a set `R` of template-guarded configuration
+//! relations and a frontier `T`. Each iteration pops `ψ` from `T`; if
+//! `⋀R ⊨ ψ` the formula is redundant (`Skip`), otherwise `ψ` joins `R` and
+//! its weakest preconditions over all in-scope predecessor template pairs
+//! join the frontier (`Extend`). On exhaustion, `⋀R` is the weakest
+//! symbolic bisimulation (with leaps) restricted to the reachable pairs,
+//! and the query `φ` is checked against it (`Close` / Theorem 5.2).
+
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
+
+use leapfrog_logic::confrel::{ConfRel, Pure};
+use leapfrog_logic::lower;
+use leapfrog_logic::reach::reachable_pairs;
+use leapfrog_logic::templates::{all_templates, Template, TemplatePair};
+use leapfrog_logic::wp::wp;
+use leapfrog_p4a::ast::{Automaton, StateId, Target};
+use leapfrog_p4a::sum::{sum, Sum};
+use leapfrog_smt::{CheckResult, SmtSolver};
+
+use crate::certificate::Certificate;
+use crate::stats::RunStats;
+
+/// Tuning knobs for the checker. The defaults enable every optimization
+/// described in the paper; the §7.3 ablation disables them selectively.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Use bisimulations with leaps (§5.2). Disabling falls back to
+    /// bit-by-bit weakest preconditions.
+    pub leaps: bool,
+    /// Prune the search to template pairs reachable from the query (§5.1).
+    /// Disabling considers the full template-pair space.
+    pub reach_pruning: bool,
+    /// Report non-equivalence as soon as a relation contradicting the
+    /// query joins `R`, instead of only at the final `Close` step. Sound:
+    /// the final check would fail on the same conjunct.
+    pub early_stop: bool,
+    /// Abort after this many worklist iterations (`None` = unbounded).
+    pub max_iterations: Option<u64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { leaps: true, reach_pruning: true, early_stop: true, max_iterations: None }
+    }
+}
+
+/// What a run establishes. Currently only language equivalence carries a
+/// dedicated constructor; relational properties are posed by extending the
+/// initial relation (see [`Checker::add_init_condition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Property {
+    /// `L(q₁, s₁) = L(q₂, s₂)` for all initial stores `s₁`, `s₂`.
+    LanguageEquivalence,
+}
+
+/// The result of a run.
+#[derive(Debug)]
+pub enum Outcome {
+    /// The property holds; the certificate contains the computed relation.
+    Equivalent(Certificate),
+    /// The property fails; the report names the violated relation and a
+    /// countermodel for diagnostics.
+    NotEquivalent(String),
+    /// The iteration budget was exhausted.
+    Aborted(String),
+}
+
+impl Outcome {
+    /// Whether the run proved the property.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Outcome::Equivalent(_))
+    }
+}
+
+/// The equivalence checker for a pair of P4 automata.
+pub struct Checker {
+    aut: Automaton,
+    sum_info: Sum,
+    root: TemplatePair,
+    query: ConfRel,
+    extra_init: Vec<ConfRel>,
+    standard_init: bool,
+    options: Options,
+    solver: SmtSolver,
+    stats: RunStats,
+}
+
+impl Checker {
+    /// Sets up a check that `left` started in `ql` and `right` started in
+    /// `qr` accept the same packets, regardless of initial stores.
+    pub fn new(
+        left: &Automaton,
+        ql: StateId,
+        right: &Automaton,
+        qr: StateId,
+        options: Options,
+    ) -> Checker {
+        let sum_info = sum(left, right);
+        let root = TemplatePair::new(
+            Template::start(sum_info.left_state(ql)),
+            Template::start(sum_info.right_state(qr)),
+        );
+        let query = ConfRel::trivial(root);
+        Checker {
+            aut: sum_info.automaton.clone(),
+            sum_info,
+            root,
+            query,
+            extra_init: Vec::new(),
+            standard_init: true,
+            options,
+            solver: SmtSolver::new(),
+            stats: RunStats::default(),
+        }
+    }
+
+    /// The disjoint-sum automaton the check runs over. Initial conditions
+    /// and queries are expressed over its headers.
+    pub fn sum_automaton(&self) -> &Automaton {
+        &self.aut
+    }
+
+    /// The sum's identifier mappings (left/right state and header ids).
+    pub fn sum_info(&self) -> &Sum {
+        &self.sum_info
+    }
+
+    /// The root template pair `(⟨q₁, 0⟩, ⟨q₂, 0⟩)`.
+    pub fn root(&self) -> TemplatePair {
+        self.root
+    }
+
+    /// Adds a conjunct to the initial relation `I` (paper §7.1: the
+    /// *external filtering* and *relational verification* case studies pose
+    /// store conditions on accepting configuration pairs this way).
+    pub fn add_init_condition(&mut self, rel: ConfRel) {
+        self.extra_init.push(rel);
+    }
+
+    /// Replaces the *entire* initial relation `I`, dropping the standard
+    /// acceptance-compatibility conditions. This poses a pre-bisimulation
+    /// problem for a caller-chosen `I` — the paper's *external filtering*
+    /// and *relational verification* case studies (§7.1). The resulting
+    /// certificate is marked non-standard: it witnesses closure and
+    /// entailment for the given `I`, not language equivalence.
+    pub fn replace_init(&mut self, rels: Vec<ConfRel>) {
+        self.standard_init = false;
+        self.extra_init = rels;
+    }
+
+    /// Replaces the query body `φ` (by default `⊤` at the root guard:
+    /// equivalence for arbitrary initial stores). Strengthening `φ`
+    /// restricts the initial stores the proof covers.
+    pub fn set_query_phi(&mut self, phi: Pure, vars: Vec<usize>) {
+        self.query = ConfRel { guard: self.root, vars, phi };
+    }
+
+    /// Statistics from the last [`Checker::run`].
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The template pairs the search will consider.
+    fn scope(&self) -> Vec<TemplatePair> {
+        if self.options.reach_pruning {
+            reachable_pairs(&self.aut, &[self.root], self.options.leaps)
+        } else {
+            // The full product of left-side and right-side templates
+            // (left-parser states never appear on the right, so restrict
+            // each side to its own parser's states plus accept/reject).
+            let side_templates = |left: bool| -> Vec<Template> {
+                all_templates(&self.aut)
+                    .into_iter()
+                    .filter(|t| match t.target {
+                        Target::State(q) => self.sum_info.is_left_state(q) == left,
+                        _ => true,
+                    })
+                    .collect()
+            };
+            let ls = side_templates(true);
+            let rs = side_templates(false);
+            let mut out = Vec::with_capacity(ls.len() * rs.len());
+            for l in &ls {
+                for r in &rs {
+                    out.push(TemplatePair::new(*l, *r));
+                }
+            }
+            out
+        }
+    }
+
+    /// Runs Algorithm 1.
+    pub fn run(&mut self) -> Outcome {
+        let start = Instant::now();
+        let scope = self.scope();
+        self.stats = RunStats::default();
+        self.stats.scope_pairs = scope.len();
+
+        // Initial relation I (Lemma 4.10 / Theorem 5.2): forbid pairs that
+        // disagree on acceptance, restricted to the scope; plus any
+        // user-supplied conditions.
+        let mut frontier: VecDeque<ConfRel> = VecDeque::new();
+        let mut seen: HashSet<ConfRel> = HashSet::new();
+        let mut init: Vec<ConfRel> = Vec::new();
+        if self.standard_init {
+            for p in &scope {
+                if p.left.is_accepting() != p.right.is_accepting() {
+                    init.push(ConfRel::forbidden(*p));
+                }
+            }
+        }
+        init.extend(self.extra_init.iter().cloned());
+        for rel in &init {
+            if seen.insert(rel.clone()) {
+                frontier.push_back(rel.clone());
+            }
+        }
+
+        let mut relation: Vec<ConfRel> = Vec::new();
+        while let Some(psi) = frontier.pop_front() {
+            self.stats.iterations += 1;
+            if let Some(limit) = self.options.max_iterations {
+                if self.stats.iterations > limit {
+                    self.stats.wall_time = start.elapsed();
+                    self.stats.queries = self.solver.stats().clone();
+                    return Outcome::Aborted(format!(
+                        "iteration budget {limit} exhausted with |R| = {}",
+                        relation.len()
+                    ));
+                }
+            }
+            self.stats.max_formula_size = self.stats.max_formula_size.max(psi.phi.size());
+            if lower::entails(&self.aut, &relation, &psi, &mut self.solver) {
+                self.stats.skipped += 1;
+                continue;
+            }
+            // Early failure: ψ will be part of R, and the Close step
+            // requires φ ⊨ ψ.
+            if self.options.early_stop && psi.guard == self.query.guard {
+                if let Some(report) = self.query_violation(&psi) {
+                    self.stats.wall_time = start.elapsed();
+                    self.stats.queries = self.solver.stats().clone();
+                    return Outcome::NotEquivalent(report);
+                }
+            }
+            for pred in &scope {
+                if let Some(chi) = wp(&self.aut, &psi, pred, self.options.leaps) {
+                    self.stats.wp_generated += 1;
+                    if seen.insert(chi.clone()) {
+                        frontier.push_back(chi);
+                    }
+                }
+            }
+            relation.push(psi);
+        }
+
+        // Close: φ ⊨ ⋀R, checked conjunct by conjunct (non-matching guards
+        // are vacuous after template filtering).
+        for rho in &relation {
+            if rho.guard == self.query.guard {
+                if let Some(report) = self.query_violation(rho) {
+                    self.stats.wall_time = start.elapsed();
+                    self.stats.queries = self.solver.stats().clone();
+                    return Outcome::NotEquivalent(report);
+                }
+            }
+        }
+
+        self.stats.wall_time = start.elapsed();
+        self.stats.queries = self.solver.stats().clone();
+        self.stats.extended = relation.len() as u64;
+        Outcome::Equivalent(Certificate {
+            leaps: self.options.leaps,
+            standard_init: self.standard_init,
+            query: self.query.clone(),
+            init,
+            relation,
+        })
+    }
+
+    /// Checks `φ ⊨ ρ`; on failure returns a human-readable report with the
+    /// countermodel.
+    fn query_violation(&mut self, rho: &ConfRel) -> Option<String> {
+        let q = lower::lower(&self.aut, std::slice::from_ref(&self.query), rho);
+        match self.solver.check_valid(&q.decls, &q.goal) {
+            CheckResult::Valid => None,
+            CheckResult::Invalid(model) => Some(format!(
+                "query {} does not entail {}\ncountermodel:\n{}",
+                self.query.display(&self.aut),
+                rho.display(&self.aut),
+                model.display(&q.decls)
+            )),
+        }
+    }
+}
+
+/// One-call convenience API: language equivalence with default options.
+pub fn check_language_equivalence(
+    left: &Automaton,
+    ql: StateId,
+    right: &Automaton,
+    qr: StateId,
+) -> Outcome {
+    Checker::new(left, ql, right, qr, Options::default()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapfrog_p4a::surface::parse;
+
+    fn state(aut: &Automaton, name: &str) -> StateId {
+        aut.state_by_name(name).unwrap()
+    }
+
+    #[test]
+    fn chunking_equivalence() {
+        // One 4-bit state vs four 1-bit states, both accept everything of
+        // length 4.
+        let a = parse("parser A { state s { extract(h, 4); goto accept; } }").unwrap();
+        let b = parse(
+            "parser B {
+               state s0 { extract(b0, 1); goto s1 }
+               state s1 { extract(b1, 1); goto s2 }
+               state s2 { extract(b2, 1); goto s3 }
+               state s3 { extract(b3, 1); goto accept }
+             }",
+        )
+        .unwrap();
+        let out = check_language_equivalence(&a, state(&a, "s"), &b, state(&b, "s0"));
+        assert!(out.is_equivalent(), "{out:?}");
+    }
+
+    #[test]
+    fn branching_equivalence() {
+        // Accept packets whose first 2 bits are 11, reading 4 bits total —
+        // two different state layouts.
+        let a = parse(
+            "parser A { state s { extract(h, 4);
+               select(h[0:1]) { 0b11 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse(
+            "parser B {
+               state s { extract(pre, 2); goto t }
+               state t { extract(suf, 2);
+                 select(pre) { 0b11 => accept; _ => reject; } }
+             }",
+        )
+        .unwrap();
+        let out = check_language_equivalence(&a, state(&a, "s"), &b, state(&b, "s"));
+        assert!(out.is_equivalent(), "{out:?}");
+    }
+
+    #[test]
+    fn inequivalence_detected_with_countermodel() {
+        let a = parse(
+            "parser A { state s { extract(h, 2);
+               select(h) { 0b11 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse(
+            "parser B { state s { extract(h, 2);
+               select(h) { 0b10 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let out = check_language_equivalence(&a, state(&a, "s"), &b, state(&b, "s"));
+        match out {
+            Outcome::NotEquivalent(report) => {
+                assert!(report.contains("countermodel"), "{report}");
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sanity_check_without_early_stop_reaches_close() {
+        // The paper's sanity check: inequivalent parsers must fail at the
+        // Close step when early stopping is off.
+        let a = parse("parser A { state s { extract(h, 2); goto accept } }").unwrap();
+        let b = parse("parser B { state s { extract(h, 2); goto reject } }").unwrap();
+        let opts = Options { early_stop: false, ..Options::default() };
+        let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), opts);
+        assert!(matches!(c.run(), Outcome::NotEquivalent(_)));
+        assert!(c.stats().iterations > 0);
+    }
+
+    #[test]
+    fn store_dependent_acceptance_is_not_self_equivalent() {
+        // This parser branches on bits of `h` never written before use in
+        // state t (read of an uninitialized header), so acceptance depends
+        // on the initial store: self-comparison with arbitrary stores fails.
+        let a = parse(
+            "parser A {
+               state s { extract(g, 1);
+                 select(h[0:0]) { 0b1 => accept; _ => reject; } }
+               header h : 4;
+             }",
+        )
+        .unwrap();
+        // h is declared but never extracted: the select reads the initial
+        // store. Comparing the parser to itself with unconstrained stores
+        // must fail (left store may accept while right rejects).
+        let out = check_language_equivalence(&a, state(&a, "s"), &a, state(&a, "s"));
+        assert!(matches!(out, Outcome::NotEquivalent(_)), "{out:?}");
+    }
+
+    #[test]
+    fn self_equivalence_of_initialized_parser() {
+        // The fixed parser writes h before branching: self-comparison
+        // succeeds, proving acceptance is store-independent (the paper's
+        // header-initialization case study, in miniature).
+        let a = parse(
+            "parser A {
+               state s { extract(g, 1); h := 4w0b0001 ++ g[0:0] ++ 0b000;
+                 select(h[0:0]) { 0b0 => accept; _ => reject; } }
+               header h : 8;
+             }",
+        )
+        .unwrap();
+        let out = check_language_equivalence(&a, state(&a, "s"), &a, state(&a, "s"));
+        assert!(out.is_equivalent(), "{out:?}");
+    }
+
+    #[test]
+    fn ablation_options_agree_on_small_input() {
+        let a = parse("parser A { state s { extract(h, 3); goto accept } }").unwrap();
+        let b = parse(
+            "parser B { state s { extract(x, 1); goto t } state t { extract(y, 2); goto accept } }",
+        )
+        .unwrap();
+        for (leaps, pruning) in [(true, true), (true, false), (false, true), (false, false)] {
+            let opts = Options { leaps, reach_pruning: pruning, ..Options::default() };
+            let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), opts);
+            assert!(c.run().is_equivalent(), "leaps={leaps} pruning={pruning}");
+        }
+    }
+
+    #[test]
+    fn ablation_explores_more_without_optimizations() {
+        let a = parse(
+            "parser A { state s { extract(h, 4);
+               select(h[0:0]) { 0b1 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse(
+            "parser B { state s { extract(x, 2); goto t }
+                        state t { extract(y, 2);
+               select(x[0:0]) { 0b1 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let run = |leaps: bool, pruning: bool| {
+            let opts =
+                Options { leaps, reach_pruning: pruning, ..Options::default() };
+            let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), opts);
+            assert!(c.run().is_equivalent());
+            (c.stats().iterations, c.stats().scope_pairs)
+        };
+        let (it_full, scope_full) = run(true, true);
+        let (it_noleap, _) = run(false, true);
+        let (_, scope_nopruning) = run(true, false);
+        assert!(it_noleap > it_full, "leaps should reduce iterations");
+        assert!(scope_nopruning > scope_full, "pruning should reduce scope");
+    }
+
+    #[test]
+    fn max_iterations_aborts() {
+        let a = parse(
+            "parser A { state s { extract(h, 4);
+               select(h) { 0b1111 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let opts = Options { max_iterations: Some(1), ..Options::default() };
+        let mut c = Checker::new(&a, state(&a, "s"), &a, state(&a, "s"), opts);
+        assert!(matches!(c.run(), Outcome::Aborted(_)));
+    }
+}

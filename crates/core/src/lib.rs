@@ -1,0 +1,55 @@
+//! Leapfrog: push-button equivalence checking for protocol parsers.
+//!
+//! This crate is the top of the reproduction of *"Leapfrog: Certified
+//! Equivalence for Protocol Parsers"* (PLDI 2022): the symbolic worklist
+//! algorithm (Algorithm 1) that computes the weakest symbolic bisimulation
+//! with leaps over a pair of P4 automata, discharging entailments through
+//! the `leapfrog-logic` lowering chain and the `leapfrog-smt` bitvector
+//! solver.
+//!
+//! # Quick start
+//!
+//! ```
+//! use leapfrog::{Checker, Options, Outcome};
+//! use leapfrog_p4a::surface::parse;
+//!
+//! let a = parse("parser A { state s { extract(h, 2); goto accept; } }").unwrap();
+//! let b = parse("parser B { state s { extract(g, 1); goto t; } \
+//!                           state t { extract(k, 1); goto accept; } }").unwrap();
+//! let sa = a.state_by_name("s").unwrap();
+//! let sb = b.state_by_name("s").unwrap();
+//! let mut checker = Checker::new(&a, sa, &b, sb, Options::default());
+//! match checker.run() {
+//!     Outcome::Equivalent(cert) => {
+//!         assert!(leapfrog::certificate::check(&checker.sum_automaton(), &cert).is_ok());
+//!     }
+//!     other => panic!("unexpected: {other:?}"),
+//! }
+//! ```
+//!
+//! # Relational properties
+//!
+//! Beyond language equivalence, the initial relation can be extended with
+//! store conditions ([`Checker::add_init_condition`]) to verify the paper's
+//! *external filtering* and *relational verification* case studies (§7.1),
+//! and the query can be weakened to check store-independence of acceptance
+//! (the *header initialization* case study).
+//!
+//! # Certificates
+//!
+//! The paper produces Coq proof terms; an uncertified Rust port cannot.
+//! Instead, a successful run yields a serializable [`Certificate`]
+//! containing the computed relation `R`, and [`certificate::check`]
+//! re-validates — from scratch, using only the logic and solver crates —
+//! that `⋀R` is a symbolic bisimulation with leaps entailing the query.
+//! The checker plays the role of the Coq kernel: the search is untrusted.
+
+pub mod certificate;
+pub mod checker;
+pub mod explicit;
+pub mod stats;
+
+pub use certificate::{Certificate, CertificateError};
+pub use checker::{Checker, Options, Outcome, Property};
+pub use explicit::{check_explicit, ExplicitResult};
+pub use stats::RunStats;

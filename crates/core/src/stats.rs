@@ -1,0 +1,43 @@
+//! Run statistics: what Table 2 of the paper reports per case study,
+//! plus solver-level counters (§7.3's SMT latency discussion).
+
+use std::time::Duration;
+
+use leapfrog_smt::QueryStats;
+
+/// Statistics from one [`crate::Checker::run`] invocation.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Worklist iterations (pops from the frontier `T`).
+    pub iterations: u64,
+    /// Formulas added to `R` (the `Extend` rule).
+    pub extended: u64,
+    /// Formulas skipped because they were already entailed (the `Skip` rule).
+    pub skipped: u64,
+    /// Weakest preconditions generated.
+    pub wp_generated: u64,
+    /// Template pairs in scope (after reachability pruning, if enabled).
+    pub scope_pairs: usize,
+    /// Largest pure-formula size encountered (structural nodes).
+    pub max_formula_size: usize,
+    /// Total wall-clock time of the run.
+    pub wall_time: Duration,
+    /// SMT query statistics.
+    pub queries: QueryStats,
+}
+
+impl RunStats {
+    /// A one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "iterations={} extended={} skipped={} wp={} scope={} queries={} time={:.2?}",
+            self.iterations,
+            self.extended,
+            self.skipped,
+            self.wp_generated,
+            self.scope_pairs,
+            self.queries.queries,
+            self.wall_time,
+        )
+    }
+}

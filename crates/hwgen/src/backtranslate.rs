@@ -1,0 +1,212 @@
+//! Back-translation from hardware tables to P4 automata (the right-hand
+//! side of Figure 8), closing the translation-validation loop.
+//!
+//! Every live hardware state becomes a P4A state that extracts its whole
+//! window into a header `w<state>`. The state's TCAM rows become a
+//! first-match `select`: the scrutinees are the window bit-groups that
+//! some row masks (grouped so that every row masks each group fully or
+//! not at all), and each row contributes a case whose patterns are the
+//! row's values on the groups it masks and wildcards elsewhere.
+
+use std::collections::{BTreeSet, HashMap};
+
+use leapfrog_p4a::ast::{Automaton, Case, Expr, Pattern, Target, Transition};
+use leapfrog_p4a::builder::Builder;
+
+use crate::table::{HwParser, HwTarget};
+
+/// Translates a hardware parser back into a P4 automaton. The start state
+/// is named `hw0`-style after [`HwParser::initial`]; look it up with the
+/// returned name.
+pub fn back_translate(hw: &HwParser) -> (Automaton, String) {
+    let mut b = Builder::new();
+    let live: BTreeSet<u16> = live_states(hw);
+    let mut names: HashMap<u16, String> = HashMap::new();
+    for &s in &live {
+        names.insert(s, format!("hw{s}"));
+    }
+    for &s in &live {
+        b.state(names[&s].clone());
+    }
+    for &s in &live {
+        let q = b.state(names[&s].clone());
+        let width = hw.advance[s as usize];
+        let w = b.header(format!("w{s}"), width);
+        let rows: Vec<_> = hw.rows_of(s).collect();
+
+        // Group masked bit positions: positions masked by the same subset
+        // of rows, split into contiguous runs.
+        let groups = mask_groups(width, &rows.iter().map(|r| &r.mask).collect::<Vec<_>>());
+
+        let target_of = |b: &mut Builder, t: HwTarget| match t {
+            HwTarget::Accept => Target::Accept,
+            HwTarget::Reject => Target::Reject,
+            HwTarget::State(s2) => Target::State(b.state(format!("hw{s2}"))),
+        };
+
+        let trans = if groups.is_empty() {
+            // No row compares anything: the first row always wins.
+            let t = rows
+                .first()
+                .map(|r| r.next)
+                .unwrap_or(HwTarget::Reject);
+            Transition::Goto(target_of(&mut b, t))
+        } else {
+            let exprs: Vec<Expr> = groups
+                .iter()
+                .map(|g| Expr::slice(Expr::hdr(w), g.0, g.0 + g.1 - 1))
+                .collect();
+            let cases: Vec<Case> = rows
+                .iter()
+                .map(|row| {
+                    let pats = groups
+                        .iter()
+                        .map(|&(start, len)| {
+                            if row.mask.get(start) == Some(true) {
+                                Pattern::Exact(row.value.subrange(start, len))
+                            } else {
+                                Pattern::Wildcard
+                            }
+                        })
+                        .collect();
+                    Case { pats, target: target_of(&mut b, row.next) }
+                })
+                .collect();
+            Transition::Select { exprs, cases }
+        };
+        b.define(q, vec![b.extract(w)], trans);
+    }
+    let start = format!("hw{}", hw.initial);
+    (b.build().expect("back-translated automaton is well-formed"), start)
+}
+
+/// Hardware states reachable from the initial state through live rows.
+fn live_states(hw: &HwParser) -> BTreeSet<u16> {
+    let mut seen = BTreeSet::new();
+    let mut work = vec![hw.initial];
+    while let Some(s) = work.pop() {
+        if !seen.insert(s) {
+            continue;
+        }
+        for row in hw.rows_of(s) {
+            if let HwTarget::State(s2) = row.next {
+                if !seen.contains(&s2) {
+                    work.push(s2);
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// Partitions `0..width` into contiguous runs of positions that are masked
+/// by exactly the same set of rows, dropping wholly unmasked runs.
+/// Guarantees every row masks each returned run fully or not at all.
+fn mask_groups(width: usize, masks: &[&leapfrog_bitvec::BitVec]) -> Vec<(usize, usize)> {
+    let signature = |i: usize| -> Vec<bool> {
+        masks.iter().map(|m| m.get(i) == Some(true)).collect()
+    };
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < width {
+        let sig = signature(i);
+        let start = i;
+        while i < width && signature(i) == sig {
+            i += 1;
+        }
+        if sig.iter().any(|&b| b) {
+            groups.push((start, i - start));
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, HwBudget};
+    use leapfrog_bitvec::BitVec;
+    use leapfrog_p4a::semantics::Config;
+    use leapfrog_p4a::surface::parse;
+
+    fn roundtrip_agrees(src: &str, start: &str, budget: &HwBudget, lengths: &[usize]) {
+        let a = parse(src).unwrap();
+        let q = a.state_by_name(start).unwrap();
+        let hw = compile(&a, q, budget).expect("compiles");
+        let (back, bstart) = back_translate(&hw);
+        let bq = back.state_by_name(&bstart).unwrap();
+        let mut seed = 0x1717u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed
+        };
+        for &len in lengths {
+            for _ in 0..40 {
+                let word = BitVec::random_with(len, &mut rng);
+                let a_acc = Config::initial(&a, q).accepts_chunked(&a, &word);
+                let hw_acc = hw.accepts(&word);
+                let b_acc = Config::initial(&back, bq).accepts_chunked(&back, &word);
+                assert_eq!(a_acc, hw_acc, "source vs hardware at len {len}");
+                assert_eq!(hw_acc, b_acc, "hardware vs back-translation at len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple_select() {
+        roundtrip_agrees(
+            "parser A { state s { extract(h, 4);
+               select(h[0:1]) { 0b10 => accept; 0b01 => reject; _ => s; } } }",
+            "s",
+            &HwBudget::default(),
+            &[0, 3, 4, 8, 12, 16],
+        );
+    }
+
+    #[test]
+    fn roundtrip_with_splitting() {
+        roundtrip_agrees(
+            "parser A {
+               state s { extract(h, 12);
+                 select(h[0:2]) { 0b111 => t; _ => accept; } }
+               state t { extract(g, 6); goto accept }
+             }",
+            "s",
+            &HwBudget { max_advance: 4, max_branch_bits: 8 },
+            &[0, 11, 12, 13, 18, 24, 30],
+        );
+    }
+
+    #[test]
+    fn roundtrip_multi_scrutinee() {
+        roundtrip_agrees(
+            "parser A { state s { extract(a, 3); extract(c, 3);
+               select(a[0:0], c[2:2]) { (0b1, 0b0) => accept; (_, _) => reject; } } }",
+            "s",
+            &HwBudget::default(),
+            &[5, 6, 7, 12],
+        );
+    }
+
+    #[test]
+    fn back_translation_validates() {
+        let a = parse(
+            "parser A { state s { extract(h, 8);
+               select(h[0:3]) { 0b1111 => s; _ => accept; } } }",
+        )
+        .unwrap();
+        let hw = compile(&a, a.state_by_name("s").unwrap(), &HwBudget::default()).unwrap();
+        let (back, start) = back_translate(&hw);
+        assert!(leapfrog_p4a::validate::validate(&back).is_ok());
+        assert!(back.state_by_name(&start).is_some());
+    }
+
+    #[test]
+    fn mask_groups_splits_on_signature_changes() {
+        let m1: BitVec = "111100".parse().unwrap();
+        let m2: BitVec = "001111".parse().unwrap();
+        let groups = mask_groups(6, &[&m1, &m2]);
+        // Positions 0-1 (m1 only), 2-3 (both), 4-5 (m2 only).
+        assert_eq!(groups, vec![(0, 2), (2, 2), (4, 2)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! The hardware table representation and its interpreter (Figure 8's rows).
+
+use leapfrog_bitvec::BitVec;
+
+/// A hardware next-state: another table state or a terminal decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwTarget {
+    /// Jump to a hardware state.
+    State(u16),
+    /// Accept the packet (must coincide with the end of input).
+    Accept,
+    /// Reject the packet.
+    Reject,
+}
+
+/// One prioritized TCAM row: matches the current state and a masked view
+/// of the `advance`-bit window the cycle consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcamEntry {
+    /// The hardware state this row belongs to.
+    pub state: u16,
+    /// Bit mask over the consumed window (1 = compare this bit).
+    pub mask: BitVec,
+    /// Expected values at masked positions (unmasked bits ignored).
+    pub value: BitVec,
+    /// Where to go on a match.
+    pub next: HwTarget,
+}
+
+impl TcamEntry {
+    /// Whether a window matches this row.
+    pub fn matches(&self, window: &BitVec) -> bool {
+        debug_assert_eq!(window.len(), self.mask.len());
+        (0..self.mask.len()).all(|i| {
+            !self.mask.get(i).unwrap() || window.get(i) == self.value.get(i)
+        })
+    }
+}
+
+/// A compiled hardware parser: per-state advance amounts and a prioritized
+/// rule table.
+#[derive(Debug, Clone)]
+pub struct HwParser {
+    /// Number of bits each hardware state consumes per cycle.
+    pub advance: Vec<usize>,
+    /// The rule table; within a state, earlier rows win.
+    pub entries: Vec<TcamEntry>,
+    /// The initial hardware state.
+    pub initial: u16,
+}
+
+impl HwParser {
+    /// The number of hardware states.
+    pub fn num_states(&self) -> usize {
+        self.advance.len()
+    }
+
+    /// The rows of a state, in priority order.
+    pub fn rows_of(&self, state: u16) -> impl Iterator<Item = &TcamEntry> {
+        self.entries.iter().filter(move |e| e.state == state)
+    }
+
+    /// Runs the hardware pipeline on a packet: consume `advance[s]` bits
+    /// per cycle, first matching row picks the successor; no match, or
+    /// input exhausted mid-window, rejects. Accept requires landing on
+    /// [`HwTarget::Accept`] exactly at the end of input.
+    pub fn accepts(&self, packet: &BitVec) -> bool {
+        let mut state = self.initial;
+        let mut pos = 0usize;
+        loop {
+            let adv = self.advance[state as usize];
+            if pos + adv > packet.len() {
+                return false; // truncated mid-cycle
+            }
+            let window = packet.subrange(pos, adv);
+            pos += adv;
+            let Some(row) = self.rows_of(state).find(|e| e.matches(&window)) else {
+                return false;
+            };
+            match row.next {
+                HwTarget::Accept => return pos == packet.len(),
+                HwTarget::Reject => return false,
+                HwTarget::State(s) => state = s,
+            }
+        }
+    }
+
+    /// Renders the table in the style of Figure 8.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "Match: (state={}, mask={}, value={})  Next-State: {:?}  Adv: {}",
+                e.state,
+                e.mask,
+                e.value,
+                e.next,
+                self.advance[e.state as usize]
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        s.parse().unwrap()
+    }
+
+    /// A tiny hand-written table: state 0 consumes 4 bits, accepts another
+    /// 4-bit state when the first two bits are 10.
+    fn sample() -> HwParser {
+        HwParser {
+            advance: vec![4, 4],
+            initial: 0,
+            entries: vec![
+                TcamEntry {
+                    state: 0,
+                    mask: bv("1100"),
+                    value: bv("1000"),
+                    next: HwTarget::State(1),
+                },
+                TcamEntry {
+                    state: 0,
+                    mask: bv("0000"),
+                    value: bv("0000"),
+                    next: HwTarget::Reject,
+                },
+                TcamEntry {
+                    state: 1,
+                    mask: bv("0000"),
+                    value: bv("0000"),
+                    next: HwTarget::Accept,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn matching_respects_mask_and_priority() {
+        let hw = sample();
+        assert!(hw.accepts(&bv("10110101"))); // 10.. then anything
+        assert!(!hw.accepts(&bv("01110101"))); // first row misses, reject row wins
+        assert!(!hw.accepts(&bv("1011"))); // truncated: accept needs 8 bits
+        assert!(!hw.accepts(&bv("101101011"))); // trailing bit after accept
+    }
+
+    #[test]
+    fn entry_matches_is_bitwise() {
+        let e = TcamEntry {
+            state: 0,
+            mask: bv("1010"),
+            value: bv("1000"),
+            next: HwTarget::Accept,
+        };
+        assert!(e.matches(&bv("1100")));
+        assert!(e.matches(&bv("1001"))); // unmasked bits free
+        assert!(!e.matches(&bv("0000")));
+    }
+
+    #[test]
+    fn render_lists_every_entry() {
+        let hw = sample();
+        let text = hw.render();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("Adv: 4"));
+    }
+}

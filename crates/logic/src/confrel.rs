@@ -1,0 +1,597 @@
+//! The configuration-relation formula language (paper, Figure 3), in
+//! template-guarded normal form (Definition 4.7).
+//!
+//! A [`ConfRel`] is `t₁< ∧ t₂> ⇒ φ` with `φ` *pure*: a boolean combination
+//! of equalities between bitvector expressions over the two buffers, the
+//! two stores, and packet variables introduced by weakest preconditions.
+//! Because the guard fixes both buffer lengths, every expression has a
+//! static width and all slices are exact — the clamped slicing of the
+//! surface language is resolved during symbolic execution.
+//!
+//! The module also provides the *reference semantics* `J·K` of
+//! Definition 4.3, used by property tests to validate the weakest
+//! precondition computation and by the certificate checker for spot
+//! verification.
+
+use leapfrog_bitvec::BitVec;
+use leapfrog_p4a::ast::{Automaton, HeaderId};
+use leapfrog_p4a::semantics::Config;
+use serde::{Deserialize, Serialize};
+
+use crate::templates::TemplatePair;
+
+/// Which configuration of the pair an expression refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The `<` (left) configuration.
+    Left,
+    /// The `>` (right) configuration.
+    Right,
+}
+
+impl Side {
+    /// The paper's superscript notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Side::Left => "<",
+            Side::Right => ">",
+        }
+    }
+}
+
+/// A formula-local packet variable, indexed into [`ConfRel::vars`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+/// A bitvector expression over a configuration pair (Figure 3: `be`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BitExpr {
+    /// A literal.
+    Lit(BitVec),
+    /// The buffer of one side (`buf<` / `buf>`); its width is the guard's
+    /// buffer length for that side.
+    Buf(Side),
+    /// A header of one side (`h<` / `h>`).
+    Hdr(Side, HeaderId),
+    /// A packet variable.
+    Var(VarId),
+    /// Exact slice: `len` bits from `start`.
+    Slice(Box<BitExpr>, usize, usize),
+    /// Concatenation.
+    Concat(Box<BitExpr>, Box<BitExpr>),
+}
+
+impl BitExpr {
+    /// The empty bitvector.
+    pub fn empty() -> BitExpr {
+        BitExpr::Lit(BitVec::new())
+    }
+
+    /// Smart slice constructor: folds literals, composes nested slices and
+    /// pushes through concatenation when widths permit (the paper's
+    /// "algebraic simplifications", §6.2 step 1).
+    pub fn slice(e: BitExpr, start: usize, len: usize, ctx: &ExprCtx<'_>) -> BitExpr {
+        if len == 0 {
+            return BitExpr::empty();
+        }
+        let w = e.width(ctx);
+        debug_assert!(start + len <= w, "slice [{start};{len}] out of bounds for width {w}");
+        if start == 0 && len == w {
+            return e;
+        }
+        match e {
+            BitExpr::Lit(bv) => BitExpr::Lit(bv.subrange(start, len)),
+            BitExpr::Slice(inner, s0, _) => BitExpr::Slice(inner, s0 + start, len),
+            BitExpr::Concat(a, b) => {
+                let wa = a.width(ctx);
+                if start + len <= wa {
+                    BitExpr::slice(*a, start, len, ctx)
+                } else if start >= wa {
+                    BitExpr::slice(*b, start - wa, len, ctx)
+                } else {
+                    let l = BitExpr::slice(*a, start, wa - start, ctx);
+                    let r = BitExpr::slice(*b, 0, len - (wa - start), ctx);
+                    BitExpr::concat(l, r)
+                }
+            }
+            other => BitExpr::Slice(Box::new(other), start, len),
+        }
+    }
+
+    /// Smart concatenation: drops empty sides, fuses literals.
+    pub fn concat(a: BitExpr, b: BitExpr) -> BitExpr {
+        match (&a, &b) {
+            (BitExpr::Lit(x), _) if x.is_empty() => return b,
+            (_, BitExpr::Lit(y)) if y.is_empty() => return a,
+            (BitExpr::Lit(x), BitExpr::Lit(y)) => return BitExpr::Lit(x.concat(y)),
+            _ => {}
+        }
+        BitExpr::Concat(Box::new(a), Box::new(b))
+    }
+
+    /// The static width of the expression in a guard context.
+    pub fn width(&self, ctx: &ExprCtx<'_>) -> usize {
+        match self {
+            BitExpr::Lit(bv) => bv.len(),
+            BitExpr::Buf(side) => ctx.buf_len(*side),
+            BitExpr::Hdr(_, h) => ctx.aut.header_size(*h),
+            BitExpr::Var(v) => ctx.var_widths[v.0 as usize],
+            BitExpr::Slice(_, _, len) => *len,
+            BitExpr::Concat(a, b) => a.width(ctx) + b.width(ctx),
+        }
+    }
+
+    /// Evaluates the expression against a configuration pair and a
+    /// valuation of the packet variables (`JbeK_B`, Definition 4.3).
+    pub fn eval(&self, c1: &Config, c2: &Config, vals: &[BitVec]) -> BitVec {
+        match self {
+            BitExpr::Lit(bv) => bv.clone(),
+            BitExpr::Buf(Side::Left) => c1.buf.clone(),
+            BitExpr::Buf(Side::Right) => c2.buf.clone(),
+            BitExpr::Hdr(Side::Left, h) => c1.store.get(*h).clone(),
+            BitExpr::Hdr(Side::Right, h) => c2.store.get(*h).clone(),
+            BitExpr::Var(v) => vals[v.0 as usize].clone(),
+            BitExpr::Slice(e, start, len) => e.eval(c1, c2, vals).subrange(*start, *len),
+            BitExpr::Concat(a, b) => a.eval(c1, c2, vals).concat(&b.eval(c1, c2, vals)),
+        }
+    }
+
+    /// Substitutes buffers and headers of one side (used by `WP≶`).
+    /// `buf` replaces `Buf(side)`; `store[h]` replaces `Hdr(side, h)`.
+    pub fn subst_side(
+        &self,
+        side: Side,
+        buf: &BitExpr,
+        store: &dyn Fn(HeaderId) -> BitExpr,
+        ctx: &ExprCtx<'_>,
+    ) -> BitExpr {
+        match self {
+            BitExpr::Lit(_) | BitExpr::Var(_) => self.clone(),
+            BitExpr::Buf(s) => {
+                if *s == side {
+                    buf.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            BitExpr::Hdr(s, h) => {
+                if *s == side {
+                    store(*h)
+                } else {
+                    self.clone()
+                }
+            }
+            BitExpr::Slice(e, start, len) => {
+                BitExpr::slice(e.subst_side(side, buf, store, ctx), *start, *len, ctx)
+            }
+            BitExpr::Concat(a, b) => BitExpr::concat(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+        }
+    }
+}
+
+/// Width context for expressions: the automaton (header sizes), the
+/// buffer lengths of both sides, and the packet-variable widths.
+///
+/// Note: when substituting during `WP`, expressions temporarily mix
+/// pre-state buffers with post-state formulas; callers construct the
+/// context matching the expression being measured.
+#[derive(Debug, Clone, Copy)]
+pub struct ExprCtx<'a> {
+    /// The (sum) automaton.
+    pub aut: &'a Automaton,
+    /// Width of `buf<`.
+    pub left_buf: usize,
+    /// Width of `buf>`.
+    pub right_buf: usize,
+    /// Widths of packet variables.
+    pub var_widths: &'a [usize],
+}
+
+impl<'a> ExprCtx<'a> {
+    /// The buffer width of a side.
+    pub fn buf_len(&self, side: Side) -> usize {
+        match side {
+            Side::Left => self.left_buf,
+            Side::Right => self.right_buf,
+        }
+    }
+}
+
+/// A pure formula (no state or buffer-length assertions; Definition 4.7).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pure {
+    /// `⊤` or `⊥`.
+    Const(bool),
+    /// Bitvector equality.
+    Eq(BitExpr, BitExpr),
+    /// Negation.
+    Not(Box<Pure>),
+    /// Conjunction.
+    And(Box<Pure>, Box<Pure>),
+    /// Disjunction.
+    Or(Box<Pure>, Box<Pure>),
+    /// Implication.
+    Implies(Box<Pure>, Box<Pure>),
+}
+
+impl Pure {
+    /// `⊤`.
+    pub fn tt() -> Pure {
+        Pure::Const(true)
+    }
+
+    /// `⊥`.
+    pub fn ff() -> Pure {
+        Pure::Const(false)
+    }
+
+    /// Equality with constant folding.
+    pub fn eq(a: BitExpr, b: BitExpr) -> Pure {
+        if let (BitExpr::Lit(x), BitExpr::Lit(y)) = (&a, &b) {
+            return Pure::Const(x == y);
+        }
+        if a == b {
+            return Pure::tt();
+        }
+        Pure::Eq(a, b)
+    }
+
+    /// Negation with simplification.
+    #[allow(clippy::should_implement_trait)] // DSL-style smart constructor
+    pub fn not(p: Pure) -> Pure {
+        match p {
+            Pure::Const(b) => Pure::Const(!b),
+            Pure::Not(inner) => *inner,
+            other => Pure::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction with simplification.
+    pub fn and(a: Pure, b: Pure) -> Pure {
+        match (&a, &b) {
+            (Pure::Const(false), _) | (_, Pure::Const(false)) => Pure::ff(),
+            (Pure::Const(true), _) => b,
+            (_, Pure::Const(true)) => a,
+            _ => Pure::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Conjunction of many formulas.
+    pub fn and_all(ps: impl IntoIterator<Item = Pure>) -> Pure {
+        ps.into_iter().fold(Pure::tt(), Pure::and)
+    }
+
+    /// Disjunction with simplification.
+    pub fn or(a: Pure, b: Pure) -> Pure {
+        match (&a, &b) {
+            (Pure::Const(true), _) | (_, Pure::Const(true)) => Pure::tt(),
+            (Pure::Const(false), _) => b,
+            (_, Pure::Const(false)) => a,
+            _ => Pure::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction of many formulas.
+    pub fn or_all(ps: impl IntoIterator<Item = Pure>) -> Pure {
+        ps.into_iter().fold(Pure::ff(), Pure::or)
+    }
+
+    /// Implication with simplification.
+    pub fn implies(a: Pure, b: Pure) -> Pure {
+        match (&a, &b) {
+            (Pure::Const(false), _) => Pure::tt(),
+            (Pure::Const(true), _) => b,
+            (_, Pure::Const(true)) => Pure::tt(),
+            (_, Pure::Const(false)) => Pure::not(a),
+            _ => Pure::Implies(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Evaluates against a configuration pair and valuation.
+    pub fn eval(&self, c1: &Config, c2: &Config, vals: &[BitVec]) -> bool {
+        match self {
+            Pure::Const(b) => *b,
+            Pure::Eq(a, b) => a.eval(c1, c2, vals) == b.eval(c1, c2, vals),
+            Pure::Not(p) => !p.eval(c1, c2, vals),
+            Pure::And(a, b) => a.eval(c1, c2, vals) && b.eval(c1, c2, vals),
+            Pure::Or(a, b) => a.eval(c1, c2, vals) || b.eval(c1, c2, vals),
+            Pure::Implies(a, b) => !a.eval(c1, c2, vals) || b.eval(c1, c2, vals),
+        }
+    }
+
+    /// Structural size (diagnostics; the paper tracks formula growth).
+    pub fn size(&self) -> usize {
+        match self {
+            Pure::Const(_) => 1,
+            Pure::Eq(_, _) => 1,
+            Pure::Not(p) => 1 + p.size(),
+            Pure::And(a, b) | Pure::Or(a, b) | Pure::Implies(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Applies a side substitution through the formula.
+    pub fn subst_side(
+        &self,
+        side: Side,
+        buf: &BitExpr,
+        store: &dyn Fn(HeaderId) -> BitExpr,
+        ctx: &ExprCtx<'_>,
+    ) -> Pure {
+        match self {
+            Pure::Const(_) => self.clone(),
+            Pure::Eq(a, b) => Pure::eq(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+            Pure::Not(p) => Pure::not(p.subst_side(side, buf, store, ctx)),
+            Pure::And(a, b) => Pure::and(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+            Pure::Or(a, b) => Pure::or(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+            Pure::Implies(a, b) => Pure::implies(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+        }
+    }
+}
+
+/// A template-guarded configuration relation `t₁< ∧ t₂> ⇒ φ`
+/// (Definition 4.7), with the packet variables it quantifies over.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfRel {
+    /// The guard templates.
+    pub guard: TemplatePair,
+    /// Widths of the packet variables `x₀, x₁, …` appearing in `phi`.
+    pub vars: Vec<usize>,
+    /// The pure body.
+    pub phi: Pure,
+}
+
+impl ConfRel {
+    /// The relation `t₁ ∧ t₂ ⇒ ⊤` (no constraint beyond the guard).
+    pub fn trivial(guard: TemplatePair) -> ConfRel {
+        ConfRel { guard, vars: Vec::new(), phi: Pure::tt() }
+    }
+
+    /// The relation `t₁ ∧ t₂ ⇒ ⊥` (the guard combination is forbidden;
+    /// used for the initial relation of Lemma 4.10).
+    pub fn forbidden(guard: TemplatePair) -> ConfRel {
+        ConfRel { guard, vars: Vec::new(), phi: Pure::ff() }
+    }
+
+    /// Whether a configuration pair matches the guard.
+    pub fn guard_matches(&self, c1: &Config, c2: &Config) -> bool {
+        c1.target == self.guard.left.target
+            && c1.buf.len() == self.guard.left.buf_len
+            && c2.target == self.guard.right.target
+            && c2.buf.len() == self.guard.right.buf_len
+    }
+
+    /// The reference semantics `J·K_L` (Definition 4.3): the pair is related
+    /// iff the guard fails to match, or `phi` holds under *all* valuations.
+    /// Enumeration of valuations is exponential in the variable widths; use
+    /// only for small formulas (tests, spot checks).
+    pub fn holds(&self, c1: &Config, c2: &Config) -> bool {
+        if !self.guard_matches(c1, c2) {
+            return true;
+        }
+        let total: usize = self.vars.iter().sum();
+        assert!(total <= 16, "valuation enumeration limited to 16 bits");
+        let mut vals: Vec<BitVec> = self.vars.iter().map(|w| BitVec::zeros(*w)).collect();
+        for assignment in 0u64..(1u64 << total) {
+            let mut offset = 0;
+            for (i, w) in self.vars.iter().enumerate() {
+                let mut bv = BitVec::zeros(*w);
+                for bit in 0..*w {
+                    if (assignment >> (offset + bit)) & 1 == 1 {
+                        bv.set(bit, true);
+                    }
+                }
+                vals[i] = bv;
+                offset += w;
+            }
+            if !self.phi.eval(c1, c2, &vals) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// A width context for this relation's body.
+    pub fn ctx<'a>(&'a self, aut: &'a Automaton) -> ExprCtx<'a> {
+        ExprCtx {
+            aut,
+            left_buf: self.guard.left.buf_len,
+            right_buf: self.guard.right.buf_len,
+            var_widths: &self.vars,
+        }
+    }
+
+    /// Renders the relation with names for diagnostics.
+    pub fn display(&self, aut: &Automaton) -> String {
+        format!("{} ⇒ {}", self.guard.display(aut), display_pure(&self.phi, aut))
+    }
+}
+
+fn display_pure(p: &Pure, aut: &Automaton) -> String {
+    match p {
+        Pure::Const(true) => "⊤".into(),
+        Pure::Const(false) => "⊥".into(),
+        Pure::Eq(a, b) => format!("{} = {}", display_expr(a, aut), display_expr(b, aut)),
+        Pure::Not(p) => format!("¬({})", display_pure(p, aut)),
+        Pure::And(a, b) => format!("({} ∧ {})", display_pure(a, aut), display_pure(b, aut)),
+        Pure::Or(a, b) => format!("({} ∨ {})", display_pure(a, aut), display_pure(b, aut)),
+        Pure::Implies(a, b) => {
+            format!("({} ⇒ {})", display_pure(a, aut), display_pure(b, aut))
+        }
+    }
+}
+
+fn display_expr(e: &BitExpr, aut: &Automaton) -> String {
+    match e {
+        BitExpr::Lit(bv) => format!("0b{bv}"),
+        BitExpr::Buf(s) => format!("buf{}", s.symbol()),
+        BitExpr::Hdr(s, h) => format!("{}{}", aut.header_name(*h), s.symbol()),
+        BitExpr::Var(v) => format!("x{}", v.0),
+        BitExpr::Slice(e, start, len) => {
+            format!("{}[{start};{len}]", display_expr(e, aut))
+        }
+        BitExpr::Concat(a, b) => {
+            format!("({} ++ {})", display_expr(a, aut), display_expr(b, aut))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::Template;
+    use leapfrog_p4a::ast::{StateId, Target};
+    use leapfrog_p4a::builder::Builder;
+    use leapfrog_p4a::semantics::Store;
+
+    fn aut() -> Automaton {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let g = b.header("g", 4);
+        let q = b.state("q");
+        b.define(q, vec![b.extract(h), b.extract(g)], b.goto(Target::Accept));
+        b.build().unwrap()
+    }
+
+    fn config(aut: &Automaton, buf: &str) -> Config {
+        Config {
+            target: Target::State(StateId(0)),
+            store: Store::zeros(aut),
+            buf: buf.parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn eval_buffer_and_header() {
+        let a = aut();
+        let mut c1 = config(&a, "101");
+        let c2 = config(&a, "01");
+        let h = a.header_by_name("h").unwrap();
+        c1.store.set(h, "1100".parse().unwrap());
+        let e = BitExpr::Concat(
+            Box::new(BitExpr::Buf(Side::Left)),
+            Box::new(BitExpr::Hdr(Side::Left, h)),
+        );
+        assert_eq!(e.eval(&c1, &c2, &[]).to_string(), "1011100");
+        assert_eq!(BitExpr::Buf(Side::Right).eval(&c1, &c2, &[]).to_string(), "01");
+    }
+
+    #[test]
+    fn smart_slice_through_concat() {
+        let a = aut();
+        let ctx = ExprCtx { aut: &a, left_buf: 3, right_buf: 2, var_widths: &[] };
+        let e = BitExpr::concat(BitExpr::Buf(Side::Left), BitExpr::Buf(Side::Right));
+        // Bits [3;2] live entirely in the right buffer.
+        let s = BitExpr::slice(e, 3, 2, &ctx);
+        assert_eq!(s, BitExpr::Buf(Side::Right));
+    }
+
+    #[test]
+    fn smart_slice_straddles() {
+        let a = aut();
+        let ctx = ExprCtx { aut: &a, left_buf: 3, right_buf: 2, var_widths: &[] };
+        let e = BitExpr::concat(BitExpr::Buf(Side::Left), BitExpr::Buf(Side::Right));
+        let s = BitExpr::slice(e, 2, 2, &ctx);
+        match s {
+            BitExpr::Concat(l, r) => {
+                assert_eq!(*l, BitExpr::Slice(Box::new(BitExpr::Buf(Side::Left)), 2, 1));
+                assert_eq!(*r, BitExpr::Slice(Box::new(BitExpr::Buf(Side::Right)), 0, 1));
+            }
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_gates_holds() {
+        let a = aut();
+        let c1 = config(&a, "101");
+        let c2 = config(&a, "01");
+        let guard = TemplatePair::new(
+            Template { target: Target::State(StateId(0)), buf_len: 3 },
+            Template { target: Target::State(StateId(0)), buf_len: 2 },
+        );
+        // buf< [0;2] = buf>  — here "10" vs "01": false under the guard.
+        let rel = ConfRel {
+            guard,
+            vars: vec![],
+            phi: Pure::eq(
+                BitExpr::Slice(Box::new(BitExpr::Buf(Side::Left)), 0, 2),
+                BitExpr::Buf(Side::Right),
+            ),
+        };
+        assert!(!rel.holds(&c1, &c2));
+        // A mismatched guard makes the relation vacuously true.
+        let c3 = config(&a, "1");
+        assert!(rel.holds(&c3, &c2));
+    }
+
+    #[test]
+    fn holds_quantifies_over_vars() {
+        let a = aut();
+        let c1 = config(&a, "1");
+        let c2 = config(&a, "1");
+        let guard = TemplatePair::new(
+            Template { target: Target::State(StateId(0)), buf_len: 1 },
+            Template { target: Target::State(StateId(0)), buf_len: 1 },
+        );
+        // ∀x (1 bit): buf< ++ x = buf> ++ x  — true since buffers equal.
+        let rel = ConfRel {
+            guard,
+            vars: vec![1],
+            phi: Pure::eq(
+                BitExpr::concat(BitExpr::Buf(Side::Left), BitExpr::Var(VarId(0))),
+                BitExpr::concat(BitExpr::Buf(Side::Right), BitExpr::Var(VarId(0))),
+            ),
+        };
+        assert!(rel.holds(&c1, &c2));
+        // ∀x. x = 0 is false (some valuation refutes it).
+        let rel2 = ConfRel {
+            guard,
+            vars: vec![1],
+            phi: Pure::eq(BitExpr::Var(VarId(0)), BitExpr::Lit("0".parse().unwrap())),
+        };
+        assert!(!rel2.holds(&c1, &c2));
+    }
+
+    #[test]
+    fn pure_constructors_fold() {
+        assert_eq!(Pure::and(Pure::tt(), Pure::ff()), Pure::ff());
+        assert_eq!(Pure::or(Pure::ff(), Pure::ff()), Pure::ff());
+        assert_eq!(Pure::implies(Pure::ff(), Pure::ff()), Pure::tt());
+        assert_eq!(
+            Pure::eq(
+                BitExpr::Lit("10".parse().unwrap()),
+                BitExpr::Lit("10".parse().unwrap())
+            ),
+            Pure::tt()
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = aut();
+        let guard = TemplatePair::new(
+            Template { target: Target::State(StateId(0)), buf_len: 0 },
+            Template::accept(),
+        );
+        let rel = ConfRel::forbidden(guard);
+        let s = rel.display(&a);
+        assert!(s.contains("⟨q, 0⟩"));
+        assert!(s.contains("accept"));
+        assert!(s.contains('⊥'));
+    }
+}

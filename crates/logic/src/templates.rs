@@ -1,0 +1,245 @@
+//! Templates, leap sizes and template successors (paper, Definitions 4.7
+//! and 5.3, and the abstract interpretation `σ` of §5.1).
+//!
+//! A template `⟨q, n⟩` abstracts a configuration by its control location and
+//! buffer length. The step function's effect on templates is deterministic
+//! in the buffer length and, at transition boundaries, branches over the
+//! transition block's possible targets — this is the abstraction `σ` used
+//! for reachability pruning.
+
+use leapfrog_p4a::ast::{Automaton, Target};
+use serde::{Deserialize, Serialize};
+
+/// A template `⟨q, n⟩`: control location plus buffer length, with
+/// `n < ‖op(q)‖` for proper states and `n = 0` otherwise (Definition 4.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Template {
+    /// The control location.
+    pub target: Target,
+    /// The buffer length.
+    pub buf_len: usize,
+}
+
+impl Template {
+    /// The template of an initial configuration at state `q`.
+    pub fn start(q: leapfrog_p4a::ast::StateId) -> Template {
+        Template { target: Target::State(q), buf_len: 0 }
+    }
+
+    /// The `accept` template `⟨accept, 0⟩`.
+    pub fn accept() -> Template {
+        Template { target: Target::Accept, buf_len: 0 }
+    }
+
+    /// The `reject` template `⟨reject, 0⟩`.
+    pub fn reject() -> Template {
+        Template { target: Target::Reject, buf_len: 0 }
+    }
+
+    /// Whether this is the accepting template (Lemma 4.10's `t_accept`).
+    pub fn is_accepting(&self) -> bool {
+        self.target == Target::Accept
+    }
+
+    /// Bits remaining until this template's state transitions: for a proper
+    /// state, `‖op(q)‖ - n`; for `accept`/`reject`, 1 (they step every bit).
+    pub fn remaining(&self, aut: &Automaton) -> usize {
+        match self.target {
+            Target::State(q) => aut.op_size(q) - self.buf_len,
+            Target::Accept | Target::Reject => 1,
+        }
+    }
+
+    /// The successor templates after consuming `k` bits, `k ≤ remaining`.
+    /// Deterministic while buffering; branches over transition targets at
+    /// the boundary.
+    pub fn successors(&self, aut: &Automaton, k: usize) -> Vec<Template> {
+        debug_assert!(k >= 1);
+        match self.target {
+            Target::Accept | Target::Reject => vec![Template::reject()],
+            Target::State(q) => {
+                let rem = aut.op_size(q) - self.buf_len;
+                debug_assert!(k <= rem, "leap {k} exceeds remaining {rem}");
+                if k < rem {
+                    vec![Template { target: self.target, buf_len: self.buf_len + k }]
+                } else {
+                    aut.state(q)
+                        .trans
+                        .targets()
+                        .into_iter()
+                        .map(|t| Template { target: t, buf_len: 0 })
+                        .collect()
+                }
+            }
+        }
+    }
+
+    /// Renders the template with state names.
+    pub fn display(&self, aut: &Automaton) -> String {
+        format!("⟨{}, {}⟩", aut.target_name(self.target), self.buf_len)
+    }
+}
+
+/// A pair of templates, abstracting a pair of configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TemplatePair {
+    /// The left template.
+    pub left: Template,
+    /// The right template.
+    pub right: Template,
+}
+
+impl TemplatePair {
+    /// Constructs a pair.
+    pub fn new(left: Template, right: Template) -> TemplatePair {
+        TemplatePair { left, right }
+    }
+
+    /// Renders the pair with state names.
+    pub fn display(&self, aut: &Automaton) -> String {
+        format!("{} / {}", self.left.display(aut), self.right.display(aut))
+    }
+}
+
+/// The leap size `♯(c1, c2)` of Definition 5.3, which depends only on the
+/// templates. With `leaps` disabled this is the bit-by-bit step size 1.
+pub fn leap_size(aut: &Automaton, pair: &TemplatePair, leaps: bool) -> usize {
+    if !leaps {
+        return 1;
+    }
+    match (pair.left.target, pair.right.target) {
+        (Target::State(_), Target::State(_)) => {
+            pair.left.remaining(aut).min(pair.right.remaining(aut))
+        }
+        (Target::State(_), _) => pair.left.remaining(aut),
+        (_, Target::State(_)) => pair.right.remaining(aut),
+        _ => 1,
+    }
+}
+
+/// The successor pairs of `pair` after one leap (or one bit when `leaps` is
+/// false): the product of per-side successors.
+pub fn successor_pairs(aut: &Automaton, pair: &TemplatePair, leaps: bool) -> Vec<TemplatePair> {
+    let k = leap_size(aut, pair, leaps);
+    let ls = pair.left.successors(aut, k.min(pair.left.remaining(aut)));
+    let rs = pair.right.successors(aut, k.min(pair.right.remaining(aut)));
+    let mut out = Vec::with_capacity(ls.len() * rs.len());
+    for l in &ls {
+        for r in &rs {
+            out.push(TemplatePair::new(*l, *r));
+        }
+    }
+    out
+}
+
+/// All templates of an automaton (finite: `Σ_q ‖op(q)‖` plus two).
+pub fn all_templates(aut: &Automaton) -> Vec<Template> {
+    let mut out = Vec::new();
+    for q in aut.state_ids() {
+        for n in 0..aut.op_size(q) {
+            out.push(Template { target: Target::State(q), buf_len: n });
+        }
+    }
+    out.push(Template::accept());
+    out.push(Template::reject());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapfrog_p4a::ast::{Expr, Pattern};
+    use leapfrog_p4a::builder::Builder;
+
+    fn two_state() -> Automaton {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let g = b.header("g", 2);
+        let q1 = b.state("q1");
+        let q2 = b.state("q2");
+        b.define(
+            q1,
+            vec![b.extract(h)],
+            b.select(
+                vec![Expr::hdr(h)],
+                vec![
+                    (vec![Pattern::exact_str("0000")], Target::State(q2)),
+                    (vec![Pattern::Wildcard], Target::Accept),
+                ],
+            ),
+        );
+        b.define(q2, vec![b.extract(g)], b.goto(Target::Accept));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn remaining_and_successors_buffering() {
+        let aut = two_state();
+        let q1 = aut.state_by_name("q1").unwrap();
+        let t = Template { target: Target::State(q1), buf_len: 1 };
+        assert_eq!(t.remaining(&aut), 3);
+        assert_eq!(
+            t.successors(&aut, 1),
+            vec![Template { target: Target::State(q1), buf_len: 2 }]
+        );
+    }
+
+    #[test]
+    fn successors_at_boundary_branch_over_targets() {
+        let aut = two_state();
+        let q1 = aut.state_by_name("q1").unwrap();
+        let q2 = aut.state_by_name("q2").unwrap();
+        let t = Template { target: Target::State(q1), buf_len: 3 };
+        let succs = t.successors(&aut, 1);
+        assert!(succs.contains(&Template::start(q2)));
+        assert!(succs.contains(&Template::accept()));
+        assert_eq!(succs.len(), 2); // exhaustive select: no reject successor
+    }
+
+    #[test]
+    fn accept_steps_to_reject() {
+        let aut = two_state();
+        assert_eq!(Template::accept().successors(&aut, 1), vec![Template::reject()]);
+        assert_eq!(Template::reject().successors(&aut, 1), vec![Template::reject()]);
+    }
+
+    #[test]
+    fn leap_size_cases() {
+        let aut = two_state();
+        let q1 = aut.state_by_name("q1").unwrap();
+        let q2 = aut.state_by_name("q2").unwrap();
+        let s = |q, n| Template { target: Target::State(q), buf_len: n };
+        // Both states: min of remainders.
+        let p = TemplatePair::new(s(q1, 1), s(q2, 0));
+        assert_eq!(leap_size(&aut, &p, true), 2); // min(3, 2)
+        // One state, one accept: the state's remainder.
+        let p = TemplatePair::new(s(q1, 0), Template::accept());
+        assert_eq!(leap_size(&aut, &p, true), 4);
+        // Both pseudo-states: 1.
+        let p = TemplatePair::new(Template::accept(), Template::reject());
+        assert_eq!(leap_size(&aut, &p, true), 1);
+        // Leaps disabled: always 1.
+        let p = TemplatePair::new(s(q1, 0), s(q2, 0));
+        assert_eq!(leap_size(&aut, &p, false), 1);
+    }
+
+    #[test]
+    fn successor_pairs_product() {
+        let aut = two_state();
+        let q1 = aut.state_by_name("q1").unwrap();
+        let s = |q, n| Template { target: Target::State(q), buf_len: n };
+        // Left q1 with 3 buffered (1 remaining), right accept: leap 1;
+        // left branches two ways, right goes to reject.
+        let p = TemplatePair::new(s(q1, 3), Template::accept());
+        let succs = successor_pairs(&aut, &p, true);
+        assert_eq!(succs.len(), 2);
+        assert!(succs.iter().all(|sp| sp.right == Template::reject()));
+    }
+
+    #[test]
+    fn all_templates_counts() {
+        let aut = two_state();
+        // q1 has 4 templates (n = 0..3), q2 has 2, plus accept and reject.
+        assert_eq!(all_templates(&aut).len(), 4 + 2 + 2);
+    }
+}

@@ -1,0 +1,424 @@
+//! Abstract syntax of P4 automata (paper, Figure 2).
+
+use leapfrog_bitvec::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// A header identifier: an index into an automaton's header table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HeaderId(pub u32);
+
+/// A state identifier: an index into an automaton's state table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StateId(pub u32);
+
+/// A transition target: a proper state, or the distinguished `accept` /
+/// `reject` pseudo-states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Target {
+    /// A proper state `q ∈ Q`.
+    State(StateId),
+    /// The accepting pseudo-state.
+    Accept,
+    /// The rejecting pseudo-state.
+    Reject,
+}
+
+impl Target {
+    /// Whether this is a proper state.
+    pub fn is_state(self) -> bool {
+        matches!(self, Target::State(_))
+    }
+}
+
+/// A bitvector expression over the store (paper, Figure 2: `e`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// The contents of a header.
+    Hdr(HeaderId),
+    /// A bitvector literal.
+    Lit(BitVec),
+    /// The paper's clamped slice `e[n1:n2]` (inclusive, indices clamped to
+    /// the operand width minus one; see Definition 3.1).
+    Slice(Box<Expr>, usize, usize),
+    /// Concatenation `e1 ++ e2`.
+    Concat(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A header reference.
+    pub fn hdr(h: HeaderId) -> Expr {
+        Expr::Hdr(h)
+    }
+
+    /// A literal.
+    pub fn lit(bv: BitVec) -> Expr {
+        Expr::Lit(bv)
+    }
+
+    /// A literal parsed from a binary string (for tests and examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a binary string.
+    pub fn lit_str(s: &str) -> Expr {
+        Expr::Lit(s.parse().expect("invalid binary literal"))
+    }
+
+    /// The clamped slice `e[n1:n2]`.
+    pub fn slice(e: Expr, n1: usize, n2: usize) -> Expr {
+        Expr::Slice(Box::new(e), n1, n2)
+    }
+
+    /// Concatenation.
+    pub fn concat(a: Expr, b: Expr) -> Expr {
+        Expr::Concat(Box::new(a), Box::new(b))
+    }
+
+    /// Concatenates several expressions left to right.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty iterator.
+    pub fn concat_all(parts: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut it = parts.into_iter();
+        let first = it.next().expect("concat_all needs at least one expression");
+        it.fold(first, Expr::concat)
+    }
+
+    /// The static width of the expression given header sizes (the typing
+    /// judgement `⊢E e : n`). Clamped slices resolve statically because all
+    /// widths are static.
+    pub fn width(&self, aut: &Automaton) -> usize {
+        match self {
+            Expr::Hdr(h) => aut.header_size(*h),
+            Expr::Lit(bv) => bv.len(),
+            Expr::Slice(e, n1, n2) => clamped_slice_width(e.width(aut), *n1, *n2),
+            Expr::Concat(a, b) => a.width(aut) + b.width(aut),
+        }
+    }
+
+    /// All headers mentioned by the expression.
+    pub fn headers(&self, out: &mut Vec<HeaderId>) {
+        match self {
+            Expr::Hdr(h) => {
+                if !out.contains(h) {
+                    out.push(*h);
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Slice(e, _, _) => e.headers(out),
+            Expr::Concat(a, b) => {
+                a.headers(out);
+                b.headers(out);
+            }
+        }
+    }
+}
+
+/// Computes the width of the clamped slice `w[n1:n2]` for an operand of
+/// static width `w_len`: from `min(n1, w_len-1)` to `min(n2, w_len-1)`
+/// inclusive, empty if the operand is empty or the range is reversed.
+pub fn clamped_slice_width(w_len: usize, n1: usize, n2: usize) -> usize {
+    if w_len == 0 {
+        return 0;
+    }
+    let lo = n1.min(w_len - 1);
+    let hi = n2.min(w_len - 1);
+    if lo > hi {
+        0
+    } else {
+        hi - lo + 1
+    }
+}
+
+/// Resolves the clamped slice `[n1:n2]` on a width-`w_len` operand to an
+/// exact `(start, len)` pair.
+pub fn clamped_slice_bounds(w_len: usize, n1: usize, n2: usize) -> (usize, usize) {
+    if w_len == 0 {
+        return (0, 0);
+    }
+    let lo = n1.min(w_len - 1);
+    let hi = n2.min(w_len - 1);
+    if lo > hi {
+        (lo, 0)
+    } else {
+        (lo, hi - lo + 1)
+    }
+}
+
+/// A select pattern (paper, Figure 2: `pat`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Exact bitvector match.
+    Exact(BitVec),
+    /// Wildcard `_`.
+    Wildcard,
+}
+
+impl Pattern {
+    /// An exact pattern from a binary string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a binary string.
+    pub fn exact_str(s: &str) -> Pattern {
+        Pattern::Exact(s.parse().expect("invalid binary literal"))
+    }
+
+    /// Whether `value` matches the pattern (`JpatK_P`, Definition 3.3).
+    pub fn matches(&self, value: &BitVec) -> bool {
+        match self {
+            Pattern::Exact(bv) => bv == value,
+            Pattern::Wildcard => true,
+        }
+    }
+}
+
+/// A single operation (paper, Figure 2: `op`). Operation blocks are
+/// represented as `Vec<Op>` rather than nested sequencing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `extract(h)`: move `sz(h)` bits from the front of the packet into
+    /// `h`. (The surface syntax `extract(h, n)` checks `n = sz(h)`.)
+    Extract(HeaderId),
+    /// `h := e`: assign the value of `e` to `h`.
+    Assign(HeaderId, Expr),
+}
+
+/// One arm of a `select` statement: a tuple of patterns and a target.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Case {
+    /// Patterns, one per scrutinee expression.
+    pub pats: Vec<Pattern>,
+    /// Where to go when all patterns match.
+    pub target: Target,
+}
+
+/// A transition block (paper, Figure 2: `tz`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transition {
+    /// Unconditional transition.
+    Goto(Target),
+    /// First-match select over a tuple of expressions; falls through to
+    /// `reject` when no case matches (Definition 3.3).
+    Select {
+        /// The scrutinee expressions.
+        exprs: Vec<Expr>,
+        /// The arms, tried in order.
+        cases: Vec<Case>,
+    },
+}
+
+impl Transition {
+    /// All targets this transition can reach (including the implicit
+    /// `reject` fall-through of `select`).
+    pub fn targets(&self) -> Vec<Target> {
+        match self {
+            Transition::Goto(t) => vec![*t],
+            Transition::Select { cases, .. } => {
+                let mut out: Vec<Target> = Vec::new();
+                for c in cases {
+                    if !out.contains(&c.target) {
+                        out.push(c.target);
+                    }
+                }
+                // A select with a non-exhaustive case list can fall through.
+                if !out.contains(&Target::Reject) && !self.is_exhaustive() {
+                    out.push(Target::Reject);
+                }
+                out
+            }
+        }
+    }
+
+    /// Whether the case list trivially covers every store (last case all
+    /// wildcards). This is a syntactic under-approximation used only to
+    /// avoid listing an unreachable `reject` fall-through.
+    fn is_exhaustive(&self) -> bool {
+        match self {
+            Transition::Goto(_) => true,
+            Transition::Select { cases, .. } => cases
+                .last()
+                .is_some_and(|c| c.pats.iter().all(|p| matches!(p, Pattern::Wildcard))),
+        }
+    }
+}
+
+/// A state definition: an operation block followed by a transition block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateDef {
+    /// The state's name (for diagnostics and printing).
+    pub name: String,
+    /// The operation block `op(q)`.
+    pub ops: Vec<Op>,
+    /// The transition block `tz(q)`.
+    pub trans: Transition,
+}
+
+/// A header declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderDef {
+    /// The header's name.
+    pub name: String,
+    /// Its size `sz(h)` in bits.
+    pub size: usize,
+}
+
+/// A P4 automaton: header table plus state table (paper, Figure 2: `aut`).
+///
+/// Construct via [`crate::builder::Builder`] or [`crate::surface::parse`];
+/// both validate the automaton (`⊢A`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Automaton {
+    pub(crate) headers: Vec<HeaderDef>,
+    pub(crate) states: Vec<StateDef>,
+}
+
+impl Automaton {
+    /// The number of proper states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The number of headers.
+    pub fn num_headers(&self) -> usize {
+        self.headers.len()
+    }
+
+    /// Iterates over state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// Iterates over header ids.
+    pub fn header_ids(&self) -> impl Iterator<Item = HeaderId> {
+        (0..self.headers.len() as u32).map(HeaderId)
+    }
+
+    /// The definition of state `q`.
+    pub fn state(&self, q: StateId) -> &StateDef {
+        &self.states[q.0 as usize]
+    }
+
+    /// The name of state `q`.
+    pub fn state_name(&self, q: StateId) -> &str {
+        &self.states[q.0 as usize].name
+    }
+
+    /// Looks a state up by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states.iter().position(|s| s.name == name).map(|i| StateId(i as u32))
+    }
+
+    /// The size `sz(h)` of header `h`.
+    pub fn header_size(&self, h: HeaderId) -> usize {
+        self.headers[h.0 as usize].size
+    }
+
+    /// The name of header `h`.
+    pub fn header_name(&self, h: HeaderId) -> &str {
+        &self.headers[h.0 as usize].name
+    }
+
+    /// Looks a header up by name.
+    pub fn header_by_name(&self, name: &str) -> Option<HeaderId> {
+        self.headers.iter().position(|h| h.name == name).map(|i| HeaderId(i as u32))
+    }
+
+    /// `‖op(q)‖`: the number of packet bits state `q` consumes
+    /// (Definition 3.2).
+    pub fn op_size(&self, q: StateId) -> usize {
+        self.states[q.0 as usize]
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Extract(h) => self.header_size(*h),
+                Op::Assign(_, _) => 0,
+            })
+            .sum()
+    }
+
+    /// Human-readable name for a target.
+    pub fn target_name(&self, t: Target) -> String {
+        match t {
+            Target::State(q) => self.state_name(q).to_string(),
+            Target::Accept => "accept".to_string(),
+            Target::Reject => "reject".to_string(),
+        }
+    }
+
+    /// The total number of header bits (the paper's "Total bits" metric is
+    /// this summed over both parsers of a benchmark).
+    pub fn total_header_bits(&self) -> usize {
+        self.headers.iter().map(|h| h.size).sum()
+    }
+
+    /// The total number of bits branched on in `select` statements (the
+    /// paper's "Branched bits" metric).
+    pub fn branched_bits(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| match &s.trans {
+                Transition::Goto(_) => 0,
+                Transition::Select { exprs, .. } => {
+                    exprs.iter().map(|e| e.width_in(self)).sum::<usize>()
+                }
+            })
+            .sum()
+    }
+}
+
+impl Expr {
+    fn width_in(&self, aut: &Automaton) -> usize {
+        self.width(aut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamped_slice_width_cases() {
+        assert_eq!(clamped_slice_width(8, 2, 5), 4);
+        assert_eq!(clamped_slice_width(8, 0, 100), 8);
+        assert_eq!(clamped_slice_width(8, 100, 100), 1); // clamps to bit 7
+        assert_eq!(clamped_slice_width(8, 7, 2), 0); // reversed
+        assert_eq!(clamped_slice_width(0, 0, 3), 0);
+    }
+
+    #[test]
+    fn clamped_slice_bounds_cases() {
+        assert_eq!(clamped_slice_bounds(8, 2, 5), (2, 4));
+        assert_eq!(clamped_slice_bounds(8, 0, 100), (0, 8));
+        assert_eq!(clamped_slice_bounds(4, 9, 9), (3, 1));
+        assert_eq!(clamped_slice_bounds(4, 3, 1), (3, 0));
+    }
+
+    #[test]
+    fn pattern_matching() {
+        let p = Pattern::exact_str("101");
+        assert!(p.matches(&"101".parse().unwrap()));
+        assert!(!p.matches(&"100".parse().unwrap()));
+        assert!(Pattern::Wildcard.matches(&"0110".parse().unwrap()));
+    }
+
+    #[test]
+    fn transition_targets_include_fallthrough() {
+        let t = Transition::Select {
+            exprs: vec![],
+            cases: vec![Case { pats: vec![Pattern::exact_str("1")], target: Target::Accept }],
+        };
+        let ts = t.targets();
+        assert!(ts.contains(&Target::Accept));
+        assert!(ts.contains(&Target::Reject));
+        let exhaustive = Transition::Select {
+            exprs: vec![],
+            cases: vec![
+                Case { pats: vec![Pattern::exact_str("1")], target: Target::Accept },
+                Case { pats: vec![Pattern::Wildcard], target: Target::Accept },
+            ],
+        };
+        assert_eq!(exhaustive.targets(), vec![Target::Accept]);
+    }
+}

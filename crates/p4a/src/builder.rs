@@ -1,0 +1,193 @@
+//! A fluent, forward-reference-friendly constructor for [`Automaton`]s.
+
+use std::collections::HashMap;
+
+use leapfrog_bitvec::BitVec;
+
+use crate::ast::{
+    Automaton, Case, Expr, HeaderDef, HeaderId, Op, Pattern, StateDef, StateId, Target,
+    Transition,
+};
+use crate::validate::{self, ValidationError};
+
+/// A declared state: its name, and its body once defined.
+type PendingState = (String, Option<(Vec<Op>, Transition)>);
+
+/// Builds an [`Automaton`] incrementally, allowing states to be referenced
+/// before they are defined.
+///
+/// # Examples
+///
+/// ```
+/// use leapfrog_p4a::builder::Builder;
+/// use leapfrog_p4a::ast::Target;
+///
+/// let mut b = Builder::new();
+/// let h = b.header("h", 8);
+/// let q = b.state("q");
+/// b.define(q, vec![b.extract(h)], b.goto(Target::Accept));
+/// let aut = b.build().unwrap();
+/// assert_eq!(aut.op_size(q), 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct Builder {
+    headers: Vec<HeaderDef>,
+    header_index: HashMap<String, HeaderId>,
+    states: Vec<PendingState>,
+    state_index: HashMap<String, StateId>,
+}
+
+impl Builder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or retrieves) a header with the given name and size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the header was previously declared with a different size;
+    /// sizes are part of a parser's interface and silently changing one is
+    /// always a bug in the caller.
+    pub fn header(&mut self, name: impl Into<String>, size: usize) -> HeaderId {
+        let name = name.into();
+        if let Some(&h) = self.header_index.get(&name) {
+            assert_eq!(
+                self.headers[h.0 as usize].size, size,
+                "header {name} redeclared with a different size"
+            );
+            return h;
+        }
+        let h = HeaderId(self.headers.len() as u32);
+        self.headers.push(HeaderDef { name: name.clone(), size });
+        self.header_index.insert(name, h);
+        h
+    }
+
+    /// Declares (or retrieves) a state by name; it may be defined later.
+    pub fn state(&mut self, name: impl Into<String>) -> StateId {
+        let name = name.into();
+        if let Some(&q) = self.state_index.get(&name) {
+            return q;
+        }
+        let q = StateId(self.states.len() as u32);
+        self.states.push((name.clone(), None));
+        self.state_index.insert(name, q);
+        q
+    }
+
+    /// Defines the body of a previously declared state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is already defined.
+    pub fn define(&mut self, q: StateId, ops: Vec<Op>, trans: Transition) {
+        let slot = &mut self.states[q.0 as usize];
+        assert!(slot.1.is_none(), "state {} defined twice", slot.0);
+        slot.1 = Some((ops, trans));
+    }
+
+    /// Convenience: an `extract(h)` operation.
+    pub fn extract(&self, h: HeaderId) -> Op {
+        Op::Extract(h)
+    }
+
+    /// Convenience: an assignment `h := e`.
+    pub fn assign(&self, h: HeaderId, e: Expr) -> Op {
+        Op::Assign(h, e)
+    }
+
+    /// Convenience: a `goto` transition.
+    pub fn goto(&self, t: Target) -> Transition {
+        Transition::Goto(t)
+    }
+
+    /// Convenience: a `select` transition from `(patterns, target)` pairs.
+    pub fn select(&self, exprs: Vec<Expr>, cases: Vec<(Vec<Pattern>, Target)>) -> Transition {
+        Transition::Select {
+            exprs,
+            cases: cases.into_iter().map(|(pats, target)| Case { pats, target }).collect(),
+        }
+    }
+
+    /// Convenience: a `select` on a single expression with exact bit-string
+    /// patterns given as `(literal, target)`; a `"_"` literal is a wildcard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal is not a binary string or `"_"`.
+    pub fn select1(&self, expr: Expr, cases: Vec<(&str, Target)>) -> Transition {
+        Transition::Select {
+            exprs: vec![expr],
+            cases: cases
+                .into_iter()
+                .map(|(lit, target)| Case {
+                    pats: vec![if lit == "_" {
+                        Pattern::Wildcard
+                    } else {
+                        Pattern::Exact(lit.parse::<BitVec>().expect("invalid binary literal"))
+                    }],
+                    target,
+                })
+                .collect(),
+        }
+    }
+
+    /// Validates and produces the automaton.
+    pub fn build(self) -> Result<Automaton, ValidationError> {
+        let mut states = Vec::with_capacity(self.states.len());
+        for (name, def) in self.states {
+            match def {
+                Some((ops, trans)) => states.push(StateDef { name, ops, trans }),
+                None => return Err(ValidationError::UndefinedState(name)),
+            }
+        }
+        let aut = Automaton { headers: self.headers, states };
+        validate::validate(&aut)?;
+        Ok(aut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let q1 = b.state("q1");
+        let q2 = b.state("q2"); // referenced before definition
+        b.define(q1, vec![b.extract(h)], b.goto(Target::State(q2)));
+        b.define(q2, vec![b.extract(h)], b.goto(Target::Accept));
+        let aut = b.build().unwrap();
+        assert_eq!(aut.num_states(), 2);
+        assert_eq!(aut.state_by_name("q2"), Some(q2));
+    }
+
+    #[test]
+    fn undefined_state_is_an_error() {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let q1 = b.state("q1");
+        let q2 = b.state("dangling");
+        b.define(q1, vec![b.extract(h)], b.goto(Target::State(q2)));
+        assert!(matches!(b.build(), Err(ValidationError::UndefinedState(n)) if n == "dangling"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different size")]
+    fn header_size_conflict_panics() {
+        let mut b = Builder::new();
+        b.header("h", 4);
+        b.header("h", 8);
+    }
+
+    #[test]
+    fn header_and_state_are_idempotent() {
+        let mut b = Builder::new();
+        assert_eq!(b.header("h", 4), b.header("h", 4));
+        assert_eq!(b.state("q"), b.state("q"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Disjoint sums of P4 automata (paper, §4: "One can compare configurations
+//! in two different P4As by taking their disjoint sum, renaming states and
+//! headers as necessary").
+
+use crate::ast::{Automaton, Case, Expr, HeaderId, Op, StateId, Target, Transition};
+
+/// The result of summing two automata: the combined automaton plus the
+/// injections from each operand's identifiers.
+#[derive(Debug, Clone)]
+pub struct Sum {
+    /// The combined automaton.
+    pub automaton: Automaton,
+    /// Maps a left-operand state to its id in the sum.
+    pub left_states: Vec<StateId>,
+    /// Maps a right-operand state to its id in the sum.
+    pub right_states: Vec<StateId>,
+    /// Maps a left-operand header to its id in the sum.
+    pub left_headers: Vec<HeaderId>,
+    /// Maps a right-operand header to its id in the sum.
+    pub right_headers: Vec<HeaderId>,
+}
+
+impl Sum {
+    /// The sum id of a left state.
+    pub fn left_state(&self, q: StateId) -> StateId {
+        self.left_states[q.0 as usize]
+    }
+
+    /// The sum id of a right state.
+    pub fn right_state(&self, q: StateId) -> StateId {
+        self.right_states[q.0 as usize]
+    }
+
+    /// Whether a sum state originates from the left operand.
+    pub fn is_left_state(&self, q: StateId) -> bool {
+        self.left_states.contains(&q)
+    }
+}
+
+/// Builds the disjoint sum of `left` and `right`. States and headers are
+/// prefixed `l.` and `r.` to keep names unique.
+pub fn sum(left: &Automaton, right: &Automaton) -> Sum {
+    let mut headers = Vec::with_capacity(left.num_headers() + right.num_headers());
+    let left_headers: Vec<HeaderId> = left
+        .header_ids()
+        .map(|h| {
+            let id = HeaderId(headers.len() as u32);
+            headers.push(crate::ast::HeaderDef {
+                name: format!("l.{}", left.header_name(h)),
+                size: left.header_size(h),
+            });
+            id
+        })
+        .collect();
+    let right_headers: Vec<HeaderId> = right
+        .header_ids()
+        .map(|h| {
+            let id = HeaderId(headers.len() as u32);
+            headers.push(crate::ast::HeaderDef {
+                name: format!("r.{}", right.header_name(h)),
+                size: right.header_size(h),
+            });
+            id
+        })
+        .collect();
+
+    let left_states: Vec<StateId> =
+        left.state_ids().map(|q| StateId(q.0)).collect();
+    let right_states: Vec<StateId> =
+        right.state_ids().map(|q| StateId(q.0 + left.num_states() as u32)).collect();
+
+    let mut states = Vec::with_capacity(left.num_states() + right.num_states());
+    for q in left.state_ids() {
+        states.push(remap_state(left, q, "l.", &left_headers, &left_states));
+    }
+    for q in right.state_ids() {
+        states.push(remap_state(right, q, "r.", &right_headers, &right_states));
+    }
+
+    Sum {
+        automaton: Automaton { headers, states },
+        left_states,
+        right_states,
+        left_headers,
+        right_headers,
+    }
+}
+
+fn remap_state(
+    aut: &Automaton,
+    q: StateId,
+    prefix: &str,
+    hmap: &[HeaderId],
+    smap: &[StateId],
+) -> crate::ast::StateDef {
+    let st = aut.state(q);
+    let remap_target = |t: Target| match t {
+        Target::State(s) => Target::State(smap[s.0 as usize]),
+        other => other,
+    };
+    crate::ast::StateDef {
+        name: format!("{prefix}{}", st.name),
+        ops: st
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::Extract(h) => Op::Extract(hmap[h.0 as usize]),
+                Op::Assign(h, e) => Op::Assign(hmap[h.0 as usize], remap_expr(e, hmap)),
+            })
+            .collect(),
+        trans: match &st.trans {
+            Transition::Goto(t) => Transition::Goto(remap_target(*t)),
+            Transition::Select { exprs, cases } => Transition::Select {
+                exprs: exprs.iter().map(|e| remap_expr(e, hmap)).collect(),
+                cases: cases
+                    .iter()
+                    .map(|c| Case { pats: c.pats.clone(), target: remap_target(c.target) })
+                    .collect(),
+            },
+        },
+    }
+}
+
+fn remap_expr(e: &Expr, hmap: &[HeaderId]) -> Expr {
+    match e {
+        Expr::Hdr(h) => Expr::Hdr(hmap[h.0 as usize]),
+        Expr::Lit(bv) => Expr::Lit(bv.clone()),
+        Expr::Slice(inner, n1, n2) => Expr::slice(remap_expr(inner, hmap), *n1, *n2),
+        Expr::Concat(a, b) => Expr::concat(remap_expr(a, hmap), remap_expr(b, hmap)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::semantics::Config;
+    use leapfrog_bitvec::BitVec;
+
+    fn tiny(name_prefix: &str, accept_on: &str) -> Automaton {
+        let mut b = Builder::new();
+        let h = b.header(format!("{name_prefix}h"), 2);
+        let q = b.state(format!("{name_prefix}q"));
+        b.define(
+            q,
+            vec![b.extract(h)],
+            b.select1(Expr::hdr(h), vec![(accept_on, Target::Accept)]),
+        );
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sum_preserves_both_languages() {
+        let a = tiny("a_", "10");
+        let b = tiny("b_", "01");
+        let s = sum(&a, &b);
+        let la = s.left_state(StateId(0));
+        let rb = s.right_state(StateId(0));
+        let w10: BitVec = "10".parse().unwrap();
+        let w01: BitVec = "01".parse().unwrap();
+        assert!(Config::initial(&s.automaton, la).accepts(&s.automaton, &w10));
+        assert!(!Config::initial(&s.automaton, la).accepts(&s.automaton, &w01));
+        assert!(Config::initial(&s.automaton, rb).accepts(&s.automaton, &w01));
+        assert!(!Config::initial(&s.automaton, rb).accepts(&s.automaton, &w10));
+    }
+
+    #[test]
+    fn sum_renames_and_counts() {
+        let a = tiny("a_", "10");
+        let b = tiny("b_", "01");
+        let s = sum(&a, &b);
+        assert_eq!(s.automaton.num_states(), 2);
+        assert_eq!(s.automaton.num_headers(), 2);
+        assert_eq!(s.automaton.state_name(s.left_state(StateId(0))), "l.a_q");
+        assert_eq!(s.automaton.state_name(s.right_state(StateId(0))), "r.b_q");
+        assert!(s.is_left_state(s.left_state(StateId(0))));
+        assert!(!s.is_left_state(s.right_state(StateId(0))));
+    }
+
+    #[test]
+    fn sum_validates() {
+        let a = tiny("a_", "10");
+        let b = tiny("b_", "01");
+        let s = sum(&a, &b);
+        assert!(crate::validate::validate(&s.automaton).is_ok());
+    }
+}

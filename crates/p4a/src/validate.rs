@@ -1,0 +1,272 @@
+//! The typing judgement `⊢A` (paper, §3.2): well-formedness of automata.
+//!
+//! Validation guarantees exactly the properties the semantics and the
+//! equivalence checker rely on:
+//!
+//! * every state extracts at least one bit (`‖op(q)‖ > 0`), which makes the
+//!   step function total and the parsing process terminating (footnote 4);
+//! * every assignment's right-hand side has the assigned header's width
+//!   (`⊢O`);
+//! * every `select` case has one pattern per scrutinee, and exact patterns
+//!   have the scrutinee's width (`⊢T`) — so `JtzK_T` is always defined;
+//! * all referenced headers and states exist.
+
+use std::fmt;
+
+use crate::ast::{Automaton, HeaderId, Op, Pattern, StateId, Transition};
+#[cfg(test)]
+use crate::ast::Expr;
+
+/// A violation of the `⊢A` judgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A state was referenced but never defined.
+    UndefinedState(String),
+    /// A state consumes no packet bits.
+    NoExtract(String),
+    /// An assignment's right-hand side width differs from the header size.
+    AssignWidthMismatch {
+        /// State containing the assignment.
+        state: String,
+        /// Assigned header.
+        header: String,
+        /// Header size.
+        expected: usize,
+        /// Right-hand side width.
+        found: usize,
+    },
+    /// A select case has the wrong number of patterns.
+    CaseArityMismatch {
+        /// State containing the select.
+        state: String,
+        /// Number of scrutinee expressions.
+        exprs: usize,
+        /// Number of patterns in the offending case.
+        pats: usize,
+    },
+    /// An exact pattern's width differs from its scrutinee's width.
+    PatternWidthMismatch {
+        /// State containing the select.
+        state: String,
+        /// Scrutinee width.
+        expected: usize,
+        /// Pattern width.
+        found: usize,
+    },
+    /// A select scrutinee has width zero (cannot branch on nothing).
+    EmptyScrutinee(String),
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::UndefinedState(n) => write!(f, "state {n} is never defined"),
+            ValidationError::NoExtract(n) => {
+                write!(f, "state {n} extracts no bits; every state must make progress")
+            }
+            ValidationError::AssignWidthMismatch { state, header, expected, found } => write!(
+                f,
+                "in state {state}: assignment to {header} has width {found}, expected {expected}"
+            ),
+            ValidationError::CaseArityMismatch { state, exprs, pats } => write!(
+                f,
+                "in state {state}: select case has {pats} patterns for {exprs} scrutinees"
+            ),
+            ValidationError::PatternWidthMismatch { state, expected, found } => write!(
+                f,
+                "in state {state}: exact pattern has width {found}, scrutinee has width {expected}"
+            ),
+            ValidationError::EmptyScrutinee(n) => {
+                write!(f, "in state {n}: select scrutinee has width zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks `⊢A aut`.
+pub fn validate(aut: &Automaton) -> Result<(), ValidationError> {
+    for q in aut.state_ids() {
+        validate_state(aut, q)?;
+    }
+    Ok(())
+}
+
+fn validate_state(aut: &Automaton, q: StateId) -> Result<(), ValidationError> {
+    let st = aut.state(q);
+    if aut.op_size(q) == 0 {
+        return Err(ValidationError::NoExtract(st.name.clone()));
+    }
+    for op in &st.ops {
+        if let Op::Assign(h, e) = op {
+            let expected = aut.header_size(*h);
+            let found = e.width(aut);
+            if expected != found {
+                return Err(ValidationError::AssignWidthMismatch {
+                    state: st.name.clone(),
+                    header: aut.header_name(*h).to_string(),
+                    expected,
+                    found,
+                });
+            }
+        }
+    }
+    if let Transition::Select { exprs, cases } = &st.trans {
+        let widths: Vec<usize> = exprs.iter().map(|e| e.width(aut)).collect();
+        for (i, w) in widths.iter().enumerate() {
+            if *w == 0 {
+                let _ = i;
+                return Err(ValidationError::EmptyScrutinee(st.name.clone()));
+            }
+        }
+        for case in cases {
+            if case.pats.len() != exprs.len() {
+                return Err(ValidationError::CaseArityMismatch {
+                    state: st.name.clone(),
+                    exprs: exprs.len(),
+                    pats: case.pats.len(),
+                });
+            }
+            for (pat, w) in case.pats.iter().zip(&widths) {
+                if let Pattern::Exact(bv) = pat {
+                    if bv.len() != *w {
+                        return Err(ValidationError::PatternWidthMismatch {
+                            state: st.name.clone(),
+                            expected: *w,
+                            found: bv.len(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns all headers read or written by the automaton's states — useful
+/// for dead-header diagnostics in tooling.
+pub fn used_headers(aut: &Automaton) -> Vec<HeaderId> {
+    let mut out = Vec::new();
+    for q in aut.state_ids() {
+        let st = aut.state(q);
+        for op in &st.ops {
+            match op {
+                Op::Extract(h) => {
+                    if !out.contains(h) {
+                        out.push(*h);
+                    }
+                }
+                Op::Assign(h, e) => {
+                    if !out.contains(h) {
+                        out.push(*h);
+                    }
+                    e.headers(&mut out);
+                }
+            }
+        }
+        if let Transition::Select { exprs, .. } = &st.trans {
+            for e in exprs {
+                e.headers(&mut out);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Target;
+    use crate::builder::Builder;
+
+    #[test]
+    fn rejects_state_without_extract() {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let q = b.state("q");
+        b.define(q, vec![b.assign(h, Expr::lit_str("0000"))], b.goto(Target::Accept));
+        assert!(matches!(b.build(), Err(ValidationError::NoExtract(_))));
+    }
+
+    #[test]
+    fn rejects_assign_width_mismatch() {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let q = b.state("q");
+        b.define(
+            q,
+            vec![b.extract(h), b.assign(h, Expr::lit_str("000"))],
+            b.goto(Target::Accept),
+        );
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::AssignWidthMismatch { expected: 4, found: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_pattern_width_mismatch() {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let q = b.state("q");
+        b.define(
+            q,
+            vec![b.extract(h)],
+            b.select1(Expr::hdr(h), vec![("101", Target::Accept)]),
+        );
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::PatternWidthMismatch { expected: 4, found: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_case_arity_mismatch() {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let q = b.state("q");
+        b.define(
+            q,
+            vec![b.extract(h)],
+            b.select(
+                vec![Expr::hdr(h), Expr::hdr(h)],
+                vec![(vec![Pattern::Wildcard], Target::Accept)],
+            ),
+        );
+        assert!(matches!(b.build(), Err(ValidationError::CaseArityMismatch { .. })));
+    }
+
+    #[test]
+    fn accepts_wellformed_and_clamped_slices() {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let q = b.state("q");
+        // Clamped slice h[2:100] has width 2; pattern must be 2 bits wide.
+        b.define(
+            q,
+            vec![b.extract(h)],
+            b.select1(Expr::slice(Expr::hdr(h), 2, 100), vec![("10", Target::Accept)]),
+        );
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn used_headers_reports_reads_and_writes() {
+        let mut b = Builder::new();
+        let a = b.header("a", 2);
+        let c = b.header("c", 2);
+        let dead = b.header("dead", 2);
+        let q = b.state("q");
+        b.define(
+            q,
+            vec![b.extract(a), b.assign(c, Expr::hdr(a))],
+            b.goto(Target::Accept),
+        );
+        let aut = b.build().unwrap();
+        let used = used_headers(&aut);
+        assert!(used.contains(&a));
+        assert!(used.contains(&c));
+        assert!(!used.contains(&dead));
+    }
+}

@@ -1,0 +1,958 @@
+//! A CDCL SAT solver, the decision-procedure substrate of the Leapfrog
+//! reproduction.
+//!
+//! The paper discharges bitvector verification conditions with off-the-shelf
+//! SMT solvers (Z3, CVC4, Boolector). Those are unavailable in this offline
+//! environment, so the reproduction ships its own solver stack: this crate
+//! implements conflict-driven clause learning with the standard modern
+//! machinery — two-watched-literal propagation, first-UIP conflict analysis
+//! with clause minimization, exponential VSIDS decision heuristics, phase
+//! saving, Luby restarts and activity-driven deletion of learnt clauses.
+//! [`leapfrog_smt`](https://docs.rs/leapfrog-smt) bit-blasts bitvector
+//! formulas down to CNF over this solver.
+//!
+//! The solver is incremental: clauses may be added between [`Solver::solve`]
+//! calls, and each call may pass *assumptions* (literals forced true for
+//! that call only), which is how the CEGAR loop in the SMT layer refines
+//! quantifier instantiations without rebuilding the CNF.
+//!
+//! # Examples
+//!
+//! ```
+//! use leapfrog_sat::{Solver, Lit, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a)]);
+//! assert_eq!(s.solve(&[]), SolveResult::Sat);
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `2 * var + sign` where `sign == 1` means negated.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// The literal of `v` with the given polarity (`true` = positive).
+    pub fn with_polarity(v: Var, polarity: bool) -> Lit {
+        if polarity {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complementary literal.
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.negate()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "-" } else { "" }, self.var().0)
+    }
+}
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it back with [`Solver::value`].
+    Sat,
+    /// The clause set (under the given assumptions) is unsatisfiable.
+    Unsat,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Assign {
+    Unassigned,
+    True,
+    False,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct ClauseRef(u32);
+
+const REASON_NONE: u32 = u32::MAX;
+const REASON_DECISION: u32 = u32::MAX - 1;
+
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+    deleted: bool,
+}
+
+/// Statistics accumulated across all `solve` calls.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolverStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<ClauseRef>>, // indexed by literal
+    assigns: Vec<Assign>,         // indexed by var
+    levels: Vec<u32>,             // indexed by var
+    reasons: Vec<u32>,            // indexed by var: clause index, REASON_NONE or REASON_DECISION
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    // VSIDS
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: Vec<Var>,
+    heap_index: Vec<i32>,
+    // Phase saving
+    saved_phase: Vec<bool>,
+    // Clause activity
+    cla_inc: f64,
+    // Status
+    unsat_at_root: bool,
+    n_learnt: usize,
+    max_learnt: f64,
+    stats: SolverStats,
+    /// Seen marks reused by conflict analysis.
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: Vec::new(),
+            heap_index: Vec::new(),
+            saved_phase: Vec::new(),
+            cla_inc: 1.0,
+            unsat_at_root: false,
+            n_learnt: 0,
+            max_learnt: 2000.0,
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(Assign::Unassigned);
+        self.levels.push(0);
+        self.reasons.push(REASON_NONE);
+        self.activity.push(0.0);
+        self.saved_phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.seen.push(false);
+        self.heap_index.push(-1);
+        self.heap_insert(v);
+        v
+    }
+
+    /// The number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// The number of live clauses (original + learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Solver statistics across all calls so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Adds a clause. May be called between `solve` calls; the solver
+    /// backtracks to the root level first. Returns `false` if the clause set
+    /// is now known unsatisfiable at the root.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.backtrack(0);
+        if self.unsat_at_root {
+            return false;
+        }
+        // Simplify: remove duplicates and false literals; detect tautology.
+        let mut cl: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!((l.var().0 as usize) < self.num_vars(), "literal uses unallocated var");
+            match self.lit_value(l) {
+                Some(true) => return true, // already satisfied at root
+                Some(false) => continue,
+                None => {}
+            }
+            if cl.contains(&l.negate()) {
+                return true; // tautology
+            }
+            if !cl.contains(&l) {
+                cl.push(l);
+            }
+        }
+        match cl.len() {
+            0 => {
+                self.unsat_at_root = true;
+                false
+            }
+            1 => {
+                self.enqueue(cl[0], REASON_NONE);
+                if self.propagate().is_some() {
+                    self.unsat_at_root = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(cl, false);
+                true
+            }
+        }
+    }
+
+    /// Solves under the given assumptions. Assumptions are literals that
+    /// must hold for this call only.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.backtrack(0);
+        if self.unsat_at_root {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.unsat_at_root = true;
+            return SolveResult::Unsat;
+        }
+
+        let mut conflicts_until_restart = luby(self.stats.restarts) * 100;
+
+        loop {
+            match self.propagate() {
+                Some(confl) => {
+                    self.stats.conflicts += 1;
+                    if self.decision_level() == 0 {
+                        self.unsat_at_root = true;
+                        return SolveResult::Unsat;
+                    }
+                    // If the conflict is at or below the assumption levels we
+                    // must be careful: analyze can still learn and backjump;
+                    // if it wants to backjump into assumption territory we
+                    // re-establish assumptions afterwards.
+                    let (learnt, backjump) = self.analyze(confl);
+                    self.backtrack(backjump);
+                    self.learn(learnt);
+                    self.decay_activities();
+                    conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
+                }
+                None => {
+                    if conflicts_until_restart == 0 {
+                        self.stats.restarts += 1;
+                        conflicts_until_restart = luby(self.stats.restarts) * 100;
+                        self.backtrack(0);
+                    }
+                    if self.n_learnt as f64 >= self.max_learnt {
+                        self.reduce_db();
+                        self.max_learnt *= 1.3;
+                    }
+                    // Re-establish assumptions that are not yet on the trail.
+                    let mut all_assumed = true;
+                    for &a in assumptions {
+                        match self.lit_value(a) {
+                            Some(true) => continue,
+                            Some(false) => return SolveResult::Unsat,
+                            None => {
+                                self.trail_lim.push(self.trail.len());
+                                self.enqueue_decision(a);
+                                all_assumed = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !all_assumed {
+                        continue;
+                    }
+                    // Pick a branching variable.
+                    match self.pick_branch() {
+                        Some(v) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            let phase = self.saved_phase[v.0 as usize];
+                            self.enqueue_decision(Lit::with_polarity(v, phase));
+                        }
+                        None => return SolveResult::Sat,
+                    }
+                }
+            }
+        }
+    }
+
+    /// The model value of `v` after a [`SolveResult::Sat`] answer, or `None`
+    /// if the variable was irrelevant (never assigned).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assigns[v.0 as usize] {
+            Assign::True => Some(true),
+            Assign::False => Some(false),
+            Assign::Unassigned => None,
+        }
+    }
+
+    /// The model value of a literal.
+    pub fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b != l.is_neg())
+    }
+
+    // ----- internals -----
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = ClauseRef(self.clauses.len() as u32);
+        self.watches[lits[0].negate().index()].push(cref);
+        self.watches[lits[1].negate().index()].push(cref);
+        self.clauses.push(Clause { lits, learnt, activity: self.cla_inc, deleted: false });
+        if learnt {
+            self.n_learnt += 1;
+        }
+        cref
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        debug_assert!(self.lit_value(l).is_none());
+        let v = l.var().0 as usize;
+        self.assigns[v] = if l.is_neg() { Assign::False } else { Assign::True };
+        self.levels[v] = self.decision_level();
+        self.reasons[v] = reason;
+        self.saved_phase[v] = !l.is_neg();
+        self.trail.push(l);
+    }
+
+    fn enqueue_decision(&mut self, l: Lit) {
+        self.enqueue(l, REASON_DECISION);
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut watch_list = std::mem::take(&mut self.watches[p.index()]);
+            let mut conflict = None;
+            while i < watch_list.len() {
+                let cref = watch_list[i];
+                let ci = cref.0 as usize;
+                if self.clauses[ci].deleted {
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                // Ensure lits[1] is the false literal (~p).
+                let not_p = p.negate();
+                {
+                    let lits = &mut self.clauses[ci].lits;
+                    if lits[0] == not_p {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.clauses[ci].lits[0];
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                for k in 2..self.clauses[ci].lits.len() {
+                    let lk = self.clauses[ci].lits[k];
+                    if self.lit_value(lk) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[lk.negate().index()].push(cref);
+                        watch_list.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == Some(false) {
+                    conflict = Some(cref);
+                    break;
+                }
+                self.enqueue(first, cref.0);
+                i += 1;
+            }
+            // Put back the (possibly shrunk) watch list, preserving any
+            // watchers appended while we processed (none are, since we only
+            // push to *other* literals' lists, but be defensive).
+            let appended = std::mem::take(&mut self.watches[p.index()]);
+            self.watches[p.index()] = watch_list;
+            self.watches[p.index()].extend(appended);
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut confl = confl.0;
+        let mut trail_idx = self.trail.len();
+        let level = self.decision_level();
+
+        loop {
+            // Bump clause activity.
+            {
+                let c = &mut self.clauses[confl as usize];
+                c.activity += self.cla_inc;
+            }
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
+            let start = if p.is_some() { 1 } else { 0 };
+            for &q in &lits[start..] {
+                let v = q.var().0 as usize;
+                if !self.seen[v] && self.levels[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.levels[v] >= level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail to resolve.
+            loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if self.seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.unwrap().var().0 as usize;
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = p.unwrap().negate();
+                break;
+            }
+            confl = self.reasons[pv];
+            debug_assert!(confl != REASON_NONE && confl != REASON_DECISION);
+        }
+
+        // Clause minimization: drop literals implied by the rest.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.redundant(l))
+            .collect();
+        let mut minimized = vec![learnt[0]];
+        minimized.extend(keep);
+
+        // Clear seen marks.
+        for l in &learnt {
+            self.seen[l.var().0 as usize] = false;
+        }
+
+        // Compute backjump level: second-highest level in clause.
+        let backjump = if minimized.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..minimized.len() {
+                if self.levels[minimized[i].var().0 as usize]
+                    > self.levels[minimized[max_i].var().0 as usize]
+                {
+                    max_i = i;
+                }
+            }
+            minimized.swap(1, max_i);
+            self.levels[minimized[1].var().0 as usize]
+        };
+        (minimized, backjump)
+    }
+
+    /// A literal is redundant in a learnt clause if its reason clause's
+    /// literals are all already in the clause (single-step minimization).
+    fn redundant(&self, l: Lit) -> bool {
+        let v = l.var().0 as usize;
+        let r = self.reasons[v];
+        if r == REASON_NONE || r == REASON_DECISION {
+            return false;
+        }
+        self.clauses[r as usize].lits.iter().skip(1).all(|&q| {
+            let qv = q.var().0 as usize;
+            self.seen[qv] || self.levels[qv] == 0
+        })
+    }
+
+    fn learn(&mut self, clause: Vec<Lit>) {
+        let asserting = clause[0];
+        if clause.len() == 1 {
+            self.enqueue(asserting, REASON_NONE);
+        } else {
+            let cref = self.attach_clause(clause, true);
+            self.enqueue(asserting, cref.0);
+        }
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = l.var().0 as usize;
+                self.assigns[v] = Assign::Unassigned;
+                self.reasons[v] = REASON_NONE;
+                if self.heap_index[v] < 0 {
+                    self.heap_insert(l.var());
+                }
+            }
+        }
+        self.qhead = self.trail.len().min(self.qhead);
+        if level == 0 {
+            self.qhead = self.qhead.min(self.trail.len());
+        }
+    }
+
+    fn pick_branch(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.0 as usize] == Assign::Unassigned {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
+        if self.var_inc > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.cla_inc > 1e20 {
+            for c in &mut self.clauses {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        let i = v.0 as usize;
+        self.activity[i] += self.var_inc;
+        if self.activity[i] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.heap_index[i] >= 0 {
+            self.heap_sift_up(self.heap_index[i] as usize);
+        }
+    }
+
+    fn reduce_db(&mut self) {
+        // Collect learnt clause indices sorted by activity, delete the lower
+        // half (keeping clauses that are currently reasons).
+        let mut learnt: Vec<usize> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted && c.lits.len() > 2)
+            .map(|(i, _)| i)
+            .collect();
+        learnt.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let locked: Vec<bool> = learnt
+            .iter()
+            .map(|&i| {
+                let first = self.clauses[i].lits[0];
+                self.lit_value(first) == Some(true)
+                    && self.reasons[first.var().0 as usize] == i as u32
+            })
+            .collect();
+        let half = learnt.len() / 2;
+        for (k, &i) in learnt.iter().take(half).enumerate() {
+            if !locked[k] {
+                self.clauses[i].deleted = true;
+                self.n_learnt -= 1;
+                self.stats.deleted_clauses += 1;
+            }
+        }
+    }
+
+    // ----- binary heap ordered by activity (max-heap) -----
+
+    fn heap_insert(&mut self, v: Var) {
+        self.heap.push(v);
+        let i = self.heap.len() - 1;
+        self.heap_index[v.0 as usize] = i as i32;
+        self.heap_sift_up(i);
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_index[top.0 as usize] = -1;
+        let last = self.heap.pop().unwrap();
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_index[last.0 as usize] = 0;
+            self.heap_sift_down(0);
+        }
+        Some(top)
+    }
+
+    fn heap_sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.activity[self.heap[i].0 as usize] > self.activity[self.heap[parent].0 as usize]
+            {
+                self.heap.swap(i, parent);
+                self.heap_index[self.heap[i].0 as usize] = i as i32;
+                self.heap_index[self.heap[parent].0 as usize] = parent as i32;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && self.activity[self.heap[l].0 as usize]
+                    > self.activity[self.heap[best].0 as usize]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && self.activity[self.heap[r].0 as usize]
+                    > self.activity[self.heap[best].0 as usize]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap.swap(i, best);
+            self.heap_index[self.heap[i].0 as usize] = i as i32;
+            self.heap_index[self.heap[best].0 as usize] = best as i32;
+            i = best;
+        }
+    }
+}
+
+/// The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, ... (`i` is 0-based).
+fn luby(i: u64) -> u64 {
+    let mut i = i + 1;
+    loop {
+        let mut k = 1u64;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivially_sat_empty() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+        assert_eq!(s.value(v[1]), Some(true));
+        assert_eq!(s.value(v[2]), Some(true));
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause(&[Lit::pos(v)]));
+        assert!(!s.add_clause(&[Lit::neg(v)]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_conflict_requires_learning() {
+        // (a | b) & (a | !b) & (!a | b) & (!a | !b) is unsat.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        let (a, b) = (v[0], v[1]);
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::pos(a), Lit::neg(b)]);
+        s.add_clause(&[Lit::neg(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x0 ^ x1 = 1, x1 ^ x2 = 1, ... encoded as CNF; satisfiable.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 6);
+        for w in v.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for w in v.windows(2) {
+            assert_ne!(s.value(w[0]), s.value(w[1]));
+        }
+    }
+
+    /// Pigeonhole principle: n+1 pigeons in n holes is unsat.
+    fn pigeonhole(pigeons: usize, holes: usize) -> (Solver, Vec<Vec<Var>>) {
+        let mut s = Solver::new();
+        let grid: Vec<Vec<Var>> =
+            (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+        for row in &grid {
+            let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for row2 in grid.iter().skip(p1 + 1) {
+                    s.add_clause(&[Lit::neg(grid[p1][h]), Lit::neg(row2[h])]);
+                }
+            }
+        }
+        (s, grid)
+    }
+
+    #[test]
+    fn pigeonhole_4_in_3_unsat() {
+        let (mut s, _) = pigeonhole(4, 3);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_in_4_unsat() {
+        let (mut s, _) = pigeonhole(5, 4);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_in_3_sat() {
+        let (mut s, grid) = pigeonhole(3, 3);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // Verify the model is a valid assignment of pigeons to distinct holes.
+        let mut used = [false; 3];
+        for row in &grid {
+            let hole = row.iter().position(|&v| s.value(v) == Some(true)).unwrap();
+            assert!(!used[hole]);
+            used[hole] = true;
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(&[Lit::neg(v[0]), Lit::neg(v[1])]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[Lit::neg(v[0])]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        // Solver is reusable after assumption-unsat.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause(&[Lit::neg(v[0])]);
+        s.add_clause(&[Lit::neg(v[1])]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(v[2]), Some(true));
+        s.add_clause(&[Lit::neg(v[2])]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        // Once root-unsat, stays unsat.
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_and_duplicates_handled() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[Lit::pos(v[0]), Lit::neg(v[0])]));
+        assert!(s.add_clause(&[Lit::pos(v[1]), Lit::pos(v[1])]));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    /// Brute-force CNF evaluation for differential testing.
+    fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+        for m in 0u32..(1 << num_vars) {
+            let assign = |v: usize| (m >> v) & 1 == 1;
+            if clauses.iter().all(|c| c.iter().any(|&(v, pos)| assign(v) == pos)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn random_3sat_matches_brute_force() {
+        // Deterministic LCG so the test is reproducible.
+        let mut state = 0xdeadbeefu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for round in 0..60 {
+            let n = 4 + (next() as usize % 5); // 4..8 vars
+            let m = 6 + (next() as usize % 25); // 6..30 clauses
+            let clauses: Vec<Vec<(usize, bool)>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| (next() as usize % n, next() % 2 == 0))
+                        .collect()
+                })
+                .collect();
+            let expected = brute_force_sat(n, &clauses);
+            let mut s = Solver::new();
+            let vars = lits(&mut s, n);
+            for c in &clauses {
+                let cl: Vec<Lit> =
+                    c.iter().map(|&(v, pos)| Lit::with_polarity(vars[v], pos)).collect();
+                s.add_clause(&cl);
+            }
+            let got = s.solve(&[]) == SolveResult::Sat;
+            assert_eq!(got, expected, "round {round}: solver disagrees with brute force");
+            if got {
+                // Verify the model actually satisfies every clause, reading
+                // unassigned (irrelevant) variables as false.
+                for c in &clauses {
+                    assert!(
+                        c.iter().any(|&(v, pos)| s.value(vars[v]).unwrap_or(false) == pos),
+                        "model does not satisfy clause"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (mut s, _) = pigeonhole(4, 3);
+        s.solve(&[]);
+        let st = s.stats();
+        assert!(st.conflicts > 0);
+        assert!(st.propagations > 0);
+    }
+}

@@ -1,0 +1,682 @@
+//! Terms, formulas, declarations, models and evaluation for `FOL(BV)`.
+//!
+//! The term language is deliberately the *exact* fragment Leapfrog's lowering
+//! produces (paper, Figure 3 after store elimination): bitvector literals,
+//! variables, exact slices and concatenation. Widths are static: every term
+//! has a width computable from the declarations, and slices are in-bounds by
+//! construction (the clamped slicing of the surface language is resolved one
+//! level up, where buffer lengths are known).
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use leapfrog_bitvec::BitVec;
+
+/// A bitvector variable, an index into a [`Declarations`] table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BvVar(pub u32);
+
+/// The variable table for a query: names and widths.
+#[derive(Debug, Clone, Default)]
+pub struct Declarations {
+    names: Vec<String>,
+    widths: Vec<usize>,
+}
+
+impl Declarations {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a fresh variable with the given name and bit width.
+    pub fn declare(&mut self, name: impl Into<String>, width: usize) -> BvVar {
+        let v = BvVar(self.names.len() as u32);
+        self.names.push(name.into());
+        self.widths.push(width);
+        v
+    }
+
+    /// The width of `v`.
+    pub fn width(&self, v: BvVar) -> usize {
+        self.widths[v.0 as usize]
+    }
+
+    /// The name of `v`.
+    pub fn name(&self, v: BvVar) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    /// The number of declared variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variables are declared.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all declared variables.
+    pub fn vars(&self) -> impl Iterator<Item = BvVar> + '_ {
+        (0..self.names.len() as u32).map(BvVar)
+    }
+}
+
+/// A bitvector term. Recursive positions are reference-counted so cloning a
+/// large term is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A bitvector constant.
+    Lit(BitVec),
+    /// A declared variable.
+    Var(BvVar),
+    /// Exact slice: `len` bits starting at bit `start` (bit 0 leftmost).
+    Slice(Rc<Term>, usize, usize),
+    /// Concatenation, left bits first.
+    Concat(Rc<Term>, Rc<Term>),
+}
+
+impl Term {
+    /// A literal term.
+    pub fn lit(bv: BitVec) -> Term {
+        Term::Lit(bv)
+    }
+
+    /// The empty-bitvector literal `ε`.
+    pub fn empty() -> Term {
+        Term::Lit(BitVec::new())
+    }
+
+    /// A variable term.
+    pub fn var(v: BvVar) -> Term {
+        Term::Var(v)
+    }
+
+    /// An exact slice of `len` bits starting at `start`. Simplifies
+    /// literal slices, empty slices and full-width slices eagerly.
+    pub fn slice(t: Term, start: usize, len: usize) -> Term {
+        if len == 0 {
+            return Term::empty();
+        }
+        match t {
+            Term::Lit(bv) => Term::Lit(bv.subrange(start, len)),
+            Term::Slice(inner, s0, _l0) => Term::Slice(inner, s0 + start, len),
+            Term::Concat(a, b) => {
+                // Push the slice through the concat when it falls entirely
+                // on one side; this keeps WP-generated terms small.
+                let wa = a.width_opt();
+                if let Some(wa) = wa {
+                    if start + len <= wa {
+                        return Term::slice((*a).clone(), start, len);
+                    }
+                    if start >= wa {
+                        return Term::slice((*b).clone(), start - wa, len);
+                    }
+                    // Straddles: split.
+                    let left = Term::slice((*a).clone(), start, wa - start);
+                    let right = Term::slice((*b).clone(), 0, len - (wa - start));
+                    return Term::concat(left, right);
+                }
+                Term::Slice(Rc::new(Term::Concat(a, b)), start, len)
+            }
+            other => Term::Slice(Rc::new(other), start, len),
+        }
+    }
+
+    /// Concatenation `a ++ b`, dropping empty sides and fusing adjacent
+    /// literals.
+    pub fn concat(a: Term, b: Term) -> Term {
+        match (&a, &b) {
+            (Term::Lit(x), _) if x.is_empty() => return b,
+            (_, Term::Lit(y)) if y.is_empty() => return a,
+            (Term::Lit(x), Term::Lit(y)) => return Term::Lit(x.concat(y)),
+            _ => {}
+        }
+        Term::Concat(Rc::new(a), Rc::new(b))
+    }
+
+    /// Concatenates a sequence of terms, left to right.
+    pub fn concat_all(parts: impl IntoIterator<Item = Term>) -> Term {
+        let mut it = parts.into_iter();
+        let first = it.next().unwrap_or_else(Term::empty);
+        it.fold(first, Term::concat)
+    }
+
+    /// The width of the term, looked up through `decls` for variables.
+    pub fn width(&self, decls: &Declarations) -> usize {
+        match self {
+            Term::Lit(bv) => bv.len(),
+            Term::Var(v) => decls.width(*v),
+            Term::Slice(_, _, len) => *len,
+            Term::Concat(a, b) => a.width(decls) + b.width(decls),
+        }
+    }
+
+    /// The width when it is computable without declarations (no variables).
+    fn width_opt(&self) -> Option<usize> {
+        match self {
+            Term::Lit(bv) => Some(bv.len()),
+            Term::Var(_) => None,
+            Term::Slice(_, _, len) => Some(*len),
+            Term::Concat(a, b) => Some(a.width_opt()? + b.width_opt()?),
+        }
+    }
+
+    /// Collects the free variables into `out`.
+    pub fn free_vars(&self, out: &mut BTreeSet<BvVar>) {
+        match self {
+            Term::Lit(_) => {}
+            Term::Var(v) => {
+                out.insert(*v);
+            }
+            Term::Slice(t, _, _) => t.free_vars(out),
+            Term::Concat(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+        }
+    }
+
+    /// Capture-avoiding substitution of variables by terms. (There are no
+    /// binders inside terms, so this is plain replacement.)
+    pub fn subst(&self, map: &HashMap<BvVar, Term>) -> Term {
+        match self {
+            Term::Lit(_) => self.clone(),
+            Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Term::Slice(t, s, l) => Term::slice(t.subst(map), *s, *l),
+            Term::Concat(a, b) => Term::concat(a.subst(map), b.subst(map)),
+        }
+    }
+
+    /// Evaluates the term under a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable is missing from the model or a slice is out of
+    /// bounds (ill-typed term).
+    pub fn eval(&self, model: &Model) -> BitVec {
+        match self {
+            Term::Lit(bv) => bv.clone(),
+            Term::Var(v) => model
+                .get(*v)
+                .unwrap_or_else(|| panic!("model missing variable {v:?}"))
+                .clone(),
+            Term::Slice(t, s, l) => t.eval(model).subrange(*s, *l),
+            Term::Concat(a, b) => a.eval(model).concat(&b.eval(model)),
+        }
+    }
+
+    /// Checks that all slices are in bounds and returns the width.
+    pub fn check(&self, decls: &Declarations) -> Result<usize, TypeError> {
+        match self {
+            Term::Lit(bv) => Ok(bv.len()),
+            Term::Var(v) => {
+                if (v.0 as usize) < decls.len() {
+                    Ok(decls.width(*v))
+                } else {
+                    Err(TypeError::UndeclaredVar(*v))
+                }
+            }
+            Term::Slice(t, s, l) => {
+                let w = t.check(decls)?;
+                if s + l <= w {
+                    Ok(*l)
+                } else {
+                    Err(TypeError::SliceOutOfBounds { width: w, start: *s, len: *l })
+                }
+            }
+            Term::Concat(a, b) => Ok(a.check(decls)? + b.check(decls)?),
+        }
+    }
+}
+
+/// A type error in a term or formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A variable was used without being declared.
+    UndeclaredVar(BvVar),
+    /// A slice reads past the end of its operand.
+    SliceOutOfBounds {
+        /// Operand width.
+        width: usize,
+        /// Slice start.
+        start: usize,
+        /// Slice length.
+        len: usize,
+    },
+    /// The two sides of an equality have different widths.
+    EqWidthMismatch(usize, usize),
+    /// A quantifier binds a variable that is not declared.
+    UnboundQuantifiedVar(BvVar),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UndeclaredVar(v) => write!(f, "undeclared variable {v:?}"),
+            TypeError::SliceOutOfBounds { width, start, len } => {
+                write!(f, "slice [{start}; {len}] out of bounds for width {width}")
+            }
+            TypeError::EqWidthMismatch(a, b) => {
+                write!(f, "equality between widths {a} and {b}")
+            }
+            TypeError::UnboundQuantifiedVar(v) => {
+                write!(f, "quantified variable {v:?} is not declared")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A first-order formula over bitvector terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// `true` or `false`.
+    Const(bool),
+    /// Bitvector equality (both sides must have the same width).
+    Eq(Term, Term),
+    /// Negation.
+    Not(Rc<Formula>),
+    /// Conjunction.
+    And(Rc<Formula>, Rc<Formula>),
+    /// Disjunction.
+    Or(Rc<Formula>, Rc<Formula>),
+    /// Implication.
+    Implies(Rc<Formula>, Rc<Formula>),
+    /// Universal quantification over declared variables.
+    Forall(Vec<BvVar>, Rc<Formula>),
+}
+
+impl Formula {
+    /// The constant `true`.
+    pub fn tt() -> Formula {
+        Formula::Const(true)
+    }
+
+    /// The constant `false`.
+    pub fn ff() -> Formula {
+        Formula::Const(false)
+    }
+
+    /// Equality, constant-folding literal comparisons.
+    pub fn eq(a: Term, b: Term) -> Formula {
+        if let (Term::Lit(x), Term::Lit(y)) = (&a, &b) {
+            return Formula::Const(x == y);
+        }
+        if a == b {
+            return Formula::tt();
+        }
+        Formula::Eq(a, b)
+    }
+
+    /// Negation, with double-negation and constant elimination.
+    #[allow(clippy::should_implement_trait)] // DSL-style smart constructor
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::Const(b) => Formula::Const(!b),
+            Formula::Not(inner) => (*inner).clone(),
+            other => Formula::Not(Rc::new(other)),
+        }
+    }
+
+    /// Conjunction with unit/zero simplification.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::Const(false), _) | (_, Formula::Const(false)) => Formula::ff(),
+            (Formula::Const(true), _) => b,
+            (_, Formula::Const(true)) => a,
+            _ => Formula::And(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Conjunction of an iterator of formulas.
+    pub fn and_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        fs.into_iter().fold(Formula::tt(), Formula::and)
+    }
+
+    /// Disjunction with unit/zero simplification.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::Const(true), _) | (_, Formula::Const(true)) => Formula::tt(),
+            (Formula::Const(false), _) => b,
+            (_, Formula::Const(false)) => a,
+            _ => Formula::Or(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Disjunction of an iterator of formulas.
+    pub fn or_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+        fs.into_iter().fold(Formula::ff(), Formula::or)
+    }
+
+    /// Implication with simplification.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        match (&a, &b) {
+            (Formula::Const(false), _) => Formula::tt(),
+            (Formula::Const(true), _) => b,
+            (_, Formula::Const(true)) => Formula::tt(),
+            (_, Formula::Const(false)) => Formula::not(a),
+            _ => Formula::Implies(Rc::new(a), Rc::new(b)),
+        }
+    }
+
+    /// Universal quantification; collapses empty binder lists.
+    pub fn forall(vars: Vec<BvVar>, body: Formula) -> Formula {
+        if vars.is_empty() {
+            return body;
+        }
+        if let Formula::Const(_) = body {
+            return body;
+        }
+        Formula::Forall(vars, Rc::new(body))
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<BvVar> {
+        let mut out = BTreeSet::new();
+        self.free_vars_into(&mut out);
+        out
+    }
+
+    fn free_vars_into(&self, out: &mut BTreeSet<BvVar>) {
+        match self {
+            Formula::Const(_) => {}
+            Formula::Eq(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            Formula::Not(f) => f.free_vars_into(out),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.free_vars_into(out);
+                b.free_vars_into(out);
+            }
+            Formula::Forall(vars, body) => {
+                let mut inner = BTreeSet::new();
+                body.free_vars_into(&mut inner);
+                for v in vars {
+                    inner.remove(v);
+                }
+                out.extend(inner);
+            }
+        }
+    }
+
+    /// Substitution of free variables by terms. Bound variables are skipped
+    /// (quantified variables are fresh by construction, so capture cannot
+    /// occur in Leapfrog-generated formulas; we still guard against it).
+    pub fn subst(&self, map: &HashMap<BvVar, Term>) -> Formula {
+        match self {
+            Formula::Const(_) => self.clone(),
+            Formula::Eq(a, b) => Formula::eq(a.subst(map), b.subst(map)),
+            Formula::Not(f) => Formula::not(f.subst(map)),
+            Formula::And(a, b) => Formula::and(a.subst(map), b.subst(map)),
+            Formula::Or(a, b) => Formula::or(a.subst(map), b.subst(map)),
+            Formula::Implies(a, b) => Formula::implies(a.subst(map), b.subst(map)),
+            Formula::Forall(vars, body) => {
+                let mut inner = map.clone();
+                for v in vars {
+                    inner.remove(v);
+                }
+                Formula::forall(vars.clone(), body.subst(&inner))
+            }
+        }
+    }
+
+    /// Whether the formula is quantifier-free.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Formula::Const(_) | Formula::Eq(_, _) => true,
+            Formula::Not(f) => f.is_quantifier_free(),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.is_quantifier_free() && b.is_quantifier_free()
+            }
+            Formula::Forall(_, _) => false,
+        }
+    }
+
+    /// Checks widths and declarations.
+    pub fn check(&self, decls: &Declarations) -> Result<(), TypeError> {
+        match self {
+            Formula::Const(_) => Ok(()),
+            Formula::Eq(a, b) => {
+                let wa = a.check(decls)?;
+                let wb = b.check(decls)?;
+                if wa == wb {
+                    Ok(())
+                } else {
+                    Err(TypeError::EqWidthMismatch(wa, wb))
+                }
+            }
+            Formula::Not(f) => f.check(decls),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.check(decls)?;
+                b.check(decls)
+            }
+            Formula::Forall(vars, body) => {
+                for v in vars {
+                    if (v.0 as usize) >= decls.len() {
+                        return Err(TypeError::UnboundQuantifiedVar(*v));
+                    }
+                }
+                body.check(decls)
+            }
+        }
+    }
+
+    /// Evaluates the formula under a model; quantifiers are expanded by
+    /// enumeration (use only for small widths, e.g. in tests).
+    pub fn eval(&self, decls: &Declarations, model: &Model) -> bool {
+        match self {
+            Formula::Const(b) => *b,
+            Formula::Eq(a, b) => a.eval(model) == b.eval(model),
+            Formula::Not(f) => !f.eval(decls, model),
+            Formula::And(a, b) => a.eval(decls, model) && b.eval(decls, model),
+            Formula::Or(a, b) => a.eval(decls, model) || b.eval(decls, model),
+            Formula::Implies(a, b) => !a.eval(decls, model) || b.eval(decls, model),
+            Formula::Forall(vars, body) => {
+                let total: usize = vars.iter().map(|v| decls.width(*v)).sum();
+                assert!(total <= 20, "quantifier enumeration limited to 20 bits in eval");
+                let mut m = model.clone();
+                for assignment in 0u64..(1u64 << total) {
+                    let mut offset = 0;
+                    for v in vars {
+                        let w = decls.width(*v);
+                        let bits = (assignment >> offset) & ((1u64 << w) - 1);
+                        m.set(*v, BitVec::from_u64(bits, w));
+                        offset += w;
+                    }
+                    if !body.eval(decls, &m) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// An assignment of bitvector values to variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<BvVar, BitVec>,
+}
+
+impl Model {
+    /// The empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value of `v`.
+    pub fn set(&mut self, v: BvVar, value: BitVec) {
+        self.values.insert(v, value);
+    }
+
+    /// The value of `v`, if assigned.
+    pub fn get(&self, v: BvVar) -> Option<&BitVec> {
+        self.values.get(&v)
+    }
+
+    /// Iterates over the assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (BvVar, &BitVec)> {
+        self.values.iter().map(|(v, bv)| (*v, bv))
+    }
+
+    /// Renders the model with variable names for diagnostics.
+    pub fn display<'a>(&'a self, decls: &'a Declarations) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Model, &'a Declarations);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let mut entries: Vec<_> = self.0.values.iter().collect();
+                entries.sort_by_key(|(v, _)| v.0);
+                for (v, bv) in entries {
+                    writeln!(f, "  {} = {}", self.1.name(*v), bv)?;
+                }
+                Ok(())
+            }
+        }
+        D(self, decls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn slice_simplifies_literals() {
+        let t = Term::slice(Term::lit(bv("10110")), 1, 3);
+        assert_eq!(t, Term::Lit(bv("011")));
+    }
+
+    #[test]
+    fn slice_of_slice_composes() {
+        let mut d = Declarations::new();
+        let x = d.declare("x", 8);
+        let t = Term::slice(Term::slice(Term::var(x), 2, 5), 1, 2);
+        assert_eq!(t, Term::Slice(Rc::new(Term::Var(x)), 3, 2));
+    }
+
+    #[test]
+    fn slice_pushes_through_concat() {
+        let a = Term::lit(bv("1010"));
+        let b = Term::lit(bv("0101"));
+        // Slice entirely within the left literal.
+        let t = Term::slice(Term::concat(a.clone(), b.clone()), 1, 2);
+        assert_eq!(t, Term::Lit(bv("01")));
+        // Straddling slice splits and re-fuses literals.
+        let t = Term::slice(Term::concat(a, b), 3, 2);
+        assert_eq!(t, Term::Lit(bv("00")));
+    }
+
+    #[test]
+    fn concat_drops_empty_and_fuses() {
+        let t = Term::concat(Term::empty(), Term::lit(bv("01")));
+        assert_eq!(t, Term::Lit(bv("01")));
+        let t = Term::concat(Term::lit(bv("1")), Term::lit(bv("0")));
+        assert_eq!(t, Term::Lit(bv("10")));
+    }
+
+    #[test]
+    fn widths_and_check() {
+        let mut d = Declarations::new();
+        let x = d.declare("x", 8);
+        let t = Term::concat(Term::var(x), Term::slice(Term::var(x), 0, 4));
+        assert_eq!(t.width(&d), 12);
+        assert_eq!(t.check(&d), Ok(12));
+        let bad = Term::Slice(Rc::new(Term::Var(x)), 6, 4);
+        assert!(matches!(bad.check(&d), Err(TypeError::SliceOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn formula_check_rejects_width_mismatch() {
+        let mut d = Declarations::new();
+        let x = d.declare("x", 8);
+        let y = d.declare("y", 4);
+        let f = Formula::Eq(Term::var(x), Term::var(y));
+        assert!(matches!(f.check(&d), Err(TypeError::EqWidthMismatch(8, 4))));
+    }
+
+    #[test]
+    fn smart_constructors_fold_constants() {
+        assert_eq!(Formula::eq(Term::lit(bv("10")), Term::lit(bv("10"))), Formula::tt());
+        assert_eq!(Formula::eq(Term::lit(bv("10")), Term::lit(bv("11"))), Formula::ff());
+        assert_eq!(Formula::and(Formula::tt(), Formula::ff()), Formula::ff());
+        assert_eq!(Formula::or(Formula::ff(), Formula::tt()), Formula::tt());
+        assert_eq!(Formula::implies(Formula::ff(), Formula::ff()), Formula::tt());
+        assert_eq!(Formula::not(Formula::not(Formula::ff())), Formula::ff());
+    }
+
+    #[test]
+    fn eval_respects_model() {
+        let mut d = Declarations::new();
+        let x = d.declare("x", 4);
+        let mut m = Model::new();
+        m.set(x, bv("1010"));
+        let f = Formula::eq(
+            Term::slice(Term::var(x), 0, 2),
+            Term::slice(Term::var(x), 2, 2),
+        );
+        assert!(f.eval(&d, &m)); // 10 == 10
+        let g = Formula::eq(Term::var(x), Term::lit(bv("1010")));
+        assert!(g.eval(&d, &m));
+    }
+
+    #[test]
+    fn forall_eval_enumerates() {
+        let mut d = Declarations::new();
+        let x = d.declare("x", 2);
+        // forall x. x = x  — valid.
+        let f = Formula::Forall(vec![x], Rc::new(Formula::Eq(Term::var(x), Term::var(x))));
+        assert!(f.eval(&d, &Model::new()));
+        // forall x. x = 00 — invalid.
+        let g = Formula::Forall(
+            vec![x],
+            Rc::new(Formula::Eq(Term::var(x), Term::lit(bv("00")))),
+        );
+        assert!(!g.eval(&d, &Model::new()));
+    }
+
+    #[test]
+    fn subst_replaces_free_not_bound() {
+        let mut d = Declarations::new();
+        let x = d.declare("x", 2);
+        let y = d.declare("y", 2);
+        let mut map = HashMap::new();
+        map.insert(x, Term::lit(bv("11")));
+        let f = Formula::and(
+            Formula::Eq(Term::var(x), Term::var(y)),
+            Formula::Forall(vec![x], Rc::new(Formula::Eq(Term::var(x), Term::var(y)))),
+        );
+        let g = f.subst(&map);
+        // Free occurrence replaced, bound occurrence untouched.
+        match g {
+            Formula::And(a, b) => {
+                assert_eq!(*a, Formula::Eq(Term::lit(bv("11")), Term::var(y)));
+                assert!(matches!(&*b, Formula::Forall(vs, body)
+                    if vs == &vec![x]
+                    && **body == Formula::Eq(Term::var(x), Term::var(y))));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_vars_excludes_bound() {
+        let mut d = Declarations::new();
+        let x = d.declare("x", 2);
+        let y = d.declare("y", 2);
+        let f = Formula::Forall(vec![x], Rc::new(Formula::Eq(Term::var(x), Term::var(y))));
+        let fv = f.free_vars();
+        assert!(fv.contains(&y));
+        assert!(!fv.contains(&x));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the SMT substrate: bit-blasting must agree
+//! with the reference evaluator, and the term simplifier must preserve
+//! semantics.
+
+use leapfrog_bitvec::BitVec;
+use leapfrog_smt::blast::sat_qf;
+use leapfrog_smt::{check_valid, CheckResult, Declarations, Formula, Model, Term};
+use proptest::prelude::*;
+
+const W: usize = 6;
+
+/// A strategy for terms over two `W`-bit variables.
+fn term() -> impl Strategy<Value = TermSpec> {
+    let leaf = prop_oneof![
+        Just(TermSpec::X),
+        Just(TermSpec::Y),
+        (any::<u64>()).prop_map(|v| TermSpec::Lit(v & ((1 << W) - 1))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), 0usize..W, 1usize..=W).prop_map(|(t, s, l)| {
+                TermSpec::Slice(Box::new(t), s, l)
+            }),
+            (inner.clone(), inner).prop_map(|(a, b)| TermSpec::Concat(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// A buildable/evaluable term description (widths normalized during build).
+#[derive(Debug, Clone)]
+enum TermSpec {
+    X,
+    Y,
+    Lit(u64),
+    Slice(Box<TermSpec>, usize, usize),
+    Concat(Box<TermSpec>, Box<TermSpec>),
+}
+
+impl TermSpec {
+    fn build(&self, decls: &Declarations) -> Term {
+        match self {
+            TermSpec::X => Term::var(leapfrog_smt::BvVar(0)),
+            TermSpec::Y => Term::var(leapfrog_smt::BvVar(1)),
+            TermSpec::Lit(v) => Term::lit(BitVec::from_u64(*v, W)),
+            TermSpec::Slice(t, s, l) => {
+                let inner = t.build(decls);
+                let w = inner.width(decls);
+                if w == 0 {
+                    return inner;
+                }
+                let s = *s % w;
+                let l = (*l).min(w - s).max(1).min(w - s);
+                if l == 0 {
+                    inner
+                } else {
+                    Term::slice(inner, s, l)
+                }
+            }
+            TermSpec::Concat(a, b) => Term::concat(a.build(decls), b.build(decls)),
+        }
+    }
+}
+
+fn decls() -> Declarations {
+    let mut d = Declarations::new();
+    d.declare("x", W);
+    d.declare("y", W);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// If the blaster reports SAT, the model must satisfy the formula; if
+    /// UNSAT, brute-force enumeration must agree.
+    #[test]
+    fn blaster_agrees_with_enumeration(a in term(), b in term(), negate in any::<bool>()) {
+        let d = decls();
+        let (ta, tb) = (a.build(&d), b.build(&d));
+        let (wa, wb) = (ta.width(&d), tb.width(&d));
+        let w = wa.min(wb);
+        prop_assume!(w > 0);
+        let atom = Formula::eq(Term::slice(ta, 0, w), Term::slice(tb, 0, w));
+        let f = if negate { Formula::not(atom) } else { atom };
+
+        let brute = {
+            let mut found = false;
+            'outer: for xv in 0u64..(1 << W) {
+                for yv in 0u64..(1 << W) {
+                    let mut m = Model::new();
+                    m.set(leapfrog_smt::BvVar(0), BitVec::from_u64(xv, W));
+                    m.set(leapfrog_smt::BvVar(1), BitVec::from_u64(yv, W));
+                    if f.eval(&d, &m) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+            found
+        };
+        match sat_qf(&d, &f) {
+            Some(m) => {
+                prop_assert!(f.eval(&d, &m), "model does not satisfy the formula");
+                prop_assert!(brute);
+            }
+            None => prop_assert!(!brute, "blaster said UNSAT but enumeration found a model"),
+        }
+    }
+
+    /// Validity of `t = t` after arbitrary simplifier rewrites.
+    #[test]
+    fn reflexivity_is_valid(a in term()) {
+        let d = decls();
+        let t = a.build(&d);
+        prop_assume!(t.width(&d) > 0);
+        let f = Formula::Eq(t.clone(), t);
+        prop_assert!(matches!(check_valid(&d, &f), CheckResult::Valid));
+    }
+
+    /// Splitting a term into two slices and re-concatenating is identity.
+    #[test]
+    fn slice_concat_identity_is_valid(a in term(), cut in 1usize..W) {
+        let d = decls();
+        let t = a.build(&d);
+        let w = t.width(&d);
+        prop_assume!(w >= 2);
+        let cut = 1 + (cut % (w - 1));
+        let f = Formula::Eq(
+            Term::concat(Term::slice(t.clone(), 0, cut), Term::slice(t.clone(), cut, w - cut)),
+            t,
+        );
+        prop_assert!(matches!(check_valid(&d, &f), CheckResult::Valid));
+    }
+
+    /// The countermodel returned for an invalid formula really refutes it.
+    #[test]
+    fn countermodels_refute(a in term(), lit in any::<u64>()) {
+        let d = decls();
+        let t = a.build(&d);
+        let w = t.width(&d);
+        prop_assume!(w > 0 && w <= 64);
+        let value = BitVec::from_u64(lit & (u64::MAX >> (64 - w)), w);
+        let f = Formula::eq(t, Term::lit(value));
+        if let CheckResult::Invalid(m) = check_valid(&d, &f) {
+            prop_assert!(!f.eval(&d, &m), "countermodel does not refute");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! parser-gen-style parsers for the four deployment scenarios of §7.2.
+//!
+//! The originals are the benchmark parse graphs of Gibb et al. (ANCS 2013),
+//! which we cannot ship; these are reconstructions with the protocol mixes
+//! that paper describes per scenario, sized to land near Table 2's state
+//! counts (see DESIGN.md). The Table 2 experiment is a *self-comparison*:
+//! each parser is checked equivalent to itself under arbitrary initial
+//! stores, which both exercises scalability and proves acceptance is
+//! independent of uninitialized headers.
+
+pub mod protocols;
+pub mod scenarios;
+
+pub use scenarios::{datacenter, edge, enterprise, service_provider};
+
+use crate::{Benchmark, Scale};
+
+/// All four applicability benchmarks at the given scale.
+pub fn all_benchmarks(scale: Scale) -> Vec<Benchmark> {
+    vec![
+        Benchmark::self_comparison("Edge", edge(scale), "parse_eth"),
+        Benchmark::self_comparison("Service Provider", service_provider(scale), "parse_eth"),
+        Benchmark::self_comparison("Datacenter", datacenter(scale), "parse_eth"),
+        Benchmark::self_comparison("Enterprise", enterprise(scale), "parse_eth"),
+    ]
+}

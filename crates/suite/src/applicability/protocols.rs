@@ -1,0 +1,106 @@
+//! Standard protocol header sizes and demux field constants used by the
+//! scenario parsers.
+
+/// Ethernet II header: 48-bit destination, 48-bit source, 16-bit EtherType.
+pub const ETHERNET_BITS: usize = 112;
+/// 802.1Q VLAN tag: TPID consumed by the EtherType, 16-bit TCI + 16-bit
+/// inner EtherType.
+pub const VLAN_BITS: usize = 32;
+/// One MPLS label stack entry.
+pub const MPLS_BITS: usize = 32;
+/// IPv4 header without options (20 bytes).
+pub const IPV4_BITS: usize = 160;
+/// IPv6 fixed header (40 bytes).
+pub const IPV6_BITS: usize = 320;
+/// TCP header without options (20 bytes).
+pub const TCP_BITS: usize = 160;
+/// UDP header (8 bytes).
+pub const UDP_BITS: usize = 64;
+/// ICMP header (first 4 bytes).
+pub const ICMP_BITS: usize = 32;
+/// GRE base header (4 bytes).
+pub const GRE_BITS: usize = 32;
+/// VXLAN header (8 bytes).
+pub const VXLAN_BITS: usize = 64;
+/// ARP payload for Ethernet/IPv4 (28 bytes).
+pub const ARP_BITS: usize = 224;
+
+/// Offset of the EtherType within an Ethernet header.
+pub const ETHERTYPE_OFFSET: usize = 96;
+/// EtherType length.
+pub const ETHERTYPE_BITS: usize = 16;
+
+/// Offset of the inner EtherType within a VLAN tag.
+pub const VLAN_ETHERTYPE_OFFSET: usize = 16;
+
+/// Offset of the protocol field within an IPv4 header.
+pub const IPV4_PROTO_OFFSET: usize = 72;
+/// Offset of the next-header field within an IPv6 header.
+pub const IPV6_NEXT_OFFSET: usize = 48;
+/// Protocol field length.
+pub const PROTO_BITS: usize = 8;
+
+/// Offset of the bottom-of-stack flag within an MPLS label entry.
+pub const MPLS_BOS_OFFSET: usize = 23;
+
+/// Offset of the UDP destination port.
+pub const UDP_DPORT_OFFSET: usize = 16;
+/// Port field length.
+pub const PORT_BITS: usize = 16;
+
+/// A 16-bit EtherType as a binary-string pattern.
+pub fn ethertype(value: u64) -> String {
+    format!("{value:016b}")
+}
+
+/// An 8-bit IP protocol number as a binary-string pattern.
+pub fn proto(value: u64) -> String {
+    format!("{value:08b}")
+}
+
+/// A 16-bit port as a binary-string pattern.
+pub fn port(value: u64) -> String {
+    format!("{value:016b}")
+}
+
+/// Well-known demux values.
+pub mod values {
+    /// EtherType: IPv4.
+    pub const ETH_IPV4: u64 = 0x0800;
+    /// EtherType: IPv6.
+    pub const ETH_IPV6: u64 = 0x86DD;
+    /// EtherType: 802.1Q VLAN.
+    pub const ETH_VLAN: u64 = 0x8100;
+    /// EtherType: 802.1ad QinQ outer tag.
+    pub const ETH_QINQ: u64 = 0x88A8;
+    /// EtherType: MPLS unicast.
+    pub const ETH_MPLS: u64 = 0x8847;
+    /// EtherType: ARP.
+    pub const ETH_ARP: u64 = 0x0806;
+    /// IP protocol: ICMP.
+    pub const IP_ICMP: u64 = 1;
+    /// IP protocol: TCP.
+    pub const IP_TCP: u64 = 6;
+    /// IP protocol: UDP.
+    pub const IP_UDP: u64 = 17;
+    /// IP protocol: GRE.
+    pub const IP_GRE: u64 = 47;
+    /// IP protocol: ICMPv6.
+    pub const IP_ICMPV6: u64 = 58;
+    /// UDP port: VXLAN.
+    pub const PORT_VXLAN: u64 = 4789;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_helpers_have_fixed_widths() {
+        assert_eq!(ethertype(values::ETH_IPV6), "1000011011011101");
+        assert_eq!(ethertype(values::ETH_IPV6).len(), 16);
+        assert_eq!(proto(values::IP_UDP), "00010001");
+        assert_eq!(proto(values::IP_UDP).len(), 8);
+        assert_eq!(port(values::PORT_VXLAN).len(), 16);
+    }
+}

@@ -1,0 +1,464 @@
+//! The four deployment-scenario parsers (paper §7.2, after Gibb et al.).
+//!
+//! Every parser starts at `parse_eth`. The [`Scale`] knob trims the MPLS
+//! chain depth and tunnel nesting so benchmarks can run quickly; at
+//! [`Scale::Full`] the state counts land near Table 2's
+//! (Edge 14, Service Provider 11, Datacenter 15, Enterprise 11 per copy).
+
+use leapfrog_p4a::ast::{Automaton, Expr, Target};
+use leapfrog_p4a::builder::Builder;
+
+use super::protocols::{self as p, values as v};
+use crate::Scale;
+
+fn ethertype_slice(b: &mut Builder, name: &str) -> Expr {
+    let eth = b.header(name, p::ETHERNET_BITS);
+    Expr::slice(Expr::hdr(eth), p::ETHERTYPE_OFFSET, p::ETHERTYPE_OFFSET + p::ETHERTYPE_BITS - 1)
+}
+
+/// Builds an MPLS label chain: `mpls0 … mpls{depth-1}`, each branching on
+/// the bottom-of-stack bit to the next label or to `after_bos`; stack
+/// overflow (no bottom within `depth` labels) rejects.
+fn mpls_chain(b: &mut Builder, depth: usize, after_bos: Target) -> Target {
+    assert!(depth >= 1);
+    let states: Vec<_> = (0..depth).map(|i| b.state(format!("parse_mpls{i}"))).collect();
+    for i in 0..depth {
+        let label = b.header(format!("mpls{i}"), p::MPLS_BITS);
+        let next: Target = if i + 1 < depth {
+            Target::State(states[i + 1])
+        } else {
+            Target::Reject // stack deeper than the hardware supports
+        };
+        let bos = Expr::slice(Expr::hdr(label), p::MPLS_BOS_OFFSET, p::MPLS_BOS_OFFSET);
+        let trans = b.select1(bos, vec![("0", next), ("1", after_bos)]);
+        b.define(states[i], vec![b.extract(label)], trans);
+    }
+    Target::State(states[0])
+}
+
+/// A leaf state that extracts one header and accepts.
+fn leaf(b: &mut Builder, state: &str, header: &str, bits: usize) -> Target {
+    let q = b.state(state);
+    let h = b.header(header, bits);
+    b.define(q, vec![b.extract(h)], b.goto(Target::Accept));
+    Target::State(q)
+}
+
+/// An IPv4 state demuxing on the protocol field.
+fn ipv4_state(
+    b: &mut Builder,
+    state: &str,
+    header: &str,
+    cases: Vec<(u64, Target)>,
+) -> Target {
+    let q = b.state(state);
+    let h = b.header(header, p::IPV4_BITS);
+    let sel = Expr::slice(
+        Expr::hdr(h),
+        p::IPV4_PROTO_OFFSET,
+        p::IPV4_PROTO_OFFSET + p::PROTO_BITS - 1,
+    );
+    let pats: Vec<(String, Target)> =
+        cases.into_iter().map(|(num, t)| (p::proto(num), t)).collect();
+    let trans = b.select1(sel, pats.iter().map(|(s, t)| (s.as_str(), *t)).collect());
+    b.define(q, vec![b.extract(h)], trans);
+    Target::State(q)
+}
+
+/// An IPv6 state demuxing on the next-header field.
+fn ipv6_state(
+    b: &mut Builder,
+    state: &str,
+    header: &str,
+    cases: Vec<(u64, Target)>,
+) -> Target {
+    let q = b.state(state);
+    let h = b.header(header, p::IPV6_BITS);
+    let sel = Expr::slice(
+        Expr::hdr(h),
+        p::IPV6_NEXT_OFFSET,
+        p::IPV6_NEXT_OFFSET + p::PROTO_BITS - 1,
+    );
+    let pats: Vec<(String, Target)> =
+        cases.into_iter().map(|(num, t)| (p::proto(num), t)).collect();
+    let trans = b.select1(sel, pats.iter().map(|(s, t)| (s.as_str(), *t)).collect());
+    b.define(q, vec![b.extract(h)], trans);
+    Target::State(q)
+}
+
+/// **Enterprise** (campus router): Ethernet, optional VLAN (+ QinQ), ARP,
+/// IPv4/IPv6, TCP/UDP/ICMP(v6).
+pub fn enterprise(_scale: Scale) -> Automaton {
+    let mut b = Builder::new();
+    let tcp = leaf(&mut b, "parse_tcp", "tcp", p::TCP_BITS);
+    let udp = leaf(&mut b, "parse_udp", "udp", p::UDP_BITS);
+    let icmp = leaf(&mut b, "parse_icmp", "icmp", p::ICMP_BITS);
+    let icmp6 = leaf(&mut b, "parse_icmp6", "icmp6", p::ICMP_BITS);
+    let arp = leaf(&mut b, "parse_arp", "arp", p::ARP_BITS);
+    let ipv4 = ipv4_state(
+        &mut b,
+        "parse_ipv4",
+        "ipv4",
+        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp), (v::IP_ICMP, icmp)],
+    );
+    let ipv6 = ipv6_state(
+        &mut b,
+        "parse_ipv6",
+        "ipv6",
+        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp), (v::IP_ICMPV6, icmp6)],
+    );
+    // Inner VLAN (QinQ) then outer VLAN.
+    let vlan_demux = |b: &mut Builder, state: &str, header: &str, deeper: Option<Target>| {
+        let q = b.state(state);
+        let h = b.header(header, p::VLAN_BITS);
+        let sel = Expr::slice(
+            Expr::hdr(h),
+            p::VLAN_ETHERTYPE_OFFSET,
+            p::VLAN_ETHERTYPE_OFFSET + p::ETHERTYPE_BITS - 1,
+        );
+        let mut cases = vec![
+            (p::ethertype(v::ETH_IPV4), ipv4),
+            (p::ethertype(v::ETH_IPV6), ipv6),
+            (p::ethertype(v::ETH_ARP), arp),
+        ];
+        if let Some(d) = deeper {
+            cases.insert(0, (p::ethertype(v::ETH_VLAN), d));
+        }
+        let trans = b.select1(sel, cases.iter().map(|(s, t)| (s.as_str(), *t)).collect());
+        b.define(q, vec![b.extract(h)], trans);
+        Target::State(q)
+    };
+    let vlan_inner2 = vlan_demux(&mut b, "parse_vlan_inner2", "vlan_inner2", None);
+    let vlan_inner = vlan_demux(&mut b, "parse_vlan_inner", "vlan_inner", Some(vlan_inner2));
+    let vlan = vlan_demux(&mut b, "parse_vlan", "vlan", Some(vlan_inner));
+    let parse_eth = b.state("parse_eth");
+    let ety = ethertype_slice(&mut b, "eth");
+    let trans = b.select1(
+        ety,
+        vec![
+            (&p::ethertype(v::ETH_VLAN), vlan),
+            (&p::ethertype(v::ETH_QINQ), vlan),
+            (&p::ethertype(v::ETH_IPV4), ipv4),
+            (&p::ethertype(v::ETH_IPV6), ipv6),
+            (&p::ethertype(v::ETH_ARP), arp),
+        ]
+        .into_iter()
+        .map(|(s, t)| (s.to_string(), t))
+        .map(|(s, t)| (Box::leak(s.into_boxed_str()) as &str, t))
+        .collect(),
+    );
+    let eth_hdr = b.header("eth", p::ETHERNET_BITS);
+    b.define(parse_eth, vec![b.extract(eth_hdr)], trans);
+    b.build().expect("enterprise parser is well-formed")
+}
+
+/// **Edge** (gateway router): Ethernet, VLAN, an MPLS stack, IPv4/IPv6,
+/// GRE tunneling with an inner IPv4, TCP/UDP/ICMP.
+pub fn edge(scale: Scale) -> Automaton {
+    let mpls_depth = match scale {
+        Scale::Full => 5,
+        Scale::Medium => 2,
+        Scale::Small => 1,
+    };
+    let mut b = Builder::new();
+    let tcp = leaf(&mut b, "parse_tcp", "tcp", p::TCP_BITS);
+    let udp = leaf(&mut b, "parse_udp", "udp", p::UDP_BITS);
+    let icmp = leaf(&mut b, "parse_icmp", "icmp", p::ICMP_BITS);
+    // Inner IPv4 under GRE.
+    let ipv4_inner = ipv4_state(
+        &mut b,
+        "parse_ipv4_inner",
+        "ipv4_inner",
+        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp)],
+    );
+    let gre = {
+        let q = b.state("parse_gre");
+        let h = b.header("gre", p::GRE_BITS);
+        // Protocol type field in the low 16 bits of the GRE base header.
+        let sel = Expr::slice(Expr::hdr(h), 16, 31);
+        let trans = b.select1(sel, vec![(&*p::ethertype(v::ETH_IPV4).leak(), ipv4_inner)]);
+        b.define(q, vec![b.extract(h)], trans);
+        Target::State(q)
+    };
+    let ipv4 = ipv4_state(
+        &mut b,
+        "parse_ipv4",
+        "ipv4",
+        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp), (v::IP_ICMP, icmp), (v::IP_GRE, gre)],
+    );
+    let ipv6 = ipv6_state(
+        &mut b,
+        "parse_ipv6",
+        "ipv6",
+        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp)],
+    );
+    let mpls = mpls_chain(&mut b, mpls_depth, ipv4);
+    let vlan = {
+        let q = b.state("parse_vlan");
+        let h = b.header("vlan", p::VLAN_BITS);
+        let sel = Expr::slice(
+            Expr::hdr(h),
+            p::VLAN_ETHERTYPE_OFFSET,
+            p::VLAN_ETHERTYPE_OFFSET + p::ETHERTYPE_BITS - 1,
+        );
+        let cases = vec![
+            (p::ethertype(v::ETH_MPLS).leak() as &str, mpls),
+            (p::ethertype(v::ETH_IPV4).leak() as &str, ipv4),
+            (p::ethertype(v::ETH_IPV6).leak() as &str, ipv6),
+        ];
+        let trans = b.select1(sel, cases);
+        b.define(q, vec![b.extract(h)], trans);
+        Target::State(q)
+    };
+    let parse_eth = b.state("parse_eth");
+    let ety = ethertype_slice(&mut b, "eth");
+    let cases = vec![
+        (p::ethertype(v::ETH_VLAN).leak() as &str, vlan),
+        (p::ethertype(v::ETH_MPLS).leak() as &str, mpls),
+        (p::ethertype(v::ETH_IPV4).leak() as &str, ipv4),
+        (p::ethertype(v::ETH_IPV6).leak() as &str, ipv6),
+    ];
+    let trans = b.select1(ety, cases);
+    let eth_hdr = b.header("eth", p::ETHERNET_BITS);
+    b.define(parse_eth, vec![b.extract(eth_hdr)], trans);
+    b.build().expect("edge parser is well-formed")
+}
+
+/// **Service Provider** (core router): Ethernet, QinQ VLANs, a deep MPLS
+/// stack, IPv4/IPv6, TCP/UDP.
+pub fn service_provider(scale: Scale) -> Automaton {
+    let mpls_depth = match scale {
+        Scale::Full => 4,
+        Scale::Medium => 2,
+        Scale::Small => 1,
+    };
+    let mut b = Builder::new();
+    let tcp = leaf(&mut b, "parse_tcp", "tcp", p::TCP_BITS);
+    let udp = leaf(&mut b, "parse_udp", "udp", p::UDP_BITS);
+    let ipv4 = ipv4_state(
+        &mut b,
+        "parse_ipv4",
+        "ipv4",
+        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp)],
+    );
+    let ipv6 = ipv6_state(
+        &mut b,
+        "parse_ipv6",
+        "ipv6",
+        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp)],
+    );
+    let mpls = mpls_chain(&mut b, mpls_depth, ipv4);
+    let vlan_demux = |b: &mut Builder, state: &str, header: &str, deeper: Option<Target>| {
+        let q = b.state(state);
+        let h = b.header(header, p::VLAN_BITS);
+        let sel = Expr::slice(
+            Expr::hdr(h),
+            p::VLAN_ETHERTYPE_OFFSET,
+            p::VLAN_ETHERTYPE_OFFSET + p::ETHERTYPE_BITS - 1,
+        );
+        let mut cases: Vec<(&str, Target)> = vec![
+            (p::ethertype(v::ETH_MPLS).leak(), mpls),
+            (p::ethertype(v::ETH_IPV4).leak(), ipv4),
+            (p::ethertype(v::ETH_IPV6).leak(), ipv6),
+        ];
+        if let Some(d) = deeper {
+            cases.insert(0, (p::ethertype(v::ETH_VLAN).leak(), d));
+        }
+        let trans = b.select1(sel, cases);
+        b.define(q, vec![b.extract(h)], trans);
+        Target::State(q)
+    };
+    let vlan_inner = vlan_demux(&mut b, "parse_vlan_inner", "vlan_inner", None);
+    let vlan = vlan_demux(&mut b, "parse_vlan", "vlan", Some(vlan_inner));
+    let parse_eth = b.state("parse_eth");
+    let ety = ethertype_slice(&mut b, "eth");
+    let cases: Vec<(&str, Target)> = vec![
+        (p::ethertype(v::ETH_QINQ).leak(), vlan),
+        (p::ethertype(v::ETH_VLAN).leak(), vlan),
+        (p::ethertype(v::ETH_MPLS).leak(), mpls),
+        (p::ethertype(v::ETH_IPV4).leak(), ipv4),
+        (p::ethertype(v::ETH_IPV6).leak(), ipv6),
+    ];
+    let trans = b.select1(ety, cases);
+    let eth_hdr = b.header("eth", p::ETHERNET_BITS);
+    b.define(parse_eth, vec![b.extract(eth_hdr)], trans);
+    b.build().expect("service provider parser is well-formed")
+}
+
+/// **Datacenter** (top-of-rack switch): Ethernet, VLAN, IPv4/IPv6,
+/// TCP/UDP, VXLAN tunneling (UDP port 4789) with a full inner
+/// Ethernet/IP/transport stack, and NVGRE.
+pub fn datacenter(scale: Scale) -> Automaton {
+    let inner = !matches!(scale, Scale::Small);
+    let mut b = Builder::new();
+    let tcp_in = leaf(&mut b, "parse_tcp_inner", "tcp_inner", p::TCP_BITS);
+    let udp_in = leaf(&mut b, "parse_udp_inner", "udp_inner", p::UDP_BITS);
+    let ipv4_in = if inner {
+        ipv4_state(
+            &mut b,
+            "parse_ipv4_inner",
+            "ipv4_inner",
+            vec![(v::IP_TCP, tcp_in), (v::IP_UDP, udp_in)],
+        )
+    } else {
+        tcp_in
+    };
+    let ipv6_in = if inner {
+        ipv6_state(
+            &mut b,
+            "parse_ipv6_inner",
+            "ipv6_inner",
+            vec![(v::IP_TCP, tcp_in), (v::IP_UDP, udp_in)],
+        )
+    } else {
+        udp_in
+    };
+    // Inner Ethernet after the VXLAN header.
+    let eth_inner = {
+        let q = b.state("parse_eth_inner");
+        let h = b.header("eth_inner", p::ETHERNET_BITS);
+        let sel = Expr::slice(
+            Expr::hdr(h),
+            p::ETHERTYPE_OFFSET,
+            p::ETHERTYPE_OFFSET + p::ETHERTYPE_BITS - 1,
+        );
+        let cases: Vec<(&str, Target)> = vec![
+            (p::ethertype(v::ETH_IPV4).leak(), ipv4_in),
+            (p::ethertype(v::ETH_IPV6).leak(), ipv6_in),
+        ];
+        let trans = b.select1(sel, cases);
+        b.define(q, vec![b.extract(h)], trans);
+        Target::State(q)
+    };
+    let vxlan = {
+        let q = b.state("parse_vxlan");
+        let h = b.header("vxlan", p::VXLAN_BITS);
+        b.define(q, vec![b.extract(h)], b.goto(eth_inner));
+        Target::State(q)
+    };
+    // Outer UDP demuxes on the destination port for VXLAN.
+    let udp = {
+        let q = b.state("parse_udp");
+        let h = b.header("udp", p::UDP_BITS);
+        let sel = Expr::slice(
+            Expr::hdr(h),
+            p::UDP_DPORT_OFFSET,
+            p::UDP_DPORT_OFFSET + p::PORT_BITS - 1,
+        );
+        let cases: Vec<(&str, Target)> =
+            vec![(p::port(v::PORT_VXLAN).leak(), vxlan), ("_", Target::Accept)];
+        let trans = b.select1(sel, cases);
+        b.define(q, vec![b.extract(h)], trans);
+        Target::State(q)
+    };
+    let tcp = leaf(&mut b, "parse_tcp", "tcp", p::TCP_BITS);
+    // NVGRE: GRE carrying inner Ethernet.
+    let nvgre = {
+        let q = b.state("parse_nvgre");
+        let h = b.header("nvgre", p::GRE_BITS);
+        b.define(q, vec![b.extract(h)], b.goto(eth_inner));
+        Target::State(q)
+    };
+    let icmp = leaf(&mut b, "parse_icmp", "icmp", p::ICMP_BITS);
+    let icmp6 = leaf(&mut b, "parse_icmp6", "icmp6", p::ICMP_BITS);
+    let ipv4 = ipv4_state(
+        &mut b,
+        "parse_ipv4",
+        "ipv4",
+        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp), (v::IP_GRE, nvgre), (v::IP_ICMP, icmp)],
+    );
+    let ipv6 = ipv6_state(
+        &mut b,
+        "parse_ipv6",
+        "ipv6",
+        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp), (v::IP_ICMPV6, icmp6)],
+    );
+    let vlan = {
+        let q = b.state("parse_vlan");
+        let h = b.header("vlan", p::VLAN_BITS);
+        let sel = Expr::slice(
+            Expr::hdr(h),
+            p::VLAN_ETHERTYPE_OFFSET,
+            p::VLAN_ETHERTYPE_OFFSET + p::ETHERTYPE_BITS - 1,
+        );
+        let cases: Vec<(&str, Target)> = vec![
+            (p::ethertype(v::ETH_IPV4).leak(), ipv4),
+            (p::ethertype(v::ETH_IPV6).leak(), ipv6),
+        ];
+        let trans = b.select1(sel, cases);
+        b.define(q, vec![b.extract(h)], trans);
+        Target::State(q)
+    };
+    let parse_eth = b.state("parse_eth");
+    let ety = ethertype_slice(&mut b, "eth");
+    let cases: Vec<(&str, Target)> = vec![
+        (p::ethertype(v::ETH_VLAN).leak(), vlan),
+        (p::ethertype(v::ETH_IPV4).leak(), ipv4),
+        (p::ethertype(v::ETH_IPV6).leak(), ipv6),
+    ];
+    let trans = b.select1(ety, cases);
+    let eth_hdr = b.header("eth", p::ETHERNET_BITS);
+    b.define(parse_eth, vec![b.extract(eth_hdr)], trans);
+    b.build().expect("datacenter parser is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::applicability::all_benchmarks;
+    use crate::workload::{packets, Rng};
+    use leapfrog_p4a::semantics::Config;
+    use leapfrog_p4a::validate::validate;
+
+    #[test]
+    fn all_scenarios_validate_at_all_scales() {
+        for scale in [Scale::Small, Scale::Medium, Scale::Full] {
+            for aut in [
+                enterprise(scale),
+                edge(scale),
+                service_provider(scale),
+                datacenter(scale),
+            ] {
+                assert!(validate(&aut).is_ok());
+                assert!(aut.state_by_name("parse_eth").is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn full_scale_state_counts_near_table2() {
+        // Table 2 (both copies): Edge 28, SP 22, DC 30, Enterprise 22.
+        assert_eq!(edge(Scale::Full).num_states() * 2, 28);
+        assert_eq!(service_provider(Scale::Full).num_states() * 2, 22);
+        assert_eq!(datacenter(Scale::Full).num_states() * 2, 30);
+        assert_eq!(enterprise(Scale::Full).num_states() * 2, 22);
+    }
+
+    #[test]
+    fn scenarios_accept_generated_packets() {
+        for aut in [
+            enterprise(Scale::Small),
+            edge(Scale::Small),
+            service_provider(Scale::Small),
+            datacenter(Scale::Small),
+        ] {
+            let q = aut.state_by_name("parse_eth").unwrap();
+            let pkts = packets(&aut, q, 12, 60, 0xD00D);
+            let accepted = pkts
+                .iter()
+                .filter(|p| Config::initial(&aut, q).accepts_chunked(&aut, p))
+                .count();
+            assert!(accepted > 0, "workload never reaches accept");
+        }
+    }
+
+    #[test]
+    fn benchmarks_are_self_comparisons() {
+        for bench in all_benchmarks(Scale::Small) {
+            assert!(bench.expect_equivalent);
+            assert_eq!(bench.left.num_states(), bench.right.num_states());
+        }
+        let mut rng = Rng::new(1);
+        let _ = rng.next_u64();
+    }
+}

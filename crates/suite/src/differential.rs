@@ -1,0 +1,122 @@
+//! Differential-testing oracles: cheap semantic equivalence checks used to
+//! cross-validate the symbolic decision procedure.
+//!
+//! These are *testing* tools, not decision procedures: randomized agreement
+//! is one-sided (catches inequivalence, never proves equivalence), and the
+//! exhaustive oracle is exponential and only usable on tiny automata.
+
+use leapfrog_bitvec::BitVec;
+use leapfrog_p4a::ast::{Automaton, StateId};
+use leapfrog_p4a::semantics::{Config, Store};
+
+/// Randomized agreement: runs `samples` random words of each length in
+/// `lengths` through both parsers (with independently random initial
+/// stores) and reports whether acceptance always matched.
+pub fn agree_on_words(
+    left: &Automaton,
+    ql: StateId,
+    right: &Automaton,
+    qr: StateId,
+    lengths: &[usize],
+    samples: usize,
+    seed: u64,
+) -> bool {
+    find_disagreement(left, ql, right, qr, lengths, samples, seed).is_none()
+}
+
+/// Like [`agree_on_words`], but returns the first disagreeing word.
+pub fn find_disagreement(
+    left: &Automaton,
+    ql: StateId,
+    right: &Automaton,
+    qr: StateId,
+    lengths: &[usize],
+    samples: usize,
+    seed: u64,
+) -> Option<BitVec> {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state
+    };
+    for &len in lengths {
+        for _ in 0..samples {
+            let word = BitVec::random_with(len, &mut rng);
+            let sl = Store::random(left, &mut rng);
+            let sr = Store::random(right, &mut rng);
+            let al = Config::with_store(ql, sl).accepts_chunked(left, &word);
+            let ar = Config::with_store(qr, sr).accepts_chunked(right, &word);
+            if al != ar {
+                return Some(word);
+            }
+        }
+    }
+    None
+}
+
+/// Exhaustive agreement over *all* words up to `max_len` bits, with zero
+/// initial stores. Exponential; keep `max_len ≤ ~18`.
+pub fn agree_exhaustive(
+    left: &Automaton,
+    ql: StateId,
+    right: &Automaton,
+    qr: StateId,
+    max_len: usize,
+) -> bool {
+    assert!(max_len <= 22, "exhaustive oracle limited to 22 bits");
+    for len in 0..=max_len {
+        for w in 0u64..(1u64 << len) {
+            let word = BitVec::from_u64(w, len);
+            let al = Config::initial(left, ql).accepts_chunked(left, &word);
+            let ar = Config::initial(right, qr).accepts_chunked(right, &word);
+            if al != ar {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapfrog_p4a::surface::parse;
+
+    #[test]
+    fn oracles_accept_equivalent_pair() {
+        let a = parse(
+            "parser A { state s { extract(h, 2);
+               select(h) { 0b10 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse(
+            "parser B { state s { extract(x, 1); goto t }
+                        state t { extract(y, 1);
+               select(x, y) { (0b1, 0b0) => accept; (_, _) => reject; } } }",
+        )
+        .unwrap();
+        let sa = a.state_by_name("s").unwrap();
+        let sb = b.state_by_name("s").unwrap();
+        assert!(agree_exhaustive(&a, sa, &b, sb, 6));
+        assert!(agree_on_words(&a, sa, &b, sb, &[0, 1, 2, 3, 4], 50, 7));
+    }
+
+    #[test]
+    fn oracles_catch_inequivalent_pair() {
+        let a = parse(
+            "parser A { state s { extract(h, 2);
+               select(h) { 0b10 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse(
+            "parser B { state s { extract(h, 2);
+               select(h) { 0b01 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let sa = a.state_by_name("s").unwrap();
+        let sb = b.state_by_name("s").unwrap();
+        assert!(!agree_exhaustive(&a, sa, &b, sb, 3));
+        let w = find_disagreement(&a, sa, &b, sb, &[2], 64, 3).expect("must disagree");
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,48 @@
+//! The Table 2 size metrics: States, Branched bits, Total bits.
+
+use leapfrog_p4a::ast::Automaton;
+
+/// The three size columns of Table 2 for a parser pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Metrics {
+    /// Total states across both parsers.
+    pub states: usize,
+    /// Total bits appearing in `select` scrutinees across both parsers
+    /// ("an optimal verification algorithm would need to represent 2^B
+    /// states").
+    pub branched_bits: usize,
+    /// Total header bits across both parsers ("an explicit state space
+    /// would contain 2^T states").
+    pub total_bits: usize,
+}
+
+impl Table2Metrics {
+    /// Computes the metrics for a pair of parsers.
+    pub fn for_pair(left: &Automaton, right: &Automaton) -> Table2Metrics {
+        Table2Metrics {
+            states: left.num_states() + right.num_states(),
+            branched_bits: left.branched_bits() + right.branched_bits(),
+            total_bits: left.total_header_bits() + right.total_header_bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapfrog_p4a::surface::parse;
+
+    #[test]
+    fn counts_states_branches_and_headers() {
+        let a = parse(
+            "parser A { state s { extract(h, 8);
+               select(h[0:3]) { 0b1111 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse("parser B { state s { extract(g, 4); goto accept } }").unwrap();
+        let m = Table2Metrics::for_pair(&a, &b);
+        assert_eq!(m.states, 2);
+        assert_eq!(m.branched_bits, 4);
+        assert_eq!(m.total_bits, 12);
+    }
+}

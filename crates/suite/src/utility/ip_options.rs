@@ -1,0 +1,227 @@
+//! The variable-length parsing case study (paper, Figures 11/12 and §7.1):
+//! a generic IP-options parser versus a parser with a specialized state
+//! for the Timestamp option (type 0x44, length 6).
+//!
+//! Each option starts with a type byte `T` and a length byte `L`; lengths
+//! 1–6 select a variant state that reads `8·L` bits into the option value
+//! `v` (via a width-matched scratch header, since header sizes are fixed),
+//! and `(T, L) ∈ {(0,0), (1,0)}` ends the option list. The specialized
+//! parser adds a state that splits the 48-bit Timestamp payload into
+//! `ptr`/`overflow`/`flag`/`time` fields; it consumes exactly the same 48
+//! bits, so the two parsers accept the same packets.
+//!
+//! The number of option slots is a parameter: Table 2's row uses two slots
+//! (30 states across both parsers).
+
+use leapfrog_p4a::ast::{Automaton, Expr, Pattern, Target, Transition};
+use leapfrog_p4a::builder::Builder;
+
+use crate::{Benchmark, Scale};
+
+const VALUE_BITS: usize = 48;
+
+/// Builds the option-list parser with `n` option slots; when `timestamp`
+/// is set, the specialized Timestamp state is added (Figure 12), otherwise
+/// the parser is fully generic (Figure 11).
+pub fn options_parser(n: usize, timestamp: bool) -> Automaton {
+    assert!(n >= 1, "at least one option slot");
+    let mut b = Builder::new();
+    // Scratch headers, one per variant width (the paper's figure reuses a
+    // single `scratch`; header sizes are fixed in the model, so we split).
+    let scratch: Vec<_> =
+        (1..=5).map(|k| b.header(format!("scratch{}", 8 * k), 8 * k)).collect();
+    for i in 0..n {
+        b.header(format!("T{i}"), 8);
+        b.header(format!("L{i}"), 8);
+        b.header(format!("v{i}"), VALUE_BITS);
+        if timestamp {
+            b.header(format!("ptr{i}"), 8);
+            b.header(format!("over{i}"), 4);
+            b.header(format!("flag{i}"), 4);
+            b.header(format!("time{i}"), 32);
+        }
+    }
+    for i in 0..n {
+        let parse_i = b.state(format!("parse_{i}"));
+        let next: Target = if i + 1 < n {
+            Target::State(b.state(format!("parse_{}", i + 1)))
+        } else {
+            Target::Accept
+        };
+        let ti = b.header(format!("T{i}"), 8);
+        let li = b.header(format!("L{i}"), 8);
+        let vi = b.header(format!("v{i}"), VALUE_BITS);
+
+        // Variant states for lengths 1..=6.
+        let mut variant_targets = Vec::new();
+        for k in 1..=6usize {
+            let vstate = b.state(format!("parse_v{i}{k}"));
+            variant_targets.push(vstate);
+            if k == 6 {
+                b.define(vstate, vec![b.extract(vi)], b.goto(next));
+            } else {
+                let sc = scratch[k - 1];
+                // v_i := scratch ++ v_i[8k : 47]  (keep the old suffix).
+                b.define(
+                    vstate,
+                    vec![
+                        b.extract(sc),
+                        b.assign(
+                            vi,
+                            Expr::concat(
+                                Expr::hdr(sc),
+                                Expr::slice(Expr::hdr(vi), 8 * k, VALUE_BITS - 1),
+                            ),
+                        ),
+                    ],
+                    b.goto(next),
+                );
+            }
+        }
+
+        // The T/L dispatch state.
+        let byte = |v: u64| Pattern::Exact(leapfrog_bitvec::BitVec::from_u64(v, 8));
+        let mut cases = vec![
+            (vec![byte(0x00), byte(0x00)], Target::Accept),
+            (vec![byte(0x01), byte(0x00)], Target::Accept),
+        ];
+        if timestamp {
+            let stamp = b.state(format!("parse_stamp{i}"));
+            let ptr = b.header(format!("ptr{i}"), 8);
+            let over = b.header(format!("over{i}"), 4);
+            let flag = b.header(format!("flag{i}"), 4);
+            let time = b.header(format!("time{i}"), 32);
+            b.define(
+                stamp,
+                vec![b.extract(ptr), b.extract(over), b.extract(flag), b.extract(time)],
+                b.goto(next),
+            );
+            cases.push((vec![byte(0x44), byte(0x06)], Target::State(stamp)));
+        }
+        for (k, vstate) in variant_targets.iter().enumerate() {
+            cases.push((
+                vec![Pattern::Wildcard, byte(k as u64 + 1)],
+                Target::State(*vstate),
+            ));
+        }
+        let trans = Transition::Select {
+            exprs: vec![Expr::hdr(ti), Expr::hdr(li)],
+            cases: cases
+                .into_iter()
+                .map(|(pats, target)| leapfrog_p4a::ast::Case { pats, target })
+                .collect(),
+        };
+        b.define(parse_i, vec![b.extract(ti), b.extract(li)], trans);
+    }
+    b.build().expect("IP options parser is well-formed")
+}
+
+/// The generic parser of Figure 11 (parameterized option count).
+pub fn generic(n: usize) -> Automaton {
+    options_parser(n, false)
+}
+
+/// The specialized Timestamp parser of Figure 12.
+pub fn specialized(n: usize) -> Automaton {
+    options_parser(n, true)
+}
+
+/// Option slots per scale: Table 2's row has 30 states across both
+/// parsers, which corresponds to two slots.
+pub fn slots_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Full | Scale::Medium => 2,
+        Scale::Small => 1,
+    }
+}
+
+/// The Table 2 "Variable-length parsing" benchmark.
+pub fn ip_options_benchmark(scale: Scale) -> Benchmark {
+    let n = slots_for(scale);
+    Benchmark::new(
+        "Variable-length parsing",
+        generic(n),
+        "parse_0",
+        specialized(n),
+        "parse_0",
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::agree_on_words;
+    use leapfrog_bitvec::BitVec;
+    use leapfrog_p4a::semantics::Config;
+
+    fn option(ty: u64, len: u64, data_bits: usize) -> BitVec {
+        let mut o = BitVec::from_u64(ty, 8);
+        o.extend(&BitVec::from_u64(len, 8));
+        o.extend(&BitVec::random_with(data_bits, || 0x5a5a));
+        o
+    }
+
+    #[test]
+    fn generic_accepts_wellformed_option_lists() {
+        let aut = generic(2);
+        let q = aut.state_by_name("parse_0").unwrap();
+        // End-of-list immediately.
+        assert!(Config::initial(&aut, q).accepts(&aut, &option(0, 0, 0)));
+        // One 3-byte option, then end-of-list.
+        let pkt = option(0x07, 3, 24).concat(&option(0x01, 0, 0));
+        assert!(Config::initial(&aut, q).accepts(&aut, &pkt));
+        // A 6-byte option fills the slot, then end-of-list.
+        let pkt = option(0x07, 6, 48).concat(&option(0x00, 0, 0));
+        assert!(Config::initial(&aut, q).accepts(&aut, &pkt));
+        // Length 7 is invalid.
+        assert!(!Config::initial(&aut, q).accepts(&aut, &option(0x07, 7, 56)));
+    }
+
+    #[test]
+    fn specialized_consumes_timestamp_like_generic() {
+        let g = generic(2);
+        let s = specialized(2);
+        let qg = g.state_by_name("parse_0").unwrap();
+        let qs = s.state_by_name("parse_0").unwrap();
+        let pkt = option(0x44, 6, 48).concat(&option(0x00, 0, 0));
+        assert!(Config::initial(&g, qg).accepts(&g, &pkt));
+        assert!(Config::initial(&s, qs).accepts(&s, &pkt));
+        // The specialized parser actually split the fields.
+        let end = Config::initial(&s, qs).step_word(&s, &pkt);
+        assert!(end.is_accepting());
+        let ptr0 = s.header_by_name("ptr0").unwrap();
+        assert_eq!(end.store.get(ptr0).len(), 8);
+    }
+
+    #[test]
+    fn parsers_agree_on_random_words() {
+        let bench = ip_options_benchmark(Scale::Small);
+        assert!(agree_on_words(
+            &bench.left,
+            bench.left_start,
+            &bench.right,
+            bench.right_start,
+            &[0, 8, 16, 24, 40, 48, 64, 72, 80, 96, 112],
+            150,
+            0x0b7,
+        ));
+        let bench2 = ip_options_benchmark(Scale::Medium);
+        assert!(agree_on_words(
+            &bench2.left,
+            bench2.left_start,
+            &bench2.right,
+            bench2.right_start,
+            &[16, 32, 48, 80, 96, 128, 160],
+            100,
+            0x0b8,
+        ));
+    }
+
+    #[test]
+    fn metrics_match_table_at_two_slots() {
+        let m = ip_options_benchmark(Scale::Medium).metrics();
+        assert_eq!(m.states, 30); // Table 2: 30
+        assert_eq!(m.branched_bits, 64); // 16 bits per dispatch × 4 dispatch states
+    }
+}

@@ -1,0 +1,13 @@
+//! The six utility case studies of §7.1.
+
+pub mod ip_options;
+pub mod mpls;
+pub mod sloppy_strict;
+pub mod state_rearrangement;
+pub mod vlan_init;
+
+pub use ip_options::ip_options_benchmark;
+pub use mpls::mpls_benchmark;
+pub use sloppy_strict::{sloppy_strict_parsers, SLOPPY_START, STRICT_START};
+pub use state_rearrangement::state_rearrangement_benchmark;
+pub use vlan_init::vlan_init_benchmark;

@@ -1,0 +1,140 @@
+//! The speculative-loop case study (paper, Figure 1 and §7.1):
+//! a reference MPLS/UDP parser versus a vectorized parser that
+//! speculatively extracts two MPLS labels per iteration.
+
+use leapfrog_p4a::ast::{Automaton, Expr, Pattern, Target};
+use leapfrog_p4a::builder::Builder;
+
+use crate::Benchmark;
+
+/// The reference parser (Figure 1, left): `q1` reads one 32-bit label at a
+/// time until the bottom-of-stack bit (bit 23) is set, then `q2` reads a
+/// 64-bit UDP header.
+pub fn reference() -> Automaton {
+    let mut b = Builder::new();
+    let mpls = b.header("mpls", 32);
+    let udp = b.header("udp", 64);
+    let q1 = b.state("q1");
+    let q2 = b.state("q2");
+    b.define(
+        q1,
+        vec![b.extract(mpls)],
+        b.select(
+            vec![Expr::slice(Expr::hdr(mpls), 23, 23)],
+            vec![
+                (vec![Pattern::exact_str("0")], Target::State(q1)),
+                (vec![Pattern::exact_str("1")], Target::State(q2)),
+            ],
+        ),
+    );
+    b.define(q2, vec![b.extract(udp)], b.goto(Target::Accept));
+    b.build().expect("reference MPLS parser is well-formed")
+}
+
+/// The vectorized parser (Figure 1, right): `q3` speculatively extracts
+/// two labels. If the first label closes the stack, the second label was
+/// really the first half of the UDP header; `q5` repairs by reading 32
+/// more bits and reassembling `udp := new ++ tmp`.
+pub fn vectorized() -> Automaton {
+    let mut b = Builder::new();
+    let old = b.header("old", 32);
+    let new = b.header("new", 32);
+    let tmp = b.header("tmp", 32);
+    let udp = b.header("udp", 64);
+    let q3 = b.state("q3");
+    let q4 = b.state("q4");
+    let q5 = b.state("q5");
+    b.define(
+        q3,
+        vec![b.extract(old), b.extract(new)],
+        b.select(
+            vec![
+                Expr::slice(Expr::hdr(old), 23, 23),
+                Expr::slice(Expr::hdr(new), 23, 23),
+            ],
+            vec![
+                (
+                    vec![Pattern::exact_str("0"), Pattern::exact_str("0")],
+                    Target::State(q3),
+                ),
+                (
+                    vec![Pattern::exact_str("0"), Pattern::exact_str("1")],
+                    Target::State(q4),
+                ),
+                (
+                    vec![Pattern::exact_str("1"), Pattern::Wildcard],
+                    Target::State(q5),
+                ),
+            ],
+        ),
+    );
+    b.define(q4, vec![b.extract(udp)], b.goto(Target::Accept));
+    b.define(
+        q5,
+        vec![
+            b.extract(tmp),
+            b.assign(udp, Expr::concat(Expr::hdr(new), Expr::hdr(tmp))),
+        ],
+        b.goto(Target::Accept),
+    );
+    b.build().expect("vectorized MPLS parser is well-formed")
+}
+
+/// The Table 2 "Speculative loop" benchmark.
+pub fn mpls_benchmark() -> Benchmark {
+    Benchmark::new("Speculative loop", reference(), "q1", vectorized(), "q3", true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::agree_on_words;
+    use leapfrog_bitvec::BitVec;
+    use leapfrog_p4a::semantics::Config;
+
+    fn label(bottom: bool, fill: u64) -> BitVec {
+        let mut l = BitVec::random_with(32, || fill);
+        l.set(23, bottom);
+        l
+    }
+
+    #[test]
+    fn reference_and_vectorized_agree_on_mpls_packets() {
+        let r = reference();
+        let v = vectorized();
+        let q1 = r.state_by_name("q1").unwrap();
+        let q3 = v.state_by_name("q3").unwrap();
+        for stack in 1..5usize {
+            let mut pkt = BitVec::new();
+            for i in 0..stack {
+                pkt.extend(&label(i == stack - 1, 0xDEADBEEF ^ i as u64));
+            }
+            pkt.extend(&BitVec::random_with(64, || 0x1234));
+            assert!(Config::initial(&r, q1).accepts(&r, &pkt), "ref rejects stack {stack}");
+            assert!(Config::initial(&v, q3).accepts(&v, &pkt), "vec rejects stack {stack}");
+        }
+    }
+
+    #[test]
+    fn parsers_agree_on_random_words() {
+        let bench = mpls_benchmark();
+        assert!(agree_on_words(
+            &bench.left,
+            bench.left_start,
+            &bench.right,
+            bench.right_start,
+            &[0, 1, 31, 32, 64, 95, 96, 97, 128, 160, 192, 224, 256],
+            200,
+            0xfeed,
+        ));
+    }
+
+    #[test]
+    fn metrics_match_figure() {
+        let bench = mpls_benchmark();
+        let m = bench.metrics();
+        assert_eq!(m.states, 5); // q1, q2 + q3, q4, q5 (Table 2: 5)
+        assert_eq!(m.branched_bits, 3); // 1 (ref) + 2 (vectorized)
+        assert_eq!(m.total_bits, 96 + 160);
+    }
+}

@@ -1,0 +1,182 @@
+//! The sloppy/strict Ethernet parsers (paper, Figure 10), used by two case
+//! studies (§7.1):
+//!
+//! * **External filtering**: the lenient parser treats any non-IPv4
+//!   EtherType as IPv6; the strict parser rejects unknown EtherTypes. They
+//!   are *not* language-equivalent, but become equivalent *modulo an
+//!   external filter* that drops packets whose EtherType is neither IPv4
+//!   nor IPv6 — posed by replacing the initial relation.
+//! * **Relational verification**: whenever both parsers accept, their
+//!   stores correspond.
+
+use leapfrog_logic::confrel::{BitExpr, ConfRel, Pure, Side};
+use leapfrog_logic::templates::{Template, TemplatePair};
+use leapfrog_p4a::ast::{Automaton, Expr, Target};
+use leapfrog_p4a::builder::Builder;
+use leapfrog_p4a::sum::Sum;
+
+/// Start state of the sloppy parser.
+pub const SLOPPY_START: &str = "parse_eth";
+/// Start state of the strict parser.
+pub const STRICT_START: &str = "parse_eth";
+
+/// EtherType for IPv6 in the paper's figure.
+pub const ETHERTYPE_IPV6: &str = "1000011011011101"; // 0x86dd
+/// EtherType for IPv4 in the paper's figure (0x8600, as printed there).
+pub const ETHERTYPE_IPV4: &str = "1000011000000000"; // 0x8600
+
+fn eth_parser(strict: bool) -> Automaton {
+    let mut b = Builder::new();
+    let ether = b.header("ether", 112);
+    let ipv6 = b.header("ipv6", 288);
+    let ipv4 = b.header("ipv4", 128);
+    let parse_eth = b.state("parse_eth");
+    let parse_ipv6 = b.state("parse_ipv6");
+    let parse_ipv4 = b.state("parse_ipv4");
+    let mut cases = vec![
+        (ETHERTYPE_IPV6, Target::State(parse_ipv6)),
+        (ETHERTYPE_IPV4, Target::State(parse_ipv4)),
+    ];
+    if strict {
+        cases.push(("_", Target::Reject));
+    } else {
+        // Lenient: anything else is assumed to be IPv6.
+        cases.push(("_", Target::State(parse_ipv6)));
+    }
+    b.define(
+        parse_eth,
+        vec![b.extract(ether)],
+        b.select1(Expr::slice(Expr::hdr(ether), 96, 111), cases),
+    );
+    b.define(parse_ipv6, vec![b.extract(ipv6)], b.goto(Target::Accept));
+    b.define(parse_ipv4, vec![b.extract(ipv4)], b.goto(Target::Accept));
+    b.build().expect("Ethernet parser is well-formed")
+}
+
+/// The lenient parser: unknown EtherTypes are parsed as IPv6.
+pub fn sloppy() -> Automaton {
+    eth_parser(false)
+}
+
+/// The strict parser: unknown EtherTypes are rejected.
+pub fn strict() -> Automaton {
+    eth_parser(true)
+}
+
+/// Both parsers, `(sloppy, strict)`.
+pub fn sloppy_strict_parsers() -> (Automaton, Automaton) {
+    (sloppy(), strict())
+}
+
+/// The *external filtering* initial relation (§7.1), expressed over the
+/// sum automaton: for configuration pairs that disagree on acceptance, the
+/// sloppy side's EtherType must be one the filter would drop (neither IPv4
+/// nor IPv6); equally-accepting pairs are unconstrained, and accept/accept
+/// pairs additionally pin the EtherType to a filtered-in value.
+///
+/// `reach` must be the reachable template pairs of the sum; the relation
+/// produced replaces the standard initial relation via
+/// [`leapfrog::Checker::replace_init`].
+pub fn external_filter_init(
+    sum: &Sum,
+    reach: &[TemplatePair],
+) -> Vec<ConfRel> {
+    let aut = &sum.automaton;
+    let ether_l = aut.header_by_name("l.ether").expect("sloppy ether header");
+    let ipv6: leapfrog_bitvec::BitVec = ETHERTYPE_IPV6.parse().unwrap();
+    let ipv4: leapfrog_bitvec::BitVec = ETHERTYPE_IPV4.parse().unwrap();
+    let ether_type =
+        BitExpr::Slice(Box::new(BitExpr::Hdr(Side::Left, ether_l)), 96, 16);
+    let filtered_in = Pure::or(
+        Pure::eq(ether_type.clone(), BitExpr::Lit(ipv6)),
+        Pure::eq(ether_type, BitExpr::Lit(ipv4)),
+    );
+    let mut out = Vec::new();
+    for p in reach {
+        if p.left.is_accepting() != p.right.is_accepting() {
+            // A disagreement is tolerable only when the filter drops the
+            // packet: the EtherType must NOT be IPv4/IPv6.
+            out.push(ConfRel {
+                guard: *p,
+                vars: vec![],
+                phi: Pure::not(filtered_in.clone()),
+            });
+        }
+    }
+    out
+}
+
+/// The *relational verification* initial relation (§7.1): when both
+/// parsers accept, their stores correspond — the Ethernet headers are
+/// equal, and the protocol headers match on the path both parsers took.
+pub fn store_correspondence_init(sum: &Sum) -> Vec<ConfRel> {
+    let aut = &sum.automaton;
+    let h = |n: &str| aut.header_by_name(n).unwrap();
+    let (ether_l, ether_r) = (h("l.ether"), h("r.ether"));
+    let (v6_l, v6_r) = (h("l.ipv6"), h("r.ipv6"));
+    let (v4_l, v4_r) = (h("l.ipv4"), h("r.ipv4"));
+    let ipv6: leapfrog_bitvec::BitVec = ETHERTYPE_IPV6.parse().unwrap();
+    let ipv4: leapfrog_bitvec::BitVec = ETHERTYPE_IPV4.parse().unwrap();
+    let ether_type =
+        BitExpr::Slice(Box::new(BitExpr::Hdr(Side::Left, ether_l)), 96, 16);
+    let phi = Pure::and_all([
+        Pure::eq(BitExpr::Hdr(Side::Left, ether_l), BitExpr::Hdr(Side::Right, ether_r)),
+        Pure::implies(
+            Pure::eq(ether_type.clone(), BitExpr::Lit(ipv6)),
+            Pure::eq(BitExpr::Hdr(Side::Left, v6_l), BitExpr::Hdr(Side::Right, v6_r)),
+        ),
+        Pure::implies(
+            Pure::eq(ether_type, BitExpr::Lit(ipv4)),
+            Pure::eq(BitExpr::Hdr(Side::Left, v4_l), BitExpr::Hdr(Side::Right, v4_r)),
+        ),
+    ]);
+    vec![ConfRel {
+        guard: TemplatePair::new(Template::accept(), Template::accept()),
+        vars: vec![],
+        phi,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::find_disagreement;
+    use leapfrog_bitvec::BitVec;
+    use leapfrog_p4a::semantics::Config;
+
+    fn packet(ethertype: &str, rest: usize) -> BitVec {
+        let mut pkt = BitVec::random_with(96, || 0x77);
+        let ty: BitVec = ethertype.parse().unwrap();
+        pkt.extend(&ty);
+        pkt.extend(&BitVec::random_with(rest, || 0x31));
+        pkt
+    }
+
+    #[test]
+    fn parsers_differ_exactly_on_unknown_ethertypes() {
+        let (s, t) = sloppy_strict_parsers();
+        let qs = s.state_by_name(SLOPPY_START).unwrap();
+        let qt = t.state_by_name(STRICT_START).unwrap();
+        // Known types agree.
+        for (ty, rest) in [(ETHERTYPE_IPV6, 288), (ETHERTYPE_IPV4, 128)] {
+            let p = packet(ty, rest);
+            assert_eq!(
+                Config::initial(&s, qs).accepts(&s, &p),
+                Config::initial(&t, qt).accepts(&t, &p)
+            );
+        }
+        // Unknown type parsed as IPv6 by sloppy, rejected by strict.
+        let junk = packet("0000000000000001", 288);
+        assert!(Config::initial(&s, qs).accepts(&s, &junk));
+        assert!(!Config::initial(&t, qt).accepts(&t, &junk));
+    }
+
+    #[test]
+    fn random_testing_finds_the_disagreement() {
+        let (s, t) = sloppy_strict_parsers();
+        let qs = s.state_by_name(SLOPPY_START).unwrap();
+        let qt = t.state_by_name(STRICT_START).unwrap();
+        let w = find_disagreement(&s, qs, &t, qt, &[112 + 288], 200, 42);
+        assert!(w.is_some(), "sloppy and strict must disagree somewhere");
+    }
+}

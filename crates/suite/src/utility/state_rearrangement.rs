@@ -1,0 +1,127 @@
+//! The state-rearrangement case study (paper, Figure 7 and §7.1): a
+//! reference parser for a stylized IP + TCP/UDP protocol versus an
+//! optimized parser that extracts the common 32-bit prefix before
+//! branching.
+
+use leapfrog_p4a::ast::{Automaton, Expr, Target};
+use leapfrog_p4a::builder::Builder;
+
+use crate::Benchmark;
+
+/// The reference parser (Figure 7, left): 64 bits of IP, then either
+/// 32 bits of UDP or 64 bits of TCP depending on `ip[40:43]`.
+pub fn reference() -> Automaton {
+    let mut b = Builder::new();
+    let ip = b.header("ip", 64);
+    let udp = b.header("udp", 32);
+    let tcp = b.header("tcp", 64);
+    let parse_ip = b.state("parse_ip");
+    let parse_udp = b.state("parse_udp");
+    let parse_tcp = b.state("parse_tcp");
+    b.define(
+        parse_ip,
+        vec![b.extract(ip)],
+        b.select1(
+            Expr::slice(Expr::hdr(ip), 40, 43),
+            vec![
+                ("0001", Target::State(parse_udp)),
+                ("0000", Target::State(parse_tcp)),
+            ],
+        ),
+    );
+    b.define(parse_udp, vec![b.extract(udp)], b.goto(Target::Accept));
+    b.define(parse_tcp, vec![b.extract(tcp)], b.goto(Target::Accept));
+    b.build().expect("reference IP parser is well-formed")
+}
+
+/// The combined parser (Figure 7, right): extracts IP plus the shared
+/// 32-bit prefix, then either accepts (UDP) or reads the 32-bit suffix
+/// (TCP).
+pub fn combined() -> Automaton {
+    let mut b = Builder::new();
+    let ip = b.header("ip", 64);
+    let pref = b.header("pref", 32);
+    let suff = b.header("suff", 32);
+    let parse_combined = b.state("parse_combined");
+    let parse_suff = b.state("parse_suff");
+    b.define(
+        parse_combined,
+        vec![b.extract(ip), b.extract(pref)],
+        b.select1(
+            Expr::slice(Expr::hdr(ip), 40, 43),
+            vec![("0001", Target::Accept), ("0000", Target::State(parse_suff))],
+        ),
+    );
+    b.define(parse_suff, vec![b.extract(suff)], b.goto(Target::Accept));
+    b.build().expect("combined IP parser is well-formed")
+}
+
+/// The Table 2 "State Rearrangement" benchmark.
+pub fn state_rearrangement_benchmark() -> Benchmark {
+    Benchmark::new(
+        "State Rearrangement",
+        reference(),
+        "parse_ip",
+        combined(),
+        "parse_combined",
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::agree_on_words;
+    use leapfrog_bitvec::BitVec;
+    use leapfrog_p4a::semantics::Config;
+
+    fn ip_packet(tag: &str, payload_bits: usize) -> BitVec {
+        let mut pkt = BitVec::random_with(64, || 0xabcdef);
+        let tag: BitVec = tag.parse().unwrap();
+        for i in 0..4 {
+            pkt.set(40 + i, tag.get(i).unwrap());
+        }
+        pkt.concat(&BitVec::random_with(payload_bits, || 0x1111))
+    }
+
+    #[test]
+    fn udp_and_tcp_paths_agree() {
+        let r = reference();
+        let c = combined();
+        let qr = r.state_by_name("parse_ip").unwrap();
+        let qc = c.state_by_name("parse_combined").unwrap();
+        // UDP: tag 0001, 32 payload bits.
+        let udp = ip_packet("0001", 32);
+        assert!(Config::initial(&r, qr).accepts(&r, &udp));
+        assert!(Config::initial(&c, qc).accepts(&c, &udp));
+        // TCP: tag 0000, 64 payload bits.
+        let tcp = ip_packet("0000", 64);
+        assert!(Config::initial(&r, qr).accepts(&r, &tcp));
+        assert!(Config::initial(&c, qc).accepts(&c, &tcp));
+        // Unknown tag: rejected by both.
+        let bad = ip_packet("1000", 32);
+        assert!(!Config::initial(&r, qr).accepts(&r, &bad));
+        assert!(!Config::initial(&c, qc).accepts(&c, &bad));
+    }
+
+    #[test]
+    fn parsers_agree_on_random_words() {
+        let bench = state_rearrangement_benchmark();
+        assert!(agree_on_words(
+            &bench.left,
+            bench.left_start,
+            &bench.right,
+            bench.right_start,
+            &[0, 32, 63, 64, 95, 96, 97, 127, 128, 129, 160],
+            150,
+            0x5eed,
+        ));
+    }
+
+    #[test]
+    fn metrics_match_table() {
+        let m = state_rearrangement_benchmark().metrics();
+        assert_eq!(m.states, 5); // Table 2: 5
+        assert_eq!(m.branched_bits, 8); // Table 2: 8 (4 bits per parser)
+    }
+}

@@ -1,0 +1,161 @@
+//! The header-initialization case study (paper, Figure 9 and §7.1): an
+//! Ethernet parser with an optional VLAN tag that *defaults* the tag when
+//! absent. Self-comparison with unconstrained initial stores proves that
+//! acceptance never depends on an uninitialized header.
+
+use leapfrog_bitvec::BitVec;
+use leapfrog_p4a::ast::{Automaton, Expr, Target};
+use leapfrog_p4a::builder::Builder;
+
+use crate::Benchmark;
+
+/// The Figure 9 parser: Ethernet (112 bits), optionally a 32-bit VLAN tag
+/// (selected on the first Ethernet bit, as in the paper's stylized
+/// figure), IP (160), UDP (64); the final select rejects VLAN tags whose
+/// first nibble is `1111`. When the tag is absent it is defaulted to zero,
+/// so the branch never reads uninitialized data.
+pub fn vlan_parser() -> Automaton {
+    let mut b = Builder::new();
+    let ether = b.header("ether", 112);
+    let vlan = b.header("vlan", 32);
+    let ip = b.header("ip", 160);
+    let udp = b.header("udp", 64);
+    let parse_eth = b.state("parse_eth");
+    let default_vlan = b.state("default_vlan");
+    let parse_vlan = b.state("parse_vlan");
+    let parse_ip = b.state("parse_ip");
+    let parse_udp = b.state("parse_udp");
+    b.define(
+        parse_eth,
+        vec![b.extract(ether)],
+        b.select1(
+            Expr::slice(Expr::hdr(ether), 0, 0),
+            vec![
+                ("0", Target::State(default_vlan)),
+                ("1", Target::State(parse_vlan)),
+            ],
+        ),
+    );
+    b.define(
+        default_vlan,
+        vec![
+            b.assign(vlan, Expr::lit(BitVec::zeros(32))),
+            b.extract(ip),
+        ],
+        b.goto(Target::State(parse_udp)),
+    );
+    b.define(parse_vlan, vec![b.extract(vlan)], b.goto(Target::State(parse_ip)));
+    b.define(parse_ip, vec![b.extract(ip)], b.goto(Target::State(parse_udp)));
+    b.define(
+        parse_udp,
+        vec![b.extract(udp)],
+        b.select1(
+            Expr::slice(Expr::hdr(vlan), 0, 3),
+            vec![("1111", Target::Reject), ("_", Target::Accept)],
+        ),
+    );
+    b.build().expect("VLAN parser is well-formed")
+}
+
+/// A *buggy* variant that forgets the default assignment — acceptance then
+/// depends on the initial store, and the self-comparison check fails.
+/// Used by tests and the `header_initialization` example to show the bug
+/// the case study is about.
+pub fn vlan_parser_buggy() -> Automaton {
+    let mut b = Builder::new();
+    let ether = b.header("ether", 112);
+    let vlan = b.header("vlan", 32);
+    let ip = b.header("ip", 160);
+    let udp = b.header("udp", 64);
+    let parse_eth = b.state("parse_eth");
+    let default_vlan = b.state("default_vlan");
+    let parse_vlan = b.state("parse_vlan");
+    let parse_ip = b.state("parse_ip");
+    let parse_udp = b.state("parse_udp");
+    b.define(
+        parse_eth,
+        vec![b.extract(ether)],
+        b.select1(
+            Expr::slice(Expr::hdr(ether), 0, 0),
+            vec![
+                ("0", Target::State(default_vlan)),
+                ("1", Target::State(parse_vlan)),
+            ],
+        ),
+    );
+    // Bug: no `vlan := 0` here.
+    b.define(default_vlan, vec![b.extract(ip)], b.goto(Target::State(parse_udp)));
+    b.define(parse_vlan, vec![b.extract(vlan)], b.goto(Target::State(parse_ip)));
+    b.define(parse_ip, vec![b.extract(ip)], b.goto(Target::State(parse_udp)));
+    b.define(
+        parse_udp,
+        vec![b.extract(udp)],
+        b.select1(
+            Expr::slice(Expr::hdr(vlan), 0, 3),
+            vec![("1111", Target::Reject), ("_", Target::Accept)],
+        ),
+    );
+    b.build().expect("buggy VLAN parser is well-formed")
+}
+
+/// The Table 2 "Header initialization" benchmark: the parser compared to
+/// itself with unconstrained initial stores.
+pub fn vlan_init_benchmark() -> Benchmark {
+    Benchmark::self_comparison("Header initialization", vlan_parser(), "parse_eth")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapfrog_p4a::semantics::{Config, Store};
+
+    #[test]
+    fn fixed_parser_is_store_independent_on_samples() {
+        let aut = vlan_parser();
+        let q = aut.state_by_name("parse_eth").unwrap();
+        let mut seed = 99u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed
+        };
+        for len in [0usize, 112, 112 + 160 + 64, 112 + 32 + 160 + 64] {
+            for _ in 0..20 {
+                let word = BitVec::random_with(len, &mut rng);
+                let a = Config::with_store(q, Store::random(&aut, &mut rng))
+                    .accepts_chunked(&aut, &word);
+                let b = Config::with_store(q, Store::random(&aut, &mut rng))
+                    .accepts_chunked(&aut, &word);
+                assert_eq!(a, b, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn buggy_parser_is_store_dependent() {
+        let aut = vlan_parser_buggy();
+        let q = aut.state_by_name("parse_eth").unwrap();
+        let vlan = aut.header_by_name("vlan").unwrap();
+        // Non-VLAN packet (first bit 0) of full length.
+        let word = BitVec::zeros(112 + 160 + 64);
+        let accepting = Config::with_store(q, Store::zeros(&aut)).accepts_chunked(&aut, &word);
+        assert!(accepting);
+        let mut poisoned = Store::zeros(&aut);
+        poisoned.set(vlan, {
+            let mut v = BitVec::zeros(32);
+            for i in 0..4 {
+                v.set(i, true);
+            }
+            v
+        });
+        let rejecting = Config::with_store(q, poisoned).accepts_chunked(&aut, &word);
+        assert!(!rejecting, "poisoned initial vlan must flip acceptance");
+    }
+
+    #[test]
+    fn metrics_match_table() {
+        let m = vlan_init_benchmark().metrics();
+        assert_eq!(m.states, 10); // Table 2: 10
+        // Branched: (1 + 4) per copy = 10 (Table 2 reports 10).
+        assert_eq!(m.branched_bits, 10);
+    }
+}

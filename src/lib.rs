@@ -1,0 +1,31 @@
+//! Umbrella crate for the Leapfrog reproduction: re-exports the public
+//! API of every layer. See the README for the architecture and the
+//! `leapfrog` crate for the checker entry points.
+//!
+//! ```
+//! use leapfrog_repro::prelude::*;
+//!
+//! let a = parse("parser A { state s { extract(h, 2); goto accept } }").unwrap();
+//! let q = a.state_by_name("s").unwrap();
+//! assert!(check_language_equivalence(&a, q, &a, q).is_equivalent());
+//! ```
+
+pub use leapfrog as checker;
+pub use leapfrog_bitvec as bitvec;
+pub use leapfrog_hwgen as hwgen;
+pub use leapfrog_logic as logic;
+pub use leapfrog_p4a as p4a;
+pub use leapfrog_sat as sat;
+pub use leapfrog_smt as smt;
+pub use leapfrog_suite as suite;
+
+/// The most common imports for downstream users.
+pub mod prelude {
+    pub use leapfrog::checker::check_language_equivalence;
+    pub use leapfrog::{certificate, Certificate, Checker, Options, Outcome};
+    pub use leapfrog_bitvec::BitVec;
+    pub use leapfrog_p4a::builder::Builder;
+    pub use leapfrog_p4a::semantics::Config;
+    pub use leapfrog_p4a::surface::parse;
+    pub use leapfrog_p4a::Automaton;
+}

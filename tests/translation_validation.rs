@@ -1,0 +1,63 @@
+//! Integration tests for the hwgen pipeline: compile → back-translate →
+//! prove equivalence, on the utility parsers and the Edge scenario. Also
+//! demonstrates that the validator *catches* a deliberately miscompiled
+//! table.
+
+use leapfrog::checker::check_language_equivalence;
+use leapfrog_hwgen::{back_translate, compile, HwBudget, HwTarget};
+use leapfrog_suite::applicability::edge;
+use leapfrog_suite::utility::{mpls, state_rearrangement};
+use leapfrog_suite::Scale;
+
+fn validate_roundtrip(aut: &leapfrog_p4a::Automaton, start: &str, budget: &HwBudget) {
+    let q = aut.state_by_name(start).unwrap();
+    let hw = compile(aut, q, budget).expect("compiles");
+    let (back, back_start) = back_translate(&hw);
+    let bq = back.state_by_name(&back_start).unwrap();
+    let outcome = check_language_equivalence(aut, q, &back, bq);
+    assert!(outcome.is_equivalent(), "round trip changed the language: {outcome:?}");
+}
+
+#[test]
+fn mpls_reference_roundtrip_validates() {
+    validate_roundtrip(&mpls::reference(), "q1", &HwBudget::default());
+}
+
+#[test]
+fn mpls_vectorized_roundtrip_validates() {
+    validate_roundtrip(&mpls::vectorized(), "q3", &HwBudget::default());
+}
+
+#[test]
+fn state_rearrangement_roundtrip_validates_with_splitting() {
+    // A 48-bit budget forces the 96-bit combined state to split.
+    let budget = HwBudget { max_advance: 48, max_branch_bits: 16 };
+    validate_roundtrip(&state_rearrangement::combined(), "parse_combined", &budget);
+    validate_roundtrip(&state_rearrangement::reference(), "parse_ip", &budget);
+}
+
+#[test]
+fn edge_small_roundtrip_validates() {
+    validate_roundtrip(&edge(Scale::Small), "parse_eth", &HwBudget::default());
+}
+
+#[test]
+fn validator_catches_a_miscompiled_table() {
+    let aut = mpls::reference();
+    let q = aut.state_by_name("q1").unwrap();
+    let mut hw = compile(&aut, q, &HwBudget::default()).unwrap();
+    // Corrupt the table: redirect the first state-changing row to reject.
+    let row = hw
+        .entries
+        .iter_mut()
+        .find(|e| matches!(e.next, HwTarget::State(_)))
+        .expect("some row changes state");
+    row.next = HwTarget::Reject;
+    let (back, back_start) = back_translate(&hw);
+    let bq = back.state_by_name(&back_start).unwrap();
+    let outcome = check_language_equivalence(&aut, q, &back, bq);
+    assert!(
+        !outcome.is_equivalent(),
+        "the validator accepted a miscompiled parser"
+    );
+}
