@@ -22,8 +22,11 @@ fn ablation(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let options =
-                    Options { leaps, reach_pruning: pruning, ..Options::default() };
+                let options = Options {
+                    leaps,
+                    reach_pruning: pruning,
+                    ..Options::default()
+                };
                 let row = run_row(&bench, options);
                 assert!(row.verified);
             })

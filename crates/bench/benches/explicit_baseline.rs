@@ -37,9 +37,7 @@ fn explicit_vs_symbolic(c: &mut Criterion) {
         let qa = a.state_by_name("s").unwrap();
         let qb = b.state_by_name("s").unwrap();
         g.bench_with_input(BenchmarkId::new("symbolic", width), &width, |bench, _| {
-            bench.iter(|| {
-                assert!(check_language_equivalence(&a, qa, &b, qb).is_equivalent())
-            })
+            bench.iter(|| assert!(check_language_equivalence(&a, qa, &b, qb).is_equivalent()))
         });
         g.bench_with_input(BenchmarkId::new("explicit", width), &width, |bench, _| {
             bench.iter(|| {

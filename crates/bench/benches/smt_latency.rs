@@ -18,8 +18,14 @@ fn smt_latency(c: &mut Criterion) {
     let q1 = aut.state_by_name("l.q1").unwrap();
     let q3 = aut.state_by_name("r.q3").unwrap();
     let guard = TemplatePair::new(
-        Template { target: Target::State(q1), buf_len: 16 },
-        Template { target: Target::State(q3), buf_len: 16 },
+        Template {
+            target: Target::State(q1),
+            buf_len: 16,
+        },
+        Template {
+            target: Target::State(q3),
+            buf_len: 16,
+        },
     );
 
     let mut g = c.benchmark_group("smt/query_latency");
@@ -45,7 +51,13 @@ fn smt_latency(c: &mut Criterion) {
         ),
     };
     g.bench_function("buffer_slice_entailment", |b| {
-        b.iter(|| assert!(entails_stateless(aut, std::slice::from_ref(&premise), &conclusion)))
+        b.iter(|| {
+            assert!(entails_stateless(
+                aut,
+                std::slice::from_ref(&premise),
+                &conclusion
+            ))
+        })
     });
 
     // Quantified premise: forces the CEGAR loop.
@@ -64,7 +76,11 @@ fn smt_latency(c: &mut Criterion) {
     };
     g.bench_function("quantified_cegar_entailment", |b| {
         b.iter(|| {
-            assert!(entails_stateless(aut, std::slice::from_ref(&quantified), &concl))
+            assert!(entails_stateless(
+                aut,
+                std::slice::from_ref(&quantified),
+                &concl
+            ))
         })
     });
 

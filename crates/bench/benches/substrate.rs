@@ -12,8 +12,9 @@ use leapfrog_suite::workload::packets;
 
 fn pigeonhole(pigeons: usize, holes: usize) -> Solver {
     let mut s = Solver::new();
-    let grid: Vec<Vec<_>> =
-        (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+    let grid: Vec<Vec<_>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
     for row in &grid {
         let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
         s.add_clause(&clause);

@@ -4,12 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use leapfrog::Options;
-use leapfrog_bench::rows::{
-    run_external_filtering, run_relational_verification, run_row,
-};
-use leapfrog_suite::utility::{
-    ip_options, mpls, state_rearrangement, vlan_init,
-};
+use leapfrog_bench::rows::{run_external_filtering, run_relational_verification, run_row};
+use leapfrog_suite::utility::{ip_options, mpls, state_rearrangement, vlan_init};
 use leapfrog_suite::Scale;
 
 fn utility(c: &mut Criterion) {

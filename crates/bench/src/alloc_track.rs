@@ -18,7 +18,10 @@ pub struct PeakAlloc {
 impl PeakAlloc {
     /// Creates the allocator (const, for use in a `static`).
     pub const fn new() -> PeakAlloc {
-        PeakAlloc { current: AtomicUsize::new(0), peak: AtomicUsize::new(0) }
+        PeakAlloc {
+            current: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
     }
 
     /// Peak live bytes since the last [`PeakAlloc::reset`].
@@ -33,7 +36,8 @@ impl PeakAlloc {
 
     /// Resets the peak to the current level.
     pub fn reset(&self) {
-        self.peak.store(self.current.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.peak
+            .store(self.current.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     fn add(&self, size: usize) {

@@ -26,8 +26,13 @@ fn run(bench: &Benchmark, leaps: bool, reach_pruning: bool, budget: u64) {
     };
     ALLOC.reset();
     let start = Instant::now();
-    let mut checker =
-        Checker::new(&bench.left, bench.left_start, &bench.right, bench.right_start, options);
+    let mut checker = Checker::new(
+        &bench.left,
+        bench.left_start,
+        &bench.right,
+        bench.right_start,
+        options,
+    );
     let outcome = checker.run();
     let stats = checker.stats();
     println!(
@@ -51,8 +56,10 @@ fn run(bench: &Benchmark, leaps: bool, reach_pruning: bool, budget: u64) {
 fn main() {
     println!("Leapfrog-rs — §7.3 ablation (iteration budget caps runaway configurations)");
     let budget = 200_000;
-    for bench in [state_rearrangement::state_rearrangement_benchmark(), mpls::mpls_benchmark()]
-    {
+    for bench in [
+        state_rearrangement::state_rearrangement_benchmark(),
+        mpls::mpls_benchmark(),
+    ] {
         for (leaps, pruning) in [(true, true), (false, true), (true, false), (false, false)] {
             run(&bench, leaps, pruning, budget);
         }

@@ -9,7 +9,7 @@
 use leapfrog::{Checker, Options, Outcome};
 use leapfrog_bench::alloc_track::{human_bytes, PeakAlloc};
 use leapfrog_bench::rows::{
-    run_external_filtering, run_relational_verification, run_row,
+    rows_to_json, run_external_filtering, run_relational_verification, run_row,
     run_translation_validation, standard_benchmarks, RowResult,
 };
 use leapfrog_suite::utility::sloppy_strict;
@@ -28,7 +28,8 @@ fn main() {
     );
 
     let mut all_within_5s = true;
-    let mut print_row = |row: &RowResult, mem: usize| {
+    let mut measured: Vec<(RowResult, Option<usize>)> = Vec::new();
+    let mut print_row = |row: RowResult, mem: usize, out: &mut Vec<(RowResult, Option<usize>)>| {
         println!(
             "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9}",
             row.name,
@@ -44,6 +45,7 @@ fn main() {
         if row.queries_within_5s < 0.99 {
             all_within_5s = false;
         }
+        out.push((row, Some(mem)));
     };
 
     // Utility rows 1–4 and applicability rows, in Table 2 order.
@@ -52,25 +54,25 @@ fn main() {
     for bench in utility {
         ALLOC.reset();
         let row = run_row(bench, options);
-        print_row(&row, ALLOC.peak_bytes());
+        print_row(row, ALLOC.peak_bytes(), &mut measured);
     }
     // Rows 5–6: the relational case studies.
     ALLOC.reset();
     let row = run_relational_verification(options);
-    print_row(&row, ALLOC.peak_bytes());
+    print_row(row, ALLOC.peak_bytes(), &mut measured);
     ALLOC.reset();
     let row = run_external_filtering(options);
-    print_row(&row, ALLOC.peak_bytes());
+    print_row(row, ALLOC.peak_bytes(), &mut measured);
     // Applicability self-comparisons.
     for bench in applicability {
         ALLOC.reset();
         let row = run_row(bench, options);
-        print_row(&row, ALLOC.peak_bytes());
+        print_row(row, ALLOC.peak_bytes(), &mut measured);
     }
     // Translation validation.
     ALLOC.reset();
     let row = run_translation_validation(scale, options);
-    print_row(&row, ALLOC.peak_bytes());
+    print_row(row, ALLOC.peak_bytes(), &mut measured);
 
     println!();
     println!(
@@ -78,17 +80,44 @@ fn main() {
         if all_within_5s { "meet" } else { "MISS" }
     );
 
-    // §7.1 sanity check: inequivalent parsers must fail cleanly at Close.
+    // §7.1 sanity check: inequivalent parsers must fail cleanly at Close,
+    // and since the witness engine landed, the refutation must carry a
+    // confirmed counterexample packet.
     let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
     let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
     let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
     // Reach the Close step, as the paper describes.
-    let opts = Options { early_stop: false, ..Options::default() };
+    let opts = Options {
+        early_stop: false,
+        ..Options::default()
+    };
     let mut checker = Checker::new(&sloppy, ql, &strict, qr, opts);
-    match checker.run() {
-        Outcome::NotEquivalent(_) => {
-            println!("Sanity check: sloppy vs strict correctly reported NOT equivalent")
+    let witness_confirmed = match checker.run() {
+        Outcome::NotEquivalent(refutation) => match refutation.witness() {
+            Some(w) => {
+                println!(
+                    "Sanity check: sloppy vs strict NOT equivalent; {}-bit witness \
+                     packet confirmed by explicit replay",
+                    w.packet.len()
+                );
+                true
+            }
+            None => {
+                println!("Sanity check: refuted, but the witness was NOT confirmed");
+                false
+            }
+        },
+        other => {
+            println!("Sanity check FAILED: expected NotEquivalent, got {other:?}");
+            false
         }
-        other => println!("Sanity check FAILED: expected NotEquivalent, got {other:?}"),
+    };
+
+    // Machine-readable output, so the performance trajectory is recorded.
+    let json = rows_to_json(&measured, witness_confirmed);
+    let path = "BENCH_table2.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("Wrote {path} ({} rows)", measured.len()),
+        Err(e) => println!("Could not write {path}: {e}"),
     }
 }

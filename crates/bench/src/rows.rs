@@ -7,9 +7,7 @@ use leapfrog::{Checker, Options, Outcome};
 use leapfrog_logic::reach::reachable_pairs;
 use leapfrog_suite::applicability;
 use leapfrog_suite::metrics::Table2Metrics;
-use leapfrog_suite::utility::{
-    ip_options, mpls, sloppy_strict, state_rearrangement, vlan_init,
-};
+use leapfrog_suite::utility::{ip_options, mpls, sloppy_strict, state_rearrangement, vlan_init};
 use leapfrog_suite::{Benchmark, Scale};
 
 /// One measured Table 2 row.
@@ -34,10 +32,22 @@ pub struct RowResult {
 /// Runs a plain language-equivalence benchmark.
 pub fn run_row(bench: &Benchmark, options: Options) -> RowResult {
     let start = Instant::now();
-    let mut checker =
-        Checker::new(&bench.left, bench.left_start, &bench.right, bench.right_start, options);
+    let mut checker = Checker::new(
+        &bench.left,
+        bench.left_start,
+        &bench.right,
+        bench.right_start,
+        options,
+    );
     let outcome = checker.run();
-    finish(bench.name, bench.metrics(), start, &checker, &outcome, bench.expect_equivalent)
+    finish(
+        bench.name,
+        bench.metrics(),
+        start,
+        &checker,
+        &outcome,
+        bench.expect_equivalent,
+    )
 }
 
 /// The external-filtering row: sloppy vs strict modulo an EtherType filter
@@ -53,7 +63,14 @@ pub fn run_external_filtering(options: Options) -> RowResult {
     let init = sloppy_strict::external_filter_init(checker.sum_info(), &reach);
     checker.replace_init(init);
     let outcome = checker.run();
-    finish("External filtering", metrics, start, &checker, &outcome, true)
+    finish(
+        "External filtering",
+        metrics,
+        start,
+        &checker,
+        &outcome,
+        true,
+    )
 }
 
 /// The relational-verification row: store correspondence at acceptance
@@ -68,7 +85,14 @@ pub fn run_relational_verification(options: Options) -> RowResult {
     let init = sloppy_strict::store_correspondence_init(checker.sum_info());
     checker.replace_init(init);
     let outcome = checker.run();
-    finish("Relational verification", metrics, start, &checker, &outcome, true)
+    finish(
+        "Relational verification",
+        metrics,
+        start,
+        &checker,
+        &outcome,
+        true,
+    )
 }
 
 /// The translation-validation row: compile the Edge parser to hardware
@@ -85,7 +109,14 @@ pub fn run_translation_validation(scale: Scale, options: Options) -> RowResult {
     let start = Instant::now();
     let mut checker = Checker::new(&edge, start_state, &back, back_start, options);
     let outcome = checker.run();
-    finish("Translation Validation", metrics, start, &checker, &outcome, true)
+    finish(
+        "Translation Validation",
+        metrics,
+        start,
+        &checker,
+        &outcome,
+        true,
+    )
 }
 
 /// All six utility rows plus the applicability self-comparisons at the
@@ -100,6 +131,39 @@ pub fn standard_benchmarks(scale: Scale) -> Vec<Benchmark> {
     ];
     rows.extend(applicability::all_benchmarks(scale));
     rows
+}
+
+/// Renders measured rows as a machine-readable JSON document (the repo has
+/// no serde; the format is flat enough to emit by hand). Each entry pairs
+/// a row with its peak heap measurement, when one was taken.
+pub fn rows_to_json(rows: &[(RowResult, Option<usize>)], sanity_witness_confirmed: bool) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n  \"rows\": [\n");
+    for (i, (row, peak)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"states\": {}, \"branched_bits\": {}, \
+             \"total_bits\": {}, \"runtime_secs\": {:.6}, \"peak_bytes\": {}, \
+             \"verified\": {}, \"relation_size\": {}, \"queries\": {}, \
+             \"queries_within_5s\": {:.4}}}{}\n",
+            esc(&row.name),
+            row.metrics.states,
+            row.metrics.branched_bits,
+            row.metrics.total_bits,
+            row.runtime.as_secs_f64(),
+            peak.map(|p| p.to_string()).unwrap_or_else(|| "null".into()),
+            row.verified,
+            row.relation_size,
+            row.queries,
+            row.queries_within_5s,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"sanity_check_witness_confirmed\": {sanity_witness_confirmed}\n}}\n"
+    ));
+    out
 }
 
 fn finish(

@@ -24,8 +24,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 const BLOCK_BITS: usize = 64;
 
 /// A finite sequence of bits, bit `0` leftmost.
@@ -33,7 +31,7 @@ const BLOCK_BITS: usize = 64;
 /// Stored MSB-first inside `u64` blocks: bit `i` lives in block `i / 64` at
 /// bit position `63 - (i % 64)`. Unused trailing bits of the last block are
 /// kept zero, which lets equality and hashing work structurally.
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct BitVec {
     blocks: Vec<u64>,
     len: usize,
@@ -42,17 +40,26 @@ pub struct BitVec {
 impl BitVec {
     /// Creates the empty bitvector `ε`.
     pub fn new() -> Self {
-        BitVec { blocks: Vec::new(), len: 0 }
+        BitVec {
+            blocks: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Creates a bitvector of `len` zero bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec { blocks: vec![0; len.div_ceil(BLOCK_BITS)], len }
+        BitVec {
+            blocks: vec![0; len.div_ceil(BLOCK_BITS)],
+            len,
+        }
     }
 
     /// Creates a bitvector of `len` one bits.
     pub fn ones(len: usize) -> Self {
-        let mut bv = BitVec { blocks: vec![u64::MAX; len.div_ceil(BLOCK_BITS)], len };
+        let mut bv = BitVec {
+            blocks: vec![u64::MAX; len.div_ceil(BLOCK_BITS)],
+            len,
+        };
         bv.mask_tail();
         bv
     }
@@ -88,7 +95,11 @@ impl BitVec {
     ///
     /// Panics if the vector is longer than 64 bits.
     pub fn to_u64(&self) -> u64 {
-        assert!(self.len <= 64, "to_u64 requires len <= 64, got {}", self.len);
+        assert!(
+            self.len <= 64,
+            "to_u64 requires len <= 64, got {}",
+            self.len
+        );
         let mut out = 0u64;
         for i in 0..self.len {
             out = (out << 1) | u64::from(self.get(i).unwrap());
@@ -121,7 +132,11 @@ impl BitVec {
     ///
     /// Panics if `i >= len`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for len {}",
+            self.len
+        );
         let mask = 1u64 << (BLOCK_BITS - 1 - (i % BLOCK_BITS));
         if value {
             self.blocks[i / BLOCK_BITS] |= mask;
@@ -267,7 +282,11 @@ pub struct ParseBitVecError {
 
 impl fmt::Display for ParseBitVecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid bit character {:?}; expected '0' or '1'", self.offending)
+        write!(
+            f,
+            "invalid bit character {:?}; expected '0' or '1'",
+            self.offending
+        )
     }
 }
 
@@ -447,7 +466,9 @@ mod tests {
     fn random_with_has_requested_length() {
         let mut state = 0x12345u64;
         let mut rng = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let w = BitVec::random_with(100, &mut rng);

@@ -1,57 +1,123 @@
 //! Property-based tests for the bitvector substrate: the algebra the whole
 //! stack (semantics, symbolic execution, bit-blasting) relies on.
+//!
+//! The offline build has no `proptest`, so the properties are exercised by
+//! a deterministic self-contained generator: every test draws a few hundred
+//! random cases from a fixed-seed RNG, which keeps failures reproducible.
 
 use leapfrog_bitvec::BitVec;
-use proptest::prelude::*;
 
-fn bitvec(max_len: usize) -> impl Strategy<Value = BitVec> {
-    proptest::collection::vec(any::<bool>(), 0..=max_len).prop_map(|bits| BitVec::from_bits(&bits))
+/// Deterministic splitmix-style RNG for reproducible property tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = self.0;
+        z = (z ^ (z >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+        z ^ (z >> 33)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn bitvec(&mut self, max_len: usize) -> BitVec {
+        let len = self.below(max_len + 1);
+        let bits: Vec<bool> = (0..len).map(|_| self.bool()).collect();
+        BitVec::from_bits(&bits)
+    }
 }
 
-proptest! {
-    #[test]
-    fn display_parse_roundtrip(w in bitvec(200)) {
+const CASES: usize = 256;
+
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = Rng::new(0x1bad5eed);
+    for _ in 0..CASES {
+        let w = rng.bitvec(200);
         let text = w.to_string();
         let back: BitVec = text.parse().unwrap();
-        prop_assert_eq!(w, back);
+        assert_eq!(w, back, "failed for {text:?}");
     }
+}
 
-    #[test]
-    fn concat_length_and_content(a in bitvec(150), b in bitvec(150)) {
+#[test]
+fn concat_length_and_content() {
+    let mut rng = Rng::new(0xc0ffee);
+    for _ in 0..CASES {
+        let a = rng.bitvec(150);
+        let b = rng.bitvec(150);
         let c = a.concat(&b);
-        prop_assert_eq!(c.len(), a.len() + b.len());
+        assert_eq!(c.len(), a.len() + b.len());
         for i in 0..a.len() {
-            prop_assert_eq!(c.get(i), a.get(i));
+            assert_eq!(c.get(i), a.get(i));
         }
         for i in 0..b.len() {
-            prop_assert_eq!(c.get(a.len() + i), b.get(i));
+            assert_eq!(c.get(a.len() + i), b.get(i));
         }
     }
+}
 
-    #[test]
-    fn concat_is_associative(a in bitvec(64), b in bitvec(64), c in bitvec(64)) {
-        prop_assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+#[test]
+fn concat_is_associative() {
+    let mut rng = Rng::new(0xa550c);
+    for _ in 0..CASES {
+        let a = rng.bitvec(64);
+        let b = rng.bitvec(64);
+        let c = rng.bitvec(64);
+        assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
     }
+}
 
-    #[test]
-    fn split_at_inverts_concat(a in bitvec(100), b in bitvec(100)) {
+#[test]
+fn split_at_inverts_concat() {
+    let mut rng = Rng::new(0x5917);
+    for _ in 0..CASES {
+        let a = rng.bitvec(100);
+        let b = rng.bitvec(100);
         let (x, y) = a.concat(&b).split_at(a.len());
-        prop_assert_eq!(x, a);
-        prop_assert_eq!(y, b);
+        assert_eq!(x, a);
+        assert_eq!(y, b);
     }
+}
 
-    #[test]
-    fn subrange_matches_bit_loop(w in bitvec(120), start in 0usize..120, len in 0usize..60) {
-        prop_assume!(start + len <= w.len());
+#[test]
+fn subrange_matches_bit_loop() {
+    let mut rng = Rng::new(0x5b5b);
+    for _ in 0..CASES {
+        let w = rng.bitvec(120);
+        if w.is_empty() {
+            continue;
+        }
+        let start = rng.below(w.len());
+        let len = rng.below(w.len() - start + 1);
         let s = w.subrange(start, len);
-        prop_assert_eq!(s.len(), len);
+        assert_eq!(s.len(), len);
         for i in 0..len {
-            prop_assert_eq!(s.get(i), w.get(start + i));
+            assert_eq!(s.get(i), w.get(start + i));
         }
     }
+}
 
-    #[test]
-    fn clamped_slice_matches_reference_model(w in bitvec(40), n1 in 0usize..60, n2 in 0usize..60) {
+#[test]
+fn clamped_slice_matches_reference_model() {
+    let mut rng = Rng::new(0xc1a3b);
+    for _ in 0..CASES {
+        let w = rng.bitvec(40);
+        let n1 = rng.below(60);
+        let n2 = rng.below(60);
         // Reference: Definition 3.1 computed naively over Vec<bool>.
         let bits = w.to_bits();
         let expected: Vec<bool> = if bits.is_empty() {
@@ -59,31 +125,54 @@ proptest! {
         } else {
             let lo = n1.min(bits.len() - 1);
             let hi = n2.min(bits.len() - 1);
-            if lo > hi { Vec::new() } else { bits[lo..=hi].to_vec() }
+            if lo > hi {
+                Vec::new()
+            } else {
+                bits[lo..=hi].to_vec()
+            }
         };
-        prop_assert_eq!(w.slice(n1, n2), BitVec::from_bits(&expected));
+        assert_eq!(w.slice(n1, n2), BitVec::from_bits(&expected));
     }
+}
 
-    #[test]
-    fn push_pop_are_inverses(w in bitvec(80), bit in any::<bool>()) {
+#[test]
+fn push_pop_are_inverses() {
+    let mut rng = Rng::new(0x9909);
+    for _ in 0..CASES {
+        let w = rng.bitvec(80);
+        let bit = rng.bool();
         let mut v = w.clone();
         v.push(bit);
-        prop_assert_eq!(v.len(), w.len() + 1);
-        prop_assert_eq!(v.pop(), Some(bit));
-        prop_assert_eq!(v, w);
+        assert_eq!(v.len(), w.len() + 1);
+        assert_eq!(v.pop(), Some(bit));
+        assert_eq!(v, w);
     }
+}
 
-    #[test]
-    fn u64_roundtrip(value in any::<u64>(), width in 0usize..=64) {
-        let masked = if width == 64 { value } else { value & ((1u64 << width) - 1).wrapping_sub(0) };
-        let masked = if width == 0 { 0 } else { masked & (u64::MAX >> (64 - width)) };
+#[test]
+fn u64_roundtrip() {
+    let mut rng = Rng::new(0x64641);
+    for _ in 0..CASES {
+        let width = rng.below(65);
+        let value = rng.next_u64();
+        let masked = if width == 0 {
+            0
+        } else {
+            value & (u64::MAX >> (64 - width))
+        };
         let w = BitVec::from_u64(masked, width);
-        prop_assert_eq!(w.len(), width);
-        prop_assert_eq!(w.to_u64(), masked);
+        assert_eq!(w.len(), width);
+        assert_eq!(w.to_u64(), masked);
     }
+}
 
-    #[test]
-    fn equality_agrees_with_bits(a in bitvec(90), b in bitvec(90)) {
-        prop_assert_eq!(a == b, a.to_bits() == b.to_bits());
+#[test]
+fn equality_agrees_with_bits() {
+    let mut rng = Rng::new(0xe4e4);
+    for _ in 0..CASES {
+        // Short lengths so collisions actually occur.
+        let a = rng.bitvec(6);
+        let b = rng.bitvec(6);
+        assert_eq!(a == b, a.to_bits() == b.to_bits());
     }
 }

@@ -1,0 +1,107 @@
+//! Bit-level delta debugging for witness packets.
+//!
+//! The packet lifted from a countermodel is as long as the symbolic trace
+//! that produced it — often much longer than necessary (e.g. a full MPLS
+//! label stack when one label suffices). [`minimize`] shrinks it with the
+//! classic ddmin loop (remove ever-smaller contiguous segments while the
+//! disagreement persists) and then canonicalizes the survivor by zeroing
+//! every bit that is not needed to keep the two parsers disagreeing.
+
+use leapfrog_bitvec::BitVec;
+
+/// Removes the segment `[start, start+len)` from a packet.
+fn without_segment(packet: &BitVec, start: usize, len: usize) -> BitVec {
+    let mut out = packet.subrange(0, start);
+    let tail_start = start + len;
+    out.extend(&packet.subrange(tail_start, packet.len() - tail_start));
+    out
+}
+
+/// Shrinks `packet` while `disagrees` stays true, returning the minimized
+/// packet. `disagrees(&packet)` must be true on entry; the result also
+/// satisfies it. The loop is the textbook ddmin with a final zeroing pass,
+/// so the result is 1-minimal with respect to segment deletion (no single
+/// tried segment can be removed) but not globally minimal.
+pub fn minimize(packet: BitVec, disagrees: &mut dyn FnMut(&BitVec) -> bool) -> BitVec {
+    debug_assert!(disagrees(&packet), "minimize() needs a disagreeing packet");
+    let mut current = packet;
+
+    // Phase 1: ddmin segment deletion.
+    let mut granularity = 2usize;
+    while current.len() >= 2 && granularity <= current.len() {
+        let seg = current.len().div_ceil(granularity);
+        let mut shrunk = false;
+        let mut start = 0;
+        while start < current.len() {
+            let len = seg.min(current.len() - start);
+            let candidate = without_segment(&current, start, len);
+            if disagrees(&candidate) {
+                current = candidate;
+                shrunk = true;
+                // Re-try from the same offset at the same granularity.
+            } else {
+                start += len;
+            }
+        }
+        if shrunk {
+            granularity = granularity.saturating_sub(1).max(2);
+        } else if seg <= 1 {
+            break;
+        } else {
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+
+    // Phase 2: canonicalize by zeroing unneeded bits.
+    for i in 0..current.len() {
+        if current.get(i) == Some(true) {
+            let mut candidate = current.clone();
+            candidate.set(i, false);
+            if disagrees(&candidate) {
+                current = candidate;
+            }
+        }
+    }
+
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn shrinks_to_the_needed_window() {
+        // Disagreement iff the packet contains "11" somewhere.
+        let mut pred =
+            |p: &BitVec| (1..p.len()).any(|i| p.get(i - 1) == Some(true) && p.get(i) == Some(true));
+        let start = bv("0101101100101");
+        assert!(pred(&start));
+        let min = minimize(start, &mut pred);
+        assert_eq!(min, bv("11"));
+    }
+
+    #[test]
+    fn zeroes_irrelevant_bits() {
+        // Disagreement iff length >= 4 (content irrelevant).
+        let mut pred = |p: &BitVec| p.len() >= 4;
+        let min = minimize(bv("10111011"), &mut pred);
+        assert_eq!(min, bv("0000"));
+    }
+
+    #[test]
+    fn already_minimal_is_untouched() {
+        let mut pred = |p: &BitVec| p == &bv("1");
+        assert_eq!(minimize(bv("1"), &mut pred), bv("1"));
+    }
+
+    #[test]
+    fn empty_packet_stays_empty() {
+        let mut pred = |p: &BitVec| p.is_empty();
+        assert_eq!(minimize(BitVec::new(), &mut pred), BitVec::new());
+    }
+}

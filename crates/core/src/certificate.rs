@@ -21,10 +21,10 @@
 //! exactly the components the paper's TCB discussion lists (§6.4), minus
 //! the Coq kernel.
 //!
-//! Certificates serialize to JSON via `serde`, so a proof computed once
+//! Certificates serialize to JSON (via the hand-rolled [`crate::json`]
+//! module — the offline build has no `serde`), so a proof computed once
 //! can be archived and re-checked by a separate process.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use leapfrog_logic::confrel::ConfRel;
@@ -35,7 +35,7 @@ use leapfrog_p4a::ast::Automaton;
 
 /// A checkable witness that the query relation is contained in a symbolic
 /// bisimulation with leaps.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Certificate {
     /// Whether the relation is a bisimulation *with leaps* (affects which
     /// step condition the checker verifies).
@@ -55,12 +55,12 @@ pub struct Certificate {
 impl Certificate {
     /// Serializes the certificate to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("certificates are always serializable")
+        crate::json::certificate_to_value(self).render()
     }
 
     /// Deserializes a certificate from JSON.
-    pub fn from_json(s: &str) -> Result<Certificate, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Certificate, crate::json::JsonError> {
+        crate::json::certificate_from_value(&crate::json::parse(s)?)
     }
 }
 
@@ -157,7 +157,10 @@ fn parallel_find_failure(
     relation: &[ConfRel],
     obligations: &[ConfRel],
 ) -> Option<ConfRel> {
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
     if workers <= 1 || obligations.len() < 4 {
         return obligations
             .iter()
@@ -166,10 +169,10 @@ fn parallel_find_failure(
     }
     let failed: std::sync::Mutex<Option<ConfRel>> = std::sync::Mutex::new(None);
     let chunk = obligations.len().div_ceil(workers);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for part in obligations.chunks(chunk) {
             let failed = &failed;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for ob in part {
                     if failed.lock().unwrap().is_some() {
                         return;
@@ -181,8 +184,7 @@ fn parallel_find_failure(
                 }
             });
         }
-    })
-    .expect("certificate checking worker panicked");
+    });
     failed.into_inner().unwrap()
 }
 

@@ -10,9 +10,11 @@
 //! symbolic bisimulation (with leaps) restricted to the reachable pairs,
 //! and the query `φ` is checked against it (`Close` / Theorem 5.2).
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 use std::time::Instant;
 
+use leapfrog_cex::{build_witness, Refutation};
 use leapfrog_logic::confrel::{ConfRel, Pure};
 use leapfrog_logic::lower;
 use leapfrog_logic::reach::reachable_pairs;
@@ -45,7 +47,12 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { leaps: true, reach_pruning: true, early_stop: true, max_iterations: None }
+        Options {
+            leaps: true,
+            reach_pruning: true,
+            early_stop: true,
+            max_iterations: None,
+        }
     }
 }
 
@@ -63,9 +70,11 @@ pub enum Property {
 pub enum Outcome {
     /// The property holds; the certificate contains the computed relation.
     Equivalent(Certificate),
-    /// The property fails; the report names the violated relation and a
-    /// countermodel for diagnostics.
-    NotEquivalent(String),
+    /// The property fails. The refutation carries a concrete witness —
+    /// initial stores and a minimized distinguishing packet, confirmed by
+    /// replaying the explicit semantics — or, when the countermodel could
+    /// not be lifted, the raw symbolic diagnostic.
+    NotEquivalent(Refutation),
     /// The iteration budget was exhausted.
     Aborted(String),
 }
@@ -74,6 +83,15 @@ impl Outcome {
     /// Whether the run proved the property.
     pub fn is_equivalent(&self) -> bool {
         matches!(self, Outcome::Equivalent(_))
+    }
+
+    /// The refutation witness, when the run refuted the property and the
+    /// countermodel lifted into a confirmed counterexample.
+    pub fn witness(&self) -> Option<&leapfrog_cex::Witness> {
+        match self {
+            Outcome::NotEquivalent(r) => r.witness(),
+            _ => None,
+        }
     }
 }
 
@@ -157,7 +175,11 @@ impl Checker {
     /// equivalence for arbitrary initial stores). Strengthening `φ`
     /// restricts the initial stores the proof covers.
     pub fn set_query_phi(&mut self, phi: Pure, vars: Vec<usize>) {
-        self.query = ConfRel { guard: self.root, vars, phi };
+        self.query = ConfRel {
+            guard: self.root,
+            vars,
+            phi,
+        };
     }
 
     /// Statistics from the last [`Checker::run`].
@@ -204,8 +226,17 @@ impl Checker {
         // Initial relation I (Lemma 4.10 / Theorem 5.2): forbid pairs that
         // disagree on acceptance, restricted to the scope; plus any
         // user-supplied conditions.
-        let mut frontier: VecDeque<ConfRel> = VecDeque::new();
-        let mut seen: HashSet<ConfRel> = HashSet::new();
+        //
+        // Every relation that enters the frontier gets a provenance record
+        // — which relation its weakest precondition was derived from — so a
+        // refutation can be lifted into a concrete witness by walking the
+        // wp chain back to the violated initial conjunct.
+        // The provenance table and the dedup map share each relation via
+        // `Rc`, so a relation is deep-stored exactly once however many
+        // structures reference it.
+        let mut frontier: VecDeque<usize> = VecDeque::new();
+        let mut prov: Vec<(Rc<ConfRel>, Option<usize>)> = Vec::new();
+        let mut seen: HashMap<Rc<ConfRel>, usize> = HashMap::new();
         let mut init: Vec<ConfRel> = Vec::new();
         if self.standard_init {
             for p in &scope {
@@ -216,13 +247,18 @@ impl Checker {
         }
         init.extend(self.extra_init.iter().cloned());
         for rel in &init {
-            if seen.insert(rel.clone()) {
-                frontier.push_back(rel.clone());
+            if !seen.contains_key(rel) {
+                let id = prov.len();
+                let shared = Rc::new(rel.clone());
+                seen.insert(shared.clone(), id);
+                prov.push((shared, None));
+                frontier.push_back(id);
             }
         }
 
         let mut relation: Vec<ConfRel> = Vec::new();
-        while let Some(psi) = frontier.pop_front() {
+        while let Some(id) = frontier.pop_front() {
+            let psi = prov[id].0.clone();
             self.stats.iterations += 1;
             if let Some(limit) = self.options.max_iterations {
                 if self.stats.iterations > limit {
@@ -242,31 +278,36 @@ impl Checker {
             // Early failure: ψ will be part of R, and the Close step
             // requires φ ⊨ ψ.
             if self.options.early_stop && psi.guard == self.query.guard {
-                if let Some(report) = self.query_violation(&psi) {
+                if let Some(refutation) = self.query_violation(&psi, id, &prov) {
                     self.stats.wall_time = start.elapsed();
                     self.stats.queries = self.solver.stats().clone();
-                    return Outcome::NotEquivalent(report);
+                    return Outcome::NotEquivalent(refutation);
                 }
             }
             for pred in &scope {
                 if let Some(chi) = wp(&self.aut, &psi, pred, self.options.leaps) {
                     self.stats.wp_generated += 1;
-                    if seen.insert(chi.clone()) {
-                        frontier.push_back(chi);
+                    if !seen.contains_key(&chi) {
+                        let cid = prov.len();
+                        let shared = Rc::new(chi);
+                        seen.insert(shared.clone(), cid);
+                        prov.push((shared, Some(id)));
+                        frontier.push_back(cid);
                     }
                 }
             }
-            relation.push(psi);
+            relation.push((*psi).clone());
         }
 
         // Close: φ ⊨ ⋀R, checked conjunct by conjunct (non-matching guards
         // are vacuous after template filtering).
         for rho in &relation {
             if rho.guard == self.query.guard {
-                if let Some(report) = self.query_violation(rho) {
+                let id = seen[rho];
+                if let Some(refutation) = self.query_violation(rho, id, &prov) {
                     self.stats.wall_time = start.elapsed();
                     self.stats.queries = self.solver.stats().clone();
-                    return Outcome::NotEquivalent(report);
+                    return Outcome::NotEquivalent(refutation);
                 }
             }
         }
@@ -283,18 +324,44 @@ impl Checker {
         })
     }
 
-    /// Checks `φ ⊨ ρ`; on failure returns a human-readable report with the
-    /// countermodel.
-    fn query_violation(&mut self, rho: &ConfRel) -> Option<String> {
+    /// Checks `φ ⊨ ρ`; on failure lifts the countermodel into a concrete,
+    /// confirmed, minimized witness via the counterexample engine. `id`
+    /// indexes `prov`, whose parent links trace ρ back through the wp
+    /// chain to the initial conjunct it was derived from.
+    fn query_violation(
+        &mut self,
+        rho: &ConfRel,
+        id: usize,
+        prov: &[(Rc<ConfRel>, Option<usize>)],
+    ) -> Option<Refutation> {
         let q = lower::lower(&self.aut, std::slice::from_ref(&self.query), rho);
         match self.solver.check_valid(&q.decls, &q.goal) {
             CheckResult::Valid => None,
-            CheckResult::Invalid(model) => Some(format!(
-                "query {} does not entail {}\ncountermodel:\n{}",
-                self.query.display(&self.aut),
-                rho.display(&self.aut),
-                model.display(&q.decls)
-            )),
+            CheckResult::Invalid(model) => {
+                let diagnostic = format!(
+                    "query {} does not entail {}\ncountermodel:\n{}",
+                    self.query.display(&self.aut),
+                    rho.display(&self.aut),
+                    model.display(&q.decls)
+                );
+                let mut chain = Vec::new();
+                let mut cursor = Some(id);
+                while let Some(i) = cursor {
+                    chain.push((*prov[i].0).clone());
+                    cursor = prov[i].1;
+                }
+                let refutation =
+                    build_witness(&self.aut, &chain, &q.decls, &q.vars, &model, diagnostic);
+                match &refutation {
+                    Refutation::Witness(w) => {
+                        self.stats.witnesses_confirmed += 1;
+                        self.stats.witness_bits_minimized +=
+                            (w.original_bits - w.packet.len()) as u64;
+                    }
+                    Refutation::Unconfirmed { .. } => self.stats.witnesses_unconfirmed += 1,
+                }
+                Some(refutation)
+            }
         }
     }
 }
@@ -371,8 +438,14 @@ mod tests {
         .unwrap();
         let out = check_language_equivalence(&a, state(&a, "s"), &b, state(&b, "s"));
         match out {
-            Outcome::NotEquivalent(report) => {
-                assert!(report.contains("countermodel"), "{report}");
+            Outcome::NotEquivalent(refutation) => {
+                let w = refutation
+                    .witness()
+                    .expect("countermodel should lift to a witness");
+                assert!(w.check(), "witness must replay to a disagreement");
+                // Both parsers read exactly 2 bits, so the minimized
+                // distinguishing packet has exactly 2 bits.
+                assert_eq!(w.packet.len(), 2, "{w}");
             }
             other => panic!("expected NotEquivalent, got {other:?}"),
         }
@@ -384,7 +457,10 @@ mod tests {
         // Close step when early stopping is off.
         let a = parse("parser A { state s { extract(h, 2); goto accept } }").unwrap();
         let b = parse("parser B { state s { extract(h, 2); goto reject } }").unwrap();
-        let opts = Options { early_stop: false, ..Options::default() };
+        let opts = Options {
+            early_stop: false,
+            ..Options::default()
+        };
         let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), opts);
         assert!(matches!(c.run(), Outcome::NotEquivalent(_)));
         assert!(c.stats().iterations > 0);
@@ -407,7 +483,21 @@ mod tests {
         // store. Comparing the parser to itself with unconstrained stores
         // must fail (left store may accept while right rejects).
         let out = check_language_equivalence(&a, state(&a, "s"), &a, state(&a, "s"));
-        assert!(matches!(out, Outcome::NotEquivalent(_)), "{out:?}");
+        match &out {
+            Outcome::NotEquivalent(r) => {
+                // The witness must exhibit two initial stores the parser
+                // genuinely distinguishes.
+                let w = r
+                    .witness()
+                    .expect("store-dependence witness should confirm");
+                assert!(w.check());
+                assert_ne!(
+                    w.left_store, w.right_store,
+                    "stores must differ for a self-comparison refutation"
+                );
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
     }
 
     #[test]
@@ -435,7 +525,11 @@ mod tests {
         )
         .unwrap();
         for (leaps, pruning) in [(true, true), (true, false), (false, true), (false, false)] {
-            let opts = Options { leaps, reach_pruning: pruning, ..Options::default() };
+            let opts = Options {
+                leaps,
+                reach_pruning: pruning,
+                ..Options::default()
+            };
             let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), opts);
             assert!(c.run().is_equivalent(), "leaps={leaps} pruning={pruning}");
         }
@@ -455,8 +549,11 @@ mod tests {
         )
         .unwrap();
         let run = |leaps: bool, pruning: bool| {
-            let opts =
-                Options { leaps, reach_pruning: pruning, ..Options::default() };
+            let opts = Options {
+                leaps,
+                reach_pruning: pruning,
+                ..Options::default()
+            };
             let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), opts);
             assert!(c.run().is_equivalent());
             (c.stats().iterations, c.stats().scope_pairs)
@@ -475,7 +572,10 @@ mod tests {
                select(h) { 0b1111 => accept; _ => reject; } } }",
         )
         .unwrap();
-        let opts = Options { max_iterations: Some(1), ..Options::default() };
+        let opts = Options {
+            max_iterations: Some(1),
+            ..Options::default()
+        };
         let mut c = Checker::new(&a, state(&a, "s"), &a, state(&a, "s"), opts);
         assert!(matches!(c.run(), Outcome::Aborted(_)));
     }

@@ -93,7 +93,9 @@ pub fn check_explicit_from(
             queue.push_back((na, nb, w));
         }
     }
-    ExplicitResult::Equivalent { explored: seen.len() }
+    ExplicitResult::Equivalent {
+        explored: seen.len(),
+    }
 }
 
 #[cfg(test)]
@@ -180,14 +182,9 @@ mod tests {
                select(x, y[0:0]) { (0b1, 0b0) => accept; (_, _) => reject; } } }",
         )
         .unwrap();
-        let explicit =
-            check_explicit(&a, state(&a, "s"), &b, state(&b, "s"), 1_000_000);
-        let symbolic = crate::checker::check_language_equivalence(
-            &a,
-            state(&a, "s"),
-            &b,
-            state(&b, "s"),
-        );
+        let explicit = check_explicit(&a, state(&a, "s"), &b, state(&b, "s"), 1_000_000);
+        let symbolic =
+            crate::checker::check_language_equivalence(&a, state(&a, "s"), &b, state(&b, "s"));
         assert!(matches!(explicit, ExplicitResult::Equivalent { .. }));
         assert!(symbolic.is_equivalent());
     }

@@ -47,6 +47,7 @@
 pub mod certificate;
 pub mod checker;
 pub mod explicit;
+pub mod json;
 pub mod stats;
 
 pub use certificate::{Certificate, CertificateError};

@@ -20,6 +20,14 @@ pub struct RunStats {
     pub scope_pairs: usize,
     /// Largest pure-formula size encountered (structural nodes).
     pub max_formula_size: usize,
+    /// Refutation witnesses confirmed by explicit replay (0 or 1 per run:
+    /// the checker stops at the first violation).
+    pub witnesses_confirmed: u64,
+    /// Refutations whose countermodel could not be lifted into a
+    /// confirmed witness.
+    pub witnesses_unconfirmed: u64,
+    /// Packet bits removed by witness minimization (delta debugging).
+    pub witness_bits_minimized: u64,
     /// Total wall-clock time of the run.
     pub wall_time: Duration,
     /// SMT query statistics.
@@ -29,8 +37,18 @@ pub struct RunStats {
 impl RunStats {
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
+        let witnesses = if self.witnesses_confirmed + self.witnesses_unconfirmed > 0 {
+            format!(
+                " witnesses={}/{} minimized_bits={}",
+                self.witnesses_confirmed,
+                self.witnesses_confirmed + self.witnesses_unconfirmed,
+                self.witness_bits_minimized,
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "iterations={} extended={} skipped={} wp={} scope={} queries={} time={:.2?}",
+            "iterations={} extended={} skipped={} wp={} scope={} queries={} time={:.2?}{}",
             self.iterations,
             self.extended,
             self.skipped,
@@ -38,6 +56,7 @@ impl RunStats {
             self.scope_pairs,
             self.queries.queries,
             self.wall_time,
+            witnesses,
         )
     }
 }

@@ -46,10 +46,7 @@ pub fn back_translate(hw: &HwParser) -> (Automaton, String) {
 
         let trans = if groups.is_empty() {
             // No row compares anything: the first row always wins.
-            let t = rows
-                .first()
-                .map(|r| r.next)
-                .unwrap_or(HwTarget::Reject);
+            let t = rows.first().map(|r| r.next).unwrap_or(HwTarget::Reject);
             Transition::Goto(target_of(&mut b, t))
         } else {
             let exprs: Vec<Expr> = groups
@@ -69,7 +66,10 @@ pub fn back_translate(hw: &HwParser) -> (Automaton, String) {
                             }
                         })
                         .collect();
-                    Case { pats, target: target_of(&mut b, row.next) }
+                    Case {
+                        pats,
+                        target: target_of(&mut b, row.next),
+                    }
                 })
                 .collect();
             Transition::Select { exprs, cases }
@@ -77,7 +77,10 @@ pub fn back_translate(hw: &HwParser) -> (Automaton, String) {
         b.define(q, vec![b.extract(w)], trans);
     }
     let start = format!("hw{}", hw.initial);
-    (b.build().expect("back-translated automaton is well-formed"), start)
+    (
+        b.build().expect("back-translated automaton is well-formed"),
+        start,
+    )
 }
 
 /// Hardware states reachable from the initial state through live rows.
@@ -103,9 +106,8 @@ fn live_states(hw: &HwParser) -> BTreeSet<u16> {
 /// by exactly the same set of rows, dropping wholly unmasked runs.
 /// Guarantees every row masks each returned run fully or not at all.
 fn mask_groups(width: usize, masks: &[&leapfrog_bitvec::BitVec]) -> Vec<(usize, usize)> {
-    let signature = |i: usize| -> Vec<bool> {
-        masks.iter().map(|m| m.get(i) == Some(true)).collect()
-    };
+    let signature =
+        |i: usize| -> Vec<bool> { masks.iter().map(|m| m.get(i) == Some(true)).collect() };
     let mut groups = Vec::new();
     let mut i = 0;
     while i < width {
@@ -137,7 +139,9 @@ mod tests {
         let bq = back.state_by_name(&bstart).unwrap();
         let mut seed = 0x1717u64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed
         };
         for &len in lengths {
@@ -172,7 +176,10 @@ mod tests {
                state t { extract(g, 6); goto accept }
              }",
             "s",
-            &HwBudget { max_advance: 4, max_branch_bits: 8 },
+            &HwBudget {
+                max_advance: 4,
+                max_branch_bits: 8,
+            },
             &[0, 11, 12, 13, 18, 24, 30],
         );
     }

@@ -22,7 +22,10 @@ pub struct HwBudget {
 
 impl Default for HwBudget {
     fn default() -> Self {
-        HwBudget { max_advance: 256, max_branch_bits: 40 }
+        HwBudget {
+            max_advance: 256,
+            max_branch_bits: 40,
+        }
     }
 }
 
@@ -57,7 +60,10 @@ impl std::fmt::Display for CompileError {
                 "state {state}: select scrutinee is not a same-state extracted field"
             ),
             CompileError::FieldStraddlesCycle { state } => {
-                write!(f, "state {state}: scrutinized field straddles a cycle boundary")
+                write!(
+                    f,
+                    "state {state}: scrutinized field straddles a cycle boundary"
+                )
             }
             CompileError::BranchBudgetExceeded { state, required } => {
                 write!(f, "state {state}: select needs {required} key bits")
@@ -83,7 +89,11 @@ pub fn compile(
         entry_state: HashMap::new(),
     };
     let initial = c.compile_state(start)?;
-    let mut hw = HwParser { advance: c.advance, entries: c.entries, initial };
+    let mut hw = HwParser {
+        advance: c.advance,
+        entries: c.entries,
+        initial,
+    };
     merge_states(&mut hw);
     Ok(hw)
 }
@@ -168,8 +178,9 @@ impl Compiler<'_> {
 
         // Allocate the chain of hardware states up to and including the
         // branch segment, registering the entry state for recursion.
-        let chain: Vec<u16> =
-            (0..=branch_seg).map(|i| self.fresh_state(bounds[i].1)).collect();
+        let chain: Vec<u16> = (0..=branch_seg)
+            .map(|i| self.fresh_state(bounds[i].1))
+            .collect();
         self.entry_state.insert(q, chain[0]);
         for win in chain.windows(2) {
             self.push_passthrough(win[0], bounds[0].1, HwTarget::State(win[1]));
@@ -177,7 +188,8 @@ impl Compiler<'_> {
         // Re-fetch per-state widths for the pass-through rows (they were
         // built with the wrong width above if segments differ); rebuild.
         // Simpler: clear and re-add with correct widths.
-        self.entries.retain(|e| !chain[..chain.len() - 1].contains(&e.state));
+        self.entries
+            .retain(|e| !chain[..chain.len() - 1].contains(&e.state));
         for (i, win) in chain.windows(2).enumerate() {
             self.push_passthrough(win[0], bounds[i].1, HwTarget::State(win[1]));
         }
@@ -265,11 +277,10 @@ impl Compiler<'_> {
                 let fields: Vec<FieldRange> = exprs
                     .iter()
                     .map(|e| {
-                        self.resolve_field(q, e).ok_or_else(|| {
-                            CompileError::UnsupportedScrutinee {
+                        self.resolve_field(q, e)
+                            .ok_or_else(|| CompileError::UnsupportedScrutinee {
                                 state: self.aut.state_name(q).to_string(),
-                            }
-                        })
+                            })
                     })
                     .collect::<Result<_, _>>()?;
                 Ok((
@@ -315,7 +326,10 @@ impl Compiler<'_> {
                 Op::Assign(_, _) => {}
             }
         }
-        at.map(|base| FieldRange { start: base + off, len })
+        at.map(|base| FieldRange {
+            start: base + off,
+            len,
+        })
     }
 }
 
@@ -388,7 +402,10 @@ mod tests {
     fn splits_wide_states() {
         // 12-bit state with a 3-bit budget: must split into 4 cycles.
         let a = parse("parser A { state s { extract(h, 12); goto accept } }").unwrap();
-        let budget = HwBudget { max_advance: 3, max_branch_bits: 8 };
+        let budget = HwBudget {
+            max_advance: 3,
+            max_branch_bits: 8,
+        };
         let hw = compile(&a, a.state_by_name("s").unwrap(), &budget).unwrap();
         assert!(hw.advance.iter().all(|&a| a <= 3));
         assert!(hw.accepts(&BitVec::zeros(12)));
@@ -408,7 +425,10 @@ mod tests {
              }",
         )
         .unwrap();
-        let budget = HwBudget { max_advance: 4, max_branch_bits: 8 };
+        let budget = HwBudget {
+            max_advance: 4,
+            max_branch_bits: 8,
+        };
         let hw = compile(&a, a.state_by_name("s").unwrap(), &budget).unwrap();
         // h[0]=1: accept after 8 bits.
         assert!(hw.accepts(&bv("10000000")));
@@ -458,8 +478,7 @@ mod tests {
         )
         .unwrap();
         let hw = compile(&a, a.state_by_name("s").unwrap(), &HwBudget::default()).unwrap();
-        let live: std::collections::HashSet<u16> =
-            hw.entries.iter().map(|e| e.state).collect();
+        let live: std::collections::HashSet<u16> = hw.entries.iter().map(|e| e.state).collect();
         // t1 and t2 collapse into one live hardware state (plus s).
         assert_eq!(live.len(), 2);
     }
@@ -471,7 +490,10 @@ mod tests {
                select(h) { _ => accept; } } }",
         )
         .unwrap();
-        let budget = HwBudget { max_advance: 64, max_branch_bits: 16 };
+        let budget = HwBudget {
+            max_advance: 64,
+            max_branch_bits: 16,
+        };
         // An all-wildcard select compares 0 bits — fine. Use exact pattern.
         let b = parse(
             "parser B { state s { extract(h, 64);
@@ -480,6 +502,9 @@ mod tests {
         .unwrap();
         assert!(compile(&a, a.state_by_name("s").unwrap(), &budget).is_ok());
         let e = compile(&b, b.state_by_name("s").unwrap(), &budget).unwrap_err();
-        assert!(matches!(e, CompileError::BranchBudgetExceeded { required: 64, .. }));
+        assert!(matches!(
+            e,
+            CompileError::BranchBudgetExceeded { required: 64, .. }
+        ));
     }
 }

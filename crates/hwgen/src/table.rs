@@ -31,9 +31,8 @@ impl TcamEntry {
     /// Whether a window matches this row.
     pub fn matches(&self, window: &BitVec) -> bool {
         debug_assert_eq!(window.len(), self.mask.len());
-        (0..self.mask.len()).all(|i| {
-            !self.mask.get(i).unwrap() || window.get(i) == self.value.get(i)
-        })
+        (0..self.mask.len())
+            .all(|i| !self.mask.get(i).unwrap() || window.get(i) == self.value.get(i))
     }
 }
 
@@ -93,11 +92,7 @@ impl HwParser {
             let _ = writeln!(
                 out,
                 "Match: (state={}, mask={}, value={})  Next-State: {:?}  Adv: {}",
-                e.state,
-                e.mask,
-                e.value,
-                e.next,
-                self.advance[e.state as usize]
+                e.state, e.mask, e.value, e.next, self.advance[e.state as usize]
             );
         }
         out

@@ -16,12 +16,11 @@
 use leapfrog_bitvec::BitVec;
 use leapfrog_p4a::ast::{Automaton, HeaderId};
 use leapfrog_p4a::semantics::Config;
-use serde::{Deserialize, Serialize};
 
 use crate::templates::TemplatePair;
 
 /// Which configuration of the pair an expression refers to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     /// The `<` (left) configuration.
     Left,
@@ -40,11 +39,11 @@ impl Side {
 }
 
 /// A formula-local packet variable, indexed into [`ConfRel::vars`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub u32);
 
 /// A bitvector expression over a configuration pair (Figure 3: `be`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum BitExpr {
     /// A literal.
     Lit(BitVec),
@@ -75,7 +74,10 @@ impl BitExpr {
             return BitExpr::empty();
         }
         let w = e.width(ctx);
-        debug_assert!(start + len <= w, "slice [{start};{len}] out of bounds for width {w}");
+        debug_assert!(
+            start + len <= w,
+            "slice [{start};{len}] out of bounds for width {w}"
+        );
         if start == 0 && len == w {
             return e;
         }
@@ -201,7 +203,7 @@ impl<'a> ExprCtx<'a> {
 }
 
 /// A pure formula (no state or buffer-length assertions; Definition 4.7).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Pure {
     /// `⊤` or `⊥`.
     Const(bool),
@@ -345,7 +347,7 @@ impl Pure {
 
 /// A template-guarded configuration relation `t₁< ∧ t₂> ⇒ φ`
 /// (Definition 4.7), with the packet variables it quantifies over.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConfRel {
     /// The guard templates.
     pub guard: TemplatePair,
@@ -358,13 +360,21 @@ pub struct ConfRel {
 impl ConfRel {
     /// The relation `t₁ ∧ t₂ ⇒ ⊤` (no constraint beyond the guard).
     pub fn trivial(guard: TemplatePair) -> ConfRel {
-        ConfRel { guard, vars: Vec::new(), phi: Pure::tt() }
+        ConfRel {
+            guard,
+            vars: Vec::new(),
+            phi: Pure::tt(),
+        }
     }
 
     /// The relation `t₁ ∧ t₂ ⇒ ⊥` (the guard combination is forbidden;
     /// used for the initial relation of Lemma 4.10).
     pub fn forbidden(guard: TemplatePair) -> ConfRel {
-        ConfRel { guard, vars: Vec::new(), phi: Pure::ff() }
+        ConfRel {
+            guard,
+            vars: Vec::new(),
+            phi: Pure::ff(),
+        }
     }
 
     /// Whether a configuration pair matches the guard.
@@ -417,7 +427,11 @@ impl ConfRel {
 
     /// Renders the relation with names for diagnostics.
     pub fn display(&self, aut: &Automaton) -> String {
-        format!("{} ⇒ {}", self.guard.display(aut), display_pure(&self.phi, aut))
+        format!(
+            "{} ⇒ {}",
+            self.guard.display(aut),
+            display_pure(&self.phi, aut)
+        )
     }
 }
 
@@ -487,13 +501,21 @@ mod tests {
             Box::new(BitExpr::Hdr(Side::Left, h)),
         );
         assert_eq!(e.eval(&c1, &c2, &[]).to_string(), "1011100");
-        assert_eq!(BitExpr::Buf(Side::Right).eval(&c1, &c2, &[]).to_string(), "01");
+        assert_eq!(
+            BitExpr::Buf(Side::Right).eval(&c1, &c2, &[]).to_string(),
+            "01"
+        );
     }
 
     #[test]
     fn smart_slice_through_concat() {
         let a = aut();
-        let ctx = ExprCtx { aut: &a, left_buf: 3, right_buf: 2, var_widths: &[] };
+        let ctx = ExprCtx {
+            aut: &a,
+            left_buf: 3,
+            right_buf: 2,
+            var_widths: &[],
+        };
         let e = BitExpr::concat(BitExpr::Buf(Side::Left), BitExpr::Buf(Side::Right));
         // Bits [3;2] live entirely in the right buffer.
         let s = BitExpr::slice(e, 3, 2, &ctx);
@@ -503,13 +525,21 @@ mod tests {
     #[test]
     fn smart_slice_straddles() {
         let a = aut();
-        let ctx = ExprCtx { aut: &a, left_buf: 3, right_buf: 2, var_widths: &[] };
+        let ctx = ExprCtx {
+            aut: &a,
+            left_buf: 3,
+            right_buf: 2,
+            var_widths: &[],
+        };
         let e = BitExpr::concat(BitExpr::Buf(Side::Left), BitExpr::Buf(Side::Right));
         let s = BitExpr::slice(e, 2, 2, &ctx);
         match s {
             BitExpr::Concat(l, r) => {
                 assert_eq!(*l, BitExpr::Slice(Box::new(BitExpr::Buf(Side::Left)), 2, 1));
-                assert_eq!(*r, BitExpr::Slice(Box::new(BitExpr::Buf(Side::Right)), 0, 1));
+                assert_eq!(
+                    *r,
+                    BitExpr::Slice(Box::new(BitExpr::Buf(Side::Right)), 0, 1)
+                );
             }
             other => panic!("expected concat, got {other:?}"),
         }
@@ -521,8 +551,14 @@ mod tests {
         let c1 = config(&a, "101");
         let c2 = config(&a, "01");
         let guard = TemplatePair::new(
-            Template { target: Target::State(StateId(0)), buf_len: 3 },
-            Template { target: Target::State(StateId(0)), buf_len: 2 },
+            Template {
+                target: Target::State(StateId(0)),
+                buf_len: 3,
+            },
+            Template {
+                target: Target::State(StateId(0)),
+                buf_len: 2,
+            },
         );
         // buf< [0;2] = buf>  — here "10" vs "01": false under the guard.
         let rel = ConfRel {
@@ -545,8 +581,14 @@ mod tests {
         let c1 = config(&a, "1");
         let c2 = config(&a, "1");
         let guard = TemplatePair::new(
-            Template { target: Target::State(StateId(0)), buf_len: 1 },
-            Template { target: Target::State(StateId(0)), buf_len: 1 },
+            Template {
+                target: Target::State(StateId(0)),
+                buf_len: 1,
+            },
+            Template {
+                target: Target::State(StateId(0)),
+                buf_len: 1,
+            },
         );
         // ∀x (1 bit): buf< ++ x = buf> ++ x  — true since buffers equal.
         let rel = ConfRel {
@@ -585,7 +627,10 @@ mod tests {
     fn display_is_readable() {
         let a = aut();
         let guard = TemplatePair::new(
-            Template { target: Target::State(StateId(0)), buf_len: 0 },
+            Template {
+                target: Target::State(StateId(0)),
+                buf_len: 0,
+            },
             Template::accept(),
         );
         let rel = ConfRel::forbidden(guard);

@@ -37,6 +37,28 @@ pub struct EntailmentQuery {
     pub goal: Formula,
     /// How many premises survived template filtering.
     pub filtered_premises: usize,
+    /// How each configuration-level object maps onto `FOL(BV)` variables —
+    /// the inverse of store elimination, needed to lift countermodels back
+    /// into concrete stores and packets (the counterexample engine).
+    pub vars: LoweredVars,
+}
+
+/// The variable mapping produced by store elimination (stage 3): which
+/// `FOL(BV)` variable stands for each buffer, header, and conclusion
+/// packet variable. Premise packet variables are universally quantified
+/// inside the goal and never appear in countermodels, so they are not
+/// tracked here.
+#[derive(Debug, Clone, Default)]
+pub struct LoweredVars {
+    /// The left/right buffer variables, when the guard gives them nonzero
+    /// width and the formula mentions them.
+    pub bufs: [Option<BvVar>; 2],
+    /// One variable per `(side, header)` pair mentioned by the formulas.
+    pub headers: Vec<((Side, HeaderId), BvVar)>,
+    /// The conclusion's packet variables `y_j`, in [`ConfRel::vars`] order.
+    /// These stay free in the validity goal, so an invalidity countermodel
+    /// assigns them the concrete packet bits of the refutation.
+    pub conclusion_vars: Vec<BvVar>,
 }
 
 /// Decides `⋀ premises ⊨ conclusion` using a stateful solver (records
@@ -52,20 +74,21 @@ pub fn entails(
 }
 
 /// Decides `⋀ premises ⊨ conclusion` statelessly.
-pub fn entails_stateless(
-    aut: &Automaton,
-    premises: &[ConfRel],
-    conclusion: &ConfRel,
-) -> bool {
+pub fn entails_stateless(aut: &Automaton, premises: &[ConfRel], conclusion: &ConfRel) -> bool {
     let q = lower(aut, premises, conclusion);
-    matches!(leapfrog_smt::check_valid(&q.decls, &q.goal), CheckResult::Valid)
+    matches!(
+        leapfrog_smt::check_valid(&q.decls, &q.goal),
+        CheckResult::Valid
+    )
 }
 
 /// Runs the full lowering chain, producing the `FOL(BV)` query.
 pub fn lower(aut: &Automaton, premises: &[ConfRel], conclusion: &ConfRel) -> EntailmentQuery {
     // Stage 1: template filtering.
-    let relevant: Vec<&ConfRel> =
-        premises.iter().filter(|p| p.guard == conclusion.guard).collect();
+    let relevant: Vec<&ConfRel> = premises
+        .iter()
+        .filter(|p| p.guard == conclusion.guard)
+        .collect();
 
     // Stage 2 + 3: build the FOL(BV) signature for this guard.
     let mut decls = Declarations::new();
@@ -88,8 +111,7 @@ pub fn lower(aut: &Automaton, premises: &[ConfRel], conclusion: &ConfRel) -> Ent
             .collect();
         env.vars = xs.clone();
         let body = lower_pure(aut, &p.phi, &mut decls, &mut env);
-        let quantified: Vec<BvVar> =
-            xs.into_iter().filter(|v| decls.width(*v) > 0).collect();
+        let quantified: Vec<BvVar> = xs.into_iter().filter(|v| decls.width(*v) > 0).collect();
         premise_formulas.push(Formula::forall(quantified, body));
     }
 
@@ -101,11 +123,21 @@ pub fn lower(aut: &Automaton, premises: &[ConfRel], conclusion: &ConfRel) -> Ent
         .enumerate()
         .map(|(j, w)| decls.declare(format!("y{j}"), *w))
         .collect();
-    env.vars = ys;
+    env.vars = ys.clone();
     let concl = lower_pure(aut, &conclusion.phi, &mut decls, &mut env);
 
     let goal = Formula::implies(Formula::and_all(premise_formulas), concl);
-    EntailmentQuery { decls, goal, filtered_premises: relevant.len() }
+    let vars = LoweredVars {
+        bufs: env.buf,
+        headers: env.headers.iter().map(|(k, v)| (*k, *v)).collect(),
+        conclusion_vars: ys,
+    };
+    EntailmentQuery {
+        decls,
+        goal,
+        filtered_premises: relevant.len(),
+        vars,
+    }
 }
 
 struct LowerEnv {
@@ -152,12 +184,7 @@ impl LowerEnv {
     }
 }
 
-fn lower_pure(
-    aut: &Automaton,
-    p: &Pure,
-    decls: &mut Declarations,
-    env: &mut LowerEnv,
-) -> Formula {
+fn lower_pure(aut: &Automaton, p: &Pure, decls: &mut Declarations, env: &mut LowerEnv) -> Formula {
     match p {
         Pure::Const(b) => Formula::Const(*b),
         Pure::Eq(a, b) => Formula::eq(
@@ -180,12 +207,7 @@ fn lower_pure(
     }
 }
 
-fn lower_expr(
-    aut: &Automaton,
-    e: &BitExpr,
-    decls: &mut Declarations,
-    env: &mut LowerEnv,
-) -> Term {
+fn lower_expr(aut: &Automaton, e: &BitExpr, decls: &mut Declarations, env: &mut LowerEnv) -> Term {
     match e {
         BitExpr::Lit(bv) => Term::lit(bv.clone()),
         BitExpr::Buf(side) => {
@@ -244,8 +266,14 @@ mod tests {
 
     fn guard(lbuf: usize, rbuf: usize) -> TemplatePair {
         TemplatePair::new(
-            Template { target: Target::State(StateId(0)), buf_len: lbuf },
-            Template { target: Target::State(StateId(0)), buf_len: rbuf },
+            Template {
+                target: Target::State(StateId(0)),
+                buf_len: lbuf,
+            },
+            Template {
+                target: Target::State(StateId(0)),
+                buf_len: rbuf,
+            },
         )
     }
 
@@ -287,7 +315,11 @@ mod tests {
                 BitExpr::Slice(Box::new(BitExpr::Buf(Side::Right)), 1, 2),
             ),
         };
-        assert!(!entails_stateless(&a, std::slice::from_ref(&premise2), &buf_eq_rel(g)));
+        assert!(!entails_stateless(
+            &a,
+            std::slice::from_ref(&premise2),
+            &buf_eq_rel(g)
+        ));
     }
 
     #[test]
@@ -360,7 +392,11 @@ mod tests {
                 BitExpr::Slice(Box::new(BitExpr::Hdr(Side::Right, gh)), 0, 2),
             ),
         };
-        assert!(entails_stateless(&a, std::slice::from_ref(&premise), &conclusion));
+        assert!(entails_stateless(
+            &a,
+            std::slice::from_ref(&premise),
+            &conclusion
+        ));
         // Same-named header on opposite sides are distinct variables:
         // h< = g> does not entail h> = g>.
         let wrong = ConfRel {
@@ -422,7 +458,11 @@ mod tests {
             vars: vec![],
             phi: Pure::eq(BitExpr::Hdr(Side::Left, h), BitExpr::Hdr(Side::Right, gh)),
         };
-        assert!(entails_stateless(&a, &[p1.clone(), p2.clone()], &conclusion));
+        assert!(entails_stateless(
+            &a,
+            &[p1.clone(), p2.clone()],
+            &conclusion
+        ));
         assert!(!entails_stateless(&a, &[p1], &conclusion));
         assert!(!entails_stateless(&a, &[p2], &conclusion));
     }

@@ -17,11 +17,7 @@ use crate::templates::{successor_pairs, TemplatePair};
 /// Computes the set of template pairs reachable from `roots` under the
 /// leap-successor abstraction (or bit-level successors when `leaps` is
 /// false). The result is ordered deterministically.
-pub fn reachable_pairs(
-    aut: &Automaton,
-    roots: &[TemplatePair],
-    leaps: bool,
-) -> Vec<TemplatePair> {
+pub fn reachable_pairs(aut: &Automaton, roots: &[TemplatePair], leaps: bool) -> Vec<TemplatePair> {
     let mut seen: BTreeSet<TemplatePair> = roots.iter().copied().collect();
     let mut work: Vec<TemplatePair> = roots.to_vec();
     while let Some(p) = work.pop() {
@@ -87,14 +83,23 @@ mod tests {
         let l0 = aut.state_by_name("l.l0").unwrap();
         let r1 = aut.state_by_name("r.r1").unwrap();
         let mid = TemplatePair::new(
-            Template { target: Target::State(l0), buf_len: 2 },
+            Template {
+                target: Target::State(l0),
+                buf_len: 2,
+            },
             Template::start(r1),
         );
         assert!(reach.contains(&mid));
         // The pure-buffering pair (l0,1)/(r0,1) is skipped by leaps…
         let skipped = TemplatePair::new(
-            Template { target: Target::State(l0), buf_len: 1 },
-            Template { target: Target::State(aut.state_by_name("r.r0").unwrap()), buf_len: 1 },
+            Template {
+                target: Target::State(l0),
+                buf_len: 1,
+            },
+            Template {
+                target: Target::State(aut.state_by_name("r.r0").unwrap()),
+                buf_len: 1,
+            },
         );
         assert!(!reach.contains(&skipped));
         // …but visited without leaps.

@@ -8,11 +8,10 @@
 //! for reachability pruning.
 
 use leapfrog_p4a::ast::{Automaton, Target};
-use serde::{Deserialize, Serialize};
 
 /// A template `⟨q, n⟩`: control location plus buffer length, with
 /// `n < ‖op(q)‖` for proper states and `n = 0` otherwise (Definition 4.7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Template {
     /// The control location.
     pub target: Target,
@@ -23,17 +22,26 @@ pub struct Template {
 impl Template {
     /// The template of an initial configuration at state `q`.
     pub fn start(q: leapfrog_p4a::ast::StateId) -> Template {
-        Template { target: Target::State(q), buf_len: 0 }
+        Template {
+            target: Target::State(q),
+            buf_len: 0,
+        }
     }
 
     /// The `accept` template `⟨accept, 0⟩`.
     pub fn accept() -> Template {
-        Template { target: Target::Accept, buf_len: 0 }
+        Template {
+            target: Target::Accept,
+            buf_len: 0,
+        }
     }
 
     /// The `reject` template `⟨reject, 0⟩`.
     pub fn reject() -> Template {
-        Template { target: Target::Reject, buf_len: 0 }
+        Template {
+            target: Target::Reject,
+            buf_len: 0,
+        }
     }
 
     /// Whether this is the accepting template (Lemma 4.10's `t_accept`).
@@ -61,13 +69,19 @@ impl Template {
                 let rem = aut.op_size(q) - self.buf_len;
                 debug_assert!(k <= rem, "leap {k} exceeds remaining {rem}");
                 if k < rem {
-                    vec![Template { target: self.target, buf_len: self.buf_len + k }]
+                    vec![Template {
+                        target: self.target,
+                        buf_len: self.buf_len + k,
+                    }]
                 } else {
                     aut.state(q)
                         .trans
                         .targets()
                         .into_iter()
-                        .map(|t| Template { target: t, buf_len: 0 })
+                        .map(|t| Template {
+                            target: t,
+                            buf_len: 0,
+                        })
                         .collect()
                 }
             }
@@ -81,7 +95,7 @@ impl Template {
 }
 
 /// A pair of templates, abstracting a pair of configurations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TemplatePair {
     /// The left template.
     pub left: Template,
@@ -137,7 +151,10 @@ pub fn all_templates(aut: &Automaton) -> Vec<Template> {
     let mut out = Vec::new();
     for q in aut.state_ids() {
         for n in 0..aut.op_size(q) {
-            out.push(Template { target: Target::State(q), buf_len: n });
+            out.push(Template {
+                target: Target::State(q),
+                buf_len: n,
+            });
         }
     }
     out.push(Template::accept());
@@ -176,11 +193,17 @@ mod tests {
     fn remaining_and_successors_buffering() {
         let aut = two_state();
         let q1 = aut.state_by_name("q1").unwrap();
-        let t = Template { target: Target::State(q1), buf_len: 1 };
+        let t = Template {
+            target: Target::State(q1),
+            buf_len: 1,
+        };
         assert_eq!(t.remaining(&aut), 3);
         assert_eq!(
             t.successors(&aut, 1),
-            vec![Template { target: Target::State(q1), buf_len: 2 }]
+            vec![Template {
+                target: Target::State(q1),
+                buf_len: 2
+            }]
         );
     }
 
@@ -189,7 +212,10 @@ mod tests {
         let aut = two_state();
         let q1 = aut.state_by_name("q1").unwrap();
         let q2 = aut.state_by_name("q2").unwrap();
-        let t = Template { target: Target::State(q1), buf_len: 3 };
+        let t = Template {
+            target: Target::State(q1),
+            buf_len: 3,
+        };
         let succs = t.successors(&aut, 1);
         assert!(succs.contains(&Template::start(q2)));
         assert!(succs.contains(&Template::accept()));
@@ -199,8 +225,14 @@ mod tests {
     #[test]
     fn accept_steps_to_reject() {
         let aut = two_state();
-        assert_eq!(Template::accept().successors(&aut, 1), vec![Template::reject()]);
-        assert_eq!(Template::reject().successors(&aut, 1), vec![Template::reject()]);
+        assert_eq!(
+            Template::accept().successors(&aut, 1),
+            vec![Template::reject()]
+        );
+        assert_eq!(
+            Template::reject().successors(&aut, 1),
+            vec![Template::reject()]
+        );
     }
 
     #[test]
@@ -208,11 +240,14 @@ mod tests {
         let aut = two_state();
         let q1 = aut.state_by_name("q1").unwrap();
         let q2 = aut.state_by_name("q2").unwrap();
-        let s = |q, n| Template { target: Target::State(q), buf_len: n };
+        let s = |q, n| Template {
+            target: Target::State(q),
+            buf_len: n,
+        };
         // Both states: min of remainders.
         let p = TemplatePair::new(s(q1, 1), s(q2, 0));
         assert_eq!(leap_size(&aut, &p, true), 2); // min(3, 2)
-        // One state, one accept: the state's remainder.
+                                                  // One state, one accept: the state's remainder.
         let p = TemplatePair::new(s(q1, 0), Template::accept());
         assert_eq!(leap_size(&aut, &p, true), 4);
         // Both pseudo-states: 1.
@@ -227,7 +262,10 @@ mod tests {
     fn successor_pairs_product() {
         let aut = two_state();
         let q1 = aut.state_by_name("q1").unwrap();
-        let s = |q, n| Template { target: Target::State(q), buf_len: n };
+        let s = |q, n| Template {
+            target: Target::State(q),
+            buf_len: n,
+        };
         // Left q1 with 3 buffered (1 remaining), right accept: leap 1;
         // left branches two ways, right goes to reject.
         let p = TemplatePair::new(s(q1, 3), Template::accept());

@@ -51,8 +51,16 @@ pub fn wp(aut: &Automaton, psi: &ConfRel, pred: &TemplatePair, leaps: bool) -> O
         right_buf: pred.right.buf_len,
         var_widths: &vars,
     };
-    let phi_r =
-        wp_side(aut, &psi.phi, Side::Right, pred.right, psi.guard.right, &x, k, &ctx1)?;
+    let phi_r = wp_side(
+        aut,
+        &psi.phi,
+        Side::Right,
+        pred.right,
+        psi.guard.right,
+        &x,
+        k,
+        &ctx1,
+    )?;
 
     // Pass 2: left side. Everything is pre-state afterwards.
     let ctx2 = ExprCtx {
@@ -61,20 +69,31 @@ pub fn wp(aut: &Automaton, psi: &ConfRel, pred: &TemplatePair, leaps: bool) -> O
         right_buf: pred.right.buf_len,
         var_widths: &vars,
     };
-    let phi_lr = wp_side(aut, &phi_r, Side::Left, pred.left, psi.guard.left, &x, k, &ctx2)?;
+    let phi_lr = wp_side(
+        aut,
+        &phi_r,
+        Side::Left,
+        pred.left,
+        psi.guard.left,
+        &x,
+        k,
+        &ctx2,
+    )?;
 
-    Some(ConfRel { guard: *pred, vars, phi: phi_lr })
+    Some(ConfRel {
+        guard: *pred,
+        vars,
+        phi: phi_lr,
+    })
 }
 
 /// Computes the weakest preconditions of `psi` over every predecessor in
 /// `preds` (typically the reachable template pairs; Theorem 5.2).
-pub fn wp_all(
-    aut: &Automaton,
-    psi: &ConfRel,
-    preds: &[TemplatePair],
-    leaps: bool,
-) -> Vec<ConfRel> {
-    preds.iter().filter_map(|p| wp(aut, psi, p, leaps)).collect()
+pub fn wp_all(aut: &Automaton, psi: &ConfRel, preds: &[TemplatePair], leaps: bool) -> Vec<ConfRel> {
+    preds
+        .iter()
+        .filter_map(|p| wp(aut, psi, p, leaps))
+        .collect()
 }
 
 /// One-sided weakest precondition (`WP<` or `WP>`, Lemma 4.8, lifted to a
@@ -161,12 +180,7 @@ pub fn symbolic_ops(
 /// Converts a P4A store expression into a [`BitExpr`] over a symbolic
 /// store, resolving the surface language's clamped slices to exact slices
 /// (widths are static).
-pub fn conv_expr(
-    aut: &Automaton,
-    e: &Expr,
-    store: &[BitExpr],
-    ctx: &ExprCtx<'_>,
-) -> BitExpr {
+pub fn conv_expr(aut: &Automaton, e: &Expr, store: &[BitExpr], ctx: &ExprCtx<'_>) -> BitExpr {
     match e {
         Expr::Hdr(h) => store[h.0 as usize].clone(),
         Expr::Lit(bv) => BitExpr::Lit(bv.clone()),
@@ -174,10 +188,9 @@ pub fn conv_expr(
             let (start, len) = clamped_slice_bounds(inner.width(aut), *n1, *n2);
             BitExpr::slice(conv_expr(aut, inner, store, ctx), start, len, ctx)
         }
-        Expr::Concat(a, b) => BitExpr::concat(
-            conv_expr(aut, a, store, ctx),
-            conv_expr(aut, b, store, ctx),
-        ),
+        Expr::Concat(a, b) => {
+            BitExpr::concat(conv_expr(aut, a, store, ctx), conv_expr(aut, b, store, ctx))
+        }
     }
 }
 
@@ -194,8 +207,10 @@ pub fn branch_condition(
     match &aut.state(q).trans {
         Transition::Goto(t) => Pure::Const(*t == target),
         Transition::Select { exprs, cases } => {
-            let scrutinees: Vec<BitExpr> =
-                exprs.iter().map(|e| conv_expr(aut, e, store, ctx)).collect();
+            let scrutinees: Vec<BitExpr> = exprs
+                .iter()
+                .map(|e| conv_expr(aut, e, store, ctx))
+                .collect();
             let case_conds: Vec<Pure> = cases
                 .iter()
                 .map(|case| {
@@ -208,8 +223,7 @@ pub fn branch_condition(
             let mut disjuncts = Vec::new();
             for (j, case) in cases.iter().enumerate() {
                 if case.target == target {
-                    let earlier =
-                        Pure::and_all(case_conds[..j].iter().cloned().map(Pure::not));
+                    let earlier = Pure::and_all(case_conds[..j].iter().cloned().map(Pure::not));
                     disjuncts.push(Pure::and(case_conds[j].clone(), earlier));
                 }
             }
@@ -264,24 +278,24 @@ mod tests {
     }
 
     fn state_t(q: StateId, n: usize) -> Template {
-        Template { target: Target::State(q), buf_len: n }
+        Template {
+            target: Target::State(q),
+            buf_len: n,
+        }
     }
 
     /// Exhaustive check of the Theorem 5.7 equivalence for a given
     /// predecessor pair and successor relation: for all stores drawn from a
     /// small pool, buffers, and leap words `w`,
     /// `(∀w. (δ*(c1,w), δ*(c2,w)) ⊨ ψ)  ⇔  (c1,c2) ⊨ wp(ψ, pred)`.
-    fn check_wp_equivalence(
-        aut: &Automaton,
-        psi: &ConfRel,
-        pred: &TemplatePair,
-        leaps: bool,
-    ) {
+    fn check_wp_equivalence(aut: &Automaton, psi: &ConfRel, pred: &TemplatePair, leaps: bool) {
         let k = leap_size(aut, pred, leaps);
         let precondition = wp(aut, psi, pred, leaps);
         let mut seed = 0xfeedu64;
         let mut rng = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed
         };
         for _ in 0..6 {
@@ -304,7 +318,10 @@ mod tests {
                 }
             }
             // RHS: the WP formula holds at (c1, c2); a `None` WP is ⊤.
-            let rhs = precondition.as_ref().map(|p| p.holds(&c1, &c2)).unwrap_or(true);
+            let rhs = precondition
+                .as_ref()
+                .map(|p| p.holds(&c1, &c2))
+                .unwrap_or(true);
             assert_eq!(
                 lhs,
                 rhs,
@@ -454,12 +471,23 @@ mod tests {
         );
         let aut = bld.build().unwrap();
         let vars = vec![4usize];
-        let ctx = ExprCtx { aut: &aut, left_buf: 0, right_buf: 0, var_widths: &vars };
+        let ctx = ExprCtx {
+            aut: &aut,
+            left_buf: 0,
+            right_buf: 0,
+            var_widths: &vars,
+        };
         let full = BitExpr::Var(VarId(0));
         let store = symbolic_ops(&aut, StateId(0), Side::Left, &full, &ctx);
         // a = full[0;2], b = full[2;2], out = full[2;2] ++ full[0;1].
-        assert_eq!(store[a.0 as usize], BitExpr::Slice(Box::new(full.clone()), 0, 2));
-        assert_eq!(store[b.0 as usize], BitExpr::Slice(Box::new(full.clone()), 2, 2));
+        assert_eq!(
+            store[a.0 as usize],
+            BitExpr::Slice(Box::new(full.clone()), 0, 2)
+        );
+        assert_eq!(
+            store[b.0 as usize],
+            BitExpr::Slice(Box::new(full.clone()), 2, 2)
+        );
         match &store[out.0 as usize] {
             BitExpr::Concat(l, r) => {
                 assert_eq!(**l, BitExpr::Slice(Box::new(full.clone()), 2, 2));
@@ -484,12 +512,20 @@ mod tests {
             ),
         );
         let aut = bld.build().unwrap();
-        let ctx = ExprCtx { aut: &aut, left_buf: 0, right_buf: 0, var_widths: &[] };
+        let ctx = ExprCtx {
+            aut: &aut,
+            left_buf: 0,
+            right_buf: 0,
+            var_widths: &[],
+        };
         let store: Vec<BitExpr> = vec![BitExpr::Hdr(Side::Left, h)];
         let acc = branch_condition(&aut, q, &store, Target::Accept, &ctx);
         assert_eq!(
             acc,
-            Pure::Eq(BitExpr::Hdr(Side::Left, h), BitExpr::Lit("00".parse().unwrap()))
+            Pure::Eq(
+                BitExpr::Hdr(Side::Left, h),
+                BitExpr::Lit("00".parse().unwrap())
+            )
         );
         let back = branch_condition(&aut, q, &store, Target::State(q), &ctx);
         assert_eq!(

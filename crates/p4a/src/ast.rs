@@ -1,19 +1,18 @@
 //! Abstract syntax of P4 automata (paper, Figure 2).
 
 use leapfrog_bitvec::BitVec;
-use serde::{Deserialize, Serialize};
 
 /// A header identifier: an index into an automaton's header table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct HeaderId(pub u32);
 
 /// A state identifier: an index into an automaton's state table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StateId(pub u32);
 
 /// A transition target: a proper state, or the distinguished `accept` /
 /// `reject` pseudo-states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Target {
     /// A proper state `q ∈ Q`.
     State(StateId),
@@ -31,7 +30,7 @@ impl Target {
 }
 
 /// A bitvector expression over the store (paper, Figure 2: `e`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Expr {
     /// The contents of a header.
     Hdr(HeaderId),
@@ -147,7 +146,7 @@ pub fn clamped_slice_bounds(w_len: usize, n1: usize, n2: usize) -> (usize, usize
 }
 
 /// A select pattern (paper, Figure 2: `pat`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Pattern {
     /// Exact bitvector match.
     Exact(BitVec),
@@ -176,7 +175,7 @@ impl Pattern {
 
 /// A single operation (paper, Figure 2: `op`). Operation blocks are
 /// represented as `Vec<Op>` rather than nested sequencing.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `extract(h)`: move `sz(h)` bits from the front of the packet into
     /// `h`. (The surface syntax `extract(h, n)` checks `n = sz(h)`.)
@@ -186,7 +185,7 @@ pub enum Op {
 }
 
 /// One arm of a `select` statement: a tuple of patterns and a target.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Case {
     /// Patterns, one per scrutinee expression.
     pub pats: Vec<Pattern>,
@@ -195,7 +194,7 @@ pub struct Case {
 }
 
 /// A transition block (paper, Figure 2: `tz`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Transition {
     /// Unconditional transition.
     Goto(Target),
@@ -245,7 +244,7 @@ impl Transition {
 }
 
 /// A state definition: an operation block followed by a transition block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StateDef {
     /// The state's name (for diagnostics and printing).
     pub name: String,
@@ -256,7 +255,7 @@ pub struct StateDef {
 }
 
 /// A header declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeaderDef {
     /// The header's name.
     pub name: String,
@@ -268,7 +267,7 @@ pub struct HeaderDef {
 ///
 /// Construct via [`crate::builder::Builder`] or [`crate::surface::parse`];
 /// both validate the automaton (`⊢A`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Automaton {
     pub(crate) headers: Vec<HeaderDef>,
     pub(crate) states: Vec<StateDef>,
@@ -300,6 +299,28 @@ impl Automaton {
         &self.states[q.0 as usize]
     }
 
+    /// Redirects the `case`-th select case of state `q` to `target` — a
+    /// fault-injection helper for differential and witness testing (the
+    /// mutation changes transition structure only, so the automaton stays
+    /// well-formed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` does not have a select transition, `case` is out of
+    /// bounds, or `target` names a state outside the automaton.
+    pub fn redirect_case(&mut self, q: StateId, case: usize, target: Target) {
+        if let Target::State(s) = target {
+            assert!(
+                (s.0 as usize) < self.states.len(),
+                "target state out of bounds"
+            );
+        }
+        match &mut self.states[q.0 as usize].trans {
+            Transition::Select { cases, .. } => cases[case].target = target,
+            Transition::Goto(_) => panic!("state {q:?} has no select cases"),
+        }
+    }
+
     /// The name of state `q`.
     pub fn state_name(&self, q: StateId) -> &str {
         &self.states[q.0 as usize].name
@@ -307,7 +328,10 @@ impl Automaton {
 
     /// Looks a state up by name.
     pub fn state_by_name(&self, name: &str) -> Option<StateId> {
-        self.states.iter().position(|s| s.name == name).map(|i| StateId(i as u32))
+        self.states
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StateId(i as u32))
     }
 
     /// The size `sz(h)` of header `h`.
@@ -322,7 +346,10 @@ impl Automaton {
 
     /// Looks a header up by name.
     pub fn header_by_name(&self, name: &str) -> Option<HeaderId> {
-        self.headers.iter().position(|h| h.name == name).map(|i| HeaderId(i as u32))
+        self.headers
+            .iter()
+            .position(|h| h.name == name)
+            .map(|i| HeaderId(i as u32))
     }
 
     /// `‖op(q)‖`: the number of packet bits state `q` consumes
@@ -407,7 +434,10 @@ mod tests {
     fn transition_targets_include_fallthrough() {
         let t = Transition::Select {
             exprs: vec![],
-            cases: vec![Case { pats: vec![Pattern::exact_str("1")], target: Target::Accept }],
+            cases: vec![Case {
+                pats: vec![Pattern::exact_str("1")],
+                target: Target::Accept,
+            }],
         };
         let ts = t.targets();
         assert!(ts.contains(&Target::Accept));
@@ -415,8 +445,14 @@ mod tests {
         let exhaustive = Transition::Select {
             exprs: vec![],
             cases: vec![
-                Case { pats: vec![Pattern::exact_str("1")], target: Target::Accept },
-                Case { pats: vec![Pattern::Wildcard], target: Target::Accept },
+                Case {
+                    pats: vec![Pattern::exact_str("1")],
+                    target: Target::Accept,
+                },
+                Case {
+                    pats: vec![Pattern::Wildcard],
+                    target: Target::Accept,
+                },
             ],
         };
         assert_eq!(exhaustive.targets(), vec![Target::Accept]);

@@ -5,8 +5,7 @@ use std::collections::HashMap;
 use leapfrog_bitvec::BitVec;
 
 use crate::ast::{
-    Automaton, Case, Expr, HeaderDef, HeaderId, Op, Pattern, StateDef, StateId, Target,
-    Transition,
+    Automaton, Case, Expr, HeaderDef, HeaderId, Op, Pattern, StateDef, StateId, Target, Transition,
 };
 use crate::validate::{self, ValidationError};
 
@@ -60,7 +59,10 @@ impl Builder {
             return h;
         }
         let h = HeaderId(self.headers.len() as u32);
-        self.headers.push(HeaderDef { name: name.clone(), size });
+        self.headers.push(HeaderDef {
+            name: name.clone(),
+            size,
+        });
         self.header_index.insert(name, h);
         h
     }
@@ -107,7 +109,10 @@ impl Builder {
     pub fn select(&self, exprs: Vec<Expr>, cases: Vec<(Vec<Pattern>, Target)>) -> Transition {
         Transition::Select {
             exprs,
-            cases: cases.into_iter().map(|(pats, target)| Case { pats, target }).collect(),
+            cases: cases
+                .into_iter()
+                .map(|(pats, target)| Case { pats, target })
+                .collect(),
         }
     }
 
@@ -143,7 +148,10 @@ impl Builder {
                 None => return Err(ValidationError::UndefinedState(name)),
             }
         }
-        let aut = Automaton { headers: self.headers, states };
+        let aut = Automaton {
+            headers: self.headers,
+            states,
+        };
         validate::validate(&aut)?;
         Ok(aut)
     }

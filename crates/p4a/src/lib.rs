@@ -56,6 +56,7 @@ pub mod semantics;
 pub mod sum;
 pub mod surface;
 pub mod validate;
+pub mod walk;
 
 pub use ast::{Automaton, Case, Expr, HeaderId, Op, Pattern, StateId, Target, Transition};
 pub use builder::Builder;

@@ -24,7 +24,12 @@ pub fn pretty(aut: &Automaton, name: &str) -> String {
         .collect();
     for h in aut.header_ids() {
         if !extracted.contains(&h) {
-            let _ = writeln!(out, "  header {} : {};", aut.header_name(h), aut.header_size(h));
+            let _ = writeln!(
+                out,
+                "  header {} : {};",
+                aut.header_name(h),
+                aut.header_size(h)
+            );
         }
     }
     for q in aut.state_ids() {
@@ -41,8 +46,12 @@ pub fn pretty(aut: &Automaton, name: &str) -> String {
                     );
                 }
                 Op::Assign(h, e) => {
-                    let _ =
-                        writeln!(out, "    {} := {};", aut.header_name(*h), pretty_expr(aut, e));
+                    let _ = writeln!(
+                        out,
+                        "    {} := {};",
+                        aut.header_name(*h),
+                        pretty_expr(aut, e)
+                    );
                 }
             }
         }
@@ -51,8 +60,7 @@ pub fn pretty(aut: &Automaton, name: &str) -> String {
                 let _ = writeln!(out, "    goto {};", target_name(aut, *t));
             }
             Transition::Select { exprs, cases } => {
-                let scrutinees: Vec<String> =
-                    exprs.iter().map(|e| pretty_expr(aut, e)).collect();
+                let scrutinees: Vec<String> = exprs.iter().map(|e| pretty_expr(aut, e)).collect();
                 let _ = writeln!(out, "    select({}) {{", scrutinees.join(", "));
                 for case in cases {
                     let pats: Vec<String> = case.pats.iter().map(pretty_pattern).collect();
@@ -130,7 +138,10 @@ mod tests {
             q2,
             vec![
                 b.extract(udp),
-                b.assign(extra, Expr::concat(Expr::hdr(udp), Expr::Lit(Default::default()))),
+                b.assign(
+                    extra,
+                    Expr::concat(Expr::hdr(udp), Expr::Lit(Default::default())),
+                ),
             ],
             b.goto(Target::Accept),
         );

@@ -28,7 +28,10 @@ impl Store {
     /// The all-zeros store for `aut`.
     pub fn zeros(aut: &Automaton) -> Store {
         Store {
-            values: aut.header_ids().map(|h| BitVec::zeros(aut.header_size(h))).collect(),
+            values: aut
+                .header_ids()
+                .map(|h| BitVec::zeros(aut.header_size(h)))
+                .collect(),
         }
     }
 
@@ -101,13 +104,21 @@ pub struct Config {
 impl Config {
     /// The initial configuration `⟨q, 0…0, ε⟩` with a zero store.
     pub fn initial(aut: &Automaton, q: StateId) -> Config {
-        Config { target: Target::State(q), store: Store::zeros(aut), buf: BitVec::new() }
+        Config {
+            target: Target::State(q),
+            store: Store::zeros(aut),
+            buf: BitVec::new(),
+        }
     }
 
     /// An initial configuration with a caller-supplied store (the paper's
     /// semantics embeds the initial store in the start configuration).
     pub fn with_store(q: StateId, store: Store) -> Config {
-        Config { target: Target::State(q), store, buf: BitVec::new() }
+        Config {
+            target: Target::State(q),
+            store,
+            buf: BitVec::new(),
+        }
     }
 
     /// Whether this is an accepting configuration (`∈ F`): at `accept` with
@@ -128,12 +139,20 @@ impl Config {
                 let mut buf = self.buf.clone();
                 buf.push(bit);
                 if buf.len() < aut.op_size(q) {
-                    Config { target: self.target, store: self.store.clone(), buf }
+                    Config {
+                        target: self.target,
+                        store: self.store.clone(),
+                        buf,
+                    }
                 } else {
                     let mut store = self.store.clone();
                     run_ops(aut, q, &mut store, &buf);
                     let next = eval_transition(aut, q, &store);
-                    Config { target: next, store, buf: BitVec::new() }
+                    Config {
+                        target: next,
+                        store,
+                        buf: BitVec::new(),
+                    }
                 }
             }
         }
@@ -161,7 +180,12 @@ impl Config {
     ///
     /// Returns `None` if `input` has fewer bits than required, leaving the
     /// caller to fall back to bit-by-bit buffering.
-    pub fn step_state(&self, aut: &Automaton, input: &BitVec, pos: usize) -> Option<(Config, usize)> {
+    pub fn step_state(
+        &self,
+        aut: &Automaton,
+        input: &BitVec,
+        pos: usize,
+    ) -> Option<(Config, usize)> {
         match self.target {
             Target::Accept | Target::Reject => {
                 if pos < input.len() {
@@ -186,7 +210,14 @@ impl Config {
                 let mut store = self.store.clone();
                 run_ops(aut, q, &mut store, &full);
                 let next = eval_transition(aut, q, &store);
-                Some((Config { target: next, store, buf: BitVec::new() }, need))
+                Some((
+                    Config {
+                        target: next,
+                        store,
+                        buf: BitVec::new(),
+                    },
+                    need,
+                ))
             }
         }
     }
@@ -217,7 +248,11 @@ impl Config {
 /// Runs a state's operation block on `(store, buffer)` where the buffer
 /// holds exactly `‖op(q)‖` bits (`JopK_O`, Definition 3.2).
 pub fn run_ops(aut: &Automaton, q: StateId, store: &mut Store, buf: &BitVec) {
-    debug_assert_eq!(buf.len(), aut.op_size(q), "operation block needs a full buffer");
+    debug_assert_eq!(
+        buf.len(),
+        aut.op_size(q),
+        "operation block needs a full buffer"
+    );
     let mut cursor = 0;
     for op in &aut.state(q).ops {
         match op {
@@ -433,7 +468,9 @@ mod tests {
         let (aut, q1) = mpls_ref();
         let mut state = 0x42u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         for len in [0usize, 1, 31, 32, 64, 95, 96, 97, 128, 160, 200] {
@@ -456,7 +493,9 @@ mod tests {
         let (aut, q1) = mpls_ref();
         let mut state = 7u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state
         };
         let word = label(true).concat(&BitVec::zeros(64));

@@ -64,10 +64,11 @@ pub fn sum(left: &Automaton, right: &Automaton) -> Sum {
         })
         .collect();
 
-    let left_states: Vec<StateId> =
-        left.state_ids().map(|q| StateId(q.0)).collect();
-    let right_states: Vec<StateId> =
-        right.state_ids().map(|q| StateId(q.0 + left.num_states() as u32)).collect();
+    let left_states: Vec<StateId> = left.state_ids().map(|q| StateId(q.0)).collect();
+    let right_states: Vec<StateId> = right
+        .state_ids()
+        .map(|q| StateId(q.0 + left.num_states() as u32))
+        .collect();
 
     let mut states = Vec::with_capacity(left.num_states() + right.num_states());
     for q in left.state_ids() {
@@ -114,7 +115,10 @@ fn remap_state(
                 exprs: exprs.iter().map(|e| remap_expr(e, hmap)).collect(),
                 cases: cases
                     .iter()
-                    .map(|c| Case { pats: c.pats.clone(), target: remap_target(c.target) })
+                    .map(|c| Case {
+                        pats: c.pats.clone(),
+                        target: remap_target(c.target),
+                    })
                     .collect(),
             },
         },

@@ -53,7 +53,11 @@ impl std::error::Error for ParseError {}
 
 impl From<ValidationError> for ParseError {
     fn from(e: ValidationError) -> Self {
-        ParseError { line: 0, col: 0, message: e.to_string() }
+        ParseError {
+            line: 0,
+            col: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -114,11 +118,20 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, col: self.col, message: message.into() }
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -310,8 +323,9 @@ impl<'a> Lexer<'a> {
                 }
                 Tok::Bits(bits) => {
                     if bits.len() > width {
-                        return Err(self
-                            .err(format!("literal has {} bits, width is {width}", bits.len())));
+                        return Err(
+                            self.err(format!("literal has {} bits, width is {width}", bits.len()))
+                        );
                     }
                     // Zero-extend on the left.
                     BitVec::zeros(width - bits.len()).concat(&bits)
@@ -376,7 +390,11 @@ struct CstParser {
 impl Parser {
     fn error_at(&self, message: impl Into<String>) -> ParseError {
         let (_, line, col) = &self.toks[self.pos.min(self.toks.len() - 1)];
-        ParseError { line: *line, col: *col, message: message.into() }
+        ParseError {
+            line: *line,
+            col: *col,
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> &Tok {
@@ -459,7 +477,11 @@ impl Parser {
                 }
             }
         }
-        Ok(CstParser { name, headers, states })
+        Ok(CstParser {
+            name,
+            headers,
+            states,
+        })
     }
 
     fn parse_state(&mut self) -> Result<CstState, ParseError> {
@@ -510,7 +532,13 @@ impl Parser {
             }
         }
         self.expect(&Tok::RBrace)?;
-        Ok(CstState { name, ops, trans, line, col })
+        Ok(CstState {
+            name,
+            ops,
+            trans,
+            line,
+            col,
+        })
     }
 
     fn parse_select(&mut self) -> Result<CstTrans, ParseError> {
@@ -683,23 +711,24 @@ fn resolve(cst: CstParser) -> Result<Automaton, ParseError> {
         b.state(st.name.clone());
     }
 
-    let resolve_target = |b: &mut Builder, name: &str, st: &CstState| -> Result<Target, ParseError> {
-        match name {
-            "accept" => Ok(Target::Accept),
-            "reject" => Ok(Target::Reject),
-            other => {
-                if cst.states.iter().any(|s| s.name == other) {
-                    Ok(Target::State(b.state(other.to_string())))
-                } else {
-                    Err(ParseError {
-                        line: st.line,
-                        col: st.col,
-                        message: format!("unknown state `{other}`"),
-                    })
+    let resolve_target =
+        |b: &mut Builder, name: &str, st: &CstState| -> Result<Target, ParseError> {
+            match name {
+                "accept" => Ok(Target::Accept),
+                "reject" => Ok(Target::Reject),
+                other => {
+                    if cst.states.iter().any(|s| s.name == other) {
+                        Ok(Target::State(b.state(other.to_string())))
+                    } else {
+                        Err(ParseError {
+                            line: st.line,
+                            col: st.col,
+                            message: format!("unknown state `{other}`"),
+                        })
+                    }
                 }
             }
-        }
-    };
+        };
 
     for st in &cst.states {
         let q = b.state(st.name.clone());
@@ -730,8 +759,7 @@ fn resolve(cst: CstParser) -> Result<Automaton, ParseError> {
                     .iter()
                     .map(|e| resolve_expr(e, &header_ids, st))
                     .collect::<Result<_, _>>()?;
-                let widths: Vec<usize> =
-                    cexprs.iter().map(|e| cst_expr_width(e, &sizes)).collect();
+                let widths: Vec<usize> = cexprs.iter().map(|e| cst_expr_width(e, &sizes)).collect();
                 let mut out_cases = Vec::new();
                 for (pats, tname) in cases {
                     if pats.len() != exprs.len() {
@@ -804,11 +832,14 @@ fn resolve_expr(
     st: &CstState,
 ) -> Result<Expr, ParseError> {
     match e {
-        CstExpr::Ident(h) => headers.get(h).map(|&h| Expr::Hdr(h)).ok_or_else(|| ParseError {
-            line: st.line,
-            col: st.col,
-            message: format!("unknown header `{h}`"),
-        }),
+        CstExpr::Ident(h) => headers
+            .get(h)
+            .map(|&h| Expr::Hdr(h))
+            .ok_or_else(|| ParseError {
+                line: st.line,
+                col: st.col,
+                message: format!("unknown header `{h}`"),
+            }),
         CstExpr::Bits(bv) => Ok(Expr::Lit(bv.clone())),
         CstExpr::Slice(inner, n1, n2) => {
             Ok(Expr::slice(resolve_expr(inner, headers, st)?, *n1, *n2))
@@ -878,10 +909,7 @@ mod tests {
                     cases[0].pats[0],
                     Pattern::Exact("1000011011011101".parse().unwrap())
                 );
-                assert_eq!(
-                    cases[1].pats[0],
-                    Pattern::Exact(BitVec::from_u64(1, 16))
-                );
+                assert_eq!(cases[1].pats[0], Pattern::Exact(BitVec::from_u64(1, 16)));
             }
             other => panic!("expected select, got {other:?}"),
         }

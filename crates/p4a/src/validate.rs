@@ -13,9 +13,9 @@
 
 use std::fmt;
 
-use crate::ast::{Automaton, HeaderId, Op, Pattern, StateId, Transition};
 #[cfg(test)]
 use crate::ast::Expr;
+use crate::ast::{Automaton, HeaderId, Op, Pattern, StateId, Transition};
 
 /// A violation of the `⊢A` judgement.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,9 +62,17 @@ impl fmt::Display for ValidationError {
         match self {
             ValidationError::UndefinedState(n) => write!(f, "state {n} is never defined"),
             ValidationError::NoExtract(n) => {
-                write!(f, "state {n} extracts no bits; every state must make progress")
+                write!(
+                    f,
+                    "state {n} extracts no bits; every state must make progress"
+                )
             }
-            ValidationError::AssignWidthMismatch { state, header, expected, found } => write!(
+            ValidationError::AssignWidthMismatch {
+                state,
+                header,
+                expected,
+                found,
+            } => write!(
                 f,
                 "in state {state}: assignment to {header} has width {found}, expected {expected}"
             ),
@@ -72,7 +80,11 @@ impl fmt::Display for ValidationError {
                 f,
                 "in state {state}: select case has {pats} patterns for {exprs} scrutinees"
             ),
-            ValidationError::PatternWidthMismatch { state, expected, found } => write!(
+            ValidationError::PatternWidthMismatch {
+                state,
+                expected,
+                found,
+            } => write!(
                 f,
                 "in state {state}: exact pattern has width {found}, scrutinee has width {expected}"
             ),
@@ -185,7 +197,11 @@ mod tests {
         let mut b = Builder::new();
         let h = b.header("h", 4);
         let q = b.state("q");
-        b.define(q, vec![b.assign(h, Expr::lit_str("0000"))], b.goto(Target::Accept));
+        b.define(
+            q,
+            vec![b.assign(h, Expr::lit_str("0000"))],
+            b.goto(Target::Accept),
+        );
         assert!(matches!(b.build(), Err(ValidationError::NoExtract(_))));
     }
 
@@ -201,7 +217,11 @@ mod tests {
         );
         assert!(matches!(
             b.build(),
-            Err(ValidationError::AssignWidthMismatch { expected: 4, found: 3, .. })
+            Err(ValidationError::AssignWidthMismatch {
+                expected: 4,
+                found: 3,
+                ..
+            })
         ));
     }
 
@@ -217,7 +237,11 @@ mod tests {
         );
         assert!(matches!(
             b.build(),
-            Err(ValidationError::PatternWidthMismatch { expected: 4, found: 3, .. })
+            Err(ValidationError::PatternWidthMismatch {
+                expected: 4,
+                found: 3,
+                ..
+            })
         ));
     }
 
@@ -234,7 +258,10 @@ mod tests {
                 vec![(vec![Pattern::Wildcard], Target::Accept)],
             ),
         );
-        assert!(matches!(b.build(), Err(ValidationError::CaseArityMismatch { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(ValidationError::CaseArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -246,7 +273,10 @@ mod tests {
         b.define(
             q,
             vec![b.extract(h)],
-            b.select1(Expr::slice(Expr::hdr(h), 2, 100), vec![("10", Target::Accept)]),
+            b.select1(
+                Expr::slice(Expr::hdr(h), 2, 100),
+                vec![("10", Target::Accept)],
+            ),
         );
         assert!(b.build().is_ok());
     }

@@ -1,0 +1,349 @@
+//! Packet synthesis by walking the automaton: random valid and adversarial
+//! packets for a parser, plus branch steering toward chosen targets.
+//!
+//! The generator walks the automaton itself: starting from a state, it
+//! repeatedly synthesizes the bits each state consumes, steering selects
+//! toward a chosen branch. This yields packets that exercise deep paths
+//! (hard to hit with uniform random bits) without hand-writing per-parser
+//! generators. The machinery lives here (rather than in the evaluation
+//! suite) because the counterexample witness engine reuses it to search
+//! for distinguishing packets when model lifting alone is inconclusive.
+
+use std::collections::VecDeque;
+
+use leapfrog_bitvec::BitVec;
+
+use crate::ast::{Automaton, Pattern, StateId, Target, Transition};
+use crate::semantics::{eval_transition, run_ops, Config, Store};
+
+/// A deterministic split-mix style RNG for reproducible workloads.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates an RNG from a seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = self.0;
+        z = (z ^ (z >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+        z ^ (z >> 33)
+    }
+
+    /// A value in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Generates a packet by walking up to `max_states` states from `start`,
+/// randomly steering selects, and stopping when `accept`/`reject` is
+/// reached. Returns the packet; it may or may not be accepted (steering
+/// toward reject branches is allowed), which is exactly what differential
+/// testing wants.
+pub fn random_walk_packet(
+    aut: &Automaton,
+    start: StateId,
+    max_states: usize,
+    rng: &mut Rng,
+) -> BitVec {
+    walk(
+        aut,
+        start,
+        Store::zeros(aut),
+        max_states,
+        &mut |cases, rng| rng.below(cases),
+        rng,
+    )
+}
+
+/// Generates a packet steered toward acceptance: at every select, the case
+/// whose target is closest to `accept` (by BFS distance over the state
+/// graph) is preferred. Steering is best effort — only directly-extracted
+/// scrutinees can be forced — so callers should confirm acceptance with
+/// the explicit semantics. The walk starts from the given store, which
+/// matters for parsers whose branches read uninitialized headers.
+pub fn accepting_walk_packet(
+    aut: &Automaton,
+    start: StateId,
+    store: Store,
+    max_states: usize,
+    rng: &mut Rng,
+) -> BitVec {
+    let dist = distances_to_accept(aut);
+    let mut chooser = |q: StateId, ncases: usize, _rng: &mut Rng| {
+        let best = match &aut.state(q).trans {
+            Transition::Goto(_) => 0,
+            Transition::Select { cases, .. } => {
+                let mut best = 0;
+                let mut best_d = usize::MAX;
+                for (i, case) in cases.iter().enumerate() {
+                    let d = match case.target {
+                        Target::Accept => 0,
+                        Target::Reject => usize::MAX,
+                        Target::State(s) => dist[s.0 as usize].map(|d| d + 1).unwrap_or(usize::MAX),
+                    };
+                    if d < best_d {
+                        best_d = d;
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        best.min(ncases.saturating_sub(1))
+    };
+    walk_with(aut, start, store, max_states, &mut chooser, rng)
+}
+
+/// BFS distance (in states) from every state to `accept`, following
+/// transition targets backwards. `None` means `accept` is unreachable.
+pub fn distances_to_accept(aut: &Automaton) -> Vec<Option<usize>> {
+    let n = aut.num_states();
+    // Reverse edges: for each state, which states can reach it in one step.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut accept_frontier: Vec<usize> = Vec::new();
+    for q in aut.state_ids() {
+        for t in aut.state(q).trans.targets() {
+            match t {
+                Target::Accept => accept_frontier.push(q.0 as usize),
+                Target::State(s) => preds[s.0 as usize].push(q.0 as usize),
+                Target::Reject => {}
+            }
+        }
+    }
+    let mut dist: Vec<Option<usize>> = vec![None; n];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for q in accept_frontier {
+        if dist[q].is_none() {
+            dist[q] = Some(0);
+            queue.push_back(q);
+        }
+    }
+    while let Some(q) = queue.pop_front() {
+        let d = dist[q].unwrap();
+        for &p in &preds[q] {
+            if dist[p].is_none() {
+                dist[p] = Some(d + 1);
+                queue.push_back(p);
+            }
+        }
+    }
+    dist
+}
+
+/// Walks the automaton, choosing select cases via `pick(case_count, rng)`.
+fn walk(
+    aut: &Automaton,
+    start: StateId,
+    store: Store,
+    max_states: usize,
+    pick: &mut dyn FnMut(usize, &mut Rng) -> usize,
+    rng: &mut Rng,
+) -> BitVec {
+    let mut chooser = |_q: StateId, cases: usize, rng: &mut Rng| pick(cases, rng).min(cases - 1);
+    walk_with(aut, start, store, max_states, &mut chooser, rng)
+}
+
+/// Walks the automaton, choosing select cases via `choose(state, case_count,
+/// rng)`, forcing the chosen case's patterns into the synthesized bits where
+/// possible.
+pub fn walk_with(
+    aut: &Automaton,
+    start: StateId,
+    store: Store,
+    max_states: usize,
+    choose: &mut dyn FnMut(StateId, usize, &mut Rng) -> usize,
+    rng: &mut Rng,
+) -> BitVec {
+    let mut packet = BitVec::new();
+    let mut config = Config {
+        target: Target::State(start),
+        store,
+        buf: BitVec::new(),
+    };
+    for _ in 0..max_states {
+        let q = match config.target {
+            Target::State(q) => q,
+            _ => break,
+        };
+        let choice = match &aut.state(q).trans {
+            Transition::Select { cases, .. } if !cases.is_empty() => {
+                Some(choose(q, cases.len(), rng))
+            }
+            _ => None,
+        };
+        let chunk = synthesize_chunk(aut, q, choice, rng);
+        packet.extend(&chunk);
+        let mut store = config.store.clone();
+        run_ops(aut, q, &mut store, &chunk);
+        let next = eval_transition(aut, q, &store);
+        config = Config {
+            target: next,
+            store,
+            buf: BitVec::new(),
+        };
+    }
+    packet
+}
+
+/// Synthesizes `‖op(q)‖` bits for state `q`, steering its select toward
+/// case `choice` (or a uniformly random case when `None`). Best effort:
+/// only directly-extracted scrutinee patterns can be forced, which covers
+/// the suite's parsers.
+pub fn synthesize_chunk(
+    aut: &Automaton,
+    q: StateId,
+    choice: Option<usize>,
+    rng: &mut Rng,
+) -> BitVec {
+    let size = aut.op_size(q);
+    let mut chunk = BitVec::random_with(size, || rng.next_u64());
+    if let Transition::Select { exprs, cases } = &aut.state(q).trans {
+        if cases.is_empty() {
+            return chunk;
+        }
+        let idx = choice
+            .unwrap_or_else(|| rng.below(cases.len()))
+            .min(cases.len() - 1);
+        let chosen = &cases[idx];
+        // Try to force each exact pattern by writing its bits into the
+        // extracted region its scrutinee reads from, when the scrutinee is
+        // a header (or slice of one) extracted in this very state. Earlier
+        // cases' patterns are not excluded, so steering can overshoot — the
+        // caller must confirm with the explicit semantics.
+        for (pat, expr) in chosen.pats.iter().zip(exprs) {
+            if let Pattern::Exact(bits) = pat {
+                force_expr(aut, q, expr, bits, &mut chunk);
+            }
+        }
+    }
+    chunk
+}
+
+/// Writes `bits` into the part of `chunk` that `expr` will read, when
+/// `expr` is a (slice of a) header extracted by state `q`.
+fn force_expr(
+    aut: &Automaton,
+    q: StateId,
+    expr: &crate::ast::Expr,
+    bits: &BitVec,
+    chunk: &mut BitVec,
+) {
+    use crate::ast::{clamped_slice_bounds, Expr, Op};
+    // Resolve the expression to (header, offset-within-header, len).
+    fn resolve(aut: &Automaton, e: &Expr) -> Option<(crate::ast::HeaderId, usize, usize)> {
+        match e {
+            Expr::Hdr(h) => Some((*h, 0, aut.header_size(*h))),
+            Expr::Slice(inner, n1, n2) => {
+                let (h, off, len) = resolve(aut, inner)?;
+                let (s, l) = clamped_slice_bounds(len, *n1, *n2);
+                Some((h, off + s, l))
+            }
+            _ => None,
+        }
+    }
+    let Some((h, off, len)) = resolve(aut, expr) else {
+        return;
+    };
+    if bits.len() != len {
+        return;
+    }
+    // Find the chunk offset where h is extracted (last extract wins).
+    let mut cursor = 0;
+    let mut found = None;
+    for op in &aut.state(q).ops {
+        if let Op::Extract(h2) = op {
+            if *h2 == h {
+                found = Some(cursor);
+            }
+            cursor += aut.header_size(*h2);
+        }
+    }
+    let Some(base) = found else { return };
+    for i in 0..len {
+        chunk.set(base + off + i, bits.get(i).unwrap());
+    }
+}
+
+/// A batch of `count` random-walk packets.
+pub fn packets(
+    aut: &Automaton,
+    start: StateId,
+    max_states: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<BitVec> {
+    let mut rng = Rng::new(seed);
+    (0..count)
+        .map(|_| random_walk_packet(aut, start, max_states, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+    use crate::builder::Builder;
+
+    fn branching() -> Automaton {
+        let mut b = Builder::new();
+        let h = b.header("h", 2);
+        let g = b.header("g", 3);
+        let q0 = b.state("q0");
+        let q1 = b.state("q1");
+        b.define(
+            q0,
+            vec![b.extract(h)],
+            b.select1(
+                Expr::hdr(h),
+                vec![("11", Target::State(q1)), ("_", Target::Reject)],
+            ),
+        );
+        b.define(q1, vec![b.extract(g)], b.goto(Target::Accept));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn distances_reach_accept_through_chain() {
+        let aut = branching();
+        let d = distances_to_accept(&aut);
+        assert_eq!(d[1], Some(0)); // q1 goes straight to accept
+        assert_eq!(d[0], Some(1)); // q0 reaches accept via q1
+    }
+
+    #[test]
+    fn accepting_walk_is_accepted() {
+        let aut = branching();
+        let q0 = aut.state_by_name("q0").unwrap();
+        let mut rng = Rng::new(77);
+        for _ in 0..20 {
+            let p = accepting_walk_packet(&aut, q0, Store::zeros(&aut), 8, &mut rng);
+            assert!(
+                Config::initial(&aut, q0).accepts_chunked(&aut, &p),
+                "steered packet {p} was rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn random_walks_are_chunk_aligned() {
+        let aut = branching();
+        let q0 = aut.state_by_name("q0").unwrap();
+        for p in packets(&aut, q0, 4, 50, 3) {
+            // Packets decompose into 2-bit then 3-bit chunks.
+            assert!(
+                p.len() == 2 || p.len() == 5,
+                "unexpected length {}",
+                p.len()
+            );
+        }
+    }
+}

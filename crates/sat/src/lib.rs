@@ -91,7 +91,12 @@ impl std::ops::Not for Lit {
 
 impl fmt::Debug for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", if self.is_neg() { "-" } else { "" }, self.var().0)
+        write!(
+            f,
+            "{}{}",
+            if self.is_neg() { "-" } else { "" },
+            self.var().0
+        )
     }
 }
 
@@ -241,7 +246,10 @@ impl Solver {
         // Simplify: remove duplicates and false literals; detect tautology.
         let mut cl: Vec<Lit> = Vec::with_capacity(lits.len());
         for &l in lits {
-            debug_assert!((l.var().0 as usize) < self.num_vars(), "literal uses unallocated var");
+            debug_assert!(
+                (l.var().0 as usize) < self.num_vars(),
+                "literal uses unallocated var"
+            );
             match self.lit_value(l) {
                 Some(true) => return true, // already satisfied at root
                 Some(false) => continue,
@@ -375,7 +383,12 @@ impl Solver {
         let cref = ClauseRef(self.clauses.len() as u32);
         self.watches[lits[0].negate().index()].push(cref);
         self.watches[lits[1].negate().index()].push(cref);
-        self.clauses.push(Clause { lits, learnt, activity: self.cla_inc, deleted: false });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: self.cla_inc,
+            deleted: false,
+        });
         if learnt {
             self.n_learnt += 1;
         }
@@ -385,7 +398,11 @@ impl Solver {
     fn enqueue(&mut self, l: Lit, reason: u32) {
         debug_assert!(self.lit_value(l).is_none());
         let v = l.var().0 as usize;
-        self.assigns[v] = if l.is_neg() { Assign::False } else { Assign::True };
+        self.assigns[v] = if l.is_neg() {
+            Assign::False
+        } else {
+            Assign::True
+        };
         self.levels[v] = self.decision_level();
         self.reasons[v] = reason;
         self.saved_phase[v] = !l.is_neg();
@@ -808,8 +825,9 @@ mod tests {
     /// Pigeonhole principle: n+1 pigeons in n holes is unsat.
     fn pigeonhole(pigeons: usize, holes: usize) -> (Solver, Vec<Vec<Var>>) {
         let mut s = Solver::new();
-        let grid: Vec<Vec<Var>> =
-            (0..pigeons).map(|_| (0..holes).map(|_| s.new_var()).collect()).collect();
+        let grid: Vec<Vec<Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| s.new_var()).collect())
+            .collect();
         for row in &grid {
             let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&clause);
@@ -854,7 +872,10 @@ mod tests {
         let mut s = Solver::new();
         let v = lits(&mut s, 2);
         s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
-        assert_eq!(s.solve(&[Lit::neg(v[0]), Lit::neg(v[1])]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve(&[Lit::neg(v[0]), Lit::neg(v[1])]),
+            SolveResult::Unsat
+        );
         assert_eq!(s.solve(&[Lit::neg(v[0])]), SolveResult::Sat);
         assert_eq!(s.value(v[1]), Some(true));
         // Solver is reusable after assumption-unsat.
@@ -899,7 +920,10 @@ mod tests {
     fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
         for m in 0u32..(1 << num_vars) {
             let assign = |v: usize| (m >> v) & 1 == 1;
-            if clauses.iter().all(|c| c.iter().any(|&(v, pos)| assign(v) == pos)) {
+            if clauses
+                .iter()
+                .all(|c| c.iter().any(|&(v, pos)| assign(v) == pos))
+            {
                 return true;
             }
         }
@@ -911,7 +935,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible.
         let mut state = 0xdeadbeefu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for round in 0..60 {
@@ -928,18 +954,24 @@ mod tests {
             let mut s = Solver::new();
             let vars = lits(&mut s, n);
             for c in &clauses {
-                let cl: Vec<Lit> =
-                    c.iter().map(|&(v, pos)| Lit::with_polarity(vars[v], pos)).collect();
+                let cl: Vec<Lit> = c
+                    .iter()
+                    .map(|&(v, pos)| Lit::with_polarity(vars[v], pos))
+                    .collect();
                 s.add_clause(&cl);
             }
             let got = s.solve(&[]) == SolveResult::Sat;
-            assert_eq!(got, expected, "round {round}: solver disagrees with brute force");
+            assert_eq!(
+                got, expected,
+                "round {round}: solver disagrees with brute force"
+            );
             if got {
                 // Verify the model actually satisfies every clause, reading
                 // unassigned (irrelevant) variables as false.
                 for c in &clauses {
                     assert!(
-                        c.iter().any(|&(v, pos)| s.value(vars[v]).unwrap_or(false) == pos),
+                        c.iter()
+                            .any(|&(v, pos)| s.value(vars[v]).unwrap_or(false) == pos),
                         "model does not satisfy clause"
                     );
                 }

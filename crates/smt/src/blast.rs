@@ -42,7 +42,11 @@ impl Default for BlastContext {
 impl BlastContext {
     /// Creates an empty context.
     pub fn new() -> Self {
-        BlastContext { solver: Solver::new(), var_bits: HashMap::new(), true_lit: None }
+        BlastContext {
+            solver: Solver::new(),
+            var_bits: HashMap::new(),
+            true_lit: None,
+        }
     }
 
     /// Access to the underlying solver's statistics.
@@ -80,7 +84,11 @@ impl BlastContext {
     pub fn blast_term(&mut self, decls: &Declarations, t: &Term) -> Vec<BBit> {
         match t {
             Term::Lit(bv) => bv.iter().map(BBit::Const).collect(),
-            Term::Var(v) => self.bits_of_var(decls, *v).into_iter().map(BBit::Lit).collect(),
+            Term::Var(v) => self
+                .bits_of_var(decls, *v)
+                .into_iter()
+                .map(BBit::Lit)
+                .collect(),
             Term::Slice(inner, start, len) => {
                 let bits = self.blast_term(decls, inner);
                 assert!(
@@ -163,8 +171,11 @@ impl BlastContext {
                 let ba = self.blast_term(decls, a);
                 let bb = self.blast_term(decls, b);
                 assert_eq!(ba.len(), bb.len(), "ill-typed equality reached the blaster");
-                let iffs: Vec<BBit> =
-                    ba.into_iter().zip(bb).map(|(x, y)| self.bit_iff(x, y)).collect();
+                let iffs: Vec<BBit> = ba
+                    .into_iter()
+                    .zip(bb)
+                    .map(|(x, y)| self.bit_iff(x, y))
+                    .collect();
                 self.big_and(iffs)
             }
             Formula::Not(inner) => match self.blast_formula(decls, inner) {
@@ -313,10 +324,7 @@ mod tests {
         let mut d = Declarations::new();
         let x = d.declare("x", 8);
         let f = Formula::and(
-            Formula::eq(
-                Term::slice(Term::var(x), 2, 4),
-                Term::lit(bv("1111")),
-            ),
+            Formula::eq(Term::slice(Term::var(x), 2, 4), Term::lit(bv("1111"))),
             Formula::eq(Term::slice(Term::var(x), 0, 2), Term::lit(bv("00"))),
         );
         let m = sat_qf(&d, &f).expect("sat");
@@ -369,7 +377,9 @@ mod tests {
         // must evaluate to true under the reference evaluator.
         let mut state = 0x5eedu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..40 {
@@ -411,13 +421,25 @@ mod tests {
         let mut d = Declarations::new();
         let x = d.declare("x", 2);
         let mut ctx = BlastContext::new();
-        ctx.assert_formula(&d, &Formula::not(Formula::eq(Term::var(x), Term::lit(bv("00")))));
+        ctx.assert_formula(
+            &d,
+            &Formula::not(Formula::eq(Term::var(x), Term::lit(bv("00")))),
+        );
         assert!(ctx.solve(&d).is_some());
-        ctx.assert_formula(&d, &Formula::not(Formula::eq(Term::var(x), Term::lit(bv("01")))));
-        ctx.assert_formula(&d, &Formula::not(Formula::eq(Term::var(x), Term::lit(bv("10")))));
+        ctx.assert_formula(
+            &d,
+            &Formula::not(Formula::eq(Term::var(x), Term::lit(bv("01")))),
+        );
+        ctx.assert_formula(
+            &d,
+            &Formula::not(Formula::eq(Term::var(x), Term::lit(bv("10")))),
+        );
         let m = ctx.solve(&d).expect("still sat");
         assert_eq!(m.get(x), Some(&bv("11")));
-        ctx.assert_formula(&d, &Formula::not(Formula::eq(Term::var(x), Term::lit(bv("11")))));
+        ctx.assert_formula(
+            &d,
+            &Formula::not(Formula::eq(Term::var(x), Term::lit(bv("11")))),
+        );
         assert!(ctx.solve(&d).is_none());
     }
 }

@@ -31,7 +31,12 @@ pub fn validity_query(decls: &Declarations, f: &Formula) -> String {
         if w == 0 {
             continue; // zero-width variables cannot be declared in SMT-LIB
         }
-        let _ = writeln!(out, "(declare-const {} (_ BitVec {}))", sanitize(decls.name(v)), w);
+        let _ = writeln!(
+            out,
+            "(declare-const {} (_ BitVec {}))",
+            sanitize(decls.name(v)),
+            w
+        );
     }
     let _ = writeln!(out, "(assert (not {}))", format_formula(decls, f));
     out.push_str("(check-sat)\n");
@@ -75,13 +80,25 @@ pub fn format_formula(decls: &Declarations, f: &Formula) -> String {
         }
         Formula::Not(g) => format!("(not {})", format_formula(decls, g)),
         Formula::And(a, b) => {
-            format!("(and {} {})", format_formula(decls, a), format_formula(decls, b))
+            format!(
+                "(and {} {})",
+                format_formula(decls, a),
+                format_formula(decls, b)
+            )
         }
         Formula::Or(a, b) => {
-            format!("(or {} {})", format_formula(decls, a), format_formula(decls, b))
+            format!(
+                "(or {} {})",
+                format_formula(decls, a),
+                format_formula(decls, b)
+            )
         }
         Formula::Implies(a, b) => {
-            format!("(=> {} {})", format_formula(decls, a), format_formula(decls, b))
+            format!(
+                "(=> {} {})",
+                format_formula(decls, a),
+                format_formula(decls, b)
+            )
         }
         Formula::Forall(vars, body) => {
             let mut binders = String::new();
@@ -110,7 +127,11 @@ pub fn format_term(decls: &Declarations, t: &Term) -> String {
             format!("((_ extract {hi} {lo}) {})", format_term(decls, inner))
         }
         Term::Concat(a, b) => {
-            format!("(concat {} {})", format_term(decls, a), format_term(decls, b))
+            format!(
+                "(concat {} {})",
+                format_term(decls, a),
+                format_term(decls, b)
+            )
         }
     }
 }
@@ -174,10 +195,7 @@ mod tests {
         let mut d = Declarations::new();
         let a = d.declare("a", 2);
         let x = d.declare("x", 2);
-        let f = Formula::forall(
-            vec![x],
-            Formula::Eq(Term::var(a), Term::var(x)),
-        );
+        let f = Formula::forall(vec![x], Formula::Eq(Term::var(a), Term::var(x)));
         let q = validity_query(&d, &f);
         assert!(q.contains("(declare-const a (_ BitVec 2))"));
         assert!(!q.contains("(declare-const x"));
@@ -205,7 +223,10 @@ mod tests {
                 )),
             ),
             Formula::or(
-                Formula::Eq(Term::concat(Term::var(x), Term::var(y)), Term::lit(bv("10101010"))),
+                Formula::Eq(
+                    Term::concat(Term::var(x), Term::var(y)),
+                    Term::lit(bv("10101010")),
+                ),
                 Formula::ff(),
             ),
         );

@@ -85,7 +85,10 @@ impl SmtSolver {
     /// Creates a solver, honouring `LEAPFROG_DUMP_SMT`.
     pub fn new() -> Self {
         let dump_dir = std::env::var_os("LEAPFROG_DUMP_SMT").map(std::path::PathBuf::from);
-        SmtSolver { stats: QueryStats::default(), dump_dir }
+        SmtSolver {
+            stats: QueryStats::default(),
+            dump_dir,
+        }
     }
 
     /// The statistics accumulated so far.
@@ -193,8 +196,10 @@ fn violates_forall(
     let mut map = HashMap::new();
     for v in body.free_vars() {
         if !xs.contains(&v) {
-            let value =
-                model.get(v).cloned().unwrap_or_else(|| BitVec::zeros(decls.width(v)));
+            let value = model
+                .get(v)
+                .cloned()
+                .unwrap_or_else(|| BitVec::zeros(decls.width(v)));
             map.insert(v, Term::lit(value));
         }
     }
@@ -202,15 +207,22 @@ fn violates_forall(
     let m = sat_qf(decls, &closed)?;
     Some(
         xs.iter()
-            .map(|x| m.get(*x).cloned().unwrap_or_else(|| BitVec::zeros(decls.width(*x))))
+            .map(|x| {
+                m.get(*x)
+                    .cloned()
+                    .unwrap_or_else(|| BitVec::zeros(decls.width(*x)))
+            })
             .collect(),
     )
 }
 
 /// Substitutes concrete values for the bound variables of a forall body.
 fn instantiate(body: &Formula, xs: &[BvVar], values: &[BitVec]) -> Formula {
-    let map: HashMap<BvVar, Term> =
-        xs.iter().zip(values).map(|(x, v)| (*x, Term::lit(v.clone()))).collect();
+    let map: HashMap<BvVar, Term> = xs
+        .iter()
+        .zip(values)
+        .map(|(x, v)| (*x, Term::lit(v.clone())))
+        .collect();
     body.subst(&map)
 }
 
@@ -329,7 +341,10 @@ mod tests {
         let x = d.declare("x", 8);
         // (x[0:4) ++ x[4:4)) = x is valid.
         let f = Formula::Eq(
-            Term::concat(Term::slice(Term::var(x), 0, 4), Term::slice(Term::var(x), 4, 4)),
+            Term::concat(
+                Term::slice(Term::var(x), 0, 4),
+                Term::slice(Term::var(x), 4, 4),
+            ),
             Term::var(x),
         );
         assert!(matches!(check_valid(&d, &f), CheckResult::Valid));
@@ -450,7 +465,9 @@ mod tests {
         // against brute-force enumeration through `Formula::eval`.
         let mut state = 0xabcdefu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for round in 0..30 {
@@ -469,7 +486,10 @@ mod tests {
             };
             let body = Formula::or(
                 Formula::eq(rand_term(&mut next, a), rand_term(&mut next, x)),
-                Formula::not(Formula::eq(rand_term(&mut next, x), rand_term(&mut next, x))),
+                Formula::not(Formula::eq(
+                    rand_term(&mut next, x),
+                    rand_term(&mut next, x),
+                )),
             );
             let f = Formula::implies(
                 Formula::forall(vec![x], body.clone()),
@@ -498,7 +518,10 @@ mod tests {
     fn solver_stats_accumulate() {
         let mut d = Declarations::new();
         let x = d.declare("x", 4);
-        let mut s = SmtSolver { stats: QueryStats::default(), dump_dir: None };
+        let mut s = SmtSolver {
+            stats: QueryStats::default(),
+            dump_dir: None,
+        };
         s.check_valid(&d, &Formula::Eq(Term::var(x), Term::var(x)));
         s.check_valid(&d, &Formula::Eq(Term::var(x), Term::lit(bv("0000"))));
         assert_eq!(s.stats().queries, 2);

@@ -63,6 +63,15 @@ impl Declarations {
     pub fn vars(&self) -> impl Iterator<Item = BvVar> + '_ {
         (0..self.names.len() as u32).map(BvVar)
     }
+
+    /// Finds a declared variable by name (first match wins). Used by model
+    /// lifting in the counterexample engine.
+    pub fn lookup(&self, name: &str) -> Option<BvVar> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| BvVar(i as u32))
+    }
 }
 
 /// A bitvector term. Recursive positions are reference-counted so cloning a
@@ -225,7 +234,11 @@ impl Term {
                 if s + l <= w {
                     Ok(*l)
                 } else {
-                    Err(TypeError::SliceOutOfBounds { width: w, start: *s, len: *l })
+                    Err(TypeError::SliceOutOfBounds {
+                        width: w,
+                        start: *s,
+                        len: *l,
+                    })
                 }
             }
             Term::Concat(a, b) => Ok(a.check(decls)? + b.check(decls)?),
@@ -479,7 +492,10 @@ impl Formula {
             Formula::Implies(a, b) => !a.eval(decls, model) || b.eval(decls, model),
             Formula::Forall(vars, body) => {
                 let total: usize = vars.iter().map(|v| decls.width(*v)).sum();
-                assert!(total <= 20, "quantifier enumeration limited to 20 bits in eval");
+                assert!(
+                    total <= 20,
+                    "quantifier enumeration limited to 20 bits in eval"
+                );
                 let mut m = model.clone();
                 for assignment in 0u64..(1u64 << total) {
                     let mut offset = 0;
@@ -519,6 +535,17 @@ impl Model {
     /// The value of `v`, if assigned.
     pub fn get(&self, v: BvVar) -> Option<&BitVec> {
         self.values.get(&v)
+    }
+
+    /// The value of `v`, defaulting to the all-zeros vector of its declared
+    /// width. Solvers omit variables that do not constrain the outcome; for
+    /// witness lifting any concrete completion is sound, and zeros keep
+    /// extracted packets canonical.
+    pub fn value_or_zeros(&self, decls: &Declarations, v: BvVar) -> BitVec {
+        self.values
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| BitVec::zeros(decls.width(v)))
     }
 
     /// Iterates over the assignments.
@@ -593,7 +620,10 @@ mod tests {
         assert_eq!(t.width(&d), 12);
         assert_eq!(t.check(&d), Ok(12));
         let bad = Term::Slice(Rc::new(Term::Var(x)), 6, 4);
-        assert!(matches!(bad.check(&d), Err(TypeError::SliceOutOfBounds { .. })));
+        assert!(matches!(
+            bad.check(&d),
+            Err(TypeError::SliceOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -607,11 +637,20 @@ mod tests {
 
     #[test]
     fn smart_constructors_fold_constants() {
-        assert_eq!(Formula::eq(Term::lit(bv("10")), Term::lit(bv("10"))), Formula::tt());
-        assert_eq!(Formula::eq(Term::lit(bv("10")), Term::lit(bv("11"))), Formula::ff());
+        assert_eq!(
+            Formula::eq(Term::lit(bv("10")), Term::lit(bv("10"))),
+            Formula::tt()
+        );
+        assert_eq!(
+            Formula::eq(Term::lit(bv("10")), Term::lit(bv("11"))),
+            Formula::ff()
+        );
         assert_eq!(Formula::and(Formula::tt(), Formula::ff()), Formula::ff());
         assert_eq!(Formula::or(Formula::ff(), Formula::tt()), Formula::tt());
-        assert_eq!(Formula::implies(Formula::ff(), Formula::ff()), Formula::tt());
+        assert_eq!(
+            Formula::implies(Formula::ff(), Formula::ff()),
+            Formula::tt()
+        );
         assert_eq!(Formula::not(Formula::not(Formula::ff())), Formula::ff());
     }
 

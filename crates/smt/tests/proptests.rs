@@ -1,63 +1,40 @@
 //! Property-based tests for the SMT substrate: bit-blasting must agree
 //! with the reference evaluator, and the term simplifier must preserve
 //! semantics.
+//!
+//! The offline build has no `proptest`; random terms are drawn from a
+//! deterministic fixed-seed generator so failures stay reproducible.
 
 use leapfrog_bitvec::BitVec;
 use leapfrog_smt::blast::sat_qf;
-use leapfrog_smt::{check_valid, CheckResult, Declarations, Formula, Model, Term};
-use proptest::prelude::*;
+use leapfrog_smt::{check_valid, BvVar, CheckResult, Declarations, Formula, Model, Term};
 
 const W: usize = 6;
+const CASES: usize = 96;
 
-/// A strategy for terms over two `W`-bit variables.
-fn term() -> impl Strategy<Value = TermSpec> {
-    let leaf = prop_oneof![
-        Just(TermSpec::X),
-        Just(TermSpec::Y),
-        (any::<u64>()).prop_map(|v| TermSpec::Lit(v & ((1 << W) - 1))),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), 0usize..W, 1usize..=W).prop_map(|(t, s, l)| {
-                TermSpec::Slice(Box::new(t), s, l)
-            }),
-            (inner.clone(), inner).prop_map(|(a, b)| TermSpec::Concat(Box::new(a), Box::new(b))),
-        ]
-    })
-}
+struct Rng(u64);
 
-/// A buildable/evaluable term description (widths normalized during build).
-#[derive(Debug, Clone)]
-enum TermSpec {
-    X,
-    Y,
-    Lit(u64),
-    Slice(Box<TermSpec>, usize, usize),
-    Concat(Box<TermSpec>, Box<TermSpec>),
-}
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
 
-impl TermSpec {
-    fn build(&self, decls: &Declarations) -> Term {
-        match self {
-            TermSpec::X => Term::var(leapfrog_smt::BvVar(0)),
-            TermSpec::Y => Term::var(leapfrog_smt::BvVar(1)),
-            TermSpec::Lit(v) => Term::lit(BitVec::from_u64(*v, W)),
-            TermSpec::Slice(t, s, l) => {
-                let inner = t.build(decls);
-                let w = inner.width(decls);
-                if w == 0 {
-                    return inner;
-                }
-                let s = *s % w;
-                let l = (*l).min(w - s).max(1).min(w - s);
-                if l == 0 {
-                    inner
-                } else {
-                    Term::slice(inner, s, l)
-                }
-            }
-            TermSpec::Concat(a, b) => Term::concat(a.build(decls), b.build(decls)),
-        }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = self.0;
+        z = (z ^ (z >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+        z ^ (z >> 33)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
     }
 }
 
@@ -68,81 +45,134 @@ fn decls() -> Declarations {
     d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+/// A random term over the two `W`-bit variables, with slices kept
+/// in-bounds by construction (mirroring the old proptest strategy).
+fn random_term(rng: &mut Rng, depth: usize, decls: &Declarations) -> Term {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(3) {
+            0 => Term::var(BvVar(0)),
+            1 => Term::var(BvVar(1)),
+            _ => Term::lit(BitVec::from_u64(rng.next_u64() & ((1 << W) - 1), W)),
+        };
+    }
+    match rng.below(2) {
+        0 => {
+            let inner = random_term(rng, depth - 1, decls);
+            let w = inner.width(decls);
+            if w == 0 {
+                return inner;
+            }
+            let s = rng.below(w);
+            let l = 1 + rng.below(w - s);
+            Term::slice(inner, s, l)
+        }
+        _ => Term::concat(
+            random_term(rng, depth - 1, decls),
+            random_term(rng, depth - 1, decls),
+        ),
+    }
+}
 
-    /// If the blaster reports SAT, the model must satisfy the formula; if
-    /// UNSAT, brute-force enumeration must agree.
-    #[test]
-    fn blaster_agrees_with_enumeration(a in term(), b in term(), negate in any::<bool>()) {
-        let d = decls();
-        let (ta, tb) = (a.build(&d), b.build(&d));
-        let (wa, wb) = (ta.width(&d), tb.width(&d));
-        let w = wa.min(wb);
-        prop_assume!(w > 0);
+/// If the blaster reports SAT, the model must satisfy the formula; if
+/// UNSAT, brute-force enumeration must agree.
+#[test]
+fn blaster_agrees_with_enumeration() {
+    let mut rng = Rng::new(0xb1a57);
+    let d = decls();
+    for case in 0..CASES {
+        let ta = random_term(&mut rng, 3, &d);
+        let tb = random_term(&mut rng, 3, &d);
+        let w = ta.width(&d).min(tb.width(&d));
+        if w == 0 {
+            continue;
+        }
         let atom = Formula::eq(Term::slice(ta, 0, w), Term::slice(tb, 0, w));
-        let f = if negate { Formula::not(atom) } else { atom };
+        let f = if rng.bool() { Formula::not(atom) } else { atom };
 
-        let brute = {
-            let mut found = false;
-            'outer: for xv in 0u64..(1 << W) {
+        let brute = 'outer: {
+            for xv in 0u64..(1 << W) {
                 for yv in 0u64..(1 << W) {
                     let mut m = Model::new();
-                    m.set(leapfrog_smt::BvVar(0), BitVec::from_u64(xv, W));
-                    m.set(leapfrog_smt::BvVar(1), BitVec::from_u64(yv, W));
+                    m.set(BvVar(0), BitVec::from_u64(xv, W));
+                    m.set(BvVar(1), BitVec::from_u64(yv, W));
                     if f.eval(&d, &m) {
-                        found = true;
-                        break 'outer;
+                        break 'outer true;
                     }
                 }
             }
-            found
+            false
         };
         match sat_qf(&d, &f) {
             Some(m) => {
-                prop_assert!(f.eval(&d, &m), "model does not satisfy the formula");
-                prop_assert!(brute);
+                assert!(
+                    f.eval(&d, &m),
+                    "case {case}: model does not satisfy the formula"
+                );
+                assert!(brute, "case {case}: SAT but enumeration disagrees");
             }
-            None => prop_assert!(!brute, "blaster said UNSAT but enumeration found a model"),
+            None => {
+                assert!(
+                    !brute,
+                    "case {case}: blaster said UNSAT but enumeration found a model"
+                )
+            }
         }
     }
+}
 
-    /// Validity of `t = t` after arbitrary simplifier rewrites.
-    #[test]
-    fn reflexivity_is_valid(a in term()) {
-        let d = decls();
-        let t = a.build(&d);
-        prop_assume!(t.width(&d) > 0);
+/// Validity of `t = t` after arbitrary simplifier rewrites.
+#[test]
+fn reflexivity_is_valid() {
+    let mut rng = Rng::new(0x3e71);
+    let d = decls();
+    for _ in 0..CASES {
+        let t = random_term(&mut rng, 3, &d);
+        if t.width(&d) == 0 {
+            continue;
+        }
         let f = Formula::Eq(t.clone(), t);
-        prop_assert!(matches!(check_valid(&d, &f), CheckResult::Valid));
+        assert!(matches!(check_valid(&d, &f), CheckResult::Valid));
     }
+}
 
-    /// Splitting a term into two slices and re-concatenating is identity.
-    #[test]
-    fn slice_concat_identity_is_valid(a in term(), cut in 1usize..W) {
-        let d = decls();
-        let t = a.build(&d);
+/// Splitting a term into two slices and re-concatenating is identity.
+#[test]
+fn slice_concat_identity_is_valid() {
+    let mut rng = Rng::new(0x51c0);
+    let d = decls();
+    for _ in 0..CASES {
+        let t = random_term(&mut rng, 3, &d);
         let w = t.width(&d);
-        prop_assume!(w >= 2);
-        let cut = 1 + (cut % (w - 1));
+        if w < 2 {
+            continue;
+        }
+        let cut = 1 + rng.below(w - 1);
         let f = Formula::Eq(
-            Term::concat(Term::slice(t.clone(), 0, cut), Term::slice(t.clone(), cut, w - cut)),
+            Term::concat(
+                Term::slice(t.clone(), 0, cut),
+                Term::slice(t.clone(), cut, w - cut),
+            ),
             t,
         );
-        prop_assert!(matches!(check_valid(&d, &f), CheckResult::Valid));
+        assert!(matches!(check_valid(&d, &f), CheckResult::Valid));
     }
+}
 
-    /// The countermodel returned for an invalid formula really refutes it.
-    #[test]
-    fn countermodels_refute(a in term(), lit in any::<u64>()) {
-        let d = decls();
-        let t = a.build(&d);
+/// The countermodel returned for an invalid formula really refutes it.
+#[test]
+fn countermodels_refute() {
+    let mut rng = Rng::new(0xc0de);
+    let d = decls();
+    for _ in 0..CASES {
+        let t = random_term(&mut rng, 3, &d);
         let w = t.width(&d);
-        prop_assume!(w > 0 && w <= 64);
-        let value = BitVec::from_u64(lit & (u64::MAX >> (64 - w)), w);
+        if w == 0 || w > 64 {
+            continue;
+        }
+        let value = BitVec::from_u64(rng.next_u64() & (u64::MAX >> (64 - w)), w);
         let f = Formula::eq(t, Term::lit(value));
         if let CheckResult::Invalid(m) = check_valid(&d, &f) {
-            prop_assert!(!f.eval(&d, &m), "countermodel does not refute");
+            assert!(!f.eval(&d, &m), "countermodel does not refute");
         }
     }
 }

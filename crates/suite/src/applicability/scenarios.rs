@@ -13,7 +13,11 @@ use crate::Scale;
 
 fn ethertype_slice(b: &mut Builder, name: &str) -> Expr {
     let eth = b.header(name, p::ETHERNET_BITS);
-    Expr::slice(Expr::hdr(eth), p::ETHERTYPE_OFFSET, p::ETHERTYPE_OFFSET + p::ETHERTYPE_BITS - 1)
+    Expr::slice(
+        Expr::hdr(eth),
+        p::ETHERTYPE_OFFSET,
+        p::ETHERTYPE_OFFSET + p::ETHERTYPE_BITS - 1,
+    )
 }
 
 /// Builds an MPLS label chain: `mpls0 … mpls{depth-1}`, each branching on
@@ -21,7 +25,9 @@ fn ethertype_slice(b: &mut Builder, name: &str) -> Expr {
 /// overflow (no bottom within `depth` labels) rejects.
 fn mpls_chain(b: &mut Builder, depth: usize, after_bos: Target) -> Target {
     assert!(depth >= 1);
-    let states: Vec<_> = (0..depth).map(|i| b.state(format!("parse_mpls{i}"))).collect();
+    let states: Vec<_> = (0..depth)
+        .map(|i| b.state(format!("parse_mpls{i}")))
+        .collect();
     for i in 0..depth {
         let label = b.header(format!("mpls{i}"), p::MPLS_BITS);
         let next: Target = if i + 1 < depth {
@@ -45,12 +51,7 @@ fn leaf(b: &mut Builder, state: &str, header: &str, bits: usize) -> Target {
 }
 
 /// An IPv4 state demuxing on the protocol field.
-fn ipv4_state(
-    b: &mut Builder,
-    state: &str,
-    header: &str,
-    cases: Vec<(u64, Target)>,
-) -> Target {
+fn ipv4_state(b: &mut Builder, state: &str, header: &str, cases: Vec<(u64, Target)>) -> Target {
     let q = b.state(state);
     let h = b.header(header, p::IPV4_BITS);
     let sel = Expr::slice(
@@ -58,20 +59,17 @@ fn ipv4_state(
         p::IPV4_PROTO_OFFSET,
         p::IPV4_PROTO_OFFSET + p::PROTO_BITS - 1,
     );
-    let pats: Vec<(String, Target)> =
-        cases.into_iter().map(|(num, t)| (p::proto(num), t)).collect();
+    let pats: Vec<(String, Target)> = cases
+        .into_iter()
+        .map(|(num, t)| (p::proto(num), t))
+        .collect();
     let trans = b.select1(sel, pats.iter().map(|(s, t)| (s.as_str(), *t)).collect());
     b.define(q, vec![b.extract(h)], trans);
     Target::State(q)
 }
 
 /// An IPv6 state demuxing on the next-header field.
-fn ipv6_state(
-    b: &mut Builder,
-    state: &str,
-    header: &str,
-    cases: Vec<(u64, Target)>,
-) -> Target {
+fn ipv6_state(b: &mut Builder, state: &str, header: &str, cases: Vec<(u64, Target)>) -> Target {
     let q = b.state(state);
     let h = b.header(header, p::IPV6_BITS);
     let sel = Expr::slice(
@@ -79,8 +77,10 @@ fn ipv6_state(
         p::IPV6_NEXT_OFFSET,
         p::IPV6_NEXT_OFFSET + p::PROTO_BITS - 1,
     );
-    let pats: Vec<(String, Target)> =
-        cases.into_iter().map(|(num, t)| (p::proto(num), t)).collect();
+    let pats: Vec<(String, Target)> = cases
+        .into_iter()
+        .map(|(num, t)| (p::proto(num), t))
+        .collect();
     let trans = b.select1(sel, pats.iter().map(|(s, t)| (s.as_str(), *t)).collect());
     b.define(q, vec![b.extract(h)], trans);
     Target::State(q)
@@ -184,7 +184,12 @@ pub fn edge(scale: Scale) -> Automaton {
         &mut b,
         "parse_ipv4",
         "ipv4",
-        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp), (v::IP_ICMP, icmp), (v::IP_GRE, gre)],
+        vec![
+            (v::IP_TCP, tcp),
+            (v::IP_UDP, udp),
+            (v::IP_ICMP, icmp),
+            (v::IP_GRE, gre),
+        ],
     );
     let ipv6 = ipv6_state(
         &mut b,
@@ -345,8 +350,10 @@ pub fn datacenter(scale: Scale) -> Automaton {
             p::UDP_DPORT_OFFSET,
             p::UDP_DPORT_OFFSET + p::PORT_BITS - 1,
         );
-        let cases: Vec<(&str, Target)> =
-            vec![(p::port(v::PORT_VXLAN).leak(), vxlan), ("_", Target::Accept)];
+        let cases: Vec<(&str, Target)> = vec![
+            (p::port(v::PORT_VXLAN).leak(), vxlan),
+            ("_", Target::Accept),
+        ];
         let trans = b.select1(sel, cases);
         b.define(q, vec![b.extract(h)], trans);
         Target::State(q)
@@ -365,7 +372,12 @@ pub fn datacenter(scale: Scale) -> Automaton {
         &mut b,
         "parse_ipv4",
         "ipv4",
-        vec![(v::IP_TCP, tcp), (v::IP_UDP, udp), (v::IP_GRE, nvgre), (v::IP_ICMP, icmp)],
+        vec![
+            (v::IP_TCP, tcp),
+            (v::IP_UDP, udp),
+            (v::IP_GRE, nvgre),
+            (v::IP_ICMP, icmp),
+        ],
     );
     let ipv6 = ipv6_state(
         &mut b,

@@ -4,8 +4,17 @@
 //! These are *testing* tools, not decision procedures: randomized agreement
 //! is one-sided (catches inequivalence, never proves equivalence), and the
 //! exhaustive oracle is exponential and only usable on tiny automata.
+//!
+//! Since the counterexample engine landed, refutations are cross-validated
+//! too: [`confirm_refutation`] independently replays a refutation's witness
+//! packet through the explicit semantics (both the bit-by-bit `δ` and the
+//! chunked interpreter) and rejects any witness that does not reproduce a
+//! concrete disagreement, and [`check_and_cross_validate`] wraps a full
+//! checker run with the matching validation for either verdict.
 
+use leapfrog::{Checker, Options, Outcome};
 use leapfrog_bitvec::BitVec;
+use leapfrog_cex::{Disagreement, Refutation, Witness};
 use leapfrog_p4a::ast::{Automaton, StateId};
 use leapfrog_p4a::semantics::{Config, Store};
 
@@ -36,7 +45,9 @@ pub fn find_disagreement(
 ) -> Option<BitVec> {
     let mut state = seed | 1;
     let mut rng = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state
     };
     for &len in lengths {
@@ -75,6 +86,71 @@ pub fn agree_exhaustive(
         }
     }
     true
+}
+
+/// Cross-validates a symbolic refutation: the outcome must carry a
+/// *confirmed* witness, and replaying its minimized packet from both
+/// initial configurations — with the bit-by-bit `δ` *and* the chunked
+/// interpreter, independently — must reproduce the recorded disagreement.
+pub fn confirm_refutation(outcome: &Outcome) -> Result<&Witness, String> {
+    let refutation = match outcome {
+        Outcome::NotEquivalent(r) => r,
+        other => return Err(format!("outcome is not a refutation: {other:?}")),
+    };
+    let w = match refutation {
+        Refutation::Witness(w) => w.as_ref(),
+        Refutation::Unconfirmed { reason, .. } => {
+            return Err(format!("refutation carries no confirmed witness: {reason}"))
+        }
+    };
+    if !w.check() {
+        return Err("witness does not replay to its recorded disagreement".into());
+    }
+    if let Disagreement::Acceptance {
+        left_accepts,
+        right_accepts,
+    } = &w.disagreement
+    {
+        // Second, independent interpreter: the chunked semantics must agree
+        // with the bit-by-bit replay `Witness::check` just performed.
+        let aut = w.automaton();
+        let al =
+            Config::with_store(w.left_start, w.left_store.clone()).accepts_chunked(aut, &w.packet);
+        let ar = Config::with_store(w.right_start, w.right_store.clone())
+            .accepts_chunked(aut, &w.packet);
+        if al != *left_accepts || ar != *right_accepts {
+            return Err("chunked replay disagrees with the recorded witness".into());
+        }
+    }
+    Ok(w)
+}
+
+/// Runs the symbolic checker and cross-validates its verdict against the
+/// explicit semantics: an equivalence verdict is spot-checked with random
+/// packets, a refutation must carry a confirmed replayable witness.
+pub fn check_and_cross_validate(
+    left: &Automaton,
+    ql: StateId,
+    right: &Automaton,
+    qr: StateId,
+    options: Options,
+) -> Result<Outcome, String> {
+    let mut checker = Checker::new(left, ql, right, qr, options);
+    let outcome = checker.run();
+    match &outcome {
+        Outcome::Equivalent(_) => {
+            if !agree_on_words(left, ql, right, qr, &[0, 1, 8, 16, 32, 96, 112], 20, 0xd1f) {
+                return Err("equivalence verdict contradicted by random packets".into());
+            }
+        }
+        Outcome::NotEquivalent(_) => {
+            confirm_refutation(&outcome)
+                .map(|_| ())
+                .map_err(|e| e.to_string())?;
+        }
+        Outcome::Aborted(_) => {}
+    }
+    Ok(outcome)
 }
 
 #[cfg(test)]

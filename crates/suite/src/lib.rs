@@ -52,9 +52,20 @@ impl Benchmark {
         right_start: &str,
         expect_equivalent: bool,
     ) -> Benchmark {
-        let left_start = left.state_by_name(left_start).expect("unknown left start state");
-        let right_start = right.state_by_name(right_start).expect("unknown right start state");
-        Benchmark { name, left, left_start, right, right_start, expect_equivalent }
+        let left_start = left
+            .state_by_name(left_start)
+            .expect("unknown left start state");
+        let right_start = right
+            .state_by_name(right_start)
+            .expect("unknown right start state");
+        Benchmark {
+            name,
+            left,
+            left_start,
+            right,
+            right_start,
+            expect_equivalent,
+        }
     }
 
     /// A self-comparison benchmark (the applicability studies): the parser

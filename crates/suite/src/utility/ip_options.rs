@@ -28,8 +28,9 @@ pub fn options_parser(n: usize, timestamp: bool) -> Automaton {
     let mut b = Builder::new();
     // Scratch headers, one per variant width (the paper's figure reuses a
     // single `scratch`; header sizes are fixed in the model, so we split).
-    let scratch: Vec<_> =
-        (1..=5).map(|k| b.header(format!("scratch{}", 8 * k), 8 * k)).collect();
+    let scratch: Vec<_> = (1..=5)
+        .map(|k| b.header(format!("scratch{}", 8 * k), 8 * k))
+        .collect();
     for i in 0..n {
         b.header(format!("T{i}"), 8);
         b.header(format!("L{i}"), 8);
@@ -93,7 +94,12 @@ pub fn options_parser(n: usize, timestamp: bool) -> Automaton {
             let time = b.header(format!("time{i}"), 32);
             b.define(
                 stamp,
-                vec![b.extract(ptr), b.extract(over), b.extract(flag), b.extract(time)],
+                vec![
+                    b.extract(ptr),
+                    b.extract(over),
+                    b.extract(flag),
+                    b.extract(time),
+                ],
                 b.goto(next),
             );
             cases.push((vec![byte(0x44), byte(0x06)], Target::State(stamp)));

@@ -82,7 +82,14 @@ pub fn vectorized() -> Automaton {
 
 /// The Table 2 "Speculative loop" benchmark.
 pub fn mpls_benchmark() -> Benchmark {
-    Benchmark::new("Speculative loop", reference(), "q1", vectorized(), "q3", true)
+    Benchmark::new(
+        "Speculative loop",
+        reference(),
+        "q1",
+        vectorized(),
+        "q3",
+        true,
+    )
 }
 
 #[cfg(test)]
@@ -110,8 +117,14 @@ mod tests {
                 pkt.extend(&label(i == stack - 1, 0xDEADBEEF ^ i as u64));
             }
             pkt.extend(&BitVec::random_with(64, || 0x1234));
-            assert!(Config::initial(&r, q1).accepts(&r, &pkt), "ref rejects stack {stack}");
-            assert!(Config::initial(&v, q3).accepts(&v, &pkt), "vec rejects stack {stack}");
+            assert!(
+                Config::initial(&r, q1).accepts(&r, &pkt),
+                "ref rejects stack {stack}"
+            );
+            assert!(
+                Config::initial(&v, q3).accepts(&v, &pkt),
+                "vec rejects stack {stack}"
+            );
         }
     }
 

@@ -77,16 +77,12 @@ pub fn sloppy_strict_parsers() -> (Automaton, Automaton) {
 /// `reach` must be the reachable template pairs of the sum; the relation
 /// produced replaces the standard initial relation via
 /// [`leapfrog::Checker::replace_init`].
-pub fn external_filter_init(
-    sum: &Sum,
-    reach: &[TemplatePair],
-) -> Vec<ConfRel> {
+pub fn external_filter_init(sum: &Sum, reach: &[TemplatePair]) -> Vec<ConfRel> {
     let aut = &sum.automaton;
     let ether_l = aut.header_by_name("l.ether").expect("sloppy ether header");
     let ipv6: leapfrog_bitvec::BitVec = ETHERTYPE_IPV6.parse().unwrap();
     let ipv4: leapfrog_bitvec::BitVec = ETHERTYPE_IPV4.parse().unwrap();
-    let ether_type =
-        BitExpr::Slice(Box::new(BitExpr::Hdr(Side::Left, ether_l)), 96, 16);
+    let ether_type = BitExpr::Slice(Box::new(BitExpr::Hdr(Side::Left, ether_l)), 96, 16);
     let filtered_in = Pure::or(
         Pure::eq(ether_type.clone(), BitExpr::Lit(ipv6)),
         Pure::eq(ether_type, BitExpr::Lit(ipv4)),
@@ -117,17 +113,25 @@ pub fn store_correspondence_init(sum: &Sum) -> Vec<ConfRel> {
     let (v4_l, v4_r) = (h("l.ipv4"), h("r.ipv4"));
     let ipv6: leapfrog_bitvec::BitVec = ETHERTYPE_IPV6.parse().unwrap();
     let ipv4: leapfrog_bitvec::BitVec = ETHERTYPE_IPV4.parse().unwrap();
-    let ether_type =
-        BitExpr::Slice(Box::new(BitExpr::Hdr(Side::Left, ether_l)), 96, 16);
+    let ether_type = BitExpr::Slice(Box::new(BitExpr::Hdr(Side::Left, ether_l)), 96, 16);
     let phi = Pure::and_all([
-        Pure::eq(BitExpr::Hdr(Side::Left, ether_l), BitExpr::Hdr(Side::Right, ether_r)),
+        Pure::eq(
+            BitExpr::Hdr(Side::Left, ether_l),
+            BitExpr::Hdr(Side::Right, ether_r),
+        ),
         Pure::implies(
             Pure::eq(ether_type.clone(), BitExpr::Lit(ipv6)),
-            Pure::eq(BitExpr::Hdr(Side::Left, v6_l), BitExpr::Hdr(Side::Right, v6_r)),
+            Pure::eq(
+                BitExpr::Hdr(Side::Left, v6_l),
+                BitExpr::Hdr(Side::Right, v6_r),
+            ),
         ),
         Pure::implies(
             Pure::eq(ether_type, BitExpr::Lit(ipv4)),
-            Pure::eq(BitExpr::Hdr(Side::Left, v4_l), BitExpr::Hdr(Side::Right, v4_r)),
+            Pure::eq(
+                BitExpr::Hdr(Side::Left, v4_l),
+                BitExpr::Hdr(Side::Right, v4_r),
+            ),
         ),
     ]);
     vec![ConfRel {

@@ -49,7 +49,10 @@ pub fn combined() -> Automaton {
         vec![b.extract(ip), b.extract(pref)],
         b.select1(
             Expr::slice(Expr::hdr(ip), 40, 43),
-            vec![("0001", Target::Accept), ("0000", Target::State(parse_suff))],
+            vec![
+                ("0001", Target::Accept),
+                ("0000", Target::State(parse_suff)),
+            ],
         ),
     );
     b.define(parse_suff, vec![b.extract(suff)], b.goto(Target::Accept));

@@ -38,14 +38,19 @@ pub fn vlan_parser() -> Automaton {
     );
     b.define(
         default_vlan,
-        vec![
-            b.assign(vlan, Expr::lit(BitVec::zeros(32))),
-            b.extract(ip),
-        ],
+        vec![b.assign(vlan, Expr::lit(BitVec::zeros(32))), b.extract(ip)],
         b.goto(Target::State(parse_udp)),
     );
-    b.define(parse_vlan, vec![b.extract(vlan)], b.goto(Target::State(parse_ip)));
-    b.define(parse_ip, vec![b.extract(ip)], b.goto(Target::State(parse_udp)));
+    b.define(
+        parse_vlan,
+        vec![b.extract(vlan)],
+        b.goto(Target::State(parse_ip)),
+    );
+    b.define(
+        parse_ip,
+        vec![b.extract(ip)],
+        b.goto(Target::State(parse_udp)),
+    );
     b.define(
         parse_udp,
         vec![b.extract(udp)],
@@ -84,9 +89,21 @@ pub fn vlan_parser_buggy() -> Automaton {
         ),
     );
     // Bug: no `vlan := 0` here.
-    b.define(default_vlan, vec![b.extract(ip)], b.goto(Target::State(parse_udp)));
-    b.define(parse_vlan, vec![b.extract(vlan)], b.goto(Target::State(parse_ip)));
-    b.define(parse_ip, vec![b.extract(ip)], b.goto(Target::State(parse_udp)));
+    b.define(
+        default_vlan,
+        vec![b.extract(ip)],
+        b.goto(Target::State(parse_udp)),
+    );
+    b.define(
+        parse_vlan,
+        vec![b.extract(vlan)],
+        b.goto(Target::State(parse_ip)),
+    );
+    b.define(
+        parse_ip,
+        vec![b.extract(ip)],
+        b.goto(Target::State(parse_udp)),
+    );
     b.define(
         parse_udp,
         vec![b.extract(udp)],
@@ -155,7 +172,7 @@ mod tests {
     fn metrics_match_table() {
         let m = vlan_init_benchmark().metrics();
         assert_eq!(m.states, 10); // Table 2: 10
-        // Branched: (1 + 4) per copy = 10 (Table 2 reports 10).
+                                  // Branched: (1 + 4) per copy = 10 (Table 2 reports 10).
         assert_eq!(m.branched_bits, 10);
     }
 }

@@ -1,146 +1,15 @@
 //! Packet workload generation: random valid and adversarial packets for
 //! a parser, used by differential tests and the substrate benchmarks.
 //!
-//! The generator walks the automaton itself: starting from a state, it
-//! repeatedly synthesizes the bits each state consumes, steering selects
-//! toward a chosen branch. This yields packets that exercise deep paths
-//! (hard to hit with uniform random bits) without hand-writing per-parser
-//! generators.
+//! The walking/steering machinery itself lives in [`leapfrog_p4a::walk`]
+//! so the counterexample witness engine (`leapfrog-cex`) can reuse it
+//! without depending on the evaluation suite; this module re-exports it
+//! under the suite's historical paths and keeps the suite-level tests.
 
-use leapfrog_bitvec::BitVec;
-use leapfrog_p4a::ast::{Automaton, Pattern, StateId, Target, Transition};
-use leapfrog_p4a::semantics::{eval_transition, run_ops, Config, Store};
-
-/// A deterministic split-mix style RNG for reproducible workloads.
-#[derive(Debug, Clone)]
-pub struct Rng(u64);
-
-impl Rng {
-    /// Creates an RNG from a seed.
-    pub fn new(seed: u64) -> Rng {
-        Rng(seed | 1)
-    }
-
-    /// The next 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let mut z = self.0;
-        z = (z ^ (z >> 33)).wrapping_mul(0xff51afd7ed558ccd);
-        z ^ (z >> 33)
-    }
-
-    /// A value in `0..bound` (bound > 0).
-    pub fn below(&mut self, bound: usize) -> usize {
-        (self.next_u64() % bound as u64) as usize
-    }
-}
-
-/// Generates a packet by walking up to `max_states` states from `start`,
-/// randomly steering selects, and stopping when `accept`/`reject` is
-/// reached. Returns the packet; it may or may not be accepted (steering
-/// toward reject branches is allowed), which is exactly what differential
-/// testing wants.
-pub fn random_walk_packet(
-    aut: &Automaton,
-    start: StateId,
-    max_states: usize,
-    rng: &mut Rng,
-) -> BitVec {
-    let mut packet = BitVec::new();
-    let mut config = Config::initial(aut, start);
-    for _ in 0..max_states {
-        let q = match config.target {
-            Target::State(q) => q,
-            _ => break,
-        };
-        let chunk = synthesize_chunk(aut, q, &config.store, rng);
-        packet.extend(&chunk);
-        let mut store = config.store.clone();
-        run_ops(aut, q, &mut store, &chunk);
-        let next = eval_transition(aut, q, &store);
-        config = Config { target: next, store, buf: BitVec::new() };
-    }
-    packet
-}
-
-/// Synthesizes `‖op(q)‖` bits for state `q`, trying to steer its select
-/// toward a uniformly chosen case (best effort: only directly-extracted
-/// scrutinee patterns can be forced, which covers the suite's parsers).
-fn synthesize_chunk(aut: &Automaton, q: StateId, store: &Store, rng: &mut Rng) -> BitVec {
-    let size = aut.op_size(q);
-    let mut chunk = BitVec::random_with(size, || rng.next_u64());
-    if let Transition::Select { exprs, cases } = &aut.state(q).trans {
-        if cases.is_empty() {
-            return chunk;
-        }
-        let choice = &cases[rng.below(cases.len())];
-        // Try to force each exact pattern by writing its bits into the
-        // extracted region its scrutinee reads from, when the scrutinee is
-        // a header (or slice of one) extracted in this very state.
-        for (pat, expr) in choice.pats.iter().zip(exprs) {
-            if let Pattern::Exact(bits) = pat {
-                force_expr(aut, q, expr, bits, &mut chunk);
-            }
-        }
-        let _ = store;
-    }
-    chunk
-}
-
-/// Writes `bits` into the part of `chunk` that `expr` will read, when
-/// `expr` is a (slice of a) header extracted by state `q`.
-fn force_expr(
-    aut: &Automaton,
-    q: StateId,
-    expr: &leapfrog_p4a::ast::Expr,
-    bits: &BitVec,
-    chunk: &mut BitVec,
-) {
-    use leapfrog_p4a::ast::{clamped_slice_bounds, Expr, Op};
-    // Resolve the expression to (header, offset-within-header, len).
-    fn resolve(aut: &Automaton, e: &Expr) -> Option<(leapfrog_p4a::ast::HeaderId, usize, usize)> {
-        match e {
-            Expr::Hdr(h) => Some((*h, 0, aut.header_size(*h))),
-            Expr::Slice(inner, n1, n2) => {
-                let (h, off, len) = resolve(aut, inner)?;
-                let (s, l) = clamped_slice_bounds(len, *n1, *n2);
-                Some((h, off + s, l))
-            }
-            _ => None,
-        }
-    }
-    let Some((h, off, len)) = resolve(aut, expr) else { return };
-    if bits.len() != len {
-        return;
-    }
-    // Find the chunk offset where h is extracted (last extract wins).
-    let mut cursor = 0;
-    let mut found = None;
-    for op in &aut.state(q).ops {
-        if let Op::Extract(h2) = op {
-            if *h2 == h {
-                found = Some(cursor);
-            }
-            cursor += aut.header_size(*h2);
-        }
-    }
-    let Some(base) = found else { return };
-    for i in 0..len {
-        chunk.set(base + off + i, bits.get(i).unwrap());
-    }
-}
-
-/// A batch of `count` random-walk packets.
-pub fn packets(
-    aut: &Automaton,
-    start: StateId,
-    max_states: usize,
-    count: usize,
-    seed: u64,
-) -> Vec<BitVec> {
-    let mut rng = Rng::new(seed);
-    (0..count).map(|_| random_walk_packet(aut, start, max_states, &mut rng)).collect()
-}
+pub use leapfrog_p4a::walk::{
+    accepting_walk_packet, distances_to_accept, packets, random_walk_packet, synthesize_chunk,
+    walk_with, Rng,
+};
 
 #[cfg(test)]
 mod tests {

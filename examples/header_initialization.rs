@@ -19,10 +19,20 @@ fn self_check(name: &str, aut: &leapfrog_p4a::Automaton) {
             println!("✔ {name}: acceptance is independent of the initial store");
             println!("  {}", checker.stats().summary());
         }
-        Outcome::NotEquivalent(report) => {
+        Outcome::NotEquivalent(refutation) => {
             println!("✘ {name}: acceptance DEPENDS on an uninitialized header!");
-            let first = report.lines().take(4).collect::<Vec<_>>().join("\n  ");
-            println!("  {first}\n  …");
+            match refutation.witness() {
+                Some(w) => {
+                    // The engine produced a concrete, minimized, replayable
+                    // demonstration: two initial stores and one packet.
+                    print!("  {w}");
+                }
+                None => {
+                    let text = refutation.to_string();
+                    let first = text.lines().take(4).collect::<Vec<_>>().join("\n  ");
+                    println!("  {first}\n  …");
+                }
+            }
         }
         Outcome::Aborted(why) => println!("aborted: {why}"),
     }

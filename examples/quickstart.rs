@@ -13,8 +13,14 @@ use leapfrog_suite::utility::mpls;
 fn main() {
     let reference = mpls::reference();
     let vectorized = mpls::vectorized();
-    println!("Reference parser:\n{}", leapfrog_p4a::pretty::pretty(&reference, "Reference"));
-    println!("Vectorized parser:\n{}", leapfrog_p4a::pretty::pretty(&vectorized, "Vectorized"));
+    println!(
+        "Reference parser:\n{}",
+        leapfrog_p4a::pretty::pretty(&reference, "Reference")
+    );
+    println!(
+        "Vectorized parser:\n{}",
+        leapfrog_p4a::pretty::pretty(&vectorized, "Vectorized")
+    );
 
     let q1 = reference.state_by_name("q1").unwrap();
     let q3 = vectorized.state_by_name("q3").unwrap();
@@ -35,8 +41,8 @@ fn main() {
                 Err(e) => println!("✘ CERTIFICATE REJECTED: {e}"),
             }
         }
-        Outcome::NotEquivalent(report) => {
-            println!("✘ not equivalent:\n{report}");
+        Outcome::NotEquivalent(refutation) => {
+            println!("✘ not equivalent:\n{refutation}");
         }
         Outcome::Aborted(why) => println!("aborted: {why}"),
     }

@@ -41,7 +41,10 @@ fn main() {
     filtered.replace_init(init);
     match filtered.run() {
         Outcome::Equivalent(cert) => {
-            println!("   ✔ equivalent modulo the filter — {}", filtered.stats().summary());
+            println!(
+                "   ✔ equivalent modulo the filter — {}",
+                filtered.stats().summary()
+            );
             assert!(!cert.standard_init);
             println!("   (certificate marked as a custom-I pre-bisimulation)");
         }

@@ -44,8 +44,11 @@ parser Combined {
 fn main() {
     let (reference, ref_name) = parse_named(REFERENCE).expect("reference parses");
     let (combined, comb_name) = parse_named(COMBINED).expect("combined parses");
-    println!("Parsed `{ref_name}` ({} states) and `{comb_name}` ({} states)",
-        reference.num_states(), combined.num_states());
+    println!(
+        "Parsed `{ref_name}` ({} states) and `{comb_name}` ({} states)",
+        reference.num_states(),
+        combined.num_states()
+    );
 
     // Run a UDP-tagged packet through both interpreters.
     let mut packet = BitVec::zeros(24);
@@ -62,7 +65,10 @@ fn main() {
     let mut checker = Checker::new(&reference, q_ref, &combined, q_comb, Options::default());
     match checker.run() {
         Outcome::Equivalent(_) => {
-            println!("✔ equivalent on all packets — {}", checker.stats().summary())
+            println!(
+                "✔ equivalent on all packets — {}",
+                checker.stats().summary()
+            )
         }
         other => println!("unexpected: {other:?}"),
     }

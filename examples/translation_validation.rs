@@ -39,7 +39,10 @@ fn main() {
 
     let (back, back_start) = back_translate(&hw);
     let back_q = back.state_by_name(&back_start).unwrap();
-    println!("Back-translated into a {}-state P4 automaton", back.num_states());
+    println!(
+        "Back-translated into a {}-state P4 automaton",
+        back.num_states()
+    );
 
     println!("Validating the round trip with Leapfrog…");
     let mut checker = Checker::new(&parser, start, &back, back_q, Options::default());
@@ -52,8 +55,8 @@ fn main() {
                 Err(e) => println!("  certificate REJECTED: {e}"),
             }
         }
-        Outcome::NotEquivalent(report) => {
-            println!("✘ MISCOMPILATION DETECTED:\n{report}");
+        Outcome::NotEquivalent(refutation) => {
+            println!("✘ MISCOMPILATION DETECTED:\n{refutation}");
         }
         Outcome::Aborted(why) => println!("aborted: {why}"),
     }

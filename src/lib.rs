@@ -1,6 +1,29 @@
 //! Umbrella crate for the Leapfrog reproduction: re-exports the public
-//! API of every layer. See the README for the architecture and the
+//! API of every layer. See `src/README.md` for the architecture and the
 //! `leapfrog` crate for the checker entry points.
+//!
+//! # Layers
+//!
+//! * [`bitvec`] — packed bitvectors with the paper's clamped slicing.
+//! * [`sat`] / [`smt`] — the CDCL solver and the `FOL(BV)` CEGAR solver.
+//! * [`p4a`] — P4 automata: syntax, explicit semantics, sums, surface
+//!   syntax, and packet-walk synthesis ([`p4a::walk`]).
+//! * [`logic`] — configuration relations, weakest preconditions, lowering.
+//! * [`cex`] — the counterexample witness engine: lifts a refutation's
+//!   countermodel into concrete initial stores and a packet, confirms the
+//!   disagreement by explicit replay, and minimizes the packet by delta
+//!   debugging.
+//! * [`checker`] — Algorithm 1, certificates, run statistics.
+//! * [`hwgen`] / [`suite`] — translation validation and the evaluation
+//!   suite (case-study parsers, workloads, differential oracles).
+//!
+//! # Verdict API
+//!
+//! [`prelude::Outcome`] has three cases: `Equivalent(Certificate)` (an
+//! independently re-checkable proof), `NotEquivalent(Refutation)` (a
+//! concrete [`cex::Witness`] — stores, minimized packet, trace,
+//! disagreement — confirmed against the explicit semantics, or an
+//! `Unconfirmed` diagnostic if lifting failed), and `Aborted`.
 //!
 //! ```
 //! use leapfrog_repro::prelude::*;
@@ -9,9 +32,26 @@
 //! let q = a.state_by_name("s").unwrap();
 //! assert!(check_language_equivalence(&a, q, &a, q).is_equivalent());
 //! ```
+//!
+//! A refuted query yields a replayable witness:
+//!
+//! ```
+//! use leapfrog_repro::prelude::*;
+//!
+//! let a = parse("parser A { state s { extract(h, 1);
+//!                  select(h) { 0b1 => accept; _ => reject; } } }").unwrap();
+//! let b = parse("parser B { state s { extract(h, 1); goto reject } }").unwrap();
+//! let qa = a.state_by_name("s").unwrap();
+//! let qb = b.state_by_name("s").unwrap();
+//! let outcome = check_language_equivalence(&a, qa, &b, qb);
+//! let witness = outcome.witness().expect("confirmed counterexample");
+//! assert!(witness.check());
+//! assert_eq!(witness.packet.len(), 1);
+//! ```
 
 pub use leapfrog as checker;
 pub use leapfrog_bitvec as bitvec;
+pub use leapfrog_cex as cex;
 pub use leapfrog_hwgen as hwgen;
 pub use leapfrog_logic as logic;
 pub use leapfrog_p4a as p4a;
@@ -24,6 +64,7 @@ pub mod prelude {
     pub use leapfrog::checker::check_language_equivalence;
     pub use leapfrog::{certificate, Certificate, Checker, Options, Outcome};
     pub use leapfrog_bitvec::BitVec;
+    pub use leapfrog_cex::{Disagreement, Refutation, Witness};
     pub use leapfrog_p4a::builder::Builder;
     pub use leapfrog_p4a::semantics::Config;
     pub use leapfrog_p4a::surface::parse;

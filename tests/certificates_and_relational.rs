@@ -83,5 +83,10 @@ fn plain_equivalence_of_sloppy_strict_fails() {
     let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
     let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
     let mut checker = Checker::new(&sloppy, ql, &strict, qr, Options::default());
-    assert!(matches!(checker.run(), Outcome::NotEquivalent(_)));
+    let outcome = checker.run();
+    assert!(matches!(outcome, Outcome::NotEquivalent(_)));
+    // The refutation must carry a confirmed, replayable witness packet.
+    let w = leapfrog_suite::differential::confirm_refutation(&outcome)
+        .expect("sloppy/strict witness must confirm");
+    assert!(w.check());
 }

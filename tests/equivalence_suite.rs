@@ -22,7 +22,11 @@ fn all_standard_benchmarks_verify_and_certify() {
             leapfrog::Outcome::Equivalent(cert) => cert,
             other => panic!("{}: expected equivalence, got {other:?}", bench.name),
         };
-        assert!(cert.standard_init, "{}: expected a language-equivalence proof", bench.name);
+        assert!(
+            cert.standard_init,
+            "{}: expected a language-equivalence proof",
+            bench.name
+        );
         certificate::check(checker.sum_automaton(), &cert)
             .unwrap_or_else(|e| panic!("{}: certificate rejected: {e}", bench.name));
     }
@@ -49,11 +53,35 @@ fn verified_benchmarks_also_agree_empirically() {
 }
 
 #[test]
+fn cross_validation_harness_accepts_equivalent_benchmarks() {
+    // The differential harness wraps the checker with explicit-semantics
+    // validation for either verdict; on proven-equivalent pairs it must
+    // return the equivalence unchallenged. (Two benchmarks keep this
+    // binary's runtime reasonable; the refutation side is exercised by
+    // tests/witnesses.rs.)
+    for bench in standard_benchmarks(Scale::Small).into_iter().take(2) {
+        let outcome = leapfrog_suite::differential::check_and_cross_validate(
+            &bench.left,
+            bench.left_start,
+            &bench.right,
+            bench.right_start,
+            Options::default(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(outcome.is_equivalent(), "{}", bench.name);
+    }
+}
+
+#[test]
 fn ablation_settings_agree_on_a_small_benchmark() {
     // All four optimization settings must compute the same verdict.
     let bench = &standard_benchmarks(Scale::Small)[0]; // state rearrangement
     for (leaps, reach_pruning) in [(true, true), (false, true), (true, false)] {
-        let options = Options { leaps, reach_pruning, ..Options::default() };
+        let options = Options {
+            leaps,
+            reach_pruning,
+            ..Options::default()
+        };
         let mut checker = Checker::new(
             &bench.left,
             bench.left_start,

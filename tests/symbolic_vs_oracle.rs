@@ -17,7 +17,10 @@ struct Rng(u64);
 
 impl Rng {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 11
     }
     fn below(&mut self, n: usize) -> usize {
@@ -30,8 +33,9 @@ impl Rng {
 fn random_parser(rng: &mut Rng, tag: &str) -> Automaton {
     let num_states = 1 + rng.below(3);
     let mut b = Builder::new();
-    let states: Vec<StateId> =
-        (0..num_states).map(|i| b.state(format!("{tag}{i}"))).collect();
+    let states: Vec<StateId> = (0..num_states)
+        .map(|i| b.state(format!("{tag}{i}")))
+        .collect();
     for (i, &q) in states.iter().enumerate() {
         let width = 1 + rng.below(3);
         let h = b.header(format!("{tag}h{i}"), width);
@@ -52,10 +56,7 @@ fn random_parser(rng: &mut Rng, tag: &str) -> Automaton {
                     let pat = if rng.below(4) == 0 {
                         Pattern::Wildcard
                     } else {
-                        Pattern::Exact(BitVec::from_u64(
-                            rng.next() & ((1 << width) - 1),
-                            width,
-                        ))
+                        Pattern::Exact(BitVec::from_u64(rng.next() & ((1 << width) - 1), width))
                     };
                     (vec![pat], any_target(rng))
                 })
@@ -110,7 +111,15 @@ fn symbolic_checker_agrees_with_exhaustive_oracle() {
         let right = random_parser(&mut rng, "b");
         let ql = StateId(0);
         let qr = StateId(0);
-        let verdict = check_language_equivalence(&left, ql, &right, qr).is_equivalent();
+        let outcome = check_language_equivalence(&left, ql, &right, qr);
+        let verdict = outcome.is_equivalent();
+        if !verdict {
+            // Every refutation of a standard language-equivalence query
+            // must lift into a confirmed witness: concrete stores plus a
+            // packet the explicit semantics genuinely disagree on.
+            leapfrog_suite::differential::confirm_refutation(&outcome)
+                .unwrap_or_else(|e| panic!("round {round}: witness unconfirmed: {e}"));
+        }
         let counterexample = exhaustive_disagreement(&left, ql, &right, qr, 9, &mut rng);
         match (&counterexample, verdict) {
             (Some(w), true) => panic!(
@@ -120,15 +129,22 @@ fn symbolic_checker_agrees_with_exhaustive_oracle() {
             (None, true) => equivalent_seen += 1,
             (Some(_), false) => inequivalent_seen += 1,
             (None, false) => {
-                // Inconclusive: the refutation may need a longer word or a
-                // specific store; nothing to assert.
+                // Inconclusive for the oracle: the refutation may need a
+                // longer word or a specific store — but the confirmed
+                // witness above already demonstrates it concretely.
                 inequivalent_seen += 1;
             }
         }
     }
     // The generator must exercise both verdicts for the test to mean much.
-    assert!(equivalent_seen >= 3, "only {equivalent_seen} equivalent pairs generated");
-    assert!(inequivalent_seen >= 3, "only {inequivalent_seen} inequivalent pairs generated");
+    assert!(
+        equivalent_seen >= 3,
+        "only {equivalent_seen} equivalent pairs generated"
+    );
+    assert!(
+        inequivalent_seen >= 3,
+        "only {inequivalent_seen} inequivalent pairs generated"
+    );
 }
 
 #[test]

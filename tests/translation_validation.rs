@@ -15,7 +15,10 @@ fn validate_roundtrip(aut: &leapfrog_p4a::Automaton, start: &str, budget: &HwBud
     let (back, back_start) = back_translate(&hw);
     let bq = back.state_by_name(&back_start).unwrap();
     let outcome = check_language_equivalence(aut, q, &back, bq);
-    assert!(outcome.is_equivalent(), "round trip changed the language: {outcome:?}");
+    assert!(
+        outcome.is_equivalent(),
+        "round trip changed the language: {outcome:?}"
+    );
 }
 
 #[test]
@@ -31,7 +34,10 @@ fn mpls_vectorized_roundtrip_validates() {
 #[test]
 fn state_rearrangement_roundtrip_validates_with_splitting() {
     // A 48-bit budget forces the 96-bit combined state to split.
-    let budget = HwBudget { max_advance: 48, max_branch_bits: 16 };
+    let budget = HwBudget {
+        max_advance: 48,
+        max_branch_bits: 16,
+    };
     validate_roundtrip(&state_rearrangement::combined(), "parse_combined", &budget);
     validate_roundtrip(&state_rearrangement::reference(), "parse_ip", &budget);
 }
@@ -59,5 +65,13 @@ fn validator_catches_a_miscompiled_table() {
     assert!(
         !outcome.is_equivalent(),
         "the validator accepted a miscompiled parser"
+    );
+    // The refutation must carry a confirmed witness: a concrete packet the
+    // original parser and the miscompiled hardware tables disagree on.
+    let w = leapfrog_suite::differential::confirm_refutation(&outcome)
+        .expect("miscompilation witness must confirm");
+    assert!(
+        w.check(),
+        "witness replay must reproduce the miscompilation"
     );
 }
