@@ -1,10 +1,22 @@
 //! Regenerates Table 2 of the paper: every case-study row with States /
 //! Branched bits / Total bits / Runtime / Memory, plus the §7.3 SMT
-//! latency summary and the §7.1 sanity check on inequivalent parsers.
+//! latency summary, the §7.1 sanity check on inequivalent parsers, and —
+//! since the guard-indexed parallel pipeline landed — the per-row thread
+//! count, blast-cache hit rate, guard-index hit rate and speedup versus a
+//! single-threaded run of the same row.
 //!
 //! ```text
 //! LEAPFROG_SCALE=full cargo run --release -p leapfrog-bench --bin table2
 //! ```
+//!
+//! Flags / environment:
+//! * `--smoke` — force the small scale and exit nonzero if any emitted
+//!   row is missing the speedup / cache-hit-rate / thread-count fields or
+//!   if the witness corpus regressed (CI runs this).
+//! * `LEAPFROG_SKIP_BASELINE=1` — skip the `threads = 1` baseline re-runs
+//!   (speedup reported as `null`); useful for very large scales.
+//! * `LEAPFROG_WITNESS_CORPUS=path` — where the witness regression corpus
+//!   lives (default `WITNESS_CORPUS.txt`).
 
 use leapfrog::{Checker, Options, Outcome};
 use leapfrog_bench::alloc_track::{human_bytes, PeakAlloc};
@@ -12,26 +24,92 @@ use leapfrog_bench::rows::{
     rows_to_json, run_external_filtering, run_relational_verification, run_row,
     run_translation_validation, standard_benchmarks, RowResult,
 };
+use leapfrog_suite::corpus::WitnessCorpus;
 use leapfrog_suite::utility::sloppy_strict;
 use leapfrog_suite::Scale;
 
 #[global_allocator]
 static ALLOC: PeakAlloc = PeakAlloc::new();
 
+/// The sanity-check pair is a named corpus entry so its witnesses are
+/// re-exercised on every run.
+const SANITY_PAIR: &str = "Sanity check (sloppy vs strict)";
+
+/// Runs a row runner with the configured options and, unless disabled, a
+/// `threads = 1` baseline first, reporting the wall-time speedup. The
+/// allocator peak is reset *after* the baseline so the Memory column
+/// reflects only the measured run.
+fn measure(run: &dyn Fn(Options) -> RowResult, options: Options, baseline: bool) -> RowResult {
+    let speedup = if baseline && options.effective_threads() > 1 {
+        let single = run(Options {
+            threads: 1,
+            ..options
+        });
+        Some(single.runtime)
+    } else {
+        None
+    };
+    ALLOC.reset();
+    let mut row = run(options);
+    row.speedup = match speedup {
+        Some(single) => Some(single.as_secs_f64() / row.runtime.as_secs_f64().max(1e-9)),
+        None if options.effective_threads() == 1 => Some(1.0),
+        None => None,
+    };
+    row
+}
+
 fn main() {
-    let scale = Scale::from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::Small
+    } else {
+        Scale::from_env()
+    };
+    let baseline = std::env::var("LEAPFROG_SKIP_BASELINE").as_deref() != Ok("1");
     let options = Options::default();
-    println!("Leapfrog-rs — Table 2 reproduction (scale: {scale:?})");
+    let corpus_path = std::env::var("LEAPFROG_WITNESS_CORPUS")
+        .unwrap_or_else(|_| "WITNESS_CORPUS.txt".to_string());
+    let mut failures: Vec<String> = Vec::new();
+    // An unreadable corpus is a failure, and the file is left untouched —
+    // overwriting it with this run's entries would destroy every recorded
+    // regression packet.
+    let mut corpus_writable = true;
+    let mut corpus = match WitnessCorpus::load(&corpus_path) {
+        Ok(c) => c,
+        Err(e) => {
+            failures.push(format!("witness corpus unreadable: {e}"));
+            corpus_writable = false;
+            WitnessCorpus::new()
+        }
+    };
+
     println!(
-        "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9}",
-        "Name", "States", "Branched", "Total", "Runtime", "Memory", "Verified", "|R|", "Queries"
+        "Leapfrog-rs — Table 2 reproduction (scale: {scale:?}, threads: {}, baseline: {})",
+        options.effective_threads(),
+        if baseline { "on" } else { "off" },
+    );
+    println!(
+        "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7}",
+        "Name",
+        "States",
+        "Branched",
+        "Total",
+        "Runtime",
+        "Memory",
+        "Verified",
+        "|R|",
+        "Queries",
+        "Speedup",
+        "Cache%",
+        "Index%"
     );
 
     let mut all_within_5s = true;
     let mut measured: Vec<(RowResult, Option<usize>)> = Vec::new();
     let mut print_row = |row: RowResult, mem: usize, out: &mut Vec<(RowResult, Option<usize>)>| {
         println!(
-            "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9}",
+            "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7}",
             row.name,
             row.metrics.states,
             row.metrics.branched_bits,
@@ -41,6 +119,11 @@ fn main() {
             if row.verified { "yes" } else { "NO" },
             row.relation_size,
             row.queries,
+            row.speedup
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.0}%", 100.0 * row.blast_cache_hit_rate),
+            format!("{:.0}%", 100.0 * row.index_hit_rate),
         );
         if row.queries_within_5s < 0.99 {
             all_within_5s = false;
@@ -52,26 +135,21 @@ fn main() {
     let benches = standard_benchmarks(scale);
     let (utility, applicability) = benches.split_at(4);
     for bench in utility {
-        ALLOC.reset();
-        let row = run_row(bench, options);
+        let row = measure(&|o| run_row(bench, o), options, baseline);
         print_row(row, ALLOC.peak_bytes(), &mut measured);
     }
     // Rows 5–6: the relational case studies.
-    ALLOC.reset();
-    let row = run_relational_verification(options);
+    let row = measure(&run_relational_verification, options, baseline);
     print_row(row, ALLOC.peak_bytes(), &mut measured);
-    ALLOC.reset();
-    let row = run_external_filtering(options);
+    let row = measure(&run_external_filtering, options, baseline);
     print_row(row, ALLOC.peak_bytes(), &mut measured);
     // Applicability self-comparisons.
     for bench in applicability {
-        ALLOC.reset();
-        let row = run_row(bench, options);
+        let row = measure(&|o| run_row(bench, o), options, baseline);
         print_row(row, ALLOC.peak_bytes(), &mut measured);
     }
     // Translation validation.
-    ALLOC.reset();
-    let row = run_translation_validation(scale, options);
+    let row = measure(&|o| run_translation_validation(scale, o), options, baseline);
     print_row(row, ALLOC.peak_bytes(), &mut measured);
 
     println!();
@@ -82,14 +160,29 @@ fn main() {
 
     // §7.1 sanity check: inequivalent parsers must fail cleanly at Close,
     // and since the witness engine landed, the refutation must carry a
-    // confirmed counterexample packet.
+    // confirmed counterexample packet. The witness feeds the regression
+    // corpus, whose prior entries are re-exercised first.
     let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
     let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
     let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
+    let prior = corpus.exercise(SANITY_PAIR, &sloppy, ql, &strict, qr);
+    if prior.replayed > 0 {
+        println!(
+            "Witness corpus: {}/{} recorded packet(s) still distinguish sloppy vs strict",
+            prior.distinguishing, prior.replayed
+        );
+        if prior.distinguishing == 0 {
+            failures.push(
+                "witness corpus regression: no recorded packet distinguishes the \
+                 sanity-check pair anymore"
+                    .into(),
+            );
+        }
+    }
     // Reach the Close step, as the paper describes.
     let opts = Options {
         early_stop: false,
-        ..Options::default()
+        ..options
     };
     let mut checker = Checker::new(&sloppy, ql, &strict, qr, opts);
     let witness_confirmed = match checker.run() {
@@ -100,6 +193,9 @@ fn main() {
                      packet confirmed by explicit replay",
                     w.packet.len()
                 );
+                if corpus.record(SANITY_PAIR, w) {
+                    println!("Witness corpus: recorded the minimized packet");
+                }
                 true
             }
             None => {
@@ -112,6 +208,20 @@ fn main() {
             false
         }
     };
+    if !witness_confirmed {
+        failures.push("sanity-check witness not confirmed".into());
+    }
+    if corpus_writable {
+        match corpus.save(&corpus_path) {
+            Ok(()) => println!(
+                "Witness corpus: {} entr(ies) at {corpus_path}",
+                corpus.len()
+            ),
+            Err(e) => println!("Witness corpus: could not save {corpus_path}: {e}"),
+        }
+    } else {
+        println!("Witness corpus: NOT saved (existing {corpus_path} is unreadable)");
+    }
 
     // Machine-readable output, so the performance trajectory is recorded.
     let json = rows_to_json(&measured, witness_confirmed);
@@ -119,5 +229,29 @@ fn main() {
     match std::fs::write(path, &json) {
         Ok(()) => println!("Wrote {path} ({} rows)", measured.len()),
         Err(e) => println!("Could not write {path}: {e}"),
+    }
+
+    // Smoke validation: every row must report the pipeline fields.
+    for key in [
+        "\"speedup\"",
+        "\"blast_cache_hit_rate\"",
+        "\"threads\"",
+        "\"index_hit_rate\"",
+    ] {
+        let have = json.matches(key).count();
+        if have != measured.len() {
+            failures.push(format!(
+                "{key} present in {have}/{} emitted rows",
+                measured.len()
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAILURE: {f}");
+        }
+        if smoke {
+            std::process::exit(1);
+        }
     }
 }

@@ -27,6 +27,16 @@ pub struct RowResult {
     pub relation_size: u64,
     /// Fraction of queries within 5 s (paper §7.3 reports 99%).
     pub queries_within_5s: f64,
+    /// Worker threads the frontier ran on.
+    pub threads: usize,
+    /// Fraction of asserted conjuncts served from the cross-query blast
+    /// cache.
+    pub blast_cache_hit_rate: f64,
+    /// Fraction of linear-scan premise work avoided by the guard index.
+    pub index_hit_rate: f64,
+    /// Wall-time speedup versus a `threads = 1` run of the same row
+    /// (`None` when no baseline was measured).
+    pub speedup: Option<f64>,
 }
 
 /// Runs a plain language-equivalence benchmark.
@@ -146,7 +156,9 @@ pub fn rows_to_json(rows: &[(RowResult, Option<usize>)], sanity_witness_confirme
             "    {{\"name\": \"{}\", \"states\": {}, \"branched_bits\": {}, \
              \"total_bits\": {}, \"runtime_secs\": {:.6}, \"peak_bytes\": {}, \
              \"verified\": {}, \"relation_size\": {}, \"queries\": {}, \
-             \"queries_within_5s\": {:.4}}}{}\n",
+             \"queries_within_5s\": {:.4}, \"threads\": {}, \
+             \"blast_cache_hit_rate\": {:.4}, \"index_hit_rate\": {:.4}, \
+             \"speedup\": {}}}{}\n",
             esc(&row.name),
             row.metrics.states,
             row.metrics.branched_bits,
@@ -157,6 +169,12 @@ pub fn rows_to_json(rows: &[(RowResult, Option<usize>)], sanity_witness_confirme
             row.relation_size,
             row.queries,
             row.queries_within_5s,
+            row.threads,
+            row.blast_cache_hit_rate,
+            row.index_hit_rate,
+            row.speedup
+                .map(|s| format!("{s:.4}"))
+                .unwrap_or_else(|| "null".into()),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -185,6 +203,10 @@ fn finish(
         queries: stats.queries.queries,
         relation_size: stats.extended,
         queries_within_5s: stats.queries.fraction_within(Duration::from_secs(5)),
+        threads: stats.threads,
+        blast_cache_hit_rate: stats.queries.blast_cache_hit_rate(),
+        index_hit_rate: stats.index_hit_rate(),
+        speedup: None,
     }
 }
 
@@ -198,6 +220,25 @@ mod tests {
         let row = run_row(&bench, Options::default());
         assert!(row.verified, "state rearrangement must verify");
         assert!(row.queries > 0);
+        assert!(row.threads >= 1);
+        assert!((0.0..=1.0).contains(&row.blast_cache_hit_rate));
+        assert!((0.0..=1.0).contains(&row.index_hit_rate));
+    }
+
+    #[test]
+    fn rows_json_carries_pipeline_fields() {
+        let bench = state_rearrangement::state_rearrangement_benchmark();
+        let mut row = run_row(&bench, Options::default());
+        row.speedup = Some(1.25);
+        let json = rows_to_json(&[(row, Some(1024))], true);
+        for key in [
+            "\"threads\"",
+            "\"blast_cache_hit_rate\"",
+            "\"index_hit_rate\"",
+            "\"speedup\": 1.2500",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! conjunct `ψ₀`'s own variables begin, and doubles as the symbolic trace
 //! reported in the witness.
 
+use std::sync::Arc;
+
 use leapfrog_bitvec::BitVec;
 use leapfrog_logic::confrel::{ConfRel, Pure, Side};
 use leapfrog_logic::lower::LoweredVars;
@@ -44,14 +46,16 @@ const SEARCH_ATTEMPTS: usize = 64;
 /// * `chain` — the provenance chain of the violated relation: `chain[0]`
 ///   is the violated relation itself (its guard is the root pair), each
 ///   subsequent element is the relation it was derived from by `wp`, and
-///   the last element is the initial conjunct.
+///   the last element is the initial conjunct. The links are `Arc`-shared
+///   with the checker's provenance table — building a witness never deep-
+///   copies the relations.
 /// * `decls`, `lowered`, `model` — the violated entailment query's
 ///   variable table, store-elimination mapping, and countermodel.
 /// * `diagnostic` — the human-readable symbolic report, preserved verbatim
 ///   when the witness cannot be confirmed.
 pub fn build_witness(
     aut: &Automaton,
-    chain: &[ConfRel],
+    chain: &[Arc<ConfRel>],
     decls: &Declarations,
     lowered: &LoweredVars,
     model: &Model,
@@ -139,7 +143,7 @@ pub fn build_witness(
         }
     } else if init.guard_matches(&d1, &d2) && !init.phi.eval(&d1, &d2, &init_vals) {
         Some(Disagreement::InitRelation {
-            relation: init.clone(),
+            relation: (**init).clone(),
             vals: init_vals.clone(),
         })
     } else {

@@ -9,20 +9,38 @@
 //! join the frontier (`Extend`). On exhaustion, `⋀R` is the weakest
 //! symbolic bisimulation (with leaps) restricted to the reachable pairs,
 //! and the query `φ` is checked against it (`Close` / Theorem 5.2).
+//!
+//! # The guard-indexed, parallel pipeline
+//!
+//! `R` lives in a [`RelationStore`] indexed by guard, so the premise set
+//! of each `Skip` check is fetched in O(matching) instead of scanning all
+//! of `R` (stage-1 template filtering makes an entailment depend *only*
+//! on same-guard premises). The frontier is processed one generation at a
+//! time: all entailment checks of a generation are independent given a
+//! snapshot of `R`, so they run concurrently under `std::thread::scope`
+//! ([`Options::threads`] / `LEAPFROG_THREADS`), and a sequential
+//! *deterministic merge* then replays the generation in frontier order.
+//! The merge re-checks a precomputed "not entailed" verdict only when a
+//! same-guard relation joined `R` after the snapshot (a "yes" verdict is
+//! monotone and always stands), which makes the merged result — `R`,
+//! provenance ids, wp successors, certificates and witnesses — bit-for-bit
+//! identical to the sequential algorithm at any thread count.
 
-use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 use leapfrog_cex::{build_witness, Refutation};
 use leapfrog_logic::confrel::{ConfRel, Pure};
+use leapfrog_logic::incremental::SessionPool;
 use leapfrog_logic::lower;
 use leapfrog_logic::reach::reachable_pairs;
+use leapfrog_logic::store::RelationStore;
 use leapfrog_logic::templates::{all_templates, Template, TemplatePair};
 use leapfrog_logic::wp::wp;
 use leapfrog_p4a::ast::{Automaton, StateId, Target};
 use leapfrog_p4a::sum::{sum, Sum};
-use leapfrog_smt::{CheckResult, SmtSolver};
+use leapfrog_smt::{CheckResult, QueryStats, SharedBlastCache, SmtSolver};
 
 use crate::certificate::Certificate;
 use crate::stats::RunStats;
@@ -43,6 +61,17 @@ pub struct Options {
     pub early_stop: bool,
     /// Abort after this many worklist iterations (`None` = unbounded).
     pub max_iterations: Option<u64>,
+    /// Worker threads for frontier-generation entailment checks. `0`
+    /// means "use available parallelism"; `1` runs the classic sequential
+    /// loop. Results are bit-identical at every setting. Defaults from
+    /// `LEAPFROG_THREADS`.
+    pub threads: usize,
+    /// Treat an unconfirmed refutation witness as a hard error (panic) for
+    /// standard language-equivalence queries, where lifting must succeed.
+    /// Defaults from `LEAPFROG_STRICT_WITNESS=1`. Relational queries with
+    /// a caller-supplied initial relation are exempt: no sound generic
+    /// search exists for arbitrary relational conjuncts.
+    pub strict_witness: bool,
 }
 
 impl Default for Options {
@@ -52,6 +81,35 @@ impl Default for Options {
             reach_pruning: true,
             early_stop: true,
             max_iterations: None,
+            threads: threads_from_env(),
+            strict_witness: strict_witness_from_env(),
+        }
+    }
+}
+
+fn threads_from_env() -> usize {
+    std::env::var("LEAPFROG_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn strict_witness_from_env() -> bool {
+    matches!(
+        std::env::var("LEAPFROG_STRICT_WITNESS").as_deref(),
+        Ok("1") | Ok("true")
+    )
+}
+
+impl Options {
+    /// The worker-thread count this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -216,12 +274,27 @@ impl Checker {
         }
     }
 
+    /// Seals the run-wide statistics before returning any outcome, so
+    /// `extended` (= |R|), wall time and query counters are populated on
+    /// the `Equivalent`, `NotEquivalent` *and* `Aborted` paths alike.
+    /// `session_stats` carries the merged entailment-session counters
+    /// (main pool plus worker pools, in deterministic slot order).
+    fn seal_stats(&mut self, start: Instant, relation_len: usize, session_stats: QueryStats) {
+        self.stats.wall_time = start.elapsed();
+        let mut queries = self.solver.stats().clone();
+        queries.absorb(&session_stats);
+        self.stats.queries = queries;
+        self.stats.extended = relation_len as u64;
+    }
+
     /// Runs Algorithm 1.
     pub fn run(&mut self) -> Outcome {
         let start = Instant::now();
         let scope = self.scope();
+        let threads = self.options.effective_threads();
         self.stats = RunStats::default();
         self.stats.scope_pairs = scope.len();
+        self.stats.threads = threads;
 
         // Initial relation I (Lemma 4.10 / Theorem 5.2): forbid pairs that
         // disagree on acceptance, restricted to the scope; plus any
@@ -231,12 +304,12 @@ impl Checker {
         // — which relation its weakest precondition was derived from — so a
         // refutation can be lifted into a concrete witness by walking the
         // wp chain back to the violated initial conjunct.
-        // The provenance table and the dedup map share each relation via
-        // `Rc`, so a relation is deep-stored exactly once however many
-        // structures reference it.
+        // The provenance table, the dedup map and the relation store share
+        // each relation via `Arc`, so a relation is deep-stored exactly
+        // once however many structures (or threads) reference it.
         let mut frontier: VecDeque<usize> = VecDeque::new();
-        let mut prov: Vec<(Rc<ConfRel>, Option<usize>)> = Vec::new();
-        let mut seen: HashMap<Rc<ConfRel>, usize> = HashMap::new();
+        let mut prov: Vec<(Arc<ConfRel>, Option<usize>)> = Vec::new();
+        let mut seen: HashMap<Arc<ConfRel>, usize> = HashMap::new();
         let mut init: Vec<ConfRel> = Vec::new();
         if self.standard_init {
             for p in &scope {
@@ -249,90 +322,159 @@ impl Checker {
         for rel in &init {
             if !seen.contains_key(rel) {
                 let id = prov.len();
-                let shared = Rc::new(rel.clone());
+                let shared = Arc::new(rel.clone());
                 seen.insert(shared.clone(), id);
                 prov.push((shared, None));
                 frontier.push_back(id);
             }
         }
 
-        let mut relation: Vec<ConfRel> = Vec::new();
-        while let Some(id) = frontier.pop_front() {
-            let psi = prov[id].0.clone();
-            self.stats.iterations += 1;
-            if let Some(limit) = self.options.max_iterations {
-                if self.stats.iterations > limit {
-                    self.stats.wall_time = start.elapsed();
-                    self.stats.queries = self.solver.stats().clone();
-                    return Outcome::Aborted(format!(
-                        "iteration budget {limit} exhausted with |R| = {}",
-                        relation.len()
-                    ));
-                }
+        let mut relation = RelationStore::new();
+        let cache = self.solver.shared_cache();
+        // One persistent session pool for the deterministic main loop and
+        // one per worker slot: a guard's premise clauses are lowered,
+        // blasted and asserted once per pool for the whole run, and CDCL
+        // state accumulates across its queries.
+        let mut main_pool = SessionPool::new();
+        let mut worker_pools: Vec<SessionPool> = if threads > 1 {
+            (0..threads).map(|_| SessionPool::new()).collect()
+        } else {
+            Vec::new()
+        };
+        let pool_stats = |main: &SessionPool, workers: &[SessionPool]| -> QueryStats {
+            let mut out = main.stats();
+            for w in workers {
+                out.absorb(&w.stats());
             }
-            self.stats.max_formula_size = self.stats.max_formula_size.max(psi.phi.size());
-            if lower::entails(&self.aut, &relation, &psi, &mut self.solver) {
-                self.stats.skipped += 1;
-                continue;
+            out
+        };
+        let mut batch: Vec<usize> = Vec::new();
+        loop {
+            // One frontier generation per round: everything currently
+            // queued was derived before any of it is processed, so the
+            // entailment checks against the current `R` are independent.
+            batch.clear();
+            batch.extend(frontier.drain(..));
+            if batch.is_empty() {
+                break;
             }
-            // Early failure: ψ will be part of R, and the Close step
-            // requires φ ⊨ ψ.
-            if self.options.early_stop && psi.guard == self.query.guard {
-                if let Some(refutation) = self.query_violation(&psi, id, &prov) {
-                    self.stats.wall_time = start.elapsed();
-                    self.stats.queries = self.solver.stats().clone();
-                    return Outcome::NotEquivalent(refutation);
-                }
-            }
-            for pred in &scope {
-                if let Some(chi) = wp(&self.aut, &psi, pred, self.options.leaps) {
-                    self.stats.wp_generated += 1;
-                    if !seen.contains_key(&chi) {
-                        let cid = prov.len();
-                        let shared = Rc::new(chi);
-                        seen.insert(shared.clone(), cid);
-                        prov.push((shared, Some(id)));
-                        frontier.push_back(cid);
+
+            // Parallel phase: precompute `⋀R ⊨ ψ` for the whole generation
+            // against the immutable snapshot of the store.
+            let verdicts: Vec<Option<bool>> = if threads > 1 && batch.len() > 1 {
+                let items: Vec<Arc<ConfRel>> = batch.iter().map(|&id| prov[id].0.clone()).collect();
+                let verdicts =
+                    parallel_entailment(&self.aut, &relation, &items, &mut worker_pools, &cache);
+                self.stats.parallel_batches += 1;
+                self.stats.parallel_checks += items.len() as u64;
+                verdicts.into_iter().map(Some).collect()
+            } else {
+                vec![None; batch.len()]
+            };
+
+            // Deterministic merge: replay the generation in frontier
+            // order. `grew` tracks guards that gained a relation after the
+            // snapshot — only those can invalidate a "not entailed"
+            // verdict ("entailed" is monotone under growing `R`).
+            let mut grew: HashSet<TemplatePair> = HashSet::new();
+            for (bi, &id) in batch.iter().enumerate() {
+                let psi = prov[id].0.clone();
+                self.stats.iterations += 1;
+                if let Some(limit) = self.options.max_iterations {
+                    if self.stats.iterations > limit {
+                        let len = relation.len();
+                        self.seal_stats(start, len, pool_stats(&main_pool, &worker_pools));
+                        return Outcome::Aborted(format!(
+                            "iteration budget {limit} exhausted with |R| = {len}"
+                        ));
                     }
                 }
+                self.stats.max_formula_size = self.stats.max_formula_size.max(psi.phi.size());
+
+                self.stats.entailment_checks += 1;
+                self.stats.premises_matched += relation.matching_count(psi.guard) as u64;
+                self.stats.premises_total += relation.len() as u64;
+                let entailed = match verdicts[bi] {
+                    Some(true) => true,
+                    Some(false) if !grew.contains(&psi.guard) => false,
+                    precomputed => {
+                        if precomputed.is_some() {
+                            self.stats.merge_rechecks += 1;
+                        }
+                        main_pool.check(&self.aut, &relation.matching(psi.guard), &psi, &cache)
+                    }
+                };
+                if entailed {
+                    self.stats.skipped += 1;
+                    continue;
+                }
+                // Early failure: ψ will be part of R, and the Close step
+                // requires φ ⊨ ψ.
+                if self.options.early_stop && psi.guard == self.query.guard {
+                    if let Some(refutation) = self.query_violation(&psi, id, &prov) {
+                        let len = relation.len();
+                        self.seal_stats(start, len, pool_stats(&main_pool, &worker_pools));
+                        return Outcome::NotEquivalent(refutation);
+                    }
+                }
+                for pred in &scope {
+                    if let Some(chi) = wp(&self.aut, &psi, pred, self.options.leaps) {
+                        self.stats.wp_generated += 1;
+                        if !seen.contains_key(&chi) {
+                            let cid = prov.len();
+                            let shared = Arc::new(chi);
+                            seen.insert(shared.clone(), cid);
+                            prov.push((shared, Some(id)));
+                            frontier.push_back(cid);
+                        }
+                    }
+                }
+                grew.insert(psi.guard);
+                relation.push(psi);
             }
-            relation.push((*psi).clone());
         }
 
         // Close: φ ⊨ ⋀R, checked conjunct by conjunct (non-matching guards
         // are vacuous after template filtering).
-        for rho in &relation {
-            if rho.guard == self.query.guard {
-                let id = seen[rho];
-                if let Some(refutation) = self.query_violation(rho, id, &prov) {
-                    self.stats.wall_time = start.elapsed();
-                    self.stats.queries = self.solver.stats().clone();
-                    return Outcome::NotEquivalent(refutation);
-                }
+        for rho in relation.iter() {
+            if rho.guard != self.query.guard {
+                continue;
+            }
+            let id = seen[rho];
+            if let Some(refutation) = self.query_violation(rho, id, &prov) {
+                let len = relation.len();
+                self.seal_stats(start, len, pool_stats(&main_pool, &worker_pools));
+                return Outcome::NotEquivalent(refutation);
             }
         }
 
-        self.stats.wall_time = start.elapsed();
-        self.stats.queries = self.solver.stats().clone();
-        self.stats.extended = relation.len() as u64;
+        let len = relation.len();
+        self.seal_stats(start, len, pool_stats(&main_pool, &worker_pools));
         Outcome::Equivalent(Certificate {
             leaps: self.options.leaps,
             standard_init: self.standard_init,
             query: self.query.clone(),
             init,
-            relation,
+            relation: relation.to_vec(),
         })
     }
 
     /// Checks `φ ⊨ ρ`; on failure lifts the countermodel into a concrete,
     /// confirmed, minimized witness via the counterexample engine. `id`
     /// indexes `prov`, whose parent links trace ρ back through the wp
-    /// chain to the initial conjunct it was derived from.
+    /// chain to the initial conjunct it was derived from; the chain shares
+    /// the provenance table's relations by `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`Options::strict_witness`] is set, the query is a
+    /// standard language-equivalence query, and the countermodel could not
+    /// be lifted into a confirmed witness.
     fn query_violation(
         &mut self,
         rho: &ConfRel,
         id: usize,
-        prov: &[(Rc<ConfRel>, Option<usize>)],
+        prov: &[(Arc<ConfRel>, Option<usize>)],
     ) -> Option<Refutation> {
         let q = lower::lower(&self.aut, std::slice::from_ref(&self.query), rho);
         match self.solver.check_valid(&q.decls, &q.goal) {
@@ -344,10 +486,10 @@ impl Checker {
                     rho.display(&self.aut),
                     model.display(&q.decls)
                 );
-                let mut chain = Vec::new();
+                let mut chain: Vec<Arc<ConfRel>> = Vec::new();
                 let mut cursor = Some(id);
                 while let Some(i) = cursor {
-                    chain.push((*prov[i].0).clone());
+                    chain.push(prov[i].0.clone());
                     cursor = prov[i].1;
                 }
                 let refutation =
@@ -360,10 +502,68 @@ impl Checker {
                     }
                     Refutation::Unconfirmed { .. } => self.stats.witnesses_unconfirmed += 1,
                 }
+                if let Some(error) = strict_witness_violation(
+                    self.options.strict_witness,
+                    self.standard_init,
+                    &refutation,
+                ) {
+                    panic!("{error}");
+                }
                 Some(refutation)
             }
         }
     }
+}
+
+/// The strict-mode decision, factored out for testability: an
+/// [`Refutation::Unconfirmed`] under strict mode on a standard query is a
+/// hard error (the engine guarantees lifting succeeds there; failure means
+/// a checker or engine bug, not a property of the input).
+fn strict_witness_violation(
+    strict: bool,
+    standard_query: bool,
+    refutation: &Refutation,
+) -> Option<String> {
+    match refutation {
+        Refutation::Unconfirmed { reason, .. } if strict && standard_query => Some(format!(
+            "strict witness mode: refutation of a standard query could not be \
+             confirmed by explicit replay ({reason}); this indicates a bug in \
+             the checker or the counterexample engine, not in the input parsers"
+        )),
+        _ => None,
+    }
+}
+
+/// Precomputes the entailment verdicts of one frontier generation on
+/// worker threads against an immutable snapshot of the relation store.
+/// Each worker slot keeps a persistent [`SessionPool`] across batches
+/// (premise clauses assert once per slot for the whole run) and all slots
+/// share the main solver's blast cache. Verdicts are exact, so chunk
+/// assignment never affects results — only wall-clock time.
+fn parallel_entailment(
+    aut: &Automaton,
+    relation: &RelationStore,
+    items: &[Arc<ConfRel>],
+    worker_pools: &mut [SessionPool],
+    cache: &SharedBlastCache,
+) -> Vec<bool> {
+    let n = items.len();
+    let chunk = n.div_ceil(worker_pools.len().max(1)).max(1);
+    let mut verdicts = vec![false; n];
+    std::thread::scope(|s| {
+        for ((item_chunk, out_chunk), pool) in items
+            .chunks(chunk)
+            .zip(verdicts.chunks_mut(chunk))
+            .zip(worker_pools.iter_mut())
+        {
+            s.spawn(move || {
+                for (psi, out) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *out = pool.check(aut, &relation.matching(psi.guard), psi, cache);
+                }
+            });
+        }
+    });
+    verdicts
 }
 
 /// One-call convenience API: language equivalence with default options.
@@ -578,5 +778,150 @@ mod tests {
         };
         let mut c = Checker::new(&a, state(&a, "s"), &a, state(&a, "s"), opts);
         assert!(matches!(c.run(), Outcome::Aborted(_)));
+    }
+
+    #[test]
+    fn extended_stat_populated_on_every_outcome() {
+        // Equivalent (a pair with genuine acceptance disagreements in
+        // scope, so R is nonempty).
+        let a = parse(
+            "parser A { state s { extract(h, 2);
+               select(h[0:0]) { 0b1 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let mut c = Checker::new(&a, state(&a, "s"), &a, state(&a, "s"), Options::default());
+        assert!(c.run().is_equivalent());
+        assert!(c.stats().extended > 0, "{:?}", c.stats());
+
+        // NotEquivalent: |R| must reflect the relations accumulated before
+        // the early stop fired.
+        let b = parse("parser B { state s { extract(h, 2); goto reject } }").unwrap();
+        let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), Options::default());
+        assert!(matches!(c.run(), Outcome::NotEquivalent(_)));
+        assert!(c.stats().extended > 0, "{:?}", c.stats());
+
+        // Aborted: run unbounded first to learn the iteration count, then
+        // re-run with a budget one short of it — the field must still be
+        // populated (not default-zero-by-omission) and consistent with the
+        // skipped/iterations counters.
+        let big = parse(
+            "parser C { state s { extract(h, 4);
+               select(h) { 0b1111 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let mut probe = Checker::new(
+            &big,
+            state(&big, "s"),
+            &big,
+            state(&big, "s"),
+            Options::default(),
+        );
+        assert!(probe.run().is_equivalent());
+        let total = probe.stats().iterations;
+        assert!(total >= 2);
+        let limit = total - 1;
+        let opts = Options {
+            max_iterations: Some(limit),
+            ..Options::default()
+        };
+        let mut c = Checker::new(&big, state(&big, "s"), &big, state(&big, "s"), opts);
+        assert!(matches!(c.run(), Outcome::Aborted(_)));
+        let stats = c.stats();
+        assert!(stats.extended > 0, "{stats:?}");
+        assert_eq!(
+            stats.extended + stats.skipped,
+            limit,
+            "every non-aborting pop either extends or skips: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn thread_counts_agree_on_outcome_and_relation_size() {
+        let a = parse(
+            "parser A { state s { extract(h, 4);
+               select(h[0:1]) { 0b11 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse(
+            "parser B {
+               state s { extract(pre, 2); goto t }
+               state t { extract(suf, 2);
+                 select(pre) { 0b11 => accept; _ => reject; } }
+             }",
+        )
+        .unwrap();
+        let mut sizes = Vec::new();
+        for threads in [1, 2, 8] {
+            let opts = Options {
+                threads,
+                ..Options::default()
+            };
+            let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), opts);
+            assert!(c.run().is_equivalent(), "threads={threads}");
+            sizes.push((c.stats().extended, c.stats().iterations));
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "thread counts must explore identically: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn guard_index_avoids_linear_scans() {
+        let a = parse(
+            "parser A { state s { extract(h, 4);
+               select(h[0:0]) { 0b1 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse(
+            "parser B { state s { extract(x, 2); goto t }
+                        state t { extract(y, 2);
+               select(x[0:0]) { 0b1 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), Options::default());
+        assert!(c.run().is_equivalent());
+        let stats = c.stats();
+        assert!(stats.premises_total > 0);
+        assert!(
+            stats.premises_matched < stats.premises_total,
+            "multiple guards in play: the index must skip premises: {stats:?}"
+        );
+        assert!(stats.index_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn strict_witness_decision_table() {
+        let unconfirmed = Refutation::Unconfirmed {
+            reason: "synthetic".into(),
+            report: "synthetic".into(),
+        };
+        // Hard error only for strict + standard + unconfirmed.
+        assert!(strict_witness_violation(true, true, &unconfirmed).is_some());
+        assert!(strict_witness_violation(false, true, &unconfirmed).is_none());
+        assert!(strict_witness_violation(true, false, &unconfirmed).is_none());
+    }
+
+    #[test]
+    fn strict_mode_passes_through_confirmed_witnesses() {
+        let a = parse(
+            "parser A { state s { extract(h, 2);
+               select(h) { 0b11 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse(
+            "parser B { state s { extract(h, 2);
+               select(h) { 0b10 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let opts = Options {
+            strict_witness: true,
+            ..Options::default()
+        };
+        let mut c = Checker::new(&a, state(&a, "s"), &b, state(&b, "s"), opts);
+        match c.run() {
+            Outcome::NotEquivalent(r) => assert!(r.is_confirmed()),
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
     }
 }

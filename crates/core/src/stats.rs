@@ -1,5 +1,6 @@
 //! Run statistics: what Table 2 of the paper reports per case study,
-//! plus solver-level counters (§7.3's SMT latency discussion).
+//! plus solver-level counters (§7.3's SMT latency discussion) and the
+//! pipeline counters of the guard-indexed, parallel frontier.
 
 use std::time::Duration;
 
@@ -10,7 +11,8 @@ use leapfrog_smt::QueryStats;
 pub struct RunStats {
     /// Worklist iterations (pops from the frontier `T`).
     pub iterations: u64,
-    /// Formulas added to `R` (the `Extend` rule).
+    /// Size of `R` when the run ended (`Extend` count). Populated for
+    /// every outcome — `Equivalent`, `NotEquivalent` and `Aborted` alike.
     pub extended: u64,
     /// Formulas skipped because they were already entailed (the `Skip` rule).
     pub skipped: u64,
@@ -28,13 +30,39 @@ pub struct RunStats {
     pub witnesses_unconfirmed: u64,
     /// Packet bits removed by witness minimization (delta debugging).
     pub witness_bits_minimized: u64,
+    /// Worker threads the frontier batches ran on (1 = sequential).
+    pub threads: usize,
+    /// Frontier generations whose entailment checks ran on worker threads.
+    pub parallel_batches: u64,
+    /// Entailment verdicts precomputed on worker threads.
+    pub parallel_checks: u64,
+    /// Precomputed verdicts invalidated during the deterministic merge
+    /// because a same-guard relation joined `R` after the snapshot.
+    pub merge_rechecks: u64,
+    /// Total `Skip`-rule entailment decisions taken.
+    pub entailment_checks: u64,
+    /// Premises fetched through the guard index, summed over all checks —
+    /// what lowering actually saw.
+    pub premises_matched: u64,
+    /// Premises a linear scan would have visited (Σ |R| per check) — what
+    /// the pre-index pipeline paid for stage-1 template filtering.
+    pub premises_total: u64,
     /// Total wall-clock time of the run.
     pub wall_time: Duration,
-    /// SMT query statistics.
+    /// SMT query statistics (main solver plus absorbed worker solvers).
     pub queries: QueryStats,
 }
 
 impl RunStats {
+    /// Fraction of the linear-scan premise work the guard index avoided:
+    /// `1 − matched/total` (0.0 when no premises existed to scan).
+    pub fn index_hit_rate(&self) -> f64 {
+        if self.premises_total == 0 {
+            return 0.0;
+        }
+        1.0 - self.premises_matched as f64 / self.premises_total as f64
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         let witnesses = if self.witnesses_confirmed + self.witnesses_unconfirmed > 0 {
@@ -48,13 +76,17 @@ impl RunStats {
             String::new()
         };
         format!(
-            "iterations={} extended={} skipped={} wp={} scope={} queries={} time={:.2?}{}",
+            "iterations={} extended={} skipped={} wp={} scope={} queries={} \
+             threads={} index_hit={:.0}% blast_cache={:.0}% time={:.2?}{}",
             self.iterations,
             self.extended,
             self.skipped,
             self.wp_generated,
             self.scope_pairs,
             self.queries.queries,
+            self.threads,
+            100.0 * self.index_hit_rate(),
+            100.0 * self.queries.blast_cache_hit_rate(),
             self.wall_time,
             witnesses,
         )

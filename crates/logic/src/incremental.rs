@@ -1,0 +1,409 @@
+//! Per-guard incremental entailment sessions.
+//!
+//! Algorithm 1 decides `⋀R ⊨ ψ` once per frontier pop, and after stage-1
+//! template filtering the premise set is exactly `R`'s same-guard slice —
+//! which only ever *grows*. The one-shot pipeline
+//! ([`crate::lower::entails_filtered`]) re-lowers, re-blasts and re-solves
+//! that entire premise set for every query; a [`GuardSession`] keeps one
+//! persistent [`BlastContext`] per guard instead:
+//!
+//! * **Premises are asserted once.** New same-guard relations are lowered
+//!   and their seed instantiations asserted permanently when they first
+//!   appear; earlier premises' clauses (and every clause the CDCL solver
+//!   has learnt about them) carry over to all later queries.
+//! * **Conclusions are activation-gated.** Each query blasts only its own
+//!   `¬ψ`, gated behind a fresh activation literal; the solver runs under
+//!   that assumption and the literal is retired afterwards, so per-query
+//!   clauses never pollute later queries.
+//! * **CEGAR instantiations persist.** A quantifier instantiation
+//!   discovered while refuting one candidate model is an instance of a
+//!   true premise, so it is asserted permanently and never re-discovered.
+//!
+//! Verdicts are exact booleans (the CEGAR loop validates any candidate
+//! model against the *true* `∀`-premises), so sessions are freely mixed
+//! with the one-shot pipeline and across worker threads without affecting
+//! results — only wall-clock time.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use leapfrog_bitvec::BitVec;
+use leapfrog_p4a::ast::Automaton;
+use leapfrog_smt::{
+    instantiate_forall, violates_forall, BBit, BlastContext, BvVar, Declarations, Formula,
+    QueryStats, SharedBlastCache,
+};
+
+use crate::confrel::ConfRel;
+use crate::lower::{lower_pure, LowerEnv};
+use crate::templates::TemplatePair;
+
+/// A persistent entailment context for one template-pair guard.
+pub struct GuardSession {
+    decls: Declarations,
+    env: LowerEnv,
+    ctx: BlastContext,
+    /// Premises synced so far (a prefix of the store's same-guard slice).
+    premise_count: usize,
+    /// The persistent `∀`-premises for CEGAR refinement.
+    foralls: Vec<(Vec<BvVar>, Formula)>,
+    /// Set when the permanent constraints became unsatisfiable at the
+    /// root: the premises entail everything.
+    poisoned: bool,
+    /// Queries answered (used to freshen conclusion variable names).
+    checks: u64,
+    stats: QueryStats,
+}
+
+impl GuardSession {
+    /// A fresh session for a guard.
+    pub fn new(guard: TemplatePair) -> GuardSession {
+        GuardSession {
+            decls: Declarations::new(),
+            env: LowerEnv {
+                buf: [None, None],
+                headers: HashMap::new(),
+                vars: Vec::new(),
+                guard_left: guard.left.buf_len,
+                guard_right: guard.right.buf_len,
+            },
+            ctx: BlastContext::new(),
+            premise_count: 0,
+            foralls: Vec::new(),
+            poisoned: false,
+            checks: 0,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Query statistics for this session (one entry per [`Self::check`]).
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// Decides `⋀ premises ⊨ conclusion`. `premises` must be the current
+    /// same-guard slice of the relation store, in insertion order; it may
+    /// only have grown since the previous call (new premises are synced
+    /// into the persistent context incrementally).
+    pub fn check(
+        &mut self,
+        aut: &Automaton,
+        premises: &[&ConfRel],
+        conclusion: &ConfRel,
+        cache: &SharedBlastCache,
+    ) -> bool {
+        let start = Instant::now();
+        self.stats.queries += 1;
+        // Hard assert: the permanent context cannot un-assert clauses, so
+        // a shrinking slice would leave stale premises asserted and make
+        // later "entailed" verdicts unsound. The relation store's
+        // same-guard slice is append-only, so this never fires for the
+        // checker; it guards future callers.
+        assert!(
+            premises.len() >= self.premise_count,
+            "a guard session's premise slice only grows ({} < {})",
+            premises.len(),
+            self.premise_count
+        );
+
+        // Sync newly appeared premises: lower, remember the ∀, and assert
+        // the all-zeros seed instantiation permanently.
+        for (i, p) in premises.iter().enumerate().skip(self.premise_count) {
+            let xs: Vec<BvVar> = p
+                .vars
+                .iter()
+                .enumerate()
+                .map(|(j, w)| self.decls.declare(format!("x{i}_{j}"), *w))
+                .collect();
+            self.env.vars = xs.clone();
+            let body = lower_pure(aut, &p.phi, &mut self.decls, &mut self.env);
+            let quantified: Vec<BvVar> = xs
+                .into_iter()
+                .filter(|v| self.decls.width(*v) > 0)
+                .collect();
+            let seed: Vec<BitVec> = quantified
+                .iter()
+                .map(|x| BitVec::zeros(self.decls.width(*x)))
+                .collect();
+            let inst = instantiate_forall(&body, &quantified, &seed);
+            if !self.assert_permanent(&inst, cache) {
+                self.poisoned = true;
+            }
+            if !quantified.is_empty() {
+                self.foralls.push((quantified, body));
+            }
+        }
+        self.premise_count = premises.len();
+        if self.poisoned {
+            self.stats.durations.push(start.elapsed());
+            return true;
+        }
+
+        // Blast this query's ¬ψ behind a fresh activation literal.
+        let k = self.checks;
+        self.checks += 1;
+        let ys: Vec<BvVar> = conclusion
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(j, w)| self.decls.declare(format!("c{k}y{j}"), *w))
+            .collect();
+        self.env.vars = ys;
+        let concl = lower_pure(aut, &conclusion.phi, &mut self.decls, &mut self.env);
+        let negated = Formula::not(concl);
+        let act = self.ctx.fresh_activation_lit();
+        match self.ctx.blast_formula(&self.decls, &negated) {
+            BBit::Const(false) => {
+                // ¬ψ is contradictory on its own: ψ holds outright.
+                self.stats.durations.push(start.elapsed());
+                return true;
+            }
+            BBit::Const(true) => {
+                // ¬ψ is trivially true (ψ = ⊥): entailed only if the
+                // premises are unsatisfiable, which the CEGAR loop below
+                // decides.
+            }
+            BBit::Lit(root) => {
+                if !self.ctx.add_clause_raw(&[!act, root]) {
+                    self.poisoned = true;
+                    self.stats.durations.push(start.elapsed());
+                    return true;
+                }
+            }
+        }
+
+        // CEGAR under the activation assumption: candidate models must
+        // survive every true ∀-premise; genuine violations refine the
+        // permanent instantiation set.
+        let verdict = loop {
+            match self.ctx.solve_with(&self.decls, &[act]) {
+                None => break true,
+                Some(model) => {
+                    self.stats.cegar_rounds += 1;
+                    let mut refined = false;
+                    let mut conflict = false;
+                    for (xs, body) in &self.foralls {
+                        if let Some(witness) = violates_forall(&self.decls, &model, xs, body) {
+                            let inst = instantiate_forall(body, xs, &witness);
+                            let (ok, hit) =
+                                self.ctx.assert_formula_cached(&self.decls, &inst, cache);
+                            if hit {
+                                self.stats.blast_cache_hits += 1;
+                            } else {
+                                self.stats.blast_cache_misses += 1;
+                            }
+                            if !ok {
+                                conflict = true;
+                            }
+                            refined = true;
+                        }
+                    }
+                    if conflict {
+                        self.poisoned = true;
+                        break true;
+                    }
+                    if !refined {
+                        break false;
+                    }
+                }
+            }
+        };
+        // Retire the activation literal: this query's clauses go vacuous.
+        self.ctx.add_clause_raw(&[!act]);
+        self.stats.durations.push(start.elapsed());
+        verdict
+    }
+
+    fn assert_permanent(&mut self, f: &Formula, cache: &SharedBlastCache) -> bool {
+        let (ok, hit) = self.ctx.assert_formula_cached(&self.decls, f, cache);
+        if hit {
+            self.stats.blast_cache_hits += 1;
+        } else {
+            self.stats.blast_cache_misses += 1;
+        }
+        ok
+    }
+}
+
+/// A per-thread map of guard sessions plus merged statistics, used by the
+/// checker for its main loop and for each persistent worker slot.
+#[derive(Default)]
+pub struct SessionPool {
+    sessions: HashMap<TemplatePair, GuardSession>,
+}
+
+impl SessionPool {
+    /// An empty pool.
+    pub fn new() -> SessionPool {
+        SessionPool::default()
+    }
+
+    /// Decides `⋀ premises ⊨ conclusion` through the guard's session,
+    /// creating it on first use.
+    pub fn check(
+        &mut self,
+        aut: &Automaton,
+        premises: &[&ConfRel],
+        conclusion: &ConfRel,
+        cache: &SharedBlastCache,
+    ) -> bool {
+        self.sessions
+            .entry(conclusion.guard)
+            .or_insert_with(|| GuardSession::new(conclusion.guard))
+            .check(aut, premises, conclusion, cache)
+    }
+
+    /// Merged statistics across the pool's sessions, in guard order (the
+    /// deterministic order the checker absorbs them in).
+    pub fn stats(&self) -> QueryStats {
+        let mut guards: Vec<&TemplatePair> = self.sessions.keys().collect();
+        guards.sort();
+        let mut out = QueryStats::default();
+        for g in guards {
+            out.absorb(self.sessions[g].stats());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::confrel::{BitExpr, Pure, Side, VarId};
+    use crate::lower::entails_stateless;
+    use crate::templates::Template;
+    use leapfrog_p4a::ast::{StateId, Target};
+    use leapfrog_p4a::builder::Builder;
+
+    fn aut() -> Automaton {
+        let mut b = Builder::new();
+        let h = b.header("h", 4);
+        let g = b.header("g", 4);
+        let q = b.state("q");
+        b.define(q, vec![b.extract(h), b.extract(g)], b.goto(Target::Accept));
+        b.build().unwrap()
+    }
+
+    fn guard(lbuf: usize, rbuf: usize) -> TemplatePair {
+        TemplatePair::new(
+            Template {
+                target: Target::State(StateId(0)),
+                buf_len: lbuf,
+            },
+            Template {
+                target: Target::State(StateId(0)),
+                buf_len: rbuf,
+            },
+        )
+    }
+
+    fn buf_eq_rel(g: TemplatePair) -> ConfRel {
+        ConfRel {
+            guard: g,
+            vars: vec![],
+            phi: Pure::eq(BitExpr::Buf(Side::Left), BitExpr::Buf(Side::Right)),
+        }
+    }
+
+    #[test]
+    fn session_agrees_with_one_shot_pipeline() {
+        // A growing premise sequence with varied shapes: every (prefix,
+        // conclusion) verdict must match the stateless pipeline.
+        let a = aut();
+        let g = guard(3, 3);
+        let h = a.header_by_name("h").unwrap();
+        let gh = a.header_by_name("g").unwrap();
+        let premises = [
+            ConfRel {
+                guard: g,
+                vars: vec![2],
+                phi: Pure::eq(
+                    BitExpr::concat(BitExpr::Buf(Side::Left), BitExpr::Var(VarId(0))),
+                    BitExpr::concat(BitExpr::Buf(Side::Right), BitExpr::Var(VarId(0))),
+                ),
+            },
+            ConfRel {
+                guard: g,
+                vars: vec![],
+                phi: Pure::eq(BitExpr::Hdr(Side::Left, h), BitExpr::Hdr(Side::Right, gh)),
+            },
+            ConfRel {
+                guard: g,
+                vars: vec![],
+                phi: Pure::eq(BitExpr::Hdr(Side::Right, h), BitExpr::Hdr(Side::Right, gh)),
+            },
+        ];
+        let conclusions = vec![
+            buf_eq_rel(g),
+            ConfRel {
+                guard: g,
+                vars: vec![],
+                phi: Pure::eq(
+                    BitExpr::Slice(Box::new(BitExpr::Buf(Side::Left)), 1, 2),
+                    BitExpr::Slice(Box::new(BitExpr::Buf(Side::Right)), 1, 2),
+                ),
+            },
+            ConfRel {
+                guard: g,
+                vars: vec![],
+                phi: Pure::eq(BitExpr::Hdr(Side::Left, h), BitExpr::Hdr(Side::Right, h)),
+            },
+            ConfRel::forbidden(g),
+            ConfRel {
+                guard: g,
+                vars: vec![2],
+                phi: Pure::eq(BitExpr::Var(VarId(0)), BitExpr::Lit(BitVec::zeros(2))),
+            },
+        ];
+        let cache = SharedBlastCache::new();
+        let mut session = GuardSession::new(g);
+        for upto in 0..=premises.len() {
+            let slice: Vec<&ConfRel> = premises[..upto].iter().collect();
+            for concl in &conclusions {
+                let expected = entails_stateless(&a, &premises[..upto], concl);
+                let got = session.check(&a, &slice, concl, &cache);
+                assert_eq!(
+                    got,
+                    expected,
+                    "prefix {upto}, conclusion {}",
+                    concl.display(&a)
+                );
+            }
+        }
+        assert!(session.stats().queries > 0);
+    }
+
+    #[test]
+    fn poisoned_session_entails_everything() {
+        // A ⊥ premise makes every later conclusion entailed.
+        let a = aut();
+        let g = guard(1, 1);
+        let premises = [ConfRel::forbidden(g)];
+        let slice: Vec<&ConfRel> = premises.iter().collect();
+        let cache = SharedBlastCache::new();
+        let mut session = GuardSession::new(g);
+        assert!(session.check(&a, &slice, &buf_eq_rel(g), &cache));
+        let impossible = ConfRel {
+            guard: g,
+            vars: vec![2],
+            phi: Pure::eq(BitExpr::Var(VarId(0)), BitExpr::Lit(BitVec::zeros(2))),
+        };
+        assert!(session.check(&a, &slice, &impossible, &cache));
+    }
+
+    #[test]
+    fn pool_routes_by_guard() {
+        let a = aut();
+        let g1 = guard(1, 1);
+        let g2 = guard(2, 2);
+        let cache = SharedBlastCache::new();
+        let mut pool = SessionPool::new();
+        // Tautological conclusion holds with no premises at both guards.
+        assert!(pool.check(&a, &[], &ConfRel::trivial(g1), &cache));
+        assert!(pool.check(&a, &[], &ConfRel::trivial(g2), &cache));
+        // ⊥ conclusion does not.
+        assert!(!pool.check(&a, &[], &ConfRel::forbidden(g1), &cache));
+        let stats = pool.stats();
+        assert_eq!(stats.queries, 3);
+    }
+}

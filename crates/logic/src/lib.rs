@@ -19,16 +19,23 @@
 //! * [`lower`] — the compilation chain
 //!   `ConfRel → ConfRelSimp → FOL(Conf) → FOL(BV)` (§6.2): template
 //!   filtering, store elimination, and the final entailment query
-//!   discharged through [`leapfrog_smt`].
+//!   discharged through [`leapfrog_smt`];
+//! * [`mod@store`] — the guard-indexed [`RelationStore`]: stage-1 template
+//!   filtering as an index lookup instead of a per-query O(|R|) scan, with
+//!   `Arc`-shared entries for the parallel frontier.
 
 pub mod confrel;
+pub mod incremental;
 pub mod lower;
 pub mod reach;
+pub mod store;
 pub mod templates;
 pub mod wp;
 
 pub use confrel::{BitExpr, ConfRel, Pure, Side, VarId};
-pub use lower::{entails, EntailmentQuery};
+pub use incremental::{GuardSession, SessionPool};
+pub use lower::{entails, entails_filtered, EntailmentQuery};
 pub use reach::reachable_pairs;
+pub use store::RelationStore;
 pub use templates::{leap_size, successor_pairs, Template, TemplatePair};
 pub use wp::wp;

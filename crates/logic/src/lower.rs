@@ -82,6 +82,19 @@ pub fn entails_stateless(aut: &Automaton, premises: &[ConfRel], conclusion: &Con
     )
 }
 
+/// Decides `⋀ premises ⊨ conclusion` for premises that are *already*
+/// guard-filtered (stage 1 done by the caller — e.g. fetched from a
+/// [`crate::store::RelationStore`] in O(matching) instead of O(|R|)).
+pub fn entails_filtered(
+    aut: &Automaton,
+    relevant: &[&ConfRel],
+    conclusion: &ConfRel,
+    solver: &mut SmtSolver,
+) -> bool {
+    let q = lower_filtered(aut, relevant, conclusion);
+    matches!(solver.check_valid(&q.decls, &q.goal), CheckResult::Valid)
+}
+
 /// Runs the full lowering chain, producing the `FOL(BV)` query.
 pub fn lower(aut: &Automaton, premises: &[ConfRel], conclusion: &ConfRel) -> EntailmentQuery {
     // Stage 1: template filtering.
@@ -89,6 +102,22 @@ pub fn lower(aut: &Automaton, premises: &[ConfRel], conclusion: &ConfRel) -> Ent
         .iter()
         .filter(|p| p.guard == conclusion.guard)
         .collect();
+    lower_filtered(aut, &relevant, conclusion)
+}
+
+/// Stages 2+3 of the lowering chain for premises already filtered to the
+/// conclusion's guard. The pre-filtered entry point of the guard-indexed
+/// pipeline: callers holding a [`crate::store::RelationStore`] skip the
+/// per-query O(|R|) scan entirely.
+pub fn lower_filtered(
+    aut: &Automaton,
+    relevant: &[&ConfRel],
+    conclusion: &ConfRel,
+) -> EntailmentQuery {
+    debug_assert!(
+        relevant.iter().all(|p| p.guard == conclusion.guard),
+        "lower_filtered requires stage-1 filtered premises"
+    );
 
     // Stage 2 + 3: build the FOL(BV) signature for this guard.
     let mut decls = Declarations::new();
@@ -140,15 +169,15 @@ pub fn lower(aut: &Automaton, premises: &[ConfRel], conclusion: &ConfRel) -> Ent
     }
 }
 
-struct LowerEnv {
+pub(crate) struct LowerEnv {
     /// Lazily declared buffer variables (left, right).
-    buf: [Option<BvVar>; 2],
+    pub(crate) buf: [Option<BvVar>; 2],
     /// Lazily declared store variables, keyed by (side, header).
-    headers: HashMap<(Side, HeaderId), BvVar>,
+    pub(crate) headers: HashMap<(Side, HeaderId), BvVar>,
     /// The current formula's packet variables.
-    vars: Vec<BvVar>,
-    guard_left: usize,
-    guard_right: usize,
+    pub(crate) vars: Vec<BvVar>,
+    pub(crate) guard_left: usize,
+    pub(crate) guard_right: usize,
 }
 
 impl LowerEnv {
@@ -184,7 +213,12 @@ impl LowerEnv {
     }
 }
 
-fn lower_pure(aut: &Automaton, p: &Pure, decls: &mut Declarations, env: &mut LowerEnv) -> Formula {
+pub(crate) fn lower_pure(
+    aut: &Automaton,
+    p: &Pure,
+    decls: &mut Declarations,
+    env: &mut LowerEnv,
+) -> Formula {
     match p {
         Pure::Const(b) => Formula::Const(*b),
         Pure::Eq(a, b) => Formula::eq(

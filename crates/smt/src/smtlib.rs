@@ -168,7 +168,7 @@ mod tests {
         let x = d.declare("x", 8);
         // Our slice [2; 3] of an 8-bit term covers MSB-first bits 2..4,
         // i.e. SMT-LIB bits 5..3.
-        let t = Term::Slice(std::rc::Rc::new(Term::var(x)), 2, 3);
+        let t = Term::Slice(std::sync::Arc::new(Term::var(x)), 2, 3);
         assert_eq!(format_term(&d, &t), "((_ extract 5 3) x)");
     }
 

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use leapfrog_bitvec::BitVec;
 use std::collections::HashMap;
 
-use crate::blast::{sat_qf, BlastContext};
+use crate::blast::{sat_qf, BlastContext, SharedBlastCache};
 use crate::smtlib;
 use crate::term::{BvVar, Declarations, Formula, Model, Term};
 
@@ -46,6 +46,10 @@ pub struct QueryStats {
     pub queries: u64,
     /// Total CEGAR refinement rounds across all queries.
     pub cegar_rounds: u64,
+    /// Conjuncts whose CNF was replayed from the cross-query blast cache.
+    pub blast_cache_hits: u64,
+    /// Conjuncts that had to be blasted from scratch (template built).
+    pub blast_cache_misses: u64,
     /// Wall-clock time per query, in the order issued.
     pub durations: Vec<Duration>,
 }
@@ -54,6 +58,27 @@ impl QueryStats {
     /// Total time across all queries.
     pub fn total_time(&self) -> Duration {
         self.durations.iter().sum()
+    }
+
+    /// The fraction of asserted conjuncts served from the blast cache
+    /// (0.0 when nothing was asserted).
+    pub fn blast_cache_hit_rate(&self) -> f64 {
+        let total = self.blast_cache_hits + self.blast_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.blast_cache_hits as f64 / total as f64
+    }
+
+    /// Folds another solver's statistics into this one (used to merge
+    /// worker-thread solvers into the main run statistics, in a
+    /// deterministic order chosen by the caller).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.queries += other.queries;
+        self.cegar_rounds += other.cegar_rounds;
+        self.blast_cache_hits += other.blast_cache_hits;
+        self.blast_cache_misses += other.blast_cache_misses;
+        self.durations.extend(other.durations.iter().copied());
     }
 
     /// The maximum single-query time, or zero if no queries ran.
@@ -72,23 +97,39 @@ impl QueryStats {
     }
 }
 
-/// A stateful SMT front-end: runs queries, keeps statistics, and optionally
-/// dumps each query in SMT-LIB 2 format (mirroring the paper's plugin) when
-/// the `LEAPFROG_DUMP_SMT` environment variable names a directory.
+/// A stateful SMT front-end: runs queries, keeps statistics, shares a
+/// cross-query [`SharedBlastCache`], and optionally dumps each query in
+/// SMT-LIB 2 format (mirroring the paper's plugin) when the
+/// `LEAPFROG_DUMP_SMT` environment variable names a directory.
 #[derive(Debug, Default)]
 pub struct SmtSolver {
     stats: QueryStats,
     dump_dir: Option<std::path::PathBuf>,
+    cache: SharedBlastCache,
 }
 
 impl SmtSolver {
-    /// Creates a solver, honouring `LEAPFROG_DUMP_SMT`.
+    /// Creates a solver, honouring `LEAPFROG_DUMP_SMT`, with a fresh blast
+    /// cache.
     pub fn new() -> Self {
+        Self::with_shared_cache(SharedBlastCache::new())
+    }
+
+    /// Creates a solver that shares an existing blast cache — worker
+    /// threads each build one of these around the main solver's cache, so
+    /// premise CNF blasted by any worker is reused by all.
+    pub fn with_shared_cache(cache: SharedBlastCache) -> Self {
         let dump_dir = std::env::var_os("LEAPFROG_DUMP_SMT").map(std::path::PathBuf::from);
         SmtSolver {
             stats: QueryStats::default(),
             dump_dir,
+            cache,
         }
+    }
+
+    /// A clonable handle to this solver's blast cache.
+    pub fn shared_cache(&self) -> SharedBlastCache {
+        self.cache.clone()
     }
 
     /// The statistics accumulated so far.
@@ -96,7 +137,15 @@ impl SmtSolver {
         &self.stats
     }
 
+    /// Folds another solver's statistics into this one.
+    pub fn absorb_stats(&mut self, other: &QueryStats) {
+        self.stats.absorb(other);
+    }
+
     /// Checks validity of `f` (all free variables universally quantified).
+    /// `LEAPFROG_NO_BLAST_CACHE=1` (read once, when the solver's shared
+    /// cache is constructed) bypasses the cross-query blast cache — an
+    /// ablation knob; results are identical either way.
     pub fn check_valid(&mut self, decls: &Declarations, f: &Formula) -> CheckResult {
         let start = Instant::now();
         if let Some(dir) = self.dump_dir.clone() {
@@ -104,37 +153,48 @@ impl SmtSolver {
             let path = dir.join(format!("query_{:05}.smt2", self.stats.queries));
             let _ = std::fs::write(path, smtlib::validity_query(decls, f));
         }
-        let (result, rounds) = check_valid_counting(decls, f);
+        let (result, rounds, cache) = check_valid_counting(decls, f, Some(&self.cache));
         self.stats.queries += 1;
         self.stats.cegar_rounds += rounds;
+        self.stats.blast_cache_hits += cache.0;
+        self.stats.blast_cache_misses += cache.1;
         self.stats.durations.push(start.elapsed());
         result
     }
 }
 
 /// Checks validity of `f`, treating free variables as universally
-/// quantified. Stateless convenience wrapper around [`SmtSolver`] logic.
+/// quantified. Stateless convenience wrapper around [`SmtSolver`] logic
+/// (no cross-query cache).
 pub fn check_valid(decls: &Declarations, f: &Formula) -> CheckResult {
-    check_valid_counting(decls, f).0
+    check_valid_counting(decls, f, None).0
 }
 
-fn check_valid_counting(decls: &Declarations, f: &Formula) -> (CheckResult, u64) {
-    let (outcome, rounds) = check_sat_counting(decls, &Formula::not(f.clone()));
+fn check_valid_counting(
+    decls: &Declarations,
+    f: &Formula,
+    cache: Option<&SharedBlastCache>,
+) -> (CheckResult, u64, (u64, u64)) {
+    let (outcome, rounds, hits) = check_sat_counting(decls, &Formula::not(f.clone()), cache);
     let result = match outcome {
         SatOutcome::Unsat => CheckResult::Valid,
         SatOutcome::Sat(m) => CheckResult::Invalid(m),
     };
-    (result, rounds)
+    (result, rounds, hits)
 }
 
 /// Checks satisfiability of `f` (free variables existential). Supports the
 /// `∃∀` fragment: after negation-normalization, `Forall` blocks must have
 /// quantifier-free bodies.
 pub fn check_sat(decls: &Declarations, f: &Formula) -> SatOutcome {
-    check_sat_counting(decls, f).0
+    check_sat_counting(decls, f, None).0
 }
 
-fn check_sat_counting(decls: &Declarations, f: &Formula) -> (SatOutcome, u64) {
+fn check_sat_counting(
+    decls: &Declarations,
+    f: &Formula,
+    cache: Option<&SharedBlastCache>,
+) -> (SatOutcome, u64, (u64, u64)) {
     let mut decls = decls.clone();
     let nf = nnf(&mut decls, f, true);
 
@@ -145,39 +205,66 @@ fn check_sat_counting(decls: &Declarations, f: &Formula) -> (SatOutcome, u64) {
     split_conjuncts(&nf, &mut qf, &mut foralls);
 
     let mut ctx = BlastContext::new();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let assert = |ctx: &mut BlastContext,
+                  decls: &Declarations,
+                  f: &Formula,
+                  hits: &mut u64,
+                  misses: &mut u64|
+     -> bool {
+        match cache {
+            Some(c) => {
+                let (ok, hit) = ctx.assert_formula_cached(decls, f, c);
+                if hit {
+                    *hits += 1;
+                } else {
+                    *misses += 1;
+                }
+                ok
+            }
+            None => ctx.assert_formula(decls, f),
+        }
+    };
     let mut ok = true;
     for q in &qf {
-        ok &= ctx.assert_formula(&decls, q);
+        ok &= assert(&mut ctx, &decls, q, &mut cache_hits, &mut cache_misses);
     }
     // Seed each forall with the all-zeros instantiation.
     for (xs, body) in &foralls {
         let seed: Vec<BitVec> = xs.iter().map(|x| BitVec::zeros(decls.width(*x))).collect();
-        ok &= ctx.assert_formula(&decls, &instantiate(body, xs, &seed));
+        ok &= assert(
+            &mut ctx,
+            &decls,
+            &instantiate_forall(body, xs, &seed),
+            &mut cache_hits,
+            &mut cache_misses,
+        );
     }
     if !ok {
-        return (SatOutcome::Unsat, 0);
+        return (SatOutcome::Unsat, 0, (cache_hits, cache_misses));
     }
 
     let mut rounds = 0u64;
     loop {
         match ctx.solve(&decls) {
-            None => return (SatOutcome::Unsat, rounds),
+            None => return (SatOutcome::Unsat, rounds, (cache_hits, cache_misses)),
             Some(model) => {
                 let mut refined = false;
                 for (xs, body) in &foralls {
                     // Does the candidate satisfy ∀xs. body? Check the
                     // negation with non-quantified variables fixed.
                     if let Some(witness) = violates_forall(&decls, &model, xs, body) {
-                        let inst = instantiate(body, xs, &witness);
-                        if !ctx.assert_formula(&decls, &inst) {
-                            return (SatOutcome::Unsat, rounds);
+                        let inst = instantiate_forall(body, xs, &witness);
+                        if !assert(&mut ctx, &decls, &inst, &mut cache_hits, &mut cache_misses) {
+                            return (SatOutcome::Unsat, rounds, (cache_hits, cache_misses));
                         }
                         refined = true;
                     }
                 }
                 rounds += 1;
                 if !refined {
-                    return (SatOutcome::Sat(model), rounds);
+                    return (SatOutcome::Sat(model), rounds, (cache_hits, cache_misses));
                 }
             }
         }
@@ -185,7 +272,9 @@ fn check_sat_counting(decls: &Declarations, f: &Formula) -> (SatOutcome, u64) {
 }
 
 /// If `model` violates `∀xs. body`, returns witness values for `xs`.
-fn violates_forall(
+/// Public so incremental entailment sessions (which keep their own
+/// persistent [`BlastContext`]) can run the same CEGAR refinement.
+pub fn violates_forall(
     decls: &Declarations,
     model: &Model,
     xs: &[BvVar],
@@ -217,7 +306,7 @@ fn violates_forall(
 }
 
 /// Substitutes concrete values for the bound variables of a forall body.
-fn instantiate(body: &Formula, xs: &[BvVar], values: &[BitVec]) -> Formula {
+pub fn instantiate_forall(body: &Formula, xs: &[BvVar], values: &[BitVec]) -> Formula {
     let map: HashMap<BvVar, Term> = xs
         .iter()
         .zip(values)
@@ -267,7 +356,7 @@ fn nnf(decls: &mut Declarations, f: &Formula, positive: bool) -> Formula {
             if positive {
                 f.clone()
             } else {
-                Formula::Not(std::rc::Rc::new(f.clone()))
+                Formula::Not(std::sync::Arc::new(f.clone()))
             }
         }
         Formula::Not(g) => nnf(decls, g, !positive),
@@ -521,11 +610,52 @@ mod tests {
         let mut s = SmtSolver {
             stats: QueryStats::default(),
             dump_dir: None,
+            cache: SharedBlastCache::new(),
         };
         s.check_valid(&d, &Formula::Eq(Term::var(x), Term::var(x)));
         s.check_valid(&d, &Formula::Eq(Term::var(x), Term::lit(bv("0000"))));
         assert_eq!(s.stats().queries, 2);
         assert_eq!(s.stats().durations.len(), 2);
         assert!(s.stats().fraction_within(Duration::from_secs(5)) > 0.99);
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_blast_cache() {
+        // The same premise conjunct across successive queries must be
+        // served from the cache after the first blast, with identical
+        // verdicts throughout.
+        let mut d = Declarations::new();
+        let a = d.declare("a", 3);
+        let b = d.declare("b", 3);
+        let x = d.declare("x", 2);
+        let premise = Formula::forall(
+            vec![x],
+            Formula::Eq(
+                Term::concat(Term::var(a), Term::var(x)),
+                Term::concat(Term::var(b), Term::var(x)),
+            ),
+        );
+        let f = Formula::implies(premise, Formula::Eq(Term::var(a), Term::var(b)));
+        let mut s = SmtSolver::new();
+        for _ in 0..4 {
+            assert!(matches!(s.check_valid(&d, &f), CheckResult::Valid));
+        }
+        let stats = s.stats().clone();
+        assert!(stats.blast_cache_hits > 0, "{stats:?}");
+        assert!(stats.blast_cache_misses > 0, "{stats:?}");
+        assert!(stats.blast_cache_hit_rate() > 0.5, "{stats:?}");
+    }
+
+    #[test]
+    fn shared_cache_is_shared_between_solvers() {
+        let mut d = Declarations::new();
+        let x = d.declare("x", 4);
+        let f = Formula::Eq(Term::var(x), Term::lit(bv("1010")));
+        let mut s1 = SmtSolver::new();
+        assert!(matches!(s1.check_valid(&d, &f), CheckResult::Invalid(_)));
+        let mut s2 = SmtSolver::with_shared_cache(s1.shared_cache());
+        assert!(matches!(s2.check_valid(&d, &f), CheckResult::Invalid(_)));
+        assert_eq!(s2.stats().blast_cache_misses, 0, "{:?}", s2.stats());
+        assert!(s2.stats().blast_cache_hits > 0);
     }
 }

@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use leapfrog_bitvec::BitVec;
 
@@ -83,9 +83,9 @@ pub enum Term {
     /// A declared variable.
     Var(BvVar),
     /// Exact slice: `len` bits starting at bit `start` (bit 0 leftmost).
-    Slice(Rc<Term>, usize, usize),
+    Slice(Arc<Term>, usize, usize),
     /// Concatenation, left bits first.
-    Concat(Rc<Term>, Rc<Term>),
+    Concat(Arc<Term>, Arc<Term>),
 }
 
 impl Term {
@@ -129,9 +129,9 @@ impl Term {
                     let right = Term::slice((*b).clone(), 0, len - (wa - start));
                     return Term::concat(left, right);
                 }
-                Term::Slice(Rc::new(Term::Concat(a, b)), start, len)
+                Term::Slice(Arc::new(Term::Concat(a, b)), start, len)
             }
-            other => Term::Slice(Rc::new(other), start, len),
+            other => Term::Slice(Arc::new(other), start, len),
         }
     }
 
@@ -144,7 +144,7 @@ impl Term {
             (Term::Lit(x), Term::Lit(y)) => return Term::Lit(x.concat(y)),
             _ => {}
         }
-        Term::Concat(Rc::new(a), Rc::new(b))
+        Term::Concat(Arc::new(a), Arc::new(b))
     }
 
     /// Concatenates a sequence of terms, left to right.
@@ -293,15 +293,15 @@ pub enum Formula {
     /// Bitvector equality (both sides must have the same width).
     Eq(Term, Term),
     /// Negation.
-    Not(Rc<Formula>),
+    Not(Arc<Formula>),
     /// Conjunction.
-    And(Rc<Formula>, Rc<Formula>),
+    And(Arc<Formula>, Arc<Formula>),
     /// Disjunction.
-    Or(Rc<Formula>, Rc<Formula>),
+    Or(Arc<Formula>, Arc<Formula>),
     /// Implication.
-    Implies(Rc<Formula>, Rc<Formula>),
+    Implies(Arc<Formula>, Arc<Formula>),
     /// Universal quantification over declared variables.
-    Forall(Vec<BvVar>, Rc<Formula>),
+    Forall(Vec<BvVar>, Arc<Formula>),
 }
 
 impl Formula {
@@ -332,7 +332,7 @@ impl Formula {
         match f {
             Formula::Const(b) => Formula::Const(!b),
             Formula::Not(inner) => (*inner).clone(),
-            other => Formula::Not(Rc::new(other)),
+            other => Formula::Not(Arc::new(other)),
         }
     }
 
@@ -342,7 +342,7 @@ impl Formula {
             (Formula::Const(false), _) | (_, Formula::Const(false)) => Formula::ff(),
             (Formula::Const(true), _) => b,
             (_, Formula::Const(true)) => a,
-            _ => Formula::And(Rc::new(a), Rc::new(b)),
+            _ => Formula::And(Arc::new(a), Arc::new(b)),
         }
     }
 
@@ -357,7 +357,7 @@ impl Formula {
             (Formula::Const(true), _) | (_, Formula::Const(true)) => Formula::tt(),
             (Formula::Const(false), _) => b,
             (_, Formula::Const(false)) => a,
-            _ => Formula::Or(Rc::new(a), Rc::new(b)),
+            _ => Formula::Or(Arc::new(a), Arc::new(b)),
         }
     }
 
@@ -373,7 +373,7 @@ impl Formula {
             (Formula::Const(true), _) => b,
             (_, Formula::Const(true)) => Formula::tt(),
             (_, Formula::Const(false)) => Formula::not(a),
-            _ => Formula::Implies(Rc::new(a), Rc::new(b)),
+            _ => Formula::Implies(Arc::new(a), Arc::new(b)),
         }
     }
 
@@ -385,7 +385,7 @@ impl Formula {
         if let Formula::Const(_) = body {
             return body;
         }
-        Formula::Forall(vars, Rc::new(body))
+        Formula::Forall(vars, Arc::new(body))
     }
 
     /// Free variables of the formula.
@@ -589,7 +589,7 @@ mod tests {
         let mut d = Declarations::new();
         let x = d.declare("x", 8);
         let t = Term::slice(Term::slice(Term::var(x), 2, 5), 1, 2);
-        assert_eq!(t, Term::Slice(Rc::new(Term::Var(x)), 3, 2));
+        assert_eq!(t, Term::Slice(Arc::new(Term::Var(x)), 3, 2));
     }
 
     #[test]
@@ -619,7 +619,7 @@ mod tests {
         let t = Term::concat(Term::var(x), Term::slice(Term::var(x), 0, 4));
         assert_eq!(t.width(&d), 12);
         assert_eq!(t.check(&d), Ok(12));
-        let bad = Term::Slice(Rc::new(Term::Var(x)), 6, 4);
+        let bad = Term::Slice(Arc::new(Term::Var(x)), 6, 4);
         assert!(matches!(
             bad.check(&d),
             Err(TypeError::SliceOutOfBounds { .. })
@@ -674,12 +674,12 @@ mod tests {
         let mut d = Declarations::new();
         let x = d.declare("x", 2);
         // forall x. x = x  — valid.
-        let f = Formula::Forall(vec![x], Rc::new(Formula::Eq(Term::var(x), Term::var(x))));
+        let f = Formula::Forall(vec![x], Arc::new(Formula::Eq(Term::var(x), Term::var(x))));
         assert!(f.eval(&d, &Model::new()));
         // forall x. x = 00 — invalid.
         let g = Formula::Forall(
             vec![x],
-            Rc::new(Formula::Eq(Term::var(x), Term::lit(bv("00")))),
+            Arc::new(Formula::Eq(Term::var(x), Term::lit(bv("00")))),
         );
         assert!(!g.eval(&d, &Model::new()));
     }
@@ -693,7 +693,7 @@ mod tests {
         map.insert(x, Term::lit(bv("11")));
         let f = Formula::and(
             Formula::Eq(Term::var(x), Term::var(y)),
-            Formula::Forall(vec![x], Rc::new(Formula::Eq(Term::var(x), Term::var(y)))),
+            Formula::Forall(vec![x], Arc::new(Formula::Eq(Term::var(x), Term::var(y)))),
         );
         let g = f.subst(&map);
         // Free occurrence replaced, bound occurrence untouched.
@@ -713,7 +713,7 @@ mod tests {
         let mut d = Declarations::new();
         let x = d.declare("x", 2);
         let y = d.declare("y", 2);
-        let f = Formula::Forall(vec![x], Rc::new(Formula::Eq(Term::var(x), Term::var(y))));
+        let f = Formula::Forall(vec![x], Arc::new(Formula::Eq(Term::var(x), Term::var(y))));
         let fv = f.free_vars();
         assert!(fv.contains(&y));
         assert!(!fv.contains(&x));

@@ -153,6 +153,71 @@ pub fn check_and_cross_validate(
     Ok(outcome)
 }
 
+/// [`check_and_cross_validate`], plus the regression-corpus loop: any
+/// recorded counterexamples for `name` are replayed *before* the check
+/// (an entry that no longer distinguishes an expected-inequivalent pair
+/// is a regression), and a freshly confirmed witness is recorded back
+/// into the corpus for the next run.
+pub fn check_cross_validate_and_record(
+    left: &Automaton,
+    ql: StateId,
+    right: &Automaton,
+    qr: StateId,
+    options: Options,
+    name: &str,
+    corpus: &mut crate::corpus::WitnessCorpus,
+) -> Result<Outcome, String> {
+    let prior = corpus.exercise(name, left, ql, right, qr);
+    let outcome = check_and_cross_validate(left, ql, right, qr, options)?;
+    match &outcome {
+        Outcome::NotEquivalent(_) => {
+            if prior.replayed > 0 && prior.distinguishing == 0 {
+                return Err(format!(
+                    "regression corpus for {name}: {} recorded packet(s) no longer \
+                     distinguish the refuted pair",
+                    prior.replayed
+                ));
+            }
+            if let Some(w) = outcome.witness() {
+                corpus.record(name, w);
+            }
+        }
+        Outcome::Equivalent(_) => {
+            if prior.distinguishing > 0 {
+                return Err(format!(
+                    "regression corpus for {name}: {} packet(s) still distinguish a \
+                     pair the checker now claims equivalent",
+                    prior.distinguishing
+                ));
+            }
+            // The corpus packets also join the packet workload: the pair
+            // claims equivalence for *all* initial stores, so the two
+            // parsers must agree on every merged packet with zero stores.
+            let packets = crate::workload::packets_with_regressions(
+                left,
+                ql,
+                8,
+                32,
+                0xc0ffee,
+                &corpus.packets(name),
+            );
+            for packet in &packets {
+                let al = Config::initial(left, ql).accepts_chunked(left, packet);
+                let ar = Config::initial(right, qr).accepts_chunked(right, packet);
+                if al != ar {
+                    return Err(format!(
+                        "regression corpus for {name}: a workload packet ({} bits) \
+                         distinguishes a pair the checker claims equivalent",
+                        packet.len()
+                    ));
+                }
+            }
+        }
+        Outcome::Aborted(_) => {}
+    }
+    Ok(outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

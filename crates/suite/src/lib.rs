@@ -16,8 +16,12 @@
 //! * [`workload`] — random valid/invalid packet generation per parser.
 //! * [`differential`] — bounded brute-force and randomized equivalence
 //!   oracles used to cross-validate the symbolic checker.
+//! * [`corpus`] — the witness regression corpus: confirmed minimized
+//!   counterexample packets recorded per benchmark and re-exercised by
+//!   the differential harness on every run.
 
 pub mod applicability;
+pub mod corpus;
 pub mod differential;
 pub mod metrics;
 pub mod utility;

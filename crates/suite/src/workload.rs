@@ -11,6 +11,28 @@ pub use leapfrog_p4a::walk::{
     walk_with, Rng,
 };
 
+use leapfrog_bitvec::BitVec;
+use leapfrog_p4a::ast::{Automaton, StateId};
+
+/// The standard packet workload with witness-corpus regressions merged in
+/// front: recorded counterexample packets (see [`crate::corpus`]) are
+/// exercised first, then the steered random walks.
+/// [`crate::differential::check_cross_validate_and_record`] runs this
+/// merged workload against every equivalence verdict, so recorded
+/// witnesses are re-exercised on every differential pass.
+pub fn packets_with_regressions(
+    aut: &Automaton,
+    start: StateId,
+    max_states: usize,
+    count: usize,
+    seed: u64,
+    regressions: &[BitVec],
+) -> Vec<BitVec> {
+    let mut out: Vec<BitVec> = regressions.to_vec();
+    out.extend(packets(aut, start, max_states, count, seed));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
