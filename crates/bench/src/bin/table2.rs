@@ -11,12 +11,16 @@
 //!
 //! Flags / environment:
 //! * `--smoke` — force the small scale and exit nonzero if any emitted
-//!   row is missing the speedup / cache-hit-rate / thread-count fields or
-//!   if the witness corpus regressed (CI runs this).
+//!   row is missing the speedup / cache-hit-rate / thread-count /
+//!   cegar-rounds / blocks-validated / session-rebuilds fields, if the
+//!   witness corpus regressed, or if a redirect_case mutant is not
+//!   refuted with a confirmed witness (CI runs this).
 //! * `LEAPFROG_SKIP_BASELINE=1` — skip the `threads = 1` baseline re-runs
 //!   (speedup reported as `null`); useful for very large scales.
 //! * `LEAPFROG_WITNESS_CORPUS=path` — where the witness regression corpus
 //!   lives (default `WITNESS_CORPUS.txt`).
+//! * `LEAPFROG_SESSION_GC=ratio|0` — the guard sessions' clause-budget GC
+//!   (`0` disables; results are identical, only memory/time change).
 
 use leapfrog::{Checker, Options, Outcome};
 use leapfrog_bench::alloc_track::{human_bytes, PeakAlloc};
@@ -25,8 +29,10 @@ use leapfrog_bench::rows::{
     run_translation_validation, standard_benchmarks, RowResult,
 };
 use leapfrog_suite::corpus::WitnessCorpus;
+use leapfrog_suite::differential::check_cross_validate_and_record;
+use leapfrog_suite::mutants::mutant_benchmarks;
 use leapfrog_suite::utility::sloppy_strict;
-use leapfrog_suite::Scale;
+use leapfrog_suite::{Benchmark, Scale};
 
 #[global_allocator]
 static ALLOC: PeakAlloc = PeakAlloc::new();
@@ -131,11 +137,44 @@ fn main() {
         out.push((row, Some(mem)));
     };
 
+    // Every named pair row replays its recorded corpus packets first (a
+    // packet distinguishing an expected-equivalent pair, or a refuted
+    // pair none of whose packets still distinguish it, is a regression)
+    // and feeds any confirmed refutation witness back into the corpus —
+    // applicability rows included, not just the sanity pair.
+    let exercise_prior = |bench: &Benchmark, corpus: &WitnessCorpus, failures: &mut Vec<String>| {
+        let prior = corpus.exercise(
+            bench.name,
+            &bench.left,
+            bench.left_start,
+            &bench.right,
+            bench.right_start,
+        );
+        if bench.expect_equivalent && prior.distinguishing > 0 {
+            failures.push(format!(
+                "witness corpus regression: {} recorded packet(s) distinguish \
+                 \"{}\", which the suite expects equivalent",
+                prior.distinguishing, bench.name
+            ));
+        }
+        if !bench.expect_equivalent && prior.replayed > 0 && prior.distinguishing == 0 {
+            failures.push(format!(
+                "witness corpus regression: no recorded packet distinguishes \
+                 \"{}\" anymore",
+                bench.name
+            ));
+        }
+    };
+
     // Utility rows 1–4 and applicability rows, in Table 2 order.
     let benches = standard_benchmarks(scale);
     let (utility, applicability) = benches.split_at(4);
     for bench in utility {
+        exercise_prior(bench, &corpus, &mut failures);
         let row = measure(&|o| run_row(bench, o), options, baseline);
+        if let Some(w) = &row.witness {
+            corpus.record(&row.name, w);
+        }
         print_row(row, ALLOC.peak_bytes(), &mut measured);
     }
     // Rows 5–6: the relational case studies.
@@ -145,7 +184,11 @@ fn main() {
     print_row(row, ALLOC.peak_bytes(), &mut measured);
     // Applicability self-comparisons.
     for bench in applicability {
+        exercise_prior(bench, &corpus, &mut failures);
         let row = measure(&|o| run_row(bench, o), options, baseline);
+        if let Some(w) = &row.witness {
+            corpus.record(&row.name, w);
+        }
         print_row(row, ALLOC.peak_bytes(), &mut measured);
     }
     // Translation validation.
@@ -211,6 +254,37 @@ fn main() {
     if !witness_confirmed {
         failures.push("sanity-check witness not confirmed".into());
     }
+
+    // The mutated-parser negative suite: each redirect_case mutant must be
+    // refuted with a confirmed witness; the witnesses join the corpus and
+    // prior entries replay through the differential harness.
+    let mutants = mutant_benchmarks();
+    println!();
+    println!("Mutated-parser negative suite ({} mutants):", mutants.len());
+    for m in &mutants {
+        match check_cross_validate_and_record(
+            &m.left,
+            m.left_start,
+            &m.right,
+            m.right_start,
+            options,
+            m.name,
+            &mut corpus,
+        ) {
+            Ok(Outcome::NotEquivalent(_)) => {
+                println!(
+                    "  {}: refuted; {} corpus packet(s)",
+                    m.name,
+                    corpus.entries(m.name).len()
+                );
+            }
+            Ok(other) => failures.push(format!(
+                "mutant {}: expected NotEquivalent, got {other:?}",
+                m.name
+            )),
+            Err(e) => failures.push(format!("mutant {}: {e}", m.name)),
+        }
+    }
     if corpus_writable {
         match corpus.save(&corpus_path) {
             Ok(()) => println!(
@@ -237,6 +311,11 @@ fn main() {
         "\"blast_cache_hit_rate\"",
         "\"threads\"",
         "\"index_hit_rate\"",
+        "\"cegar_rounds\"",
+        "\"blocks_validated\"",
+        "\"blocks_considered\"",
+        "\"session_rebuilds\"",
+        "\"peak_live_clauses\"",
     ] {
         let have = json.matches(key).count();
         if have != measured.len() {

@@ -37,6 +37,21 @@ pub struct RowResult {
     /// Wall-time speedup versus a `threads = 1` run of the same row
     /// (`None` when no baseline was measured).
     pub speedup: Option<f64>,
+    /// CEGAR refinement rounds across all solver queries of the run.
+    pub cegar_rounds: u64,
+    /// `∀`-blocks actually validated against candidate models (the
+    /// variable-indexed oracle skips unchanged-support blocks, so this is
+    /// ≤ `blocks_considered`).
+    pub blocks_validated: u64,
+    /// `∀`-blocks a naive per-round sweep would have validated.
+    pub blocks_considered: u64,
+    /// Guard-session context rebuilds performed by the clause-budget GC.
+    pub session_rebuilds: u64,
+    /// Peak live-clause count in any single entailment-session context.
+    pub peak_live_clauses: u64,
+    /// The confirmed witness, when the run refuted the property — fed into
+    /// the regression corpus by the `table2` binary.
+    pub witness: Option<leapfrog_cex::Witness>,
 }
 
 /// Runs a plain language-equivalence benchmark.
@@ -158,7 +173,9 @@ pub fn rows_to_json(rows: &[(RowResult, Option<usize>)], sanity_witness_confirme
              \"verified\": {}, \"relation_size\": {}, \"queries\": {}, \
              \"queries_within_5s\": {:.4}, \"threads\": {}, \
              \"blast_cache_hit_rate\": {:.4}, \"index_hit_rate\": {:.4}, \
-             \"speedup\": {}}}{}\n",
+             \"speedup\": {}, \"cegar_rounds\": {}, \"blocks_validated\": {}, \
+             \"blocks_considered\": {}, \"session_rebuilds\": {}, \
+             \"peak_live_clauses\": {}}}{}\n",
             esc(&row.name),
             row.metrics.states,
             row.metrics.branched_bits,
@@ -175,6 +192,11 @@ pub fn rows_to_json(rows: &[(RowResult, Option<usize>)], sanity_witness_confirme
             row.speedup
                 .map(|s| format!("{s:.4}"))
                 .unwrap_or_else(|| "null".into()),
+            row.cegar_rounds,
+            row.blocks_validated,
+            row.blocks_considered,
+            row.session_rebuilds,
+            row.peak_live_clauses,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -207,6 +229,12 @@ fn finish(
         blast_cache_hit_rate: stats.queries.blast_cache_hit_rate(),
         index_hit_rate: stats.index_hit_rate(),
         speedup: None,
+        cegar_rounds: stats.queries.cegar_rounds,
+        blocks_validated: stats.queries.blocks_validated,
+        blocks_considered: stats.queries.blocks_considered,
+        session_rebuilds: stats.queries.session_rebuilds,
+        peak_live_clauses: stats.queries.live_clauses_peak,
+        witness: outcome.witness().cloned(),
     }
 }
 
@@ -236,9 +264,37 @@ mod tests {
             "\"blast_cache_hit_rate\"",
             "\"index_hit_rate\"",
             "\"speedup\": 1.2500",
+            "\"cegar_rounds\"",
+            "\"blocks_validated\"",
+            "\"blocks_considered\"",
+            "\"session_rebuilds\"",
+            "\"peak_live_clauses\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn oracle_counters_populated_and_bounded() {
+        let bench = state_rearrangement::state_rearrangement_benchmark();
+        let row = run_row(&bench, Options::default());
+        assert!(row.cegar_rounds > 0, "CEGAR must run on this row");
+        assert!(
+            row.blocks_validated <= row.blocks_considered,
+            "the oracle can only skip validations: {} > {}",
+            row.blocks_validated,
+            row.blocks_considered
+        );
+        assert!(row.witness.is_none(), "an equivalent row has no witness");
+    }
+
+    #[test]
+    fn refuted_row_carries_its_witness() {
+        let mutant = &leapfrog_suite::mutants::mutant_benchmarks()[0];
+        let row = run_row(mutant, Options::default());
+        assert!(row.verified, "the mutant is expected inequivalent");
+        let w = row.witness.as_ref().expect("confirmed witness on the row");
+        assert!(w.check());
     }
 
     #[test]

@@ -33,7 +33,7 @@ use leapfrog_p4a::semantics::{Config, Store};
 use leapfrog_p4a::walk::{accepting_walk_packet, random_walk_packet, Rng};
 use leapfrog_smt::{Declarations, Model};
 
-use crate::minimize::minimize;
+use crate::minimize::minimize_chunked;
 use crate::witness::{Disagreement, Refutation, Witness};
 
 /// How many fallback search attempts (per strategy, per side) are made
@@ -107,9 +107,14 @@ pub fn build_witness(
     if init_len > rho.vars.len() {
         return unconfirmed("initial conjunct has more variables than the violated relation");
     }
+    // Each wp-appended variable is one leap's worth of bits, so the chunk
+    // lengths (in packet order) double as the leap boundaries the
+    // minimizer's chunk-aligned pre-pass deletes along.
     let mut packet = BitVec::new();
+    let mut leap_chunks: Vec<usize> = Vec::with_capacity(rho.vars.len() - init_len);
     for j in (init_len..rho.vars.len()).rev() {
         packet.extend(&model.value_or_zeros(decls, lowered.conclusion_vars[j]));
+        leap_chunks.push(rho.vars[j]);
     }
     let init_vals: Vec<BitVec> = (0..init_len)
         .map(|j| model.value_or_zeros(decls, lowered.conclusion_vars[j]))
@@ -150,8 +155,8 @@ pub fn build_witness(
         None
     };
 
-    let (packet, disagreement) = match disagreement {
-        Some(d) => (packet, d),
+    let (packet, leap_chunks, disagreement) = match disagreement {
+        Some(d) => (packet, leap_chunks, d),
         None if standard_conjunct => {
             // Lifting was inconclusive (e.g. an unconstrained variable was
             // completed with zeros and the run strayed off the symbolic
@@ -161,8 +166,10 @@ pub fn build_witness(
                 Some(found) => {
                     let e1 = Config::with_store(ql, left_store.clone()).step_word(aut, &found);
                     let e2 = Config::with_store(qr, right_store.clone()).step_word(aut, &found);
+                    // A searched packet has no leap structure to exploit.
                     (
                         found,
+                        Vec::new(),
                         Disagreement::Acceptance {
                             left_accepts: e1.is_accepting(),
                             right_accepts: e2.is_accepting(),
@@ -201,7 +208,7 @@ pub fn build_witness(
         disagreement.clone(),
         original_bits,
     );
-    let minimized = minimize(packet, &mut |p| scratch.packet_disagrees(p));
+    let minimized = minimize_chunked(packet, &leap_chunks, &mut |p| scratch.packet_disagrees(p));
 
     // Re-derive the recorded verdicts for the minimized packet.
     let disagreement = match disagreement {

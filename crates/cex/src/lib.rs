@@ -15,9 +15,11 @@
 //! 3. falls back to steered packet **search** (reusing the workload
 //!    walker in [`leapfrog_p4a::walk`]) when the zero-completion of
 //!    unconstrained model variables strays off the symbolic trace, and
-//! 4. **minimizes** the confirmed packet by bit-level delta debugging
-//!    ([`minimize::minimize`]), zeroing irrelevant bits for a canonical
-//!    result.
+//! 4. **minimizes** the confirmed packet: a leap-aware pre-pass deletes
+//!    whole packet chunks along the trace's leap boundaries
+//!    ([`minimize::minimize_chunked`]), then bit-level delta debugging
+//!    ([`minimize::minimize`]) finishes the survivor, zeroing irrelevant
+//!    bits for a canonical result.
 //!
 //! The product is a structured [`Witness`] — stores, packet, symbolic
 //! trace, disagreement — that is self-contained (it owns the sum
@@ -33,5 +35,5 @@ pub mod minimize;
 pub mod witness;
 
 pub use engine::{build_witness, search_disagreement};
-pub use minimize::minimize;
+pub use minimize::{minimize, minimize_chunked};
 pub use witness::{Disagreement, Refutation, Witness};

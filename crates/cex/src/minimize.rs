@@ -6,6 +6,13 @@
 //! classic ddmin loop (remove ever-smaller contiguous segments while the
 //! disagreement persists) and then canonicalizes the survivor by zeroing
 //! every bit that is not needed to keep the two parsers disagreeing.
+//!
+//! [`minimize_chunked`] adds a *leap-aware pre-pass*: the lifted packet is
+//! a concatenation of leap-sized chunks (one per weakest-precondition
+//! step of the trace), and a redundant leap — a whole MPLS label, a whole
+//! option word — usually drops in one aligned deletion. Trying those
+//! chunk-aligned deletions to a fixpoint first removes most of the packet
+//! in O(chunks) replays, leaving per-bit ddmin only the short remainder.
 
 use leapfrog_bitvec::BitVec;
 
@@ -15,6 +22,44 @@ fn without_segment(packet: &BitVec, start: usize, len: usize) -> BitVec {
     let tail_start = start + len;
     out.extend(&packet.subrange(tail_start, packet.len() - tail_start));
     out
+}
+
+/// [`minimize`] with a leap-aware pre-pass. `chunks` are the packet's
+/// leap-chunk lengths in packet order; they must sum to the packet length
+/// for the pre-pass to run (otherwise it falls through to plain ddmin —
+/// e.g. for packets found by steered search, which have no leap
+/// structure). The pre-pass greedily deletes whole chunks, to a fixpoint,
+/// while the disagreement persists; per-bit ddmin then finishes the
+/// survivor, so the result is exactly as minimal as [`minimize`]'s.
+pub fn minimize_chunked(
+    packet: BitVec,
+    chunks: &[usize],
+    disagrees: &mut dyn FnMut(&BitVec) -> bool,
+) -> BitVec {
+    debug_assert!(disagrees(&packet), "minimize needs a disagreeing packet");
+    let mut current = packet;
+    if chunks.len() > 1 && chunks.iter().sum::<usize>() == current.len() {
+        let mut chunks = chunks.to_vec();
+        loop {
+            let mut shrunk = false;
+            let mut i = 0;
+            while i < chunks.len() {
+                let start: usize = chunks[..i].iter().sum();
+                let candidate = without_segment(&current, start, chunks[i]);
+                if disagrees(&candidate) {
+                    current = candidate;
+                    chunks.remove(i);
+                    shrunk = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !shrunk || chunks.len() <= 1 {
+                break;
+            }
+        }
+    }
+    minimize(current, disagrees)
 }
 
 /// Shrinks `packet` while `disagrees` stays true, returning the minimized
@@ -103,5 +148,40 @@ mod tests {
     fn empty_packet_stays_empty() {
         let mut pred = |p: &BitVec| p.is_empty();
         assert_eq!(minimize(BitVec::new(), &mut pred), BitVec::new());
+    }
+
+    #[test]
+    fn chunked_prepass_drops_whole_leaps_first() {
+        // Disagreement iff the packet contains "11": chunk-aligned
+        // deletion must strip the redundant 4-bit leaps in whole pieces
+        // and reach the same minimum as plain ddmin.
+        let mut pred =
+            |p: &BitVec| (1..p.len()).any(|i| p.get(i - 1) == Some(true) && p.get(i) == Some(true));
+        let start = bv("000001000000110000000100");
+        let min = minimize_chunked(start, &[4, 4, 4, 4, 4, 4], &mut pred);
+        assert_eq!(min, bv("11"));
+    }
+
+    #[test]
+    fn chunked_agrees_with_plain_on_mismatched_chunks() {
+        // Chunk lengths that do not cover the packet skip the pre-pass.
+        let mut pred = |p: &BitVec| p.len() >= 4;
+        let min = minimize_chunked(bv("10111011"), &[64], &mut pred);
+        assert_eq!(min, bv("0000"));
+        let mut pred2 = |p: &BitVec| p.len() >= 4;
+        let min2 = minimize_chunked(bv("10111011"), &[], &mut pred2);
+        assert_eq!(min2, bv("0000"));
+    }
+
+    #[test]
+    fn chunked_prepass_matches_plain_ddmin_result() {
+        // On a chunk-structured disagreement the pre-pass must not change
+        // the final minimum, only the path there.
+        let mut pred_a = |p: &BitVec| p.len() >= 8 && p.get(0) == Some(true);
+        let mut pred_b = |p: &BitVec| p.len() >= 8 && p.get(0) == Some(true);
+        let start = bv("1010101010101010");
+        let plain = minimize(start.clone(), &mut pred_a);
+        let chunked = minimize_chunked(start, &[8, 8], &mut pred_b);
+        assert_eq!(plain, chunked);
     }
 }

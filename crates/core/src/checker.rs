@@ -72,6 +72,14 @@ pub struct Options {
     /// a caller-supplied initial relation are exempt: no sound generic
     /// search exists for arbitrary relational conjuncts.
     pub strict_witness: bool,
+    /// Clause-budget GC for the per-guard incremental sessions: a session
+    /// rebuilds its solver context (re-seeding premises and persisted
+    /// CEGAR instantiations) once the clauses retired by finished queries
+    /// exceed `ratio ×` its live clauses. `None` disables the GC (contexts
+    /// grow without bound, the pre-GC behaviour). Defaults from
+    /// `LEAPFROG_SESSION_GC` (`0` = off, a float = the ratio, unset = 4).
+    /// Results are bit-identical at every setting.
+    pub session_gc_ratio: Option<f64>,
 }
 
 impl Default for Options {
@@ -83,7 +91,31 @@ impl Default for Options {
             max_iterations: None,
             threads: threads_from_env(),
             strict_witness: strict_witness_from_env(),
+            session_gc_ratio: session_gc_from_env(),
         }
+    }
+}
+
+/// The default retired-to-live clause ratio that triggers a session
+/// context rebuild.
+pub const DEFAULT_SESSION_GC_RATIO: f64 = 4.0;
+
+fn session_gc_from_env() -> Option<f64> {
+    match std::env::var("LEAPFROG_SESSION_GC") {
+        Ok(s) => {
+            let t = s.trim();
+            if t.eq_ignore_ascii_case("off") {
+                return None;
+            }
+            match t.parse::<f64>() {
+                // Any spelling of a non-positive ratio ("0", "0.0", "0e0")
+                // disables the GC, matching the documented contract.
+                Ok(r) if r.is_finite() && r > 0.0 => Some(r),
+                Ok(_) => None,
+                Err(_) => Some(DEFAULT_SESSION_GC_RATIO),
+            }
+        }
+        Err(_) => Some(DEFAULT_SESSION_GC_RATIO),
     }
 }
 
@@ -335,9 +367,11 @@ impl Checker {
         // one per worker slot: a guard's premise clauses are lowered,
         // blasted and asserted once per pool for the whole run, and CDCL
         // state accumulates across its queries.
-        let mut main_pool = SessionPool::new();
+        let mut main_pool = SessionPool::with_gc(self.options.session_gc_ratio);
         let mut worker_pools: Vec<SessionPool> = if threads > 1 {
-            (0..threads).map(|_| SessionPool::new()).collect()
+            (0..threads)
+                .map(|_| SessionPool::with_gc(self.options.session_gc_ratio))
+                .collect()
         } else {
             Vec::new()
         };
@@ -536,10 +570,19 @@ fn strict_witness_violation(
 
 /// Precomputes the entailment verdicts of one frontier generation on
 /// worker threads against an immutable snapshot of the relation store.
+///
+/// Scheduling is *work-stealing*: instead of pre-cutting the batch into
+/// fixed per-worker chunks (which loses wall-clock whenever one chunk
+/// holds the generation's long-tail entailments), every worker drains a
+/// shared atomic cursor over the snapshot batch — an idle worker simply
+/// claims the next unprocessed item, so the generation finishes when the
+/// last *item* does, not when the unluckiest *chunk* does.
+///
 /// Each worker slot keeps a persistent [`SessionPool`] across batches
 /// (premise clauses assert once per slot for the whole run) and all slots
-/// share the main solver's blast cache. Verdicts are exact, so chunk
-/// assignment never affects results — only wall-clock time.
+/// share the main solver's blast cache. Verdicts are exact, so the
+/// item-to-worker assignment never affects results — only wall-clock
+/// time — and the sequential merge stays deterministic.
 fn parallel_entailment(
     aut: &Automaton,
     relation: &RelationStore,
@@ -547,23 +590,26 @@ fn parallel_entailment(
     worker_pools: &mut [SessionPool],
     cache: &SharedBlastCache,
 ) -> Vec<bool> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     let n = items.len();
-    let chunk = n.div_ceil(worker_pools.len().max(1)).max(1);
-    let mut verdicts = vec![false; n];
+    let cursor = AtomicUsize::new(0);
+    let verdicts: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     std::thread::scope(|s| {
-        for ((item_chunk, out_chunk), pool) in items
-            .chunks(chunk)
-            .zip(verdicts.chunks_mut(chunk))
-            .zip(worker_pools.iter_mut())
-        {
-            s.spawn(move || {
-                for (psi, out) in item_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *out = pool.check(aut, &relation.matching(psi.guard), psi, cache);
+        for pool in worker_pools.iter_mut() {
+            let cursor = &cursor;
+            let verdicts = &verdicts;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let psi = &items[i];
+                let v = pool.check(aut, &relation.matching(psi.guard), psi, cache);
+                verdicts[i].store(v, Ordering::Relaxed);
             });
         }
     });
-    verdicts
+    verdicts.into_iter().map(AtomicBool::into_inner).collect()
 }
 
 /// One-call convenience API: language equivalence with default options.

@@ -63,6 +63,27 @@ impl RunStats {
         1.0 - self.premises_matched as f64 / self.premises_total as f64
     }
 
+    /// Guard-session context rebuilds performed by the clause-budget GC
+    /// across all session pools (main loop plus worker slots).
+    pub fn session_rebuilds(&self) -> u64 {
+        self.queries.session_rebuilds
+    }
+
+    /// Peak live-clause count observed in any single entailment-session
+    /// solver context — the quantity the session GC bounds.
+    pub fn live_clauses_peak(&self) -> u64 {
+        self.queries.live_clauses_peak
+    }
+
+    /// Fraction of the naive per-round `∀`-block validations the
+    /// variable-indexed CEGAR oracle skipped (0.0 when no rounds ran).
+    pub fn oracle_skip_rate(&self) -> f64 {
+        if self.queries.blocks_considered == 0 {
+            return 0.0;
+        }
+        1.0 - self.queries.blocks_validated as f64 / self.queries.blocks_considered as f64
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         let witnesses = if self.witnesses_confirmed + self.witnesses_unconfirmed > 0 {
@@ -77,7 +98,8 @@ impl RunStats {
         };
         format!(
             "iterations={} extended={} skipped={} wp={} scope={} queries={} \
-             threads={} index_hit={:.0}% blast_cache={:.0}% time={:.2?}{}",
+             threads={} index_hit={:.0}% blast_cache={:.0}% cegar_rounds={} \
+             oracle_skip={:.0}% rebuilds={} peak_clauses={} time={:.2?}{}",
             self.iterations,
             self.extended,
             self.skipped,
@@ -87,6 +109,10 @@ impl RunStats {
             self.threads,
             100.0 * self.index_hit_rate(),
             100.0 * self.queries.blast_cache_hit_rate(),
+            self.queries.cegar_rounds,
+            100.0 * self.oracle_skip_rate(),
+            self.queries.session_rebuilds,
+            self.queries.live_clauses_peak,
             self.wall_time,
             witnesses,
         )

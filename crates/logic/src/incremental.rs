@@ -18,11 +18,26 @@
 //! * **CEGAR instantiations persist.** A quantifier instantiation
 //!   discovered while refuting one candidate model is an instance of a
 //!   true premise, so it is asserted permanently and never re-discovered.
+//! * **Model validation is variable-indexed and batched.** The session
+//!   keeps one [`RefinementOracle`] alive across queries: each `∀`-premise
+//!   is indexed by the support variables it constrains, so a candidate
+//!   model only re-validates the blocks whose support valuation changed
+//!   since their last clean validation, and all violated blocks of a round
+//!   refine the context in a single batched assert.
+//! * **Contexts are clause-budgeted.** Activation-retired per-query
+//!   clauses accumulate in the CDCL solver forever; when the retired count
+//!   exceeds `gc_ratio ×` the live (permanent) count, the session
+//!   transparently rebuilds a fresh [`BlastContext`] from its persisted
+//!   permanent-formula list — premise seeds *and* every CEGAR
+//!   instantiation discovered so far — so no refinement work is lost.
+//!   `Options::session_gc_ratio` / `LEAPFROG_SESSION_GC` configure the
+//!   ratio (`0` disables GC).
 //!
 //! Verdicts are exact booleans (the CEGAR loop validates any candidate
 //! model against the *true* `∀`-premises), so sessions are freely mixed
-//! with the one-shot pipeline and across worker threads without affecting
-//! results — only wall-clock time.
+//! with the one-shot pipeline and across worker threads — and GC may fire
+//! at any point — without affecting results, only wall-clock time and
+//! memory.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -30,8 +45,8 @@ use std::time::Instant;
 use leapfrog_bitvec::BitVec;
 use leapfrog_p4a::ast::Automaton;
 use leapfrog_smt::{
-    instantiate_forall, violates_forall, BBit, BlastContext, BvVar, Declarations, Formula,
-    QueryStats, SharedBlastCache,
+    instantiate_forall, BBit, BlastContext, BvVar, Declarations, Formula, QueryStats,
+    RefinementOracle, SharedBlastCache,
 };
 
 use crate::confrel::ConfRel;
@@ -45,8 +60,17 @@ pub struct GuardSession {
     ctx: BlastContext,
     /// Premises synced so far (a prefix of the store's same-guard slice).
     premise_count: usize,
-    /// The persistent `∀`-premises for CEGAR refinement.
-    foralls: Vec<(Vec<BvVar>, Formula)>,
+    /// The variable-indexed validator over the persistent `∀`-premises.
+    oracle: RefinementOracle,
+    /// Every permanently asserted formula, in assertion order: premise
+    /// seed instantiations and CEGAR refinements. A GC rebuild replays
+    /// this list into a fresh context, so refinement work survives.
+    permanent: Vec<Formula>,
+    /// Root clauses contributed by permanent asserts in the current
+    /// context (measured via [`BlastContext::clauses_added`] deltas).
+    live_clauses: u64,
+    /// Rebuild when retired clauses exceed `ratio × live`; `None` = never.
+    gc_ratio: Option<f64>,
     /// Set when the permanent constraints became unsatisfiable at the
     /// root: the premises entail everything.
     poisoned: bool,
@@ -56,8 +80,16 @@ pub struct GuardSession {
 }
 
 impl GuardSession {
-    /// A fresh session for a guard.
+    /// A fresh session for a guard, with clause-budget GC disabled.
     pub fn new(guard: TemplatePair) -> GuardSession {
+        GuardSession::with_gc(guard, None)
+    }
+
+    /// A fresh session for a guard. `gc_ratio` bounds context growth:
+    /// when the clauses retired by finished queries exceed `ratio ×` the
+    /// live (permanent) clauses, the context is rebuilt from the persisted
+    /// permanent list. `None` disables the GC.
+    pub fn with_gc(guard: TemplatePair, gc_ratio: Option<f64>) -> GuardSession {
         GuardSession {
             decls: Declarations::new(),
             env: LowerEnv {
@@ -69,7 +101,10 @@ impl GuardSession {
             },
             ctx: BlastContext::new(),
             premise_count: 0,
-            foralls: Vec::new(),
+            oracle: RefinementOracle::new(),
+            permanent: Vec::new(),
+            live_clauses: 0,
+            gc_ratio,
             poisoned: false,
             checks: 0,
             stats: QueryStats::default(),
@@ -79,6 +114,36 @@ impl GuardSession {
     /// Query statistics for this session (one entry per [`Self::check`]).
     pub fn stats(&self) -> &QueryStats {
         &self.stats
+    }
+
+    /// Clauses retired by finished queries in the current context:
+    /// everything added at the root that is not a permanent assert
+    /// (activation-gated conclusion CNF plus the retire clauses).
+    fn retired_clauses(&self) -> u64 {
+        self.ctx.clauses_added().saturating_sub(self.live_clauses)
+    }
+
+    /// Rebuilds the context from the permanent-formula list when the
+    /// retired-clause budget is exhausted. CEGAR instantiations are part
+    /// of the list, so no refinement work is re-discovered.
+    fn maybe_gc(&mut self, cache: &SharedBlastCache) {
+        let Some(ratio) = self.gc_ratio else { return };
+        if self.poisoned {
+            return;
+        }
+        if (self.retired_clauses() as f64) <= ratio * self.live_clauses.max(1) as f64 {
+            return;
+        }
+        self.ctx = BlastContext::new();
+        self.live_clauses = 0;
+        self.stats.session_rebuilds += 1;
+        let permanent = std::mem::take(&mut self.permanent);
+        for f in &permanent {
+            if !self.replay_assert(f, cache) {
+                self.poisoned = true;
+            }
+        }
+        self.permanent = permanent;
     }
 
     /// Decides `⋀ premises ⊨ conclusion`. `premises` must be the current
@@ -94,6 +159,7 @@ impl GuardSession {
     ) -> bool {
         let start = Instant::now();
         self.stats.queries += 1;
+        self.maybe_gc(cache);
         // Hard assert: the permanent context cannot un-assert clauses, so
         // a shrinking slice would leave stale premises asserted and make
         // later "entailed" verdicts unsound. The relation store's
@@ -126,11 +192,11 @@ impl GuardSession {
                 .map(|x| BitVec::zeros(self.decls.width(*x)))
                 .collect();
             let inst = instantiate_forall(&body, &quantified, &seed);
-            if !self.assert_permanent(&inst, cache) {
+            if !self.assert_permanent(inst, cache) {
                 self.poisoned = true;
             }
             if !quantified.is_empty() {
-                self.foralls.push((quantified, body));
+                self.oracle.add_block(quantified, body);
             }
         }
         self.premise_count = premises.len();
@@ -173,54 +239,58 @@ impl GuardSession {
         }
 
         // CEGAR under the activation assumption: candidate models must
-        // survive every true ∀-premise; genuine violations refine the
-        // permanent instantiation set.
+        // survive every true ∀-premise. The oracle skips blocks whose
+        // support is unchanged since their last clean validation and
+        // batches all of a round's violations into one permanent assert.
         let verdict = loop {
             match self.ctx.solve_with(&self.decls, &[act]) {
                 None => break true,
                 Some(model) => {
                     self.stats.cegar_rounds += 1;
-                    let mut refined = false;
-                    let mut conflict = false;
-                    for (xs, body) in &self.foralls {
-                        if let Some(witness) = violates_forall(&self.decls, &model, xs, body) {
-                            let inst = instantiate_forall(body, xs, &witness);
-                            let (ok, hit) =
-                                self.ctx.assert_formula_cached(&self.decls, &inst, cache);
-                            if hit {
-                                self.stats.blast_cache_hits += 1;
-                            } else {
-                                self.stats.blast_cache_misses += 1;
+                    self.stats.blocks_considered += self.oracle.len() as u64;
+                    let round = self.oracle.validate(&self.decls, &model);
+                    self.stats.blocks_validated += round.validated;
+                    match round.refinement {
+                        None => break false,
+                        Some(batch) => {
+                            if !self.assert_permanent(batch, cache) {
+                                self.poisoned = true;
+                                break true;
                             }
-                            if !ok {
-                                conflict = true;
-                            }
-                            refined = true;
                         }
-                    }
-                    if conflict {
-                        self.poisoned = true;
-                        break true;
-                    }
-                    if !refined {
-                        break false;
                     }
                 }
             }
         };
         // Retire the activation literal: this query's clauses go vacuous.
         self.ctx.add_clause_raw(&[!act]);
+        self.stats.live_clauses_peak = self
+            .stats
+            .live_clauses_peak
+            .max(self.ctx.num_clauses() as u64);
         self.stats.durations.push(start.elapsed());
         verdict
     }
 
-    fn assert_permanent(&mut self, f: &Formula, cache: &SharedBlastCache) -> bool {
+    /// Asserts `f` permanently: it joins the persisted list replayed by GC
+    /// rebuilds, and its clauses count as live.
+    fn assert_permanent(&mut self, f: Formula, cache: &SharedBlastCache) -> bool {
+        let ok = self.replay_assert(&f, cache);
+        self.permanent.push(f);
+        ok
+    }
+
+    /// Asserts a formula into the current context, attributing its clauses
+    /// to the live (permanent) budget.
+    fn replay_assert(&mut self, f: &Formula, cache: &SharedBlastCache) -> bool {
+        let before = self.ctx.clauses_added();
         let (ok, hit) = self.ctx.assert_formula_cached(&self.decls, f, cache);
         if hit {
             self.stats.blast_cache_hits += 1;
         } else {
             self.stats.blast_cache_misses += 1;
         }
+        self.live_clauses += self.ctx.clauses_added() - before;
         ok
     }
 }
@@ -230,12 +300,22 @@ impl GuardSession {
 #[derive(Default)]
 pub struct SessionPool {
     sessions: HashMap<TemplatePair, GuardSession>,
+    gc_ratio: Option<f64>,
 }
 
 impl SessionPool {
-    /// An empty pool.
+    /// An empty pool with clause-budget GC disabled.
     pub fn new() -> SessionPool {
         SessionPool::default()
+    }
+
+    /// An empty pool whose sessions rebuild their contexts when retired
+    /// clauses exceed `ratio ×` the live clauses (`None` disables GC).
+    pub fn with_gc(gc_ratio: Option<f64>) -> SessionPool {
+        SessionPool {
+            sessions: HashMap::new(),
+            gc_ratio,
+        }
     }
 
     /// Decides `⋀ premises ⊨ conclusion` through the guard's session,
@@ -247,9 +327,10 @@ impl SessionPool {
         conclusion: &ConfRel,
         cache: &SharedBlastCache,
     ) -> bool {
+        let gc_ratio = self.gc_ratio;
         self.sessions
             .entry(conclusion.guard)
-            .or_insert_with(|| GuardSession::new(conclusion.guard))
+            .or_insert_with(|| GuardSession::with_gc(conclusion.guard, gc_ratio))
             .check(aut, premises, conclusion, cache)
     }
 
@@ -371,6 +452,57 @@ mod tests {
             }
         }
         assert!(session.stats().queries > 0);
+    }
+
+    #[test]
+    fn gc_forced_session_agrees_and_rebuilds() {
+        // An aggressive GC ratio forces context rebuilds between queries;
+        // every verdict must still match the stateless pipeline, and the
+        // rebuild counter must record the churn.
+        let a = aut();
+        let g = guard(3, 3);
+        let h = a.header_by_name("h").unwrap();
+        let gh = a.header_by_name("g").unwrap();
+        let premises = [
+            ConfRel {
+                guard: g,
+                vars: vec![2],
+                phi: Pure::eq(
+                    BitExpr::concat(BitExpr::Buf(Side::Left), BitExpr::Var(VarId(0))),
+                    BitExpr::concat(BitExpr::Buf(Side::Right), BitExpr::Var(VarId(0))),
+                ),
+            },
+            ConfRel {
+                guard: g,
+                vars: vec![],
+                phi: Pure::eq(BitExpr::Hdr(Side::Left, h), BitExpr::Hdr(Side::Right, gh)),
+            },
+        ];
+        let conclusions = vec![
+            buf_eq_rel(g),
+            ConfRel {
+                guard: g,
+                vars: vec![],
+                phi: Pure::eq(BitExpr::Hdr(Side::Left, h), BitExpr::Hdr(Side::Right, h)),
+            },
+            ConfRel::forbidden(g),
+        ];
+        let cache = SharedBlastCache::new();
+        let mut session = GuardSession::with_gc(g, Some(0.001));
+        for upto in 0..=premises.len() {
+            let slice: Vec<&ConfRel> = premises[..upto].iter().collect();
+            for concl in &conclusions {
+                let expected = entails_stateless(&a, &premises[..upto], concl);
+                let got = session.check(&a, &slice, concl, &cache);
+                assert_eq!(got, expected, "prefix {upto}: {}", concl.display(&a));
+            }
+        }
+        assert!(
+            session.stats().session_rebuilds > 0,
+            "a near-zero GC ratio must force rebuilds: {:?}",
+            session.stats()
+        );
+        assert!(session.stats().live_clauses_peak > 0);
     }
 
     #[test]

@@ -167,6 +167,7 @@ pub struct Solver {
     unsat_at_root: bool,
     n_learnt: usize,
     max_learnt: f64,
+    root_clauses_added: u64,
     stats: SolverStats,
     /// Seen marks reused by conflict analysis.
     seen: Vec<bool>,
@@ -199,6 +200,7 @@ impl Solver {
             unsat_at_root: false,
             n_learnt: 0,
             max_learnt: 2000.0,
+            root_clauses_added: 0,
             stats: SolverStats::default(),
             seen: Vec::new(),
         }
@@ -225,9 +227,17 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// The number of live clauses (original + learnt).
+    /// The number of live clauses (original + learnt). O(1): deleted
+    /// clauses stay in the arena, so live = allocated − deleted.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.deleted).count()
+        self.clauses.len() - self.stats.deleted_clauses as usize
+    }
+
+    /// The number of root-level [`Solver::add_clause`] calls so far — a
+    /// monotone O(1) growth meter (unlike [`Solver::num_clauses`], which
+    /// scans); incremental sessions budget their contexts against it.
+    pub fn clauses_added(&self) -> u64 {
+        self.root_clauses_added
     }
 
     /// Solver statistics across all calls so far.
@@ -243,6 +253,7 @@ impl Solver {
         if self.unsat_at_root {
             return false;
         }
+        self.root_clauses_added += 1;
         // Simplify: remove duplicates and false literals; detect tautology.
         let mut cl: Vec<Lit> = Vec::with_capacity(lits.len());
         for &l in lits {

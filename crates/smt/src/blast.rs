@@ -429,6 +429,18 @@ impl BlastContext {
     pub fn num_sat_vars(&self) -> usize {
         self.engine.sink.num_vars()
     }
+
+    /// Number of live clauses in the underlying solver (original + learnt,
+    /// minus deleted), in O(1).
+    pub fn num_clauses(&self) -> usize {
+        self.engine.sink.num_clauses()
+    }
+
+    /// Monotone count of root-level clause insertions, in O(1) — the
+    /// growth meter incremental sessions budget their rebuilds against.
+    pub fn clauses_added(&self) -> u64 {
+        self.engine.sink.clauses_added()
+    }
 }
 
 /// The CNF of one quantifier-free formula over a canonical variable
@@ -618,6 +630,13 @@ impl SharedBlastCache {
         CacheStats {
             entries: self.inner.lock().unwrap().map.len(),
         }
+    }
+
+    /// Whether `LEAPFROG_NO_BLAST_CACHE=1` disabled this cache at
+    /// construction — hit-rate assertions are vacuous then (the ablation
+    /// CI job runs the whole suite with the cache off).
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
     }
 }
 
@@ -818,8 +837,10 @@ mod tests {
             let (ok1, hit1) = ctx.assert_formula_cached(&d, &f1, &cache);
             let (ok2, hit2) = ctx.assert_formula_cached(&d, &f2, &cache);
             assert!(ok1 && ok2);
-            assert_eq!(hit1, round > 0, "first round misses, later rounds hit");
-            assert_eq!(hit2, round > 0);
+            if !cache.is_disabled() {
+                assert_eq!(hit1, round > 0, "first round misses, later rounds hit");
+                assert_eq!(hit2, round > 0);
+            }
             for hit in [hit1, hit2] {
                 if hit {
                     hits += 1;
@@ -831,9 +852,11 @@ mod tests {
             assert_eq!(m.get(x), m.get(y));
             assert_ne!(m.get(x), Some(&bv("010")));
         }
-        assert_eq!(misses, 2);
-        assert_eq!(hits, 4);
-        assert_eq!(cache.stats().entries, 2);
+        if !cache.is_disabled() {
+            assert_eq!(misses, 2);
+            assert_eq!(hits, 4);
+            assert_eq!(cache.stats().entries, 2);
+        }
     }
 
     #[test]
@@ -867,7 +890,9 @@ mod tests {
         let (_, h2) =
             ctx.assert_formula_cached(&d, &Formula::eq(Term::var(y), Term::lit(bv("10"))), &cache);
         assert!(!h1);
-        assert!(h2, "renamed formula must reuse the template");
+        if !cache.is_disabled() {
+            assert!(h2, "renamed formula must reuse the template");
+        }
         let m = ctx.solve(&d).expect("sat");
         assert_eq!(m.get(x), Some(&bv("10")));
         assert_eq!(m.get(y), Some(&bv("10")));

@@ -46,6 +46,17 @@ pub struct QueryStats {
     pub queries: u64,
     /// Total CEGAR refinement rounds across all queries.
     pub cegar_rounds: u64,
+    /// `∀`-blocks a naive per-round sweep would have validated against a
+    /// candidate model (Σ live blocks over all rounds).
+    pub blocks_considered: u64,
+    /// `∀`-blocks actually validated by a quantifier-free solve — the
+    /// oracle skips blocks whose support valuation is unchanged since
+    /// their last successful validation, so this is ≤ `blocks_considered`.
+    pub blocks_validated: u64,
+    /// Guard-session context rebuilds triggered by the clause-budget GC.
+    pub session_rebuilds: u64,
+    /// Peak live-clause count observed in any single solver context.
+    pub live_clauses_peak: u64,
     /// Conjuncts whose CNF was replayed from the cross-query blast cache.
     pub blast_cache_hits: u64,
     /// Conjuncts that had to be blasted from scratch (template built).
@@ -76,6 +87,10 @@ impl QueryStats {
     pub fn absorb(&mut self, other: &QueryStats) {
         self.queries += other.queries;
         self.cegar_rounds += other.cegar_rounds;
+        self.blocks_considered += other.blocks_considered;
+        self.blocks_validated += other.blocks_validated;
+        self.session_rebuilds += other.session_rebuilds;
+        self.live_clauses_peak = self.live_clauses_peak.max(other.live_clauses_peak);
         self.blast_cache_hits += other.blast_cache_hits;
         self.blast_cache_misses += other.blast_cache_misses;
         self.durations.extend(other.durations.iter().copied());
@@ -153,13 +168,31 @@ impl SmtSolver {
             let path = dir.join(format!("query_{:05}.smt2", self.stats.queries));
             let _ = std::fs::write(path, smtlib::validity_query(decls, f));
         }
-        let (result, rounds, cache) = check_valid_counting(decls, f, Some(&self.cache));
+        let (result, meters) = check_valid_counting(decls, f, Some(&self.cache));
         self.stats.queries += 1;
-        self.stats.cegar_rounds += rounds;
-        self.stats.blast_cache_hits += cache.0;
-        self.stats.blast_cache_misses += cache.1;
+        meters.fold_into(&mut self.stats);
         self.stats.durations.push(start.elapsed());
         result
+    }
+}
+
+/// Per-query CEGAR counters threaded out of the solving core.
+#[derive(Debug, Clone, Copy, Default)]
+struct SolveMeters {
+    rounds: u64,
+    blocks_considered: u64,
+    blocks_validated: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl SolveMeters {
+    fn fold_into(self, stats: &mut QueryStats) {
+        stats.cegar_rounds += self.rounds;
+        stats.blocks_considered += self.blocks_considered;
+        stats.blocks_validated += self.blocks_validated;
+        stats.blast_cache_hits += self.cache_hits;
+        stats.blast_cache_misses += self.cache_misses;
     }
 }
 
@@ -174,13 +207,13 @@ fn check_valid_counting(
     decls: &Declarations,
     f: &Formula,
     cache: Option<&SharedBlastCache>,
-) -> (CheckResult, u64, (u64, u64)) {
-    let (outcome, rounds, hits) = check_sat_counting(decls, &Formula::not(f.clone()), cache);
+) -> (CheckResult, SolveMeters) {
+    let (outcome, meters) = check_sat_counting(decls, &Formula::not(f.clone()), cache);
     let result = match outcome {
         SatOutcome::Unsat => CheckResult::Valid,
         SatOutcome::Sat(m) => CheckResult::Invalid(m),
     };
-    (result, rounds, hits)
+    (result, meters)
 }
 
 /// Checks satisfiability of `f` (free variables existential). Supports the
@@ -194,7 +227,7 @@ fn check_sat_counting(
     decls: &Declarations,
     f: &Formula,
     cache: Option<&SharedBlastCache>,
-) -> (SatOutcome, u64, (u64, u64)) {
+) -> (SatOutcome, SolveMeters) {
     let mut decls = decls.clone();
     let nf = nnf(&mut decls, f, true);
 
@@ -205,75 +238,199 @@ fn check_sat_counting(
     split_conjuncts(&nf, &mut qf, &mut foralls);
 
     let mut ctx = BlastContext::new();
-    let mut cache_hits = 0u64;
-    let mut cache_misses = 0u64;
-    let assert = |ctx: &mut BlastContext,
-                  decls: &Declarations,
-                  f: &Formula,
-                  hits: &mut u64,
-                  misses: &mut u64|
-     -> bool {
-        match cache {
-            Some(c) => {
-                let (ok, hit) = ctx.assert_formula_cached(decls, f, c);
-                if hit {
-                    *hits += 1;
-                } else {
-                    *misses += 1;
+    let mut meters = SolveMeters::default();
+    let assert =
+        |ctx: &mut BlastContext, decls: &Declarations, f: &Formula, m: &mut SolveMeters| -> bool {
+            match cache {
+                Some(c) => {
+                    let (ok, hit) = ctx.assert_formula_cached(decls, f, c);
+                    if hit {
+                        m.cache_hits += 1;
+                    } else {
+                        m.cache_misses += 1;
+                    }
+                    ok
                 }
-                ok
+                None => ctx.assert_formula(decls, f),
             }
-            None => ctx.assert_formula(decls, f),
-        }
-    };
+        };
     let mut ok = true;
     for q in &qf {
-        ok &= assert(&mut ctx, &decls, q, &mut cache_hits, &mut cache_misses);
+        ok &= assert(&mut ctx, &decls, q, &mut meters);
     }
-    // Seed each forall with the all-zeros instantiation.
-    for (xs, body) in &foralls {
+    // Seed each forall with the all-zeros instantiation and hand the block
+    // to the refinement oracle.
+    let mut oracle = RefinementOracle::new();
+    for (xs, body) in foralls {
         let seed: Vec<BitVec> = xs.iter().map(|x| BitVec::zeros(decls.width(*x))).collect();
         ok &= assert(
             &mut ctx,
             &decls,
-            &instantiate_forall(body, xs, &seed),
-            &mut cache_hits,
-            &mut cache_misses,
+            &instantiate_forall(&body, &xs, &seed),
+            &mut meters,
         );
+        oracle.add_block(xs, body);
     }
     if !ok {
-        return (SatOutcome::Unsat, 0, (cache_hits, cache_misses));
+        return (SatOutcome::Unsat, meters);
     }
 
-    let mut rounds = 0u64;
     loop {
         match ctx.solve(&decls) {
-            None => return (SatOutcome::Unsat, rounds, (cache_hits, cache_misses)),
+            None => return (SatOutcome::Unsat, meters),
             Some(model) => {
-                let mut refined = false;
-                for (xs, body) in &foralls {
-                    // Does the candidate satisfy ∀xs. body? Check the
-                    // negation with non-quantified variables fixed.
-                    if let Some(witness) = violates_forall(&decls, &model, xs, body) {
-                        let inst = instantiate_forall(body, xs, &witness);
-                        if !assert(&mut ctx, &decls, &inst, &mut cache_hits, &mut cache_misses) {
-                            return (SatOutcome::Unsat, rounds, (cache_hits, cache_misses));
+                meters.rounds += 1;
+                meters.blocks_considered += oracle.len() as u64;
+                let round = oracle.validate(&decls, &model);
+                meters.blocks_validated += round.validated;
+                match round.refinement {
+                    None => return (SatOutcome::Sat(model), meters),
+                    Some(batch) => {
+                        if !assert(&mut ctx, &decls, &batch, &mut meters) {
+                            return (SatOutcome::Unsat, meters);
                         }
-                        refined = true;
                     }
-                }
-                rounds += 1;
-                if !refined {
-                    return (SatOutcome::Sat(model), rounds, (cache_hits, cache_misses));
                 }
             }
         }
     }
 }
 
+/// One `∀x⃗.ψ` block registered with a [`RefinementOracle`], together with
+/// its *support*: the free variables the body constrains beyond the bound
+/// ones. A candidate model can only change the block's verdict by changing
+/// the values of its support.
+struct OracleBlock {
+    xs: Vec<BvVar>,
+    body: Formula,
+    /// The support variables, in ascending order.
+    support: Vec<BvVar>,
+    /// The support valuation under which this block was last *fully*
+    /// validated (`violates_forall` returned no witness). Validation of a
+    /// pure function of the support valuation never needs repeating, so a
+    /// model matching it is skipped outright.
+    last_validated: Option<Vec<BitVec>>,
+}
+
+/// What one [`RefinementOracle::validate`] round observed.
+#[derive(Debug, Clone, Default)]
+pub struct OracleRound {
+    /// The batched conjunction of every violated block's refuting
+    /// instantiation, `None` when the model survives all blocks. Callers
+    /// assert it in *one* round-trip instead of once per violated block.
+    pub refinement: Option<Formula>,
+    /// Blocks validated by an actual quantifier-free solve this round.
+    pub validated: u64,
+    /// Blocks skipped because their support valuation was unchanged since
+    /// their last successful validation.
+    pub skipped: u64,
+}
+
+/// The variable-indexed CEGAR model validator.
+///
+/// Per-round model validation (`violates_forall`, one quantifier-free SAT
+/// query per `∀`-block per candidate model) dominates solver time on large
+/// entailments. The oracle cuts that cost two ways:
+///
+/// * **Variable indexing** — each block records its support (the free
+///   variables its body constrains). Validation is a pure function of the
+///   support valuation, so a block whose support is unchanged since its
+///   last successful validation is skipped without a solve. Incremental
+///   guard sessions keep one oracle alive across queries, so a premise
+///   validated once under a recurring store/buffer valuation is never
+///   re-validated.
+/// * **Batched refinement** — all violated blocks of a round contribute
+///   their instantiation to a single conjunction asserted in one
+///   round-trip, instead of one assert per block.
+///
+/// Verdicts are exact: a model is reported clean only after every block
+/// either solved clean or matched a previously-clean support valuation.
+#[derive(Default)]
+pub struct RefinementOracle {
+    blocks: Vec<OracleBlock>,
+}
+
+impl RefinementOracle {
+    /// An oracle with no blocks.
+    pub fn new() -> RefinementOracle {
+        RefinementOracle::default()
+    }
+
+    /// Registers a `∀xs. body` block. The caller is responsible for
+    /// asserting a seed instantiation into its own context.
+    pub fn add_block(&mut self, xs: Vec<BvVar>, body: Formula) {
+        let support: Vec<BvVar> = body
+            .free_vars()
+            .into_iter()
+            .filter(|v| !xs.contains(v))
+            .collect();
+        self.blocks.push(OracleBlock {
+            xs,
+            body,
+            support,
+            last_validated: None,
+        });
+    }
+
+    /// Number of registered blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no blocks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Validates a candidate model against every block, skipping blocks
+    /// whose support valuation matches their last successful validation,
+    /// and batching all violated blocks' instantiations into one formula.
+    pub fn validate(&mut self, decls: &Declarations, model: &Model) -> OracleRound {
+        let mut round = OracleRound::default();
+        let mut insts = Vec::new();
+        for block in &mut self.blocks {
+            let valuation: Vec<BitVec> = block
+                .support
+                .iter()
+                .map(|v| {
+                    model
+                        .get(*v)
+                        .cloned()
+                        .unwrap_or_else(|| BitVec::zeros(decls.width(*v)))
+                })
+                .collect();
+            if block.last_validated.as_ref() == Some(&valuation) {
+                round.skipped += 1;
+                continue;
+            }
+            round.validated += 1;
+            let map: HashMap<BvVar, Term> = block
+                .support
+                .iter()
+                .zip(&valuation)
+                .map(|(v, val)| (*v, Term::lit(val.clone())))
+                .collect();
+            match refute_closed(decls, &block.xs, &block.body, &map) {
+                Some(witness) => {
+                    insts.push(instantiate_forall(&block.body, &block.xs, &witness));
+                    block.last_validated = None;
+                }
+                None => block.last_validated = Some(valuation),
+            }
+        }
+        round.refinement = if insts.is_empty() {
+            None
+        } else {
+            Some(Formula::and_all(insts))
+        };
+        round
+    }
+}
+
 /// If `model` violates `∀xs. body`, returns witness values for `xs`.
-/// Public so incremental entailment sessions (which keep their own
-/// persistent [`BlastContext`]) can run the same CEGAR refinement.
+/// The stateless building block of [`RefinementOracle::validate`] (which
+/// adds support indexing and caching on top of the same core), kept
+/// public for one-off checks.
 pub fn violates_forall(
     decls: &Declarations,
     model: &Model,
@@ -292,7 +449,19 @@ pub fn violates_forall(
             map.insert(v, Term::lit(value));
         }
     }
-    let closed = Formula::not(body.subst(&map));
+    refute_closed(decls, xs, body, &map)
+}
+
+/// Closes `body`'s support variables with `map` and searches for values
+/// of `xs` falsifying the closed body — the shared core of
+/// [`violates_forall`] and [`RefinementOracle::validate`].
+fn refute_closed(
+    decls: &Declarations,
+    xs: &[BvVar],
+    body: &Formula,
+    map: &HashMap<BvVar, Term>,
+) -> Option<Vec<BitVec>> {
+    let closed = Formula::not(body.subst(map));
     let m = sat_qf(decls, &closed)?;
     Some(
         xs.iter()
@@ -604,6 +773,82 @@ mod tests {
     }
 
     #[test]
+    fn oracle_skips_blocks_with_unchanged_support() {
+        // ∀x. a ++ x = a ++ x constrains only `a`; once validated under a
+        // valuation of `a`, the same valuation must be skipped, and a new
+        // valuation must be re-validated.
+        let mut d = Declarations::new();
+        let a = d.declare("a", 2);
+        let x = d.declare("x", 2);
+        let body = Formula::Eq(
+            Term::concat(Term::var(a), Term::var(x)),
+            Term::concat(Term::var(a), Term::var(x)),
+        );
+        let mut oracle = RefinementOracle::new();
+        oracle.add_block(vec![x], body);
+        assert_eq!(oracle.len(), 1);
+        let mut m = Model::new();
+        m.set(a, bv("01"));
+        let r1 = oracle.validate(&d, &m);
+        assert!(r1.refinement.is_none());
+        assert_eq!((r1.validated, r1.skipped), (1, 0));
+        let r2 = oracle.validate(&d, &m);
+        assert!(r2.refinement.is_none());
+        assert_eq!((r2.validated, r2.skipped), (0, 1), "unchanged support");
+        m.set(a, bv("10"));
+        let r3 = oracle.validate(&d, &m);
+        assert_eq!((r3.validated, r3.skipped), (1, 0), "changed support");
+    }
+
+    #[test]
+    fn oracle_batches_violations_and_revalidates_violated_blocks() {
+        // Two violated blocks in one round must yield a single batched
+        // refinement; a violated block is re-validated even when its
+        // support is unchanged (one witness does not exhaust violations).
+        let mut d = Declarations::new();
+        let a = d.declare("a", 2);
+        let b = d.declare("b", 2);
+        let x = d.declare("x", 2);
+        let y = d.declare("y", 2);
+        let mut oracle = RefinementOracle::new();
+        // ∀x. x = a  and  ∀y. y = b: violated for every valuation.
+        oracle.add_block(vec![x], Formula::Eq(Term::var(x), Term::var(a)));
+        oracle.add_block(vec![y], Formula::Eq(Term::var(y), Term::var(b)));
+        let mut m = Model::new();
+        m.set(a, bv("00"));
+        m.set(b, bv("11"));
+        let r1 = oracle.validate(&d, &m);
+        let batch = r1.refinement.expect("both blocks are violated");
+        assert_eq!(r1.validated, 2);
+        assert!(matches!(batch, Formula::And(_, _)), "{batch:?}");
+        // Same model again: violated blocks must not be memoized as clean.
+        let r2 = oracle.validate(&d, &m);
+        assert!(r2.refinement.is_some());
+        assert_eq!((r2.validated, r2.skipped), (2, 0));
+    }
+
+    #[test]
+    fn validation_counters_reported_through_solver_stats() {
+        // (∀x. x = x) ⇒ a = b is invalid: the CEGAR loop finds a model
+        // and must validate the (trivially true) block against it.
+        let mut d = Declarations::new();
+        let a = d.declare("a", 3);
+        let b = d.declare("b", 3);
+        let x = d.declare("x", 2);
+        let premise = Formula::forall(vec![x], Formula::Eq(Term::var(x), Term::var(x)));
+        let f = Formula::implies(premise, Formula::Eq(Term::var(a), Term::var(b)));
+        let mut s = SmtSolver::new();
+        assert!(matches!(s.check_valid(&d, &f), CheckResult::Invalid(_)));
+        let stats = s.stats();
+        assert!(stats.cegar_rounds > 0, "{stats:?}");
+        assert!(stats.blocks_validated > 0, "{stats:?}");
+        assert!(
+            stats.blocks_validated <= stats.blocks_considered,
+            "{stats:?}"
+        );
+    }
+
+    #[test]
     fn solver_stats_accumulate() {
         let mut d = Declarations::new();
         let x = d.declare("x", 4);
@@ -640,6 +885,9 @@ mod tests {
         for _ in 0..4 {
             assert!(matches!(s.check_valid(&d, &f), CheckResult::Valid));
         }
+        if s.shared_cache().is_disabled() {
+            return; // LEAPFROG_NO_BLAST_CACHE=1 ablation run: no hits.
+        }
         let stats = s.stats().clone();
         assert!(stats.blast_cache_hits > 0, "{stats:?}");
         assert!(stats.blast_cache_misses > 0, "{stats:?}");
@@ -655,6 +903,9 @@ mod tests {
         assert!(matches!(s1.check_valid(&d, &f), CheckResult::Invalid(_)));
         let mut s2 = SmtSolver::with_shared_cache(s1.shared_cache());
         assert!(matches!(s2.check_valid(&d, &f), CheckResult::Invalid(_)));
+        if s2.shared_cache().is_disabled() {
+            return; // LEAPFROG_NO_BLAST_CACHE=1 ablation run: no hits.
+        }
         assert_eq!(s2.stats().blast_cache_misses, 0, "{:?}", s2.stats());
         assert!(s2.stats().blast_cache_hits > 0);
     }

@@ -19,11 +19,16 @@
 //! * [`corpus`] — the witness regression corpus: confirmed minimized
 //!   counterexample packets recorded per benchmark and re-exercised by
 //!   the differential harness on every run.
+//! * [`mutants`] — the mutated-parser negative suite: fault-injected
+//!   variants of the speculative-loop pair (via
+//!   `Automaton::redirect_case`) that must be refuted with confirmed
+//!   witnesses, feeding the corpus.
 
 pub mod applicability;
 pub mod corpus;
 pub mod differential;
 pub mod metrics;
+pub mod mutants;
 pub mod utility;
 pub mod workload;
 

@@ -1,0 +1,139 @@
+//! The mutated-parser negative suite: fault-injected variants of the
+//! speculative-loop benchmark, generated with [`Automaton::redirect_case`].
+//!
+//! Each mutant redirects exactly one select case of the reference or
+//! vectorized MPLS parser, breaking equivalence in a structurally distinct
+//! way (a dropped loop case, a skipped repair, a severed accept path).
+//! They are *expected-inequivalent* pairs: the checker must refute each
+//! one with a confirmed witness, the witnesses land in the regression
+//! corpus (`WITNESS_CORPUS.txt`, via the `table2` binary), and the
+//! recorded packets are replayed by the differential harness on every
+//! subsequent run — a mutant that silently re-equalizes is a regression.
+
+use leapfrog_p4a::ast::{Automaton, Target};
+
+use crate::utility::mpls;
+use crate::Benchmark;
+
+/// Applies `mutate` to the vectorized parser and pairs the result against
+/// the pristine reference.
+fn vectorized_mutant(name: &'static str, mutate: impl FnOnce(&mut Automaton)) -> Benchmark {
+    let mut v = mpls::vectorized();
+    mutate(&mut v);
+    Benchmark::new(name, mpls::reference(), "q1", v, "q3", false)
+}
+
+/// Applies `mutate` to the reference parser and pairs the result against
+/// the pristine vectorized parser.
+fn reference_mutant(name: &'static str, mutate: impl FnOnce(&mut Automaton)) -> Benchmark {
+    let mut r = mpls::reference();
+    mutate(&mut r);
+    Benchmark::new(name, r, "q1", mpls::vectorized(), "q3", false)
+}
+
+/// The negative suite: ≥4 single-case mutants of the speculative-loop
+/// pair, every one expected `NotEquivalent` with a confirmed witness.
+pub fn mutant_benchmarks() -> Vec<Benchmark> {
+    vec![
+        // q3's (open, open) loop case rejects: multi-label stacks die.
+        vectorized_mutant("MPLS mutant: open-open loop rejects", |v| {
+            let q3 = v.state_by_name("q3").unwrap();
+            v.redirect_case(q3, 0, Target::Reject);
+        }),
+        // q3's (open, closed) exit case rejects: two-label stacks die.
+        vectorized_mutant("MPLS mutant: open-closed exit rejects", |v| {
+            let q3 = v.state_by_name("q3").unwrap();
+            v.redirect_case(q3, 1, Target::Reject);
+        }),
+        // q3's (closed, _) case skips the q5 repair and reads a fresh UDP
+        // header instead: the speculatively-read label is lost.
+        vectorized_mutant("MPLS mutant: repair skipped", |v| {
+            let q3 = v.state_by_name("q3").unwrap();
+            let q4 = v.state_by_name("q4").unwrap();
+            v.redirect_case(q3, 2, Target::State(q4));
+        }),
+        // q1's open-label case leaves the loop early: every label is
+        // treated as bottom-of-stack.
+        reference_mutant("MPLS mutant: loop exits early", |r| {
+            let q1 = r.state_by_name("q1").unwrap();
+            let q2 = r.state_by_name("q2").unwrap();
+            r.redirect_case(q1, 0, Target::State(q2));
+        }),
+        // q1's bottom-of-stack case loops forever: accept is unreachable.
+        reference_mutant("MPLS mutant: accept unreachable", |r| {
+            let q1 = r.state_by_name("q1").unwrap();
+            r.redirect_case(q1, 1, Target::State(q1));
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::WitnessCorpus;
+    use crate::differential::check_cross_validate_and_record;
+    use leapfrog::{Options, Outcome};
+
+    #[test]
+    fn every_mutant_is_refuted_recorded_and_replayed() {
+        let mutants = mutant_benchmarks();
+        assert!(mutants.len() >= 4, "the suite promises at least 4 mutants");
+        let mut corpus = WitnessCorpus::new();
+        for m in &mutants {
+            // First run: refute with a confirmed witness and record it.
+            let outcome = check_cross_validate_and_record(
+                &m.left,
+                m.left_start,
+                &m.right,
+                m.right_start,
+                Options::default(),
+                m.name,
+                &mut corpus,
+            )
+            .unwrap_or_else(|e| panic!("{}: cross-validation failed: {e}", m.name));
+            assert!(
+                matches!(outcome, Outcome::NotEquivalent(_)),
+                "{}: expected NotEquivalent",
+                m.name
+            );
+            assert!(
+                !corpus.entries(m.name).is_empty(),
+                "{}: confirmed witness must land in the corpus",
+                m.name
+            );
+            // Second run: the recorded packet replays as a regression
+            // input and must still distinguish the pair.
+            let report = corpus.exercise(m.name, &m.left, m.left_start, &m.right, m.right_start);
+            assert!(
+                report.distinguishing > 0,
+                "{}: recorded packet must replay to a disagreement: {report:?}",
+                m.name
+            );
+        }
+        assert!(corpus.len() >= mutants.len());
+    }
+
+    #[test]
+    fn mutants_differ_from_the_pristine_pair() {
+        // Sanity: each mutant really changed transition structure.
+        let pristine_ref = mpls::reference();
+        let pristine_vec = mpls::vectorized();
+        for m in mutant_benchmarks() {
+            let left_same = format!("{:?}", m.left.state(m.left_start))
+                == format!(
+                    "{:?}",
+                    pristine_ref.state(pristine_ref.state_by_name("q1").unwrap())
+                );
+            let right_same = format!("{:?}", m.right.state(m.right_start))
+                == format!(
+                    "{:?}",
+                    pristine_vec.state(pristine_vec.state_by_name("q3").unwrap())
+                );
+            assert!(
+                !(left_same && right_same),
+                "{}: mutation must alter a start-state transition or a successor",
+                m.name
+            );
+        }
+    }
+}

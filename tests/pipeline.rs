@@ -121,6 +121,110 @@ fn witnesses_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn certificates_and_witnesses_identical_across_session_gc_settings() {
+    // The guard sessions' clause-budget GC must be invisible in results:
+    // certificates byte-identical with GC off, at the default ratio, and
+    // at a pathological ratio that forces constant rebuilds — at several
+    // thread counts.
+    let gc_settings: [Option<f64>; 3] = [None, Some(4.0), Some(0.001)];
+    let mut forced_rebuilds = 0u64;
+    for (name, left, ql, right, qr) in equivalent_pairs() {
+        let mut jsons = Vec::new();
+        for gc in gc_settings {
+            for threads in [1, 2] {
+                let opts = Options {
+                    threads,
+                    session_gc_ratio: gc,
+                    ..Options::default()
+                };
+                let mut checker = Checker::new(&left, ql, &right, qr, opts);
+                match checker.run() {
+                    Outcome::Equivalent(cert) => jsons.push(cert.to_json()),
+                    other => panic!("{name}: expected Equivalent at gc={gc:?}, got {other:?}"),
+                }
+                let stats = checker.stats();
+                if gc.is_none() {
+                    assert_eq!(
+                        stats.session_rebuilds(),
+                        0,
+                        "{name}: GC off must not rebuild"
+                    );
+                }
+                if gc == Some(0.001) {
+                    forced_rebuilds += stats.session_rebuilds();
+                }
+                assert!(
+                    stats.queries.blocks_validated <= stats.queries.blocks_considered,
+                    "{name}: the oracle can only skip validations: {stats:?}"
+                );
+            }
+        }
+        assert!(
+            jsons.windows(2).all(|w| w[0] == w[1]),
+            "{name}: certificate JSON differs across session-GC settings"
+        );
+    }
+    assert!(
+        forced_rebuilds > 0,
+        "a near-zero GC ratio must force context rebuilds somewhere"
+    );
+
+    // Witnesses too: the sanity pair must render identically under every
+    // GC setting.
+    let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
+    let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
+    let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
+    let mut rendered = Vec::new();
+    for gc in gc_settings {
+        let opts = Options {
+            session_gc_ratio: gc,
+            ..Options::default()
+        };
+        let mut checker = Checker::new(&sloppy, ql, &strict, qr, opts);
+        match checker.run() {
+            Outcome::NotEquivalent(refutation) => {
+                let w = refutation
+                    .witness()
+                    .unwrap_or_else(|| panic!("witness must confirm at gc={gc:?}"));
+                assert!(w.check());
+                rendered.push(format!("{w}"));
+            }
+            other => panic!("expected NotEquivalent at gc={gc:?}, got {other:?}"),
+        }
+    }
+    assert!(
+        rendered.windows(2).all(|w| w[0] == w[1]),
+        "witness rendering differs across session-GC settings:\n{rendered:?}"
+    );
+}
+
+#[test]
+fn oracle_skips_validations_on_a_real_row() {
+    // The variable-indexed oracle must actually save validation solves on
+    // a row with quantified premises (blocks_validated < blocks_considered
+    // would be an equality if every candidate model were validated against
+    // every block every round). The Edge applicability self-comparison has
+    // enough recurring support valuations to exhibit skipping even at the
+    // small scale.
+    let bench = leapfrog_suite::Benchmark::self_comparison(
+        "Edge",
+        leapfrog_suite::applicability::edge(leapfrog_suite::Scale::Small),
+        "parse_eth",
+    );
+    let mut checker = Checker::new(
+        &bench.left,
+        bench.left_start,
+        &bench.right,
+        bench.right_start,
+        Options::default(),
+    );
+    assert!(checker.run().is_equivalent());
+    let q = &checker.stats().queries;
+    assert!(q.blocks_considered > 0, "{q:?}");
+    assert!(q.blocks_validated < q.blocks_considered, "{q:?}");
+}
+
+#[test]
 fn relation_store_matches_linear_scan_entailment() {
     // Take a real computed relation R; for every conjunct, the guard-index
     // fetch must yield the same entailment verdict as the historical
@@ -182,6 +286,9 @@ fn blast_cache_consistency_against_stateless_solver() {
         );
         assert_eq!(with_cache, stateless);
         assert!(with_cache);
+    }
+    if cached.shared_cache().is_disabled() {
+        return; // LEAPFROG_NO_BLAST_CACHE=1 ablation run: no hits.
     }
     let stats = cached.stats();
     assert!(
