@@ -3,13 +3,17 @@
 //! the small State Rearrangement study blows up without leaps (30 s →
 //! 42 min in Coq) and does not finish without reachability pruning.
 //!
+//! Each configuration gets its own engine built through the typed
+//! `EngineConfig` builder — the ablation knobs are per-query *semantic*
+//! settings, so sharing warm state across them would be meaningless.
+//!
 //! ```text
 //! cargo run --release -p leapfrog-bench --bin ablation
 //! ```
 
 use std::time::Instant;
 
-use leapfrog::{Checker, Options};
+use leapfrog::EngineConfig;
 use leapfrog_bench::alloc_track::{human_bytes, PeakAlloc};
 use leapfrog_suite::utility::{mpls, state_rearrangement};
 use leapfrog_suite::Benchmark;
@@ -18,23 +22,20 @@ use leapfrog_suite::Benchmark;
 static ALLOC: PeakAlloc = PeakAlloc::new();
 
 fn run(bench: &Benchmark, leaps: bool, reach_pruning: bool, budget: u64) {
-    let options = Options {
-        leaps,
-        reach_pruning,
-        max_iterations: Some(budget),
-        ..Options::default()
-    };
+    let mut engine = EngineConfig::from_env()
+        .leaps(leaps)
+        .reach_pruning(reach_pruning)
+        .max_iterations(Some(budget))
+        .build();
     ALLOC.reset();
     let start = Instant::now();
-    let mut checker = Checker::new(
+    let outcome = engine.check(
         &bench.left,
         bench.left_start,
         &bench.right,
         bench.right_start,
-        options,
     );
-    let outcome = checker.run();
-    let stats = checker.stats();
+    let stats = engine.last_run_stats();
     println!(
         "{:<22} leaps={:<5} pruning={:<5} -> {:<10} {:>10} iters={:<6} scope={:<6} queries={:<6} mem={}",
         bench.name,

@@ -5,6 +5,12 @@
 //! count, blast-cache hit rate, guard-index hit rate and speedup versus a
 //! single-threaded run of the same row.
 //!
+//! Since the persistent-engine redesign the whole table is served by ONE
+//! long-lived `leapfrog::Engine`: every row runs through it twice, and
+//! the emitted JSON carries warm-vs-cold columns (`warm_speedup`,
+//! `sessions_reused`, `sum_cache_hits`, `entailment_memo_hits`) showing
+//! cross-request reuse even on one CPU.
+//!
 //! ```text
 //! LEAPFROG_SCALE=full cargo run --release -p leapfrog-bench --bin table2
 //! ```
@@ -12,24 +18,30 @@
 //! Flags / environment:
 //! * `--smoke` — force the small scale and exit nonzero if any emitted
 //!   row is missing the speedup / cache-hit-rate / thread-count /
-//!   cegar-rounds / blocks-validated / session-rebuilds fields, if the
-//!   witness corpus regressed, or if a redirect_case mutant is not
-//!   refuted with a confirmed witness (CI runs this).
+//!   cegar-rounds / blocks-validated / session-rebuilds / warm-reuse
+//!   fields, if no warm reuse was observed at all, if the witness corpus
+//!   regressed, or if a redirect_case mutant is not refuted with a
+//!   confirmed witness (CI runs this).
+//! * `--batch` — additionally pre-run all standard rows through
+//!   `Engine::check_batch` (the serving API) and fail if any batched
+//!   verdict disagrees with the per-row expectation (CI runs
+//!   `--smoke --batch` as the batch-mode smoke job).
 //! * `LEAPFROG_SKIP_BASELINE=1` — skip the `threads = 1` baseline re-runs
 //!   (speedup reported as `null`); useful for very large scales.
 //! * `LEAPFROG_WITNESS_CORPUS=path` — where the witness regression corpus
 //!   lives (default `WITNESS_CORPUS.txt`).
-//! * `LEAPFROG_SESSION_GC=ratio|0` — the guard sessions' clause-budget GC
-//!   (`0` disables; results are identical, only memory/time change).
+//! * `LEAPFROG_SESSION_GC=ratio|0`, `LEAPFROG_SESSION_GC_FLOOR=n` — the
+//!   guard sessions' clause-budget GC (results are identical, only
+//!   memory/time change).
 
-use leapfrog::{Checker, Options, Outcome};
+use leapfrog::{Engine, EngineConfig, Outcome, QuerySpec};
 use leapfrog_bench::alloc_track::{human_bytes, PeakAlloc};
 use leapfrog_bench::rows::{
-    rows_to_json, run_external_filtering, run_relational_verification, run_row,
-    run_translation_validation, standard_benchmarks, RowResult,
+    rows_to_json, run_external_filtering_in, run_relational_verification_in, run_row_in,
+    run_translation_validation_in, standard_benchmarks, RowResult,
 };
 use leapfrog_suite::corpus::WitnessCorpus;
-use leapfrog_suite::differential::check_cross_validate_and_record;
+use leapfrog_suite::differential::check_cross_validate_and_record_in;
 use leapfrog_suite::mutants::mutant_benchmarks;
 use leapfrog_suite::utility::sloppy_strict;
 use leapfrog_suite::{Benchmark, Scale};
@@ -41,39 +53,49 @@ static ALLOC: PeakAlloc = PeakAlloc::new();
 /// re-exercised on every run.
 const SANITY_PAIR: &str = "Sanity check (sloppy vs strict)";
 
-/// Runs a row runner with the configured options and, unless disabled, a
-/// `threads = 1` baseline first, reporting the wall-time speedup. The
-/// allocator peak is reset *after* the baseline so the Memory column
-/// reflects only the measured run.
-fn measure(run: &dyn Fn(Options) -> RowResult, options: Options, baseline: bool) -> RowResult {
-    let speedup = if baseline && options.effective_threads() > 1 {
-        let single = run(Options {
-            threads: 1,
-            ..options
-        });
-        Some(single.runtime)
+/// Runs a row runner against the persistent engine. Unless disabled, a
+/// `threads = 1` *cold* baseline (its own transient engine) runs first,
+/// reporting the wall-time speedup; then the row is measured through the
+/// persistent engine and immediately re-run warm, filling the warm-reuse
+/// columns. The allocator peak is reset after the baseline and read back
+/// *before* the warm pass, so the returned peak covers the measured run
+/// only — on top of the engine-resident floor (warm sessions, memos and
+/// caches from earlier rows stay live; the Memory column is the serving
+/// footprint, not an isolated per-row cost).
+fn measure(
+    engine: &mut Engine,
+    run: &dyn Fn(&mut Engine) -> RowResult,
+    baseline: bool,
+) -> (RowResult, usize) {
+    let single = if baseline && engine.config().effective_threads() > 1 {
+        let mut cold = Engine::new(engine.config().clone().threads(1));
+        Some(run(&mut cold).runtime)
     } else {
         None
     };
     ALLOC.reset();
-    let mut row = run(options);
-    row.speedup = match speedup {
+    let mut row = run(engine);
+    let peak = ALLOC.peak_bytes();
+    row.speedup = match single {
         Some(single) => Some(single.as_secs_f64() / row.runtime.as_secs_f64().max(1e-9)),
-        None if options.effective_threads() == 1 => Some(1.0),
+        None if engine.config().effective_threads() == 1 => Some(1.0),
         None => None,
     };
-    row
+    let warm = run(engine);
+    row.absorb_warm(&warm);
+    (row, peak)
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let batch_mode = std::env::args().any(|a| a == "--batch");
     let scale = if smoke {
         Scale::Small
     } else {
         Scale::from_env()
     };
     let baseline = std::env::var("LEAPFROG_SKIP_BASELINE").as_deref() != Ok("1");
-    let options = Options::default();
+    let mut engine = Engine::new(EngineConfig::from_env());
     let corpus_path = std::env::var("LEAPFROG_WITNESS_CORPUS")
         .unwrap_or_else(|_| "WITNESS_CORPUS.txt".to_string());
     let mut failures: Vec<String> = Vec::new();
@@ -91,12 +113,43 @@ fn main() {
     };
 
     println!(
-        "Leapfrog-rs — Table 2 reproduction (scale: {scale:?}, threads: {}, baseline: {})",
-        options.effective_threads(),
+        "Leapfrog-rs — Table 2 reproduction (scale: {scale:?}, threads: {}, baseline: {}, engine: persistent{})",
+        engine.config().effective_threads(),
         if baseline { "on" } else { "off" },
+        if batch_mode { ", batch pre-pass" } else { "" },
     );
+
+    // Batch mode: the serving API first. All standard rows go through one
+    // check_batch call; verdicts must match the per-row expectations, and
+    // the rows measured afterwards run warm against the batch's state.
+    if batch_mode {
+        let benches = standard_benchmarks(scale);
+        let specs: Vec<QuerySpec> = benches
+            .iter()
+            .map(|b| QuerySpec::new(b.name, &b.left, b.left_start, &b.right, b.right_start))
+            .collect();
+        let outcomes = engine.check_batch(&specs);
+        for (bench, outcome) in benches.iter().zip(&outcomes) {
+            if outcome.is_equivalent() != bench.expect_equivalent {
+                failures.push(format!(
+                    "batch verdict mismatch for \"{}\": got {outcome:?}",
+                    bench.name
+                ));
+            }
+        }
+        let stats = engine.last_run_stats();
+        println!(
+            "Batch pre-pass: {} queries through check_batch (batch workers: {}, \
+             entailment checks: {}, wall: {:.2?})",
+            outcomes.len(),
+            engine.config().effective_threads(),
+            stats.entailment_checks,
+            stats.wall_time,
+        );
+    }
+
     println!(
-        "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7}",
+        "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7} {:>8}",
         "Name",
         "States",
         "Branched",
@@ -108,14 +161,15 @@ fn main() {
         "Queries",
         "Speedup",
         "Cache%",
-        "Index%"
+        "Index%",
+        "Warm"
     );
 
     let mut all_within_5s = true;
     let mut measured: Vec<(RowResult, Option<usize>)> = Vec::new();
     let mut print_row = |row: RowResult, mem: usize, out: &mut Vec<(RowResult, Option<usize>)>| {
         println!(
-            "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7}",
+            "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7} {:>8}",
             row.name,
             row.metrics.states,
             row.metrics.branched_bits,
@@ -130,6 +184,9 @@ fn main() {
                 .unwrap_or_else(|| "-".into()),
             format!("{:.0}%", 100.0 * row.blast_cache_hit_rate),
             format!("{:.0}%", 100.0 * row.index_hit_rate),
+            row.warm_speedup
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".into()),
         );
         if row.queries_within_5s < 0.99 {
             all_within_5s = false;
@@ -171,40 +228,64 @@ fn main() {
     let (utility, applicability) = benches.split_at(4);
     for bench in utility {
         exercise_prior(bench, &corpus, &mut failures);
-        let row = measure(&|o| run_row(bench, o), options, baseline);
+        let (row, mem) = measure(
+            &mut engine,
+            &|e: &mut Engine| run_row_in(e, bench),
+            baseline,
+        );
         if let Some(w) = &row.witness {
             corpus.record(&row.name, w);
         }
-        print_row(row, ALLOC.peak_bytes(), &mut measured);
+        print_row(row, mem, &mut measured);
     }
     // Rows 5–6: the relational case studies.
-    let row = measure(&run_relational_verification, options, baseline);
-    print_row(row, ALLOC.peak_bytes(), &mut measured);
-    let row = measure(&run_external_filtering, options, baseline);
-    print_row(row, ALLOC.peak_bytes(), &mut measured);
+    let (row, mem) = measure(&mut engine, &run_relational_verification_in, baseline);
+    print_row(row, mem, &mut measured);
+    let (row, mem) = measure(&mut engine, &run_external_filtering_in, baseline);
+    print_row(row, mem, &mut measured);
     // Applicability self-comparisons.
     for bench in applicability {
         exercise_prior(bench, &corpus, &mut failures);
-        let row = measure(&|o| run_row(bench, o), options, baseline);
+        let (row, mem) = measure(
+            &mut engine,
+            &|e: &mut Engine| run_row_in(e, bench),
+            baseline,
+        );
         if let Some(w) = &row.witness {
             corpus.record(&row.name, w);
         }
-        print_row(row, ALLOC.peak_bytes(), &mut measured);
+        print_row(row, mem, &mut measured);
     }
     // Translation validation.
-    let row = measure(&|o| run_translation_validation(scale, o), options, baseline);
-    print_row(row, ALLOC.peak_bytes(), &mut measured);
+    let (row, mem) = measure(
+        &mut engine,
+        &|e: &mut Engine| run_translation_validation_in(e, scale),
+        baseline,
+    );
+    print_row(row, mem, &mut measured);
 
     println!();
     println!(
         "SMT latency: all case studies {} the paper's '99% of queries ≤ 5 s' bound",
         if all_within_5s { "meet" } else { "MISS" }
     );
+    let estats = engine.stats();
+    println!(
+        "Engine reuse: {} checks, {} sums interned ({} hits), {} warm sessions attached, \
+         {} memoized verdicts replayed",
+        estats.checks,
+        estats.pairs_interned,
+        estats.sum_cache_hits,
+        estats.sessions_reused,
+        estats.entailment_memo_hits,
+    );
 
     // §7.1 sanity check: inequivalent parsers must fail cleanly at Close,
     // and since the witness engine landed, the refutation must carry a
     // confirmed counterexample packet. The witness feeds the regression
-    // corpus, whose prior entries are re-exercised first.
+    // corpus, whose prior entries are re-exercised first. Early stopping
+    // is off so the Close step is genuinely reached — a distinct query
+    // shape, so it runs on its own engine.
     let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
     let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
     let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
@@ -222,13 +303,8 @@ fn main() {
             );
         }
     }
-    // Reach the Close step, as the paper describes.
-    let opts = Options {
-        early_stop: false,
-        ..options
-    };
-    let mut checker = Checker::new(&sloppy, ql, &strict, qr, opts);
-    let witness_confirmed = match checker.run() {
+    let mut close_engine = EngineConfig::from_env().early_stop(false).build();
+    let witness_confirmed = match close_engine.check(&sloppy, ql, &strict, qr) {
         Outcome::NotEquivalent(refutation) => match refutation.witness() {
             Some(w) => {
                 println!(
@@ -255,19 +331,21 @@ fn main() {
         failures.push("sanity-check witness not confirmed".into());
     }
 
-    // The mutated-parser negative suite: each redirect_case mutant must be
-    // refuted with a confirmed witness; the witnesses join the corpus and
-    // prior entries replay through the differential harness.
+    // The mutated-parser negative suite: each redirect_case mutant (of the
+    // speculative-loop pair and the applicability parsers) must be refuted
+    // with a confirmed witness; the witnesses join the corpus and prior
+    // entries replay through the differential harness. The mutants run
+    // through the persistent engine too.
     let mutants = mutant_benchmarks();
     println!();
     println!("Mutated-parser negative suite ({} mutants):", mutants.len());
     for m in &mutants {
-        match check_cross_validate_and_record(
+        match check_cross_validate_and_record_in(
+            &mut engine,
             &m.left,
             m.left_start,
             &m.right,
             m.right_start,
-            options,
             m.name,
             &mut corpus,
         ) {
@@ -305,7 +383,8 @@ fn main() {
         Err(e) => println!("Could not write {path}: {e}"),
     }
 
-    // Smoke validation: every row must report the pipeline fields.
+    // Smoke validation: every row must report the pipeline fields,
+    // including the warm-reuse columns.
     for key in [
         "\"speedup\"",
         "\"blast_cache_hit_rate\"",
@@ -316,6 +395,10 @@ fn main() {
         "\"blocks_considered\"",
         "\"session_rebuilds\"",
         "\"peak_live_clauses\"",
+        "\"warm_speedup\"",
+        "\"sessions_reused\"",
+        "\"sum_cache_hits\"",
+        "\"entailment_memo_hits\"",
     ] {
         let have = json.matches(key).count();
         if have != measured.len() {
@@ -324,6 +407,18 @@ fn main() {
                 measured.len()
             ));
         }
+    }
+    // Engine warmth must be *observable*: across the whole table, the
+    // warm re-runs must have attached sessions, hit the sum intern table
+    // and replayed memoized verdicts somewhere.
+    let total_reused: u64 = measured.iter().map(|(r, _)| r.sessions_reused).sum();
+    let total_sum_hits: u64 = measured.iter().map(|(r, _)| r.sum_cache_hits).sum();
+    let total_memo: u64 = measured.iter().map(|(r, _)| r.entailment_memo_hits).sum();
+    if total_reused == 0 || total_sum_hits == 0 || total_memo == 0 {
+        failures.push(format!(
+            "no engine warm reuse observed (sessions_reused={total_reused}, \
+             sum_cache_hits={total_sum_hits}, entailment_memo_hits={total_memo})"
+        ));
     }
     if !failures.is_empty() {
         for f in &failures {

@@ -1,10 +1,15 @@
 //! Row runners: one function per Table 2 row, returning the measured
 //! columns. Shared by the `table2` binary and the criterion benches.
+//!
+//! Every runner drives a caller-owned persistent [`Engine`] (the `_in`
+//! forms); the plain forms are compat wrappers over a transient one. The
+//! `table2` binary runs each row twice through one long-lived engine, so
+//! the emitted rows carry warm-vs-cold columns (`warm_speedup`,
+//! `sessions_reused`, `sum_cache_hits`, `entailment_memo_hits`).
 
 use std::time::{Duration, Instant};
 
-use leapfrog::{Checker, Options, Outcome};
-use leapfrog_logic::reach::reachable_pairs;
+use leapfrog::{Engine, EngineConfig, Options, Outcome, RunStats};
 use leapfrog_suite::applicability;
 use leapfrog_suite::metrics::Table2Metrics;
 use leapfrog_suite::utility::{ip_options, mpls, sloppy_strict, state_rearrangement, vlan_init};
@@ -49,81 +54,122 @@ pub struct RowResult {
     pub session_rebuilds: u64,
     /// Peak live-clause count in any single entailment-session context.
     pub peak_live_clauses: u64,
+    /// Wall-time speedup of a warm re-run of this row through the same
+    /// engine (`None` until the warm pass is measured).
+    pub warm_speedup: Option<f64>,
+    /// Warm guard sessions the warm re-run attached to.
+    pub sessions_reused: u64,
+    /// Sum constructions served from the engine's intern table on the
+    /// warm re-run.
+    pub sum_cache_hits: u64,
+    /// Entailment verdicts the warm re-run replayed from the engine memo.
+    pub entailment_memo_hits: u64,
     /// The confirmed witness, when the run refuted the property — fed into
     /// the regression corpus by the `table2` binary.
     pub witness: Option<leapfrog_cex::Witness>,
 }
 
-/// Runs a plain language-equivalence benchmark.
-pub fn run_row(bench: &Benchmark, options: Options) -> RowResult {
+impl RowResult {
+    /// Copies the warm-reuse columns out of a warm re-run of this row.
+    pub fn absorb_warm(&mut self, warm: &RowResult) {
+        self.warm_speedup = Some(self.runtime.as_secs_f64() / warm.runtime.as_secs_f64().max(1e-9));
+        self.sessions_reused = warm.sessions_reused;
+        self.sum_cache_hits = warm.sum_cache_hits;
+        self.entailment_memo_hits = warm.entailment_memo_hits;
+    }
+}
+
+/// Runs a plain language-equivalence benchmark through a persistent
+/// engine.
+pub fn run_row_in(engine: &mut Engine, bench: &Benchmark) -> RowResult {
     let start = Instant::now();
-    let mut checker = Checker::new(
+    let outcome = engine.check(
         &bench.left,
         bench.left_start,
         &bench.right,
         bench.right_start,
-        options,
     );
-    let outcome = checker.run();
     finish(
         bench.name,
         bench.metrics(),
         start,
-        &checker,
+        engine.last_run_stats(),
         &outcome,
         bench.expect_equivalent,
     )
 }
 
+/// [`run_row_in`] over a transient engine configured from `options`.
+pub fn run_row(bench: &Benchmark, options: Options) -> RowResult {
+    run_row_in(
+        &mut Engine::new(EngineConfig::from_options(&options)),
+        bench,
+    )
+}
+
 /// The external-filtering row: sloppy vs strict modulo an EtherType filter
 /// (§7.1), posed by replacing the initial relation.
-pub fn run_external_filtering(options: Options) -> RowResult {
+pub fn run_external_filtering_in(engine: &mut Engine) -> RowResult {
     let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
     let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
     let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
     let metrics = Table2Metrics::for_pair(&sloppy, &strict);
     let start = Instant::now();
-    let mut checker = Checker::new(&sloppy, ql, &strict, qr, options);
-    let reach = reachable_pairs(checker.sum_automaton(), &[checker.root()], options.leaps);
-    let init = sloppy_strict::external_filter_init(checker.sum_info(), &reach);
-    checker.replace_init(init);
-    let outcome = checker.run();
+    let pid = engine.prepare_pair(&sloppy, ql, &strict, qr);
+    let reach = engine.reachable(pid);
+    let init = sloppy_strict::external_filter_init(engine.sum_info(pid), &reach);
+    let mut request = engine.standard_request(pid);
+    request.standard_init = false;
+    request.extra_init = init;
+    let outcome = engine.run_prepared(pid, &request);
     finish(
         "External filtering",
         metrics,
         start,
-        &checker,
+        engine.last_run_stats(),
         &outcome,
         true,
     )
 }
 
+/// [`run_external_filtering_in`] over a transient engine.
+pub fn run_external_filtering(options: Options) -> RowResult {
+    run_external_filtering_in(&mut Engine::new(EngineConfig::from_options(&options)))
+}
+
 /// The relational-verification row: store correspondence at acceptance
 /// (§7.1), posed by replacing the initial relation.
-pub fn run_relational_verification(options: Options) -> RowResult {
+pub fn run_relational_verification_in(engine: &mut Engine) -> RowResult {
     let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
     let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
     let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
     let metrics = Table2Metrics::for_pair(&sloppy, &strict);
     let start = Instant::now();
-    let mut checker = Checker::new(&sloppy, ql, &strict, qr, options);
-    let init = sloppy_strict::store_correspondence_init(checker.sum_info());
-    checker.replace_init(init);
-    let outcome = checker.run();
+    let pid = engine.prepare_pair(&sloppy, ql, &strict, qr);
+    let init = sloppy_strict::store_correspondence_init(engine.sum_info(pid));
+    let mut request = engine.standard_request(pid);
+    request.standard_init = false;
+    request.extra_init = init;
+    let outcome = engine.run_prepared(pid, &request);
     finish(
         "Relational verification",
         metrics,
         start,
-        &checker,
+        engine.last_run_stats(),
         &outcome,
         true,
     )
+}
+
+/// [`run_relational_verification_in`] over a transient engine.
+pub fn run_relational_verification(options: Options) -> RowResult {
+    run_relational_verification_in(&mut Engine::new(EngineConfig::from_options(&options)))
 }
 
 /// The translation-validation row: compile the Edge parser to hardware
 /// tables, translate the tables back, and prove the round trip preserves
 /// the language (§7.2, Figure 8).
-pub fn run_translation_validation(scale: Scale, options: Options) -> RowResult {
+pub fn run_translation_validation_in(engine: &mut Engine, scale: Scale) -> RowResult {
     let edge = applicability::edge(scale);
     let start_state = edge.state_by_name("parse_eth").unwrap();
     let hw = leapfrog_hwgen::compile(&edge, start_state, &leapfrog_hwgen::HwBudget::default())
@@ -132,15 +178,22 @@ pub fn run_translation_validation(scale: Scale, options: Options) -> RowResult {
     let back_start = back.state_by_name(&back_start).unwrap();
     let metrics = Table2Metrics::for_pair(&edge, &back);
     let start = Instant::now();
-    let mut checker = Checker::new(&edge, start_state, &back, back_start, options);
-    let outcome = checker.run();
+    let outcome = engine.check(&edge, start_state, &back, back_start);
     finish(
         "Translation Validation",
         metrics,
         start,
-        &checker,
+        engine.last_run_stats(),
         &outcome,
         true,
+    )
+}
+
+/// [`run_translation_validation_in`] over a transient engine.
+pub fn run_translation_validation(scale: Scale, options: Options) -> RowResult {
+    run_translation_validation_in(
+        &mut Engine::new(EngineConfig::from_options(&options)),
+        scale,
     )
 }
 
@@ -175,7 +228,9 @@ pub fn rows_to_json(rows: &[(RowResult, Option<usize>)], sanity_witness_confirme
              \"blast_cache_hit_rate\": {:.4}, \"index_hit_rate\": {:.4}, \
              \"speedup\": {}, \"cegar_rounds\": {}, \"blocks_validated\": {}, \
              \"blocks_considered\": {}, \"session_rebuilds\": {}, \
-             \"peak_live_clauses\": {}}}{}\n",
+             \"peak_live_clauses\": {}, \"warm_speedup\": {}, \
+             \"sessions_reused\": {}, \"sum_cache_hits\": {}, \
+             \"entailment_memo_hits\": {}}}{}\n",
             esc(&row.name),
             row.metrics.states,
             row.metrics.branched_bits,
@@ -197,6 +252,12 @@ pub fn rows_to_json(rows: &[(RowResult, Option<usize>)], sanity_witness_confirme
             row.blocks_considered,
             row.session_rebuilds,
             row.peak_live_clauses,
+            row.warm_speedup
+                .map(|s| format!("{s:.4}"))
+                .unwrap_or_else(|| "null".into()),
+            row.sessions_reused,
+            row.sum_cache_hits,
+            row.entailment_memo_hits,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -210,13 +271,12 @@ fn finish(
     name: &str,
     metrics: Table2Metrics,
     start: Instant,
-    checker: &Checker,
+    stats: &RunStats,
     outcome: &Outcome,
     expect_equivalent: bool,
 ) -> RowResult {
     let runtime = start.elapsed();
     let verified = outcome.is_equivalent() == expect_equivalent;
-    let stats = checker.stats();
     RowResult {
         name: name.to_string(),
         metrics,
@@ -234,6 +294,10 @@ fn finish(
         blocks_considered: stats.queries.blocks_considered,
         session_rebuilds: stats.queries.session_rebuilds,
         peak_live_clauses: stats.queries.live_clauses_peak,
+        warm_speedup: None,
+        sessions_reused: stats.sessions_reused,
+        sum_cache_hits: stats.sum_cache_hits,
+        entailment_memo_hits: stats.entailment_memo_hits,
         witness: outcome.witness().cloned(),
     }
 }
@@ -258,6 +322,7 @@ mod tests {
         let bench = state_rearrangement::state_rearrangement_benchmark();
         let mut row = run_row(&bench, Options::default());
         row.speedup = Some(1.25);
+        row.warm_speedup = Some(2.0);
         let json = rows_to_json(&[(row, Some(1024))], true);
         for key in [
             "\"threads\"",
@@ -269,6 +334,10 @@ mod tests {
             "\"blocks_considered\"",
             "\"session_rebuilds\"",
             "\"peak_live_clauses\"",
+            "\"warm_speedup\": 2.0000",
+            "\"sessions_reused\"",
+            "\"sum_cache_hits\"",
+            "\"entailment_memo_hits\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
@@ -302,5 +371,24 @@ mod tests {
         let row = run_row(&mpls::mpls_benchmark(), Options::default());
         assert!(row.verified);
         assert!(row.relation_size > 0);
+    }
+
+    #[test]
+    fn warm_rerun_through_one_engine_shows_reuse() {
+        // The serving pattern the `table2` binary uses: run a row twice
+        // through one engine; the warm pass must report reuse and agree on
+        // the verdict and relation size.
+        let bench = state_rearrangement::state_rearrangement_benchmark();
+        let mut engine = Engine::new(EngineConfig::from_options(&Options::default()));
+        let mut cold = run_row_in(&mut engine, &bench);
+        let warm = run_row_in(&mut engine, &bench);
+        assert!(cold.verified && warm.verified);
+        assert_eq!(cold.relation_size, warm.relation_size);
+        assert!(warm.sessions_reused > 0, "warm pass must attach sessions");
+        assert!(warm.sum_cache_hits > 0, "sum must be interned");
+        assert!(warm.entailment_memo_hits > 0, "memo must replay verdicts");
+        cold.absorb_warm(&warm);
+        assert!(cold.warm_speedup.is_some());
+        assert_eq!(cold.sessions_reused, warm.sessions_reused);
     }
 }

@@ -1,52 +1,35 @@
-//! Algorithm 1: the symbolic equivalence-checking worklist (paper, §4.2),
-//! with the reachability-pruning and leap optimizations of §5 (and the
-//! ability to disable either, for the §7.3 ablation).
+//! The per-query checker API: Algorithm 1 (paper, §4.2) posed over one
+//! pair of P4 automata, with the reachability-pruning and leap
+//! optimizations of §5 (and the ability to disable either, for the §7.3
+//! ablation).
 //!
-//! The algorithm maintains a set `R` of template-guarded configuration
-//! relations and a frontier `T`. Each iteration pops `ψ` from `T`; if
-//! `⋀R ⊨ ψ` the formula is redundant (`Skip`), otherwise `ψ` joins `R` and
-//! its weakest preconditions over all in-scope predecessor template pairs
-//! join the frontier (`Extend`). On exhaustion, `⋀R` is the weakest
-//! symbolic bisimulation (with leaps) restricted to the reachable pairs,
-//! and the query `φ` is checked against it (`Close` / Theorem 5.2).
-//!
-//! # The guard-indexed, parallel pipeline
-//!
-//! `R` lives in a [`RelationStore`] indexed by guard, so the premise set
-//! of each `Skip` check is fetched in O(matching) instead of scanning all
-//! of `R` (stage-1 template filtering makes an entailment depend *only*
-//! on same-guard premises). The frontier is processed one generation at a
-//! time: all entailment checks of a generation are independent given a
-//! snapshot of `R`, so they run concurrently under `std::thread::scope`
-//! ([`Options::threads`] / `LEAPFROG_THREADS`), and a sequential
-//! *deterministic merge* then replays the generation in frontier order.
-//! The merge re-checks a precomputed "not entailed" verdict only when a
-//! same-guard relation joined `R` after the snapshot (a "yes" verdict is
-//! monotone and always stands), which makes the merged result — `R`,
-//! provenance ids, wp successors, certificates and witnesses — bit-for-bit
-//! identical to the sequential algorithm at any thread count.
+//! Since the persistent-engine redesign, this module is a *thin wrapper*:
+//! a [`Checker`] owns a transient [`Engine`](crate::Engine) configured
+//! from its [`Options`] and delegates the actual worklist run to it (see
+//! [`crate::engine`] for the algorithm and the warm-state machinery).
+//! Certificates and witnesses are byte-identical whichever entry point is
+//! used — a one-shot [`check_language_equivalence`], a cold engine, or a
+//! warm engine re-checking a pair it has seen before (asserted in
+//! `tests/engine.rs`).
 
-use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
-use std::time::Instant;
-
-use leapfrog_cex::{build_witness, Refutation};
+use leapfrog_cex::Refutation;
 use leapfrog_logic::confrel::{ConfRel, Pure};
-use leapfrog_logic::incremental::SessionPool;
-use leapfrog_logic::lower;
-use leapfrog_logic::reach::reachable_pairs;
-use leapfrog_logic::store::RelationStore;
-use leapfrog_logic::templates::{all_templates, Template, TemplatePair};
-use leapfrog_logic::wp::wp;
-use leapfrog_p4a::ast::{Automaton, StateId, Target};
-use leapfrog_p4a::sum::{sum, Sum};
-use leapfrog_smt::{CheckResult, QueryStats, SharedBlastCache, SmtSolver};
+use leapfrog_logic::templates::TemplatePair;
+use leapfrog_p4a::ast::{Automaton, StateId};
+use leapfrog_p4a::sum::Sum;
 
 use crate::certificate::Certificate;
+use crate::engine::{
+    session_gc_floor_from_env, session_gc_from_env, strict_witness_from_env, threads_from_env,
+    Engine, EngineConfig, PairId, QueryRequest,
+};
 use crate::stats::RunStats;
 
-/// Tuning knobs for the checker. The defaults enable every optimization
+/// Tuning knobs for one query. The defaults enable every optimization
 /// described in the paper; the §7.3 ablation disables them selectively.
+/// [`Options::default`] reads the `LEAPFROG_*` environment variables —
+/// the typed, env-free configuration path is
+/// [`EngineConfig`](crate::EngineConfig).
 #[derive(Debug, Clone, Copy)]
 pub struct Options {
     /// Use bisimulations with leaps (§5.2). Disabling falls back to
@@ -80,6 +63,16 @@ pub struct Options {
     /// `LEAPFROG_SESSION_GC` (`0` = off, a float = the ratio, unset = 4).
     /// Results are bit-identical at every setting.
     pub session_gc_ratio: Option<f64>,
+    /// Live-clause floor for the session GC: a context holding fewer live
+    /// clauses than this never rebuilds — small cache-served sessions
+    /// churn retired clauses quickly, and rebuilding them costs more than
+    /// it reclaims. Defaults from `LEAPFROG_SESSION_GC_FLOOR` (unset =
+    /// 512). Results are bit-identical at every setting.
+    pub session_gc_floor: u64,
+    /// Whether the cross-query structural CNF cache is enabled. Defaults
+    /// from `LEAPFROG_NO_BLAST_CACHE` (set `=1` to disable). Results are
+    /// identical either way.
+    pub blast_cache: bool,
 }
 
 impl Default for Options {
@@ -92,6 +85,8 @@ impl Default for Options {
             threads: threads_from_env(),
             strict_witness: strict_witness_from_env(),
             session_gc_ratio: session_gc_from_env(),
+            session_gc_floor: session_gc_floor_from_env(),
+            blast_cache: std::env::var("LEAPFROG_NO_BLAST_CACHE").as_deref() != Ok("1"),
         }
     }
 }
@@ -99,39 +94,6 @@ impl Default for Options {
 /// The default retired-to-live clause ratio that triggers a session
 /// context rebuild.
 pub const DEFAULT_SESSION_GC_RATIO: f64 = 4.0;
-
-fn session_gc_from_env() -> Option<f64> {
-    match std::env::var("LEAPFROG_SESSION_GC") {
-        Ok(s) => {
-            let t = s.trim();
-            if t.eq_ignore_ascii_case("off") {
-                return None;
-            }
-            match t.parse::<f64>() {
-                // Any spelling of a non-positive ratio ("0", "0.0", "0e0")
-                // disables the GC, matching the documented contract.
-                Ok(r) if r.is_finite() && r > 0.0 => Some(r),
-                Ok(_) => None,
-                Err(_) => Some(DEFAULT_SESSION_GC_RATIO),
-            }
-        }
-        Err(_) => Some(DEFAULT_SESSION_GC_RATIO),
-    }
-}
-
-fn threads_from_env() -> usize {
-    std::env::var("LEAPFROG_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0)
-}
-
-fn strict_witness_from_env() -> bool {
-    matches!(
-        std::env::var("LEAPFROG_STRICT_WITNESS").as_deref(),
-        Ok("1") | Ok("true")
-    )
-}
 
 impl Options {
     /// The worker-thread count this configuration resolves to.
@@ -185,16 +147,16 @@ impl Outcome {
     }
 }
 
-/// The equivalence checker for a pair of P4 automata.
+/// The equivalence checker for a pair of P4 automata: a per-query view
+/// over a transient [`Engine`]. Prefer a long-lived engine when checking
+/// more than one query — everything a `Checker` learns dies with it.
 pub struct Checker {
-    aut: Automaton,
-    sum_info: Sum,
-    root: TemplatePair,
-    query: ConfRel,
+    engine: Engine,
+    pair: PairId,
     extra_init: Vec<ConfRel>,
     standard_init: bool,
+    query: ConfRel,
     options: Options,
-    solver: SmtSolver,
     stats: RunStats,
 }
 
@@ -208,21 +170,16 @@ impl Checker {
         qr: StateId,
         options: Options,
     ) -> Checker {
-        let sum_info = sum(left, right);
-        let root = TemplatePair::new(
-            Template::start(sum_info.left_state(ql)),
-            Template::start(sum_info.right_state(qr)),
-        );
-        let query = ConfRel::trivial(root);
+        let mut engine = Engine::new(EngineConfig::from_options(&options));
+        let pair = engine.prepare_pair(left, ql, right, qr);
+        let query = ConfRel::trivial(engine.root(pair));
         Checker {
-            aut: sum_info.automaton.clone(),
-            sum_info,
-            root,
-            query,
+            engine,
+            pair,
             extra_init: Vec::new(),
             standard_init: true,
+            query,
             options,
-            solver: SmtSolver::new(),
             stats: RunStats::default(),
         }
     }
@@ -230,17 +187,17 @@ impl Checker {
     /// The disjoint-sum automaton the check runs over. Initial conditions
     /// and queries are expressed over its headers.
     pub fn sum_automaton(&self) -> &Automaton {
-        &self.aut
+        self.engine.sum_automaton(self.pair)
     }
 
     /// The sum's identifier mappings (left/right state and header ids).
     pub fn sum_info(&self) -> &Sum {
-        &self.sum_info
+        self.engine.sum_info(self.pair)
     }
 
     /// The root template pair `(⟨q₁, 0⟩, ⟨q₂, 0⟩)`.
     pub fn root(&self) -> TemplatePair {
-        self.root
+        self.engine.root(self.pair)
     }
 
     /// Adds a conjunct to the initial relation `I` (paper §7.1: the
@@ -266,7 +223,7 @@ impl Checker {
     /// restricts the initial stores the proof covers.
     pub fn set_query_phi(&mut self, phi: Pure, vars: Vec<usize>) {
         self.query = ConfRel {
-            guard: self.root,
+            guard: self.root(),
             vars,
             phi,
         };
@@ -277,275 +234,18 @@ impl Checker {
         &self.stats
     }
 
-    /// The template pairs the search will consider.
-    fn scope(&self) -> Vec<TemplatePair> {
-        if self.options.reach_pruning {
-            reachable_pairs(&self.aut, &[self.root], self.options.leaps)
-        } else {
-            // The full product of left-side and right-side templates
-            // (left-parser states never appear on the right, so restrict
-            // each side to its own parser's states plus accept/reject).
-            let side_templates = |left: bool| -> Vec<Template> {
-                all_templates(&self.aut)
-                    .into_iter()
-                    .filter(|t| match t.target {
-                        Target::State(q) => self.sum_info.is_left_state(q) == left,
-                        _ => true,
-                    })
-                    .collect()
-            };
-            let ls = side_templates(true);
-            let rs = side_templates(false);
-            let mut out = Vec::with_capacity(ls.len() * rs.len());
-            for l in &ls {
-                for r in &rs {
-                    out.push(TemplatePair::new(*l, *r));
-                }
-            }
-            out
-        }
-    }
-
-    /// Seals the run-wide statistics before returning any outcome, so
-    /// `extended` (= |R|), wall time and query counters are populated on
-    /// the `Equivalent`, `NotEquivalent` *and* `Aborted` paths alike.
-    /// `session_stats` carries the merged entailment-session counters
-    /// (main pool plus worker pools, in deterministic slot order).
-    fn seal_stats(&mut self, start: Instant, relation_len: usize, session_stats: QueryStats) {
-        self.stats.wall_time = start.elapsed();
-        let mut queries = self.solver.stats().clone();
-        queries.absorb(&session_stats);
-        self.stats.queries = queries;
-        self.stats.extended = relation_len as u64;
-    }
-
-    /// Runs Algorithm 1.
+    /// Runs Algorithm 1 (through the owned engine; a repeated `run` on the
+    /// same checker replays warm, with identical results).
     pub fn run(&mut self) -> Outcome {
-        let start = Instant::now();
-        let scope = self.scope();
-        let threads = self.options.effective_threads();
-        self.stats = RunStats::default();
-        self.stats.scope_pairs = scope.len();
-        self.stats.threads = threads;
-
-        // Initial relation I (Lemma 4.10 / Theorem 5.2): forbid pairs that
-        // disagree on acceptance, restricted to the scope; plus any
-        // user-supplied conditions.
-        //
-        // Every relation that enters the frontier gets a provenance record
-        // — which relation its weakest precondition was derived from — so a
-        // refutation can be lifted into a concrete witness by walking the
-        // wp chain back to the violated initial conjunct.
-        // The provenance table, the dedup map and the relation store share
-        // each relation via `Arc`, so a relation is deep-stored exactly
-        // once however many structures (or threads) reference it.
-        let mut frontier: VecDeque<usize> = VecDeque::new();
-        let mut prov: Vec<(Arc<ConfRel>, Option<usize>)> = Vec::new();
-        let mut seen: HashMap<Arc<ConfRel>, usize> = HashMap::new();
-        let mut init: Vec<ConfRel> = Vec::new();
-        if self.standard_init {
-            for p in &scope {
-                if p.left.is_accepting() != p.right.is_accepting() {
-                    init.push(ConfRel::forbidden(*p));
-                }
-            }
-        }
-        init.extend(self.extra_init.iter().cloned());
-        for rel in &init {
-            if !seen.contains_key(rel) {
-                let id = prov.len();
-                let shared = Arc::new(rel.clone());
-                seen.insert(shared.clone(), id);
-                prov.push((shared, None));
-                frontier.push_back(id);
-            }
-        }
-
-        let mut relation = RelationStore::new();
-        let cache = self.solver.shared_cache();
-        // One persistent session pool for the deterministic main loop and
-        // one per worker slot: a guard's premise clauses are lowered,
-        // blasted and asserted once per pool for the whole run, and CDCL
-        // state accumulates across its queries.
-        let mut main_pool = SessionPool::with_gc(self.options.session_gc_ratio);
-        let mut worker_pools: Vec<SessionPool> = if threads > 1 {
-            (0..threads)
-                .map(|_| SessionPool::with_gc(self.options.session_gc_ratio))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let pool_stats = |main: &SessionPool, workers: &[SessionPool]| -> QueryStats {
-            let mut out = main.stats();
-            for w in workers {
-                out.absorb(&w.stats());
-            }
-            out
-        };
-        let mut batch: Vec<usize> = Vec::new();
-        loop {
-            // One frontier generation per round: everything currently
-            // queued was derived before any of it is processed, so the
-            // entailment checks against the current `R` are independent.
-            batch.clear();
-            batch.extend(frontier.drain(..));
-            if batch.is_empty() {
-                break;
-            }
-
-            // Parallel phase: precompute `⋀R ⊨ ψ` for the whole generation
-            // against the immutable snapshot of the store.
-            let verdicts: Vec<Option<bool>> = if threads > 1 && batch.len() > 1 {
-                let items: Vec<Arc<ConfRel>> = batch.iter().map(|&id| prov[id].0.clone()).collect();
-                let verdicts =
-                    parallel_entailment(&self.aut, &relation, &items, &mut worker_pools, &cache);
-                self.stats.parallel_batches += 1;
-                self.stats.parallel_checks += items.len() as u64;
-                verdicts.into_iter().map(Some).collect()
-            } else {
-                vec![None; batch.len()]
-            };
-
-            // Deterministic merge: replay the generation in frontier
-            // order. `grew` tracks guards that gained a relation after the
-            // snapshot — only those can invalidate a "not entailed"
-            // verdict ("entailed" is monotone under growing `R`).
-            let mut grew: HashSet<TemplatePair> = HashSet::new();
-            for (bi, &id) in batch.iter().enumerate() {
-                let psi = prov[id].0.clone();
-                self.stats.iterations += 1;
-                if let Some(limit) = self.options.max_iterations {
-                    if self.stats.iterations > limit {
-                        let len = relation.len();
-                        self.seal_stats(start, len, pool_stats(&main_pool, &worker_pools));
-                        return Outcome::Aborted(format!(
-                            "iteration budget {limit} exhausted with |R| = {len}"
-                        ));
-                    }
-                }
-                self.stats.max_formula_size = self.stats.max_formula_size.max(psi.phi.size());
-
-                self.stats.entailment_checks += 1;
-                self.stats.premises_matched += relation.matching_count(psi.guard) as u64;
-                self.stats.premises_total += relation.len() as u64;
-                let entailed = match verdicts[bi] {
-                    Some(true) => true,
-                    Some(false) if !grew.contains(&psi.guard) => false,
-                    precomputed => {
-                        if precomputed.is_some() {
-                            self.stats.merge_rechecks += 1;
-                        }
-                        main_pool.check(&self.aut, &relation.matching(psi.guard), &psi, &cache)
-                    }
-                };
-                if entailed {
-                    self.stats.skipped += 1;
-                    continue;
-                }
-                // Early failure: ψ will be part of R, and the Close step
-                // requires φ ⊨ ψ.
-                if self.options.early_stop && psi.guard == self.query.guard {
-                    if let Some(refutation) = self.query_violation(&psi, id, &prov) {
-                        let len = relation.len();
-                        self.seal_stats(start, len, pool_stats(&main_pool, &worker_pools));
-                        return Outcome::NotEquivalent(refutation);
-                    }
-                }
-                for pred in &scope {
-                    if let Some(chi) = wp(&self.aut, &psi, pred, self.options.leaps) {
-                        self.stats.wp_generated += 1;
-                        if !seen.contains_key(&chi) {
-                            let cid = prov.len();
-                            let shared = Arc::new(chi);
-                            seen.insert(shared.clone(), cid);
-                            prov.push((shared, Some(id)));
-                            frontier.push_back(cid);
-                        }
-                    }
-                }
-                grew.insert(psi.guard);
-                relation.push(psi);
-            }
-        }
-
-        // Close: φ ⊨ ⋀R, checked conjunct by conjunct (non-matching guards
-        // are vacuous after template filtering).
-        for rho in relation.iter() {
-            if rho.guard != self.query.guard {
-                continue;
-            }
-            let id = seen[rho];
-            if let Some(refutation) = self.query_violation(rho, id, &prov) {
-                let len = relation.len();
-                self.seal_stats(start, len, pool_stats(&main_pool, &worker_pools));
-                return Outcome::NotEquivalent(refutation);
-            }
-        }
-
-        let len = relation.len();
-        self.seal_stats(start, len, pool_stats(&main_pool, &worker_pools));
-        Outcome::Equivalent(Certificate {
-            leaps: self.options.leaps,
+        let request = QueryRequest {
             standard_init: self.standard_init,
+            extra_init: self.extra_init.clone(),
             query: self.query.clone(),
-            init,
-            relation: relation.to_vec(),
-        })
-    }
-
-    /// Checks `φ ⊨ ρ`; on failure lifts the countermodel into a concrete,
-    /// confirmed, minimized witness via the counterexample engine. `id`
-    /// indexes `prov`, whose parent links trace ρ back through the wp
-    /// chain to the initial conjunct it was derived from; the chain shares
-    /// the provenance table's relations by `Arc`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when [`Options::strict_witness`] is set, the query is a
-    /// standard language-equivalence query, and the countermodel could not
-    /// be lifted into a confirmed witness.
-    fn query_violation(
-        &mut self,
-        rho: &ConfRel,
-        id: usize,
-        prov: &[(Arc<ConfRel>, Option<usize>)],
-    ) -> Option<Refutation> {
-        let q = lower::lower(&self.aut, std::slice::from_ref(&self.query), rho);
-        match self.solver.check_valid(&q.decls, &q.goal) {
-            CheckResult::Valid => None,
-            CheckResult::Invalid(model) => {
-                let diagnostic = format!(
-                    "query {} does not entail {}\ncountermodel:\n{}",
-                    self.query.display(&self.aut),
-                    rho.display(&self.aut),
-                    model.display(&q.decls)
-                );
-                let mut chain: Vec<Arc<ConfRel>> = Vec::new();
-                let mut cursor = Some(id);
-                while let Some(i) = cursor {
-                    chain.push(prov[i].0.clone());
-                    cursor = prov[i].1;
-                }
-                let refutation =
-                    build_witness(&self.aut, &chain, &q.decls, &q.vars, &model, diagnostic);
-                match &refutation {
-                    Refutation::Witness(w) => {
-                        self.stats.witnesses_confirmed += 1;
-                        self.stats.witness_bits_minimized +=
-                            (w.original_bits - w.packet.len()) as u64;
-                    }
-                    Refutation::Unconfirmed { .. } => self.stats.witnesses_unconfirmed += 1,
-                }
-                if let Some(error) = strict_witness_violation(
-                    self.options.strict_witness,
-                    self.standard_init,
-                    &refutation,
-                ) {
-                    panic!("{error}");
-                }
-                Some(refutation)
-            }
-        }
+            options: self.options,
+        };
+        let outcome = self.engine.run_prepared(self.pair, &request);
+        self.stats = self.engine.last_run_stats().clone();
+        outcome
     }
 }
 
@@ -553,7 +253,7 @@ impl Checker {
 /// [`Refutation::Unconfirmed`] under strict mode on a standard query is a
 /// hard error (the engine guarantees lifting succeeds there; failure means
 /// a checker or engine bug, not a property of the input).
-fn strict_witness_violation(
+pub(crate) fn strict_witness_violation(
     strict: bool,
     standard_query: bool,
     refutation: &Refutation,
@@ -568,51 +268,8 @@ fn strict_witness_violation(
     }
 }
 
-/// Precomputes the entailment verdicts of one frontier generation on
-/// worker threads against an immutable snapshot of the relation store.
-///
-/// Scheduling is *work-stealing*: instead of pre-cutting the batch into
-/// fixed per-worker chunks (which loses wall-clock whenever one chunk
-/// holds the generation's long-tail entailments), every worker drains a
-/// shared atomic cursor over the snapshot batch — an idle worker simply
-/// claims the next unprocessed item, so the generation finishes when the
-/// last *item* does, not when the unluckiest *chunk* does.
-///
-/// Each worker slot keeps a persistent [`SessionPool`] across batches
-/// (premise clauses assert once per slot for the whole run) and all slots
-/// share the main solver's blast cache. Verdicts are exact, so the
-/// item-to-worker assignment never affects results — only wall-clock
-/// time — and the sequential merge stays deterministic.
-fn parallel_entailment(
-    aut: &Automaton,
-    relation: &RelationStore,
-    items: &[Arc<ConfRel>],
-    worker_pools: &mut [SessionPool],
-    cache: &SharedBlastCache,
-) -> Vec<bool> {
-    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-    let n = items.len();
-    let cursor = AtomicUsize::new(0);
-    let verdicts: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-    std::thread::scope(|s| {
-        for pool in worker_pools.iter_mut() {
-            let cursor = &cursor;
-            let verdicts = &verdicts;
-            s.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let psi = &items[i];
-                let v = pool.check(aut, &relation.matching(psi.guard), psi, cache);
-                verdicts[i].store(v, Ordering::Relaxed);
-            });
-        }
-    });
-    verdicts.into_iter().map(AtomicBool::into_inner).collect()
-}
-
-/// One-call convenience API: language equivalence with default options.
+/// One-call convenience API: language equivalence with default options,
+/// answered by a transient engine.
 pub fn check_language_equivalence(
     left: &Automaton,
     ql: StateId,
@@ -969,5 +626,34 @@ mod tests {
             Outcome::NotEquivalent(r) => assert!(r.is_confirmed()),
             other => panic!("expected NotEquivalent, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn rerun_on_one_checker_is_warm_and_identical() {
+        // A second `run` on the same checker replays through the owned
+        // engine's warm state: identical certificate, observable reuse.
+        let a = parse(
+            "parser A { state s { extract(h, 2);
+               select(h[0:0]) { 0b1 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let mut c = Checker::new(&a, state(&a, "s"), &a, state(&a, "s"), Options::default());
+        let first = match c.run() {
+            Outcome::Equivalent(cert) => cert.to_json(),
+            other => panic!("expected Equivalent, got {other:?}"),
+        };
+        let cold_stats = c.stats().clone();
+        assert_eq!(cold_stats.entailment_memo_hits, 0);
+        let second = match c.run() {
+            Outcome::Equivalent(cert) => cert.to_json(),
+            other => panic!("expected Equivalent, got {other:?}"),
+        };
+        assert_eq!(first, second, "warm re-run must be byte-identical");
+        let warm_stats = c.stats();
+        assert!(warm_stats.sessions_reused > 0, "{warm_stats:?}");
+        assert_eq!(
+            warm_stats.entailment_memo_hits, warm_stats.entailment_checks,
+            "a warm identical re-run replays every verdict from the memo: {warm_stats:?}"
+        );
     }
 }

@@ -1,0 +1,1241 @@
+//! The persistent equivalence-checking engine: the serving unit of the
+//! reproduction.
+//!
+//! The paper's checker is query-oriented — one equivalence question, one
+//! certificate or witness — but a service answering many queries should
+//! not tear down everything it learnt after each one. An [`Engine`] is
+//! built once from a typed [`EngineConfig`] and owns the long-lived state
+//! that earlier PRs introduced for *intra*-query reuse, promoted to
+//! *inter*-query scope:
+//!
+//! * the cross-query structural CNF cache ([`SharedBlastCache`]), shared
+//!   by every query, worker thread and session the engine ever runs;
+//! * the cross-session instantiation ledger ([`InstLedger`]): `∀`-block
+//!   validation verdicts keyed by canonical block identity and support
+//!   valuation, so sessions sharing a guard shape — across pools, threads
+//!   and queries — never re-solve a validation;
+//! * memoized per-pair artifacts: the disjoint-sum construction, the
+//!   reachable template-pair sets and the in-scope template lists, interned
+//!   by automaton pair ([`Engine::prepare_pair`]);
+//! * warm per-guard [`SessionPool`]s plus an exact entailment-verdict memo
+//!   per query shape: re-checking a pair replays the recorded `Skip`
+//!   verdicts without touching the solver, and the sessions stay resident
+//!   for any check that diverges.
+//!
+//! [`Engine::check`] answers one language-equivalence query;
+//! [`Engine::check_batch`] schedules many queries over the existing
+//! work-stealing worker pool — parallelism *across* queries rather than
+//! only inside one frontier generation. Results are bit-identical to the
+//! one-shot path: certificates and witnesses do not depend on engine
+//! warmth, thread count, batching, or cache state (asserted in
+//! `tests/engine.rs`).
+//!
+//! The historical [`Checker`](crate::Checker) and
+//! [`check_language_equivalence`](crate::checker::check_language_equivalence)
+//! entry points are thin wrappers over a transient engine.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use leapfrog_cex::{build_witness, Refutation, Witness};
+use leapfrog_logic::confrel::ConfRel;
+use leapfrog_logic::incremental::{SessionConfig, SessionPool};
+use leapfrog_logic::lower;
+use leapfrog_logic::reach::reachable_pairs;
+use leapfrog_logic::store::RelationStore;
+use leapfrog_logic::templates::{all_templates, Template, TemplatePair};
+use leapfrog_logic::wp::wp;
+use leapfrog_p4a::ast::{Automaton, StateId, Target};
+use leapfrog_p4a::sum::{sum, Sum};
+use leapfrog_smt::{CheckResult, InstLedger, QueryStats, SharedBlastCache, SmtSolver};
+
+use crate::certificate::Certificate;
+use crate::checker::{strict_witness_violation, Options, Outcome};
+use crate::stats::RunStats;
+
+/// The default live-clause floor under which the session GC never
+/// rebuilds a context.
+pub const DEFAULT_SESSION_GC_FLOOR: u64 = 512;
+
+/// Typed, buildable configuration for an [`Engine`]. Subsumes every
+/// `LEAPFROG_*` tuning variable ([`EngineConfig::from_env`] is the compat
+/// path); the builder methods are the first-class one.
+///
+/// | Env var | Config field |
+/// |---|---|
+/// | `LEAPFROG_THREADS` | [`threads`](Self::threads) |
+/// | `LEAPFROG_SESSION_GC` | [`session_gc_ratio`](Self::session_gc_ratio) |
+/// | `LEAPFROG_SESSION_GC_FLOOR` | [`session_gc_floor`](Self::session_gc_floor) |
+/// | `LEAPFROG_STRICT_WITNESS` | [`strict_witness`](Self::strict_witness) |
+/// | `LEAPFROG_NO_BLAST_CACHE` | [`blast_cache`](Self::blast_cache) |
+///
+/// Only `leaps`, `reach_pruning`, `early_stop` and `max_iterations`
+/// change *what* is computed (they are part of a query's semantic shape);
+/// everything else changes how fast.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Use bisimulations with leaps (§5.2).
+    pub leaps: bool,
+    /// Prune the search to reachable template pairs (§5.1).
+    pub reach_pruning: bool,
+    /// Report non-equivalence as soon as a contradicting relation joins
+    /// `R` instead of only at the final `Close` step.
+    pub early_stop: bool,
+    /// Abort after this many worklist iterations (`None` = unbounded).
+    pub max_iterations: Option<u64>,
+    /// Worker threads (`0` = available parallelism). Inside one query they
+    /// parallelize frontier generations; across a batch they parallelize
+    /// whole queries.
+    pub threads: usize,
+    /// Hard-error on unconfirmed witnesses for standard queries.
+    pub strict_witness: bool,
+    /// Session clause-budget GC ratio (`None` = off).
+    pub session_gc_ratio: Option<f64>,
+    /// Live-clause floor under which a session never rebuilds.
+    pub session_gc_floor: u64,
+    /// Whether the shared structural CNF cache is enabled.
+    pub blast_cache: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            leaps: true,
+            reach_pruning: true,
+            early_stop: true,
+            max_iterations: None,
+            threads: 0,
+            strict_witness: false,
+            session_gc_ratio: Some(crate::checker::DEFAULT_SESSION_GC_RATIO),
+            session_gc_floor: DEFAULT_SESSION_GC_FLOOR,
+            blast_cache: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Pure defaults: every optimization on, auto thread count, GC ratio 4
+    /// with a 512-clause floor — independent of the environment.
+    pub fn new() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    /// The environment-compat constructor: reads every `LEAPFROG_*`
+    /// tuning variable into its config field (see the type-level table).
+    pub fn from_env() -> EngineConfig {
+        EngineConfig {
+            threads: threads_from_env(),
+            strict_witness: strict_witness_from_env(),
+            session_gc_ratio: session_gc_from_env(),
+            session_gc_floor: session_gc_floor_from_env(),
+            blast_cache: std::env::var("LEAPFROG_NO_BLAST_CACHE").as_deref() != Ok("1"),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Lifts per-query [`Options`] into an engine configuration (the
+    /// compat direction used by the [`Checker`](crate::Checker) wrapper).
+    pub fn from_options(o: &Options) -> EngineConfig {
+        EngineConfig {
+            leaps: o.leaps,
+            reach_pruning: o.reach_pruning,
+            early_stop: o.early_stop,
+            max_iterations: o.max_iterations,
+            threads: o.threads,
+            strict_witness: o.strict_witness,
+            session_gc_ratio: o.session_gc_ratio,
+            session_gc_floor: o.session_gc_floor,
+            blast_cache: o.blast_cache,
+        }
+    }
+
+    /// Projects this configuration onto per-query [`Options`].
+    pub fn options(&self) -> Options {
+        Options {
+            leaps: self.leaps,
+            reach_pruning: self.reach_pruning,
+            early_stop: self.early_stop,
+            max_iterations: self.max_iterations,
+            threads: self.threads,
+            strict_witness: self.strict_witness,
+            session_gc_ratio: self.session_gc_ratio,
+            session_gc_floor: self.session_gc_floor,
+            blast_cache: self.blast_cache,
+        }
+    }
+
+    /// The worker-thread count this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        self.options().effective_threads()
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Enables or disables leaps (builder style).
+    pub fn leaps(mut self, on: bool) -> Self {
+        self.leaps = on;
+        self
+    }
+
+    /// Enables or disables reachability pruning (builder style).
+    pub fn reach_pruning(mut self, on: bool) -> Self {
+        self.reach_pruning = on;
+        self
+    }
+
+    /// Enables or disables early stopping (builder style).
+    pub fn early_stop(mut self, on: bool) -> Self {
+        self.early_stop = on;
+        self
+    }
+
+    /// Sets the iteration budget (builder style).
+    pub fn max_iterations(mut self, limit: Option<u64>) -> Self {
+        self.max_iterations = limit;
+        self
+    }
+
+    /// Enables or disables strict witness mode (builder style).
+    pub fn strict_witness(mut self, on: bool) -> Self {
+        self.strict_witness = on;
+        self
+    }
+
+    /// Sets the session GC ratio (builder style).
+    pub fn session_gc_ratio(mut self, ratio: Option<f64>) -> Self {
+        self.session_gc_ratio = ratio;
+        self
+    }
+
+    /// Sets the session GC live-clause floor (builder style).
+    pub fn session_gc_floor(mut self, floor: u64) -> Self {
+        self.session_gc_floor = floor;
+        self
+    }
+
+    /// Enables or disables the shared blast cache (builder style).
+    pub fn blast_cache(mut self, on: bool) -> Self {
+        self.blast_cache = on;
+        self
+    }
+
+    /// Finishes the builder: a fresh engine owning this configuration.
+    pub fn build(self) -> Engine {
+        Engine::new(self)
+    }
+}
+
+pub(crate) fn threads_from_env() -> usize {
+    std::env::var("LEAPFROG_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+pub(crate) fn strict_witness_from_env() -> bool {
+    matches!(
+        std::env::var("LEAPFROG_STRICT_WITNESS").as_deref(),
+        Ok("1") | Ok("true")
+    )
+}
+
+pub(crate) fn session_gc_from_env() -> Option<f64> {
+    match std::env::var("LEAPFROG_SESSION_GC") {
+        Ok(s) => {
+            let t = s.trim();
+            if t.eq_ignore_ascii_case("off") {
+                return None;
+            }
+            match t.parse::<f64>() {
+                // Any spelling of a non-positive ratio ("0", "0.0", "0e0")
+                // disables the GC, matching the documented contract.
+                Ok(r) if r.is_finite() && r > 0.0 => Some(r),
+                Ok(_) => None,
+                Err(_) => Some(crate::checker::DEFAULT_SESSION_GC_RATIO),
+            }
+        }
+        Err(_) => Some(crate::checker::DEFAULT_SESSION_GC_RATIO),
+    }
+}
+
+pub(crate) fn session_gc_floor_from_env() -> u64 {
+    std::env::var("LEAPFROG_SESSION_GC_FLOOR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SESSION_GC_FLOOR)
+}
+
+/// A handle to an automaton pair interned by [`Engine::prepare_pair`]:
+/// its sum, root template pair and scope sets live in the engine for the
+/// engine's whole lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairId(usize);
+
+/// One query for [`Engine::check_batch`]: a named parser pair posing a
+/// standard language-equivalence question.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Name used for reporting and witness-corpus recording.
+    pub name: String,
+    /// The left parser.
+    pub left: Automaton,
+    /// Start state of the left parser.
+    pub ql: StateId,
+    /// The right parser.
+    pub right: Automaton,
+    /// Start state of the right parser.
+    pub qr: StateId,
+}
+
+impl QuerySpec {
+    /// A named language-equivalence query.
+    pub fn new(
+        name: impl Into<String>,
+        left: &Automaton,
+        ql: StateId,
+        right: &Automaton,
+        qr: StateId,
+    ) -> QuerySpec {
+        QuerySpec {
+            name: name.into(),
+            left: left.clone(),
+            ql,
+            right: right.clone(),
+            qr,
+        }
+    }
+}
+
+/// A fully elaborated query over a prepared pair — what
+/// [`Engine::run_prepared`] executes. The [`Checker`](crate::Checker)
+/// wrapper builds one of these from its mutable setup calls; the standard
+/// case comes from [`Engine::standard_request`].
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Include the standard acceptance-compatibility initial conditions.
+    pub standard_init: bool,
+    /// Additional (or, when `standard_init` is false, *replacement*)
+    /// initial-relation conjuncts.
+    pub extra_init: Vec<ConfRel>,
+    /// The query `φ` at the root guard.
+    pub query: ConfRel,
+    /// Per-query options (semantic knobs + scheduling).
+    pub options: Options,
+}
+
+/// Recipient for confirmed refutation witnesses found by named checks
+/// ([`Engine::check_named`] / [`Engine::check_batch`]). The witness
+/// regression corpus in the evaluation suite implements this, so an
+/// engine can feed it directly.
+pub trait WitnessSink: Send {
+    /// Records a confirmed witness under a query name; returns whether
+    /// the entry was new.
+    fn record(&mut self, name: &str, witness: &Witness) -> bool;
+}
+
+/// Cumulative reuse counters over an engine's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Queries answered (including every batch member).
+    pub checks: u64,
+    /// [`Engine::check_batch`] invocations.
+    pub batches: u64,
+    /// Distinct automaton pairs interned.
+    pub pairs_interned: u64,
+    /// Queries that found their pair's sum construction (and everything
+    /// hanging off it) already resident from an earlier run.
+    pub sum_cache_hits: u64,
+    /// Scope/reachability sets served from the per-pair memo.
+    pub reach_cache_hits: u64,
+    /// Warm guard sessions attached to queries (counted once per session
+    /// per warm attach).
+    pub sessions_reused: u64,
+    /// Entailment verdicts replayed from warm-state memos without any
+    /// solver contact.
+    pub entailment_memo_hits: u64,
+}
+
+/// Per-pair interned artifacts plus the warm per-query-shape state.
+struct PairState {
+    left: Automaton,
+    ql: StateId,
+    right: Automaton,
+    qr: StateId,
+    sum: Sum,
+    root: TemplatePair,
+    /// Scope sets keyed by `(leaps, reach_pruning)`.
+    scopes: HashMap<(bool, bool), Arc<Vec<TemplatePair>>>,
+    /// Warm session pools + verdict memos keyed by query shape.
+    warm: HashMap<WarmKey, WarmState>,
+    /// Queries answered over this pair (0 = its artifacts were built but
+    /// never yet used by a run).
+    runs: u64,
+}
+
+/// A cheap structural fingerprint of a query pair, used to index the
+/// intern table so lookup cost stays independent of how many pairs the
+/// engine has served (deep equality is only checked within a bucket).
+fn pair_fingerprint(left: &Automaton, ql: StateId, right: &Automaton, qr: StateId) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{left:?}").hash(&mut h);
+    ql.hash(&mut h);
+    format!("{right:?}").hash(&mut h);
+    qr.hash(&mut h);
+    h.finish()
+}
+
+/// Everything that determines a query's result (given a pair): two
+/// requests with equal keys are deterministic replays of each other, so
+/// they may share warm state — including the exact verdict memo.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct WarmKey {
+    standard_init: bool,
+    extra_init: Vec<ConfRel>,
+    query: ConfRel,
+    leaps: bool,
+    reach_pruning: bool,
+    early_stop: bool,
+    max_iterations: Option<u64>,
+}
+
+impl WarmKey {
+    fn of(req: &QueryRequest) -> WarmKey {
+        WarmKey {
+            standard_init: req.standard_init,
+            extra_init: req.extra_init.clone(),
+            query: req.query.clone(),
+            leaps: req.options.leaps,
+            reach_pruning: req.options.reach_pruning,
+            early_stop: req.options.early_stop,
+            max_iterations: req.options.max_iterations,
+        }
+    }
+}
+
+/// The warm state of one query shape: resident session pools and the
+/// exact entailment-verdict memo.
+///
+/// The memo key is `(guard, same-guard premise count, conclusion)`. Within
+/// one query shape the worklist run is deterministic, so the `k`-th
+/// same-guard premise slice is identical across runs — the key uniquely
+/// identifies the premise *set*, not just its size, and the recorded
+/// verdict is exact. A fully warm re-check therefore replays every `Skip`
+/// decision without a single solver call.
+#[derive(Default)]
+struct WarmState {
+    main_pool: Option<SessionPool>,
+    worker_pools: Vec<SessionPool>,
+    memo: HashMap<(TemplatePair, usize, Arc<ConfRel>), bool>,
+    runs: u64,
+}
+
+impl WarmState {
+    /// Warm guard sessions currently resident across all pools.
+    fn session_count(&self) -> usize {
+        self.main_pool.as_ref().map(SessionPool::len).unwrap_or(0)
+            + self
+                .worker_pools
+                .iter()
+                .map(SessionPool::len)
+                .sum::<usize>()
+    }
+
+    /// Ensures the main pool exists and at least `threads` worker slots do.
+    fn ensure_pools(&mut self, threads: usize, cfg: &SessionConfig) {
+        if self.main_pool.is_none() {
+            self.main_pool = Some(SessionPool::with_config(cfg.clone()));
+        }
+        let workers = if threads > 1 { threads } else { 0 };
+        while self.worker_pools.len() < workers {
+            self.worker_pools
+                .push(SessionPool::with_config(cfg.clone()));
+        }
+    }
+}
+
+/// The persistent engine. See the module docs for what it keeps warm.
+pub struct Engine {
+    config: EngineConfig,
+    cache: SharedBlastCache,
+    ledger: InstLedger,
+    pairs: Vec<PairState>,
+    /// Intern index: pair fingerprint → candidate indices into `pairs`.
+    pair_index: HashMap<u64, Vec<usize>>,
+    stats: EngineStats,
+    last_run: RunStats,
+    sink: Option<Box<dyn WitnessSink>>,
+}
+
+impl Engine {
+    /// Builds an engine owning the given configuration. (Also reachable as
+    /// [`EngineConfig::build`].)
+    pub fn new(config: EngineConfig) -> Engine {
+        let cache = SharedBlastCache::with_enabled(config.blast_cache);
+        Engine {
+            config,
+            cache,
+            ledger: InstLedger::new(),
+            pairs: Vec::new(),
+            pair_index: HashMap::new(),
+            stats: EngineStats::default(),
+            last_run: RunStats::default(),
+            sink: None,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// A clonable handle to the engine's shared blast cache.
+    pub fn shared_cache(&self) -> SharedBlastCache {
+        self.cache.clone()
+    }
+
+    /// Cumulative reuse statistics over the engine's lifetime.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Statistics of the most recent query (for a batch: the whole batch,
+    /// merged in submission order).
+    pub fn last_run_stats(&self) -> &RunStats {
+        &self.last_run
+    }
+
+    /// Attaches a recipient for confirmed refutation witnesses found by
+    /// named checks (e.g. the evaluation suite's witness corpus).
+    pub fn attach_witness_sink(&mut self, sink: Box<dyn WitnessSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the witness sink, if one was attached.
+    pub fn take_witness_sink(&mut self) -> Option<Box<dyn WitnessSink>> {
+        self.sink.take()
+    }
+
+    /// Interns an automaton pair: on first sight the disjoint sum and root
+    /// template pair are constructed; afterwards the same handle (and all
+    /// memoized artifacts behind it) is returned without rebuilding.
+    pub fn prepare_pair(
+        &mut self,
+        left: &Automaton,
+        ql: StateId,
+        right: &Automaton,
+        qr: StateId,
+    ) -> PairId {
+        let (pid, _) = self.intern_pair(left, ql, right, qr);
+        pid
+    }
+
+    fn intern_pair(
+        &mut self,
+        left: &Automaton,
+        ql: StateId,
+        right: &Automaton,
+        qr: StateId,
+    ) -> (PairId, bool) {
+        let fp = pair_fingerprint(left, ql, right, qr);
+        if let Some(bucket) = self.pair_index.get(&fp) {
+            for &i in bucket {
+                let p = &self.pairs[i];
+                if p.ql == ql && p.qr == qr && p.left == *left && p.right == *right {
+                    return (PairId(i), true);
+                }
+            }
+        }
+        let sum_info = sum(left, right);
+        let root = TemplatePair::new(
+            Template::start(sum_info.left_state(ql)),
+            Template::start(sum_info.right_state(qr)),
+        );
+        self.pairs.push(PairState {
+            left: left.clone(),
+            ql,
+            right: right.clone(),
+            qr,
+            sum: sum_info,
+            root,
+            scopes: HashMap::new(),
+            warm: HashMap::new(),
+            runs: 0,
+        });
+        let i = self.pairs.len() - 1;
+        self.pair_index.entry(fp).or_default().push(i);
+        self.stats.pairs_interned += 1;
+        (PairId(i), false)
+    }
+
+    /// The disjoint-sum automaton of a prepared pair.
+    pub fn sum_automaton(&self, pid: PairId) -> &Automaton {
+        &self.pairs[pid.0].sum.automaton
+    }
+
+    /// The sum's identifier mappings for a prepared pair.
+    pub fn sum_info(&self, pid: PairId) -> &Sum {
+        &self.pairs[pid.0].sum
+    }
+
+    /// The root template pair of a prepared pair.
+    pub fn root(&self, pid: PairId) -> TemplatePair {
+        self.pairs[pid.0].root
+    }
+
+    /// The reachable template pairs of a prepared pair under the engine's
+    /// leap setting, memoized for the engine's lifetime.
+    pub fn reachable(&mut self, pid: PairId) -> Arc<Vec<TemplatePair>> {
+        self.scope_for(pid, self.config.leaps, true).0
+    }
+
+    /// The standard language-equivalence request for a prepared pair under
+    /// the engine's configuration.
+    pub fn standard_request(&self, pid: PairId) -> QueryRequest {
+        QueryRequest {
+            standard_init: true,
+            extra_init: Vec::new(),
+            query: ConfRel::trivial(self.root(pid)),
+            options: self.config.options(),
+        }
+    }
+
+    /// Checks `L(left, ql) = L(right, qr)` for all initial stores, reusing
+    /// every warm artifact the engine holds for this pair.
+    pub fn check(
+        &mut self,
+        left: &Automaton,
+        ql: StateId,
+        right: &Automaton,
+        qr: StateId,
+    ) -> Outcome {
+        let (pid, _) = self.intern_pair(left, ql, right, qr);
+        let req = self.standard_request(pid);
+        self.run_prepared(pid, &req)
+    }
+
+    /// [`Engine::check`] with a name: a confirmed refutation witness is
+    /// additionally recorded into the attached [`WitnessSink`].
+    pub fn check_named(
+        &mut self,
+        name: &str,
+        left: &Automaton,
+        ql: StateId,
+        right: &Automaton,
+        qr: StateId,
+    ) -> Outcome {
+        let outcome = self.check(left, ql, right, qr);
+        if let (Some(sink), Some(w)) = (self.sink.as_mut(), outcome.witness()) {
+            sink.record(name, w);
+        }
+        outcome
+    }
+
+    /// Runs an elaborated request over a prepared pair. Per-run statistics
+    /// land in [`Engine::last_run_stats`].
+    pub fn run_prepared(&mut self, pid: PairId, req: &QueryRequest) -> Outcome {
+        let opts = req.options;
+        let (scope, reach_hit) = self.scope_for(pid, opts.leaps, opts.reach_pruning);
+        let key = WarmKey::of(req);
+        let mut warm = self.pairs[pid.0].warm.remove(&key).unwrap_or_default();
+        let aut = self.pairs[pid.0].sum.automaton.clone();
+        let mut solver = SmtSolver::with_shared_cache(self.cache.clone());
+        let mut stats = RunStats {
+            reach_cache_hits: reach_hit as u64,
+            // The pair's sum/root artifacts were already resident iff a
+            // prior run used them — counted here so every entry point
+            // (check, Checker::run, the relational row runners) reports
+            // sum reuse consistently.
+            sum_cache_hits: (self.pairs[pid.0].runs > 0) as u64,
+            ..RunStats::default()
+        };
+        self.pairs[pid.0].runs += 1;
+        let outcome = run_worklist(
+            &aut,
+            &scope,
+            req,
+            &mut warm,
+            &self.cache,
+            &self.ledger,
+            &mut solver,
+            &mut stats,
+        );
+        self.pairs[pid.0].warm.insert(key, warm);
+        self.absorb_run(&stats);
+        self.last_run = stats;
+        outcome
+    }
+
+    fn absorb_run(&mut self, stats: &RunStats) {
+        self.stats.checks += 1;
+        self.stats.sessions_reused += stats.sessions_reused;
+        self.stats.entailment_memo_hits += stats.entailment_memo_hits;
+        self.stats.reach_cache_hits += stats.reach_cache_hits;
+        self.stats.sum_cache_hits += stats.sum_cache_hits;
+    }
+
+    /// Answers many language-equivalence queries, scheduling them over the
+    /// work-stealing worker pool: queries on *distinct* pairs run
+    /// concurrently (one worker drains a shared cursor over the pair
+    /// groups), while queries on the *same* pair run back-to-back in one
+    /// group so the later ones hit that pair's warm state. With one
+    /// thread the batch runs sequentially and still reuses everything.
+    /// Outcomes are returned in submission order and are bit-identical to
+    /// checking each spec individually.
+    pub fn check_batch(&mut self, specs: &[QuerySpec]) -> Vec<Outcome> {
+        self.stats.batches += 1;
+        let threads = self.config.effective_threads();
+        let mut outcomes: Vec<Option<Outcome>> = (0..specs.len()).map(|_| None).collect();
+        let mut merged = RunStats::default();
+        if threads <= 1 {
+            // Sequential batch: inner per-query parallelism is moot at one
+            // thread, and warm reuse across duplicate specs still applies.
+            for (i, s) in specs.iter().enumerate() {
+                outcomes[i] = Some(self.check(&s.left, s.ql, &s.right, s.qr));
+                merged.merge(&self.last_run);
+            }
+        } else {
+            // Group submission indices by interned pair, preserving
+            // first-seen order (the deterministic order stats merge in).
+            let mut groups: Vec<(PairId, Vec<usize>)> = Vec::new();
+            for (i, s) in specs.iter().enumerate() {
+                let (pid, _) = self.intern_pair(&s.left, s.ql, &s.right, s.qr);
+                match groups.iter_mut().find(|(p, _)| *p == pid) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => groups.push((pid, vec![i])),
+                }
+            }
+            // Parallel batch: one task per pair group, inner threads = 1 —
+            // the worker pool parallelizes across queries instead of
+            // inside each one. Queries of the same group run back-to-back
+            // on one worker so they hit the group's warm state.
+            struct GroupTask {
+                pid: PairId,
+                aut: Automaton,
+                scope: Arc<Vec<TemplatePair>>,
+                req: QueryRequest,
+                warm: WarmState,
+                /// This pair's run count before the batch — the group's
+                /// first query reports sum reuse iff it is nonzero; later
+                /// group members always reuse.
+                prior_runs: u64,
+                indices: Vec<usize>,
+                results: Vec<(usize, Outcome, RunStats)>,
+            }
+            let mut inner_opts = self.config.options();
+            inner_opts.threads = 1;
+            let mut tasks: Vec<GroupTask> = groups
+                .into_iter()
+                .map(|(pid, indices)| {
+                    let (scope, reach_hit) =
+                        self.scope_for(pid, inner_opts.leaps, inner_opts.reach_pruning);
+                    merged.reach_cache_hits += reach_hit as u64;
+                    let mut req = self.standard_request(pid);
+                    req.options = inner_opts;
+                    let key = WarmKey::of(&req);
+                    let prior_runs = self.pairs[pid.0].runs;
+                    self.pairs[pid.0].runs += indices.len() as u64;
+                    GroupTask {
+                        pid,
+                        aut: self.pairs[pid.0].sum.automaton.clone(),
+                        scope,
+                        warm: self.pairs[pid.0].warm.remove(&key).unwrap_or_default(),
+                        req,
+                        prior_runs,
+                        indices,
+                        results: Vec::new(),
+                    }
+                })
+                .collect();
+            let cache = &self.cache;
+            let ledger = &self.ledger;
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            let task_cells: Vec<std::sync::Mutex<Option<&mut GroupTask>>> = tasks
+                .iter_mut()
+                .map(|t| std::sync::Mutex::new(Some(t)))
+                .collect();
+            std::thread::scope(|s| {
+                for _ in 0..threads.min(task_cells.len()) {
+                    let cursor = &cursor;
+                    let task_cells = &task_cells;
+                    s.spawn(move || loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= task_cells.len() {
+                            break;
+                        }
+                        let Some(task) = task_cells[i].lock().unwrap().take() else {
+                            continue;
+                        };
+                        for &qi in &task.indices {
+                            let mut solver = SmtSolver::with_shared_cache(cache.clone());
+                            let mut stats = RunStats::default();
+                            let outcome = run_worklist(
+                                &task.aut,
+                                &task.scope,
+                                &task.req,
+                                &mut task.warm,
+                                cache,
+                                ledger,
+                                &mut solver,
+                                &mut stats,
+                            );
+                            task.results.push((qi, outcome, stats));
+                        }
+                    });
+                }
+            });
+            for mut task in tasks {
+                let key = WarmKey::of(&task.req);
+                self.pairs[task.pid.0].warm.insert(key, task.warm);
+                for (j, (qi, outcome, mut stats)) in task.results.drain(..).enumerate() {
+                    stats.sum_cache_hits = if j == 0 {
+                        (task.prior_runs > 0) as u64
+                    } else {
+                        1
+                    };
+                    self.absorb_run(&stats);
+                    merged.merge(&stats);
+                    outcomes[qi] = Some(outcome);
+                }
+            }
+        }
+        self.last_run = merged;
+        let outcomes: Vec<Outcome> = outcomes.into_iter().map(Option::unwrap).collect();
+        if let Some(sink) = self.sink.as_mut() {
+            for (spec, outcome) in specs.iter().zip(&outcomes) {
+                if let Some(w) = outcome.witness() {
+                    sink.record(&spec.name, w);
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// The template pairs a query over `pid` considers, memoized per
+    /// `(leaps, reach_pruning)`. The second component reports whether the
+    /// set was served from the memo.
+    fn scope_for(
+        &mut self,
+        pid: PairId,
+        leaps: bool,
+        reach_pruning: bool,
+    ) -> (Arc<Vec<TemplatePair>>, bool) {
+        let pair = &mut self.pairs[pid.0];
+        if let Some(s) = pair.scopes.get(&(leaps, reach_pruning)) {
+            return (s.clone(), true);
+        }
+        let scope: Vec<TemplatePair> = if reach_pruning {
+            reachable_pairs(&pair.sum.automaton, &[pair.root], leaps)
+        } else {
+            // The full product of left-side and right-side templates
+            // (left-parser states never appear on the right, so restrict
+            // each side to its own parser's states plus accept/reject).
+            let side_templates = |left: bool| -> Vec<Template> {
+                all_templates(&pair.sum.automaton)
+                    .into_iter()
+                    .filter(|t| match t.target {
+                        Target::State(q) => pair.sum.is_left_state(q) == left,
+                        _ => true,
+                    })
+                    .collect()
+            };
+            let ls = side_templates(true);
+            let rs = side_templates(false);
+            let mut out = Vec::with_capacity(ls.len() * rs.len());
+            for l in &ls {
+                for r in &rs {
+                    out.push(TemplatePair::new(*l, *r));
+                }
+            }
+            out
+        };
+        let scope = Arc::new(scope);
+        pair.scopes.insert((leaps, reach_pruning), scope.clone());
+        (scope, false)
+    }
+}
+
+/// Merges worker/session statistics from the main pool and all worker
+/// slots, in deterministic slot order.
+fn pool_stats(main: &SessionPool, workers: &[SessionPool]) -> QueryStats {
+    let mut out = main.stats();
+    for w in workers {
+        out.absorb(&w.stats());
+    }
+    out
+}
+
+/// Algorithm 1 over engine-owned resources: the guard-indexed worklist
+/// with the work-stealing parallel frontier (see `core::checker`'s module
+/// docs for the algorithm), plus the warm-state fast paths:
+///
+/// * every merged entailment verdict is recorded in the warm state's memo
+///   and replayed on later runs of the same query shape;
+/// * session pools persist across runs, so premise clauses, learnt CDCL
+///   state and CEGAR instantiations carry over whenever a check misses
+///   the memo.
+#[allow(clippy::too_many_arguments)]
+fn run_worklist(
+    aut: &Automaton,
+    scope: &[TemplatePair],
+    req: &QueryRequest,
+    warm: &mut WarmState,
+    cache: &SharedBlastCache,
+    ledger: &InstLedger,
+    solver: &mut SmtSolver,
+    stats: &mut RunStats,
+) -> Outcome {
+    let start = Instant::now();
+    let opts = &req.options;
+    let threads = opts.effective_threads();
+    stats.scope_pairs = scope.len();
+    stats.threads = threads;
+    stats.sessions_reused = warm.session_count() as u64;
+    warm.runs += 1;
+
+    let session_cfg = SessionConfig {
+        gc_ratio: opts.session_gc_ratio,
+        gc_floor: opts.session_gc_floor,
+        ledger: Some(ledger.clone()),
+    };
+    warm.ensure_pools(threads, &session_cfg);
+    let mut main_pool = warm.main_pool.take().expect("ensured above");
+    let mut worker_pools = std::mem::take(&mut warm.worker_pools);
+    let session_base = pool_stats(&main_pool, &worker_pools);
+
+    // Initial relation I (Lemma 4.10 / Theorem 5.2): forbid pairs that
+    // disagree on acceptance, restricted to the scope; plus any
+    // user-supplied conditions.
+    //
+    // Every relation that enters the frontier gets a provenance record
+    // — which relation its weakest precondition was derived from — so a
+    // refutation can be lifted into a concrete witness by walking the
+    // wp chain back to the violated initial conjunct.
+    // The provenance table, the dedup map and the relation store share
+    // each relation via `Arc`, so a relation is deep-stored exactly
+    // once however many structures (or threads) reference it.
+    let mut frontier: VecDeque<usize> = VecDeque::new();
+    let mut prov: Vec<(Arc<ConfRel>, Option<usize>)> = Vec::new();
+    let mut seen: HashMap<Arc<ConfRel>, usize> = HashMap::new();
+    let mut init: Vec<ConfRel> = Vec::new();
+    if req.standard_init {
+        for p in scope {
+            if p.left.is_accepting() != p.right.is_accepting() {
+                init.push(ConfRel::forbidden(*p));
+            }
+        }
+    }
+    init.extend(req.extra_init.iter().cloned());
+    for rel in &init {
+        if !seen.contains_key(rel) {
+            let id = prov.len();
+            let shared = Arc::new(rel.clone());
+            seen.insert(shared.clone(), id);
+            prov.push((shared, None));
+            frontier.push_back(id);
+        }
+    }
+
+    let mut relation = RelationStore::new();
+    // Seals the run-wide statistics before returning any outcome, so
+    // `extended` (= |R|), wall time and query counters are populated on
+    // the `Equivalent`, `NotEquivalent` *and* `Aborted` paths alike. Only
+    // this run's share of the (possibly warm) session counters is
+    // charged, via the baseline delta.
+    macro_rules! seal {
+        ($relation_len:expr) => {{
+            stats.wall_time = start.elapsed();
+            let mut queries = solver.stats().clone();
+            queries.absorb(&pool_stats(&main_pool, &worker_pools).delta_since(&session_base));
+            stats.queries = queries;
+            stats.extended = $relation_len as u64;
+            warm.main_pool = Some(main_pool);
+            warm.worker_pools = worker_pools;
+        }};
+    }
+
+    let violation = |rho: &ConfRel,
+                     id: usize,
+                     prov: &[(Arc<ConfRel>, Option<usize>)],
+                     solver: &mut SmtSolver,
+                     stats: &mut RunStats|
+     -> Option<Refutation> {
+        query_violation(
+            aut,
+            &req.query,
+            req.standard_init,
+            opts,
+            rho,
+            id,
+            prov,
+            solver,
+            stats,
+        )
+    };
+
+    let mut batch: Vec<usize> = Vec::new();
+    loop {
+        // One frontier generation per round: everything currently
+        // queued was derived before any of it is processed, so the
+        // entailment checks against the current `R` are independent.
+        batch.clear();
+        batch.extend(frontier.drain(..));
+        if batch.is_empty() {
+            break;
+        }
+
+        // Warm probe: when the memo can replay the entire generation
+        // (simulating the merge-time premise counts), skip the parallel
+        // precompute — no solver contact at all for this generation.
+        let memo_covered = memo_covers_generation(warm, &relation, &batch, &prov);
+
+        // Parallel phase: precompute `⋀R ⊨ ψ` for the whole generation
+        // against the immutable snapshot of the store.
+        let verdicts: Vec<Option<bool>> = if threads > 1 && batch.len() > 1 && !memo_covered {
+            let items: Vec<Arc<ConfRel>> = batch.iter().map(|&id| prov[id].0.clone()).collect();
+            let verdicts =
+                parallel_entailment(aut, &relation, &items, &mut worker_pools[..threads], cache);
+            stats.parallel_batches += 1;
+            stats.parallel_checks += items.len() as u64;
+            verdicts.into_iter().map(Some).collect()
+        } else {
+            vec![None; batch.len()]
+        };
+
+        // Deterministic merge: replay the generation in frontier
+        // order. `grew` tracks guards that gained a relation after the
+        // snapshot — only those can invalidate a "not entailed"
+        // verdict ("entailed" is monotone under growing `R`).
+        let mut grew: HashSet<TemplatePair> = HashSet::new();
+        for (bi, &id) in batch.iter().enumerate() {
+            let psi = prov[id].0.clone();
+            stats.iterations += 1;
+            if let Some(limit) = opts.max_iterations {
+                if stats.iterations > limit {
+                    let len = relation.len();
+                    seal!(len);
+                    return Outcome::Aborted(format!(
+                        "iteration budget {limit} exhausted with |R| = {len}"
+                    ));
+                }
+            }
+            stats.max_formula_size = stats.max_formula_size.max(psi.phi.size());
+
+            stats.entailment_checks += 1;
+            let matching = relation.matching_count(psi.guard);
+            stats.premises_matched += matching as u64;
+            stats.premises_total += relation.len() as u64;
+            let memo_key = (psi.guard, matching, psi.clone());
+            let entailed = match warm.memo.get(&memo_key) {
+                Some(&v) => {
+                    stats.entailment_memo_hits += 1;
+                    v
+                }
+                None => {
+                    let v = match verdicts[bi] {
+                        Some(true) => true,
+                        Some(false) if !grew.contains(&psi.guard) => false,
+                        precomputed => {
+                            if precomputed.is_some() {
+                                stats.merge_rechecks += 1;
+                            }
+                            main_pool.check(aut, &relation.matching(psi.guard), &psi, cache)
+                        }
+                    };
+                    warm.memo.insert(memo_key, v);
+                    v
+                }
+            };
+            if entailed {
+                stats.skipped += 1;
+                continue;
+            }
+            // Early failure: ψ will be part of R, and the Close step
+            // requires φ ⊨ ψ.
+            if opts.early_stop && psi.guard == req.query.guard {
+                if let Some(refutation) = violation(&psi, id, &prov, solver, stats) {
+                    let len = relation.len();
+                    seal!(len);
+                    return Outcome::NotEquivalent(refutation);
+                }
+            }
+            for pred in scope {
+                if let Some(chi) = wp(aut, &psi, pred, opts.leaps) {
+                    stats.wp_generated += 1;
+                    if !seen.contains_key(&chi) {
+                        let cid = prov.len();
+                        let shared = Arc::new(chi);
+                        seen.insert(shared.clone(), cid);
+                        prov.push((shared, Some(id)));
+                        frontier.push_back(cid);
+                    }
+                }
+            }
+            grew.insert(psi.guard);
+            relation.push(psi);
+        }
+    }
+
+    // Close: φ ⊨ ⋀R, checked conjunct by conjunct (non-matching guards
+    // are vacuous after template filtering).
+    for rho in relation.iter() {
+        if rho.guard != req.query.guard {
+            continue;
+        }
+        let id = seen[rho];
+        if let Some(refutation) = violation(rho, id, &prov, solver, stats) {
+            let len = relation.len();
+            seal!(len);
+            return Outcome::NotEquivalent(refutation);
+        }
+    }
+
+    let len = relation.len();
+    seal!(len);
+    Outcome::Equivalent(Certificate {
+        leaps: opts.leaps,
+        standard_init: req.standard_init,
+        query: req.query.clone(),
+        init,
+        relation: relation.to_vec(),
+    })
+}
+
+/// Whether the warm memo can replay every verdict of one frontier
+/// generation. Simulates the merge's same-guard premise counts (a "not
+/// entailed" verdict grows the guard's slice) without touching the store.
+fn memo_covers_generation(
+    warm: &WarmState,
+    relation: &RelationStore,
+    batch: &[usize],
+    prov: &[(Arc<ConfRel>, Option<usize>)],
+) -> bool {
+    if warm.memo.is_empty() {
+        return false;
+    }
+    let mut extra: HashMap<TemplatePair, usize> = HashMap::new();
+    for &id in batch {
+        let psi = &prov[id].0;
+        let count =
+            relation.matching_count(psi.guard) + extra.get(&psi.guard).copied().unwrap_or(0);
+        match warm.memo.get(&(psi.guard, count, psi.clone())) {
+            None => return false,
+            Some(true) => {}
+            Some(false) => {
+                *extra.entry(psi.guard).or_insert(0) += 1;
+            }
+        }
+    }
+    true
+}
+
+/// Checks `φ ⊨ ρ`; on failure lifts the countermodel into a concrete,
+/// confirmed, minimized witness via the counterexample engine. `id`
+/// indexes `prov`, whose parent links trace ρ back through the wp
+/// chain to the initial conjunct it was derived from; the chain shares
+/// the provenance table's relations by `Arc`.
+///
+/// Runs on the per-query one-shot solver (not the warm sessions), so the
+/// extracted countermodel — and therefore the witness — is independent of
+/// engine warmth, session history and thread count.
+///
+/// # Panics
+///
+/// Panics when [`Options::strict_witness`] is set, the query is a
+/// standard language-equivalence query, and the countermodel could not
+/// be lifted into a confirmed witness.
+#[allow(clippy::too_many_arguments)]
+fn query_violation(
+    aut: &Automaton,
+    query: &ConfRel,
+    standard_init: bool,
+    opts: &Options,
+    rho: &ConfRel,
+    id: usize,
+    prov: &[(Arc<ConfRel>, Option<usize>)],
+    solver: &mut SmtSolver,
+    stats: &mut RunStats,
+) -> Option<Refutation> {
+    let q = lower::lower(aut, std::slice::from_ref(query), rho);
+    match solver.check_valid(&q.decls, &q.goal) {
+        CheckResult::Valid => None,
+        CheckResult::Invalid(model) => {
+            let diagnostic = format!(
+                "query {} does not entail {}\ncountermodel:\n{}",
+                query.display(aut),
+                rho.display(aut),
+                model.display(&q.decls)
+            );
+            let mut chain: Vec<Arc<ConfRel>> = Vec::new();
+            let mut cursor = Some(id);
+            while let Some(i) = cursor {
+                chain.push(prov[i].0.clone());
+                cursor = prov[i].1;
+            }
+            let refutation = build_witness(aut, &chain, &q.decls, &q.vars, &model, diagnostic);
+            match &refutation {
+                Refutation::Witness(w) => {
+                    stats.witnesses_confirmed += 1;
+                    stats.witness_bits_minimized += (w.original_bits - w.packet.len()) as u64;
+                }
+                Refutation::Unconfirmed { .. } => stats.witnesses_unconfirmed += 1,
+            }
+            if let Some(error) =
+                strict_witness_violation(opts.strict_witness, standard_init, &refutation)
+            {
+                panic!("{error}");
+            }
+            Some(refutation)
+        }
+    }
+}
+
+/// Precomputes the entailment verdicts of one frontier generation on
+/// worker threads against an immutable snapshot of the relation store.
+///
+/// Scheduling is *work-stealing*: instead of pre-cutting the batch into
+/// fixed per-worker chunks (which loses wall-clock whenever one chunk
+/// holds the generation's long-tail entailments), every worker drains a
+/// shared atomic cursor over the snapshot batch — an idle worker simply
+/// claims the next unprocessed item, so the generation finishes when the
+/// last *item* does, not when the unluckiest *chunk* does.
+///
+/// Each worker slot keeps a persistent [`SessionPool`] across batches —
+/// and, under an engine, across whole queries — (premise clauses assert
+/// once per slot for the run's lifetime) and all slots share the engine's
+/// blast cache. Verdicts are exact, so the item-to-worker assignment never
+/// affects results — only wall-clock time — and the sequential merge stays
+/// deterministic.
+fn parallel_entailment(
+    aut: &Automaton,
+    relation: &RelationStore,
+    items: &[Arc<ConfRel>],
+    worker_pools: &mut [SessionPool],
+    cache: &SharedBlastCache,
+) -> Vec<bool> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    let n = items.len();
+    let cursor = AtomicUsize::new(0);
+    let verdicts: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    std::thread::scope(|s| {
+        for pool in worker_pools.iter_mut() {
+            let cursor = &cursor;
+            let verdicts = &verdicts;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let psi = &items[i];
+                let v = pool.check(aut, &relation.matching(psi.guard), psi, cache);
+                verdicts[i].store(v, Ordering::Relaxed);
+            });
+        }
+    });
+    verdicts.into_iter().map(AtomicBool::into_inner).collect()
+}

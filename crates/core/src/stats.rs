@@ -47,6 +47,19 @@ pub struct RunStats {
     /// Premises a linear scan would have visited (Σ |R| per check) — what
     /// the pre-index pipeline paid for stage-1 template filtering.
     pub premises_total: u64,
+    /// Warm guard sessions already resident when this run attached to its
+    /// engine warm state (0 on a cold run).
+    pub sessions_reused: u64,
+    /// Entailment verdicts replayed from the engine's warm-state memo
+    /// without any solver contact.
+    pub entailment_memo_hits: u64,
+    /// Whether the pair's sum construction was served from the engine's
+    /// intern table (1) or built for this run (0). For batches: hits
+    /// summed over the batch.
+    pub sum_cache_hits: u64,
+    /// Whether the scope/reachability set was served from the engine's
+    /// per-pair memo. For batches: hits summed over the batch.
+    pub reach_cache_hits: u64,
     /// Total wall-clock time of the run.
     pub wall_time: Duration,
     /// SMT query statistics (main solver plus absorbed worker solvers).
@@ -84,6 +97,35 @@ impl RunStats {
         1.0 - self.queries.blocks_validated as f64 / self.queries.blocks_considered as f64
     }
 
+    /// Folds another run's statistics into this one — used by the engine
+    /// to report a whole batch as one merged record, in submission order.
+    /// Counters add; `scope_pairs`, `threads` and `max_formula_size` take
+    /// the maximum; wall time adds (total work, not latency).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.iterations += other.iterations;
+        self.extended += other.extended;
+        self.skipped += other.skipped;
+        self.wp_generated += other.wp_generated;
+        self.scope_pairs = self.scope_pairs.max(other.scope_pairs);
+        self.max_formula_size = self.max_formula_size.max(other.max_formula_size);
+        self.witnesses_confirmed += other.witnesses_confirmed;
+        self.witnesses_unconfirmed += other.witnesses_unconfirmed;
+        self.witness_bits_minimized += other.witness_bits_minimized;
+        self.threads = self.threads.max(other.threads);
+        self.parallel_batches += other.parallel_batches;
+        self.parallel_checks += other.parallel_checks;
+        self.merge_rechecks += other.merge_rechecks;
+        self.entailment_checks += other.entailment_checks;
+        self.premises_matched += other.premises_matched;
+        self.premises_total += other.premises_total;
+        self.sessions_reused += other.sessions_reused;
+        self.entailment_memo_hits += other.entailment_memo_hits;
+        self.sum_cache_hits += other.sum_cache_hits;
+        self.reach_cache_hits += other.reach_cache_hits;
+        self.wall_time += other.wall_time;
+        self.queries.absorb(&other.queries);
+    }
+
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         let witnesses = if self.witnesses_confirmed + self.witnesses_unconfirmed > 0 {
@@ -99,7 +141,8 @@ impl RunStats {
         format!(
             "iterations={} extended={} skipped={} wp={} scope={} queries={} \
              threads={} index_hit={:.0}% blast_cache={:.0}% cegar_rounds={} \
-             oracle_skip={:.0}% rebuilds={} peak_clauses={} time={:.2?}{}",
+             oracle_skip={:.0}% rebuilds={} peak_clauses={} warm(sessions={} \
+             memo={} sum={} reach={} ledger={}) time={:.2?}{}",
             self.iterations,
             self.extended,
             self.skipped,
@@ -113,6 +156,11 @@ impl RunStats {
             100.0 * self.oracle_skip_rate(),
             self.queries.session_rebuilds,
             self.queries.live_clauses_peak,
+            self.sessions_reused,
+            self.entailment_memo_hits,
+            self.sum_cache_hits,
+            self.reach_cache_hits,
+            self.queries.inst_ledger_hits,
             self.wall_time,
             witnesses,
         )

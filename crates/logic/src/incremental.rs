@@ -45,13 +45,38 @@ use std::time::Instant;
 use leapfrog_bitvec::BitVec;
 use leapfrog_p4a::ast::Automaton;
 use leapfrog_smt::{
-    instantiate_forall, BBit, BlastContext, BvVar, Declarations, Formula, QueryStats,
+    instantiate_forall, BBit, BlastContext, BvVar, Declarations, Formula, InstLedger, QueryStats,
     RefinementOracle, SharedBlastCache,
 };
 
 use crate::confrel::ConfRel;
 use crate::lower::{lower_pure, LowerEnv};
 use crate::templates::TemplatePair;
+
+/// Typed configuration for guard sessions and session pools — the knobs a
+/// long-lived engine owns, as one value instead of a parameter sprawl.
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Clause-budget GC ratio: rebuild the context when retired clauses
+    /// exceed `ratio ×` live clauses. `None` disables the GC.
+    pub gc_ratio: Option<f64>,
+    /// Clause-count floor for the GC: a context holding fewer live clauses
+    /// than this never rebuilds, however lopsided its retired/live ratio —
+    /// small, cache-served sessions churn through activation-retired
+    /// clauses quickly, and rebuilding them buys nothing.
+    pub gc_floor: u64,
+    /// Cross-session instantiation ledger: `∀`-block validation verdicts
+    /// keyed by canonical block identity and support valuation, shared by
+    /// every session of an engine (across guards, pools and threads).
+    pub ledger: Option<InstLedger>,
+}
+
+impl SessionConfig {
+    /// GC and ledger both off — the standalone-session default.
+    pub fn new() -> SessionConfig {
+        SessionConfig::default()
+    }
+}
 
 /// A persistent entailment context for one template-pair guard.
 pub struct GuardSession {
@@ -69,8 +94,8 @@ pub struct GuardSession {
     /// Root clauses contributed by permanent asserts in the current
     /// context (measured via [`BlastContext::clauses_added`] deltas).
     live_clauses: u64,
-    /// Rebuild when retired clauses exceed `ratio × live`; `None` = never.
-    gc_ratio: Option<f64>,
+    /// GC budget and cross-session ledger (see [`SessionConfig`]).
+    cfg: SessionConfig,
     /// Set when the permanent constraints became unsatisfiable at the
     /// root: the premises entail everything.
     poisoned: bool,
@@ -88,8 +113,20 @@ impl GuardSession {
     /// A fresh session for a guard. `gc_ratio` bounds context growth:
     /// when the clauses retired by finished queries exceed `ratio ×` the
     /// live (permanent) clauses, the context is rebuilt from the persisted
-    /// permanent list. `None` disables the GC.
+    /// permanent list. `None` disables the GC. (Compat shim over
+    /// [`GuardSession::with_config`] with no floor and no ledger.)
     pub fn with_gc(guard: TemplatePair, gc_ratio: Option<f64>) -> GuardSession {
+        GuardSession::with_config(
+            guard,
+            SessionConfig {
+                gc_ratio,
+                ..SessionConfig::default()
+            },
+        )
+    }
+
+    /// A fresh session for a guard under a full [`SessionConfig`].
+    pub fn with_config(guard: TemplatePair, cfg: SessionConfig) -> GuardSession {
         GuardSession {
             decls: Declarations::new(),
             env: LowerEnv {
@@ -104,7 +141,7 @@ impl GuardSession {
             oracle: RefinementOracle::new(),
             permanent: Vec::new(),
             live_clauses: 0,
-            gc_ratio,
+            cfg,
             poisoned: false,
             checks: 0,
             stats: QueryStats::default(),
@@ -125,10 +162,19 @@ impl GuardSession {
 
     /// Rebuilds the context from the permanent-formula list when the
     /// retired-clause budget is exhausted. CEGAR instantiations are part
-    /// of the list, so no refinement work is re-discovered.
+    /// of the list, so no refinement work is re-discovered. Contexts whose
+    /// live-clause count is under [`SessionConfig::gc_floor`] never
+    /// rebuild: their absolute size is already bounded by the floor, and
+    /// on small cache-served rows the default ratio otherwise triggers
+    /// rebuilds that cost more than the clauses they reclaim.
     fn maybe_gc(&mut self, cache: &SharedBlastCache) {
-        let Some(ratio) = self.gc_ratio else { return };
+        let Some(ratio) = self.cfg.gc_ratio else {
+            return;
+        };
         if self.poisoned {
+            return;
+        }
+        if self.live_clauses < self.cfg.gc_floor {
             return;
         }
         if (self.retired_clauses() as f64) <= ratio * self.live_clauses.max(1) as f64 {
@@ -248,8 +294,11 @@ impl GuardSession {
                 Some(model) => {
                     self.stats.cegar_rounds += 1;
                     self.stats.blocks_considered += self.oracle.len() as u64;
-                    let round = self.oracle.validate(&self.decls, &model);
+                    let round =
+                        self.oracle
+                            .validate_with(&self.decls, &model, self.cfg.ledger.as_ref());
                     self.stats.blocks_validated += round.validated;
+                    self.stats.inst_ledger_hits += round.ledger_hits;
                     match round.refinement {
                         None => break false,
                         Some(batch) => {
@@ -296,11 +345,14 @@ impl GuardSession {
 }
 
 /// A per-thread map of guard sessions plus merged statistics, used by the
-/// checker for its main loop and for each persistent worker slot.
+/// checker for its main loop and for each persistent worker slot. An
+/// engine keeps pools warm across queries: the sessions (premise clauses,
+/// learnt CDCL state, CEGAR instantiations) survive from one check of a
+/// parser pair to the next.
 #[derive(Default)]
 pub struct SessionPool {
     sessions: HashMap<TemplatePair, GuardSession>,
-    gc_ratio: Option<f64>,
+    cfg: SessionConfig,
 }
 
 impl SessionPool {
@@ -312,10 +364,42 @@ impl SessionPool {
     /// An empty pool whose sessions rebuild their contexts when retired
     /// clauses exceed `ratio ×` the live clauses (`None` disables GC).
     pub fn with_gc(gc_ratio: Option<f64>) -> SessionPool {
+        SessionPool::with_config(SessionConfig {
+            gc_ratio,
+            ..SessionConfig::default()
+        })
+    }
+
+    /// An empty pool whose sessions are created under `cfg`.
+    pub fn with_config(cfg: SessionConfig) -> SessionPool {
         SessionPool {
             sessions: HashMap::new(),
-            gc_ratio,
+            cfg,
         }
+    }
+
+    /// Number of warm guard sessions currently held.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the pool holds no sessions yet.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Checks out the guard's session as an explicit handle, creating the
+    /// session on first use. The lease borrows the pool, so the session is
+    /// structurally returned when the lease drops — the checkout/return
+    /// protocol a long-lived engine needs to thread one pool through many
+    /// queries without dangling sessions.
+    pub fn lease(&mut self, guard: TemplatePair) -> SessionLease<'_> {
+        let cfg = self.cfg.clone();
+        let session = self
+            .sessions
+            .entry(guard)
+            .or_insert_with(|| GuardSession::with_config(guard, cfg));
+        SessionLease { session }
     }
 
     /// Decides `⋀ premises ⊨ conclusion` through the guard's session,
@@ -327,10 +411,7 @@ impl SessionPool {
         conclusion: &ConfRel,
         cache: &SharedBlastCache,
     ) -> bool {
-        let gc_ratio = self.gc_ratio;
-        self.sessions
-            .entry(conclusion.guard)
-            .or_insert_with(|| GuardSession::with_gc(conclusion.guard, gc_ratio))
+        self.lease(conclusion.guard)
             .check(aut, premises, conclusion, cache)
     }
 
@@ -344,6 +425,32 @@ impl SessionPool {
             out.absorb(self.sessions[g].stats());
         }
         out
+    }
+}
+
+/// A checked-out guard session: the explicit handle type through which an
+/// engine (or the checker's merge loop) talks to one guard's persistent
+/// solver context. Dropping the lease returns the session to its pool.
+pub struct SessionLease<'p> {
+    session: &'p mut GuardSession,
+}
+
+impl SessionLease<'_> {
+    /// Decides `⋀ premises ⊨ conclusion` in the leased session (see
+    /// [`GuardSession::check`] for the premise-slice contract).
+    pub fn check(
+        &mut self,
+        aut: &Automaton,
+        premises: &[&ConfRel],
+        conclusion: &ConfRel,
+        cache: &SharedBlastCache,
+    ) -> bool {
+        self.session.check(aut, premises, conclusion, cache)
+    }
+
+    /// The leased session's query statistics.
+    pub fn stats(&self) -> &QueryStats {
+        self.session.stats()
     }
 }
 
@@ -503,6 +610,105 @@ mod tests {
             session.stats()
         );
         assert!(session.stats().live_clauses_peak > 0);
+    }
+
+    #[test]
+    fn gc_floor_suppresses_rebuilds_below_the_threshold() {
+        // Same aggressive ratio as the forced-GC test, but with a floor
+        // far above anything this small session will ever hold live: no
+        // rebuild may fire, and every verdict must still match the
+        // stateless pipeline.
+        let a = aut();
+        let g = guard(3, 3);
+        let h = a.header_by_name("h").unwrap();
+        let gh = a.header_by_name("g").unwrap();
+        let premises = [
+            ConfRel {
+                guard: g,
+                vars: vec![],
+                phi: Pure::eq(BitExpr::Hdr(Side::Left, h), BitExpr::Hdr(Side::Right, gh)),
+            },
+            ConfRel {
+                guard: g,
+                vars: vec![],
+                phi: Pure::eq(BitExpr::Hdr(Side::Right, h), BitExpr::Hdr(Side::Right, gh)),
+            },
+        ];
+        let conclusions = vec![
+            buf_eq_rel(g),
+            ConfRel {
+                guard: g,
+                vars: vec![],
+                phi: Pure::eq(BitExpr::Hdr(Side::Left, h), BitExpr::Hdr(Side::Right, h)),
+            },
+            ConfRel::forbidden(g),
+        ];
+        let cache = SharedBlastCache::new();
+        let mut session = GuardSession::with_config(
+            g,
+            SessionConfig {
+                gc_ratio: Some(0.001),
+                gc_floor: 1_000_000,
+                ledger: None,
+            },
+        );
+        for upto in 0..=premises.len() {
+            let slice: Vec<&ConfRel> = premises[..upto].iter().collect();
+            for concl in &conclusions {
+                let expected = entails_stateless(&a, &premises[..upto], concl);
+                let got = session.check(&a, &slice, concl, &cache);
+                assert_eq!(got, expected, "prefix {upto}: {}", concl.display(&a));
+            }
+        }
+        assert_eq!(
+            session.stats().session_rebuilds,
+            0,
+            "the floor must suppress every rebuild: {:?}",
+            session.stats()
+        );
+    }
+
+    #[test]
+    fn sessions_sharing_a_ledger_replay_validations() {
+        // Two sessions of the same guard shape (the worker-pool scenario):
+        // the second session's CEGAR validations replay from the shared
+        // ledger, with identical verdicts throughout.
+        let a = aut();
+        let g = guard(3, 3);
+        let premises = [ConfRel {
+            guard: g,
+            vars: vec![2],
+            phi: Pure::eq(
+                BitExpr::concat(BitExpr::Buf(Side::Left), BitExpr::Var(VarId(0))),
+                BitExpr::concat(BitExpr::Buf(Side::Right), BitExpr::Var(VarId(0))),
+            ),
+        }];
+        let conclusions = [buf_eq_rel(g), ConfRel::forbidden(g)];
+        let cache = SharedBlastCache::new();
+        let ledger = leapfrog_smt::InstLedger::new();
+        let cfg = SessionConfig {
+            ledger: Some(ledger.clone()),
+            ..SessionConfig::default()
+        };
+        let slice: Vec<&ConfRel> = premises.iter().collect();
+        let run = |cfg: SessionConfig| -> (Vec<bool>, u64) {
+            let mut session = GuardSession::with_config(g, cfg);
+            let verdicts = conclusions
+                .iter()
+                .map(|c| session.check(&a, &slice, c, &cache))
+                .collect();
+            (verdicts, session.stats().inst_ledger_hits)
+        };
+        let (v1, hits1) = run(cfg.clone());
+        let (v2, hits2) = run(cfg);
+        let (v3, _) = run(SessionConfig::default());
+        assert_eq!(v1, v2, "ledger replay must not change verdicts");
+        assert_eq!(v1, v3, "ledger on/off must agree");
+        assert!(!ledger.is_empty(), "validations must be recorded");
+        assert!(
+            hits2 > hits1,
+            "the second session must replay from the ledger: {hits1} -> {hits2}"
+        );
     }
 
     #[test]

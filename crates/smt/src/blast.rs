@@ -467,8 +467,10 @@ impl CnfTemplate {
 /// Builds the canonical structural key of a quantifier-free formula and
 /// collects its distinct variables in first-occurrence order. Two formulas
 /// share a key iff they are identical up to a width-preserving renaming of
-/// variables — exactly when they blast to the same clauses.
-fn canonical_key(decls: &Declarations, f: &Formula, vars: &mut Vec<BvVar>) -> String {
+/// variables — exactly when they blast to the same clauses. Shared with
+/// [`crate::solve`]'s instantiation ledger, which keys `∀`-block bodies the
+/// same way so validation verdicts transfer across solver contexts.
+pub(crate) fn canonical_key(decls: &Declarations, f: &Formula, vars: &mut Vec<BvVar>) -> String {
     fn term(t: &Term, decls: &Declarations, vars: &mut Vec<BvVar>, out: &mut String) {
         match t {
             Term::Lit(bv) => {
@@ -597,9 +599,17 @@ impl SharedBlastCache {
     /// Creates an empty cache, honouring `LEAPFROG_NO_BLAST_CACHE` (read
     /// once, here).
     pub fn new() -> Self {
+        Self::with_enabled(std::env::var("LEAPFROG_NO_BLAST_CACHE").as_deref() != Ok("1"))
+    }
+
+    /// Creates an empty cache with caching explicitly on or off,
+    /// independent of the environment — the typed configuration path
+    /// (`EngineConfig::blast_cache`) uses this; [`SharedBlastCache::new`]
+    /// remains the env-compat constructor.
+    pub fn with_enabled(enabled: bool) -> Self {
         SharedBlastCache {
             inner: Arc::default(),
-            disabled: std::env::var("LEAPFROG_NO_BLAST_CACHE").as_deref() == Ok("1"),
+            disabled: !enabled,
         }
     }
 

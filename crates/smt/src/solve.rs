@@ -12,12 +12,13 @@
 //! terminates. This plays the role Z3's model-based quantifier
 //! instantiation plays in the paper's toolchain.
 
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use leapfrog_bitvec::BitVec;
 use std::collections::HashMap;
 
-use crate::blast::{sat_qf, BlastContext, SharedBlastCache};
+use crate::blast::{canonical_key, sat_qf, BlastContext, SharedBlastCache};
 use crate::smtlib;
 use crate::term::{BvVar, Declarations, Formula, Model, Term};
 
@@ -61,6 +62,10 @@ pub struct QueryStats {
     pub blast_cache_hits: u64,
     /// Conjuncts that had to be blasted from scratch (template built).
     pub blast_cache_misses: u64,
+    /// `∀`-block validations answered by the cross-session instantiation
+    /// ledger instead of a quantifier-free solve (sessions sharing a guard
+    /// shape re-encounter the same (block, support valuation) pairs).
+    pub inst_ledger_hits: u64,
     /// Wall-clock time per query, in the order issued.
     pub durations: Vec<Duration>,
 }
@@ -93,7 +98,28 @@ impl QueryStats {
         self.live_clauses_peak = self.live_clauses_peak.max(other.live_clauses_peak);
         self.blast_cache_hits += other.blast_cache_hits;
         self.blast_cache_misses += other.blast_cache_misses;
+        self.inst_ledger_hits += other.inst_ledger_hits;
         self.durations.extend(other.durations.iter().copied());
+    }
+
+    /// The statistics accumulated since `base` was snapshotted from the
+    /// same accumulator: counters subtract, durations keep the suffix, and
+    /// `live_clauses_peak` (an all-time maximum) carries over unchanged.
+    /// The persistent engine uses this to report per-run numbers from
+    /// session pools that stay warm across runs.
+    pub fn delta_since(&self, base: &QueryStats) -> QueryStats {
+        QueryStats {
+            queries: self.queries - base.queries,
+            cegar_rounds: self.cegar_rounds - base.cegar_rounds,
+            blocks_considered: self.blocks_considered - base.blocks_considered,
+            blocks_validated: self.blocks_validated - base.blocks_validated,
+            session_rebuilds: self.session_rebuilds - base.session_rebuilds,
+            live_clauses_peak: self.live_clauses_peak,
+            blast_cache_hits: self.blast_cache_hits - base.blast_cache_hits,
+            blast_cache_misses: self.blast_cache_misses - base.blast_cache_misses,
+            inst_ledger_hits: self.inst_ledger_hits - base.inst_ledger_hits,
+            durations: self.durations[base.durations.len().min(self.durations.len())..].to_vec(),
+        }
     }
 
     /// The maximum single-query time, or zero if no queries ran.
@@ -310,6 +336,105 @@ struct OracleBlock {
     /// pure function of the support valuation never needs repeating, so a
     /// model matching it is skipped outright.
     last_validated: Option<Vec<BitVec>>,
+    /// The block's rename-insensitive identity for the cross-session
+    /// instantiation ledger, built lazily on first ledger use.
+    canon: Option<BlockCanon>,
+}
+
+/// A `∀`-block's canonical identity: the body's structural key (shared
+/// with the blast cache, so it is insensitive to variable numbering),
+/// annotated with which canonical variable positions are bound, plus the
+/// position maps needed to translate valuations and witnesses between this
+/// block's [`BvVar`] numbering and the canonical order.
+struct BlockCanon {
+    /// Structural body key + bound-position markers — two blocks share it
+    /// iff they are the same block up to a width-preserving renaming.
+    key: String,
+    /// Canonical positions (into the body's first-occurrence variable
+    /// list) that are support variables, paired with the session-local
+    /// variable at that position.
+    support_slots: Vec<BvVar>,
+    /// For each bound variable in `xs` order: its index into the canonical
+    /// bound-variable list, or `None` when it does not occur in the body
+    /// (its witness value is always all-zeros).
+    xs_to_bound: Vec<Option<usize>>,
+}
+
+impl BlockCanon {
+    fn build(decls: &Declarations, xs: &[BvVar], body: &Formula) -> BlockCanon {
+        let mut vars = Vec::new();
+        let mut key = canonical_key(decls, body, &mut vars);
+        let mut support_slots = Vec::new();
+        let mut bound_order = Vec::new();
+        key.push_str("|B");
+        for (i, v) in vars.iter().enumerate() {
+            if xs.contains(v) {
+                key.push_str(&i.to_string());
+                key.push(',');
+                bound_order.push(*v);
+            } else {
+                support_slots.push(*v);
+            }
+        }
+        let xs_to_bound = xs
+            .iter()
+            .map(|x| bound_order.iter().position(|b| b == x))
+            .collect();
+        BlockCanon {
+            key,
+            support_slots,
+            xs_to_bound,
+        }
+    }
+}
+
+/// A cross-session memo of `∀`-block validations, keyed by the block's
+/// canonical (rename-insensitive) identity and the support valuation in
+/// canonical variable order. Validation is a pure function of that pair,
+/// and blocks lowered by different sessions sharing a guard shape are
+/// structurally identical, so a verdict computed in one session — clean,
+/// or violated with concrete witness values for the bound variables —
+/// transfers exactly to every other. The engine owns one ledger for its
+/// whole lifetime and threads it through every guard session (main loop
+/// and worker slots alike). Verdicts are deterministic replays of what a
+/// fresh solve would produce, so the ledger changes wall-clock only, never
+/// results.
+/// A ledger key: canonical block identity plus the support valuation in
+/// canonical variable order.
+type LedgerKey = (String, Vec<BitVec>);
+/// A recorded verdict: `None` = the block validated clean, `Some(w)` =
+/// violated with witness values `w` for the bound variables in canonical
+/// order.
+type LedgerVerdict = Option<Vec<BitVec>>;
+
+#[derive(Debug, Clone, Default)]
+pub struct InstLedger {
+    inner: Arc<Mutex<HashMap<LedgerKey, LedgerVerdict>>>,
+}
+
+impl InstLedger {
+    /// An empty ledger.
+    pub fn new() -> InstLedger {
+        InstLedger::default()
+    }
+
+    /// Number of recorded (block, valuation) verdicts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether no verdicts have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get(&self, key: &LedgerKey) -> Option<LedgerVerdict> {
+        self.inner.lock().unwrap().get(key).cloned()
+    }
+
+    fn put(&self, key: LedgerKey, verdict: LedgerVerdict) {
+        self.inner.lock().unwrap().insert(key, verdict);
+    }
 }
 
 /// What one [`RefinementOracle::validate`] round observed.
@@ -324,6 +449,9 @@ pub struct OracleRound {
     /// Blocks skipped because their support valuation was unchanged since
     /// their last successful validation.
     pub skipped: u64,
+    /// Blocks whose verdict (clean, or violated with a recorded witness)
+    /// was replayed from the cross-session [`InstLedger`] without a solve.
+    pub ledger_hits: u64,
 }
 
 /// The variable-indexed CEGAR model validator.
@@ -369,6 +497,7 @@ impl RefinementOracle {
             body,
             support,
             last_validated: None,
+            canon: None,
         });
     }
 
@@ -386,6 +515,23 @@ impl RefinementOracle {
     /// whose support valuation matches their last successful validation,
     /// and batching all violated blocks' instantiations into one formula.
     pub fn validate(&mut self, decls: &Declarations, model: &Model) -> OracleRound {
+        self.validate_with(decls, model, None)
+    }
+
+    /// [`RefinementOracle::validate`] with an optional cross-session
+    /// [`InstLedger`]: a block whose canonical (identity, support
+    /// valuation) pair is already recorded replays the recorded verdict —
+    /// clean, or violated with the recorded witness values — instead of
+    /// solving; a freshly solved block records its verdict for every other
+    /// session. Verdicts and witnesses are identical either way (the solve
+    /// is a deterministic function of the canonical pair), so the ledger
+    /// affects wall-clock only.
+    pub fn validate_with(
+        &mut self,
+        decls: &Declarations,
+        model: &Model,
+        ledger: Option<&InstLedger>,
+    ) -> OracleRound {
         let mut round = OracleRound::default();
         let mut insts = Vec::new();
         for block in &mut self.blocks {
@@ -403,6 +549,45 @@ impl RefinementOracle {
                 round.skipped += 1;
                 continue;
             }
+            let lkey = ledger.map(|_| {
+                let canon = block
+                    .canon
+                    .get_or_insert_with(|| BlockCanon::build(decls, &block.xs, &block.body));
+                let canon_valuation: Vec<BitVec> = canon
+                    .support_slots
+                    .iter()
+                    .map(|v| {
+                        model
+                            .get(*v)
+                            .cloned()
+                            .unwrap_or_else(|| BitVec::zeros(decls.width(*v)))
+                    })
+                    .collect();
+                (canon.key.clone(), canon_valuation)
+            });
+            if let (Some(ledger), Some(lkey)) = (ledger, &lkey) {
+                if let Some(verdict) = ledger.get(lkey) {
+                    round.ledger_hits += 1;
+                    match verdict {
+                        Some(canon_witness) => {
+                            let canon = block.canon.as_ref().unwrap();
+                            let witness: Vec<BitVec> = block
+                                .xs
+                                .iter()
+                                .zip(&canon.xs_to_bound)
+                                .map(|(x, slot)| match slot {
+                                    Some(i) => canon_witness[*i].clone(),
+                                    None => BitVec::zeros(decls.width(*x)),
+                                })
+                                .collect();
+                            insts.push(instantiate_forall(&block.body, &block.xs, &witness));
+                            block.last_validated = None;
+                        }
+                        None => block.last_validated = Some(valuation),
+                    }
+                    continue;
+                }
+            }
             round.validated += 1;
             let map: HashMap<BvVar, Term> = block
                 .support
@@ -412,10 +597,26 @@ impl RefinementOracle {
                 .collect();
             match refute_closed(decls, &block.xs, &block.body, &map) {
                 Some(witness) => {
+                    if let (Some(ledger), Some(lkey)) = (ledger, lkey) {
+                        let canon = block.canon.as_ref().unwrap();
+                        let n_bound = canon.xs_to_bound.iter().flatten().count();
+                        let mut canon_witness = vec![BitVec::zeros(0); n_bound];
+                        for (w, slot) in witness.iter().zip(&canon.xs_to_bound) {
+                            if let Some(i) = slot {
+                                canon_witness[*i] = w.clone();
+                            }
+                        }
+                        ledger.put(lkey, Some(canon_witness));
+                    }
                     insts.push(instantiate_forall(&block.body, &block.xs, &witness));
                     block.last_validated = None;
                 }
-                None => block.last_validated = Some(valuation),
+                None => {
+                    if let (Some(ledger), Some(lkey)) = (ledger, lkey) {
+                        ledger.put(lkey, None);
+                    }
+                    block.last_validated = Some(valuation);
+                }
             }
         }
         round.refinement = if insts.is_empty() {
@@ -825,6 +1026,59 @@ mod tests {
         let r2 = oracle.validate(&d, &m);
         assert!(r2.refinement.is_some());
         assert_eq!((r2.validated, r2.skipped), (2, 0));
+    }
+
+    #[test]
+    fn inst_ledger_replays_verdicts_across_renamed_oracles() {
+        // Two oracles over alpha-renamed copies of the same blocks (the
+        // cross-session scenario): the second oracle's validations must
+        // replay from the shared ledger — same refinements, no solves —
+        // and agree with a ledger-free oracle.
+        let ledger = InstLedger::new();
+        let build = |names: [&str; 3]| {
+            let mut d = Declarations::new();
+            let a = d.declare(names[0], 2);
+            let b = d.declare(names[1], 2);
+            let x = d.declare(names[2], 2);
+            let mut oracle = RefinementOracle::new();
+            // Clean block: ∀x. a ++ x = a ++ x. Violated block: ∀x. x = b.
+            oracle.add_block(
+                vec![x],
+                Formula::Eq(
+                    Term::concat(Term::var(a), Term::var(x)),
+                    Term::concat(Term::var(a), Term::var(x)),
+                ),
+            );
+            oracle.add_block(vec![x], Formula::Eq(Term::var(x), Term::var(b)));
+            let mut m = Model::new();
+            m.set(a, bv("01"));
+            m.set(b, bv("10"));
+            (d, oracle, m)
+        };
+        let (d1, mut o1, m1) = build(["a", "b", "x"]);
+        let r1 = o1.validate_with(&d1, &m1, Some(&ledger));
+        assert_eq!(r1.ledger_hits, 0, "first oracle must solve: {r1:?}");
+        assert_eq!(r1.validated, 2);
+        let refinement1 = format!("{:?}", r1.refinement.expect("one violated block"));
+
+        let (d2, mut o2, m2) = build(["p", "q", "y"]);
+        let r2 = o2.validate_with(&d2, &m2, Some(&ledger));
+        assert_eq!(
+            r2.ledger_hits, 2,
+            "renamed blocks must replay from the ledger: {r2:?}"
+        );
+        assert_eq!(r2.validated, 0);
+        let refinement2 = format!("{:?}", r2.refinement.expect("same violated block"));
+        // The replayed refutation instantiates the renamed body with the
+        // *same* witness values the fresh solve found.
+        let (d3, mut o3, m3) = build(["p", "q", "y"]);
+        let r3 = o3.validate_with(&d3, &m3, None);
+        assert_eq!(
+            refinement2,
+            format!("{:?}", r3.refinement.expect("fresh solve agrees")),
+        );
+        assert_ne!(refinement1, String::new());
+        assert_eq!(ledger.len(), 2);
     }
 
     #[test]

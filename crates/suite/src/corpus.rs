@@ -300,6 +300,15 @@ impl WitnessCorpus {
     }
 }
 
+/// The corpus is a [`WitnessSink`](leapfrog::WitnessSink): attach it to a
+/// persistent engine and every confirmed refutation witness a named check
+/// (or batch member) produces is recorded automatically.
+impl leapfrog::WitnessSink for WitnessCorpus {
+    fn record(&mut self, name: &str, witness: &Witness) -> bool {
+        WitnessCorpus::record(self, name, witness)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,7 @@
 //! concrete disagreement, and [`check_and_cross_validate`] wraps a full
 //! checker run with the matching validation for either verdict.
 
-use leapfrog::{Checker, Options, Outcome};
+use leapfrog::{Engine, EngineConfig, Options, Outcome};
 use leapfrog_bitvec::BitVec;
 use leapfrog_cex::{Disagreement, Refutation, Witness};
 use leapfrog_p4a::ast::{Automaton, StateId};
@@ -128,6 +128,8 @@ pub fn confirm_refutation(outcome: &Outcome) -> Result<&Witness, String> {
 /// Runs the symbolic checker and cross-validates its verdict against the
 /// explicit semantics: an equivalence verdict is spot-checked with random
 /// packets, a refutation must carry a confirmed replayable witness.
+/// Answers through a transient engine; a long-running harness should use
+/// [`check_and_cross_validate_in`] with a persistent one.
 pub fn check_and_cross_validate(
     left: &Automaton,
     ql: StateId,
@@ -135,8 +137,21 @@ pub fn check_and_cross_validate(
     qr: StateId,
     options: Options,
 ) -> Result<Outcome, String> {
-    let mut checker = Checker::new(left, ql, right, qr, options);
-    let outcome = checker.run();
+    let mut engine = Engine::new(EngineConfig::from_options(&options));
+    check_and_cross_validate_in(&mut engine, left, ql, right, qr)
+}
+
+/// [`check_and_cross_validate`] over a caller-owned persistent [`Engine`]:
+/// repeated calls reuse the engine's warm sums, sessions and verdict
+/// memos. Verdicts and witnesses are identical to the transient path.
+pub fn check_and_cross_validate_in(
+    engine: &mut Engine,
+    left: &Automaton,
+    ql: StateId,
+    right: &Automaton,
+    qr: StateId,
+) -> Result<Outcome, String> {
+    let outcome = engine.check(left, ql, right, qr);
     match &outcome {
         Outcome::Equivalent(_) => {
             if !agree_on_words(left, ql, right, qr, &[0, 1, 8, 16, 32, 96, 112], 20, 0xd1f) {
@@ -167,8 +182,23 @@ pub fn check_cross_validate_and_record(
     name: &str,
     corpus: &mut crate::corpus::WitnessCorpus,
 ) -> Result<Outcome, String> {
+    let mut engine = Engine::new(EngineConfig::from_options(&options));
+    check_cross_validate_and_record_in(&mut engine, left, ql, right, qr, name, corpus)
+}
+
+/// [`check_cross_validate_and_record`] over a caller-owned persistent
+/// [`Engine`] — the serving loop the `table2` harness drives.
+pub fn check_cross_validate_and_record_in(
+    engine: &mut Engine,
+    left: &Automaton,
+    ql: StateId,
+    right: &Automaton,
+    qr: StateId,
+    name: &str,
+    corpus: &mut crate::corpus::WitnessCorpus,
+) -> Result<Outcome, String> {
     let prior = corpus.exercise(name, left, ql, right, qr);
-    let outcome = check_and_cross_validate(left, ql, right, qr, options)?;
+    let outcome = check_and_cross_validate_in(engine, left, ql, right, qr)?;
     match &outcome {
         Outcome::NotEquivalent(_) => {
             if prior.replayed > 0 && prior.distinguishing == 0 {

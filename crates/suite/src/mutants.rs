@@ -1,19 +1,27 @@
 //! The mutated-parser negative suite: fault-injected variants of the
-//! speculative-loop benchmark, generated with [`Automaton::redirect_case`].
+//! speculative-loop benchmark *and* the applicability scenario parsers,
+//! generated with [`Automaton::redirect_case`].
 //!
-//! Each mutant redirects exactly one select case of the reference or
-//! vectorized MPLS parser, breaking equivalence in a structurally distinct
-//! way (a dropped loop case, a skipped repair, a severed accept path).
-//! They are *expected-inequivalent* pairs: the checker must refute each
-//! one with a confirmed witness, the witnesses land in the regression
-//! corpus (`WITNESS_CORPUS.txt`, via the `table2` binary), and the
-//! recorded packets are replayed by the differential harness on every
-//! subsequent run — a mutant that silently re-equalizes is a regression.
+//! Each mutant redirects exactly one select case, breaking equivalence in
+//! a structurally distinct way (a dropped loop case, a skipped repair, a
+//! severed accept path, a rejected tunnel/demux leg). They are
+//! *expected-inequivalent* pairs: the checker must refute each one with a
+//! confirmed witness, the witnesses land in the regression corpus
+//! (`WITNESS_CORPUS.txt`, via the `table2` binary), and the recorded
+//! packets are replayed by the differential harness on every subsequent
+//! run — a mutant that silently re-equalizes is a regression.
+//!
+//! The applicability mutants matter beyond coverage: their
+//! counterexamples traverse several protocol headers (Ethernet → VLAN /
+//! MPLS → IP → transport), so the lifted witnesses are *long* and
+//! exercise the leap-aware chunk-dropping pre-pass of the minimizer
+//! before per-bit delta debugging takes over.
 
 use leapfrog_p4a::ast::{Automaton, Target};
 
+use crate::applicability;
 use crate::utility::mpls;
-use crate::Benchmark;
+use crate::{Benchmark, Scale};
 
 /// Applies `mutate` to the vectorized parser and pairs the result against
 /// the pristine reference.
@@ -31,10 +39,59 @@ fn reference_mutant(name: &'static str, mutate: impl FnOnce(&mut Automaton)) -> 
     Benchmark::new(name, r, "q1", mpls::vectorized(), "q3", false)
 }
 
-/// The negative suite: ≥4 single-case mutants of the speculative-loop
-/// pair, every one expected `NotEquivalent` with a confirmed witness.
-pub fn mutant_benchmarks() -> Vec<Benchmark> {
+/// Pairs a pristine applicability parser against a `mutate`d copy of
+/// itself (both starting at `parse_eth`), expecting inequivalence.
+fn applicability_mutant(
+    name: &'static str,
+    pristine: &Automaton,
+    mutate: impl FnOnce(&mut Automaton),
+) -> Benchmark {
+    let mut m = pristine.clone();
+    mutate(&mut m);
+    Benchmark::new(name, pristine.clone(), "parse_eth", m, "parse_eth", false)
+}
+
+/// Single-case mutants of the deployment-scenario parsers. Always built at
+/// the given scale; the default suite uses [`Scale::Small`] so the
+/// negative checks stay cheap while the witnesses still cross three to
+/// five headers.
+pub fn applicability_mutants(scale: Scale) -> Vec<Benchmark> {
+    let edge = applicability::edge(scale);
+    let sp = applicability::service_provider(scale);
+    let ent = applicability::enterprise(scale);
     vec![
+        // Edge's parse_ipv4 demux: the GRE case (index 3) rejects, so
+        // every tunneled packet (eth → ipv4 → gre → inner ipv4 → tcp/udp)
+        // dies in the mutant.
+        applicability_mutant("Edge mutant: GRE tunnel rejected", &edge, |m| {
+            let q = m.state_by_name("parse_ipv4").unwrap();
+            m.redirect_case(q, 3, Target::Reject);
+        }),
+        // Service Provider's first MPLS label: the bottom-of-stack case
+        // (index 1) rejects, severing the whole MPLS → ipv4 path.
+        applicability_mutant(
+            "Service Provider mutant: MPLS bottom-of-stack rejected",
+            &sp,
+            |m| {
+                let q = m.state_by_name("parse_mpls0").unwrap();
+                m.redirect_case(q, 1, Target::Reject);
+            },
+        ),
+        // Enterprise's outer VLAN demux: the ARP case (index 3) rejects,
+        // so VLAN-tagged ARP frames die in the mutant.
+        applicability_mutant("Enterprise mutant: VLAN ARP rejected", &ent, |m| {
+            let q = m.state_by_name("parse_vlan").unwrap();
+            m.redirect_case(q, 3, Target::Reject);
+        }),
+    ]
+}
+
+/// The negative suite: ≥4 single-case mutants of the speculative-loop
+/// pair plus ≥3 single-case mutants of the applicability parsers (at
+/// [`Scale::Small`]), every one expected `NotEquivalent` with a confirmed
+/// witness.
+pub fn mutant_benchmarks() -> Vec<Benchmark> {
+    let mut out = vec![
         // q3's (open, open) loop case rejects: multi-label stacks die.
         vectorized_mutant("MPLS mutant: open-open loop rejects", |v| {
             let q3 = v.state_by_name("q3").unwrap();
@@ -64,7 +121,9 @@ pub fn mutant_benchmarks() -> Vec<Benchmark> {
             let q1 = r.state_by_name("q1").unwrap();
             r.redirect_case(q1, 1, Target::State(q1));
         }),
-    ]
+    ];
+    out.extend(applicability_mutants(Scale::Small));
+    out
 }
 
 #[cfg(test)]
@@ -111,6 +170,41 @@ mod tests {
             );
         }
         assert!(corpus.len() >= mutants.len());
+    }
+
+    #[test]
+    fn applicability_mutants_yield_long_confirmed_witnesses() {
+        // The point of mutating the scenario parsers: their refutation
+        // packets cross several protocol headers, so the leap-aware
+        // minimizer works on genuinely long, multi-chunk witnesses (an
+        // Ethernet header alone is 112 bits).
+        let mutants = applicability_mutants(Scale::Small);
+        assert!(mutants.len() >= 3, "≥3 applicability mutants promised");
+        for m in &mutants {
+            let mut checker = leapfrog::Checker::new(
+                &m.left,
+                m.left_start,
+                &m.right,
+                m.right_start,
+                Options::default(),
+            );
+            let outcome = checker.run();
+            let w = outcome
+                .witness()
+                .unwrap_or_else(|| panic!("{}: witness must confirm", m.name));
+            assert!(w.check(), "{}: witness must replay", m.name);
+            assert!(
+                w.packet.len() > 112,
+                "{}: the distinguishing packet must span multiple headers, got {} bits",
+                m.name,
+                w.packet.len()
+            );
+            assert!(
+                w.original_bits >= w.packet.len(),
+                "{}: minimization cannot grow the packet",
+                m.name
+            );
+        }
     }
 
     #[test]

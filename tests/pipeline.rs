@@ -123,18 +123,23 @@ fn witnesses_are_byte_identical_across_thread_counts() {
 #[test]
 fn certificates_and_witnesses_identical_across_session_gc_settings() {
     // The guard sessions' clause-budget GC must be invisible in results:
-    // certificates byte-identical with GC off, at the default ratio, and
-    // at a pathological ratio that forces constant rebuilds — at several
-    // thread counts.
-    let gc_settings: [Option<f64>; 3] = [None, Some(4.0), Some(0.001)];
+    // certificates byte-identical with GC off, at the default ratio (and
+    // default clause-count floor), and at a pathological ratio with the
+    // floor removed so rebuilds actually fire — at several thread counts.
+    let gc_settings: [(Option<f64>, u64); 3] = [
+        (None, leapfrog::engine::DEFAULT_SESSION_GC_FLOOR),
+        (Some(4.0), leapfrog::engine::DEFAULT_SESSION_GC_FLOOR),
+        (Some(0.001), 0),
+    ];
     let mut forced_rebuilds = 0u64;
     for (name, left, ql, right, qr) in equivalent_pairs() {
         let mut jsons = Vec::new();
-        for gc in gc_settings {
+        for (gc, floor) in gc_settings {
             for threads in [1, 2] {
                 let opts = Options {
                     threads,
                     session_gc_ratio: gc,
+                    session_gc_floor: floor,
                     ..Options::default()
                 };
                 let mut checker = Checker::new(&left, ql, &right, qr, opts);
@@ -150,7 +155,7 @@ fn certificates_and_witnesses_identical_across_session_gc_settings() {
                         "{name}: GC off must not rebuild"
                     );
                 }
-                if gc == Some(0.001) {
+                if gc == Some(0.001) && floor == 0 {
                     forced_rebuilds += stats.session_rebuilds();
                 }
                 assert!(
@@ -175,9 +180,10 @@ fn certificates_and_witnesses_identical_across_session_gc_settings() {
     let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
     let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
     let mut rendered = Vec::new();
-    for gc in gc_settings {
+    for (gc, floor) in gc_settings {
         let opts = Options {
             session_gc_ratio: gc,
+            session_gc_floor: floor,
             ..Options::default()
         };
         let mut checker = Checker::new(&sloppy, ql, &strict, qr, opts);
