@@ -19,13 +19,18 @@
 //! * `--smoke` — force the small scale and exit nonzero if any emitted
 //!   row is missing the speedup / cache-hit-rate / thread-count /
 //!   cegar-rounds / blocks-validated / session-rebuilds / warm-reuse
-//!   fields, if no warm reuse was observed at all, if the witness corpus
-//!   regressed, or if a redirect_case mutant is not refuted with a
-//!   confirmed witness (CI runs this).
-//! * `--batch` — additionally pre-run all standard rows through
-//!   `Engine::check_batch` (the serving API) and fail if any batched
-//!   verdict disagrees with the per-row expectation (CI runs
-//!   `--smoke --batch` as the batch-mode smoke job).
+//!   fields, if no warm reuse was observed at all, if `warm_speedup`
+//!   lands below 1.0 on *every* row (a warm re-run losing everywhere
+//!   means engine reuse regressed), if the witness corpus regressed, or
+//!   if a redirect_case mutant is not refuted with a confirmed witness
+//!   (CI runs this).
+//! * `--batch` — additionally measure the whole standard table through
+//!   `Engine::check_batch` (the serving API) on cold engines at 1 and 4
+//!   worker threads, recording the wall-clock ratio as
+//!   `batch_parallel_speedup` in the JSON (the cross-query parallel axis
+//!   CI tracks on multi-core hosted runners), then pre-run the rows
+//!   through the table-wide engine; any batched verdict disagreeing with
+//!   the per-row expectation fails (CI runs `--smoke --batch`).
 //! * `LEAPFROG_SKIP_BASELINE=1` — skip the `threads = 1` baseline re-runs
 //!   (speedup reported as `null`); useful for very large scales.
 //! * `LEAPFROG_WITNESS_CORPUS=path` — where the witness regression corpus
@@ -119,15 +124,46 @@ fn main() {
         if batch_mode { ", batch pre-pass" } else { "" },
     );
 
-    // Batch mode: the serving API first. All standard rows go through one
-    // check_batch call; verdicts must match the per-row expectations, and
-    // the rows measured afterwards run warm against the batch's state.
+    // Batch mode: the serving API first. The whole standard table runs
+    // through `check_batch` on dedicated cold engines at 1 and 4 worker
+    // threads — the cross-query parallel axis, recorded as
+    // `batch_parallel_speedup` (wall-clock t1/t4; ~1.0 on a single-core
+    // container, a real win on multi-core CI runners). Then the same rows
+    // go through the table-wide persistent engine, so the per-row
+    // measurements afterwards run warm against the batch's state.
+    let mut batch_parallel_speedup = None;
     if batch_mode {
         let benches = standard_benchmarks(scale);
         let specs: Vec<QuerySpec> = benches
             .iter()
             .map(|b| QuerySpec::new(b.name, &b.left, b.left_start, &b.right, b.right_start))
             .collect();
+        let mut time_batch = |threads: usize| {
+            let mut cold = Engine::new(EngineConfig::from_env().threads(threads));
+            let start = std::time::Instant::now();
+            let outcomes = cold.check_batch(&specs);
+            for (bench, outcome) in benches.iter().zip(&outcomes) {
+                if outcome.is_equivalent() != bench.expect_equivalent {
+                    failures.push(format!(
+                        "batch verdict mismatch for \"{}\" at {threads} thread(s): \
+                         got {outcome:?}",
+                        bench.name
+                    ));
+                }
+            }
+            start.elapsed()
+        };
+        let wall_1 = time_batch(1);
+        let wall_4 = time_batch(4);
+        batch_parallel_speedup = Some(wall_1.as_secs_f64() / wall_4.as_secs_f64().max(1e-9));
+        println!(
+            "Batch parallel axis: {} rows via check_batch — {:.2?} at 1 thread, \
+             {:.2?} at 4 threads ({:.2}x)",
+            specs.len(),
+            wall_1,
+            wall_4,
+            batch_parallel_speedup.unwrap(),
+        );
         let outcomes = engine.check_batch(&specs);
         for (bench, outcome) in benches.iter().zip(&outcomes) {
             if outcome.is_equivalent() != bench.expect_equivalent {
@@ -376,7 +412,7 @@ fn main() {
     }
 
     // Machine-readable output, so the performance trajectory is recorded.
-    let json = rows_to_json(&measured, witness_confirmed);
+    let json = rows_to_json(&measured, witness_confirmed, batch_parallel_speedup);
     let path = "BENCH_table2.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("Wrote {path} ({} rows)", measured.len()),
@@ -419,6 +455,26 @@ fn main() {
             "no engine warm reuse observed (sessions_reused={total_reused}, \
              sum_cache_hits={total_sum_hits}, entailment_memo_hits={total_memo})"
         ));
+    }
+    // A warm re-run losing to its own cold run on EVERY row means engine
+    // reuse regressed outright — field presence alone would not catch it.
+    // Only meaningful outside batch mode: the batch pre-pass warms the
+    // table-wide engine, so batch-mode "cold" rows are already memo-served
+    // and the warm ratio is pure timing noise.
+    if !batch_mode {
+        let best_warm = measured
+            .iter()
+            .filter_map(|(r, _)| r.warm_speedup)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !measured.is_empty() && best_warm < 1.0 {
+            failures.push(format!(
+                "warm_speedup < 1.0 on every row (best {best_warm:.3}): no warm win anywhere"
+            ));
+        }
+    }
+    // In batch mode the parallel-axis measurement must land in the JSON.
+    if batch_mode && batch_parallel_speedup.is_none() {
+        failures.push("batch mode emitted no batch_parallel_speedup".into());
     }
     if !failures.is_empty() {
         for f in &failures {

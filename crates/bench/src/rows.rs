@@ -12,7 +12,9 @@ use std::time::{Duration, Instant};
 use leapfrog::{Engine, EngineConfig, Options, Outcome, RunStats};
 use leapfrog_suite::applicability;
 use leapfrog_suite::metrics::Table2Metrics;
-use leapfrog_suite::utility::{ip_options, mpls, sloppy_strict, state_rearrangement, vlan_init};
+use leapfrog_suite::utility::sloppy_strict;
+#[cfg(test)]
+use leapfrog_suite::utility::{mpls, state_rearrangement};
 use leapfrog_suite::{Benchmark, Scale};
 
 /// One measured Table 2 row.
@@ -199,22 +201,22 @@ pub fn run_translation_validation(scale: Scale, options: Options) -> RowResult {
 
 /// All six utility rows plus the applicability self-comparisons at the
 /// given scale (without translation validation, which needs the hwgen
-/// pipeline and is run separately).
-pub fn standard_benchmarks(scale: Scale) -> Vec<Benchmark> {
-    let mut rows = vec![
-        state_rearrangement::state_rearrangement_benchmark(),
-        ip_options::ip_options_benchmark(scale),
-        vlan_init::vlan_init_benchmark(),
-        mpls::mpls_benchmark(),
-    ];
-    rows.extend(applicability::all_benchmarks(scale));
-    rows
-}
+/// pipeline and is run separately). Re-exported from the suite, where the
+/// wire server resolves named rows against the same list.
+pub use leapfrog_suite::standard_benchmarks;
 
 /// Renders measured rows as a machine-readable JSON document (the repo has
 /// no serde; the format is flat enough to emit by hand). Each entry pairs
 /// a row with its peak heap measurement, when one was taken.
-pub fn rows_to_json(rows: &[(RowResult, Option<usize>)], sanity_witness_confirmed: bool) -> String {
+/// `batch_parallel_speedup` is the whole-table `check_batch` wall-clock
+/// ratio at 1 vs 4 worker threads (measured in `--batch` mode; `null`
+/// otherwise) — the cross-query parallel axis CI records on multi-core
+/// hosted runners.
+pub fn rows_to_json(
+    rows: &[(RowResult, Option<usize>)],
+    sanity_witness_confirmed: bool,
+    batch_parallel_speedup: Option<f64>,
+) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
@@ -262,7 +264,11 @@ pub fn rows_to_json(rows: &[(RowResult, Option<usize>)], sanity_witness_confirme
         ));
     }
     out.push_str(&format!(
-        "  ],\n  \"sanity_check_witness_confirmed\": {sanity_witness_confirmed}\n}}\n"
+        "  ],\n  \"sanity_check_witness_confirmed\": {sanity_witness_confirmed},\n  \
+         \"batch_parallel_speedup\": {}\n}}\n",
+        batch_parallel_speedup
+            .map(|s| format!("{s:.4}"))
+            .unwrap_or_else(|| "null".into()),
     ));
     out
 }
@@ -323,7 +329,7 @@ mod tests {
         let mut row = run_row(&bench, Options::default());
         row.speedup = Some(1.25);
         row.warm_speedup = Some(2.0);
-        let json = rows_to_json(&[(row, Some(1024))], true);
+        let json = rows_to_json(&[(row, Some(1024))], true, Some(1.5));
         for key in [
             "\"threads\"",
             "\"blast_cache_hit_rate\"",
@@ -338,6 +344,7 @@ mod tests {
             "\"sessions_reused\"",
             "\"sum_cache_hits\"",
             "\"entailment_memo_hits\"",
+            "\"batch_parallel_speedup\": 1.5000",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -33,8 +33,21 @@
 //! The historical [`Checker`](crate::Checker) and
 //! [`check_language_equivalence`](crate::checker::check_language_equivalence)
 //! entry points are thin wrappers over a transient engine.
+//!
+//! Long-running engines additionally support **capacity bounds and
+//! persistence**: [`EngineConfig::warm_capacity`] (env `LEAPFROG_WARM_CAP`,
+//! `0` = unbounded) puts an LRU eviction bound on every warm-state map —
+//! query-shape memos, resident guard sessions, interned pair artifacts and
+//! the instantiation ledger — with eviction counters surfaced in
+//! [`EngineStats`]; and [`Engine::save_state`] /
+//! [`EngineConfig::with_state_dir`] serialize and reload the blast-cache
+//! templates, the ledger verdicts, the entailment-verdict memos and the
+//! witness corpus, so a restarted service warms up from disk instead of
+//! re-solving from cold. Neither knob ever changes results — eviction and
+//! persistence trade wall-clock only (asserted in `tests/serve.rs`).
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,11 +65,21 @@ use leapfrog_smt::{CheckResult, InstLedger, QueryStats, SharedBlastCache, SmtSol
 
 use crate::certificate::Certificate;
 use crate::checker::{strict_witness_violation, Options, Outcome};
+use crate::json::{self, Value};
 use crate::stats::RunStats;
 
 /// The default live-clause floor under which the session GC never
 /// rebuilds a context.
 pub const DEFAULT_SESSION_GC_FLOOR: u64 = 512;
+
+/// File inside a state directory holding the blast-cache CNF templates.
+pub const STATE_BLAST_FILE: &str = "blast_cache.txt";
+/// File inside a state directory holding the instantiation-ledger verdicts.
+pub const STATE_LEDGER_FILE: &str = "inst_ledger.txt";
+/// File inside a state directory holding the entailment-verdict memos.
+pub const STATE_MEMO_FILE: &str = "warm_memos.json";
+/// File inside a state directory holding the serialized witness corpus.
+pub const STATE_CORPUS_FILE: &str = "corpus.txt";
 
 /// Typed, buildable configuration for an [`Engine`]. Subsumes every
 /// `LEAPFROG_*` tuning variable ([`EngineConfig::from_env`] is the compat
@@ -69,6 +92,7 @@ pub const DEFAULT_SESSION_GC_FLOOR: u64 = 512;
 /// | `LEAPFROG_SESSION_GC_FLOOR` | [`session_gc_floor`](Self::session_gc_floor) |
 /// | `LEAPFROG_STRICT_WITNESS` | [`strict_witness`](Self::strict_witness) |
 /// | `LEAPFROG_NO_BLAST_CACHE` | [`blast_cache`](Self::blast_cache) |
+/// | `LEAPFROG_WARM_CAP` | [`warm_capacity`](Self::warm_capacity) |
 ///
 /// Only `leaps`, `reach_pruning`, `early_stop` and `max_iterations`
 /// change *what* is computed (they are part of a query's semantic shape);
@@ -96,6 +120,17 @@ pub struct EngineConfig {
     pub session_gc_floor: u64,
     /// Whether the shared structural CNF cache is enabled.
     pub blast_cache: bool,
+    /// LRU capacity bound on the warm-state maps (`0` = unbounded): at
+    /// most this many warm query-shape states, interned pairs, resident
+    /// guard sessions per pool and instantiation-ledger entries stay
+    /// live; least-recently-used entries beyond the bound are evicted
+    /// between runs. Results never depend on eviction.
+    pub warm_capacity: usize,
+    /// Directory to reload persisted warm state from at construction
+    /// (blast-cache templates, ledger verdicts, entailment memos). Written
+    /// by [`Engine::save_state`]; a missing directory or file is simply a
+    /// cold start.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +145,8 @@ impl Default for EngineConfig {
             session_gc_ratio: Some(crate::checker::DEFAULT_SESSION_GC_RATIO),
             session_gc_floor: DEFAULT_SESSION_GC_FLOOR,
             blast_cache: true,
+            warm_capacity: 0,
+            state_dir: None,
         }
     }
 }
@@ -130,6 +167,7 @@ impl EngineConfig {
             session_gc_ratio: session_gc_from_env(),
             session_gc_floor: session_gc_floor_from_env(),
             blast_cache: std::env::var("LEAPFROG_NO_BLAST_CACHE").as_deref() != Ok("1"),
+            warm_capacity: warm_capacity_from_env(),
             ..EngineConfig::default()
         }
     }
@@ -147,6 +185,7 @@ impl EngineConfig {
             session_gc_ratio: o.session_gc_ratio,
             session_gc_floor: o.session_gc_floor,
             blast_cache: o.blast_cache,
+            ..EngineConfig::default()
         }
     }
 
@@ -224,6 +263,21 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the LRU capacity bound on the warm-state maps (builder style;
+    /// `0` = unbounded).
+    pub fn warm_capacity(mut self, cap: usize) -> Self {
+        self.warm_capacity = cap;
+        self
+    }
+
+    /// Sets the state directory the engine reloads persisted warm state
+    /// from at construction (builder style). Pair with
+    /// [`Engine::save_state`] on the way down.
+    pub fn with_state_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.state_dir = Some(dir.into());
+        self
+    }
+
     /// Finishes the builder: a fresh engine owning this configuration.
     pub fn build(self) -> Engine {
         Engine::new(self)
@@ -270,11 +324,23 @@ pub(crate) fn session_gc_floor_from_env() -> u64 {
         .unwrap_or(DEFAULT_SESSION_GC_FLOOR)
 }
 
+pub(crate) fn warm_capacity_from_env() -> usize {
+    std::env::var("LEAPFROG_WARM_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
 /// A handle to an automaton pair interned by [`Engine::prepare_pair`]:
-/// its sum, root template pair and scope sets live in the engine for the
-/// engine's whole lifetime.
+/// its sum, root template pair and scope sets stay resident until the
+/// [`EngineConfig::warm_capacity`] LRU bound evicts the pair. Eviction
+/// frees the slot for later pairs; a handle held across the eviction is
+/// *stale* and panics on use (the generation tag makes the staleness
+/// detectable instead of silently resolving to a different pair) — hold
+/// handles only across back-to-back calls, or re-intern via
+/// `prepare_pair` (idempotent and cheap on a live pair).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PairId(usize);
+pub struct PairId(usize, u64);
 
 /// One query for [`Engine::check_batch`]: a named parser pair posing a
 /// standard language-equivalence question.
@@ -336,6 +402,14 @@ pub trait WitnessSink: Send {
     /// Records a confirmed witness under a query name; returns whether
     /// the entry was new.
     fn record(&mut self, name: &str, witness: &Witness) -> bool;
+
+    /// A serialized form of the sink's contents, if it has one —
+    /// [`Engine::save_state`] writes it next to the engine's own state so
+    /// a witness corpus survives a daemon restart. The default sink has
+    /// nothing to persist.
+    fn export_text(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Cumulative reuse counters over an engine's lifetime.
@@ -358,6 +432,18 @@ pub struct EngineStats {
     /// Entailment verdicts replayed from warm-state memos without any
     /// solver contact.
     pub entailment_memo_hits: u64,
+    /// Warm query-shape states (memo + session pools) evicted by the
+    /// [`EngineConfig::warm_capacity`] LRU bound.
+    pub warm_evictions: u64,
+    /// Interned pairs evicted by the capacity bound (sum construction,
+    /// scope sets and warm state dropped; a later query re-interns).
+    pub pair_evictions: u64,
+    /// Guard sessions pruned from retained warm session pools by the
+    /// capacity bound.
+    pub session_evictions: u64,
+    /// Instantiation-ledger entries evicted by the capacity bound
+    /// (mirrors the ledger's own counter).
+    pub ledger_evictions: u64,
 }
 
 /// Per-pair interned artifacts plus the warm per-query-shape state.
@@ -368,6 +454,13 @@ struct PairState {
     qr: StateId,
     sum: Sum,
     root: TemplatePair,
+    /// The pair's structural fingerprint (index key) and the
+    /// independently-salted confirmation fingerprint used to match
+    /// persisted warm state across restarts.
+    fingerprint: (u64, u64),
+    /// Generation tag matching the [`PairId`]s handed out for this
+    /// occupancy of the slot (slots are reused after eviction).
+    generation: u64,
     /// Scope sets keyed by `(leaps, reach_pruning)`.
     scopes: HashMap<(bool, bool), Arc<Vec<TemplatePair>>>,
     /// Warm session pools + verdict memos keyed by query shape.
@@ -375,19 +468,30 @@ struct PairState {
     /// Queries answered over this pair (0 = its artifacts were built but
     /// never yet used by a run).
     runs: u64,
+    /// Recency tick for the LRU pair-eviction policy.
+    last_used: u64,
 }
 
 /// A cheap structural fingerprint of a query pair, used to index the
 /// intern table so lookup cost stays independent of how many pairs the
 /// engine has served (deep equality is only checked within a bucket).
-fn pair_fingerprint(left: &Automaton, ql: StateId, right: &Automaton, qr: StateId) -> u64 {
+/// The second component is the same content hashed under a salt: persisted
+/// warm state is keyed by the 128-bit combination, so a 64-bit collision
+/// between distinct pairs cannot attach a saved memo to the wrong pair.
+/// `DefaultHasher::new()` is keyed deterministically, so fingerprints are
+/// stable across processes of the same build.
+fn pair_fingerprint(left: &Automaton, ql: StateId, right: &Automaton, qr: StateId) -> (u64, u64) {
     use std::hash::{Hash, Hasher};
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    format!("{left:?}").hash(&mut h);
-    ql.hash(&mut h);
-    format!("{right:?}").hash(&mut h);
-    qr.hash(&mut h);
-    h.finish()
+    let run = |salt: u64| {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        salt.hash(&mut h);
+        format!("{left:?}").hash(&mut h);
+        ql.hash(&mut h);
+        format!("{right:?}").hash(&mut h);
+        qr.hash(&mut h);
+        h.finish()
+    };
+    (run(0), run(0x5eed_1eaf))
 }
 
 /// Everything that determines a query's result (given a pair): two
@@ -431,8 +535,123 @@ impl WarmKey {
 struct WarmState {
     main_pool: Option<SessionPool>,
     worker_pools: Vec<SessionPool>,
-    memo: HashMap<(TemplatePair, usize, Arc<ConfRel>), bool>,
+    memo: HashMap<MemoKey, bool>,
     runs: u64,
+    /// Recency tick for the LRU warm-state eviction policy.
+    last_used: u64,
+}
+
+/// One memoized entailment verdict: `(guard, same-guard premise count,
+/// conclusion)` — see [`WarmState`] for why the key is exact.
+type MemoKey = (TemplatePair, usize, Arc<ConfRel>);
+
+/// Persisted entailment memos keyed by 128-bit pair fingerprint: each
+/// pair carries its warm entries (query-shape key + memoized verdicts).
+type SavedWarmMap = HashMap<(u64, u64), Vec<(WarmKey, HashMap<MemoKey, bool>)>>;
+
+/// Encodes one persisted warm entry: the query-shape key plus every
+/// memoized verdict, using the certificate JSON vocabulary for relations
+/// and templates.
+fn warm_entry_to_value(key: &WarmKey, memo: &HashMap<MemoKey, bool>) -> Value {
+    let pair_value = |p: &TemplatePair| {
+        json::obj(vec![
+            ("left", json::template_to_value(&p.left)),
+            ("right", json::template_to_value(&p.right)),
+        ])
+    };
+    let mut entries: Vec<Value> = memo
+        .iter()
+        .map(|((guard, premises, rel), entailed)| {
+            json::obj(vec![
+                ("guard", pair_value(guard)),
+                ("premises", json::num(*premises)),
+                ("rel", json::confrel_to_value(rel)),
+                ("entailed", Value::Bool(*entailed)),
+            ])
+        })
+        .collect();
+    entries.sort_by_key(Value::render);
+    json::obj(vec![
+        ("standard_init", Value::Bool(key.standard_init)),
+        (
+            "extra_init",
+            Value::Arr(key.extra_init.iter().map(json::confrel_to_value).collect()),
+        ),
+        ("query", json::confrel_to_value(&key.query)),
+        ("leaps", Value::Bool(key.leaps)),
+        ("reach_pruning", Value::Bool(key.reach_pruning)),
+        ("early_stop", Value::Bool(key.early_stop)),
+        (
+            "max_iterations",
+            match key.max_iterations {
+                Some(n) => json::num(n as usize),
+                None => Value::Null,
+            },
+        ),
+        ("memo", Value::Arr(entries)),
+    ])
+}
+
+/// Decodes the persisted memo document written by `Engine::memos_to_json`.
+fn memos_from_json(text: &str) -> Result<SavedWarmMap, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let err = |e: json::JsonError| e.to_string();
+    let pair_from = |v: &Value| -> Result<TemplatePair, String> {
+        Ok(TemplatePair::new(
+            json::template_from_value(json::get(v, "left").map_err(err)?).map_err(err)?,
+            json::template_from_value(json::get(v, "right").map_err(err)?).map_err(err)?,
+        ))
+    };
+    let mut out: SavedWarmMap = HashMap::new();
+    for pair in json::as_arr(json::get(&doc, "pairs").map_err(err)?).map_err(err)? {
+        let fp: u64 = json::as_str(json::get(pair, "fingerprint").map_err(err)?)
+            .map_err(err)?
+            .parse()
+            .map_err(|_| "bad fingerprint".to_string())?;
+        let fp2: u64 = json::as_str(json::get(pair, "fingerprint2").map_err(err)?)
+            .map_err(err)?
+            .parse()
+            .map_err(|_| "bad fingerprint2".to_string())?;
+        let mut entries = Vec::new();
+        for warm in json::as_arr(json::get(pair, "warm").map_err(err)?).map_err(err)? {
+            let max_iterations = match json::get(warm, "max_iterations").map_err(err)? {
+                Value::Null => None,
+                v => Some(json::as_usize(v).map_err(err)? as u64),
+            };
+            let key = WarmKey {
+                standard_init: json::as_bool(json::get(warm, "standard_init").map_err(err)?)
+                    .map_err(err)?,
+                extra_init: json::as_arr(json::get(warm, "extra_init").map_err(err)?)
+                    .map_err(err)?
+                    .iter()
+                    .map(json::confrel_from_value)
+                    .collect::<Result<_, _>>()
+                    .map_err(err)?,
+                query: json::confrel_from_value(json::get(warm, "query").map_err(err)?)
+                    .map_err(err)?,
+                leaps: json::as_bool(json::get(warm, "leaps").map_err(err)?).map_err(err)?,
+                reach_pruning: json::as_bool(json::get(warm, "reach_pruning").map_err(err)?)
+                    .map_err(err)?,
+                early_stop: json::as_bool(json::get(warm, "early_stop").map_err(err)?)
+                    .map_err(err)?,
+                max_iterations,
+            };
+            let mut memo = HashMap::new();
+            for entry in json::as_arr(json::get(warm, "memo").map_err(err)?).map_err(err)? {
+                let guard = pair_from(json::get(entry, "guard").map_err(err)?)?;
+                let premises =
+                    json::as_usize(json::get(entry, "premises").map_err(err)?).map_err(err)?;
+                let rel =
+                    json::confrel_from_value(json::get(entry, "rel").map_err(err)?).map_err(err)?;
+                let entailed =
+                    json::as_bool(json::get(entry, "entailed").map_err(err)?).map_err(err)?;
+                memo.insert((guard, premises, Arc::new(rel)), entailed);
+            }
+            entries.push((key, memo));
+        }
+        out.entry((fp, fp2)).or_default().extend(entries);
+    }
+    Ok(out)
 }
 
 impl WarmState {
@@ -464,29 +683,49 @@ pub struct Engine {
     config: EngineConfig,
     cache: SharedBlastCache,
     ledger: InstLedger,
-    pairs: Vec<PairState>,
+    /// Interned pairs; evicted slots are tombstoned (so outstanding
+    /// [`PairId`]s of *other* pairs stay valid) and recycled through
+    /// `free_slots` (so the vector does not grow with every distinct
+    /// pair a long-lived daemon ever sees).
+    pairs: Vec<Option<PairState>>,
+    /// Slots freed by pair eviction, reused by the next intern.
+    free_slots: Vec<usize>,
     /// Intern index: pair fingerprint → candidate indices into `pairs`.
     pair_index: HashMap<u64, Vec<usize>>,
+    /// Persisted entailment memos not yet claimed by an interned pair,
+    /// keyed by the 128-bit pair fingerprint.
+    saved_warm: SavedWarmMap,
+    /// Monotone recency counter for the LRU eviction policies.
+    tick: u64,
     stats: EngineStats,
     last_run: RunStats,
     sink: Option<Box<dyn WitnessSink>>,
+    state_report: Option<String>,
 }
 
 impl Engine {
-    /// Builds an engine owning the given configuration. (Also reachable as
-    /// [`EngineConfig::build`].)
+    /// Builds an engine owning the given configuration, reloading any
+    /// persisted warm state from [`EngineConfig::state_dir`]. (Also
+    /// reachable as [`EngineConfig::build`].)
     pub fn new(config: EngineConfig) -> Engine {
         let cache = SharedBlastCache::with_enabled(config.blast_cache);
-        Engine {
+        let ledger = InstLedger::with_capacity(config.warm_capacity);
+        let mut engine = Engine {
             config,
             cache,
-            ledger: InstLedger::new(),
+            ledger,
             pairs: Vec::new(),
+            free_slots: Vec::new(),
             pair_index: HashMap::new(),
+            saved_warm: HashMap::new(),
+            tick: 0,
             stats: EngineStats::default(),
             last_run: RunStats::default(),
             sink: None,
-        }
+            state_report: None,
+        };
+        engine.load_state();
+        engine
     }
 
     /// The engine's configuration.
@@ -521,6 +760,127 @@ impl Engine {
         self.sink.take()
     }
 
+    /// Verdicts currently recorded in the instantiation ledger.
+    pub fn ledger_len(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// What [`EngineConfig::state_dir`] loading found at construction
+    /// (`None` for a cold start with nothing to report).
+    pub fn state_report(&self) -> Option<&str> {
+        self.state_report.as_deref()
+    }
+
+    /// Serializes the engine's reloadable warm state into `dir` (created
+    /// if missing): the blast-cache CNF templates, the instantiation
+    /// ledger's validation verdicts, every entailment-verdict memo (keyed
+    /// by pair fingerprint so a restarted engine re-attaches them on
+    /// intern), and — when the attached [`WitnessSink`] has a serialized
+    /// form — the witness corpus. An engine built with
+    /// [`EngineConfig::with_state_dir`] pointing here starts warm: memo
+    /// and ledger replays need no solver contact, and cached CNF templates
+    /// skip the blasting work.
+    pub fn save_state(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(STATE_BLAST_FILE), self.cache.export_text())?;
+        std::fs::write(dir.join(STATE_LEDGER_FILE), self.ledger.export_text())?;
+        std::fs::write(dir.join(STATE_MEMO_FILE), self.memos_to_json())?;
+        if let Some(text) = self.sink.as_ref().and_then(|s| s.export_text()) {
+            std::fs::write(dir.join(STATE_CORPUS_FILE), text)?;
+        }
+        Ok(())
+    }
+
+    /// Encodes every entailment memo — live pairs' warm states plus any
+    /// still-unclaimed persisted entries — as one JSON document, in
+    /// deterministic order.
+    fn memos_to_json(&self) -> String {
+        let mut by_pair: Vec<((u64, u64), Vec<Value>)> = Vec::new();
+        let mut push =
+            |fp: (u64, u64), entry: Value| match by_pair.iter_mut().find(|(f, _)| *f == fp) {
+                Some((_, entries)) => entries.push(entry),
+                None => by_pair.push((fp, vec![entry])),
+            };
+        for p in self.pairs.iter().flatten() {
+            for (key, warm) in &p.warm {
+                if !warm.memo.is_empty() {
+                    push(p.fingerprint, warm_entry_to_value(key, &warm.memo));
+                }
+            }
+        }
+        for (fp, entries) in &self.saved_warm {
+            for (key, memo) in entries {
+                if !memo.is_empty() {
+                    push(*fp, warm_entry_to_value(key, memo));
+                }
+            }
+        }
+        by_pair.sort_by_key(|(fp, _)| *fp);
+        for (_, entries) in &mut by_pair {
+            entries.sort_by_key(Value::render);
+        }
+        let pairs = by_pair
+            .into_iter()
+            .map(|((fp, fp2), entries)| {
+                json::obj(vec![
+                    ("fingerprint", Value::Str(fp.to_string())),
+                    ("fingerprint2", Value::Str(fp2.to_string())),
+                    ("warm", Value::Arr(entries)),
+                ])
+            })
+            .collect();
+        json::obj(vec![
+            ("version", Value::Num(1.0)),
+            ("pairs", Value::Arr(pairs)),
+        ])
+        .render()
+    }
+
+    /// Best-effort reload of persisted state from the configured state
+    /// directory. Missing files are a cold start; unreadable ones are
+    /// noted in [`Engine::state_report`] and skipped — a corrupt state dir
+    /// must never take the service down, only slow it.
+    fn load_state(&mut self) {
+        let Some(dir) = self.config.state_dir.clone() else {
+            return;
+        };
+        let mut notes: Vec<String> = Vec::new();
+        let read = |file: &str| -> Option<String> { std::fs::read_to_string(dir.join(file)).ok() };
+        if let Some(text) = read(STATE_BLAST_FILE) {
+            match self.cache.import_text(&text) {
+                Ok(n) => notes.push(format!("{n} CNF templates")),
+                Err(e) => notes.push(format!("blast cache skipped ({e})")),
+            }
+        }
+        if let Some(text) = read(STATE_LEDGER_FILE) {
+            match self.ledger.import_text(&text) {
+                Ok(n) => notes.push(format!("{n} ledger verdicts")),
+                Err(e) => notes.push(format!("ledger skipped ({e})")),
+            }
+        }
+        if let Some(text) = read(STATE_MEMO_FILE) {
+            match memos_from_json(&text) {
+                Ok(saved) => {
+                    let n: usize = saved
+                        .values()
+                        .flat_map(|entries| entries.iter().map(|(_, m)| m.len()))
+                        .sum();
+                    notes.push(format!("{n} memoized verdicts"));
+                    self.saved_warm = saved;
+                }
+                Err(e) => notes.push(format!("memos skipped ({e})")),
+            }
+        }
+        if !notes.is_empty() {
+            self.state_report = Some(format!(
+                "reloaded from {}: {}",
+                dir.display(),
+                notes.join(", ")
+            ));
+        }
+    }
+
     /// Interns an automaton pair: on first sight the disjoint sum and root
     /// template pair are constructed; afterwards the same handle (and all
     /// memoized artifacts behind it) is returned without rebuilding.
@@ -543,11 +903,14 @@ impl Engine {
         qr: StateId,
     ) -> (PairId, bool) {
         let fp = pair_fingerprint(left, ql, right, qr);
-        if let Some(bucket) = self.pair_index.get(&fp) {
+        self.tick += 1;
+        if let Some(bucket) = self.pair_index.get(&fp.0) {
             for &i in bucket {
-                let p = &self.pairs[i];
+                let Some(p) = &self.pairs[i] else { continue };
                 if p.ql == ql && p.qr == qr && p.left == *left && p.right == *right {
-                    return (PairId(i), true);
+                    let p = self.pairs[i].as_mut().unwrap();
+                    p.last_used = self.tick;
+                    return (PairId(i, p.generation), true);
                 }
             }
         }
@@ -556,36 +919,84 @@ impl Engine {
             Template::start(sum_info.left_state(ql)),
             Template::start(sum_info.right_state(qr)),
         );
-        self.pairs.push(PairState {
+        // Persisted entailment memos for this pair (saved by an earlier
+        // process) attach here: the sessions start cold, but every
+        // recorded verdict replays without solver contact.
+        let warm: HashMap<WarmKey, WarmState> = self
+            .saved_warm
+            .remove(&fp)
+            .map(|entries| {
+                entries
+                    .into_iter()
+                    .map(|(key, memo)| {
+                        (
+                            key,
+                            WarmState {
+                                memo,
+                                ..WarmState::default()
+                            },
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let generation = self.tick;
+        let state = PairState {
             left: left.clone(),
             ql,
             right: right.clone(),
             qr,
             sum: sum_info,
             root,
+            fingerprint: fp,
+            generation,
             scopes: HashMap::new(),
-            warm: HashMap::new(),
+            warm,
             runs: 0,
-        });
-        let i = self.pairs.len() - 1;
-        self.pair_index.entry(fp).or_default().push(i);
+            last_used: self.tick,
+        };
+        let i = match self.free_slots.pop() {
+            Some(slot) => {
+                self.pairs[slot] = Some(state);
+                slot
+            }
+            None => {
+                self.pairs.push(Some(state));
+                self.pairs.len() - 1
+            }
+        };
+        self.pair_index.entry(fp.0).or_default().push(i);
         self.stats.pairs_interned += 1;
-        (PairId(i), false)
+        (PairId(i, generation), false)
+    }
+
+    fn pair(&self, pid: PairId) -> &PairState {
+        self.pairs[pid.0]
+            .as_ref()
+            .filter(|p| p.generation == pid.1)
+            .expect("stale PairId: the pair was evicted by the warm-capacity bound")
+    }
+
+    fn pair_mut(&mut self, pid: PairId) -> &mut PairState {
+        self.pairs[pid.0]
+            .as_mut()
+            .filter(|p| p.generation == pid.1)
+            .expect("stale PairId: the pair was evicted by the warm-capacity bound")
     }
 
     /// The disjoint-sum automaton of a prepared pair.
     pub fn sum_automaton(&self, pid: PairId) -> &Automaton {
-        &self.pairs[pid.0].sum.automaton
+        &self.pair(pid).sum.automaton
     }
 
     /// The sum's identifier mappings for a prepared pair.
     pub fn sum_info(&self, pid: PairId) -> &Sum {
-        &self.pairs[pid.0].sum
+        &self.pair(pid).sum
     }
 
     /// The root template pair of a prepared pair.
     pub fn root(&self, pid: PairId) -> TemplatePair {
-        self.pairs[pid.0].root
+        self.pair(pid).root
     }
 
     /// The reachable template pairs of a prepared pair under the engine's
@@ -642,19 +1053,23 @@ impl Engine {
         let opts = req.options;
         let (scope, reach_hit) = self.scope_for(pid, opts.leaps, opts.reach_pruning);
         let key = WarmKey::of(req);
-        let mut warm = self.pairs[pid.0].warm.remove(&key).unwrap_or_default();
-        let aut = self.pairs[pid.0].sum.automaton.clone();
+        self.tick += 1;
+        let tick = self.tick;
         let mut solver = SmtSolver::with_shared_cache(self.cache.clone());
+        let pair = self.pair_mut(pid);
+        pair.last_used = tick;
+        let mut warm = pair.warm.remove(&key).unwrap_or_default();
+        let aut = pair.sum.automaton.clone();
         let mut stats = RunStats {
             reach_cache_hits: reach_hit as u64,
             // The pair's sum/root artifacts were already resident iff a
             // prior run used them — counted here so every entry point
             // (check, Checker::run, the relational row runners) reports
             // sum reuse consistently.
-            sum_cache_hits: (self.pairs[pid.0].runs > 0) as u64,
+            sum_cache_hits: (pair.runs > 0) as u64,
             ..RunStats::default()
         };
-        self.pairs[pid.0].runs += 1;
+        pair.runs += 1;
         let outcome = run_worklist(
             &aut,
             &scope,
@@ -665,9 +1080,11 @@ impl Engine {
             &mut solver,
             &mut stats,
         );
-        self.pairs[pid.0].warm.insert(key, warm);
+        warm.last_used = tick;
+        self.pair_mut(pid).warm.insert(key, warm);
         self.absorb_run(&stats);
         self.last_run = stats;
+        self.enforce_caps();
         outcome
     }
 
@@ -677,6 +1094,76 @@ impl Engine {
         self.stats.entailment_memo_hits += stats.entailment_memo_hits;
         self.stats.reach_cache_hits += stats.reach_cache_hits;
         self.stats.sum_cache_hits += stats.sum_cache_hits;
+    }
+
+    /// Applies the [`EngineConfig::warm_capacity`] LRU bound between runs:
+    /// warm query-shape states, resident guard sessions per pool and
+    /// interned pairs are each trimmed to the capacity, least-recently-used
+    /// first, and the ledger's own eviction counter is mirrored into the
+    /// engine statistics. Eviction only ever discards caches of
+    /// deterministic computations, so results are unaffected.
+    fn enforce_caps(&mut self) {
+        self.stats.ledger_evictions = self.ledger.evictions();
+        let cap = self.config.warm_capacity;
+        if cap == 0 {
+            return;
+        }
+        // Warm query-shape states, engine-wide.
+        loop {
+            let total: usize = self.pairs.iter().flatten().map(|p| p.warm.len()).sum();
+            if total <= cap {
+                break;
+            }
+            let mut victim: Option<(usize, WarmKey, u64)> = None;
+            for (i, p) in self.pairs.iter().enumerate() {
+                let Some(p) = p else { continue };
+                for (k, w) in &p.warm {
+                    if victim.as_ref().is_none_or(|(_, _, t)| w.last_used < *t) {
+                        victim = Some((i, k.clone(), w.last_used));
+                    }
+                }
+            }
+            let (i, key, _) = victim.expect("count above cap implies a victim");
+            self.pairs[i].as_mut().unwrap().warm.remove(&key);
+            self.stats.warm_evictions += 1;
+        }
+        // Guard sessions inside the retained warm states.
+        let mut pruned = 0usize;
+        for p in self.pairs.iter_mut().flatten() {
+            for w in p.warm.values_mut() {
+                if let Some(pool) = w.main_pool.as_mut() {
+                    pruned += pool.prune_lru(cap);
+                }
+                for pool in &mut w.worker_pools {
+                    pruned += pool.prune_lru(cap);
+                }
+            }
+        }
+        self.stats.session_evictions += pruned as u64;
+        // Interned pairs.
+        loop {
+            let live = self.pairs.iter().flatten().count();
+            if live <= cap {
+                break;
+            }
+            let victim = self
+                .pairs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.as_ref().map(|p| (i, p.last_used)))
+                .min_by_key(|&(_, t)| t)
+                .expect("count above cap implies a victim")
+                .0;
+            let evicted = self.pairs[victim].take().expect("victim is live");
+            if let Some(bucket) = self.pair_index.get_mut(&evicted.fingerprint.0) {
+                bucket.retain(|&i| i != victim);
+                if bucket.is_empty() {
+                    self.pair_index.remove(&evicted.fingerprint.0);
+                }
+            }
+            self.free_slots.push(victim);
+            self.stats.pair_evictions += 1;
+        }
     }
 
     /// Answers many language-equivalence queries, scheduling them over the
@@ -738,13 +1225,14 @@ impl Engine {
                     let mut req = self.standard_request(pid);
                     req.options = inner_opts;
                     let key = WarmKey::of(&req);
-                    let prior_runs = self.pairs[pid.0].runs;
-                    self.pairs[pid.0].runs += indices.len() as u64;
+                    let pair = self.pair_mut(pid);
+                    let prior_runs = pair.runs;
+                    pair.runs += indices.len() as u64;
                     GroupTask {
                         pid,
-                        aut: self.pairs[pid.0].sum.automaton.clone(),
+                        aut: pair.sum.automaton.clone(),
+                        warm: pair.warm.remove(&key).unwrap_or_default(),
                         scope,
-                        warm: self.pairs[pid.0].warm.remove(&key).unwrap_or_default(),
                         req,
                         prior_runs,
                         indices,
@@ -791,7 +1279,9 @@ impl Engine {
             });
             for mut task in tasks {
                 let key = WarmKey::of(&task.req);
-                self.pairs[task.pid.0].warm.insert(key, task.warm);
+                self.tick += 1;
+                task.warm.last_used = self.tick;
+                self.pair_mut(task.pid).warm.insert(key, task.warm);
                 for (j, (qi, outcome, mut stats)) in task.results.drain(..).enumerate() {
                     stats.sum_cache_hits = if j == 0 {
                         (task.prior_runs > 0) as u64
@@ -805,6 +1295,7 @@ impl Engine {
             }
         }
         self.last_run = merged;
+        self.enforce_caps();
         let outcomes: Vec<Outcome> = outcomes.into_iter().map(Option::unwrap).collect();
         if let Some(sink) = self.sink.as_mut() {
             for (spec, outcome) in specs.iter().zip(&outcomes) {
@@ -825,7 +1316,7 @@ impl Engine {
         leaps: bool,
         reach_pruning: bool,
     ) -> (Arc<Vec<TemplatePair>>, bool) {
-        let pair = &mut self.pairs[pid.0];
+        let pair = self.pair_mut(pid);
         if let Some(s) = pair.scopes.get(&(leaps, reach_pruning)) {
             return (s.clone(), true);
         }
@@ -1238,4 +1729,150 @@ fn parallel_entailment(
         }
     });
     verdicts.into_iter().map(AtomicBool::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leapfrog_p4a::surface::parse;
+
+    fn pair_a() -> (Automaton, StateId, Automaton, StateId) {
+        let a = parse(
+            "parser A { state s { extract(h, 4);
+               select(h[0:1]) { 0b11 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let b = parse(
+            "parser B { state s { extract(pre, 2); goto t }
+                        state t { extract(suf, 2);
+               select(pre) { 0b11 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let (sa, sb) = (a.state_by_name("s").unwrap(), b.state_by_name("s").unwrap());
+        (a, sa, b, sb)
+    }
+
+    fn pair_b() -> (Automaton, StateId, Automaton, StateId) {
+        let a = parse(
+            "parser C { state s { extract(h, 2);
+               select(h) { 0b10 => accept; _ => reject; } } }",
+        )
+        .unwrap();
+        let sa = a.state_by_name("s").unwrap();
+        (a.clone(), sa, a, sa)
+    }
+
+    fn cert_of(outcome: &Outcome) -> String {
+        match outcome {
+            Outcome::Equivalent(cert) => cert.to_json(),
+            other => panic!("expected Equivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_capacity_evicts_without_changing_results() {
+        let (a, sa, b, sb) = pair_a();
+        let (c, sc, d, sd) = pair_b();
+        let reference = {
+            let mut unbounded = EngineConfig::new().threads(1).build();
+            (
+                cert_of(&unbounded.check(&a, sa, &b, sb)),
+                cert_of(&unbounded.check(&c, sc, &d, sd)),
+            )
+        };
+        let mut engine = EngineConfig::new().threads(1).warm_capacity(1).build();
+        // Alternating pairs under capacity 1: every switch evicts the
+        // other pair's warm state, yet every certificate is identical.
+        for _ in 0..2 {
+            assert_eq!(reference.0, cert_of(&engine.check(&a, sa, &b, sb)));
+            assert_eq!(reference.1, cert_of(&engine.check(&c, sc, &d, sd)));
+        }
+        let stats = engine.stats();
+        assert!(stats.warm_evictions > 0, "{stats:?}");
+        assert!(stats.pair_evictions > 0, "{stats:?}");
+        // Capacity 0 (unbounded) never evicts.
+        let mut unbounded = EngineConfig::new().threads(1).build();
+        unbounded.check(&a, sa, &b, sb);
+        unbounded.check(&c, sc, &d, sd);
+        assert_eq!(unbounded.stats().warm_evictions, 0);
+        assert_eq!(unbounded.stats().pair_evictions, 0);
+    }
+
+    #[test]
+    fn state_round_trips_through_a_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "leapfrog-engine-state-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (a, sa, b, sb) = pair_a();
+
+        let mut first = EngineConfig::new().threads(1).build();
+        let cold_cert = cert_of(&first.check(&a, sa, &b, sb));
+        assert_eq!(first.last_run_stats().entailment_memo_hits, 0);
+        first.save_state(&dir).unwrap();
+
+        // A fresh engine restarted from the saved state replays every
+        // verdict from the reloaded memo — zero solver queries — and the
+        // certificate is byte-identical.
+        let mut second = EngineConfig::new().threads(1).with_state_dir(&dir).build();
+        assert!(second.state_report().is_some(), "state must be reported");
+        let warm_cert = cert_of(&second.check(&a, sa, &b, sb));
+        assert_eq!(cold_cert, warm_cert);
+        let stats = second.last_run_stats();
+        assert!(
+            stats.entailment_memo_hits > 0,
+            "restart must replay the persisted memo: {stats:?}"
+        );
+        assert_eq!(
+            stats.entailment_memo_hits, stats.entailment_checks,
+            "every verdict comes from the memo: {stats:?}"
+        );
+        assert_eq!(stats.queries.queries, 0, "{stats:?}");
+
+        // The memo document itself round-trips exactly.
+        let memos = first.memos_to_json();
+        let reparsed = memos_from_json(&memos).unwrap();
+        assert!(!reparsed.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_state_dir_is_a_cold_start() {
+        let engine = EngineConfig::new()
+            .with_state_dir("/nonexistent/leapfrog-state")
+            .build();
+        assert!(engine.state_report().is_none());
+    }
+
+    #[test]
+    fn evicted_pair_slots_are_recycled_and_stale_handles_detected() {
+        let (a, sa, b, sb) = pair_a();
+        let (c, sc, d, sd) = pair_b();
+        let mut engine = EngineConfig::new().threads(1).warm_capacity(1).build();
+        let stale = engine.prepare_pair(&a, sa, &b, sb);
+        // Interning + checking a second pair evicts the first under
+        // capacity 1 and must reuse its slot rather than growing the
+        // table.
+        assert!(engine.check(&c, sc, &d, sd).is_equivalent());
+        assert!(engine.stats().pair_evictions > 0);
+        let slots_after_eviction = engine.pairs.len();
+        // The evicted pair's slot is tombstoned, and a stale handle into
+        // it is detected instead of silently resolving to another pair.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.sum_automaton(stale);
+        }));
+        assert!(err.is_err(), "a stale PairId must not resolve");
+        // Re-interning the evicted pair recycles the freed slot (no
+        // unbounded slot growth for a long-lived daemon) and yields a
+        // fresh, working handle.
+        let fresh = engine.prepare_pair(&a, sa, &b, sb);
+        assert_eq!(
+            engine.pairs.len(),
+            slots_after_eviction,
+            "the freed slot must be reused, not a new one pushed"
+        );
+        assert!(engine.sum_automaton(fresh).num_states() > 0);
+    }
 }

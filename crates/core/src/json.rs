@@ -40,7 +40,7 @@ pub struct JsonError {
 }
 
 impl JsonError {
-    fn new(msg: impl Into<String>) -> JsonError {
+    pub(crate) fn new(msg: impl Into<String>) -> JsonError {
         JsonError { msg: msg.into() }
     }
 }
@@ -350,7 +350,8 @@ fn utf8_width(first: u8) -> usize {
 // ---------------------------------------------------------------------------
 // Certificate encoding
 
-fn obj(fields: Vec<(&str, Value)>) -> Value {
+/// Builds an object value from (key, value) pairs.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Obj(
         fields
             .into_iter()
@@ -363,11 +364,13 @@ fn tag(name: &str, v: Value) -> Value {
     obj(vec![(name, v)])
 }
 
-fn num(n: usize) -> Value {
+/// Builds an unsigned-integer number value.
+pub fn num(n: usize) -> Value {
     Value::Num(n as f64)
 }
 
-fn bitvec_to_value(bv: &BitVec) -> Value {
+/// Encodes a bitvector as its binary-string literal.
+pub fn bitvec_to_value(bv: &BitVec) -> Value {
     Value::Str(bv.to_string())
 }
 
@@ -379,7 +382,8 @@ fn target_to_value(t: Target) -> Value {
     }
 }
 
-fn template_to_value(t: &Template) -> Value {
+/// Encodes a configuration template (shared with the wire protocol).
+pub fn template_to_value(t: &Template) -> Value {
     obj(vec![
         ("target", target_to_value(t.target)),
         ("buf_len", num(t.buf_len)),
@@ -427,7 +431,9 @@ fn pure_to_value(p: &Pure) -> Value {
     }
 }
 
-fn confrel_to_value(r: &ConfRel) -> Value {
+/// Encodes a configuration relation (shared with the wire protocol and
+/// the engine's warm-state persistence).
+pub fn confrel_to_value(r: &ConfRel) -> Value {
     obj(vec![
         (
             "guard",
@@ -461,7 +467,8 @@ pub fn certificate_to_value(cert: &Certificate) -> Value {
 // ---------------------------------------------------------------------------
 // Certificate decoding
 
-fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
+/// Looks up a required object field.
+pub fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
     match v {
         Value::Obj(fields) => fields
             .iter()
@@ -474,28 +481,32 @@ fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
     }
 }
 
-fn as_bool(v: &Value) -> Result<bool, JsonError> {
+/// Interprets a value as a boolean.
+pub fn as_bool(v: &Value) -> Result<bool, JsonError> {
     match v {
         Value::Bool(b) => Ok(*b),
         _ => Err(JsonError::new("expected a boolean")),
     }
 }
 
-fn as_usize(v: &Value) -> Result<usize, JsonError> {
+/// Interprets a value as an unsigned integer.
+pub fn as_usize(v: &Value) -> Result<usize, JsonError> {
     match v {
         Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as usize),
         _ => Err(JsonError::new("expected an unsigned integer")),
     }
 }
 
-fn as_str(v: &Value) -> Result<&str, JsonError> {
+/// Interprets a value as a string.
+pub fn as_str(v: &Value) -> Result<&str, JsonError> {
     match v {
         Value::Str(s) => Ok(s),
         _ => Err(JsonError::new("expected a string")),
     }
 }
 
-fn as_arr(v: &Value) -> Result<&[Value], JsonError> {
+/// Interprets a value as an array.
+pub fn as_arr(v: &Value) -> Result<&[Value], JsonError> {
     match v {
         Value::Arr(items) => Ok(items),
         _ => Err(JsonError::new("expected an array")),
@@ -510,7 +521,8 @@ fn untag(v: &Value) -> Result<(&str, &Value), JsonError> {
     }
 }
 
-fn bitvec_from_value(v: &Value) -> Result<BitVec, JsonError> {
+/// Decodes a bitvector from its binary-string literal.
+pub fn bitvec_from_value(v: &Value) -> Result<BitVec, JsonError> {
     as_str(v)?
         .parse()
         .map_err(|e| JsonError::new(format!("invalid bitvector literal: {e:?}")))
@@ -531,7 +543,8 @@ fn target_from_value(v: &Value) -> Result<Target, JsonError> {
     }
 }
 
-fn template_from_value(v: &Value) -> Result<Template, JsonError> {
+/// Decodes a configuration template.
+pub fn template_from_value(v: &Value) -> Result<Template, JsonError> {
     Ok(Template {
         target: target_from_value(get(v, "target")?)?,
         buf_len: as_usize(get(v, "buf_len")?)?,
@@ -616,7 +629,8 @@ fn pure_from_value(v: &Value) -> Result<Pure, JsonError> {
     }
 }
 
-fn confrel_from_value(v: &Value) -> Result<ConfRel, JsonError> {
+/// Decodes a configuration relation.
+pub fn confrel_from_value(v: &Value) -> Result<ConfRel, JsonError> {
     let guard = get(v, "guard")?;
     Ok(ConfRel {
         guard: TemplatePair::new(

@@ -353,6 +353,14 @@ impl GuardSession {
 pub struct SessionPool {
     sessions: HashMap<TemplatePair, GuardSession>,
     cfg: SessionConfig,
+    /// Monotone use counter driving the LRU order of [`Self::prune_lru`].
+    tick: u64,
+    /// Last-use tick per resident guard session.
+    last_used: HashMap<TemplatePair, u64>,
+    /// Statistics of pruned sessions: absorbed on eviction so the pool's
+    /// totals stay monotone across [`Self::prune_lru`] calls (the engine
+    /// reports per-run deltas against a baseline snapshot).
+    retired: QueryStats,
 }
 
 impl SessionPool {
@@ -373,8 +381,8 @@ impl SessionPool {
     /// An empty pool whose sessions are created under `cfg`.
     pub fn with_config(cfg: SessionConfig) -> SessionPool {
         SessionPool {
-            sessions: HashMap::new(),
             cfg,
+            ..SessionPool::default()
         }
     }
 
@@ -395,11 +403,36 @@ impl SessionPool {
     /// queries without dangling sessions.
     pub fn lease(&mut self, guard: TemplatePair) -> SessionLease<'_> {
         let cfg = self.cfg.clone();
+        self.tick += 1;
+        self.last_used.insert(guard, self.tick);
         let session = self
             .sessions
             .entry(guard)
             .or_insert_with(|| GuardSession::with_config(guard, cfg));
         SessionLease { session }
+    }
+
+    /// Evicts least-recently-used guard sessions until at most
+    /// `max_sessions` remain, returning how many were dropped. The pruned
+    /// sessions' statistics are preserved in the pool totals; a later
+    /// check of a pruned guard simply rebuilds its context from scratch
+    /// (and from the shared blast cache), so verdicts never change — the
+    /// eviction hook a capacity-bounded engine drives between runs.
+    pub fn prune_lru(&mut self, max_sessions: usize) -> usize {
+        let mut evicted = 0;
+        while self.sessions.len() > max_sessions {
+            let victim = *self
+                .sessions
+                .keys()
+                .min_by_key(|g| (self.last_used.get(g).copied().unwrap_or(0), **g))
+                .expect("non-empty above");
+            if let Some(session) = self.sessions.remove(&victim) {
+                self.retired.absorb(session.stats());
+            }
+            self.last_used.remove(&victim);
+            evicted += 1;
+        }
+        evicted
     }
 
     /// Decides `⋀ premises ⊨ conclusion` through the guard's session,
@@ -416,11 +449,12 @@ impl SessionPool {
     }
 
     /// Merged statistics across the pool's sessions, in guard order (the
-    /// deterministic order the checker absorbs them in).
+    /// deterministic order the checker absorbs them in), including the
+    /// preserved statistics of sessions pruned by [`Self::prune_lru`].
     pub fn stats(&self) -> QueryStats {
         let mut guards: Vec<&TemplatePair> = self.sessions.keys().collect();
         guards.sort();
-        let mut out = QueryStats::default();
+        let mut out = self.retired.clone();
         for g in guards {
             out.absorb(self.sessions[g].stats());
         }
@@ -727,6 +761,35 @@ mod tests {
             phi: Pure::eq(BitExpr::Var(VarId(0)), BitExpr::Lit(BitVec::zeros(2))),
         };
         assert!(session.check(&a, &slice, &impossible, &cache));
+    }
+
+    #[test]
+    fn prune_lru_drops_cold_sessions_and_keeps_stats() {
+        let a = aut();
+        let g1 = guard(1, 1);
+        let g2 = guard(2, 2);
+        let g3 = guard(3, 3);
+        let cache = SharedBlastCache::new();
+        let mut pool = SessionPool::new();
+        assert!(pool.check(&a, &[], &ConfRel::trivial(g1), &cache));
+        assert!(pool.check(&a, &[], &ConfRel::trivial(g2), &cache));
+        assert!(pool.check(&a, &[], &ConfRel::trivial(g3), &cache));
+        // Re-touch g1 so g2 is the LRU victim.
+        assert!(pool.check(&a, &[], &ConfRel::trivial(g1), &cache));
+        let before = pool.stats();
+        assert_eq!(pool.prune_lru(2), 1);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(
+            pool.stats().queries,
+            before.queries,
+            "pruned sessions' statistics must be preserved"
+        );
+        // A pruned guard rebuilds transparently with the same verdicts.
+        assert!(pool.check(&a, &[], &ConfRel::trivial(g2), &cache));
+        assert!(!pool.check(&a, &[], &ConfRel::forbidden(g2), &cache));
+        assert_eq!(pool.prune_lru(0), 3, "prune to zero drops everything");
+        assert!(pool.is_empty());
+        assert_eq!(pool.stats().queries, before.queries + 2);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! `serve_gauntlet` — the end-to-end wire smoke driver CI runs against a
+//! live `leapfrogd`.
+//!
+//! ```text
+//! serve_gauntlet (--addr HOST:PORT | --port-file PATH) [--mutants] [--no-shutdown]
+//! ```
+//!
+//! Drives every standard Table 2 row (and, with `--mutants`, the mutant
+//! suite with its long refutation witnesses) through the wire client and
+//! diffs each verdict — the full certificate or witness JSON — **byte for
+//! byte** against a one-shot in-process `check_language_equivalence` of
+//! the same pair. Any mismatch, unexpected verdict or protocol error is a
+//! failure; on success the daemon is asked to shut down (unless
+//! `--no-shutdown`) and the process exits 0.
+
+use std::time::{Duration, Instant};
+
+use leapfrog::checker::check_language_equivalence;
+use leapfrog::json;
+use leapfrog_serve::proto::outcome_to_value;
+use leapfrog_serve::Client;
+use leapfrog_suite::{mutants, standard_benchmarks, Scale};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut addr: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut include_mutants = false;
+    let mut shutdown = true;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--port-file" => port_file = args.next(),
+            "--mutants" => include_mutants = true,
+            "--no-shutdown" => shutdown = false,
+            other => {
+                eprintln!("serve_gauntlet: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let addr = addr.unwrap_or_else(|| {
+        let path = port_file.unwrap_or_else(|| {
+            eprintln!("serve_gauntlet: need --addr or --port-file");
+            std::process::exit(2);
+        });
+        // The daemon writes the file after binding; wait for it briefly.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match std::fs::read_to_string(&path) {
+                Ok(s) if !s.trim().is_empty() => break s.trim().to_string(),
+                _ if Instant::now() > deadline => {
+                    eprintln!("serve_gauntlet: port file {path} never appeared");
+                    std::process::exit(1);
+                }
+                _ => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    });
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve_gauntlet: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let scale = Scale::from_env();
+    let mut rows = standard_benchmarks(scale);
+    if include_mutants {
+        rows.extend(mutants::mutant_benchmarks());
+    }
+    let mut failures = 0usize;
+    for bench in &rows {
+        let local = outcome_to_value(&check_language_equivalence(
+            &bench.left,
+            bench.left_start,
+            &bench.right,
+            bench.right_start,
+        ))
+        .render();
+        match client.check_named(bench.name) {
+            Ok(reply) => {
+                let verdict_ok = reply.outcome.is_equivalent() == bench.expect_equivalent;
+                let bytes_ok = reply.outcome_json == local;
+                if verdict_ok && bytes_ok {
+                    println!(
+                        "ok   {:<28} ({} bytes over the wire, {} entailment checks)",
+                        bench.name,
+                        reply.outcome_json.len(),
+                        reply.stats.entailment_checks,
+                    );
+                } else {
+                    failures += 1;
+                    if !verdict_ok {
+                        eprintln!(
+                            "FAIL {:<28} verdict: expected equivalent={}, wire said {}",
+                            bench.name,
+                            bench.expect_equivalent,
+                            reply.outcome.is_equivalent()
+                        );
+                    }
+                    if !bytes_ok {
+                        eprintln!(
+                            "FAIL {:<28} wire bytes differ from one-shot ({} vs {} bytes)",
+                            bench.name,
+                            reply.outcome_json.len(),
+                            local.len()
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL {:<28} protocol error: {e}", bench.name);
+            }
+        }
+    }
+
+    match client.engine_stats() {
+        Ok(stats) => {
+            let field = |k: &str| {
+                json::get(&stats, k)
+                    .ok()
+                    .and_then(|v| json::as_usize(v).ok())
+                    .unwrap_or(0)
+            };
+            println!(
+                "engine: {} checks, {} pairs interned, {} memo hits, {} sessions reused",
+                field("checks"),
+                field("pairs_interned"),
+                field("entailment_memo_hits"),
+                field("sessions_reused"),
+            );
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("FAIL stats request: {e}");
+        }
+    }
+    if shutdown {
+        if let Err(e) = client.shutdown() {
+            failures += 1;
+            eprintln!("FAIL shutdown request: {e}");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "serve_gauntlet: {failures} failure(s) across {} rows",
+            rows.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "serve_gauntlet: all {} rows byte-identical over the wire",
+        rows.len()
+    );
+}

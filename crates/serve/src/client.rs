@@ -1,0 +1,115 @@
+//! A small blocking client for the `leapfrogd` wire protocol.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use leapfrog::json::{self, Value};
+use leapfrog::RunStats;
+
+use crate::proto::{
+    self, run_stats_from_value, wire_outcome_from_value, PairSpec, Request, WireOptions,
+    WireOutcome,
+};
+
+/// One answered check: the canonical outcome JSON (byte-comparable
+/// against a locally encoded outcome), its typed decode, and the run
+/// statistics.
+#[derive(Debug)]
+pub struct CheckReply {
+    /// Canonical rendering of the outcome — identical bytes to
+    /// [`proto::outcome_to_value`] applied to the same in-process outcome.
+    pub outcome_json: String,
+    /// The decoded outcome.
+    pub outcome: WireOutcome,
+    /// Statistics of the run that produced it (batch-merged when the
+    /// server grouped concurrent requests into one batch).
+    pub stats: RunStats,
+}
+
+/// A connected protocol client. One request is in flight at a time; the
+/// server interleaves clients freely.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one request value and reads the reply value.
+    pub fn round_trip(&mut self, request: &Value) -> Result<Value, String> {
+        proto::write_frame(&mut self.stream, &request.render()).map_err(|e| e.to_string())?;
+        let reply = proto::read_frame(&mut self.stream)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| "server closed the connection".to_string())?;
+        json::parse(&reply).map_err(|e| e.to_string())
+    }
+
+    fn check(&mut self, pair: PairSpec, options: WireOptions) -> Result<CheckReply, String> {
+        let reply = self.round_trip(&proto::request_to_value(&Request::Check { pair, options }))?;
+        if let Ok(e) = json::get(&reply, "error") {
+            return Err(json::as_str(e).map_err(|e| e.to_string())?.to_string());
+        }
+        let outcome_value = json::get(&reply, "outcome").map_err(|e| e.to_string())?;
+        Ok(CheckReply {
+            outcome_json: outcome_value.render(),
+            outcome: wire_outcome_from_value(outcome_value)?,
+            stats: run_stats_from_value(json::get(&reply, "stats").map_err(|e| e.to_string())?)?,
+        })
+    }
+
+    /// Checks a named suite row (standard Table 2 rows plus mutants).
+    pub fn check_named(&mut self, name: &str) -> Result<CheckReply, String> {
+        self.check(PairSpec::Named(name.to_string()), WireOptions::default())
+    }
+
+    /// Checks two inline surface-syntax parsers.
+    pub fn check_inline(
+        &mut self,
+        left: &str,
+        left_start: &str,
+        right: &str,
+        right_start: &str,
+    ) -> Result<CheckReply, String> {
+        self.check(
+            PairSpec::Inline {
+                left: left.to_string(),
+                left_start: left_start.to_string(),
+                right: right.to_string(),
+                right_start: right_start.to_string(),
+            },
+            WireOptions::default(),
+        )
+    }
+
+    /// [`Client::check_named`] with per-query option overrides.
+    pub fn check_named_with(
+        &mut self,
+        name: &str,
+        options: WireOptions,
+    ) -> Result<CheckReply, String> {
+        self.check(PairSpec::Named(name.to_string()), options)
+    }
+
+    /// The engine's cumulative statistics (including eviction counters
+    /// and the state-dir report).
+    pub fn engine_stats(&mut self) -> Result<Value, String> {
+        let reply = self.round_trip(&proto::request_to_value(&Request::Stats))?;
+        json::get(&reply, "engine")
+            .cloned()
+            .map_err(|e| e.to_string())
+    }
+
+    /// Asks the daemon to persist its state (when configured) and exit.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        let reply = self.round_trip(&proto::request_to_value(&Request::Shutdown))?;
+        if let Ok(e) = json::get(&reply, "error") {
+            return Err(json::as_str(e).map_err(|e| e.to_string())?.to_string());
+        }
+        json::get(&reply, "bye").map_err(|e| e.to_string())?;
+        Ok(())
+    }
+}

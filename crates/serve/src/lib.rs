@@ -1,0 +1,37 @@
+//! Serving the equivalence engine over the wire.
+//!
+//! The ROADMAP's north star is a service, and since PR 4 the engine has
+//! been a persistent in-process object; this crate adds the two missing
+//! layers on top of it:
+//!
+//! * a **wire front-end** ([`server`], shipped as the `leapfrogd` binary):
+//!   a length-prefixed JSON protocol over `std::net::TcpListener` — no
+//!   external dependencies, hand-rolled JSON on the certificate
+//!   infrastructure — where a request names a suite row or carries two
+//!   inline surface-syntax parsers, and the response carries the
+//!   [`Outcome`](leapfrog::Outcome), the run statistics, and the full
+//!   certificate or confirmed witness as JSON. The daemon owns ONE
+//!   long-lived [`Engine`](leapfrog::Engine); concurrent requests funnel
+//!   through an engine thread that drains its queue into
+//!   `check_batch`-style scheduling over the work-stealing pool.
+//! * **cross-process persistence**, via the engine's own
+//!   `save_state` / `EngineConfig::with_state_dir`: on `shutdown` the
+//!   daemon serializes the blast-cache templates, instantiation-ledger
+//!   verdicts, entailment-verdict memos and the witness corpus, and a
+//!   restarted daemon reloads them — answers stay byte-identical, only
+//!   the wall-clock changes (asserted in `tests/serve.rs`).
+//!
+//! [`proto`] defines the frame format and the JSON encodings (with typed
+//! decoded mirrors for clients); [`client`] is a small blocking client.
+//! `serve_gauntlet` and `persistence_roundtrip` are the CI drivers: the
+//! first diffs every wire verdict byte-for-byte against one-shot
+//! `check_language_equivalence`, the second proves a cold restart from a
+//! saved state dir replays memoized verdicts without changing a byte.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{CheckReply, Client};
+pub use proto::{outcome_to_value, read_frame, write_frame, PairSpec, Request, WireOutcome};
+pub use server::{Server, ServerOptions};

@@ -1,0 +1,745 @@
+//! The wire protocol: length-prefixed JSON frames and the encodings of
+//! requests, outcomes, witnesses and statistics.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 JSON.
+//! Frames larger than [`MAX_FRAME_BYTES`] are rejected (a malformed
+//! length prefix must not make the peer allocate unbounded memory).
+//!
+//! # Requests
+//!
+//! ```json
+//! {"check": {"pair": {"named": "MPLS Vectorized"}}}
+//! {"check": {"pair": {"inline": {"left": "parser A { … }", "left_start": "s",
+//!                                "right": "parser B { … }", "right_start": "s"}},
+//!            "options": {"leaps": true, "max_iterations": 10000}}}
+//! {"stats": {}}
+//! {"shutdown": {}}
+//! ```
+//!
+//! A named pair resolves against the standard Table 2 rows plus the
+//! mutant suite; an inline pair carries two surface-syntax parser sources
+//! and start-state names. `options` is optional; omitted fields keep the
+//! server engine's configuration (and a request with any option set runs
+//! individually instead of joining a batch, since it poses a different
+//! query shape).
+//!
+//! # Responses
+//!
+//! ```json
+//! {"outcome": {"Equivalent": {…certificate…}}, "stats": {…run stats…}}
+//! {"outcome": {"NotEquivalent": {"Witness": {…}}}, "stats": {…}}
+//! {"engine": {…engine stats…}}
+//! {"bye": true}
+//! {"error": "unknown pair \"…\""}
+//! ```
+//!
+//! The outcome encoding is *canonical*: encoding the same [`Outcome`]
+//! always renders the same bytes, so clients can diff a wire answer
+//! against a local one byte-for-byte — that is exactly what the
+//! `serve_gauntlet` CI driver and `tests/serve.rs` do. Every encoding
+//! also has a typed decode ([`WireOutcome`], [`WireWitness`]) that
+//! re-encodes to identical bytes (round-trip property-tested in
+//! `tests/proto_roundtrip.rs`).
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+use leapfrog::json::{self, Value};
+use leapfrog::{Certificate, EngineStats, Outcome, RunStats};
+use leapfrog_bitvec::BitVec;
+use leapfrog_cex::{Disagreement, Refutation, Witness};
+use leapfrog_logic::confrel::ConfRel;
+use leapfrog_logic::templates::TemplatePair;
+use leapfrog_smt::QueryStats;
+
+/// Upper bound on a single frame's payload. Certificates on the full
+/// Table 2 scale stay far under this; anything larger is a protocol
+/// error, not a workload.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let bytes = payload.as_bytes();
+    assert!(bytes.len() <= MAX_FRAME_BYTES, "oversized outgoing frame");
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer closed
+/// between frames); a mid-frame close or an oversized length is an error.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<String>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte bound"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 frame"))
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+
+/// Which parser pair a check poses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairSpec {
+    /// A standard suite row (or mutant) by its Table 2 name.
+    Named(String),
+    /// Two inline surface-syntax parsers with start-state names.
+    Inline {
+        /// Left parser source (surface DSL).
+        left: String,
+        /// Left start-state name.
+        left_start: String,
+        /// Right parser source.
+        right: String,
+        /// Right start-state name.
+        right_start: String,
+    },
+}
+
+/// Per-query option overrides carried by a check request. `None` keeps
+/// the server engine's configuration. Only the *semantic* knobs travel —
+/// scheduling (threads, GC, caching) is the daemon's business.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireOptions {
+    /// Override for bisimulation leaps.
+    pub leaps: Option<bool>,
+    /// Override for reachability pruning.
+    pub reach_pruning: Option<bool>,
+    /// Override for early stopping.
+    pub early_stop: Option<bool>,
+    /// Override for the iteration budget.
+    pub max_iterations: Option<u64>,
+}
+
+impl WireOptions {
+    /// Whether every override is unset (the request may join a batch).
+    pub fn is_default(&self) -> bool {
+        *self == WireOptions::default()
+    }
+}
+
+/// One wire request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Pose a language-equivalence query.
+    Check {
+        /// The parser pair.
+        pair: PairSpec,
+        /// Per-query option overrides.
+        options: WireOptions,
+    },
+    /// Ask for the engine's cumulative statistics.
+    Stats,
+    /// Save state (when the daemon has a state dir) and exit.
+    Shutdown,
+}
+
+/// Encodes a request.
+pub fn request_to_value(req: &Request) -> Value {
+    match req {
+        Request::Check { pair, options } => {
+            let pair_v = match pair {
+                PairSpec::Named(name) => json::obj(vec![("named", Value::Str(name.clone()))]),
+                PairSpec::Inline {
+                    left,
+                    left_start,
+                    right,
+                    right_start,
+                } => json::obj(vec![(
+                    "inline",
+                    json::obj(vec![
+                        ("left", Value::Str(left.clone())),
+                        ("left_start", Value::Str(left_start.clone())),
+                        ("right", Value::Str(right.clone())),
+                        ("right_start", Value::Str(right_start.clone())),
+                    ]),
+                )]),
+            };
+            let mut fields = vec![("pair", pair_v)];
+            if !options.is_default() {
+                let mut opt_fields = Vec::new();
+                if let Some(b) = options.leaps {
+                    opt_fields.push(("leaps", Value::Bool(b)));
+                }
+                if let Some(b) = options.reach_pruning {
+                    opt_fields.push(("reach_pruning", Value::Bool(b)));
+                }
+                if let Some(b) = options.early_stop {
+                    opt_fields.push(("early_stop", Value::Bool(b)));
+                }
+                if let Some(n) = options.max_iterations {
+                    opt_fields.push(("max_iterations", json::num(n as usize)));
+                }
+                fields.push(("options", json::obj(opt_fields)));
+            }
+            json::obj(vec![("check", json::obj(fields))])
+        }
+        Request::Stats => json::obj(vec![("stats", json::obj(vec![]))]),
+        Request::Shutdown => json::obj(vec![("shutdown", json::obj(vec![]))]),
+    }
+}
+
+/// Decodes a request.
+pub fn request_from_value(v: &Value) -> Result<Request, String> {
+    let err = |e: json::JsonError| e.to_string();
+    if let Ok(body) = json::get(v, "check") {
+        let pair_v = json::get(body, "pair").map_err(err)?;
+        let pair = if let Ok(name) = json::get(pair_v, "named") {
+            PairSpec::Named(json::as_str(name).map_err(err)?.to_string())
+        } else {
+            let inline = json::get(pair_v, "inline")
+                .map_err(|_| "pair must be {\"named\": …} or {\"inline\": …}".to_string())?;
+            let field = |k: &str| -> Result<String, String> {
+                Ok(json::as_str(json::get(inline, k).map_err(err)?)
+                    .map_err(err)?
+                    .to_string())
+            };
+            PairSpec::Inline {
+                left: field("left")?,
+                left_start: field("left_start")?,
+                right: field("right")?,
+                right_start: field("right_start")?,
+            }
+        };
+        let mut options = WireOptions::default();
+        if let Ok(opts) = json::get(body, "options") {
+            if let Ok(b) = json::get(opts, "leaps") {
+                options.leaps = Some(json::as_bool(b).map_err(err)?);
+            }
+            if let Ok(b) = json::get(opts, "reach_pruning") {
+                options.reach_pruning = Some(json::as_bool(b).map_err(err)?);
+            }
+            if let Ok(b) = json::get(opts, "early_stop") {
+                options.early_stop = Some(json::as_bool(b).map_err(err)?);
+            }
+            if let Ok(n) = json::get(opts, "max_iterations") {
+                options.max_iterations = Some(json::as_usize(n).map_err(err)? as u64);
+            }
+        }
+        return Ok(Request::Check { pair, options });
+    }
+    if json::get(v, "stats").is_ok() {
+        return Ok(Request::Stats);
+    }
+    if json::get(v, "shutdown").is_ok() {
+        return Ok(Request::Shutdown);
+    }
+    Err("unknown request (expected check / stats / shutdown)".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Witnesses
+
+/// A witness as it travels the wire: everything the original carries
+/// except the embedded sum automaton (header values are keyed by name, so
+/// a client holding the pair can rebuild the stores). Decoded mirrors
+/// re-encode to identical bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireWitness {
+    /// Left start state in the sum automaton: id and name.
+    pub left_start: (u32, String),
+    /// Right start state in the sum automaton.
+    pub right_start: (u32, String),
+    /// Every header of the left run's initial store, in header-id order.
+    pub left_store: Vec<(String, BitVec)>,
+    /// Every header of the right run's initial store.
+    pub right_store: Vec<(String, BitVec)>,
+    /// The minimized distinguishing packet.
+    pub packet: BitVec,
+    /// The packet length before minimization.
+    pub original_bits: usize,
+    /// The template-pair trace of the refuted relation.
+    pub trace: Vec<TemplatePair>,
+    /// The observed disagreement.
+    pub disagreement: WireDisagreement,
+}
+
+/// The wire form of [`Disagreement`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireDisagreement {
+    /// One side accepts, the other rejects.
+    Acceptance {
+        /// Whether the left parser accepts.
+        left_accepts: bool,
+        /// Whether the right parser accepts.
+        right_accepts: bool,
+    },
+    /// A relational initial conjunct is violated.
+    InitRelation {
+        /// The violated conjunct.
+        relation: ConfRel,
+        /// Countermodel values for the conjunct's packet variables.
+        vals: Vec<BitVec>,
+    },
+}
+
+/// Projects a checker witness onto its wire form.
+pub fn wire_witness_of(w: &Witness) -> WireWitness {
+    let aut = w.automaton();
+    let store = |s: &leapfrog_p4a::semantics::Store| -> Vec<(String, BitVec)> {
+        aut.header_ids()
+            .map(|h| (aut.header_name(h).to_string(), s.get(h).clone()))
+            .collect()
+    };
+    WireWitness {
+        left_start: (w.left_start.0, aut.state_name(w.left_start).to_string()),
+        right_start: (w.right_start.0, aut.state_name(w.right_start).to_string()),
+        left_store: store(&w.left_store),
+        right_store: store(&w.right_store),
+        packet: w.packet.clone(),
+        original_bits: w.original_bits,
+        trace: w.trace.clone(),
+        disagreement: match &w.disagreement {
+            Disagreement::Acceptance {
+                left_accepts,
+                right_accepts,
+            } => WireDisagreement::Acceptance {
+                left_accepts: *left_accepts,
+                right_accepts: *right_accepts,
+            },
+            Disagreement::InitRelation { relation, vals } => WireDisagreement::InitRelation {
+                relation: relation.clone(),
+                vals: vals.clone(),
+            },
+        },
+    }
+}
+
+fn pair_to_value(p: &TemplatePair) -> Value {
+    json::obj(vec![
+        ("left", json::template_to_value(&p.left)),
+        ("right", json::template_to_value(&p.right)),
+    ])
+}
+
+fn pair_from_value(v: &Value) -> Result<TemplatePair, String> {
+    let err = |e: json::JsonError| e.to_string();
+    Ok(TemplatePair::new(
+        json::template_from_value(json::get(v, "left").map_err(err)?).map_err(err)?,
+        json::template_from_value(json::get(v, "right").map_err(err)?).map_err(err)?,
+    ))
+}
+
+fn store_to_value(store: &[(String, BitVec)]) -> Value {
+    Value::Arr(
+        store
+            .iter()
+            .map(|(name, bits)| {
+                json::obj(vec![
+                    ("header", Value::Str(name.clone())),
+                    ("bits", json::bitvec_to_value(bits)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn store_from_value(v: &Value) -> Result<Vec<(String, BitVec)>, String> {
+    let err = |e: json::JsonError| e.to_string();
+    json::as_arr(v)
+        .map_err(err)?
+        .iter()
+        .map(|e| {
+            Ok((
+                json::as_str(json::get(e, "header").map_err(err)?)
+                    .map_err(err)?
+                    .to_string(),
+                json::bitvec_from_value(json::get(e, "bits").map_err(err)?).map_err(err)?,
+            ))
+        })
+        .collect()
+}
+
+/// Encodes a wire witness.
+pub fn wire_witness_to_value(w: &WireWitness) -> Value {
+    let start = |(id, name): &(u32, String)| {
+        json::obj(vec![
+            ("id", json::num(*id as usize)),
+            ("name", Value::Str(name.clone())),
+        ])
+    };
+    let disagreement = match &w.disagreement {
+        WireDisagreement::Acceptance {
+            left_accepts,
+            right_accepts,
+        } => json::obj(vec![(
+            "Acceptance",
+            json::obj(vec![
+                ("left_accepts", Value::Bool(*left_accepts)),
+                ("right_accepts", Value::Bool(*right_accepts)),
+            ]),
+        )]),
+        WireDisagreement::InitRelation { relation, vals } => json::obj(vec![(
+            "InitRelation",
+            json::obj(vec![
+                ("relation", json::confrel_to_value(relation)),
+                (
+                    "vals",
+                    Value::Arr(vals.iter().map(json::bitvec_to_value).collect()),
+                ),
+            ]),
+        )]),
+    };
+    json::obj(vec![
+        ("left_start", start(&w.left_start)),
+        ("right_start", start(&w.right_start)),
+        ("left_store", store_to_value(&w.left_store)),
+        ("right_store", store_to_value(&w.right_store)),
+        ("packet", json::bitvec_to_value(&w.packet)),
+        ("original_bits", json::num(w.original_bits)),
+        (
+            "trace",
+            Value::Arr(w.trace.iter().map(pair_to_value).collect()),
+        ),
+        ("disagreement", disagreement),
+    ])
+}
+
+/// Decodes a wire witness.
+pub fn wire_witness_from_value(v: &Value) -> Result<WireWitness, String> {
+    let err = |e: json::JsonError| e.to_string();
+    let start = |v: &Value| -> Result<(u32, String), String> {
+        Ok((
+            json::as_usize(json::get(v, "id").map_err(err)?).map_err(err)? as u32,
+            json::as_str(json::get(v, "name").map_err(err)?)
+                .map_err(err)?
+                .to_string(),
+        ))
+    };
+    let d = json::get(v, "disagreement").map_err(err)?;
+    let disagreement = if let Ok(a) = json::get(d, "Acceptance") {
+        WireDisagreement::Acceptance {
+            left_accepts: json::as_bool(json::get(a, "left_accepts").map_err(err)?).map_err(err)?,
+            right_accepts: json::as_bool(json::get(a, "right_accepts").map_err(err)?)
+                .map_err(err)?,
+        }
+    } else {
+        let r = json::get(d, "InitRelation").map_err(|_| "unknown disagreement tag".to_string())?;
+        WireDisagreement::InitRelation {
+            relation: json::confrel_from_value(json::get(r, "relation").map_err(err)?)
+                .map_err(err)?,
+            vals: json::as_arr(json::get(r, "vals").map_err(err)?)
+                .map_err(err)?
+                .iter()
+                .map(|b| json::bitvec_from_value(b).map_err(err))
+                .collect::<Result<_, _>>()?,
+        }
+    };
+    Ok(WireWitness {
+        left_start: start(json::get(v, "left_start").map_err(err)?)?,
+        right_start: start(json::get(v, "right_start").map_err(err)?)?,
+        left_store: store_from_value(json::get(v, "left_store").map_err(err)?)?,
+        right_store: store_from_value(json::get(v, "right_store").map_err(err)?)?,
+        packet: json::bitvec_from_value(json::get(v, "packet").map_err(err)?).map_err(err)?,
+        original_bits: json::as_usize(json::get(v, "original_bits").map_err(err)?).map_err(err)?,
+        trace: json::as_arr(json::get(v, "trace").map_err(err)?)
+            .map_err(err)?
+            .iter()
+            .map(pair_from_value)
+            .collect::<Result<_, _>>()?,
+        disagreement,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Outcomes
+
+/// An outcome as it travels the wire. [`WireOutcome::Equivalent`] carries
+/// the full decoded certificate; refutations carry the wire witness or
+/// the unconfirmed diagnostic.
+#[derive(Debug, Clone)]
+pub enum WireOutcome {
+    /// The property holds.
+    Equivalent(Certificate),
+    /// Refuted with a confirmed wire witness.
+    NotEquivalent(Box<WireWitness>),
+    /// Refuted, but the countermodel did not lift into a confirmed
+    /// witness: `(reason, report)`.
+    Unconfirmed(String, String),
+    /// The iteration budget was exhausted.
+    Aborted(String),
+}
+
+impl WireOutcome {
+    /// Whether the wire outcome reports equivalence.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, WireOutcome::Equivalent(_))
+    }
+}
+
+/// Projects a checker outcome onto its wire form.
+pub fn wire_outcome_of(outcome: &Outcome) -> WireOutcome {
+    match outcome {
+        Outcome::Equivalent(cert) => WireOutcome::Equivalent(cert.clone()),
+        Outcome::NotEquivalent(Refutation::Witness(w)) => {
+            WireOutcome::NotEquivalent(Box::new(wire_witness_of(w)))
+        }
+        Outcome::NotEquivalent(Refutation::Unconfirmed { reason, report }) => {
+            WireOutcome::Unconfirmed(reason.clone(), report.clone())
+        }
+        Outcome::Aborted(msg) => WireOutcome::Aborted(msg.clone()),
+    }
+}
+
+/// Encodes a wire outcome. The encoding is canonical: equal outcomes
+/// render equal bytes.
+pub fn wire_outcome_to_value(o: &WireOutcome) -> Value {
+    match o {
+        WireOutcome::Equivalent(cert) => {
+            json::obj(vec![("Equivalent", json::certificate_to_value(cert))])
+        }
+        WireOutcome::NotEquivalent(w) => json::obj(vec![(
+            "NotEquivalent",
+            json::obj(vec![("Witness", wire_witness_to_value(w))]),
+        )]),
+        WireOutcome::Unconfirmed(reason, report) => json::obj(vec![(
+            "NotEquivalent",
+            json::obj(vec![(
+                "Unconfirmed",
+                json::obj(vec![
+                    ("reason", Value::Str(reason.clone())),
+                    ("report", Value::Str(report.clone())),
+                ]),
+            )]),
+        )]),
+        WireOutcome::Aborted(msg) => json::obj(vec![("Aborted", Value::Str(msg.clone()))]),
+    }
+}
+
+/// [`wire_outcome_of`] composed with [`wire_outcome_to_value`]: the
+/// canonical JSON of a checker outcome — what the server sends and what
+/// byte-for-byte comparisons encode locally.
+pub fn outcome_to_value(outcome: &Outcome) -> Value {
+    wire_outcome_to_value(&wire_outcome_of(outcome))
+}
+
+/// Decodes a wire outcome.
+pub fn wire_outcome_from_value(v: &Value) -> Result<WireOutcome, String> {
+    let err = |e: json::JsonError| e.to_string();
+    if let Ok(cert) = json::get(v, "Equivalent") {
+        return Ok(WireOutcome::Equivalent(
+            json::certificate_from_value(cert).map_err(err)?,
+        ));
+    }
+    if let Ok(ne) = json::get(v, "NotEquivalent") {
+        if let Ok(w) = json::get(ne, "Witness") {
+            return Ok(WireOutcome::NotEquivalent(Box::new(
+                wire_witness_from_value(w)?,
+            )));
+        }
+        let u = json::get(ne, "Unconfirmed").map_err(|_| "unknown refutation tag".to_string())?;
+        return Ok(WireOutcome::Unconfirmed(
+            json::as_str(json::get(u, "reason").map_err(err)?)
+                .map_err(err)?
+                .to_string(),
+            json::as_str(json::get(u, "report").map_err(err)?)
+                .map_err(err)?
+                .to_string(),
+        ));
+    }
+    if let Ok(msg) = json::get(v, "Aborted") {
+        return Ok(WireOutcome::Aborted(
+            json::as_str(msg).map_err(err)?.to_string(),
+        ));
+    }
+    Err("unknown outcome tag".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+fn duration_to_value(d: Duration) -> Value {
+    json::num(d.as_nanos() as usize)
+}
+
+fn duration_from_value(v: &Value) -> Result<Duration, String> {
+    Ok(Duration::from_nanos(
+        json::as_usize(v).map_err(|e| e.to_string())? as u64,
+    ))
+}
+
+/// Encodes solver-level query statistics.
+pub fn query_stats_to_value(q: &QueryStats) -> Value {
+    json::obj(vec![
+        ("queries", json::num(q.queries as usize)),
+        ("cegar_rounds", json::num(q.cegar_rounds as usize)),
+        ("blocks_considered", json::num(q.blocks_considered as usize)),
+        ("blocks_validated", json::num(q.blocks_validated as usize)),
+        ("session_rebuilds", json::num(q.session_rebuilds as usize)),
+        ("live_clauses_peak", json::num(q.live_clauses_peak as usize)),
+        ("blast_cache_hits", json::num(q.blast_cache_hits as usize)),
+        (
+            "blast_cache_misses",
+            json::num(q.blast_cache_misses as usize),
+        ),
+        ("inst_ledger_hits", json::num(q.inst_ledger_hits as usize)),
+        (
+            "durations_nanos",
+            Value::Arr(q.durations.iter().map(|d| duration_to_value(*d)).collect()),
+        ),
+    ])
+}
+
+/// Decodes solver-level query statistics.
+pub fn query_stats_from_value(v: &Value) -> Result<QueryStats, String> {
+    let err = |e: json::JsonError| e.to_string();
+    let n = |k: &str| -> Result<u64, String> {
+        Ok(json::as_usize(json::get(v, k).map_err(err)?).map_err(err)? as u64)
+    };
+    Ok(QueryStats {
+        queries: n("queries")?,
+        cegar_rounds: n("cegar_rounds")?,
+        blocks_considered: n("blocks_considered")?,
+        blocks_validated: n("blocks_validated")?,
+        session_rebuilds: n("session_rebuilds")?,
+        live_clauses_peak: n("live_clauses_peak")?,
+        blast_cache_hits: n("blast_cache_hits")?,
+        blast_cache_misses: n("blast_cache_misses")?,
+        inst_ledger_hits: n("inst_ledger_hits")?,
+        durations: json::as_arr(json::get(v, "durations_nanos").map_err(err)?)
+            .map_err(err)?
+            .iter()
+            .map(duration_from_value)
+            .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Encodes per-run statistics (wall time and solver durations travel as
+/// integer nanoseconds so the round trip is exact).
+pub fn run_stats_to_value(s: &RunStats) -> Value {
+    json::obj(vec![
+        ("iterations", json::num(s.iterations as usize)),
+        ("extended", json::num(s.extended as usize)),
+        ("skipped", json::num(s.skipped as usize)),
+        ("wp_generated", json::num(s.wp_generated as usize)),
+        ("scope_pairs", json::num(s.scope_pairs)),
+        ("max_formula_size", json::num(s.max_formula_size)),
+        (
+            "witnesses_confirmed",
+            json::num(s.witnesses_confirmed as usize),
+        ),
+        (
+            "witnesses_unconfirmed",
+            json::num(s.witnesses_unconfirmed as usize),
+        ),
+        (
+            "witness_bits_minimized",
+            json::num(s.witness_bits_minimized as usize),
+        ),
+        ("threads", json::num(s.threads)),
+        ("parallel_batches", json::num(s.parallel_batches as usize)),
+        ("parallel_checks", json::num(s.parallel_checks as usize)),
+        ("merge_rechecks", json::num(s.merge_rechecks as usize)),
+        ("entailment_checks", json::num(s.entailment_checks as usize)),
+        ("premises_matched", json::num(s.premises_matched as usize)),
+        ("premises_total", json::num(s.premises_total as usize)),
+        ("sessions_reused", json::num(s.sessions_reused as usize)),
+        (
+            "entailment_memo_hits",
+            json::num(s.entailment_memo_hits as usize),
+        ),
+        ("sum_cache_hits", json::num(s.sum_cache_hits as usize)),
+        ("reach_cache_hits", json::num(s.reach_cache_hits as usize)),
+        ("wall_time_nanos", duration_to_value(s.wall_time)),
+        ("queries", query_stats_to_value(&s.queries)),
+    ])
+}
+
+/// Decodes per-run statistics.
+pub fn run_stats_from_value(v: &Value) -> Result<RunStats, String> {
+    let err = |e: json::JsonError| e.to_string();
+    let n = |k: &str| -> Result<u64, String> {
+        Ok(json::as_usize(json::get(v, k).map_err(err)?).map_err(err)? as u64)
+    };
+    let us = |k: &str| -> Result<usize, String> {
+        json::as_usize(json::get(v, k).map_err(err)?).map_err(err)
+    };
+    Ok(RunStats {
+        iterations: n("iterations")?,
+        extended: n("extended")?,
+        skipped: n("skipped")?,
+        wp_generated: n("wp_generated")?,
+        scope_pairs: us("scope_pairs")?,
+        max_formula_size: us("max_formula_size")?,
+        witnesses_confirmed: n("witnesses_confirmed")?,
+        witnesses_unconfirmed: n("witnesses_unconfirmed")?,
+        witness_bits_minimized: n("witness_bits_minimized")?,
+        threads: us("threads")?,
+        parallel_batches: n("parallel_batches")?,
+        parallel_checks: n("parallel_checks")?,
+        merge_rechecks: n("merge_rechecks")?,
+        entailment_checks: n("entailment_checks")?,
+        premises_matched: n("premises_matched")?,
+        premises_total: n("premises_total")?,
+        sessions_reused: n("sessions_reused")?,
+        entailment_memo_hits: n("entailment_memo_hits")?,
+        sum_cache_hits: n("sum_cache_hits")?,
+        reach_cache_hits: n("reach_cache_hits")?,
+        wall_time: duration_from_value(json::get(v, "wall_time_nanos").map_err(err)?)?,
+        queries: query_stats_from_value(json::get(v, "queries").map_err(err)?)?,
+    })
+}
+
+/// Encodes engine-lifetime statistics for the `stats` wire request,
+/// including the LRU eviction counters and the live ledger/cache sizes.
+pub fn engine_stats_to_value(
+    s: &EngineStats,
+    ledger_len: usize,
+    cache_entries: usize,
+    state_report: Option<&str>,
+) -> Value {
+    json::obj(vec![
+        ("checks", json::num(s.checks as usize)),
+        ("batches", json::num(s.batches as usize)),
+        ("pairs_interned", json::num(s.pairs_interned as usize)),
+        ("sum_cache_hits", json::num(s.sum_cache_hits as usize)),
+        ("reach_cache_hits", json::num(s.reach_cache_hits as usize)),
+        ("sessions_reused", json::num(s.sessions_reused as usize)),
+        (
+            "entailment_memo_hits",
+            json::num(s.entailment_memo_hits as usize),
+        ),
+        ("warm_evictions", json::num(s.warm_evictions as usize)),
+        ("pair_evictions", json::num(s.pair_evictions as usize)),
+        ("session_evictions", json::num(s.session_evictions as usize)),
+        ("ledger_evictions", json::num(s.ledger_evictions as usize)),
+        ("ledger_len", json::num(ledger_len)),
+        ("cache_entries", json::num(cache_entries)),
+        (
+            "state_report",
+            match state_report {
+                Some(r) => Value::Str(r.to_string()),
+                None => Value::Null,
+            },
+        ),
+    ])
+}

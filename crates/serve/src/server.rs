@@ -1,0 +1,439 @@
+//! The daemon core: one long-lived engine serving a TCP listener.
+//!
+//! Connections are handled on their own threads, but every request
+//! funnels into a single *engine thread* through a queue: the engine
+//! thread drains whatever has accumulated, groups the default-shaped
+//! check requests of one drain into a single
+//! [`Engine::check_batch`](leapfrog::Engine::check_batch) call — so
+//! concurrent wire queries ride the work-stealing pool exactly like an
+//! in-process batch — and answers the rest (custom-option checks, stats,
+//! shutdown) in arrival order. Outcome encodings are canonical, so a wire
+//! answer is byte-identical to the same check run in-process.
+//!
+//! With a state directory configured, the engine starts from the
+//! persisted warm state (blast-cache templates, ledger verdicts,
+//! entailment memos, witness corpus) and a `shutdown` request saves it
+//! back before the listener closes.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use leapfrog::engine::STATE_CORPUS_FILE;
+use leapfrog::json::{self, Value};
+use leapfrog::{Engine, EngineConfig, QuerySpec};
+use leapfrog_p4a::ast::{Automaton, StateId};
+use leapfrog_p4a::surface;
+use leapfrog_suite::corpus::WitnessCorpus;
+use leapfrog_suite::{mutants, standard_benchmarks, Scale};
+
+use crate::proto::{
+    self, engine_stats_to_value, outcome_to_value, run_stats_to_value, PairSpec, Request,
+    WireOptions,
+};
+
+/// How the daemon is set up.
+pub struct ServerOptions {
+    /// The engine configuration (threads, GC, caches, warm capacity).
+    pub config: EngineConfig,
+    /// Directory for persisted warm state: reloaded at start, saved on
+    /// `shutdown`.
+    pub state_dir: Option<PathBuf>,
+    /// Scale the named suite rows are built at.
+    pub scale: Scale,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            config: EngineConfig::from_env(),
+            state_dir: None,
+            scale: Scale::from_env(),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    opts: ServerOptions,
+}
+
+/// One queued request with its reply channel (the rendered JSON payload).
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<String>,
+}
+
+/// A check request resolved to concrete automata.
+struct ResolvedCheck {
+    name: String,
+    left: Automaton,
+    ql: StateId,
+    right: Automaton,
+    qr: StateId,
+    options: WireOptions,
+    reply: mpsc::Sender<String>,
+}
+
+impl Server {
+    /// Binds the listener. `addr` accepts anything `TcpListener::bind`
+    /// does; port `0` picks a free port (see [`Server::local_addr`]).
+    pub fn bind(addr: &str, opts: ServerOptions) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            opts,
+        })
+    }
+
+    /// The bound address (the daemon prints it; tests read it back).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `shutdown` request is processed. Blocking; the
+    /// `leapfrogd` binary calls this from `main`, tests call it from a
+    /// spawned thread.
+    pub fn run(self) -> std::io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let mut config = self.opts.config.clone();
+        if let Some(dir) = &self.opts.state_dir {
+            config = config.with_state_dir(dir.clone());
+        }
+        let mut engine = Engine::new(config);
+        if let Some(dir) = &self.opts.state_dir {
+            let corpus = WitnessCorpus::load(dir.join(STATE_CORPUS_FILE))
+                .unwrap_or_else(|_| WitnessCorpus::new());
+            engine.attach_witness_sink(Box::new(corpus));
+        }
+        let rows = named_rows(self.opts.scale);
+        let state_dir = self.opts.state_dir.clone();
+
+        let (tx, rx) = mpsc::channel::<Job>();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| -> std::io::Result<()> {
+            let stop = &stop;
+            // The engine thread: the only place the engine is touched.
+            s.spawn(move || {
+                while let Ok(first) = rx.recv() {
+                    let mut jobs = vec![first];
+                    while let Ok(more) = rx.try_recv() {
+                        jobs.push(more);
+                    }
+                    let shutting_down =
+                        process_jobs(&mut engine, &rows, state_dir.as_deref(), jobs);
+                    if shutting_down {
+                        stop.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop with a throwaway
+                        // connection so it observes the flag.
+                        let _ = TcpStream::connect(addr);
+                        break;
+                    }
+                }
+            });
+            for conn in self.listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let tx = tx.clone();
+                s.spawn(move || handle_connection(stream, tx, stop));
+            }
+            drop(tx);
+            Ok(())
+        })
+    }
+}
+
+/// The rows a named request resolves against: every standard Table 2 row
+/// plus the mutant suite (whose refutations carry the long multi-header
+/// witnesses).
+fn named_rows(scale: Scale) -> HashMap<String, leapfrog_suite::Benchmark> {
+    let mut rows = HashMap::new();
+    for b in standard_benchmarks(scale)
+        .into_iter()
+        .chain(mutants::mutant_benchmarks())
+    {
+        rows.insert(b.name.to_string(), b);
+    }
+    rows
+}
+
+/// Runs one drained queue batch through the engine. Returns whether a
+/// shutdown request was processed (state saved, replies sent).
+fn process_jobs(
+    engine: &mut Engine,
+    rows: &HashMap<String, leapfrog_suite::Benchmark>,
+    state_dir: Option<&std::path::Path>,
+    jobs: Vec<Job>,
+) -> bool {
+    let mut checks: Vec<ResolvedCheck> = Vec::new();
+    let mut shutdown: Option<mpsc::Sender<String>> = None;
+    for job in jobs {
+        match job.request {
+            Request::Check { pair, options } => match resolve(rows, &pair) {
+                Ok((name, left, ql, right, qr)) => checks.push(ResolvedCheck {
+                    name,
+                    left,
+                    ql,
+                    right,
+                    qr,
+                    options,
+                    reply: job.reply,
+                }),
+                Err(e) => send(&job.reply, &error_value(&e)),
+            },
+            Request::Stats => {
+                let v = engine_stats_to_value(
+                    engine.stats(),
+                    engine.ledger_len(),
+                    engine.shared_cache().stats().entries,
+                    engine.state_report(),
+                );
+                send(&job.reply, &json::obj(vec![("engine", v)]));
+            }
+            Request::Shutdown => shutdown = Some(job.reply),
+        }
+    }
+
+    // Default-shaped checks of one drain run as ONE batch over the
+    // work-stealing pool; a single check (or a custom-option one) runs
+    // alone so its reply carries exact per-run statistics.
+    let (batchable, custom): (Vec<_>, Vec<_>) =
+        checks.into_iter().partition(|c| c.options.is_default());
+    if batchable.len() > 1 {
+        let specs: Vec<QuerySpec> = batchable
+            .iter()
+            .map(|c| QuerySpec::new(c.name.clone(), &c.left, c.ql, &c.right, c.qr))
+            .collect();
+        let outcomes = engine.check_batch(&specs);
+        // Per-member statistics are not separable out of a batch; every
+        // reply carries the batch-merged record.
+        let stats = run_stats_to_value(engine.last_run_stats());
+        for (c, outcome) in batchable.iter().zip(outcomes) {
+            send(&c.reply, &check_reply(&outcome, stats.clone()));
+        }
+    } else {
+        for c in batchable {
+            let outcome = engine.check_named(&c.name, &c.left, c.ql, &c.right, c.qr);
+            let stats = run_stats_to_value(engine.last_run_stats());
+            send(&c.reply, &check_reply(&outcome, stats));
+        }
+    }
+    for c in custom {
+        let pid = engine.prepare_pair(&c.left, c.ql, &c.right, c.qr);
+        let mut req = engine.standard_request(pid);
+        if let Some(b) = c.options.leaps {
+            req.options.leaps = b;
+        }
+        if let Some(b) = c.options.reach_pruning {
+            req.options.reach_pruning = b;
+        }
+        if let Some(b) = c.options.early_stop {
+            req.options.early_stop = b;
+        }
+        if let Some(n) = c.options.max_iterations {
+            req.options.max_iterations = Some(n);
+        }
+        let outcome = engine.run_prepared(pid, &req);
+        let stats = run_stats_to_value(engine.last_run_stats());
+        send(&c.reply, &check_reply(&outcome, stats));
+    }
+
+    match shutdown {
+        Some(reply) => {
+            if let Some(dir) = state_dir {
+                if let Err(e) = engine.save_state(dir) {
+                    send(
+                        &reply,
+                        &error_value(&format!("state not saved to {}: {e}", dir.display())),
+                    );
+                    return true;
+                }
+            }
+            send(&reply, &json::obj(vec![("bye", Value::Bool(true))]));
+            true
+        }
+        None => false,
+    }
+}
+
+fn check_reply(outcome: &leapfrog::Outcome, stats: Value) -> Value {
+    json::obj(vec![
+        ("outcome", outcome_to_value(outcome)),
+        ("stats", stats),
+    ])
+}
+
+fn error_value(msg: &str) -> Value {
+    json::obj(vec![("error", Value::Str(msg.to_string()))])
+}
+
+fn send(reply: &mpsc::Sender<String>, v: &Value) {
+    let _ = reply.send(v.render());
+}
+
+/// Resolves a pair spec to automata: a named suite row by lookup, an
+/// inline pair by parsing its surface sources.
+fn resolve(
+    rows: &HashMap<String, leapfrog_suite::Benchmark>,
+    pair: &PairSpec,
+) -> Result<(String, Automaton, StateId, Automaton, StateId), String> {
+    match pair {
+        PairSpec::Named(name) => {
+            let b = rows
+                .get(name)
+                .ok_or_else(|| format!("unknown pair {name:?}"))?;
+            Ok((
+                b.name.to_string(),
+                b.left.clone(),
+                b.left_start,
+                b.right.clone(),
+                b.right_start,
+            ))
+        }
+        PairSpec::Inline {
+            left,
+            left_start,
+            right,
+            right_start,
+        } => {
+            let l = surface::parse(left).map_err(|e| format!("left parser: {e:?}"))?;
+            let r = surface::parse(right).map_err(|e| format!("right parser: {e:?}"))?;
+            let ql = l
+                .state_by_name(left_start)
+                .ok_or_else(|| format!("left parser has no state {left_start:?}"))?;
+            let qr = r
+                .state_by_name(right_start)
+                .ok_or_else(|| format!("right parser has no state {right_start:?}"))?;
+            // A content-derived name keeps witness-corpus entries from
+            // unrelated inline pairs apart (one shared "inline" key would
+            // mix regression packets across automata).
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            (left, left_start, right, right_start).hash(&mut h);
+            Ok((format!("inline:{:016x}", h.finish()), l, ql, r, qr))
+        }
+    }
+}
+
+/// What one poll of a connection produced.
+enum FrameRead {
+    /// A complete frame.
+    Frame(String),
+    /// The peer closed cleanly between frames.
+    Eof,
+    /// Nothing arrived within the poll timeout.
+    Idle,
+}
+
+/// Reads one frame with an idle timeout on the *first* byte only: once a
+/// prefix byte has arrived the read blocks (retrying through timeouts)
+/// until the frame completes, so a slow writer is never torn.
+fn read_frame_idle(stream: &mut TcpStream) -> std::io::Result<FrameRead> {
+    use std::io::ErrorKind;
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "peer closed mid-prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                    && filled == 0 =>
+            {
+                return Ok(FrameRead::Idle)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > proto::MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "oversized frame",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut at = 0;
+    while at < len {
+        match stream.read(&mut payload[at..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => at += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    String::from_utf8(payload)
+        .map(FrameRead::Frame)
+        .map_err(|_| std::io::Error::new(ErrorKind::InvalidData, "non-UTF-8 frame"))
+}
+
+fn handle_connection(mut stream: TcpStream, tx: mpsc::Sender<Job>, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let text = match read_frame_idle(&mut stream) {
+            Ok(FrameRead::Idle) => continue,
+            Ok(FrameRead::Eof) | Err(_) => return,
+            Ok(FrameRead::Frame(t)) => t,
+        };
+        let request = json::parse(&text)
+            .map_err(|e| e.to_string())
+            .and_then(|v| proto::request_from_value(&v));
+        let request = match request {
+            Ok(r) => r,
+            Err(e) => {
+                if proto::write_frame(&mut stream, &error_value(&e).render()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let is_shutdown = matches!(request, Request::Shutdown);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if tx
+            .send(Job {
+                request,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            let _ = proto::write_frame(
+                &mut stream,
+                &error_value("server is shutting down").render(),
+            );
+            return;
+        }
+        let Ok(reply) = reply_rx.recv() else { return };
+        if proto::write_frame(&mut stream, &reply).is_err() || is_shutdown {
+            return;
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Round-trip property tests for the wire protocol encoder/decoder:
+//! every `Outcome` / `Witness` / `RunStats` must survive
+//! serialize → parse → serialize byte-for-byte, including the
+//! multi-header >112-bit witnesses produced by the mutant suite. Fixed
+//! seeds, like the existing workload loops — the offline environment has
+//! no proptest.
+
+use std::time::Duration;
+
+use leapfrog::checker::check_language_equivalence;
+use leapfrog::json;
+use leapfrog::{Outcome, RunStats};
+use leapfrog_serve::proto::{
+    outcome_to_value, request_from_value, request_to_value, run_stats_from_value,
+    run_stats_to_value, wire_outcome_from_value, wire_outcome_to_value, wire_witness_of, PairSpec,
+    Request, WireOptions, WireOutcome,
+};
+use leapfrog_smt::QueryStats;
+use leapfrog_suite::mutants::mutant_benchmarks;
+use leapfrog_suite::utility::sloppy_strict;
+use leapfrog_suite::{standard_benchmarks, Scale};
+
+/// serialize → parse → serialize must reproduce the first rendering, and
+/// the typed decode must re-encode to the same bytes.
+fn assert_outcome_roundtrip(outcome: &Outcome, label: &str) {
+    let text = outcome_to_value(outcome).render();
+    let parsed = json::parse(&text).expect("wire JSON parses");
+    assert_eq!(parsed.render(), text, "{label}: value tree round trip");
+    let typed = wire_outcome_from_value(&parsed).expect("typed decode");
+    assert_eq!(
+        wire_outcome_to_value(&typed).render(),
+        text,
+        "{label}: typed round trip"
+    );
+    match (outcome, &typed) {
+        (Outcome::Equivalent(_), WireOutcome::Equivalent(_)) => {}
+        (Outcome::NotEquivalent(r), WireOutcome::NotEquivalent(w)) => {
+            let original = r.witness().expect("confirmed refutation");
+            let wire = wire_witness_of(original);
+            assert_eq!(**w, wire, "{label}: witness fields survive");
+        }
+        (Outcome::NotEquivalent(_), WireOutcome::Unconfirmed(_, _)) => {}
+        (Outcome::Aborted(_), WireOutcome::Aborted(_)) => {}
+        other => panic!("{label}: outcome kind changed in flight: {other:?}"),
+    }
+}
+
+#[test]
+fn certificate_outcomes_roundtrip() {
+    // One equivalent utility row and one applicability self-comparison.
+    for bench in standard_benchmarks(Scale::Small).iter().take(5) {
+        if !bench.expect_equivalent {
+            continue;
+        }
+        let outcome = check_language_equivalence(
+            &bench.left,
+            bench.left_start,
+            &bench.right,
+            bench.right_start,
+        );
+        assert!(outcome.is_equivalent(), "{} must verify", bench.name);
+        assert_outcome_roundtrip(&outcome, bench.name);
+    }
+}
+
+#[test]
+fn sanity_witness_roundtrips() {
+    let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
+    let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
+    let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
+    let outcome = check_language_equivalence(&sloppy, ql, &strict, qr);
+    assert!(outcome.witness().is_some(), "sanity pair must refute");
+    assert_outcome_roundtrip(&outcome, "sanity pair");
+}
+
+#[test]
+fn long_mutant_witnesses_roundtrip() {
+    // The applicability mutants refute with multi-header packets; at
+    // least one witness must exceed 112 bits end-to-end and every one
+    // must survive the wire unchanged.
+    let mut longest = 0usize;
+    for bench in mutant_benchmarks() {
+        let outcome = check_language_equivalence(
+            &bench.left,
+            bench.left_start,
+            &bench.right,
+            bench.right_start,
+        );
+        let w = outcome
+            .witness()
+            .unwrap_or_else(|| panic!("{} must carry a confirmed witness", bench.name));
+        longest = longest.max(w.original_bits.max(w.packet.len()));
+        assert_outcome_roundtrip(&outcome, bench.name);
+    }
+    assert!(
+        longest > 112,
+        "the mutant suite must exercise >112-bit witnesses (saw {longest})"
+    );
+}
+
+#[test]
+fn aborted_outcome_roundtrips() {
+    let outcome = Outcome::Aborted("iteration budget 7 exhausted with |R| = 3".into());
+    assert_outcome_roundtrip(&outcome, "aborted");
+}
+
+#[test]
+fn run_stats_roundtrip_randomized() {
+    // Fixed-seed random RunStats (durations in whole nanoseconds, like
+    // the real counters): serialize → parse → typed decode → serialize
+    // must be the identity on bytes.
+    let mut state = 0x1eaf_5eedu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for round in 0..50 {
+        let mut s = RunStats {
+            iterations: next() % 100_000,
+            extended: next() % 10_000,
+            skipped: next() % 10_000,
+            wp_generated: next() % 100_000,
+            scope_pairs: (next() % 500) as usize,
+            max_formula_size: (next() % 100_000) as usize,
+            witnesses_confirmed: next() % 2,
+            witnesses_unconfirmed: next() % 2,
+            witness_bits_minimized: next() % 4_096,
+            threads: 1 + (next() % 16) as usize,
+            parallel_batches: next() % 100,
+            parallel_checks: next() % 10_000,
+            merge_rechecks: next() % 100,
+            entailment_checks: next() % 10_000,
+            premises_matched: next() % 1_000_000,
+            premises_total: next() % 10_000_000,
+            sessions_reused: next() % 100,
+            entailment_memo_hits: next() % 10_000,
+            sum_cache_hits: next() % 10,
+            reach_cache_hits: next() % 10,
+            wall_time: Duration::from_nanos(next() % 10_000_000_000),
+            queries: QueryStats {
+                queries: next() % 10_000,
+                cegar_rounds: next() % 1_000,
+                blocks_considered: next() % 100_000,
+                blocks_validated: next() % 100_000,
+                session_rebuilds: next() % 50,
+                live_clauses_peak: next() % 1_000_000,
+                blast_cache_hits: next() % 100_000,
+                blast_cache_misses: next() % 100_000,
+                inst_ledger_hits: next() % 10_000,
+                durations: (0..(next() % 8))
+                    .map(|_| Duration::from_nanos(next() % 5_000_000_000))
+                    .collect(),
+            },
+        };
+        if round == 0 {
+            s = RunStats::default(); // the all-zeros corner
+        }
+        let text = run_stats_to_value(&s).render();
+        let parsed = json::parse(&text).expect("stats JSON parses");
+        assert_eq!(parsed.render(), text, "round {round}: value round trip");
+        let decoded = run_stats_from_value(&parsed).expect("typed decode");
+        assert_eq!(
+            run_stats_to_value(&decoded).render(),
+            text,
+            "round {round}: typed round trip"
+        );
+        assert_eq!(decoded.wall_time, s.wall_time, "round {round}");
+        assert_eq!(decoded.queries.durations, s.queries.durations);
+    }
+}
+
+#[test]
+fn requests_roundtrip() {
+    let requests = [
+        Request::Check {
+            pair: PairSpec::Named("MPLS Vectorized".into()),
+            options: WireOptions::default(),
+        },
+        Request::Check {
+            pair: PairSpec::Inline {
+                left: "parser A { state s { extract(h, 2); goto accept; } }".into(),
+                left_start: "s".into(),
+                right: "parser B { state s { extract(g, 2); goto accept; } }".into(),
+                right_start: "s".into(),
+            },
+            options: WireOptions {
+                leaps: Some(false),
+                max_iterations: Some(1234),
+                ..WireOptions::default()
+            },
+        },
+        Request::Stats,
+        Request::Shutdown,
+    ];
+    for req in &requests {
+        let text = request_to_value(req).render();
+        let back = request_from_value(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(&back, req, "request round trip: {text}");
+        assert_eq!(request_to_value(&back).render(), text);
+    }
+}

@@ -407,20 +407,77 @@ type LedgerKey = (String, Vec<BitVec>);
 /// order.
 type LedgerVerdict = Option<Vec<BitVec>>;
 
+#[derive(Debug, Default)]
+struct LedgerInner {
+    /// Verdict plus the recency tick of the entry's last touch.
+    map: HashMap<LedgerKey, (LedgerVerdict, u64)>,
+    /// Recency index: tick → key, kept in lockstep with `map` so the
+    /// least-recently-used entry is always the first tick.
+    recency: std::collections::BTreeMap<u64, LedgerKey>,
+    tick: u64,
+    /// Maximum entries retained (`0` = unbounded).
+    capacity: usize,
+    evictions: u64,
+}
+
+impl LedgerInner {
+    fn touch(&mut self, key: &LedgerKey) -> Option<LedgerVerdict> {
+        // Unbounded ledgers (the default) skip the recency bookkeeping:
+        // it is never consulted, and hits are the hot path of warm runs.
+        if self.capacity == 0 {
+            return self.map.get(key).map(|(v, _)| v.clone());
+        }
+        let (verdict, old_tick) = self.map.get(key)?.clone();
+        self.recency.remove(&old_tick);
+        self.tick += 1;
+        self.recency.insert(self.tick, key.clone());
+        self.map.get_mut(key).unwrap().1 = self.tick;
+        Some(verdict)
+    }
+
+    fn insert(&mut self, key: LedgerKey, verdict: LedgerVerdict) {
+        if self.capacity == 0 {
+            self.map.insert(key, (verdict, 0));
+            return;
+        }
+        if let Some((_, old_tick)) = self.map.get(&key) {
+            self.recency.remove(&old_tick.clone());
+        }
+        self.tick += 1;
+        self.recency.insert(self.tick, key.clone());
+        self.map.insert(key, (verdict, self.tick));
+        while self.map.len() > self.capacity {
+            let (_, victim) = self.recency.pop_first().expect("recency tracks map");
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 pub struct InstLedger {
-    inner: Arc<Mutex<HashMap<LedgerKey, LedgerVerdict>>>,
+    inner: Arc<Mutex<LedgerInner>>,
 }
 
 impl InstLedger {
-    /// An empty ledger.
+    /// An empty, unbounded ledger.
     pub fn new() -> InstLedger {
         InstLedger::default()
     }
 
+    /// An empty ledger that retains at most `capacity` verdicts, evicting
+    /// the least-recently-used entry beyond that (`0` = unbounded). A
+    /// verdict is a deterministic replay of what a fresh solve would
+    /// produce, so eviction changes wall-clock only, never results.
+    pub fn with_capacity(capacity: usize) -> InstLedger {
+        let ledger = InstLedger::new();
+        ledger.inner.lock().unwrap().capacity = capacity;
+        ledger
+    }
+
     /// Number of recorded (block, valuation) verdicts.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.inner.lock().unwrap().map.len()
     }
 
     /// Whether no verdicts have been recorded.
@@ -428,12 +485,103 @@ impl InstLedger {
         self.len() == 0
     }
 
+    /// Entries evicted by the LRU capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().unwrap().evictions
+    }
+
     fn get(&self, key: &LedgerKey) -> Option<LedgerVerdict> {
-        self.inner.lock().unwrap().get(key).cloned()
+        self.inner.lock().unwrap().touch(key)
     }
 
     fn put(&self, key: LedgerKey, verdict: LedgerVerdict) {
         self.inner.lock().unwrap().insert(key, verdict);
+    }
+
+    /// Serializes every recorded verdict to a line-based text format
+    /// (`e <key> <valuation> <verdict>`), sorted for determinism. Bit
+    /// values are written as `b<bits>` tokens so empty vectors survive.
+    pub fn export_text(&self) -> String {
+        fn bits(vals: &[BitVec]) -> String {
+            if vals.is_empty() {
+                return "-".to_string();
+            }
+            vals.iter()
+                .map(|v| format!("b{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        let inner = self.inner.lock().unwrap();
+        let mut lines: Vec<String> = inner
+            .map
+            .iter()
+            .map(|((key, valuation), (verdict, _))| {
+                let verdict = match verdict {
+                    None => "clean".to_string(),
+                    Some(w) => format!("viol:{}", bits(w)),
+                };
+                format!("e {key} {} {verdict}", bits(valuation))
+            })
+            .collect();
+        lines.sort();
+        let mut out = String::from("# leapfrog-inst-ledger v1\n");
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Loads verdicts from [`InstLedger::export_text`] output, merging
+    /// into the current contents. Returns the number of entries read.
+    pub fn import_text(&self, text: &str) -> Result<usize, String> {
+        fn parse_bits(tok: &str, line_no: usize) -> Result<Vec<BitVec>, String> {
+            if tok == "-" {
+                return Ok(Vec::new());
+            }
+            tok.split(',')
+                .map(|t| {
+                    t.strip_prefix('b')
+                        .ok_or_else(|| format!("line {line_no}: bit token missing 'b' prefix"))?
+                        .parse()
+                        .map_err(|e| format!("line {line_no}: bad bits: {e}"))
+                })
+                .collect()
+        }
+        let mut read = 0;
+        for (i, line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("e ")
+                .ok_or_else(|| format!("line {line_no}: unrecognized ledger line"))?;
+            let mut parts = rest.rsplitn(3, ' ');
+            let verdict_tok = parts
+                .next()
+                .ok_or_else(|| format!("line {line_no}: missing verdict"))?;
+            let valuation_tok = parts
+                .next()
+                .ok_or_else(|| format!("line {line_no}: missing valuation"))?;
+            let key = parts
+                .next()
+                .ok_or_else(|| format!("line {line_no}: missing key"))?
+                .to_string();
+            let valuation = parse_bits(valuation_tok, line_no)?;
+            let verdict = match verdict_tok {
+                "clean" => None,
+                v => Some(parse_bits(
+                    v.strip_prefix("viol:")
+                        .ok_or_else(|| format!("line {line_no}: unknown verdict {v:?}"))?,
+                    line_no,
+                )?),
+            };
+            self.put((key, valuation), verdict);
+            read += 1;
+        }
+        Ok(read)
     }
 }
 
@@ -1079,6 +1227,78 @@ mod tests {
         );
         assert_ne!(refinement1, String::new());
         assert_eq!(ledger.len(), 2);
+    }
+
+    #[test]
+    fn inst_ledger_export_import_round_trips() {
+        // Record verdicts through a real oracle, round-trip the ledger
+        // through text, and replay the renamed oracle from the import.
+        let ledger = InstLedger::new();
+        let mut d = Declarations::new();
+        let a = d.declare("a", 2);
+        let b = d.declare("b", 2);
+        let x = d.declare("x", 2);
+        let mut oracle = RefinementOracle::new();
+        oracle.add_block(
+            vec![x],
+            Formula::Eq(
+                Term::concat(Term::var(a), Term::var(x)),
+                Term::concat(Term::var(b), Term::var(x)),
+            ),
+        );
+        oracle.add_block(vec![x], Formula::Eq(Term::var(x), Term::var(b)));
+        let mut m = Model::new();
+        m.set(a, bv("01"));
+        m.set(b, bv("01"));
+        let r = oracle.validate_with(&d, &m, Some(&ledger));
+        assert_eq!(r.validated, 2);
+        let text = ledger.export_text();
+
+        let reloaded = InstLedger::new();
+        assert_eq!(reloaded.import_text(&text), Ok(ledger.len()));
+        assert_eq!(reloaded.export_text(), text, "round trip is stable");
+        let mut oracle2 = RefinementOracle::new();
+        oracle2.add_block(
+            vec![x],
+            Formula::Eq(
+                Term::concat(Term::var(a), Term::var(x)),
+                Term::concat(Term::var(b), Term::var(x)),
+            ),
+        );
+        oracle2.add_block(vec![x], Formula::Eq(Term::var(x), Term::var(b)));
+        let r2 = oracle2.validate_with(&d, &m, Some(&reloaded));
+        assert_eq!(r2.validated, 0, "imported verdicts must replay: {r2:?}");
+        assert_eq!(r2.ledger_hits, 2);
+        assert_eq!(
+            format!("{:?}", r.refinement),
+            format!("{:?}", r2.refinement),
+            "replayed refinements must match the fresh solve"
+        );
+    }
+
+    #[test]
+    fn inst_ledger_capacity_evicts_lru() {
+        let ledger = InstLedger::with_capacity(2);
+        let key = |i: usize| (format!("k{i}"), vec![bv("01")]);
+        ledger.put(key(0), None);
+        ledger.put(key(1), Some(vec![bv("10")]));
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.evictions(), 0);
+        // Touch k0 so k1 becomes the LRU victim.
+        assert!(ledger.get(&key(0)).is_some());
+        ledger.put(key(2), None);
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.evictions(), 1);
+        assert!(ledger.get(&key(1)).is_none(), "k1 was evicted");
+        assert!(ledger.get(&key(0)).is_some());
+        assert!(ledger.get(&key(2)).is_some());
+        // Unbounded ledgers never evict.
+        let unbounded = InstLedger::new();
+        for i in 0..64 {
+            unbounded.put(key(i), None);
+        }
+        assert_eq!(unbounded.len(), 64);
+        assert_eq!(unbounded.evictions(), 0);
     }
 
     #[test]

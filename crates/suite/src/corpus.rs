@@ -307,6 +307,12 @@ impl leapfrog::WitnessSink for WitnessCorpus {
     fn record(&mut self, name: &str, witness: &Witness) -> bool {
         WitnessCorpus::record(self, name, witness)
     }
+
+    /// The corpus text format — `Engine::save_state` writes it into the
+    /// state directory so recorded regression packets survive a restart.
+    fn export_text(&self) -> Option<String> {
+        Some(self.to_text())
+    }
 }
 
 #[cfg(test)]

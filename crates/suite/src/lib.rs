@@ -89,6 +89,23 @@ impl Benchmark {
     }
 }
 
+/// All standard Table 2 rows answerable as plain language-equivalence
+/// queries: the four utility rows followed by the applicability
+/// self-comparisons (the relational rows and translation validation need
+/// dedicated runners and are not included). This is the row set the
+/// `table2` binary measures, `check_batch` smoke jobs drive, and the
+/// `leapfrogd` wire server resolves named requests against.
+pub fn standard_benchmarks(scale: Scale) -> Vec<Benchmark> {
+    let mut rows = vec![
+        utility::state_rearrangement::state_rearrangement_benchmark(),
+        utility::ip_options::ip_options_benchmark(scale),
+        utility::vlan_init::vlan_init_benchmark(),
+        utility::mpls::mpls_benchmark(),
+    ];
+    rows.extend(applicability::all_benchmarks(scale));
+    rows
+}
+
 /// The scale knob for the applicability parsers (`LEAPFROG_SCALE`):
 /// `full` reproduces Table 2 sizes, `medium`/`small` trim repetition counts
 /// so the harness finishes quickly on a laptop.
