@@ -15,22 +15,32 @@
 //! LEAPFROG_SCALE=full cargo run --release -p leapfrog-bench --bin table2
 //! ```
 //!
+//! Every run appends one snapshot line (commit, timestamp, scale, cores,
+//! per-row runtimes, registry counters) to `BENCH_history.jsonl` — the
+//! persisted perf trajectory. Tracing is on by default so the emitted
+//! rows carry a per-phase time breakdown (`LEAPFROG_TRACE=0` disables).
+//!
 //! Flags / environment:
 //! * `--smoke` — force the small scale and exit nonzero if any emitted
 //!   row is missing the speedup / cache-hit-rate / thread-count /
-//!   cegar-rounds / blocks-validated / session-rebuilds / warm-reuse
-//!   fields, if no warm reuse was observed at all, if `warm_speedup`
-//!   lands below 1.0 on *every* row (a warm re-run losing everywhere
-//!   means engine reuse regressed), if the witness corpus regressed, or
-//!   if a redirect_case mutant is not refuted with a confirmed witness
-//!   (CI runs this).
-//! * `--batch` — additionally measure the whole standard table through
-//!   `Engine::check_batch` (the serving API) on cold engines at 1 and 4
-//!   worker threads, recording the wall-clock ratio as
-//!   `batch_parallel_speedup` in the JSON (the cross-query parallel axis
-//!   CI tracks on multi-core hosted runners), then pre-run the rows
-//!   through the table-wide engine; any batched verdict disagreeing with
-//!   the per-row expectation fails (CI runs `--smoke --batch`).
+//!   cegar-rounds / blocks-validated / session-rebuilds / warm-reuse /
+//!   phase-breakdown fields, if no warm reuse was observed at all, if
+//!   `warm_speedup` lands below 1.0 on *every* row (a warm re-run losing
+//!   everywhere means engine reuse regressed), if the witness corpus
+//!   regressed, if a redirect_case mutant is not refuted with a confirmed
+//!   witness, or if the run regresses against the rolling history
+//!   baseline (median of the last 5 comparable snapshots): total runtime
+//!   above 2× the baseline, or the best warm speedup collapsing below
+//!   1.0 when the baseline held it at ≥ 1.0 (CI runs this).
+//! * `--batch` — additionally pre-run the whole standard table through
+//!   `Engine::check_batch` (the serving API) on the table-wide engine;
+//!   any batched verdict disagreeing with the per-row expectation fails
+//!   (CI runs `--smoke --batch`). The 1-vs-4-thread cold-engine
+//!   `batch_parallel_speedup` measurement itself no longer needs the
+//!   flag: it runs whenever the host has ≥ 2 cores, and the JSON records
+//!   `cores` so a `null` ratio is readable as "single-core host".
+//! * `LEAPFROG_BENCH_HISTORY=path` — where the trajectory lives (default
+//!   `BENCH_history.jsonl`).
 //! * `LEAPFROG_SKIP_BASELINE=1` — skip the `threads = 1` baseline re-runs
 //!   (speedup reported as `null`); useful for very large scales.
 //! * `LEAPFROG_WITNESS_CORPUS=path` — where the witness regression corpus
@@ -39,6 +49,7 @@
 //!   guard sessions' clause-budget GC (results are identical, only
 //!   memory/time change).
 
+use leapfrog::json::{self, Value};
 use leapfrog::{Engine, EngineConfig, Outcome, QuerySpec};
 use leapfrog_bench::alloc_track::{human_bytes, PeakAlloc};
 use leapfrog_bench::rows::{
@@ -100,6 +111,15 @@ fn main() {
         Scale::from_env()
     };
     let baseline = std::env::var("LEAPFROG_SKIP_BASELINE").as_deref() != Ok("1");
+    // Tracing is on by default for the table run — the per-phase
+    // breakdown is part of the recorded trajectory. `LEAPFROG_TRACE=0`
+    // still turns it off (engine construction applies the env).
+    if std::env::var("LEAPFROG_TRACE").is_err() {
+        leapfrog_obs::set_trace_enabled(true);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut engine = Engine::new(EngineConfig::from_env());
     let corpus_path = std::env::var("LEAPFROG_WITNESS_CORPUS")
         .unwrap_or_else(|_| "WITNESS_CORPUS.txt".to_string());
@@ -132,17 +152,21 @@ fn main() {
     // go through the table-wide persistent engine, so the per-row
     // measurements afterwards run warm against the batch's state.
     let mut batch_parallel_speedup = None;
-    if batch_mode {
-        let benches = standard_benchmarks(scale);
-        let specs: Vec<QuerySpec> = benches
-            .iter()
-            .map(|b| QuerySpec::new(b.name, &b.left, b.left_start, &b.right, b.right_start))
-            .collect();
+    let batch_benches = standard_benchmarks(scale);
+    let batch_specs: Vec<QuerySpec> = batch_benches
+        .iter()
+        .map(|b| QuerySpec::new(b.name, &b.left, b.left_start, &b.right, b.right_start))
+        .collect();
+    // The parallel-axis measurement runs whenever it is meaningful: with
+    // at least 2 cores the 1-vs-4-thread ratio is real even without
+    // `--batch`, so local multi-core runs record it rather than emitting
+    // `null` (single-core hosts report it as not measurable instead).
+    if batch_mode || cores >= 2 {
         let mut time_batch = |threads: usize| {
             let mut cold = Engine::new(EngineConfig::from_env().threads(threads));
             let start = std::time::Instant::now();
-            let outcomes = cold.check_batch(&specs);
-            for (bench, outcome) in benches.iter().zip(&outcomes) {
+            let outcomes = cold.check_batch(&batch_specs);
+            for (bench, outcome) in batch_benches.iter().zip(&outcomes) {
                 if outcome.is_equivalent() != bench.expect_equivalent {
                     failures.push(format!(
                         "batch verdict mismatch for \"{}\" at {threads} thread(s): \
@@ -158,13 +182,19 @@ fn main() {
         batch_parallel_speedup = Some(wall_1.as_secs_f64() / wall_4.as_secs_f64().max(1e-9));
         println!(
             "Batch parallel axis: {} rows via check_batch — {:.2?} at 1 thread, \
-             {:.2?} at 4 threads ({:.2}x)",
-            specs.len(),
+             {:.2?} at 4 threads ({:.2}x, {cores} core(s))",
+            batch_specs.len(),
             wall_1,
             wall_4,
             batch_parallel_speedup.unwrap(),
         );
-        let outcomes = engine.check_batch(&specs);
+    } else {
+        println!("Batch parallel axis: not measurable on {cores} core(s)");
+    }
+    if batch_mode {
+        let benches = &batch_benches;
+        let specs = &batch_specs;
+        let outcomes = engine.check_batch(specs);
         for (bench, outcome) in benches.iter().zip(&outcomes) {
             if outcome.is_equivalent() != bench.expect_equivalent {
                 failures.push(format!(
@@ -412,11 +442,32 @@ fn main() {
     }
 
     // Machine-readable output, so the performance trajectory is recorded.
-    let json = rows_to_json(&measured, witness_confirmed, batch_parallel_speedup);
+    let json = rows_to_json(&measured, witness_confirmed, batch_parallel_speedup, cores);
     let path = "BENCH_table2.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("Wrote {path} ({} rows)", measured.len()),
         Err(e) => println!("Could not write {path}: {e}"),
+    }
+
+    // The persisted trajectory: one snapshot line per run, appended to a
+    // JSONL history. The smoke gate compares this run against the rolling
+    // baseline (median of the last 5 comparable snapshots) *before* the
+    // append, so a regressed run still records itself for forensics but
+    // cannot silently become its own baseline.
+    let history_path = std::env::var("LEAPFROG_BENCH_HISTORY")
+        .unwrap_or_else(|_| "BENCH_history.jsonl".to_string());
+    let current =
+        HistorySnapshot::capture(scale, cores, batch_mode, &measured, batch_parallel_speedup);
+    let prior = load_history(&history_path, &format!("{scale:?}"), batch_mode);
+    match append_history(&history_path, &current) {
+        Ok(()) => println!(
+            "Appended snapshot to {history_path} ({} comparable prior run(s))",
+            prior.len()
+        ),
+        Err(e) => println!("Could not append {history_path}: {e}"),
+    }
+    if smoke {
+        gate_against_baseline(&current, &prior, &mut failures);
     }
 
     // Smoke validation: every row must report the pipeline fields,
@@ -472,9 +523,30 @@ fn main() {
             ));
         }
     }
-    // In batch mode the parallel-axis measurement must land in the JSON.
-    if batch_mode && batch_parallel_speedup.is_none() {
-        failures.push("batch mode emitted no batch_parallel_speedup".into());
+    // The parallel-axis measurement must land in the JSON whenever the
+    // host can measure it; a single-core host legitimately reports null.
+    if batch_parallel_speedup.is_none() {
+        if batch_mode || cores >= 2 {
+            failures.push(format!(
+                "batch_parallel_speedup missing despite {cores} core(s)"
+            ));
+        } else {
+            println!(
+                "batch_parallel_speedup: not measurable on a single-core host \
+                 (cores={cores}; recorded as null)"
+            );
+        }
+    }
+    // Tracing was on (unless explicitly disabled), so every emitted row
+    // must carry a nonempty phase breakdown.
+    if std::env::var("LEAPFROG_TRACE").as_deref() != Ok("0") {
+        let empty = measured.iter().filter(|(r, _)| r.phases.is_empty()).count();
+        if empty > 0 {
+            failures.push(format!(
+                "{empty}/{} rows have an empty phase breakdown despite tracing",
+                measured.len()
+            ));
+        }
     }
     if !failures.is_empty() {
         for f in &failures {
@@ -482,6 +554,206 @@ fn main() {
         }
         if smoke {
             std::process::exit(1);
+        }
+    }
+}
+
+/// One run's entry in the persisted perf trajectory (`BENCH_history.jsonl`).
+struct HistorySnapshot {
+    commit: String,
+    unix_time: u64,
+    scale: String,
+    cores: usize,
+    batch_mode: bool,
+    total_runtime_secs: f64,
+    best_warm_speedup: Option<f64>,
+    batch_parallel_speedup: Option<f64>,
+    rows: Vec<(String, f64, Option<f64>)>,
+}
+
+/// A prior snapshot reduced to the two gated quantities.
+struct PriorRun {
+    total_runtime_secs: f64,
+    best_warm_speedup: Option<f64>,
+}
+
+impl HistorySnapshot {
+    fn capture(
+        scale: Scale,
+        cores: usize,
+        batch_mode: bool,
+        measured: &[(RowResult, Option<usize>)],
+        batch_parallel_speedup: Option<f64>,
+    ) -> HistorySnapshot {
+        let commit = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|| "unknown".to_string());
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        HistorySnapshot {
+            commit,
+            unix_time,
+            scale: format!("{scale:?}"),
+            cores,
+            batch_mode,
+            total_runtime_secs: measured.iter().map(|(r, _)| r.runtime.as_secs_f64()).sum(),
+            best_warm_speedup: measured
+                .iter()
+                .filter_map(|(r, _)| r.warm_speedup)
+                .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s)))),
+            batch_parallel_speedup,
+            rows: measured
+                .iter()
+                .map(|(r, _)| (r.name.clone(), r.runtime.as_secs_f64(), r.warm_speedup))
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot as one JSON line (flattened canonical JSON;
+    /// strings escape embedded newlines, so the line never breaks).
+    fn render_line(&self) -> String {
+        let opt = |v: Option<f64>| v.map(Value::Num).unwrap_or(Value::Null);
+        let snap = leapfrog_obs::global().snapshot();
+        let counter = |n: &str| json::num(snap.counters.get(n).copied().unwrap_or(0) as usize);
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|(name, secs, warm)| {
+                json::obj(vec![
+                    ("name", Value::Str(name.clone())),
+                    ("runtime_secs", Value::Num(*secs)),
+                    ("warm_speedup", opt(*warm)),
+                ])
+            })
+            .collect();
+        let v = json::obj(vec![
+            ("commit", Value::Str(self.commit.clone())),
+            ("unix_time", json::num(self.unix_time as usize)),
+            ("scale", Value::Str(self.scale.clone())),
+            ("cores", json::num(self.cores)),
+            ("batch_mode", Value::Bool(self.batch_mode)),
+            ("total_runtime_secs", Value::Num(self.total_runtime_secs)),
+            ("best_warm_speedup", opt(self.best_warm_speedup)),
+            ("batch_parallel_speedup", opt(self.batch_parallel_speedup)),
+            (
+                "metrics",
+                json::obj(vec![
+                    ("checks", counter("leapfrog_checks_total")),
+                    (
+                        "entailment_checks",
+                        counter("leapfrog_entailment_checks_total"),
+                    ),
+                    (
+                        "entailment_memo_hits",
+                        counter("leapfrog_entailment_memo_hits_total"),
+                    ),
+                    ("smt_queries", counter("leapfrog_smt_queries_total")),
+                    ("cegar_rounds", counter("leapfrog_cegar_rounds_total")),
+                ]),
+            ),
+            ("rows", Value::Arr(rows)),
+        ]);
+        v.render()
+            .lines()
+            .map(str::trim_start)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Loads the prior snapshots comparable to this run (same scale and
+/// batch-mode flag); malformed lines are skipped, a missing file is an
+/// empty history.
+fn load_history(path: &str, scale: &str, batch_mode: bool) -> Vec<PriorRun> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let num = |v: &Value, key: &str| match json::get(v, key) {
+        Ok(Value::Num(n)) => Some(*n),
+        _ => None,
+    };
+    text.lines()
+        .filter_map(|line| json::parse(line).ok())
+        .filter(|v| {
+            json::get(v, "scale")
+                .ok()
+                .and_then(|s| json::as_str(s).ok())
+                == Some(scale)
+                && json::get(v, "batch_mode")
+                    .ok()
+                    .and_then(|b| json::as_bool(b).ok())
+                    == Some(batch_mode)
+        })
+        .filter_map(|v| {
+            Some(PriorRun {
+                total_runtime_secs: num(&v, "total_runtime_secs")?,
+                best_warm_speedup: num(&v, "best_warm_speedup"),
+            })
+        })
+        .collect()
+}
+
+fn append_history(path: &str, snapshot: &HistorySnapshot) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", snapshot.render_line())
+}
+
+fn median(mut values: Vec<f64>) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(values[values.len() / 2])
+}
+
+/// The smoke gate against the rolling baseline: the median of the last
+/// (up to) 5 comparable snapshots. A run slower than 2× the baseline
+/// total runtime fails; a warm-speedup collapse below 1.0 fails when the
+/// baseline reliably sat at or above 1.0. With no comparable history the
+/// gate is vacuous — the first run seeds the baseline.
+fn gate_against_baseline(
+    current: &HistorySnapshot,
+    prior: &[PriorRun],
+    failures: &mut Vec<String>,
+) {
+    let window = &prior[prior.len().saturating_sub(5)..];
+    if window.is_empty() {
+        println!("Baseline gate: no comparable history yet; this run seeds it");
+        return;
+    }
+    if let Some(base) = median(window.iter().map(|p| p.total_runtime_secs).collect()) {
+        println!(
+            "Baseline gate: total runtime {:.3}s vs rolling median {:.3}s over {} run(s)",
+            current.total_runtime_secs,
+            base,
+            window.len()
+        );
+        if current.total_runtime_secs > 2.0 * base {
+            failures.push(format!(
+                "perf regression: total runtime {:.3}s is more than 2x the rolling \
+                 baseline {:.3}s",
+                current.total_runtime_secs, base
+            ));
+        }
+    }
+    let base_warm = median(window.iter().filter_map(|p| p.best_warm_speedup).collect());
+    if let (Some(base), Some(cur)) = (base_warm, current.best_warm_speedup) {
+        if base >= 1.0 && cur < 1.0 {
+            failures.push(format!(
+                "warm-speedup regression: best warm speedup {cur:.3} fell below 1.0 \
+                 (rolling baseline {base:.3})"
+            ));
         }
     }
 }

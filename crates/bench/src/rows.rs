@@ -10,6 +10,7 @@
 use std::time::{Duration, Instant};
 
 use leapfrog::{Engine, EngineConfig, Options, Outcome, RunStats};
+use leapfrog_obs::PhaseBreakdown;
 use leapfrog_suite::applicability;
 use leapfrog_suite::metrics::Table2Metrics;
 use leapfrog_suite::utility::sloppy_strict;
@@ -69,6 +70,9 @@ pub struct RowResult {
     /// The confirmed witness, when the run refuted the property — fed into
     /// the regression corpus by the `table2` binary.
     pub witness: Option<leapfrog_cex::Witness>,
+    /// Per-phase time breakdown from the span tracer (empty unless
+    /// tracing was enabled for the run).
+    pub phases: PhaseBreakdown,
 }
 
 impl RowResult {
@@ -209,13 +213,15 @@ pub use leapfrog_suite::standard_benchmarks;
 /// no serde; the format is flat enough to emit by hand). Each entry pairs
 /// a row with its peak heap measurement, when one was taken.
 /// `batch_parallel_speedup` is the whole-table `check_batch` wall-clock
-/// ratio at 1 vs 4 worker threads (measured in `--batch` mode; `null`
-/// otherwise) — the cross-query parallel axis CI records on multi-core
-/// hosted runners.
+/// ratio at 1 vs 4 worker threads — the cross-query parallel axis. It is
+/// measured whenever the host has ≥ 2 cores (or `--batch` forces it);
+/// `cores` records the host parallelism so a `null` ratio is readable as
+/// "not measurable here" rather than "missing".
 pub fn rows_to_json(
     rows: &[(RowResult, Option<usize>)],
     sanity_witness_confirmed: bool,
     batch_parallel_speedup: Option<f64>,
+    cores: usize,
 ) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -232,7 +238,7 @@ pub fn rows_to_json(
              \"blocks_considered\": {}, \"session_rebuilds\": {}, \
              \"peak_live_clauses\": {}, \"warm_speedup\": {}, \
              \"sessions_reused\": {}, \"sum_cache_hits\": {}, \
-             \"entailment_memo_hits\": {}}}{}\n",
+             \"entailment_memo_hits\": {}, \"phases\": {}}}{}\n",
             esc(&row.name),
             row.metrics.states,
             row.metrics.branched_bits,
@@ -260,17 +266,36 @@ pub fn rows_to_json(
             row.sessions_reused,
             row.sum_cache_hits,
             row.entailment_memo_hits,
+            phases_json(&row.phases),
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
     out.push_str(&format!(
         "  ],\n  \"sanity_check_witness_confirmed\": {sanity_witness_confirmed},\n  \
-         \"batch_parallel_speedup\": {}\n}}\n",
+         \"batch_parallel_speedup\": {},\n  \"cores\": {cores}\n}}\n",
         batch_parallel_speedup
             .map(|s| format!("{s:.4}"))
             .unwrap_or_else(|| "null".into()),
     ));
     out
+}
+
+/// Renders a phase breakdown as a JSON array in canonical phase order —
+/// `[]` when tracing was off for the run.
+pub fn phases_json(p: &PhaseBreakdown) -> String {
+    let entries: Vec<String> = p
+        .entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"phase\": \"{}\", \"count\": {}, \"nanos\": {}}}",
+                e.phase.as_str(),
+                e.count,
+                e.nanos
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(", "))
 }
 
 fn finish(
@@ -305,6 +330,7 @@ fn finish(
         sum_cache_hits: stats.sum_cache_hits,
         entailment_memo_hits: stats.entailment_memo_hits,
         witness: outcome.witness().cloned(),
+        phases: stats.phases.clone(),
     }
 }
 
@@ -329,7 +355,7 @@ mod tests {
         let mut row = run_row(&bench, Options::default());
         row.speedup = Some(1.25);
         row.warm_speedup = Some(2.0);
-        let json = rows_to_json(&[(row, Some(1024))], true, Some(1.5));
+        let json = rows_to_json(&[(row, Some(1024))], true, Some(1.5), 4);
         for key in [
             "\"threads\"",
             "\"blast_cache_hit_rate\"",
@@ -344,7 +370,9 @@ mod tests {
             "\"sessions_reused\"",
             "\"sum_cache_hits\"",
             "\"entailment_memo_hits\"",
+            "\"phases\"",
             "\"batch_parallel_speedup\": 1.5000",
+            "\"cores\": 4",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

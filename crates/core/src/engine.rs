@@ -59,6 +59,7 @@ use leapfrog_logic::reach::reachable_pairs;
 use leapfrog_logic::store::RelationStore;
 use leapfrog_logic::templates::{all_templates, Template, TemplatePair};
 use leapfrog_logic::wp::wp;
+use leapfrog_obs::{trace, Phase};
 use leapfrog_p4a::ast::{Automaton, StateId, Target};
 use leapfrog_p4a::sum::{sum, Sum};
 use leapfrog_smt::{CheckResult, InstLedger, QueryStats, SharedBlastCache, SmtSolver};
@@ -701,6 +702,80 @@ pub struct Engine {
     last_run: RunStats,
     sink: Option<Box<dyn WitnessSink>>,
     state_report: Option<String>,
+    /// Label attached to the next query's slow-log record (a suite row
+    /// name); falls back to the pair fingerprint when unset.
+    query_label: Option<String>,
+}
+
+/// Global metric handles for the engine layer. The lower layers count
+/// solver work (`leapfrog_cegar_rounds_total`, …); these count the
+/// engine's own reuse machinery, live as it happens, so the daemon's
+/// `metrics` request reports totals mid-run.
+mod meters {
+    use leapfrog_obs::{LazyCounter, LazyHistogram};
+
+    pub static CHECKS: LazyCounter = LazyCounter::new("leapfrog_checks_total");
+    pub static BATCHES: LazyCounter = LazyCounter::new("leapfrog_batches_total");
+    pub static ENTAILMENT_CHECKS: LazyCounter =
+        LazyCounter::new("leapfrog_entailment_checks_total");
+    pub static ENTAILMENT_MEMO_HITS: LazyCounter =
+        LazyCounter::new("leapfrog_entailment_memo_hits_total");
+    pub static PAIRS_INTERNED: LazyCounter = LazyCounter::new("leapfrog_pairs_interned_total");
+    pub static WARM_EVICTIONS: LazyCounter = LazyCounter::new("leapfrog_warm_evictions_total");
+    pub static PAIR_EVICTIONS: LazyCounter = LazyCounter::new("leapfrog_pair_evictions_total");
+    pub static SLOW_QUERIES: LazyCounter = LazyCounter::new("leapfrog_slow_queries_total");
+    pub static QUERY_SECONDS: LazyHistogram = LazyHistogram::new("leapfrog_query_seconds");
+}
+
+/// Per-query trace context: opened before any per-query work (so the
+/// `intern_pair`/`sum` spans of a cold pair land inside the query
+/// window), closed by [`QueryTrace::finish`], which diffs the phase
+/// aggregates into `RunStats::phases` and captures the slow-query span
+/// tree when the query ran over the armed threshold. All of this is
+/// observational: nothing here is read back by the pipeline.
+struct QueryTrace {
+    phase_base: leapfrog_obs::PhaseSnapshot,
+    event_mark: u64,
+    start: Instant,
+    label: Option<String>,
+    root_span: Option<leapfrog_obs::SpanGuard>,
+}
+
+impl QueryTrace {
+    fn begin(label: Option<String>) -> QueryTrace {
+        let tr = trace::collector();
+        QueryTrace {
+            phase_base: tr.phase_snapshot(),
+            event_mark: tr.event_mark(),
+            start: Instant::now(),
+            label,
+            root_span: tr.span(Phase::Query),
+        }
+    }
+
+    fn finish(mut self, stats: &mut RunStats, fallback_label: impl FnOnce() -> String) {
+        // Close the root span first so its time is in the aggregates.
+        drop(self.root_span.take());
+        let tr = trace::collector();
+        if tr.enabled() {
+            stats.phases = tr.phase_snapshot().delta(&self.phase_base);
+        }
+        let elapsed = self.start.elapsed();
+        meters::QUERY_SECONDS.record(elapsed);
+        if let Some(threshold_ms) = tr.slow_threshold_ms() {
+            let wall_ms = elapsed.as_millis() as u64;
+            if wall_ms >= threshold_ms {
+                meters::SLOW_QUERIES.inc();
+                let events = tr.events_since(self.event_mark);
+                tr.push_slow(leapfrog_obs::SlowQuery {
+                    label: self.label.take().unwrap_or_else(fallback_label),
+                    wall_ms,
+                    threshold_ms,
+                    tree_json: leapfrog_obs::render_span_tree(&events),
+                });
+            }
+        }
+    }
 }
 
 impl Engine {
@@ -723,9 +798,33 @@ impl Engine {
             last_run: RunStats::default(),
             sink: None,
             state_report: None,
+            query_label: None,
         };
+        // `LEAPFROG_TRACE` / `LEAPFROG_SLOW_QUERY_MS` take effect at
+        // engine construction (the collector is process-global).
+        trace::collector().apply_env();
         engine.load_state();
         engine
+    }
+
+    /// The process-global metrics registry every layer writes into.
+    /// One process hosts one engine (the daemon model), so registry
+    /// "ownership" is access: the engine is where callers fetch it.
+    pub fn metrics(&self) -> &'static leapfrog_obs::MetricsRegistry {
+        leapfrog_obs::global()
+    }
+
+    /// The process-global span-trace collector (ring, phase
+    /// aggregates, slow-query log).
+    pub fn tracer(&self) -> &'static leapfrog_obs::TraceCollector {
+        trace::collector()
+    }
+
+    /// Labels the *next* query for the slow-query log (a suite row
+    /// name, say); consumed by that query, after which labels fall
+    /// back to the pair fingerprint.
+    pub fn set_query_label(&mut self, label: impl Into<String>) {
+        self.query_label = Some(label.into());
     }
 
     /// The engine's configuration.
@@ -914,7 +1013,10 @@ impl Engine {
                 }
             }
         }
+        let _intern_span = trace::span(Phase::InternPair);
+        let sum_span = trace::span(Phase::Sum);
         let sum_info = sum(left, right);
+        drop(sum_span);
         let root = TemplatePair::new(
             Template::start(sum_info.left_state(ql)),
             Template::start(sum_info.right_state(qr)),
@@ -967,6 +1069,7 @@ impl Engine {
         };
         self.pair_index.entry(fp.0).or_default().push(i);
         self.stats.pairs_interned += 1;
+        meters::PAIRS_INTERNED.inc();
         (PairId(i, generation), false)
     }
 
@@ -1025,9 +1128,12 @@ impl Engine {
         right: &Automaton,
         qr: StateId,
     ) -> Outcome {
+        // Open the trace window before interning so a cold pair's
+        // `intern_pair`/`sum` spans land inside this query's tree.
+        let qt = QueryTrace::begin(self.query_label.take());
         let (pid, _) = self.intern_pair(left, ql, right, qr);
         let req = self.standard_request(pid);
-        self.run_prepared(pid, &req)
+        self.run_prepared_traced(pid, &req, qt)
     }
 
     /// [`Engine::check`] with a name: a confirmed refutation witness is
@@ -1040,6 +1146,7 @@ impl Engine {
         right: &Automaton,
         qr: StateId,
     ) -> Outcome {
+        self.set_query_label(name);
         let outcome = self.check(left, ql, right, qr);
         if let (Some(sink), Some(w)) = (self.sink.as_mut(), outcome.witness()) {
             sink.record(name, w);
@@ -1050,6 +1157,11 @@ impl Engine {
     /// Runs an elaborated request over a prepared pair. Per-run statistics
     /// land in [`Engine::last_run_stats`].
     pub fn run_prepared(&mut self, pid: PairId, req: &QueryRequest) -> Outcome {
+        let qt = QueryTrace::begin(self.query_label.take());
+        self.run_prepared_traced(pid, req, qt)
+    }
+
+    fn run_prepared_traced(&mut self, pid: PairId, req: &QueryRequest, qt: QueryTrace) -> Outcome {
         let opts = req.options;
         let (scope, reach_hit) = self.scope_for(pid, opts.leaps, opts.reach_pruning);
         let key = WarmKey::of(req);
@@ -1082,6 +1194,8 @@ impl Engine {
         );
         warm.last_used = tick;
         self.pair_mut(pid).warm.insert(key, warm);
+        let fp = self.pair(pid).fingerprint;
+        qt.finish(&mut stats, || format!("pair:{:016x}", fp.0));
         self.absorb_run(&stats);
         self.last_run = stats;
         self.enforce_caps();
@@ -1090,6 +1204,7 @@ impl Engine {
 
     fn absorb_run(&mut self, stats: &RunStats) {
         self.stats.checks += 1;
+        meters::CHECKS.inc();
         self.stats.sessions_reused += stats.sessions_reused;
         self.stats.entailment_memo_hits += stats.entailment_memo_hits;
         self.stats.reach_cache_hits += stats.reach_cache_hits;
@@ -1126,6 +1241,7 @@ impl Engine {
             let (i, key, _) = victim.expect("count above cap implies a victim");
             self.pairs[i].as_mut().unwrap().warm.remove(&key);
             self.stats.warm_evictions += 1;
+            meters::WARM_EVICTIONS.inc();
         }
         // Guard sessions inside the retained warm states.
         let mut pruned = 0usize;
@@ -1163,6 +1279,7 @@ impl Engine {
             }
             self.free_slots.push(victim);
             self.stats.pair_evictions += 1;
+            meters::PAIR_EVICTIONS.inc();
         }
     }
 
@@ -1176,6 +1293,7 @@ impl Engine {
     /// checking each spec individually.
     pub fn check_batch(&mut self, specs: &[QuerySpec]) -> Vec<Outcome> {
         self.stats.batches += 1;
+        meters::BATCHES.inc();
         let threads = self.config.effective_threads();
         let mut outcomes: Vec<Option<Outcome>> = (0..specs.len()).map(|_| None).collect();
         let mut merged = RunStats::default();
@@ -1187,6 +1305,12 @@ impl Engine {
                 merged.merge(&self.last_run);
             }
         } else {
+            // Parallel batch members bypass `run_prepared`, so the
+            // phase breakdown (and slow-query capture, which is
+            // per-query only) is accounted batch-wide here: one delta
+            // over the whole parallel section. Worker spans carry no
+            // cross-thread parent, so they aggregate but don't nest.
+            let phase_base = trace::collector().phase_snapshot();
             // Group submission indices by interned pair, preserving
             // first-seen order (the deterministic order stats merge in).
             let mut groups: Vec<(PairId, Vec<usize>)> = Vec::new();
@@ -1293,6 +1417,9 @@ impl Engine {
                     outcomes[qi] = Some(outcome);
                 }
             }
+            if trace::collector().enabled() {
+                merged.phases = trace::collector().phase_snapshot().delta(&phase_base);
+            }
         }
         self.last_run = merged;
         self.enforce_caps();
@@ -1320,6 +1447,7 @@ impl Engine {
         if let Some(s) = pair.scopes.get(&(leaps, reach_pruning)) {
             return (s.clone(), true);
         }
+        let _reach_span = trace::span(Phase::Reach);
         let scope: Vec<TemplatePair> = if reach_pruning {
             reachable_pairs(&pair.sum.automaton, &[pair.root], leaps)
         } else {
@@ -1470,6 +1598,7 @@ fn run_worklist(
     };
 
     let mut batch: Vec<usize> = Vec::new();
+    let mut generation: u64 = 0;
     loop {
         // One frontier generation per round: everything currently
         // queued was derived before any of it is processed, so the
@@ -1479,6 +1608,8 @@ fn run_worklist(
         if batch.is_empty() {
             break;
         }
+        let _generation_span = trace::span_indexed(Phase::Generation, generation);
+        generation += 1;
 
         // Warm probe: when the memo can replay the entire generation
         // (simulating the merge-time premise counts), skip the parallel
@@ -1518,6 +1649,7 @@ fn run_worklist(
             stats.max_formula_size = stats.max_formula_size.max(psi.phi.size());
 
             stats.entailment_checks += 1;
+            meters::ENTAILMENT_CHECKS.inc();
             let matching = relation.matching_count(psi.guard);
             stats.premises_matched += matching as u64;
             stats.premises_total += relation.len() as u64;
@@ -1525,6 +1657,7 @@ fn run_worklist(
             let entailed = match warm.memo.get(&memo_key) {
                 Some(&v) => {
                     stats.entailment_memo_hits += 1;
+                    meters::ENTAILMENT_MEMO_HITS.inc();
                     v
                 }
                 None => {
@@ -1588,6 +1721,7 @@ fn run_worklist(
 
     let len = relation.len();
     seal!(len);
+    let _certificate_span = trace::span(Phase::Certificate);
     Outcome::Equivalent(Certificate {
         leaps: opts.leaps,
         standard_init: req.standard_init,
@@ -1656,6 +1790,7 @@ fn query_violation(
     match solver.check_valid(&q.decls, &q.goal) {
         CheckResult::Valid => None,
         CheckResult::Invalid(model) => {
+            let _witness_span = trace::span(Phase::Witness);
             let diagnostic = format!(
                 "query {} does not entail {}\ncountermodel:\n{}",
                 query.display(aut),

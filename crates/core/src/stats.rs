@@ -4,6 +4,7 @@
 
 use std::time::Duration;
 
+use leapfrog_obs::PhaseBreakdown;
 use leapfrog_smt::QueryStats;
 
 /// Statistics from one [`crate::Checker::run`] invocation.
@@ -64,6 +65,10 @@ pub struct RunStats {
     pub wall_time: Duration,
     /// SMT query statistics (main solver plus absorbed worker solvers).
     pub queries: QueryStats,
+    /// Per-phase time breakdown from the span tracer. Empty unless
+    /// tracing is enabled (`LEAPFROG_TRACE=1`); purely observational —
+    /// never consulted by the pipeline.
+    pub phases: PhaseBreakdown,
 }
 
 impl RunStats {
@@ -124,6 +129,7 @@ impl RunStats {
         self.reach_cache_hits += other.reach_cache_hits;
         self.wall_time += other.wall_time;
         self.queries.absorb(&other.queries);
+        self.phases.merge(&other.phases);
     }
 
     /// A one-line human-readable summary.

@@ -53,6 +53,24 @@ use crate::confrel::ConfRel;
 use crate::lower::{lower_pure, LowerEnv};
 use crate::templates::TemplatePair;
 
+/// Global metric handles for the incremental-session layer. These run
+/// alongside the per-session [`QueryStats`]: the session stats feed
+/// per-run `RunStats`, the globals feed the daemon's live registry.
+mod meters {
+    use leapfrog_obs::{LazyCounter, LazyHistogram};
+
+    pub static GUARD_CHECKS: LazyCounter = LazyCounter::new("leapfrog_guard_checks_total");
+    pub static CEGAR_ROUNDS: LazyCounter = LazyCounter::new("leapfrog_cegar_rounds_total");
+    pub static SESSION_REBUILDS: LazyCounter = LazyCounter::new("leapfrog_session_rebuilds_total");
+    pub static SESSION_EVICTIONS: LazyCounter =
+        LazyCounter::new("leapfrog_session_evictions_total");
+    pub static BLAST_CACHE_HITS: LazyCounter = LazyCounter::new("leapfrog_blast_cache_hits_total");
+    pub static BLAST_CACHE_MISSES: LazyCounter =
+        LazyCounter::new("leapfrog_blast_cache_misses_total");
+    pub static GUARD_CHECK_SECONDS: LazyHistogram =
+        LazyHistogram::new("leapfrog_guard_check_seconds");
+}
+
 /// Typed configuration for guard sessions and session pools — the knobs a
 /// long-lived engine owns, as one value instead of a parameter sprawl.
 #[derive(Debug, Clone, Default)]
@@ -183,6 +201,7 @@ impl GuardSession {
         self.ctx = BlastContext::new();
         self.live_clauses = 0;
         self.stats.session_rebuilds += 1;
+        meters::SESSION_REBUILDS.inc();
         let permanent = std::mem::take(&mut self.permanent);
         for f in &permanent {
             if !self.replay_assert(f, cache) {
@@ -204,7 +223,9 @@ impl GuardSession {
         cache: &SharedBlastCache,
     ) -> bool {
         let start = Instant::now();
+        let _span = leapfrog_obs::trace::span(leapfrog_obs::Phase::GuardEntailment);
         self.stats.queries += 1;
+        meters::GUARD_CHECKS.inc();
         self.maybe_gc(cache);
         // Hard assert: the permanent context cannot un-assert clauses, so
         // a shrinking slice would leave stale premises asserted and make
@@ -247,7 +268,9 @@ impl GuardSession {
         }
         self.premise_count = premises.len();
         if self.poisoned {
-            self.stats.durations.push(start.elapsed());
+            let elapsed = start.elapsed();
+            meters::GUARD_CHECK_SECONDS.record(elapsed);
+            self.stats.durations.push(elapsed);
             return true;
         }
 
@@ -267,7 +290,9 @@ impl GuardSession {
         match self.ctx.blast_formula(&self.decls, &negated) {
             BBit::Const(false) => {
                 // ¬ψ is contradictory on its own: ψ holds outright.
-                self.stats.durations.push(start.elapsed());
+                let elapsed = start.elapsed();
+                meters::GUARD_CHECK_SECONDS.record(elapsed);
+                self.stats.durations.push(elapsed);
                 return true;
             }
             BBit::Const(true) => {
@@ -278,7 +303,9 @@ impl GuardSession {
             BBit::Lit(root) => {
                 if !self.ctx.add_clause_raw(&[!act, root]) {
                     self.poisoned = true;
-                    self.stats.durations.push(start.elapsed());
+                    let elapsed = start.elapsed();
+                    meters::GUARD_CHECK_SECONDS.record(elapsed);
+                    self.stats.durations.push(elapsed);
                     return true;
                 }
             }
@@ -289,10 +316,12 @@ impl GuardSession {
         // support is unchanged since their last clean validation and
         // batches all of a round's violations into one permanent assert.
         let verdict = loop {
+            let _round_span = leapfrog_obs::trace::span(leapfrog_obs::Phase::CegarRound);
             match self.ctx.solve_with(&self.decls, &[act]) {
                 None => break true,
                 Some(model) => {
                     self.stats.cegar_rounds += 1;
+                    meters::CEGAR_ROUNDS.inc();
                     self.stats.blocks_considered += self.oracle.len() as u64;
                     let round =
                         self.oracle
@@ -317,7 +346,9 @@ impl GuardSession {
             .stats
             .live_clauses_peak
             .max(self.ctx.num_clauses() as u64);
-        self.stats.durations.push(start.elapsed());
+        let elapsed = start.elapsed();
+        meters::GUARD_CHECK_SECONDS.record(elapsed);
+        self.stats.durations.push(elapsed);
         verdict
     }
 
@@ -336,8 +367,10 @@ impl GuardSession {
         let (ok, hit) = self.ctx.assert_formula_cached(&self.decls, f, cache);
         if hit {
             self.stats.blast_cache_hits += 1;
+            meters::BLAST_CACHE_HITS.inc();
         } else {
             self.stats.blast_cache_misses += 1;
+            meters::BLAST_CACHE_MISSES.inc();
         }
         self.live_clauses += self.ctx.clauses_added() - before;
         ok
@@ -432,6 +465,7 @@ impl SessionPool {
             self.last_used.remove(&victim);
             evicted += 1;
         }
+        meters::SESSION_EVICTIONS.add(evicted as u64);
         evicted
     }
 

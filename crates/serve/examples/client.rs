@@ -29,9 +29,9 @@ fn main() {
     let mut client = Client::connect(&addr).expect("connect to leapfrogd");
 
     // A named Table 2 row.
-    let reply = client.check_named("MPLS Vectorized").expect("named check");
+    let reply = client.check_named("Speculative loop").expect("named check");
     println!(
-        "MPLS Vectorized: equivalent={} ({} entailment checks, {:?} wall)",
+        "Speculative loop: equivalent={} ({} entailment checks, {:?} wall)",
         reply.outcome.is_equivalent(),
         reply.stats.entailment_checks,
         reply.stats.wall_time,

@@ -12,6 +12,12 @@
 //! the same pair. Any mismatch, unexpected verdict or protocol error is a
 //! failure; on success the daemon is asked to shut down (unless
 //! `--no-shutdown`) and the process exits 0.
+//!
+//! After the rows, the gauntlet re-checks the first row (guaranteeing at
+//! least one warm memo hit) and scrapes the daemon's `metrics` request:
+//! the Prometheus exposition must parse, the core counters (checks,
+//! entailment checks, memo hits, connections) must be nonzero, and the
+//! scraped check count must agree with the engine's own `stats` reply.
 
 use std::time::{Duration, Instant};
 
@@ -118,6 +124,17 @@ fn main() {
         }
     }
 
+    // Re-check the first row: it is warm now, so the reply is served
+    // with at least one entailment-memo hit — making the memo-hit
+    // counter below deterministic rather than scale-dependent.
+    if let Some(first) = rows.first() {
+        if let Err(e) = client.check_named(first.name) {
+            failures += 1;
+            eprintln!("FAIL {:<28} warm re-check: {e}", first.name);
+        }
+    }
+
+    let mut engine_checks = 0usize;
     match client.engine_stats() {
         Ok(stats) => {
             let field = |k: &str| {
@@ -126,6 +143,7 @@ fn main() {
                     .and_then(|v| json::as_usize(v).ok())
                     .unwrap_or(0)
             };
+            engine_checks = field("checks");
             println!(
                 "engine: {} checks, {} pairs interned, {} memo hits, {} sessions reused",
                 field("checks"),
@@ -139,6 +157,7 @@ fn main() {
             eprintln!("FAIL stats request: {e}");
         }
     }
+    failures += scrape_metrics(&mut client, engine_checks);
     if shutdown {
         if let Err(e) = client.shutdown() {
             failures += 1;
@@ -156,4 +175,57 @@ fn main() {
         "serve_gauntlet: all {} rows byte-identical over the wire",
         rows.len()
     );
+}
+
+/// Scrapes the daemon's `metrics` request and validates it: the
+/// Prometheus text must parse back into a snapshot, the core counters
+/// must be live, and the scraped check count must match what the
+/// engine's own `stats` reply said. Returns the failure count.
+fn scrape_metrics(client: &mut leapfrog_serve::Client, engine_checks: usize) -> usize {
+    let (text, _json) = match client.metrics() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("FAIL metrics request: {e}");
+            return 1;
+        }
+    };
+    let snap = match leapfrog_obs::parse_prometheus(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL metrics exposition does not parse: {e}");
+            return 1;
+        }
+    };
+    let mut failures = 0usize;
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    for name in [
+        "leapfrog_checks_total",
+        "leapfrog_entailment_checks_total",
+        "leapfrog_entailment_memo_hits_total",
+        "leapfrog_connections_total",
+        "leapfrog_requests_total",
+    ] {
+        if counter(name) == 0 {
+            failures += 1;
+            eprintln!("FAIL metrics counter {name} is zero after the gauntlet");
+        }
+    }
+    if counter("leapfrog_checks_total") != engine_checks as u64 {
+        failures += 1;
+        eprintln!(
+            "FAIL metrics disagree with stats: leapfrog_checks_total={} but engine said {}",
+            counter("leapfrog_checks_total"),
+            engine_checks
+        );
+    }
+    if failures == 0 {
+        println!(
+            "metrics: exposition parses; checks={} entailment={} memo_hits={} connections={}",
+            counter("leapfrog_checks_total"),
+            counter("leapfrog_entailment_checks_total"),
+            counter("leapfrog_entailment_memo_hits_total"),
+            counter("leapfrog_connections_total"),
+        );
+    }
+    failures
 }

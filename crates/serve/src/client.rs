@@ -103,6 +103,34 @@ impl Client {
             .map_err(|e| e.to_string())
     }
 
+    /// The daemon's metrics snapshot: `(prometheus_text, json_value)`.
+    /// Answered by the connection thread — usable even while the engine
+    /// is busy with a long check.
+    pub fn metrics(&mut self) -> Result<(String, Value), String> {
+        let reply = self.round_trip(&proto::request_to_value(&Request::Metrics))?;
+        if let Ok(e) = json::get(&reply, "error") {
+            return Err(json::as_str(e).map_err(|e| e.to_string())?.to_string());
+        }
+        let m = json::get(&reply, "metrics").map_err(|e| e.to_string())?;
+        let text = json::as_str(json::get(m, "text").map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?
+            .to_string();
+        let value = json::get(m, "json").cloned().map_err(|e| e.to_string())?;
+        Ok((text, value))
+    }
+
+    /// The daemon's retained slow-query records (span trees included),
+    /// oldest first. Empty unless `LEAPFROG_SLOW_QUERY_MS` is armed.
+    pub fn slow_log(&mut self) -> Result<Value, String> {
+        let reply = self.round_trip(&proto::request_to_value(&Request::SlowLog))?;
+        if let Ok(e) = json::get(&reply, "error") {
+            return Err(json::as_str(e).map_err(|e| e.to_string())?.to_string());
+        }
+        json::get(&reply, "slow_queries")
+            .cloned()
+            .map_err(|e| e.to_string())
+    }
+
     /// Asks the daemon to persist its state (when configured) and exit.
     pub fn shutdown(&mut self) -> Result<(), String> {
         let reply = self.round_trip(&proto::request_to_value(&Request::Shutdown))?;

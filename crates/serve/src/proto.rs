@@ -11,11 +11,13 @@
 //! # Requests
 //!
 //! ```json
-//! {"check": {"pair": {"named": "MPLS Vectorized"}}}
+//! {"check": {"pair": {"named": "Speculative loop"}}}
 //! {"check": {"pair": {"inline": {"left": "parser A { … }", "left_start": "s",
 //!                                "right": "parser B { … }", "right_start": "s"}},
 //!            "options": {"leaps": true, "max_iterations": 10000}}}
 //! {"stats": {}}
+//! {"metrics": {}}
+//! {"slow_log": {}}
 //! {"shutdown": {}}
 //! ```
 //!
@@ -31,10 +33,17 @@
 //! ```json
 //! {"outcome": {"Equivalent": {…certificate…}}, "stats": {…run stats…}}
 //! {"outcome": {"NotEquivalent": {"Witness": {…}}}, "stats": {…}}
-//! {"engine": {…engine stats…}}
+//! {"engine": {…engine stats…, "metrics": {…registry counters…}}}
+//! {"metrics": {"text": "<Prometheus exposition>", "json": {…}}}
+//! {"slow_queries": [{"label": "…", "wall_ms": 12, "threshold_ms": 5, "spans": […]}]}
 //! {"bye": true}
 //! {"error": "unknown pair \"…\""}
 //! ```
+//!
+//! `metrics` and `slow_log` are answered by the connection thread
+//! directly from the process-global registry/trace collector — they
+//! never queue behind the engine, so a scrape succeeds even while a
+//! long check is running.
 //!
 //! The outcome encoding is *canonical*: encoding the same [`Outcome`]
 //! always renders the same bytes, so clients can diff a wire answer
@@ -53,6 +62,7 @@ use leapfrog_bitvec::BitVec;
 use leapfrog_cex::{Disagreement, Refutation, Witness};
 use leapfrog_logic::confrel::ConfRel;
 use leapfrog_logic::templates::TemplatePair;
+use leapfrog_obs::{MetricsSnapshot, Phase, PhaseBreakdown, PhaseStat, SlowQuery};
 use leapfrog_smt::QueryStats;
 
 /// Upper bound on a single frame's payload. Certificates on the full
@@ -159,6 +169,12 @@ pub enum Request {
     },
     /// Ask for the engine's cumulative statistics.
     Stats,
+    /// Ask for the metrics registry: Prometheus-style text exposition
+    /// plus the same snapshot as JSON.
+    Metrics,
+    /// Ask for the retained slow-query records (span trees of queries
+    /// that ran over `LEAPFROG_SLOW_QUERY_MS`).
+    SlowLog,
     /// Save state (when the daemon has a state dir) and exit.
     Shutdown,
 }
@@ -204,6 +220,8 @@ pub fn request_to_value(req: &Request) -> Value {
             json::obj(vec![("check", json::obj(fields))])
         }
         Request::Stats => json::obj(vec![("stats", json::obj(vec![]))]),
+        Request::Metrics => json::obj(vec![("metrics", json::obj(vec![]))]),
+        Request::SlowLog => json::obj(vec![("slow_log", json::obj(vec![]))]),
         Request::Shutdown => json::obj(vec![("shutdown", json::obj(vec![]))]),
     }
 }
@@ -250,10 +268,16 @@ pub fn request_from_value(v: &Value) -> Result<Request, String> {
     if json::get(v, "stats").is_ok() {
         return Ok(Request::Stats);
     }
+    if json::get(v, "metrics").is_ok() {
+        return Ok(Request::Metrics);
+    }
+    if json::get(v, "slow_log").is_ok() {
+        return Ok(Request::SlowLog);
+    }
     if json::get(v, "shutdown").is_ok() {
         return Ok(Request::Shutdown);
     }
-    Err("unknown request (expected check / stats / shutdown)".to_string())
+    Err("unknown request (expected check / stats / metrics / slow_log / shutdown)".to_string())
 }
 
 // ---------------------------------------------------------------------------
@@ -633,6 +657,108 @@ pub fn query_stats_from_value(v: &Value) -> Result<QueryStats, String> {
     })
 }
 
+/// Encodes a phase breakdown as an array of `{phase, count, nanos}`
+/// entries in canonical phase order (empty when tracing was off).
+pub fn phases_to_value(p: &PhaseBreakdown) -> Value {
+    Value::Arr(
+        p.entries
+            .iter()
+            .map(|e| {
+                json::obj(vec![
+                    ("phase", Value::Str(e.phase.as_str().to_string())),
+                    ("count", json::num(e.count as usize)),
+                    ("nanos", json::num(e.nanos as usize)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a phase breakdown.
+pub fn phases_from_value(v: &Value) -> Result<PhaseBreakdown, String> {
+    let err = |e: json::JsonError| e.to_string();
+    let mut entries = Vec::new();
+    for e in json::as_arr(v).map_err(err)? {
+        let name = json::as_str(json::get(e, "phase").map_err(err)?).map_err(err)?;
+        let phase = Phase::parse(name).ok_or_else(|| format!("unknown phase {name:?}"))?;
+        entries.push(PhaseStat {
+            phase,
+            count: json::as_usize(json::get(e, "count").map_err(err)?).map_err(err)? as u64,
+            nanos: json::as_usize(json::get(e, "nanos").map_err(err)?).map_err(err)? as u64,
+        });
+    }
+    Ok(PhaseBreakdown { entries })
+}
+
+/// Encodes a metrics snapshot as JSON: counters and gauges as numbers
+/// keyed by name, histograms as cumulative bucket arrays plus count and
+/// sum (nanoseconds). Mirrors the text exposition exactly.
+pub fn metrics_snapshot_to_value(snap: &MetricsSnapshot) -> Value {
+    json::obj(vec![
+        (
+            "counters",
+            Value::Obj(
+                snap.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), json::num(*v as usize)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges",
+            Value::Obj(
+                snap.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Num(*v as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms",
+            Value::Obj(
+                snap.histograms
+                    .iter()
+                    .map(|(k, h)| {
+                        (
+                            k.clone(),
+                            json::obj(vec![
+                                (
+                                    "buckets",
+                                    Value::Arr(
+                                        h.cumulative
+                                            .iter()
+                                            .map(|c| json::num(*c as usize))
+                                            .collect(),
+                                    ),
+                                ),
+                                ("count", json::num(h.count as usize)),
+                                ("sum_ns", json::num(h.sum_ns as usize)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes the retained slow-query records. Each record's span tree is
+/// already canonical JSON text; it is embedded as a parsed value so the
+/// reply is one JSON document.
+pub fn slow_queries_to_value(records: &[SlowQuery]) -> Result<Value, String> {
+    let mut out = Vec::new();
+    for r in records {
+        let tree = json::parse(&r.tree_json).map_err(|e| e.to_string())?;
+        out.push(json::obj(vec![
+            ("label", Value::Str(r.label.clone())),
+            ("wall_ms", json::num(r.wall_ms as usize)),
+            ("threshold_ms", json::num(r.threshold_ms as usize)),
+            ("spans", tree),
+        ]));
+    }
+    Ok(Value::Arr(out))
+}
+
 /// Encodes per-run statistics (wall time and solver durations travel as
 /// integer nanoseconds so the round trip is exact).
 pub fn run_stats_to_value(s: &RunStats) -> Value {
@@ -671,6 +797,7 @@ pub fn run_stats_to_value(s: &RunStats) -> Value {
         ("reach_cache_hits", json::num(s.reach_cache_hits as usize)),
         ("wall_time_nanos", duration_to_value(s.wall_time)),
         ("queries", query_stats_to_value(&s.queries)),
+        ("phases", phases_to_value(&s.phases)),
     ])
 }
 
@@ -706,6 +833,7 @@ pub fn run_stats_from_value(v: &Value) -> Result<RunStats, String> {
         reach_cache_hits: n("reach_cache_hits")?,
         wall_time: duration_from_value(json::get(v, "wall_time_nanos").map_err(err)?)?,
         queries: query_stats_from_value(json::get(v, "queries").map_err(err)?)?,
+        phases: phases_from_value(json::get(v, "phases").map_err(err)?)?,
     })
 }
 

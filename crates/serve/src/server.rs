@@ -10,6 +10,11 @@
 //! shutdown) in arrival order. Outcome encodings are canonical, so a wire
 //! answer is byte-identical to the same check run in-process.
 //!
+//! `metrics` and `slow_log` requests are the exception: they read only
+//! the process-global registry and trace collector, so the connection
+//! thread answers them directly and they never queue behind a
+//! long-running check.
+//!
 //! With a state directory configured, the engine starts from the
 //! persisted warm state (blast-cache templates, ledger verdicts,
 //! entailment memos, witness corpus) and a `shutdown` request saves it
@@ -32,9 +37,22 @@ use leapfrog_suite::corpus::WitnessCorpus;
 use leapfrog_suite::{mutants, standard_benchmarks, Scale};
 
 use crate::proto::{
-    self, engine_stats_to_value, outcome_to_value, run_stats_to_value, PairSpec, Request,
-    WireOptions,
+    self, engine_stats_to_value, metrics_snapshot_to_value, outcome_to_value, run_stats_to_value,
+    slow_queries_to_value, PairSpec, Request, WireOptions,
 };
+
+/// Daemon-level metrics. Connection counters live on the connection
+/// threads; the queue-depth gauge is set by the engine thread at each
+/// drain, so it reports how many requests one batch absorbed.
+mod meters {
+    use leapfrog_obs::{LazyCounter, LazyGauge, LazyHistogram};
+
+    pub static CONNECTIONS_TOTAL: LazyCounter = LazyCounter::new("leapfrog_connections_total");
+    pub static CONNECTIONS_OPEN: LazyGauge = LazyGauge::new("leapfrog_connections_open");
+    pub static REQUESTS_TOTAL: LazyCounter = LazyCounter::new("leapfrog_requests_total");
+    pub static REQUEST_SECONDS: LazyHistogram = LazyHistogram::new("leapfrog_request_seconds");
+    pub static QUEUE_DEPTH: LazyGauge = LazyGauge::new("leapfrog_engine_queue_depth");
+}
 
 /// How the daemon is set up.
 pub struct ServerOptions {
@@ -171,6 +189,7 @@ fn process_jobs(
     state_dir: Option<&std::path::Path>,
     jobs: Vec<Job>,
 ) -> bool {
+    meters::QUEUE_DEPTH.set(jobs.len() as i64);
     let mut checks: Vec<ResolvedCheck> = Vec::new();
     let mut shutdown: Option<mpsc::Sender<String>> = None;
     for job in jobs {
@@ -194,8 +213,21 @@ fn process_jobs(
                     engine.shared_cache().stats().entries,
                     engine.state_report(),
                 );
-                send(&job.reply, &json::obj(vec![("engine", v)]));
+                send(
+                    &job.reply,
+                    &json::obj(vec![
+                        ("engine", v),
+                        (
+                            "metrics",
+                            metrics_snapshot_to_value(&leapfrog_obs::global().snapshot()),
+                        ),
+                    ]),
+                );
             }
+            // Normally answered on the connection thread; these arms keep
+            // the queue path total for requests injected another way.
+            Request::Metrics => send(&job.reply, &metrics_reply()),
+            Request::SlowLog => send(&job.reply, &slow_log_reply()),
             Request::Shutdown => shutdown = Some(job.reply),
         }
     }
@@ -244,6 +276,7 @@ fn process_jobs(
         send(&c.reply, &check_reply(&outcome, stats));
     }
 
+    meters::QUEUE_DEPTH.set(0);
     match shutdown {
         Some(reply) => {
             if let Some(dir) = state_dir {
@@ -267,6 +300,29 @@ fn check_reply(outcome: &leapfrog::Outcome, stats: Value) -> Value {
         ("outcome", outcome_to_value(outcome)),
         ("stats", stats),
     ])
+}
+
+/// The `metrics` reply: one registry snapshot rendered both as
+/// Prometheus text exposition and as structured JSON, so the two views
+/// are always consistent with each other.
+fn metrics_reply() -> Value {
+    let snap = leapfrog_obs::global().snapshot();
+    json::obj(vec![(
+        "metrics",
+        json::obj(vec![
+            ("text", Value::Str(snap.render_prometheus())),
+            ("json", metrics_snapshot_to_value(&snap)),
+        ]),
+    )])
+}
+
+/// The `slow_log` reply: every retained slow-query record with its span
+/// tree embedded as structured JSON.
+fn slow_log_reply() -> Value {
+    match slow_queries_to_value(&leapfrog_obs::collector().slow_queries()) {
+        Ok(v) => json::obj(vec![("slow_queries", v)]),
+        Err(e) => error_value(&format!("slow log not renderable: {e}")),
+    }
 }
 
 fn error_value(msg: &str) -> Value {
@@ -394,6 +450,15 @@ fn read_frame_idle(stream: &mut TcpStream) -> std::io::Result<FrameRead> {
 }
 
 fn handle_connection(mut stream: TcpStream, tx: mpsc::Sender<Job>, stop: &AtomicBool) {
+    meters::CONNECTIONS_TOTAL.inc();
+    meters::CONNECTIONS_OPEN.inc();
+    struct OpenGuard;
+    impl Drop for OpenGuard {
+        fn drop(&mut self) {
+            meters::CONNECTIONS_OPEN.dec();
+        }
+    }
+    let _open = OpenGuard;
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -404,18 +469,37 @@ fn handle_connection(mut stream: TcpStream, tx: mpsc::Sender<Job>, stop: &Atomic
             Ok(FrameRead::Eof) | Err(_) => return,
             Ok(FrameRead::Frame(t)) => t,
         };
+        let started = std::time::Instant::now();
+        meters::REQUESTS_TOTAL.inc();
         let request = json::parse(&text)
             .map_err(|e| e.to_string())
             .and_then(|v| proto::request_from_value(&v));
         let request = match request {
             Ok(r) => r,
             Err(e) => {
-                if proto::write_frame(&mut stream, &error_value(&e).render()).is_err() {
+                let ok = proto::write_frame(&mut stream, &error_value(&e).render()).is_ok();
+                meters::REQUEST_SECONDS.record(started.elapsed());
+                if !ok {
                     return;
                 }
                 continue;
             }
         };
+        // Introspection requests read only process-global state: answer
+        // them right here so they never queue behind a long-running
+        // check on the engine thread.
+        if matches!(request, Request::Metrics | Request::SlowLog) {
+            let reply = match request {
+                Request::Metrics => metrics_reply(),
+                _ => slow_log_reply(),
+            };
+            let ok = proto::write_frame(&mut stream, &reply.render()).is_ok();
+            meters::REQUEST_SECONDS.record(started.elapsed());
+            if !ok {
+                return;
+            }
+            continue;
+        }
         let is_shutdown = matches!(request, Request::Shutdown);
         let (reply_tx, reply_rx) = mpsc::channel();
         if tx
@@ -432,7 +516,9 @@ fn handle_connection(mut stream: TcpStream, tx: mpsc::Sender<Job>, stop: &Atomic
             return;
         }
         let Ok(reply) = reply_rx.recv() else { return };
-        if proto::write_frame(&mut stream, &reply).is_err() || is_shutdown {
+        let ok = proto::write_frame(&mut stream, &reply).is_ok();
+        meters::REQUEST_SECONDS.record(started.elapsed());
+        if !ok || is_shutdown {
             return;
         }
     }

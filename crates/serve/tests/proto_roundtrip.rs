@@ -10,6 +10,7 @@ use std::time::Duration;
 use leapfrog::checker::check_language_equivalence;
 use leapfrog::json;
 use leapfrog::{Outcome, RunStats};
+use leapfrog_obs::{PhaseBreakdown, PhaseStat, PHASES};
 use leapfrog_serve::proto::{
     outcome_to_value, request_from_value, request_to_value, run_stats_from_value,
     run_stats_to_value, wire_outcome_from_value, wire_outcome_to_value, wire_witness_of, PairSpec,
@@ -104,6 +105,22 @@ fn aborted_outcome_roundtrips() {
     assert_outcome_roundtrip(&outcome, "aborted");
 }
 
+/// A random phase breakdown in canonical order — a random subset of the
+/// phases, each with nonzero count (matching the tracer's invariant).
+fn random_phases(next: &mut impl FnMut() -> u64) -> PhaseBreakdown {
+    let mut entries = Vec::new();
+    for &phase in PHASES.iter() {
+        if next().is_multiple_of(3) {
+            entries.push(PhaseStat {
+                phase,
+                count: 1 + next() % 1_000,
+                nanos: next() % 1_000_000_000,
+            });
+        }
+    }
+    PhaseBreakdown { entries }
+}
+
 #[test]
 fn run_stats_roundtrip_randomized() {
     // Fixed-seed random RunStats (durations in whole nanoseconds, like
@@ -153,6 +170,7 @@ fn run_stats_roundtrip_randomized() {
                     .map(|_| Duration::from_nanos(next() % 5_000_000_000))
                     .collect(),
             },
+            phases: random_phases(&mut next),
         };
         if round == 0 {
             s = RunStats::default(); // the all-zeros corner
@@ -192,6 +210,8 @@ fn requests_roundtrip() {
             },
         },
         Request::Stats,
+        Request::Metrics,
+        Request::SlowLog,
         Request::Shutdown,
     ];
     for req in &requests {

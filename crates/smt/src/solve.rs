@@ -22,6 +22,23 @@ use crate::blast::{canonical_key, sat_qf, BlastContext, SharedBlastCache};
 use crate::smtlib;
 use crate::term::{BvVar, Declarations, Formula, Model, Term};
 
+/// Global metric handles for the solving core. Counters mirror the
+/// per-query [`QueryStats`] fields but accumulate process-wide, so the
+/// daemon can expose live totals without waiting for a run to finish.
+mod meters {
+    use leapfrog_obs::{LazyCounter, LazyHistogram};
+
+    pub static SMT_QUERIES: LazyCounter = LazyCounter::new("leapfrog_smt_queries_total");
+    pub static CEGAR_ROUNDS: LazyCounter = LazyCounter::new("leapfrog_cegar_rounds_total");
+    pub static BLAST_CACHE_HITS: LazyCounter = LazyCounter::new("leapfrog_blast_cache_hits_total");
+    pub static BLAST_CACHE_MISSES: LazyCounter =
+        LazyCounter::new("leapfrog_blast_cache_misses_total");
+    pub static INST_LEDGER_HITS: LazyCounter = LazyCounter::new("leapfrog_inst_ledger_hits_total");
+    pub static INST_LEDGER_EVICTIONS: LazyCounter =
+        LazyCounter::new("leapfrog_inst_ledger_evictions_total");
+    pub static SMT_QUERY_SECONDS: LazyHistogram = LazyHistogram::new("leapfrog_smt_query_seconds");
+}
+
 /// The outcome of a validity check.
 #[derive(Debug, Clone)]
 pub enum CheckResult {
@@ -197,7 +214,10 @@ impl SmtSolver {
         let (result, meters) = check_valid_counting(decls, f, Some(&self.cache));
         self.stats.queries += 1;
         meters.fold_into(&mut self.stats);
-        self.stats.durations.push(start.elapsed());
+        let elapsed = start.elapsed();
+        self.stats.durations.push(elapsed);
+        meters::SMT_QUERIES.inc();
+        meters::SMT_QUERY_SECONDS.record(elapsed);
         result
     }
 }
@@ -272,8 +292,10 @@ fn check_sat_counting(
                     let (ok, hit) = ctx.assert_formula_cached(decls, f, c);
                     if hit {
                         m.cache_hits += 1;
+                        meters::BLAST_CACHE_HITS.inc();
                     } else {
                         m.cache_misses += 1;
+                        meters::BLAST_CACHE_MISSES.inc();
                     }
                     ok
                 }
@@ -302,10 +324,12 @@ fn check_sat_counting(
     }
 
     loop {
+        let _round_span = leapfrog_obs::trace::span(leapfrog_obs::Phase::CegarRound);
         match ctx.solve(&decls) {
             None => return (SatOutcome::Unsat, meters),
             Some(model) => {
                 meters.rounds += 1;
+                meters::CEGAR_ROUNDS.inc();
                 meters.blocks_considered += oracle.len() as u64;
                 let round = oracle.validate(&decls, &model);
                 meters.blocks_validated += round.validated;
@@ -450,6 +474,7 @@ impl LedgerInner {
             let (_, victim) = self.recency.pop_first().expect("recency tracks map");
             self.map.remove(&victim);
             self.evictions += 1;
+            meters::INST_LEDGER_EVICTIONS.inc();
         }
     }
 }
@@ -716,6 +741,7 @@ impl RefinementOracle {
             if let (Some(ledger), Some(lkey)) = (ledger, &lkey) {
                 if let Some(verdict) = ledger.get(lkey) {
                     round.ledger_hits += 1;
+                    meters::INST_LEDGER_HITS.inc();
                     match verdict {
                         Some(canon_witness) => {
                             let canon = block.canon.as_ref().unwrap();

@@ -121,6 +121,56 @@ fn witnesses_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn results_are_byte_identical_with_tracing_on_and_off() {
+    // The flight recorder's core invariant: span tracing observes the
+    // pipeline but never steers it. Every combination of tracing
+    // {off, on} × threads {1, 4} must render the same certificate bytes
+    // — and the same witness bytes on a refuted pair.
+    let was_enabled = leapfrog_obs::trace::enabled();
+    let (name, left, ql, right, qr) = equivalent_pairs().remove(0);
+    let mut certs = Vec::new();
+    let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
+    let sl = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
+    let st = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
+    let mut witnesses = Vec::new();
+    for tracing in [false, true] {
+        leapfrog_obs::set_trace_enabled(tracing);
+        for threads in [1, 4] {
+            let mut checker = Checker::new(&left, ql, &right, qr, opts(threads));
+            match checker.run() {
+                Outcome::Equivalent(cert) => certs.push(cert.to_json()),
+                other => panic!(
+                    "{name}: expected Equivalent at threads={threads} tracing={tracing}, \
+                     got {other:?}"
+                ),
+            }
+            let mut refuter = Checker::new(&sloppy, sl, &strict, st, opts(threads));
+            match refuter.run() {
+                Outcome::NotEquivalent(refutation) => {
+                    let w = refutation.witness().unwrap_or_else(|| {
+                        panic!("witness must confirm at threads={threads} tracing={tracing}")
+                    });
+                    witnesses.push(format!("{w}"));
+                }
+                other => panic!(
+                    "sloppy vs strict: expected NotEquivalent at threads={threads} \
+                     tracing={tracing}, got {other:?}"
+                ),
+            }
+        }
+    }
+    leapfrog_obs::set_trace_enabled(was_enabled);
+    assert!(
+        certs.windows(2).all(|w| w[0] == w[1]),
+        "{name}: certificate JSON differs across tracing/thread combinations"
+    );
+    assert!(
+        witnesses.windows(2).all(|w| w[0] == w[1]),
+        "witness rendering differs across tracing/thread combinations"
+    );
+}
+
+#[test]
 fn certificates_and_witnesses_identical_across_session_gc_settings() {
     // The guard sessions' clause-budget GC must be invisible in results:
     // certificates byte-identical with GC off, at the default ratio (and

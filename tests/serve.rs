@@ -213,6 +213,71 @@ fn warm_cap_eviction_never_changes_wire_bytes() {
 }
 
 #[test]
+fn metrics_and_slow_log_answer_over_the_wire() {
+    // The flight-recorder wire surface: arm the slow-query log at 0 ms
+    // (every query qualifies), run a named check, and both introspection
+    // requests must answer. The registry and trace collector are
+    // process-global and shared with every other test in this binary, so
+    // all counter assertions are ≥, never ==.
+    let collector = leapfrog_obs::collector();
+    let prior_threshold = collector.slow_threshold_ms();
+    let prior_enabled = leapfrog_obs::trace::enabled();
+    collector.set_slow_threshold_ms(Some(0));
+
+    let server = Server::bind("127.0.0.1:0", ServerOptions::default()).expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    let mut client = Client::connect(addr).expect("connect");
+    let row = state_rearrangement::state_rearrangement_benchmark();
+    client.check_named(row.name).expect("wire check");
+
+    let (text, json_view) = client.metrics().expect("metrics request");
+    let snap = leapfrog_obs::parse_prometheus(&text).expect("exposition parses");
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert!(counter("leapfrog_checks_total") >= 1, "checks counter live");
+    assert!(
+        counter("leapfrog_entailment_checks_total") >= 1,
+        "entailment counter live"
+    );
+    assert!(
+        counter("leapfrog_connections_total") >= 1 && counter("leapfrog_requests_total") >= 2,
+        "connection counters live"
+    );
+    // The JSON view is the same snapshot: spot-check one counter.
+    let json_checks = leapfrog::json::get(&json_view, "counters")
+        .and_then(|c| leapfrog::json::get(c, "leapfrog_checks_total"))
+        .ok()
+        .and_then(|v| leapfrog::json::as_usize(v).ok())
+        .expect("json view carries counters");
+    assert_eq!(json_checks as u64, counter("leapfrog_checks_total"));
+
+    let slow = client.slow_log().expect("slow_log request");
+    let entries = leapfrog::json::as_arr(&slow).expect("slow log is an array");
+    let named = entries.iter().any(|e| {
+        leapfrog::json::get(e, "label")
+            .ok()
+            .and_then(|l| leapfrog::json::as_str(l).ok())
+            == Some(row.name)
+    });
+    assert!(
+        named,
+        "the 0 ms threshold must capture the named row's span tree: {}",
+        slow.render()
+    );
+    for e in entries {
+        assert!(
+            leapfrog::json::get(e, "spans").is_ok(),
+            "every slow record embeds its span tree"
+        );
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    collector.set_slow_threshold_ms(prior_threshold);
+    leapfrog_obs::set_trace_enabled(prior_enabled);
+}
+
+#[test]
 fn inline_wire_checks_match_local_parsing() {
     let left = "parser A { state s { extract(h, 4);
                   select(h[0:1]) { 0b11 => accept; _ => reject; } } }";
