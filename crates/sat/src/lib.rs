@@ -227,10 +227,10 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// The number of live clauses (original + learnt). O(1): deleted
-    /// clauses stay in the arena, so live = allocated − deleted.
+    /// The number of live clauses (original + learnt). O(1): database
+    /// reduction compacts the clause store, so every stored clause is live.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len() - self.stats.deleted_clauses as usize
+        self.clauses.len()
     }
 
     /// The number of root-level [`Solver::add_clause`] calls so far — a
@@ -243,6 +243,13 @@ impl Solver {
     /// Solver statistics across all calls so far.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Lowers the learnt-DB reduction threshold so tests can exercise
+    /// database reduction on small instances.
+    #[cfg(test)]
+    fn set_max_learnt(&mut self, v: f64) {
+        self.max_learnt = v;
     }
 
     /// Adds a clause. May be called between `solve` calls; the solver
@@ -435,10 +442,6 @@ impl Solver {
             while i < watch_list.len() {
                 let cref = watch_list[i];
                 let ci = cref.0 as usize;
-                if self.clauses[ci].deleted {
-                    watch_list.swap_remove(i);
-                    continue;
-                }
                 // Ensure lits[1] is the false literal (~p).
                 let not_p = p.negate();
                 {
@@ -677,11 +680,54 @@ impl Solver {
             })
             .collect();
         let half = learnt.len() / 2;
+        let mut any_deleted = false;
         for (k, &i) in learnt.iter().take(half).enumerate() {
             if !locked[k] {
                 self.clauses[i].deleted = true;
                 self.n_learnt -= 1;
                 self.stats.deleted_clauses += 1;
+                any_deleted = true;
+            }
+        }
+        if any_deleted {
+            self.compact();
+        }
+    }
+
+    /// Reclaims clauses marked `deleted`: compacts the clause store and
+    /// remaps every watcher list and reason index, preserving relative
+    /// watcher order (determinism depends on it). Without this, warm
+    /// incremental sessions grow monotonically between session-GC
+    /// rebuilds even though reduction "deleted" half the learnt DB.
+    fn compact(&mut self) {
+        let mut remap: Vec<u32> = Vec::with_capacity(self.clauses.len());
+        let mut next = 0u32;
+        for c in &self.clauses {
+            if c.deleted {
+                remap.push(u32::MAX);
+            } else {
+                remap.push(next);
+                next += 1;
+            }
+        }
+        self.clauses.retain(|c| !c.deleted);
+        for list in &mut self.watches {
+            list.retain_mut(|cref| {
+                let n = remap[cref.0 as usize];
+                if n == u32::MAX {
+                    false
+                } else {
+                    cref.0 = n;
+                    true
+                }
+            });
+        }
+        // Reason clauses are locked during reduction, so every remaining
+        // reason index maps to a live clause.
+        for r in &mut self.reasons {
+            if *r != REASON_NONE && *r != REASON_DECISION {
+                *r = remap[*r as usize];
+                debug_assert!(*r != u32::MAX, "reason clause was deleted");
             }
         }
     }
@@ -988,6 +1034,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn reduce_db_reclaims_deleted_clauses() {
+        // Force frequent DB reductions on an instance that learns plenty of
+        // clauses, then check the store was actually compacted: no tombstones
+        // remain, and the allocated count equals live (allocated-ever minus
+        // deleted). Before the fix, deleted clauses stayed in `clauses` and
+        // in the watcher lists forever.
+        let (mut s, _) = pigeonhole(5, 4);
+        s.set_max_learnt(20.0);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(
+            st.deleted_clauses > 0,
+            "test did not exercise DB reduction (deleted={})",
+            st.deleted_clauses
+        );
+        assert!(
+            s.clauses.iter().all(|c| !c.deleted),
+            "tombstones remain after reduction"
+        );
+        assert_eq!(s.num_clauses(), s.clauses.len());
+        // Watcher lists only reference live clauses.
+        for list in &s.watches {
+            for cref in list {
+                assert!((cref.0 as usize) < s.clauses.len());
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_db_preserves_verdicts_incrementally() {
+        // A solver that reduced its DB mid-run must keep answering
+        // correctly on later incremental calls.
+        let (mut s, grid) = pigeonhole(5, 4);
+        s.set_max_learnt(20.0);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        let mut s2 = Solver::new();
+        let vars = lits(&mut s2, 8);
+        s2.set_max_learnt(4.0);
+        // Random-ish 3-SAT over 8 vars, solved repeatedly with clause
+        // additions in between; brute force checks each verdict.
+        let mut state = 0x5eed5eedu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+        for _ in 0..40 {
+            let c: Vec<(usize, bool)> = (0..3)
+                .map(|_| (next() as usize % 8, next() % 2 == 0))
+                .collect();
+            let cl: Vec<Lit> = c
+                .iter()
+                .map(|&(v, pos)| Lit::with_polarity(vars[v], pos))
+                .collect();
+            clauses.push(c);
+            s2.add_clause(&cl);
+            let got = s2.solve(&[]) == SolveResult::Sat;
+            let expected = brute_force_sat(8, &clauses);
+            assert_eq!(got, expected, "incremental verdict diverged");
+        }
+        let _ = grid;
     }
 
     #[test]
