@@ -482,6 +482,8 @@ fn main() {
         "\"blocks_considered\"",
         "\"session_rebuilds\"",
         "\"peak_live_clauses\"",
+        "\"sat_conflicts\"",
+        "\"sat_propagations\"",
         "\"warm_speedup\"",
         "\"sessions_reused\"",
         "\"sum_cache_hits\"",

@@ -57,6 +57,10 @@ pub struct RowResult {
     pub session_rebuilds: u64,
     /// Peak live-clause count in any single entailment-session context.
     pub peak_live_clauses: u64,
+    /// CDCL conflicts across every SAT solve of the run.
+    pub sat_conflicts: u64,
+    /// CDCL unit propagations across every SAT solve of the run.
+    pub sat_propagations: u64,
     /// Wall-time speedup of a warm re-run of this row through the same
     /// engine (`None` until the warm pass is measured).
     pub warm_speedup: Option<f64>,
@@ -236,7 +240,8 @@ pub fn rows_to_json(
              \"blast_cache_hit_rate\": {:.4}, \"index_hit_rate\": {:.4}, \
              \"speedup\": {}, \"cegar_rounds\": {}, \"blocks_validated\": {}, \
              \"blocks_considered\": {}, \"session_rebuilds\": {}, \
-             \"peak_live_clauses\": {}, \"warm_speedup\": {}, \
+             \"peak_live_clauses\": {}, \"sat_conflicts\": {}, \
+             \"sat_propagations\": {}, \"warm_speedup\": {}, \
              \"sessions_reused\": {}, \"sum_cache_hits\": {}, \
              \"entailment_memo_hits\": {}, \"phases\": {}}}{}\n",
             esc(&row.name),
@@ -260,6 +265,8 @@ pub fn rows_to_json(
             row.blocks_considered,
             row.session_rebuilds,
             row.peak_live_clauses,
+            row.sat_conflicts,
+            row.sat_propagations,
             row.warm_speedup
                 .map(|s| format!("{s:.4}"))
                 .unwrap_or_else(|| "null".into()),
@@ -325,6 +332,8 @@ fn finish(
         blocks_considered: stats.queries.blocks_considered,
         session_rebuilds: stats.queries.session_rebuilds,
         peak_live_clauses: stats.queries.live_clauses_peak,
+        sat_conflicts: stats.queries.sat.conflicts,
+        sat_propagations: stats.queries.sat.propagations,
         warm_speedup: None,
         sessions_reused: stats.sessions_reused,
         sum_cache_hits: stats.sum_cache_hits,
@@ -366,6 +375,8 @@ mod tests {
             "\"blocks_considered\"",
             "\"session_rebuilds\"",
             "\"peak_live_clauses\"",
+            "\"sat_conflicts\"",
+            "\"sat_propagations\"",
             "\"warm_speedup\": 2.0000",
             "\"sessions_reused\"",
             "\"sum_cache_hits\"",

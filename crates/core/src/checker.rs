@@ -73,6 +73,12 @@ pub struct Options {
     /// from `LEAPFROG_NO_BLAST_CACHE` (set `=1` to disable). Results are
     /// identical either way.
     pub blast_cache: bool,
+    /// Glucose-style two-tier LBD learnt-clause management in the CDCL
+    /// core (off falls back to activity-only deletion — the ablation
+    /// baseline). Defaults from `LEAPFROG_SAT_LBD` (set `=0` to disable).
+    /// Verdicts and witnesses are identical either way; only solver
+    /// wall-clock changes.
+    pub sat_lbd: bool,
 }
 
 impl Default for Options {
@@ -87,6 +93,7 @@ impl Default for Options {
             session_gc_ratio: session_gc_from_env(),
             session_gc_floor: session_gc_floor_from_env(),
             blast_cache: std::env::var("LEAPFROG_NO_BLAST_CACHE").as_deref() != Ok("1"),
+            sat_lbd: std::env::var("LEAPFROG_SAT_LBD").as_deref() != Ok("0"),
         }
     }
 }

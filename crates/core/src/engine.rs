@@ -62,7 +62,9 @@ use leapfrog_logic::wp::wp;
 use leapfrog_obs::{trace, Phase};
 use leapfrog_p4a::ast::{Automaton, StateId, Target};
 use leapfrog_p4a::sum::{sum, Sum};
-use leapfrog_smt::{CheckResult, InstLedger, QueryStats, SharedBlastCache, SmtSolver};
+use leapfrog_smt::{
+    CheckResult, InstLedger, QueryStats, SharedBlastCache, SmtSolver, SolverConfig, LBD_BUCKETS,
+};
 
 use crate::certificate::Certificate;
 use crate::checker::{strict_witness_violation, Options, Outcome};
@@ -93,6 +95,7 @@ pub const STATE_CORPUS_FILE: &str = "corpus.txt";
 /// | `LEAPFROG_SESSION_GC_FLOOR` | [`session_gc_floor`](Self::session_gc_floor) |
 /// | `LEAPFROG_STRICT_WITNESS` | [`strict_witness`](Self::strict_witness) |
 /// | `LEAPFROG_NO_BLAST_CACHE` | [`blast_cache`](Self::blast_cache) |
+/// | `LEAPFROG_SAT_LBD` | [`sat_lbd`](Self::sat_lbd) |
 /// | `LEAPFROG_WARM_CAP` | [`warm_capacity`](Self::warm_capacity) |
 ///
 /// Only `leaps`, `reach_pruning`, `early_stop` and `max_iterations`
@@ -121,6 +124,10 @@ pub struct EngineConfig {
     pub session_gc_floor: u64,
     /// Whether the shared structural CNF cache is enabled.
     pub blast_cache: bool,
+    /// Glucose-style two-tier LBD learnt-clause management in the CDCL
+    /// core (off = activity-only deletion, the ablation baseline).
+    /// Verdicts and witnesses are identical either way.
+    pub sat_lbd: bool,
     /// LRU capacity bound on the warm-state maps (`0` = unbounded): at
     /// most this many warm query-shape states, interned pairs, resident
     /// guard sessions per pool and instantiation-ledger entries stay
@@ -146,6 +153,7 @@ impl Default for EngineConfig {
             session_gc_ratio: Some(crate::checker::DEFAULT_SESSION_GC_RATIO),
             session_gc_floor: DEFAULT_SESSION_GC_FLOOR,
             blast_cache: true,
+            sat_lbd: true,
             warm_capacity: 0,
             state_dir: None,
         }
@@ -168,6 +176,7 @@ impl EngineConfig {
             session_gc_ratio: session_gc_from_env(),
             session_gc_floor: session_gc_floor_from_env(),
             blast_cache: std::env::var("LEAPFROG_NO_BLAST_CACHE").as_deref() != Ok("1"),
+            sat_lbd: std::env::var("LEAPFROG_SAT_LBD").as_deref() != Ok("0"),
             warm_capacity: warm_capacity_from_env(),
             ..EngineConfig::default()
         }
@@ -186,6 +195,7 @@ impl EngineConfig {
             session_gc_ratio: o.session_gc_ratio,
             session_gc_floor: o.session_gc_floor,
             blast_cache: o.blast_cache,
+            sat_lbd: o.sat_lbd,
             ..EngineConfig::default()
         }
     }
@@ -202,6 +212,7 @@ impl EngineConfig {
             session_gc_ratio: self.session_gc_ratio,
             session_gc_floor: self.session_gc_floor,
             blast_cache: self.blast_cache,
+            sat_lbd: self.sat_lbd,
         }
     }
 
@@ -261,6 +272,13 @@ impl EngineConfig {
     /// Enables or disables the shared blast cache (builder style).
     pub fn blast_cache(mut self, on: bool) -> Self {
         self.blast_cache = on;
+        self
+    }
+
+    /// Enables or disables LBD-tiered learnt-clause management in the
+    /// CDCL core (builder style).
+    pub fn sat_lbd(mut self, on: bool) -> Self {
+        self.sat_lbd = on;
         self
     }
 
@@ -724,6 +742,24 @@ mod meters {
     pub static WARM_EVICTIONS: LazyCounter = LazyCounter::new("leapfrog_warm_evictions_total");
     pub static PAIR_EVICTIONS: LazyCounter = LazyCounter::new("leapfrog_pair_evictions_total");
     pub static SLOW_QUERIES: LazyCounter = LazyCounter::new("leapfrog_slow_queries_total");
+    pub static SAT_DECISIONS: LazyCounter = LazyCounter::new("leapfrog_sat_decisions_total");
+    pub static SAT_PROPAGATIONS: LazyCounter = LazyCounter::new("leapfrog_sat_propagations_total");
+    pub static SAT_CONFLICTS: LazyCounter = LazyCounter::new("leapfrog_sat_conflicts_total");
+    pub static SAT_RESTARTS: LazyCounter = LazyCounter::new("leapfrog_sat_restarts_total");
+    pub static SAT_LEARNT_DELETED: LazyCounter =
+        LazyCounter::new("leapfrog_sat_learnt_deleted_total");
+    /// Learn-time LBD histogram as one counter per bucket (bucket `i`
+    /// counts learnt clauses with LBD `i + 1`; the last bucket is ≥ 8).
+    pub static SAT_LBD_BUCKETS: [LazyCounter; super::LBD_BUCKETS] = [
+        LazyCounter::new("leapfrog_sat_lbd_1_total"),
+        LazyCounter::new("leapfrog_sat_lbd_2_total"),
+        LazyCounter::new("leapfrog_sat_lbd_3_total"),
+        LazyCounter::new("leapfrog_sat_lbd_4_total"),
+        LazyCounter::new("leapfrog_sat_lbd_5_total"),
+        LazyCounter::new("leapfrog_sat_lbd_6_total"),
+        LazyCounter::new("leapfrog_sat_lbd_7_total"),
+        LazyCounter::new("leapfrog_sat_lbd_8_plus_total"),
+    ];
     pub static QUERY_SECONDS: LazyHistogram = LazyHistogram::new("leapfrog_query_seconds");
 }
 
@@ -1209,6 +1245,15 @@ impl Engine {
         self.stats.entailment_memo_hits += stats.entailment_memo_hits;
         self.stats.reach_cache_hits += stats.reach_cache_hits;
         self.stats.sum_cache_hits += stats.sum_cache_hits;
+        let sat = &stats.queries.sat;
+        meters::SAT_DECISIONS.add(sat.decisions);
+        meters::SAT_PROPAGATIONS.add(sat.propagations);
+        meters::SAT_CONFLICTS.add(sat.conflicts);
+        meters::SAT_RESTARTS.add(sat.restarts);
+        meters::SAT_LEARNT_DELETED.add(sat.deleted_clauses);
+        for (bucket, n) in meters::SAT_LBD_BUCKETS.iter().zip(sat.lbd_histogram) {
+            bucket.add(n);
+        }
     }
 
     /// Applies the [`EngineConfig::warm_capacity`] LRU bound between runs:
@@ -1521,6 +1566,7 @@ fn run_worklist(
         gc_ratio: opts.session_gc_ratio,
         gc_floor: opts.session_gc_floor,
         ledger: Some(ledger.clone()),
+        sat: SolverConfig { lbd: opts.sat_lbd },
     };
     warm.ensure_pools(threads, &session_cfg);
     let mut main_pool = warm.main_pool.take().expect("ensured above");

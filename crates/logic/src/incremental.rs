@@ -46,7 +46,7 @@ use leapfrog_bitvec::BitVec;
 use leapfrog_p4a::ast::Automaton;
 use leapfrog_smt::{
     instantiate_forall, BBit, BlastContext, BvVar, Declarations, Formula, InstLedger, QueryStats,
-    RefinementOracle, SharedBlastCache,
+    RefinementOracle, SharedBlastCache, SolverConfig, SolverStats,
 };
 
 use crate::confrel::ConfRel;
@@ -73,7 +73,7 @@ mod meters {
 
 /// Typed configuration for guard sessions and session pools — the knobs a
 /// long-lived engine owns, as one value instead of a parameter sprawl.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SessionConfig {
     /// Clause-budget GC ratio: rebuild the context when retired clauses
     /// exceed `ratio ×` live clauses. `None` disables the GC.
@@ -87,6 +87,24 @@ pub struct SessionConfig {
     /// keyed by canonical block identity and support valuation, shared by
     /// every session of an engine (across guards, pools and threads).
     pub ledger: Option<InstLedger>,
+    /// CDCL solver construction knobs for every context this session (or
+    /// pool) creates — including GC-rebuild replacements. Engines read
+    /// the `LEAPFROG_SAT_*` environment once and pass the result here.
+    pub sat: SolverConfig,
+}
+
+impl Default for SessionConfig {
+    /// GC and ledger off; solver knobs from the `LEAPFROG_SAT_*`
+    /// environment (standalone sessions mirror what a fresh
+    /// [`BlastContext::new`] would do).
+    fn default() -> SessionConfig {
+        SessionConfig {
+            gc_ratio: None,
+            gc_floor: 0,
+            ledger: None,
+            sat: SolverConfig::from_env(),
+        }
+    }
 }
 
 impl SessionConfig {
@@ -120,6 +138,11 @@ pub struct GuardSession {
     /// Queries answered (used to freshen conclusion variable names).
     checks: u64,
     stats: QueryStats,
+    /// CDCL counters no longer reachable through the live context: the
+    /// solvers GC rebuilds dropped, plus the oracle's short-lived
+    /// validation solves. `stats.sat` is always `sat_retired` + the live
+    /// context's counters, so totals survive rebuilds.
+    sat_retired: SolverStats,
 }
 
 impl GuardSession {
@@ -154,15 +177,16 @@ impl GuardSession {
                 guard_left: guard.left.buf_len,
                 guard_right: guard.right.buf_len,
             },
-            ctx: BlastContext::new(),
+            ctx: BlastContext::with_config(cfg.sat),
             premise_count: 0,
-            oracle: RefinementOracle::new(),
+            oracle: RefinementOracle::with_solver_config(cfg.sat),
             permanent: Vec::new(),
             live_clauses: 0,
             cfg,
             poisoned: false,
             checks: 0,
             stats: QueryStats::default(),
+            sat_retired: SolverStats::default(),
         }
     }
 
@@ -198,7 +222,8 @@ impl GuardSession {
         if (self.retired_clauses() as f64) <= ratio * self.live_clauses.max(1) as f64 {
             return;
         }
-        self.ctx = BlastContext::new();
+        self.sat_retired.absorb(&self.ctx.solver().stats());
+        self.ctx = BlastContext::with_config(self.cfg.sat);
         self.live_clauses = 0;
         self.stats.session_rebuilds += 1;
         meters::SESSION_REBUILDS.inc();
@@ -268,6 +293,7 @@ impl GuardSession {
         }
         self.premise_count = premises.len();
         if self.poisoned {
+            self.sync_sat_stats();
             let elapsed = start.elapsed();
             meters::GUARD_CHECK_SECONDS.record(elapsed);
             self.stats.durations.push(elapsed);
@@ -290,6 +316,7 @@ impl GuardSession {
         match self.ctx.blast_formula(&self.decls, &negated) {
             BBit::Const(false) => {
                 // ¬ψ is contradictory on its own: ψ holds outright.
+                self.sync_sat_stats();
                 let elapsed = start.elapsed();
                 meters::GUARD_CHECK_SECONDS.record(elapsed);
                 self.stats.durations.push(elapsed);
@@ -303,6 +330,7 @@ impl GuardSession {
             BBit::Lit(root) => {
                 if !self.ctx.add_clause_raw(&[!act, root]) {
                     self.poisoned = true;
+                    self.sync_sat_stats();
                     let elapsed = start.elapsed();
                     meters::GUARD_CHECK_SECONDS.record(elapsed);
                     self.stats.durations.push(elapsed);
@@ -328,6 +356,7 @@ impl GuardSession {
                             .validate_with(&self.decls, &model, self.cfg.ledger.as_ref());
                     self.stats.blocks_validated += round.validated;
                     self.stats.inst_ledger_hits += round.ledger_hits;
+                    self.sat_retired.absorb(&round.sat);
                     match round.refinement {
                         None => break false,
                         Some(batch) => {
@@ -346,10 +375,19 @@ impl GuardSession {
             .stats
             .live_clauses_peak
             .max(self.ctx.num_clauses() as u64);
+        self.sync_sat_stats();
         let elapsed = start.elapsed();
         meters::GUARD_CHECK_SECONDS.record(elapsed);
         self.stats.durations.push(elapsed);
         verdict
+    }
+
+    /// Refreshes the session's solver-counter aggregate: the counters of
+    /// every context this session has retired plus the live context's.
+    fn sync_sat_stats(&mut self) {
+        let mut sat = self.sat_retired;
+        sat.absorb(&self.ctx.solver().stats());
+        self.stats.sat = sat;
     }
 
     /// Asserts `f` permanently: it joins the persisted list replayed by GC
@@ -717,7 +755,7 @@ mod tests {
             SessionConfig {
                 gc_ratio: Some(0.001),
                 gc_floor: 1_000_000,
-                ledger: None,
+                ..SessionConfig::default()
             },
         );
         for upto in 0..=premises.len() {

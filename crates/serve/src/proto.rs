@@ -63,7 +63,7 @@ use leapfrog_cex::{Disagreement, Refutation, Witness};
 use leapfrog_logic::confrel::ConfRel;
 use leapfrog_logic::templates::TemplatePair;
 use leapfrog_obs::{MetricsSnapshot, Phase, PhaseBreakdown, PhaseStat, SlowQuery};
-use leapfrog_smt::QueryStats;
+use leapfrog_smt::{QueryStats, SolverStats, LBD_BUCKETS};
 
 /// Upper bound on a single frame's payload. Certificates on the full
 /// Table 2 scale stay far under this; anything larger is a protocol
@@ -626,6 +626,7 @@ pub fn query_stats_to_value(q: &QueryStats) -> Value {
             json::num(q.blast_cache_misses as usize),
         ),
         ("inst_ledger_hits", json::num(q.inst_ledger_hits as usize)),
+        ("sat", solver_stats_to_value(&q.sat)),
         (
             "durations_nanos",
             Value::Arr(q.durations.iter().map(|d| duration_to_value(*d)).collect()),
@@ -649,11 +650,61 @@ pub fn query_stats_from_value(v: &Value) -> Result<QueryStats, String> {
         blast_cache_hits: n("blast_cache_hits")?,
         blast_cache_misses: n("blast_cache_misses")?,
         inst_ledger_hits: n("inst_ledger_hits")?,
+        sat: solver_stats_from_value(json::get(v, "sat").map_err(err)?)?,
         durations: json::as_arr(json::get(v, "durations_nanos").map_err(err)?)
             .map_err(err)?
             .iter()
             .map(duration_from_value)
             .collect::<Result<_, _>>()?,
+    })
+}
+
+/// Encodes the CDCL solver counters nested inside query statistics.
+pub fn solver_stats_to_value(s: &SolverStats) -> Value {
+    json::obj(vec![
+        ("decisions", json::num(s.decisions as usize)),
+        ("propagations", json::num(s.propagations as usize)),
+        ("conflicts", json::num(s.conflicts as usize)),
+        ("restarts", json::num(s.restarts as usize)),
+        ("deleted_clauses", json::num(s.deleted_clauses as usize)),
+        ("learnt_clauses", json::num(s.learnt_clauses as usize)),
+        (
+            "lbd_histogram",
+            Value::Arr(
+                s.lbd_histogram
+                    .iter()
+                    .map(|&n| json::num(n as usize))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes the CDCL solver counters.
+pub fn solver_stats_from_value(v: &Value) -> Result<SolverStats, String> {
+    let err = |e: json::JsonError| e.to_string();
+    let n = |k: &str| -> Result<u64, String> {
+        Ok(json::as_usize(json::get(v, k).map_err(err)?).map_err(err)? as u64)
+    };
+    let hist_values = json::as_arr(json::get(v, "lbd_histogram").map_err(err)?).map_err(err)?;
+    if hist_values.len() != LBD_BUCKETS {
+        return Err(format!(
+            "lbd_histogram has {} buckets, expected {LBD_BUCKETS}",
+            hist_values.len()
+        ));
+    }
+    let mut lbd_histogram = [0u64; LBD_BUCKETS];
+    for (slot, v) in lbd_histogram.iter_mut().zip(hist_values) {
+        *slot = json::as_usize(v).map_err(err)? as u64;
+    }
+    Ok(SolverStats {
+        decisions: n("decisions")?,
+        propagations: n("propagations")?,
+        conflicts: n("conflicts")?,
+        restarts: n("restarts")?,
+        deleted_clauses: n("deleted_clauses")?,
+        learnt_clauses: n("learnt_clauses")?,
+        lbd_histogram,
     })
 }
 

@@ -16,7 +16,7 @@ use leapfrog_serve::proto::{
     run_stats_to_value, wire_outcome_from_value, wire_outcome_to_value, wire_witness_of, PairSpec,
     Request, WireOptions, WireOutcome,
 };
-use leapfrog_smt::QueryStats;
+use leapfrog_smt::{QueryStats, SolverStats};
 use leapfrog_suite::mutants::mutant_benchmarks;
 use leapfrog_suite::utility::sloppy_strict;
 use leapfrog_suite::{standard_benchmarks, Scale};
@@ -166,6 +166,15 @@ fn run_stats_roundtrip_randomized() {
                 blast_cache_hits: next() % 100_000,
                 blast_cache_misses: next() % 100_000,
                 inst_ledger_hits: next() % 10_000,
+                sat: SolverStats {
+                    decisions: next() % 1_000_000,
+                    propagations: next() % 100_000_000,
+                    conflicts: next() % 1_000_000,
+                    restarts: next() % 10_000,
+                    deleted_clauses: next() % 1_000_000,
+                    learnt_clauses: next() % 1_000_000,
+                    lbd_histogram: std::array::from_fn(|_| next() % 100_000),
+                },
                 durations: (0..(next() % 8))
                     .map(|_| Duration::from_nanos(next() % 5_000_000_000))
                     .collect(),

@@ -27,7 +27,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use leapfrog_bitvec::BitVec;
-use leapfrog_sat::{Lit, SolveResult, Solver, Var};
+use leapfrog_sat::{Lit, SolveResult, Solver, SolverConfig, SolverStats, Var};
 
 use crate::term::{BvVar, Declarations, Formula, Model, Term};
 
@@ -279,10 +279,18 @@ impl Default for BlastContext {
 }
 
 impl BlastContext {
-    /// Creates an empty context.
+    /// Creates an empty context over a solver configured from the
+    /// `LEAPFROG_SAT_*` environment (the ambient-compat path).
     pub fn new() -> Self {
+        BlastContext::with_config(SolverConfig::from_env())
+    }
+
+    /// Creates an empty context over a solver with an explicit
+    /// configuration — the typed path engines use so the knob is read
+    /// once at engine construction, not once per query context.
+    pub fn with_config(cfg: SolverConfig) -> Self {
         BlastContext {
-            engine: Engine::new(Solver::new()),
+            engine: Engine::new(Solver::with_config(cfg)),
         }
     }
 
@@ -756,12 +764,26 @@ impl SharedBlastCache {
 
 /// Convenience: checks satisfiability of a single quantifier-free formula.
 pub fn sat_qf(decls: &Declarations, f: &Formula) -> Option<Model> {
+    sat_qf_counting(decls, SolverConfig::from_env(), f).0
+}
+
+/// [`sat_qf`] with an explicit solver configuration and the short-lived
+/// context's CDCL counters handed back, so callers (the CEGAR validation
+/// path) can fold the work into their query statistics instead of losing
+/// it with the context.
+pub fn sat_qf_counting(
+    decls: &Declarations,
+    cfg: SolverConfig,
+    f: &Formula,
+) -> (Option<Model>, SolverStats) {
     debug_assert!(f.is_quantifier_free());
-    let mut ctx = BlastContext::new();
+    let mut ctx = BlastContext::with_config(cfg);
     if !ctx.assert_formula(decls, f) {
-        return None;
+        return (None, ctx.solver().stats());
     }
-    ctx.solve(decls)
+    let m = ctx.solve(decls);
+    let stats = ctx.solver().stats();
+    (m, stats)
 }
 
 #[allow(unused)]

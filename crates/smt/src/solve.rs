@@ -18,9 +18,10 @@ use std::time::{Duration, Instant};
 use leapfrog_bitvec::BitVec;
 use std::collections::HashMap;
 
-use crate::blast::{canonical_key, sat_qf, BlastContext, SharedBlastCache};
+use crate::blast::{canonical_key, sat_qf_counting, BlastContext, SharedBlastCache};
 use crate::smtlib;
 use crate::term::{BvVar, Declarations, Formula, Model, Term};
+use leapfrog_sat::{SolverConfig, SolverStats};
 
 /// Global metric handles for the solving core. Counters mirror the
 /// per-query [`QueryStats`] fields but accumulate process-wide, so the
@@ -83,6 +84,12 @@ pub struct QueryStats {
     /// ledger instead of a quantifier-free solve (sessions sharing a guard
     /// shape re-encounter the same (block, support valuation) pairs).
     pub inst_ledger_hits: u64,
+    /// CDCL solver counters (decisions, propagations, conflicts, restarts,
+    /// learnt/deleted clauses, learn-time LBD histogram) summed over every
+    /// solver context that served these queries: entailment-session
+    /// contexts (across GC rebuilds), one-shot contexts and the
+    /// quantifier-free validation solves of the CEGAR oracle.
+    pub sat: SolverStats,
     /// Wall-clock time per query, in the order issued.
     pub durations: Vec<Duration>,
 }
@@ -116,6 +123,7 @@ impl QueryStats {
         self.blast_cache_hits += other.blast_cache_hits;
         self.blast_cache_misses += other.blast_cache_misses;
         self.inst_ledger_hits += other.inst_ledger_hits;
+        self.sat.absorb(&other.sat);
         self.durations.extend(other.durations.iter().copied());
     }
 
@@ -135,6 +143,7 @@ impl QueryStats {
             blast_cache_hits: self.blast_cache_hits - base.blast_cache_hits,
             blast_cache_misses: self.blast_cache_misses - base.blast_cache_misses,
             inst_ledger_hits: self.inst_ledger_hits - base.inst_ledger_hits,
+            sat: self.sat.delta_since(&base.sat),
             durations: self.durations[base.durations.len().min(self.durations.len())..].to_vec(),
         }
     }
@@ -230,6 +239,7 @@ struct SolveMeters {
     blocks_validated: u64,
     cache_hits: u64,
     cache_misses: u64,
+    sat: SolverStats,
 }
 
 impl SolveMeters {
@@ -239,6 +249,7 @@ impl SolveMeters {
         stats.blocks_validated += self.blocks_validated;
         stats.blast_cache_hits += self.cache_hits;
         stats.blast_cache_misses += self.cache_misses;
+        stats.sat.absorb(&self.sat);
     }
 }
 
@@ -320,23 +331,32 @@ fn check_sat_counting(
         oracle.add_block(xs, body);
     }
     if !ok {
+        meters.sat.absorb(&ctx.solver().stats());
         return (SatOutcome::Unsat, meters);
     }
 
     loop {
         let _round_span = leapfrog_obs::trace::span(leapfrog_obs::Phase::CegarRound);
         match ctx.solve(&decls) {
-            None => return (SatOutcome::Unsat, meters),
+            None => {
+                meters.sat.absorb(&ctx.solver().stats());
+                return (SatOutcome::Unsat, meters);
+            }
             Some(model) => {
                 meters.rounds += 1;
                 meters::CEGAR_ROUNDS.inc();
                 meters.blocks_considered += oracle.len() as u64;
                 let round = oracle.validate(&decls, &model);
                 meters.blocks_validated += round.validated;
+                meters.sat.absorb(&round.sat);
                 match round.refinement {
-                    None => return (SatOutcome::Sat(model), meters),
+                    None => {
+                        meters.sat.absorb(&ctx.solver().stats());
+                        return (SatOutcome::Sat(model), meters);
+                    }
                     Some(batch) => {
                         if !assert(&mut ctx, &decls, &batch, &mut meters) {
+                            meters.sat.absorb(&ctx.solver().stats());
                             return (SatOutcome::Unsat, meters);
                         }
                     }
@@ -625,6 +645,9 @@ pub struct OracleRound {
     /// Blocks whose verdict (clean, or violated with a recorded witness)
     /// was replayed from the cross-session [`InstLedger`] without a solve.
     pub ledger_hits: u64,
+    /// CDCL counters of the quantifier-free validation solves this round
+    /// (each validation runs in its own short-lived solver context).
+    pub sat: SolverStats,
 }
 
 /// The variable-indexed CEGAR model validator.
@@ -646,15 +669,32 @@ pub struct OracleRound {
 ///
 /// Verdicts are exact: a model is reported clean only after every block
 /// either solved clean or matched a previously-clean support valuation.
-#[derive(Default)]
 pub struct RefinementOracle {
     blocks: Vec<OracleBlock>,
+    /// Construction knobs for the short-lived validation solvers.
+    sat_cfg: SolverConfig,
+}
+
+impl Default for RefinementOracle {
+    fn default() -> RefinementOracle {
+        RefinementOracle::new()
+    }
 }
 
 impl RefinementOracle {
-    /// An oracle with no blocks.
+    /// An oracle with no blocks; validation solvers configured from the
+    /// `LEAPFROG_SAT_*` environment.
     pub fn new() -> RefinementOracle {
-        RefinementOracle::default()
+        RefinementOracle::with_solver_config(SolverConfig::from_env())
+    }
+
+    /// An oracle with no blocks whose validation solves run under an
+    /// explicit solver configuration (the typed path guard sessions use).
+    pub fn with_solver_config(sat_cfg: SolverConfig) -> RefinementOracle {
+        RefinementOracle {
+            blocks: Vec::new(),
+            sat_cfg,
+        }
     }
 
     /// Registers a `∀xs. body` block. The caller is responsible for
@@ -769,7 +809,14 @@ impl RefinementOracle {
                 .zip(&valuation)
                 .map(|(v, val)| (*v, Term::lit(val.clone())))
                 .collect();
-            match refute_closed(decls, &block.xs, &block.body, &map) {
+            match refute_closed(
+                decls,
+                self.sat_cfg,
+                &block.xs,
+                &block.body,
+                &map,
+                &mut round.sat,
+            ) {
                 Some(witness) => {
                     if let (Some(ledger), Some(lkey)) = (ledger, lkey) {
                         let canon = block.canon.as_ref().unwrap();
@@ -824,7 +871,14 @@ pub fn violates_forall(
             map.insert(v, Term::lit(value));
         }
     }
-    refute_closed(decls, xs, body, &map)
+    refute_closed(
+        decls,
+        SolverConfig::from_env(),
+        xs,
+        body,
+        &map,
+        &mut SolverStats::default(),
+    )
 }
 
 /// Closes `body`'s support variables with `map` and searches for values
@@ -832,12 +886,16 @@ pub fn violates_forall(
 /// [`violates_forall`] and [`RefinementOracle::validate`].
 fn refute_closed(
     decls: &Declarations,
+    sat_cfg: SolverConfig,
     xs: &[BvVar],
     body: &Formula,
     map: &HashMap<BvVar, Term>,
+    sat: &mut SolverStats,
 ) -> Option<Vec<BitVec>> {
     let closed = Formula::not(body.subst(map));
-    let m = sat_qf(decls, &closed)?;
+    let (m, solve_stats) = sat_qf_counting(decls, sat_cfg, &closed);
+    sat.absorb(&solve_stats);
+    let m = m?;
     Some(
         xs.iter()
             .map(|x| {

@@ -232,6 +232,7 @@ fn config_from_options_round_trips() {
         session_gc_ratio: Some(2.5),
         session_gc_floor: 64,
         blast_cache: false,
+        sat_lbd: false,
     };
     let cfg = EngineConfig::from_options(&opts);
     let back = cfg.options();

@@ -255,6 +255,64 @@ fn certificates_and_witnesses_identical_across_session_gc_settings() {
 }
 
 #[test]
+fn results_are_byte_identical_with_lbd_management_on_and_off() {
+    // The LBD two-tier learnt-clause policy only changes which learnt
+    // clauses the SAT core retains — never a verdict, certificate byte, or
+    // witness byte. Certificates, witnesses, and the query trajectory must
+    // be identical with the policy disabled (activity-only deletion).
+    for (name, left, ql, right, qr) in equivalent_pairs() {
+        let mut jsons = Vec::new();
+        let mut queries = Vec::new();
+        for lbd in [true, false] {
+            let opts = Options {
+                sat_lbd: lbd,
+                ..opts(2)
+            };
+            let mut checker = Checker::new(&left, ql, &right, qr, opts);
+            match checker.run() {
+                Outcome::Equivalent(cert) => jsons.push(cert.to_json()),
+                other => panic!("{name}: expected Equivalent at lbd={lbd}, got {other:?}"),
+            }
+            queries.push(checker.stats().queries.queries);
+        }
+        assert_eq!(
+            jsons[0], jsons[1],
+            "{name}: certificate JSON differs with LBD management off"
+        );
+        assert_eq!(
+            queries[0], queries[1],
+            "{name}: query trajectory differs with LBD management off"
+        );
+    }
+    // And a refuted pair: the rendered witness must survive the toggle.
+    let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
+    let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
+    let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
+    let mut rendered = Vec::new();
+    for lbd in [true, false] {
+        let opts = Options {
+            sat_lbd: lbd,
+            ..opts(2)
+        };
+        let mut checker = Checker::new(&sloppy, ql, &strict, qr, opts);
+        match checker.run() {
+            Outcome::NotEquivalent(refutation) => {
+                let w = refutation
+                    .witness()
+                    .unwrap_or_else(|| panic!("witness must confirm at lbd={lbd}"));
+                assert!(w.check());
+                rendered.push(format!("{w}"));
+            }
+            other => panic!("expected NotEquivalent at lbd={lbd}, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        rendered[0], rendered[1],
+        "witness rendering differs with LBD management off"
+    );
+}
+
+#[test]
 fn oracle_skips_validations_on_a_real_row() {
     // The variable-indexed oracle must actually save validation solves on
     // a row with quantified premises (blocks_validated < blocks_considered
