@@ -17,7 +17,11 @@
 //!
 //! Every run appends one snapshot line (commit, timestamp, scale, cores,
 //! per-row runtimes, registry counters) to `BENCH_history.jsonl` — the
-//! persisted perf trajectory. Tracing is on by default so the emitted
+//! persisted perf trajectory. On multi-core hosts each row additionally
+//! records its cold wall-clock at 1 and at 4 engine worker threads
+//! (`cold_t1_secs` / `cold_t4_secs`, the intra-query parallel axis), so
+//! both parallelism dimensions trend: intra-query here, inter-query in
+//! `fleet_bench`'s snapshots. Tracing is on by default so the emitted
 //! rows carry a per-phase time breakdown (`LEAPFROG_TRACE=0` disables).
 //!
 //! Flags / environment:
@@ -71,20 +75,31 @@ const SANITY_PAIR: &str = "Sanity check (sloppy vs strict)";
 
 /// Runs a row runner against the persistent engine. Unless disabled, a
 /// `threads = 1` *cold* baseline (its own transient engine) runs first,
-/// reporting the wall-time speedup; then the row is measured through the
-/// persistent engine and immediately re-run warm, filling the warm-reuse
-/// columns. The allocator peak is reset after the baseline and read back
-/// *before* the warm pass, so the returned peak covers the measured run
-/// only — on top of the engine-resident floor (warm sessions, memos and
-/// caches from earlier rows stay live; the Memory column is the serving
-/// footprint, not an isolated per-row cost).
+/// reporting the wall-time speedup; on a multi-core host a `threads = 4`
+/// cold run follows, so every row records both points of the intra-query
+/// parallel axis (`cold_t1` / `cold_t4` — ROADMAP item 3's trend). Then
+/// the row is measured through the persistent engine and immediately
+/// re-run warm, filling the warm-reuse columns. The allocator peak is
+/// reset after the baselines and read back *before* the warm pass, so
+/// the returned peak covers the measured run only — on top of the
+/// engine-resident floor (warm sessions, memos and caches from earlier
+/// rows stay live; the Memory column is the serving footprint, not an
+/// isolated per-row cost).
 fn measure(
     engine: &mut Engine,
     run: &dyn Fn(&mut Engine) -> RowResult,
     baseline: bool,
+    cores: usize,
 ) -> (RowResult, usize) {
-    let single = if baseline && engine.config().effective_threads() > 1 {
+    let intra = baseline && cores >= 2;
+    let single = if baseline && (intra || engine.config().effective_threads() > 1) {
         let mut cold = Engine::new(engine.config().clone().threads(1));
+        Some(run(&mut cold).runtime)
+    } else {
+        None
+    };
+    let quad = if intra {
+        let mut cold = Engine::new(engine.config().clone().threads(4));
         Some(run(&mut cold).runtime)
     } else {
         None
@@ -97,6 +112,8 @@ fn measure(
         None if engine.config().effective_threads() == 1 => Some(1.0),
         None => None,
     };
+    row.cold_t1 = single;
+    row.cold_t4 = quad;
     let warm = run(engine);
     row.absorb_warm(&warm);
     (row, peak)
@@ -298,6 +315,7 @@ fn main() {
             &mut engine,
             &|e: &mut Engine| run_row_in(e, bench),
             baseline,
+            cores,
         );
         if let Some(w) = &row.witness {
             corpus.record(&row.name, w);
@@ -305,9 +323,9 @@ fn main() {
         print_row(row, mem, &mut measured);
     }
     // Rows 5–6: the relational case studies.
-    let (row, mem) = measure(&mut engine, &run_relational_verification_in, baseline);
+    let (row, mem) = measure(&mut engine, &run_relational_verification_in, baseline, cores);
     print_row(row, mem, &mut measured);
-    let (row, mem) = measure(&mut engine, &run_external_filtering_in, baseline);
+    let (row, mem) = measure(&mut engine, &run_external_filtering_in, baseline, cores);
     print_row(row, mem, &mut measured);
     // Applicability self-comparisons.
     for bench in applicability {
@@ -316,6 +334,7 @@ fn main() {
             &mut engine,
             &|e: &mut Engine| run_row_in(e, bench),
             baseline,
+            cores,
         );
         if let Some(w) = &row.witness {
             corpus.record(&row.name, w);
@@ -327,6 +346,7 @@ fn main() {
         &mut engine,
         &|e: &mut Engine| run_translation_validation_in(e, scale),
         baseline,
+        cores,
     );
     print_row(row, mem, &mut measured);
 
@@ -484,6 +504,8 @@ fn main() {
         "\"peak_live_clauses\"",
         "\"sat_conflicts\"",
         "\"sat_propagations\"",
+        "\"cold_t1_secs\"",
+        "\"cold_t4_secs\"",
         "\"warm_speedup\"",
         "\"sessions_reused\"",
         "\"sum_cache_hits\"",
@@ -493,6 +515,22 @@ fn main() {
         if have != measured.len() {
             failures.push(format!(
                 "{key} present in {have}/{} emitted rows",
+                measured.len()
+            ));
+        }
+    }
+    // The intra-query parallel axis must be *measured* (not just null)
+    // wherever the host can: a multi-core machine with the baseline runs
+    // enabled has no excuse for a missing cold_t1/cold_t4 point.
+    if cores >= 2 && baseline {
+        let unmeasured = measured
+            .iter()
+            .filter(|(r, _)| r.cold_t1.is_none() || r.cold_t4.is_none())
+            .count();
+        if unmeasured > 0 {
+            failures.push(format!(
+                "{unmeasured}/{} rows are missing the cold_t1/cold_t4 intra-query \
+                 measurements despite {cores} core(s)",
                 measured.len()
             ));
         }
@@ -570,7 +608,7 @@ struct HistorySnapshot {
     total_runtime_secs: f64,
     best_warm_speedup: Option<f64>,
     batch_parallel_speedup: Option<f64>,
-    rows: Vec<(String, f64, Option<f64>)>,
+    rows: Vec<(String, f64, Option<f64>, Option<f64>, Option<f64>)>,
 }
 
 /// A prior snapshot reduced to the two gated quantities.
@@ -613,7 +651,15 @@ impl HistorySnapshot {
             batch_parallel_speedup,
             rows: measured
                 .iter()
-                .map(|(r, _)| (r.name.clone(), r.runtime.as_secs_f64(), r.warm_speedup))
+                .map(|(r, _)| {
+                    (
+                        r.name.clone(),
+                        r.runtime.as_secs_f64(),
+                        r.warm_speedup,
+                        r.cold_t1.map(|d| d.as_secs_f64()),
+                        r.cold_t4.map(|d| d.as_secs_f64()),
+                    )
+                })
                 .collect(),
         }
     }
@@ -627,11 +673,13 @@ impl HistorySnapshot {
         let rows: Vec<Value> = self
             .rows
             .iter()
-            .map(|(name, secs, warm)| {
+            .map(|(name, secs, warm, cold_t1, cold_t4)| {
                 json::obj(vec![
                     ("name", Value::Str(name.clone())),
                     ("runtime_secs", Value::Num(*secs)),
                     ("warm_speedup", opt(*warm)),
+                    ("cold_t1_secs", opt(*cold_t1)),
+                    ("cold_t4_secs", opt(*cold_t4)),
                 ])
             })
             .collect();

@@ -61,6 +61,13 @@ pub struct RowResult {
     pub sat_conflicts: u64,
     /// CDCL unit propagations across every SAT solve of the run.
     pub sat_propagations: u64,
+    /// Cold wall-clock of this row on a transient engine pinned to 1
+    /// worker thread — the intra-query parallel axis's baseline point
+    /// (`None` when the host cannot measure it).
+    pub cold_t1: Option<Duration>,
+    /// Cold wall-clock of this row on a transient engine pinned to 4
+    /// worker threads — the intra-query parallel axis's scaled point.
+    pub cold_t4: Option<Duration>,
     /// Wall-time speedup of a warm re-run of this row through the same
     /// engine (`None` until the warm pass is measured).
     pub warm_speedup: Option<f64>,
@@ -241,7 +248,8 @@ pub fn rows_to_json(
              \"speedup\": {}, \"cegar_rounds\": {}, \"blocks_validated\": {}, \
              \"blocks_considered\": {}, \"session_rebuilds\": {}, \
              \"peak_live_clauses\": {}, \"sat_conflicts\": {}, \
-             \"sat_propagations\": {}, \"warm_speedup\": {}, \
+             \"sat_propagations\": {}, \"cold_t1_secs\": {}, \
+             \"cold_t4_secs\": {}, \"warm_speedup\": {}, \
              \"sessions_reused\": {}, \"sum_cache_hits\": {}, \
              \"entailment_memo_hits\": {}, \"phases\": {}}}{}\n",
             esc(&row.name),
@@ -267,6 +275,12 @@ pub fn rows_to_json(
             row.peak_live_clauses,
             row.sat_conflicts,
             row.sat_propagations,
+            row.cold_t1
+                .map(|d| format!("{:.6}", d.as_secs_f64()))
+                .unwrap_or_else(|| "null".into()),
+            row.cold_t4
+                .map(|d| format!("{:.6}", d.as_secs_f64()))
+                .unwrap_or_else(|| "null".into()),
             row.warm_speedup
                 .map(|s| format!("{s:.4}"))
                 .unwrap_or_else(|| "null".into()),
@@ -334,6 +348,8 @@ fn finish(
         peak_live_clauses: stats.queries.live_clauses_peak,
         sat_conflicts: stats.queries.sat.conflicts,
         sat_propagations: stats.queries.sat.propagations,
+        cold_t1: None,
+        cold_t4: None,
         warm_speedup: None,
         sessions_reused: stats.sessions_reused,
         sum_cache_hits: stats.sum_cache_hits,
@@ -364,6 +380,8 @@ mod tests {
         let mut row = run_row(&bench, Options::default());
         row.speedup = Some(1.25);
         row.warm_speedup = Some(2.0);
+        row.cold_t1 = Some(Duration::from_millis(500));
+        row.cold_t4 = Some(Duration::from_millis(250));
         let json = rows_to_json(&[(row, Some(1024))], true, Some(1.5), 4);
         for key in [
             "\"threads\"",
@@ -377,6 +395,8 @@ mod tests {
             "\"peak_live_clauses\"",
             "\"sat_conflicts\"",
             "\"sat_propagations\"",
+            "\"cold_t1_secs\": 0.500000",
+            "\"cold_t4_secs\": 0.250000",
             "\"warm_speedup\": 2.0000",
             "\"sessions_reused\"",
             "\"sum_cache_hits\"",

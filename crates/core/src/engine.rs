@@ -432,7 +432,7 @@ pub trait WitnessSink: Send {
 }
 
 /// Cumulative reuse counters over an engine's lifetime.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Queries answered (including every batch member).
     pub checks: u64,
@@ -511,6 +511,18 @@ fn pair_fingerprint(left: &Automaton, ql: StateId, right: &Automaton, qr: StateI
         h.finish()
     };
     (run(0), run(0x5eed_1eaf))
+}
+
+/// The stable 128-bit routing fingerprint of a query pair: both salted
+/// [`pair_fingerprint`] halves packed into one integer — the same key
+/// that indexes persisted warm state. A fleet deployment routes a pair
+/// to shard `route_fingerprint(..) % workers`, so a pair always lands
+/// on the shard whose warm universe already knows it, and a saved state
+/// dir can be re-partitioned deterministically when the worker count
+/// changes (see [`Engine::import_memos_routed`]).
+pub fn route_fingerprint(left: &Automaton, ql: StateId, right: &Automaton, qr: StateId) -> u128 {
+    let (fp, fp2) = pair_fingerprint(left, ql, right, qr);
+    ((fp as u128) << 64) | fp2 as u128
 }
 
 /// Everything that determines a query's result (given a pair): two
@@ -1014,6 +1026,45 @@ impl Engine {
                 notes.join(", ")
             ));
         }
+    }
+
+    /// Imports persisted entailment memos from another engine's state
+    /// directory, keeping only the pairs whose 128-bit routing
+    /// fingerprint satisfies `keep`. This is the shard-merge path: when
+    /// a fleet restarts at a different worker count, every new shard
+    /// feeds each saved `shard-<i>/` directory through this with
+    /// `keep = |fp| fp % workers == shard`, so memo entries re-route to
+    /// the shard that will intern their pair. Content-keyed artifacts
+    /// (blast cache, ledger) are not fingerprint-routed and degrade to
+    /// cold. Returns the number of memoized verdicts adopted.
+    pub fn import_memos_routed(
+        &mut self,
+        dir: impl AsRef<Path>,
+        keep: &dyn Fn(u128) -> bool,
+    ) -> Result<usize, String> {
+        let path = dir.as_ref().join(STATE_MEMO_FILE);
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let saved = memos_from_json(&text)?;
+        let mut adopted = 0usize;
+        for ((fp, fp2), entries) in saved {
+            if !keep(((fp as u128) << 64) | fp2 as u128) {
+                continue;
+            }
+            adopted += entries.iter().map(|(_, memo)| memo.len()).sum::<usize>();
+            self.saved_warm.entry((fp, fp2)).or_default().extend(entries);
+        }
+        if adopted > 0 {
+            let note = format!(
+                "merged {adopted} routed verdicts from {}",
+                dir.as_ref().display()
+            );
+            self.state_report = Some(match self.state_report.take() {
+                Some(prev) => format!("{prev}; {note}"),
+                None => note,
+            });
+        }
+        Ok(adopted)
     }
 
     /// Interns an automaton pair: on first sight the disjoint sum and root
@@ -2025,6 +2076,88 @@ mod tests {
             .with_state_dir("/nonexistent/leapfrog-state")
             .build();
         assert!(engine.state_report().is_none());
+    }
+
+    #[test]
+    fn route_fingerprint_is_stable_and_separates_pairs() {
+        let (a, sa, b, sb) = pair_a();
+        let (c, sc, d, sd) = pair_b();
+        // Deterministic across calls (and, because DefaultHasher is
+        // deterministically keyed, across processes of the same build):
+        // the shard index `fp % N` never moves for a given pair.
+        let fp = route_fingerprint(&a, sa, &b, sb);
+        assert_eq!(fp, route_fingerprint(&a, sa, &b, sb));
+        assert_eq!(fp, route_fingerprint(&a.clone(), sa, &b.clone(), sb));
+        assert_ne!(fp, route_fingerprint(&c, sc, &d, sd));
+        // The packed value is exactly the persisted warm-state key, so
+        // routed memo import and intern-time claiming agree.
+        let (half, half2) = pair_fingerprint(&a, sa, &b, sb);
+        assert_eq!(fp, ((half as u128) << 64) | half2 as u128);
+    }
+
+    #[test]
+    fn routed_memo_import_partitions_by_fingerprint() {
+        let dir = std::env::temp_dir().join(format!(
+            "leapfrog-engine-merge-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (a, sa, b, sb) = pair_a();
+        let (c, sc, d, sd) = pair_b();
+
+        // One engine (a 1-worker fleet) serves both pairs and saves.
+        let mut donor = EngineConfig::new().threads(1).build();
+        let cert_ab = cert_of(&donor.check(&a, sa, &b, sb));
+        let cert_cd = cert_of(&donor.check(&c, sc, &d, sd));
+        donor.save_state(&dir).unwrap();
+
+        // Reload into a 2-shard fleet: each shard keeps only the memos
+        // routed to it, and together they cover everything exactly once.
+        let fp_ab = route_fingerprint(&a, sa, &b, sb);
+        let fp_cd = route_fingerprint(&c, sc, &d, sd);
+        let workers = 2u128;
+        let mut shards: Vec<Engine> = (0..workers)
+            .map(|shard| {
+                let mut e = EngineConfig::new().threads(1).build();
+                e.import_memos_routed(&dir, &|fp| fp % workers == shard)
+                    .unwrap();
+                e
+            })
+            .collect();
+        let adopted: Vec<usize> = shards
+            .iter()
+            .map(|e| {
+                e.saved_warm
+                    .values()
+                    .flat_map(|entries| entries.iter().map(|(_, m)| m.len()))
+                    .sum()
+            })
+            .collect();
+        assert!(adopted.iter().sum::<usize>() > 0, "{adopted:?}");
+        for (shard, engine) in shards.iter().enumerate() {
+            for key in engine.saved_warm.keys() {
+                let packed = ((key.0 as u128) << 64) | key.1 as u128;
+                assert_eq!(
+                    packed % workers,
+                    shard as u128,
+                    "memo routed to the wrong shard"
+                );
+            }
+        }
+
+        // Each routed shard replays its own pair purely from the memo,
+        // byte-identical to the donor's certificate.
+        let home_ab = (fp_ab % workers) as usize;
+        let home_cd = (fp_cd % workers) as usize;
+        assert_eq!(cert_ab, cert_of(&shards[home_ab].check(&a, sa, &b, sb)));
+        let run = shards[home_ab].last_run_stats();
+        assert!(run.entailment_memo_hits > 0, "{run:?}");
+        assert_eq!(run.entailment_memo_hits, run.entailment_checks);
+        assert_eq!(cert_cd, cert_of(&shards[home_cd].check(&c, sc, &d, sd)));
+        let run = shards[home_cd].last_run_stats();
+        assert!(run.entailment_memo_hits > 0, "{run:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -86,6 +86,9 @@ pub mod stats;
 
 pub use certificate::{Certificate, CertificateError};
 pub use checker::{Checker, Options, Outcome, Property};
-pub use engine::{Engine, EngineConfig, EngineStats, PairId, QueryRequest, QuerySpec, WitnessSink};
+pub use engine::{
+    route_fingerprint, Engine, EngineConfig, EngineStats, PairId, QueryRequest, QuerySpec,
+    WitnessSink,
+};
 pub use explicit::{check_explicit, ExplicitResult};
 pub use stats::RunStats;

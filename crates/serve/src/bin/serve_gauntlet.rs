@@ -2,7 +2,8 @@
 //! live `leapfrogd`.
 //!
 //! ```text
-//! serve_gauntlet (--addr HOST:PORT | --port-file PATH) [--mutants] [--no-shutdown]
+//! serve_gauntlet (--addr HOST:PORT | --port-file PATH) [--mutants]
+//!                [--no-shutdown] [--expect-workers N]
 //! ```
 //!
 //! Drives every standard Table 2 row (and, with `--mutants`, the mutant
@@ -18,6 +19,11 @@
 //! the Prometheus exposition must parse, the core counters (checks,
 //! entailment checks, memo hits, connections) must be nonzero, and the
 //! scraped check count must agree with the engine's own `stats` reply.
+//!
+//! `--expect-workers N` is the fleet leg: the shard-labelled `stats`
+//! reply must list exactly N shards whose per-shard check counters sum
+//! to the aggregate, and the Prometheus exposition must carry the
+//! shard-suffixed metrics (`leapfrog_shard_<i>_…`) for every shard.
 
 use std::time::{Duration, Instant};
 
@@ -33,12 +39,20 @@ fn main() {
     let mut port_file: Option<String> = None;
     let mut include_mutants = false;
     let mut shutdown = true;
+    let mut expect_workers: Option<usize> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next(),
             "--port-file" => port_file = args.next(),
             "--mutants" => include_mutants = true,
             "--no-shutdown" => shutdown = false,
+            "--expect-workers" => {
+                expect_workers = args.next().and_then(|s| s.trim().parse().ok());
+                if expect_workers.is_none() {
+                    eprintln!("serve_gauntlet: --expect-workers needs a number");
+                    std::process::exit(2);
+                }
+            }
             other => {
                 eprintln!("serve_gauntlet: unknown argument {other:?}");
                 std::process::exit(2);
@@ -157,7 +171,10 @@ fn main() {
             eprintln!("FAIL stats request: {e}");
         }
     }
-    failures += scrape_metrics(&mut client, engine_checks);
+    if let Some(expected) = expect_workers {
+        failures += check_fleet(&mut client, expected);
+    }
+    failures += scrape_metrics(&mut client, engine_checks, expect_workers);
     if shutdown {
         if let Err(e) = client.shutdown() {
             failures += 1;
@@ -177,11 +194,59 @@ fn main() {
     );
 }
 
+/// The fleet leg: the shard-labelled `stats` reply must list exactly
+/// `expected` shards, their check counters must sum to the aggregate,
+/// and at least one shard must have served something. Returns the
+/// failure count.
+fn check_fleet(client: &mut leapfrog_serve::Client, expected: usize) -> usize {
+    let fleet = match client.fleet_stats() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("FAIL fleet stats request: {e}");
+            return 1;
+        }
+    };
+    let mut failures = 0usize;
+    if fleet.workers != expected || fleet.shards.len() != expected {
+        failures += 1;
+        eprintln!(
+            "FAIL fleet: expected {expected} workers, stats reply says workers={} with {} shard entries",
+            fleet.workers,
+            fleet.shards.len()
+        );
+    }
+    let shard_checks: u64 = fleet.shards.iter().map(|s| s.stats.checks).sum();
+    if shard_checks != fleet.aggregate.stats.checks {
+        failures += 1;
+        eprintln!(
+            "FAIL fleet: per-shard checks sum to {shard_checks} but the aggregate says {}",
+            fleet.aggregate.stats.checks
+        );
+    }
+    if shard_checks == 0 {
+        failures += 1;
+        eprintln!("FAIL fleet: no shard served a single check");
+    }
+    if failures == 0 {
+        let per_shard: Vec<u64> = fleet.shards.iter().map(|s| s.stats.checks).collect();
+        println!(
+            "fleet: {} workers, per-shard checks {:?} (sum {})",
+            fleet.workers, per_shard, shard_checks
+        );
+    }
+    failures
+}
+
 /// Scrapes the daemon's `metrics` request and validates it: the
 /// Prometheus text must parse back into a snapshot, the core counters
-/// must be live, and the scraped check count must match what the
-/// engine's own `stats` reply said. Returns the failure count.
-fn scrape_metrics(client: &mut leapfrog_serve::Client, engine_checks: usize) -> usize {
+/// must be live, the scraped check count must match what the engine's
+/// own `stats` reply said, and — on a fleet leg — every shard's
+/// suffixed metrics must appear. Returns the failure count.
+fn scrape_metrics(
+    client: &mut leapfrog_serve::Client,
+    engine_checks: usize,
+    expect_workers: Option<usize>,
+) -> usize {
     let (text, _json) = match client.metrics() {
         Ok(m) => m,
         Err(e) => {
@@ -217,6 +282,24 @@ fn scrape_metrics(client: &mut leapfrog_serve::Client, engine_checks: usize) -> 
             counter("leapfrog_checks_total"),
             engine_checks
         );
+    }
+    if let Some(workers) = expect_workers {
+        let mut shard_checks = 0u64;
+        for shard in 0..workers {
+            let name = format!("leapfrog_shard_{shard}_checks_total");
+            if !snap.counters.contains_key(name.as_str()) {
+                failures += 1;
+                eprintln!("FAIL metrics exposition is missing {name}");
+            }
+            shard_checks += counter(&name);
+        }
+        if shard_checks != counter("leapfrog_checks_total") {
+            failures += 1;
+            eprintln!(
+                "FAIL metrics: per-shard check counters sum to {shard_checks} but leapfrog_checks_total={}",
+                counter("leapfrog_checks_total")
+            );
+        }
     }
     if failures == 0 {
         println!(

@@ -33,9 +33,12 @@
 //! ```json
 //! {"outcome": {"Equivalent": {…certificate…}}, "stats": {…run stats…}}
 //! {"outcome": {"NotEquivalent": {"Witness": {…}}}, "stats": {…}}
-//! {"engine": {…engine stats…, "metrics": {…registry counters…}}}
+//! {"engine": {…aggregate engine stats…}, "workers": 4,
+//!  "shards": [{"shard": 0, "engine": {…}}, …], "metrics": {…registry counters…}}
 //! {"metrics": {"text": "<Prometheus exposition>", "json": {…}}}
 //! {"slow_queries": [{"label": "…", "wall_ms": 12, "threshold_ms": 5, "spans": […]}]}
+//! {"overloaded": {"scope": "shard", "shard": 2, "depth": 256, "limit": 256,
+//!                 "retry_after_ms": 120}}
 //! {"bye": true}
 //! {"error": "unknown pair \"…\""}
 //! ```
@@ -921,4 +924,256 @@ pub fn engine_stats_to_value(
             },
         ),
     ])
+}
+
+/// One engine's `stats` payload in typed form: the lifetime counters
+/// plus the live ledger/cache sizes and the state-load report. Encodes
+/// via [`engine_stats_reply_to_value`] to exactly the object
+/// [`engine_stats_to_value`] produces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStatsReply {
+    /// Cumulative engine counters.
+    pub stats: EngineStats,
+    /// Verdicts currently recorded in the instantiation ledger.
+    pub ledger_len: usize,
+    /// CNF templates resident in the blast cache.
+    pub cache_entries: usize,
+    /// What state-dir loading found at construction, if anything.
+    pub state_report: Option<String>,
+}
+
+/// Encodes a typed engine-stats reply (same bytes as
+/// [`engine_stats_to_value`] on the parts).
+pub fn engine_stats_reply_to_value(r: &EngineStatsReply) -> Value {
+    engine_stats_to_value(
+        &r.stats,
+        r.ledger_len,
+        r.cache_entries,
+        r.state_report.as_deref(),
+    )
+}
+
+/// Decodes an engine-stats object (the `"engine"` payload of a `stats`
+/// reply, or one fleet shard's entry).
+pub fn engine_stats_reply_from_value(v: &Value) -> Result<EngineStatsReply, String> {
+    let err = |e: json::JsonError| e.to_string();
+    let n = |k: &str| -> Result<u64, String> {
+        Ok(json::as_usize(json::get(v, k).map_err(err)?).map_err(err)? as u64)
+    };
+    Ok(EngineStatsReply {
+        stats: EngineStats {
+            checks: n("checks")?,
+            batches: n("batches")?,
+            pairs_interned: n("pairs_interned")?,
+            sum_cache_hits: n("sum_cache_hits")?,
+            reach_cache_hits: n("reach_cache_hits")?,
+            sessions_reused: n("sessions_reused")?,
+            entailment_memo_hits: n("entailment_memo_hits")?,
+            warm_evictions: n("warm_evictions")?,
+            pair_evictions: n("pair_evictions")?,
+            session_evictions: n("session_evictions")?,
+            ledger_evictions: n("ledger_evictions")?,
+        },
+        ledger_len: json::as_usize(json::get(v, "ledger_len").map_err(err)?).map_err(err)?,
+        cache_entries: json::as_usize(json::get(v, "cache_entries").map_err(err)?).map_err(err)?,
+        state_report: match json::get(v, "state_report").map_err(err)? {
+            Value::Null => None,
+            other => Some(json::as_str(other).map_err(err)?.to_string()),
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fleet
+
+/// The shard-labelled `stats` reply of a fleet deployment: the
+/// aggregate (field-wise sum, reports joined) under the same `"engine"`
+/// key a single-engine daemon uses — existing clients keep working —
+/// plus the worker count and each shard's own counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetStats {
+    /// Field-wise aggregate over all shards.
+    pub aggregate: EngineStatsReply,
+    /// The number of engine shards serving.
+    pub workers: usize,
+    /// Per-shard counters, in shard order.
+    pub shards: Vec<EngineStatsReply>,
+}
+
+impl FleetStats {
+    /// Builds the fleet view from per-shard replies: shard order is
+    /// kept, counters sum field-wise, and state reports join as
+    /// `shard-<i>: <report>` lines.
+    pub fn of_shards(shards: Vec<EngineStatsReply>) -> FleetStats {
+        let mut aggregate = EngineStatsReply::default();
+        let mut reports = Vec::new();
+        for (i, s) in shards.iter().enumerate() {
+            let a = &mut aggregate.stats;
+            a.checks += s.stats.checks;
+            a.batches += s.stats.batches;
+            a.pairs_interned += s.stats.pairs_interned;
+            a.sum_cache_hits += s.stats.sum_cache_hits;
+            a.reach_cache_hits += s.stats.reach_cache_hits;
+            a.sessions_reused += s.stats.sessions_reused;
+            a.entailment_memo_hits += s.stats.entailment_memo_hits;
+            a.warm_evictions += s.stats.warm_evictions;
+            a.pair_evictions += s.stats.pair_evictions;
+            a.session_evictions += s.stats.session_evictions;
+            a.ledger_evictions += s.stats.ledger_evictions;
+            aggregate.ledger_len += s.ledger_len;
+            aggregate.cache_entries += s.cache_entries;
+            if let Some(r) = &s.state_report {
+                reports.push(format!("shard-{i}: {r}"));
+            }
+        }
+        aggregate.state_report = if reports.is_empty() {
+            None
+        } else {
+            Some(reports.join("; "))
+        };
+        FleetStats {
+            aggregate,
+            workers: shards.len(),
+            shards,
+        }
+    }
+}
+
+/// Encodes the fleet `stats` reply body (without the `"metrics"` field
+/// the server appends from the live registry).
+pub fn fleet_stats_to_value(f: &FleetStats) -> Value {
+    json::obj(vec![
+        ("engine", engine_stats_reply_to_value(&f.aggregate)),
+        ("workers", json::num(f.workers)),
+        (
+            "shards",
+            Value::Arr(
+                f.shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        json::obj(vec![
+                            ("shard", json::num(i)),
+                            ("engine", engine_stats_reply_to_value(s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes the fleet `stats` reply body. Shard entries must be labelled
+/// `0..workers` in order — the labels are the routing indices, so a gap
+/// or permutation is a protocol error.
+pub fn fleet_stats_from_value(v: &Value) -> Result<FleetStats, String> {
+    let err = |e: json::JsonError| e.to_string();
+    let aggregate = engine_stats_reply_from_value(json::get(v, "engine").map_err(err)?)?;
+    let workers = json::as_usize(json::get(v, "workers").map_err(err)?).map_err(err)?;
+    let mut shards = Vec::new();
+    for (i, entry) in json::as_arr(json::get(v, "shards").map_err(err)?)
+        .map_err(err)?
+        .iter()
+        .enumerate()
+    {
+        let label = json::as_usize(json::get(entry, "shard").map_err(err)?).map_err(err)?;
+        if label != i {
+            return Err(format!("shard entry {i} labelled {label}"));
+        }
+        shards.push(engine_stats_reply_from_value(
+            json::get(entry, "engine").map_err(err)?,
+        )?);
+    }
+    if shards.len() != workers {
+        return Err(format!(
+            "stats reply lists {} shards for {workers} workers",
+            shards.len()
+        ));
+    }
+    Ok(FleetStats {
+        aggregate,
+        workers,
+        shards,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure
+
+/// What a shard's admission control rejected a request for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadScope {
+    /// The routed shard's bounded queue is at its depth limit.
+    Shard,
+    /// The client is at its per-connection in-flight quota.
+    Client,
+}
+
+impl OverloadScope {
+    fn as_str(&self) -> &'static str {
+        match self {
+            OverloadScope::Shard => "shard",
+            OverloadScope::Client => "client",
+        }
+    }
+}
+
+/// The typed `overloaded` response: admission control declined to queue
+/// the request. The client should back off for `retry_after_ms` and
+/// retry — the verdict it would have gotten is unchanged (routing is
+/// deterministic), only the timing moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Which limit rejected the request.
+    pub scope: OverloadScope,
+    /// The shard that would have served it (None for client-quota
+    /// rejections, which precede routing).
+    pub shard: Option<usize>,
+    /// The observed depth (queue length or in-flight count).
+    pub depth: u64,
+    /// The configured limit the depth ran into.
+    pub limit: u64,
+    /// Suggested backoff before retrying, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+/// Encodes an overload rejection as a full reply document:
+/// `{"overloaded": {…}}`.
+pub fn overloaded_to_value(o: &Overloaded) -> Value {
+    let mut fields = vec![("scope", Value::Str(o.scope.as_str().to_string()))];
+    if let Some(shard) = o.shard {
+        fields.push(("shard", json::num(shard)));
+    }
+    fields.push(("depth", json::num(o.depth as usize)));
+    fields.push(("limit", json::num(o.limit as usize)));
+    fields.push(("retry_after_ms", json::num(o.retry_after_ms as usize)));
+    json::obj(vec![("overloaded", json::obj(fields))])
+}
+
+/// Decodes an `{"overloaded": {…}}` reply; `Ok(None)` when the document
+/// is some other reply kind.
+pub fn overloaded_from_value(v: &Value) -> Result<Option<Overloaded>, String> {
+    let err = |e: json::JsonError| e.to_string();
+    let Ok(body) = json::get(v, "overloaded") else {
+        return Ok(None);
+    };
+    let scope = match json::as_str(json::get(body, "scope").map_err(err)?).map_err(err)? {
+        "shard" => OverloadScope::Shard,
+        "client" => OverloadScope::Client,
+        other => return Err(format!("unknown overload scope {other:?}")),
+    };
+    let shard = match json::get(body, "shard") {
+        Ok(v) => Some(json::as_usize(v).map_err(err)?),
+        Err(_) => None,
+    };
+    let n = |k: &str| -> Result<u64, String> {
+        Ok(json::as_usize(json::get(body, k).map_err(err)?).map_err(err)? as u64)
+    };
+    Ok(Some(Overloaded {
+        scope,
+        shard,
+        depth: n("depth")?,
+        limit: n("limit")?,
+        retry_after_ms: n("retry_after_ms")?,
+    }))
 }

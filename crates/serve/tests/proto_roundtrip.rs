@@ -12,9 +12,11 @@ use leapfrog::json;
 use leapfrog::{Outcome, RunStats};
 use leapfrog_obs::{PhaseBreakdown, PhaseStat, PHASES};
 use leapfrog_serve::proto::{
-    outcome_to_value, request_from_value, request_to_value, run_stats_from_value,
-    run_stats_to_value, wire_outcome_from_value, wire_outcome_to_value, wire_witness_of, PairSpec,
-    Request, WireOptions, WireOutcome,
+    fleet_stats_from_value, fleet_stats_to_value, outcome_to_value, overloaded_from_value,
+    overloaded_to_value, request_from_value, request_to_value, run_stats_from_value,
+    run_stats_to_value, wire_outcome_from_value, wire_outcome_to_value, wire_witness_of,
+    EngineStatsReply, FleetStats, OverloadScope, Overloaded, PairSpec, Request, WireOptions,
+    WireOutcome,
 };
 use leapfrog_smt::{QueryStats, SolverStats};
 use leapfrog_suite::mutants::mutant_benchmarks;
@@ -195,6 +197,132 @@ fn run_stats_roundtrip_randomized() {
         );
         assert_eq!(decoded.wall_time, s.wall_time, "round {round}");
         assert_eq!(decoded.queries.durations, s.queries.durations);
+    }
+}
+
+/// A fixed-seed random engine-stats reply (the per-shard `stats` unit).
+fn random_stats_reply(next: &mut impl FnMut() -> u64) -> EngineStatsReply {
+    EngineStatsReply {
+        stats: leapfrog::EngineStats {
+            checks: next() % 100_000,
+            batches: next() % 10_000,
+            pairs_interned: next() % 1_000,
+            sum_cache_hits: next() % 10_000,
+            reach_cache_hits: next() % 10_000,
+            sessions_reused: next() % 10_000,
+            entailment_memo_hits: next() % 100_000,
+            warm_evictions: next() % 1_000,
+            pair_evictions: next() % 1_000,
+            session_evictions: next() % 1_000,
+            ledger_evictions: next() % 1_000,
+        },
+        ledger_len: (next() % 100_000) as usize,
+        cache_entries: (next() % 10_000) as usize,
+        state_report: if next().is_multiple_of(2) {
+            Some(format!("loaded {} memoized verdicts", next() % 500))
+        } else {
+            None
+        },
+    }
+}
+
+#[test]
+fn fleet_stats_roundtrip_randomized() {
+    // Fixed-seed random fleets at 1..=8 shards: encode → parse → typed
+    // decode → encode must be the identity on bytes, and the aggregate
+    // must stay the field-wise sum of the shards.
+    let mut state = 0x5eed_1eafu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for round in 0..40 {
+        let workers = 1 + (next() % 8) as usize;
+        let shards: Vec<EngineStatsReply> =
+            (0..workers).map(|_| random_stats_reply(&mut next)).collect();
+        let fleet = FleetStats::of_shards(shards.clone());
+        assert_eq!(fleet.workers, workers);
+        let summed: u64 = shards.iter().map(|s| s.stats.checks).sum();
+        assert_eq!(fleet.aggregate.stats.checks, summed, "round {round}");
+        let text = fleet_stats_to_value(&fleet).render();
+        let parsed = json::parse(&text).expect("fleet stats JSON parses");
+        assert_eq!(parsed.render(), text, "round {round}: value round trip");
+        let decoded = fleet_stats_from_value(&parsed).expect("typed decode");
+        assert_eq!(decoded, fleet, "round {round}: typed fields survive");
+        assert_eq!(
+            fleet_stats_to_value(&decoded).render(),
+            text,
+            "round {round}: typed round trip"
+        );
+    }
+}
+
+#[test]
+fn fleet_stats_rejects_mislabelled_shards() {
+    let mut state = 0xabcdu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let fleet = FleetStats::of_shards(vec![
+        random_stats_reply(&mut next),
+        random_stats_reply(&mut next),
+    ]);
+    let text = fleet_stats_to_value(&fleet).render();
+    // Swap the shard labels: the decoder must refuse the permutation,
+    // because labels are routing indices.
+    let broken = text.replacen("\"shard\": 0", "\"shard\": 9", 1);
+    let parsed = json::parse(&broken).expect("still valid JSON");
+    assert!(fleet_stats_from_value(&parsed).is_err());
+}
+
+#[test]
+fn overloaded_roundtrip_randomized() {
+    let mut state = 0x6f76_6572u64; // "over"
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for round in 0..40 {
+        let scope = if next().is_multiple_of(2) {
+            OverloadScope::Shard
+        } else {
+            OverloadScope::Client
+        };
+        let o = Overloaded {
+            scope,
+            // Client-quota rejections precede routing and carry no shard.
+            shard: (scope == OverloadScope::Shard).then(|| (next() % 16) as usize),
+            depth: next() % 10_000,
+            limit: 1 + next() % 10_000,
+            retry_after_ms: 50 + next() % 5_000,
+        };
+        let text = overloaded_to_value(&o).render();
+        let parsed = json::parse(&text).expect("overloaded JSON parses");
+        assert_eq!(parsed.render(), text, "round {round}: value round trip");
+        let decoded = overloaded_from_value(&parsed)
+            .expect("typed decode")
+            .expect("an overloaded document decodes to Some");
+        assert_eq!(decoded, o, "round {round}: typed fields survive");
+        assert_eq!(
+            overloaded_to_value(&decoded).render(),
+            text,
+            "round {round}: typed round trip"
+        );
+    }
+}
+
+#[test]
+fn non_overloaded_replies_decode_to_none() {
+    for text in ["{\"bye\": true}", "{\"error\": \"nope\"}"] {
+        let parsed = json::parse(text).unwrap();
+        assert_eq!(overloaded_from_value(&parsed), Ok(None), "{text}");
     }
 }
 

@@ -298,6 +298,24 @@ impl WitnessCorpus {
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         std::fs::write(path, self.to_text())
     }
+
+    /// Merges another corpus into this one, dropping duplicate entries.
+    /// Fleet restarts use this to union per-shard corpus files (entries
+    /// are name-keyed, not fingerprint-keyed, so every shard may replay
+    /// the full set). Returns how many entries were newly added.
+    pub fn absorb(&mut self, other: WitnessCorpus) -> usize {
+        let mut added = 0;
+        for (name, entries) in other.entries {
+            let bucket = self.entries.entry(name).or_default();
+            for entry in entries {
+                if !bucket.contains(&entry) {
+                    bucket.push(entry);
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
 }
 
 /// The corpus is a [`WitnessSink`](leapfrog::WitnessSink): attach it to a
@@ -408,6 +426,31 @@ mod tests {
         let report = corpus.exercise("toy", &a, sa, &b, sb);
         assert_eq!(report.replayed, 0);
         assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn absorb_unions_and_dedupes() {
+        let (a, sa, b, sb) = inequivalent_pair();
+        let mut checker = Checker::new(&a, sa, &b, sb, Options::default());
+        let w_binding = checker.run();
+        let w = w_binding.witness().expect("confirmed witness");
+        let mut left = WitnessCorpus::new();
+        left.record("toy", w);
+        let mut right = WitnessCorpus::new();
+        right.record("toy", w);
+        right.entries.insert(
+            "other".into(),
+            vec![CorpusEntry {
+                packet: "10".parse().unwrap(),
+                left_store: vec![],
+                right_store: vec![],
+            }],
+        );
+        // The duplicate "toy" entry is dropped; "other" is adopted.
+        assert_eq!(left.absorb(right.clone()), 1);
+        assert_eq!(left.len(), 2);
+        // Absorbing again is a no-op.
+        assert_eq!(left.absorb(right), 0);
     }
 
     #[test]

@@ -101,6 +101,8 @@ fn outcomes_byte_identical_in_process_wire_and_restart() {
                 config: EngineConfig::from_env().threads(threads),
                 state_dir: Some(state_dir.clone()),
                 scale: Scale::Small,
+                workers: 1,
+                ..ServerOptions::default()
             },
         )
         .expect("bind loopback");
@@ -131,11 +133,12 @@ fn outcomes_byte_identical_in_process_wire_and_restart() {
         client.shutdown().expect("shutdown");
         handle.join().expect("server thread");
 
-        // Path 3: cold restart from the state the daemon just saved.
+        // Path 3: cold restart from the state the daemon just saved. A
+        // 1-worker fleet persists under `shard-0/` in the state dir.
         let mut restarted = Engine::new(
             EngineConfig::from_env()
                 .threads(threads)
-                .with_state_dir(&state_dir),
+                .with_state_dir(state_dir.join("shard-0")),
         );
         assert!(
             restarted.state_report().is_some(),
@@ -178,6 +181,8 @@ fn warm_cap_eviction_never_changes_wire_bytes() {
             config: EngineConfig::from_env().threads(1).warm_capacity(1),
             state_dir: None,
             scale: Scale::Small,
+            workers: 1,
+            ..ServerOptions::default()
         },
     )
     .expect("bind loopback");
