@@ -11,6 +11,12 @@
 //! `sessions_reused`, `sum_cache_hits`, `entailment_memo_hits`) showing
 //! cross-request reuse even on one CPU.
 //!
+//! Since the trust root landed, every row's certificate is additionally
+//! re-discharged through the independent `leapfrog-certcheck` checker
+//! (its own WP transformer and DPLL loop — no engine code), with the
+//! re-validation wall-clock recorded per row as `certcheck_secs` in
+//! `BENCH_table2.json`; a rejection fails the run.
+//!
 //! ```text
 //! LEAPFROG_SCALE=full cargo run --release -p leapfrog-bench --bin table2
 //! ```
@@ -58,7 +64,7 @@ use leapfrog::{Engine, EngineConfig, Outcome, QuerySpec};
 use leapfrog_bench::alloc_track::{human_bytes, PeakAlloc};
 use leapfrog_bench::rows::{
     rows_to_json, run_external_filtering_in, run_relational_verification_in, run_row_in,
-    run_translation_validation_in, standard_benchmarks, RowResult,
+    run_translation_validation_in, standard_benchmarks, translation_validation_pair, RowResult,
 };
 use leapfrog_suite::corpus::WitnessCorpus;
 use leapfrog_suite::differential::check_cross_validate_and_record_in;
@@ -72,6 +78,37 @@ static ALLOC: PeakAlloc = PeakAlloc::new();
 /// The sanity-check pair is a named corpus entry so its witnesses are
 /// re-exercised on every run.
 const SANITY_PAIR: &str = "Sanity check (sloppy vs strict)";
+
+/// Re-discharges a measured row's certificate through the independent
+/// `leapfrog-certcheck` trust root — its own reachable-pair sweep, WP
+/// transformer and DPLL loop, sharing no solver code with the engine —
+/// and records the re-validation wall-clock on the row. Every standard
+/// table row is expected equivalent, so a missing certificate or a
+/// trust-root rejection is a run failure.
+fn recheck_certificate(
+    row: &mut RowResult,
+    left: &leapfrog_p4a::ast::Automaton,
+    right: &leapfrog_p4a::ast::Automaton,
+    failures: &mut Vec<String>,
+) {
+    let Some(cert_json) = row.certificate.clone() else {
+        failures.push(format!(
+            "\"{}\" verified without emitting a certificate to re-check",
+            row.name
+        ));
+        return;
+    };
+    let sum = leapfrog_p4a::sum::sum(left, right);
+    let start = std::time::Instant::now();
+    match leapfrog_certcheck::check_json(&sum.automaton, &cert_json) {
+        Ok(()) => row.certcheck_secs = Some(start.elapsed().as_secs_f64()),
+        Err(e) => failures.push(format!(
+            "trust root rejected the \"{}\" certificate [{}]: {e}",
+            row.name,
+            e.class()
+        )),
+    }
+}
 
 /// Runs a row runner against the persistent engine. Unless disabled, a
 /// `threads = 1` *cold* baseline (its own transient engine) runs first,
@@ -232,7 +269,7 @@ fn main() {
     }
 
     println!(
-        "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7} {:>8}",
+        "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7} {:>8} {:>10}",
         "Name",
         "States",
         "Branched",
@@ -245,14 +282,15 @@ fn main() {
         "Speedup",
         "Cache%",
         "Index%",
-        "Warm"
+        "Warm",
+        "Recheck"
     );
 
     let mut all_within_5s = true;
     let mut measured: Vec<(RowResult, Option<usize>)> = Vec::new();
     let mut print_row = |row: RowResult, mem: usize, out: &mut Vec<(RowResult, Option<usize>)>| {
         println!(
-            "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7} {:>8}",
+            "{:<26} {:>6} {:>9} {:>7} {:>12} {:>10} {:>8} {:>6} {:>9} {:>8} {:>7} {:>7} {:>8} {:>10}",
             row.name,
             row.metrics.states,
             row.metrics.branched_bits,
@@ -269,6 +307,9 @@ fn main() {
             format!("{:.0}%", 100.0 * row.index_hit_rate),
             row.warm_speedup
                 .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "-".into()),
+            row.certcheck_secs
+                .map(|s| format!("{:.2?}", std::time::Duration::from_secs_f64(s)))
                 .unwrap_or_else(|| "-".into()),
         );
         if row.queries_within_5s < 0.99 {
@@ -311,7 +352,7 @@ fn main() {
     let (utility, applicability) = benches.split_at(4);
     for bench in utility {
         exercise_prior(bench, &corpus, &mut failures);
-        let (row, mem) = measure(
+        let (mut row, mem) = measure(
             &mut engine,
             &|e: &mut Engine| run_row_in(e, bench),
             baseline,
@@ -320,17 +361,28 @@ fn main() {
         if let Some(w) = &row.witness {
             corpus.record(&row.name, w);
         }
+        recheck_certificate(&mut row, &bench.left, &bench.right, &mut failures);
         print_row(row, mem, &mut measured);
     }
-    // Rows 5–6: the relational case studies.
-    let (row, mem) = measure(&mut engine, &run_relational_verification_in, baseline, cores);
+    // Rows 5–6: the relational case studies. Both are posed over the
+    // sloppy/strict pair, so the trust root re-checks their certificates
+    // against the same sum automaton.
+    let (rel_left, rel_right) = sloppy_strict::sloppy_strict_parsers();
+    let (mut row, mem) = measure(
+        &mut engine,
+        &run_relational_verification_in,
+        baseline,
+        cores,
+    );
+    recheck_certificate(&mut row, &rel_left, &rel_right, &mut failures);
     print_row(row, mem, &mut measured);
-    let (row, mem) = measure(&mut engine, &run_external_filtering_in, baseline, cores);
+    let (mut row, mem) = measure(&mut engine, &run_external_filtering_in, baseline, cores);
+    recheck_certificate(&mut row, &rel_left, &rel_right, &mut failures);
     print_row(row, mem, &mut measured);
     // Applicability self-comparisons.
     for bench in applicability {
         exercise_prior(bench, &corpus, &mut failures);
-        let (row, mem) = measure(
+        let (mut row, mem) = measure(
             &mut engine,
             &|e: &mut Engine| run_row_in(e, bench),
             baseline,
@@ -339,15 +391,19 @@ fn main() {
         if let Some(w) = &row.witness {
             corpus.record(&row.name, w);
         }
+        recheck_certificate(&mut row, &bench.left, &bench.right, &mut failures);
         print_row(row, mem, &mut measured);
     }
-    // Translation validation.
-    let (row, mem) = measure(
+    // Translation validation. The pair is rebuilt deterministically so
+    // the trust root can restate the sum the certificate talks about.
+    let (mut row, mem) = measure(
         &mut engine,
         &|e: &mut Engine| run_translation_validation_in(e, scale),
         baseline,
         cores,
     );
+    let (edge, _, back, _) = translation_validation_pair(scale);
+    recheck_certificate(&mut row, &edge, &back, &mut failures);
     print_row(row, mem, &mut measured);
 
     println!();
@@ -364,6 +420,17 @@ fn main() {
         estats.sum_cache_hits,
         estats.sessions_reused,
         estats.entailment_memo_hits,
+    );
+    let rechecked = measured
+        .iter()
+        .filter(|(r, _)| r.certcheck_secs.is_some())
+        .count();
+    let recheck_total: f64 = measured.iter().filter_map(|(r, _)| r.certcheck_secs).sum();
+    println!(
+        "Trust root: {rechecked}/{} certificates independently re-discharged by \
+         leapfrog-certcheck ({:.2?} total)",
+        measured.len(),
+        std::time::Duration::from_secs_f64(recheck_total),
     );
 
     // §7.1 sanity check: inequivalent parsers must fail cleanly at Close,
@@ -510,6 +577,7 @@ fn main() {
         "\"sessions_reused\"",
         "\"sum_cache_hits\"",
         "\"entailment_memo_hits\"",
+        "\"certcheck_secs\"",
     ] {
         let have = json.matches(key).count();
         if have != measured.len() {
@@ -598,6 +666,10 @@ fn main() {
     }
 }
 
+/// One row's trajectory point: name, runtime, warm speedup and the two
+/// cold intra-query-axis wall-clocks, in seconds.
+type RowPoint = (String, f64, Option<f64>, Option<f64>, Option<f64>);
+
 /// One run's entry in the persisted perf trajectory (`BENCH_history.jsonl`).
 struct HistorySnapshot {
     commit: String,
@@ -608,7 +680,7 @@ struct HistorySnapshot {
     total_runtime_secs: f64,
     best_warm_speedup: Option<f64>,
     batch_parallel_speedup: Option<f64>,
-    rows: Vec<(String, f64, Option<f64>, Option<f64>, Option<f64>)>,
+    rows: Vec<RowPoint>,
 }
 
 /// A prior snapshot reduced to the two gated quantities.

@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 
 use leapfrog::{Engine, EngineConfig, Options, Outcome, RunStats};
 use leapfrog_obs::PhaseBreakdown;
+use leapfrog_p4a::ast::{Automaton, StateId};
 use leapfrog_suite::applicability;
 use leapfrog_suite::metrics::Table2Metrics;
 use leapfrog_suite::utility::sloppy_strict;
@@ -81,6 +82,13 @@ pub struct RowResult {
     /// The confirmed witness, when the run refuted the property — fed into
     /// the regression corpus by the `table2` binary.
     pub witness: Option<leapfrog_cex::Witness>,
+    /// The equivalence certificate the run produced, rendered as JSON —
+    /// the exact document the independent `leapfrog-certcheck` trust root
+    /// re-discharges (`None` when the run refuted the property).
+    pub certificate: Option<String>,
+    /// Wall-clock of the independent trust-root re-validation of this
+    /// row's certificate (`None` until the `table2` binary runs it).
+    pub certcheck_secs: Option<f64>,
     /// Per-phase time breakdown from the span tracer (empty unless
     /// tracing was enabled for the run).
     pub phases: PhaseBreakdown,
@@ -183,16 +191,25 @@ pub fn run_relational_verification(options: Options) -> RowResult {
     run_relational_verification_in(&mut Engine::new(EngineConfig::from_options(&options)))
 }
 
-/// The translation-validation row: compile the Edge parser to hardware
-/// tables, translate the tables back, and prove the round trip preserves
-/// the language (§7.2, Figure 8).
-pub fn run_translation_validation_in(engine: &mut Engine, scale: Scale) -> RowResult {
+/// The automaton pair the translation-validation row checks: the Edge
+/// parser and its hardware-table round trip. Exposed so the `table2`
+/// binary can rebuild the sum automaton the row's certificate is stated
+/// over and hand both to the independent trust root.
+pub fn translation_validation_pair(scale: Scale) -> (Automaton, StateId, Automaton, StateId) {
     let edge = applicability::edge(scale);
     let start_state = edge.state_by_name("parse_eth").unwrap();
     let hw = leapfrog_hwgen::compile(&edge, start_state, &leapfrog_hwgen::HwBudget::default())
         .expect("the Edge parser compiles to hardware tables");
     let (back, back_start) = leapfrog_hwgen::back_translate(&hw);
     let back_start = back.state_by_name(&back_start).unwrap();
+    (edge, start_state, back, back_start)
+}
+
+/// The translation-validation row: compile the Edge parser to hardware
+/// tables, translate the tables back, and prove the round trip preserves
+/// the language (§7.2, Figure 8).
+pub fn run_translation_validation_in(engine: &mut Engine, scale: Scale) -> RowResult {
+    let (edge, start_state, back, back_start) = translation_validation_pair(scale);
     let metrics = Table2Metrics::for_pair(&edge, &back);
     let start = Instant::now();
     let outcome = engine.check(&edge, start_state, &back, back_start);
@@ -251,7 +268,8 @@ pub fn rows_to_json(
              \"sat_propagations\": {}, \"cold_t1_secs\": {}, \
              \"cold_t4_secs\": {}, \"warm_speedup\": {}, \
              \"sessions_reused\": {}, \"sum_cache_hits\": {}, \
-             \"entailment_memo_hits\": {}, \"phases\": {}}}{}\n",
+             \"entailment_memo_hits\": {}, \"certcheck_secs\": {}, \
+             \"phases\": {}}}{}\n",
             esc(&row.name),
             row.metrics.states,
             row.metrics.branched_bits,
@@ -287,6 +305,9 @@ pub fn rows_to_json(
             row.sessions_reused,
             row.sum_cache_hits,
             row.entailment_memo_hits,
+            row.certcheck_secs
+                .map(|s| format!("{s:.6}"))
+                .unwrap_or_else(|| "null".into()),
             phases_json(&row.phases),
             if i + 1 < rows.len() { "," } else { "" },
         ));
@@ -355,6 +376,11 @@ fn finish(
         sum_cache_hits: stats.sum_cache_hits,
         entailment_memo_hits: stats.entailment_memo_hits,
         witness: outcome.witness().cloned(),
+        certificate: match outcome {
+            Outcome::Equivalent(cert) => Some(cert.to_json()),
+            _ => None,
+        },
+        certcheck_secs: None,
         phases: stats.phases.clone(),
     }
 }
@@ -369,6 +395,14 @@ mod tests {
         let row = run_row(&bench, Options::default());
         assert!(row.verified, "state rearrangement must verify");
         assert!(row.queries > 0);
+        let cert = row
+            .certificate
+            .as_deref()
+            .expect("equivalent row carries its certificate");
+        assert!(
+            cert.contains("\"relation\""),
+            "certificate JSON is complete"
+        );
         assert!(row.threads >= 1);
         assert!((0.0..=1.0).contains(&row.blast_cache_hit_rate));
         assert!((0.0..=1.0).contains(&row.index_hit_rate));
@@ -382,6 +416,7 @@ mod tests {
         row.warm_speedup = Some(2.0);
         row.cold_t1 = Some(Duration::from_millis(500));
         row.cold_t4 = Some(Duration::from_millis(250));
+        row.certcheck_secs = Some(0.125);
         let json = rows_to_json(&[(row, Some(1024))], true, Some(1.5), 4);
         for key in [
             "\"threads\"",
@@ -398,6 +433,7 @@ mod tests {
             "\"cold_t1_secs\": 0.500000",
             "\"cold_t4_secs\": 0.250000",
             "\"warm_speedup\": 2.0000",
+            "\"certcheck_secs\": 0.125000",
             "\"sessions_reused\"",
             "\"sum_cache_hits\"",
             "\"entailment_memo_hits\"",
@@ -430,6 +466,10 @@ mod tests {
         assert!(row.verified, "the mutant is expected inequivalent");
         let w = row.witness.as_ref().expect("confirmed witness on the row");
         assert!(w.check());
+        assert!(
+            row.certificate.is_none(),
+            "a refuted row has no certificate"
+        );
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! `certcheck`: standalone certificate checker CLI — the trust root.
+//!
+//! Reads two parser definitions and a certificate JSON, rebuilds the sum
+//! automaton, and re-discharges every certificate obligation with the
+//! independent checker. Exits 0 iff the certificate is valid; otherwise
+//! prints the named failing obligation and exits 1 (2 for usage errors).
+//!
+//! Usage:
+//!   certcheck <left.p4a> <left-start> <right.p4a> <right-start> <cert.json>
+
+use std::process::ExitCode;
+
+use leapfrog_p4a::sum::sum;
+use leapfrog_p4a::surface::parse;
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 5 {
+        return Err(
+            "usage: certcheck <left.p4a> <left-start> <right.p4a> <right-start> <cert.json>"
+                .to_string(),
+        );
+    }
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let left_src = read(&args[0])?;
+    let right_src = read(&args[2])?;
+    let cert_json = read(&args[4])?;
+
+    let left = parse(&left_src).map_err(|e| format!("{}: {e}", args[0]))?;
+    let right = parse(&right_src).map_err(|e| format!("{}: {e}", args[2]))?;
+    left.state_by_name(&args[1])
+        .ok_or_else(|| format!("{}: no state named {}", args[0], args[1]))?;
+    right
+        .state_by_name(&args[3])
+        .ok_or_else(|| format!("{}: no state named {}", args[2], args[3]))?;
+
+    let sum = sum(&left, &right);
+    let cert = leapfrog_certcheck::Certificate::from_json(&cert_json, &sum.automaton)
+        .map_err(|e| e.to_string())?;
+    leapfrog_certcheck::check(&sum.automaton, &cert)
+        .map_err(|e| format!("certificate REJECTED [{}]: {e}", e.class()))?;
+    println!(
+        "certificate OK: {} conjunct(s), {} initial condition(s), leaps={}",
+        cert.relation.len(),
+        cert.init.len(),
+        cert.leaps
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("certcheck: {e}");
+            if e.starts_with("usage:") {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! The checker's own formula language: templates, guarded relations, and
+//! pure formulas over bitvector expressions (paper, Figure 3 and
+//! Definition 4.7), re-implemented from the paper without importing any of
+//! the engine's `leapfrog_logic` code.
+//!
+//! The types intentionally mirror the certificate JSON schema one-to-one;
+//! the reachability computation follows §5.1/§5.3 (templates abstract
+//! configurations by control location and buffer length, leaps jump to the
+//! next transition boundary).
+
+use leapfrog_p4a::ast::{Automaton, HeaderId, Target};
+
+/// Which configuration of the pair an expression refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The `<` (left) configuration.
+    Left,
+    /// The `>` (right) configuration.
+    Right,
+}
+
+impl Side {
+    /// The paper's superscript notation.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Side::Left => "<",
+            Side::Right => ">",
+        }
+    }
+}
+
+/// A template `⟨q, n⟩`: control location plus buffer length
+/// (Definition 4.7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Template {
+    /// The control location.
+    pub target: Target,
+    /// The buffer length.
+    pub buf_len: usize,
+}
+
+impl Template {
+    /// The `reject` template `⟨reject, 0⟩`.
+    pub fn reject() -> Template {
+        Template {
+            target: Target::Reject,
+            buf_len: 0,
+        }
+    }
+
+    /// Whether this is the accepting template.
+    pub fn is_accepting(&self) -> bool {
+        self.target == Target::Accept
+    }
+
+    /// Bits remaining until the template's state transitions: for a proper
+    /// state, `‖op(q)‖ - n`; for `accept`/`reject`, 1 (they step every
+    /// bit).
+    pub fn remaining(&self, aut: &Automaton) -> usize {
+        match self.target {
+            Target::State(q) => aut.op_size(q) - self.buf_len,
+            Target::Accept | Target::Reject => 1,
+        }
+    }
+
+    /// The successor templates after consuming `k` bits, `k ≤ remaining`:
+    /// deterministic while buffering, branching over transition targets at
+    /// the boundary, `accept`/`reject` sinking to `reject`.
+    pub fn successors(&self, aut: &Automaton, k: usize) -> Vec<Template> {
+        match self.target {
+            Target::Accept | Target::Reject => vec![Template::reject()],
+            Target::State(q) => {
+                let rem = aut.op_size(q) - self.buf_len;
+                if k < rem {
+                    vec![Template {
+                        target: self.target,
+                        buf_len: self.buf_len + k,
+                    }]
+                } else {
+                    aut.state(q)
+                        .trans
+                        .targets()
+                        .into_iter()
+                        .map(|t| Template {
+                            target: t,
+                            buf_len: 0,
+                        })
+                        .collect()
+                }
+            }
+        }
+    }
+
+    /// Renders the template with state names.
+    pub fn display(&self, aut: &Automaton) -> String {
+        format!("⟨{}, {}⟩", aut.target_name(self.target), self.buf_len)
+    }
+}
+
+/// A pair of templates, abstracting a pair of configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TemplatePair {
+    /// The left template.
+    pub left: Template,
+    /// The right template.
+    pub right: Template,
+}
+
+impl TemplatePair {
+    /// Renders the pair with state names.
+    pub fn display(&self, aut: &Automaton) -> String {
+        format!("{} / {}", self.left.display(aut), self.right.display(aut))
+    }
+}
+
+/// The leap size `♯` of Definition 5.3 (1 when leaps are disabled).
+pub fn leap_size(aut: &Automaton, pair: &TemplatePair, leaps: bool) -> usize {
+    if !leaps {
+        return 1;
+    }
+    match (pair.left.target, pair.right.target) {
+        (Target::State(_), Target::State(_)) => {
+            pair.left.remaining(aut).min(pair.right.remaining(aut))
+        }
+        (Target::State(_), _) => pair.left.remaining(aut),
+        (_, Target::State(_)) => pair.right.remaining(aut),
+        _ => 1,
+    }
+}
+
+/// The successor pairs after one leap: the product of per-side successors,
+/// each side capped at its own remaining bits.
+pub fn successor_pairs(aut: &Automaton, pair: &TemplatePair, leaps: bool) -> Vec<TemplatePair> {
+    let k = leap_size(aut, pair, leaps);
+    let ls = pair.left.successors(aut, k.min(pair.left.remaining(aut)));
+    let rs = pair.right.successors(aut, k.min(pair.right.remaining(aut)));
+    let mut out = Vec::with_capacity(ls.len() * rs.len());
+    for l in &ls {
+        for r in &rs {
+            out.push(TemplatePair {
+                left: *l,
+                right: *r,
+            });
+        }
+    }
+    out
+}
+
+/// The template pairs reachable from `roots` under the leap-successor
+/// abstraction, in deterministic (sorted) order.
+pub fn reachable_pairs(aut: &Automaton, roots: &[TemplatePair], leaps: bool) -> Vec<TemplatePair> {
+    let mut seen: std::collections::BTreeSet<TemplatePair> = roots.iter().copied().collect();
+    let mut work: Vec<TemplatePair> = roots.to_vec();
+    while let Some(p) = work.pop() {
+        for s in successor_pairs(aut, &p, leaps) {
+            if seen.insert(s) {
+                work.push(s);
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// A formula-local packet variable, indexed into [`ConfRel::vars`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub u32);
+
+/// A bitvector expression over a configuration pair (Figure 3: `be`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BitExpr {
+    /// A literal.
+    Lit(leapfrog_bitvec::BitVec),
+    /// The buffer of one side; its width is the guard's buffer length.
+    Buf(Side),
+    /// A header of one side.
+    Hdr(Side, HeaderId),
+    /// A packet variable.
+    Var(VarId),
+    /// Exact slice: `len` bits from `start`.
+    Slice(Box<BitExpr>, usize, usize),
+    /// Concatenation.
+    Concat(Box<BitExpr>, Box<BitExpr>),
+}
+
+/// Width context for expressions: the automaton (header sizes), the buffer
+/// lengths of both sides, and the packet-variable widths.
+#[derive(Debug, Clone, Copy)]
+pub struct ExprCtx<'a> {
+    /// The (sum) automaton.
+    pub aut: &'a Automaton,
+    /// Width of `buf<`.
+    pub left_buf: usize,
+    /// Width of `buf>`.
+    pub right_buf: usize,
+    /// Widths of packet variables.
+    pub var_widths: &'a [usize],
+}
+
+impl ExprCtx<'_> {
+    /// The buffer width of a side.
+    pub fn buf_len(&self, side: Side) -> usize {
+        match side {
+            Side::Left => self.left_buf,
+            Side::Right => self.right_buf,
+        }
+    }
+}
+
+impl BitExpr {
+    /// The empty bitvector.
+    pub fn empty() -> BitExpr {
+        BitExpr::Lit(leapfrog_bitvec::BitVec::new())
+    }
+
+    /// The static width of the expression in a guard context.
+    pub fn width(&self, ctx: &ExprCtx<'_>) -> usize {
+        match self {
+            BitExpr::Lit(bv) => bv.len(),
+            BitExpr::Buf(side) => ctx.buf_len(*side),
+            BitExpr::Hdr(_, h) => ctx.aut.header_size(*h),
+            BitExpr::Var(v) => ctx.var_widths[v.0 as usize],
+            BitExpr::Slice(_, _, len) => *len,
+            BitExpr::Concat(a, b) => a.width(ctx) + b.width(ctx),
+        }
+    }
+
+    /// Smart slice constructor: folds literals, composes nested slices and
+    /// pushes through concatenation when widths permit.
+    pub fn slice(e: BitExpr, start: usize, len: usize, ctx: &ExprCtx<'_>) -> BitExpr {
+        if len == 0 {
+            return BitExpr::empty();
+        }
+        let w = e.width(ctx);
+        if start == 0 && len == w {
+            return e;
+        }
+        match e {
+            BitExpr::Lit(bv) => BitExpr::Lit(bv.subrange(start, len)),
+            BitExpr::Slice(inner, s0, _) => BitExpr::Slice(inner, s0 + start, len),
+            BitExpr::Concat(a, b) => {
+                let wa = a.width(ctx);
+                if start + len <= wa {
+                    BitExpr::slice(*a, start, len, ctx)
+                } else if start >= wa {
+                    BitExpr::slice(*b, start - wa, len, ctx)
+                } else {
+                    let l = BitExpr::slice(*a, start, wa - start, ctx);
+                    let r = BitExpr::slice(*b, 0, len - (wa - start), ctx);
+                    BitExpr::concat(l, r)
+                }
+            }
+            other => BitExpr::Slice(Box::new(other), start, len),
+        }
+    }
+
+    /// Smart concatenation: drops empty sides, fuses literals.
+    pub fn concat(a: BitExpr, b: BitExpr) -> BitExpr {
+        match (&a, &b) {
+            (BitExpr::Lit(x), _) if x.is_empty() => return b,
+            (_, BitExpr::Lit(y)) if y.is_empty() => return a,
+            (BitExpr::Lit(x), BitExpr::Lit(y)) => return BitExpr::Lit(x.concat(y)),
+            _ => {}
+        }
+        BitExpr::Concat(Box::new(a), Box::new(b))
+    }
+
+    /// Substitutes buffers and headers of one side (used by the WP
+    /// transformer): `buf` replaces `Buf(side)`, `store(h)` replaces
+    /// `Hdr(side, h)`.
+    pub fn subst_side(
+        &self,
+        side: Side,
+        buf: &BitExpr,
+        store: &dyn Fn(HeaderId) -> BitExpr,
+        ctx: &ExprCtx<'_>,
+    ) -> BitExpr {
+        match self {
+            BitExpr::Lit(_) | BitExpr::Var(_) => self.clone(),
+            BitExpr::Buf(s) => {
+                if *s == side {
+                    buf.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            BitExpr::Hdr(s, h) => {
+                if *s == side {
+                    store(*h)
+                } else {
+                    self.clone()
+                }
+            }
+            BitExpr::Slice(e, start, len) => {
+                BitExpr::slice(e.subst_side(side, buf, store, ctx), *start, *len, ctx)
+            }
+            BitExpr::Concat(a, b) => BitExpr::concat(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+        }
+    }
+}
+
+/// A pure formula (Definition 4.7).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pure {
+    /// `⊤` or `⊥`.
+    Const(bool),
+    /// Bitvector equality.
+    Eq(BitExpr, BitExpr),
+    /// Negation.
+    Not(Box<Pure>),
+    /// Conjunction.
+    And(Box<Pure>, Box<Pure>),
+    /// Disjunction.
+    Or(Box<Pure>, Box<Pure>),
+    /// Implication.
+    Implies(Box<Pure>, Box<Pure>),
+}
+
+impl Pure {
+    /// `⊤`.
+    pub fn tt() -> Pure {
+        Pure::Const(true)
+    }
+
+    /// `⊥`.
+    pub fn ff() -> Pure {
+        Pure::Const(false)
+    }
+
+    /// Equality with constant folding.
+    pub fn eq(a: BitExpr, b: BitExpr) -> Pure {
+        if let (BitExpr::Lit(x), BitExpr::Lit(y)) = (&a, &b) {
+            return Pure::Const(x == y);
+        }
+        if a == b {
+            return Pure::tt();
+        }
+        Pure::Eq(a, b)
+    }
+
+    /// Negation with simplification.
+    #[allow(clippy::should_implement_trait)] // DSL-style smart constructor
+    pub fn not(p: Pure) -> Pure {
+        match p {
+            Pure::Const(b) => Pure::Const(!b),
+            Pure::Not(inner) => *inner,
+            other => Pure::Not(Box::new(other)),
+        }
+    }
+
+    /// Conjunction with simplification.
+    pub fn and(a: Pure, b: Pure) -> Pure {
+        match (&a, &b) {
+            (Pure::Const(false), _) | (_, Pure::Const(false)) => Pure::ff(),
+            (Pure::Const(true), _) => b,
+            (_, Pure::Const(true)) => a,
+            _ => Pure::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Conjunction of many formulas.
+    pub fn and_all(ps: impl IntoIterator<Item = Pure>) -> Pure {
+        ps.into_iter().fold(Pure::tt(), Pure::and)
+    }
+
+    /// Disjunction with simplification.
+    pub fn or(a: Pure, b: Pure) -> Pure {
+        match (&a, &b) {
+            (Pure::Const(true), _) | (_, Pure::Const(true)) => Pure::tt(),
+            (Pure::Const(false), _) => b,
+            (_, Pure::Const(false)) => a,
+            _ => Pure::Or(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction of many formulas.
+    pub fn or_all(ps: impl IntoIterator<Item = Pure>) -> Pure {
+        ps.into_iter().fold(Pure::ff(), Pure::or)
+    }
+
+    /// Implication with simplification.
+    pub fn implies(a: Pure, b: Pure) -> Pure {
+        match (&a, &b) {
+            (Pure::Const(false), _) => Pure::tt(),
+            (Pure::Const(true), _) => b,
+            (_, Pure::Const(true)) => Pure::tt(),
+            (_, Pure::Const(false)) => Pure::not(a),
+            _ => Pure::Implies(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Applies a side substitution through the formula.
+    pub fn subst_side(
+        &self,
+        side: Side,
+        buf: &BitExpr,
+        store: &dyn Fn(HeaderId) -> BitExpr,
+        ctx: &ExprCtx<'_>,
+    ) -> Pure {
+        match self {
+            Pure::Const(_) => self.clone(),
+            Pure::Eq(a, b) => Pure::eq(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+            Pure::Not(p) => Pure::not(p.subst_side(side, buf, store, ctx)),
+            Pure::And(a, b) => Pure::and(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+            Pure::Or(a, b) => Pure::or(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+            Pure::Implies(a, b) => Pure::implies(
+                a.subst_side(side, buf, store, ctx),
+                b.subst_side(side, buf, store, ctx),
+            ),
+        }
+    }
+}
+
+/// A template-guarded configuration relation `t₁< ∧ t₂> ⇒ φ`
+/// (Definition 4.7).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ConfRel {
+    /// The guard templates.
+    pub guard: TemplatePair,
+    /// Widths of the packet variables appearing in `phi`.
+    pub vars: Vec<usize>,
+    /// The pure body.
+    pub phi: Pure,
+}
+
+impl ConfRel {
+    /// A width context for this relation's body.
+    pub fn ctx<'a>(&'a self, aut: &'a Automaton) -> ExprCtx<'a> {
+        ExprCtx {
+            aut,
+            left_buf: self.guard.left.buf_len,
+            right_buf: self.guard.right.buf_len,
+            var_widths: &self.vars,
+        }
+    }
+
+    /// Renders the relation with names for diagnostics.
+    pub fn display(&self, aut: &Automaton) -> String {
+        format!(
+            "{} ⇒ {}",
+            self.guard.display(aut),
+            display_pure(&self.phi, aut)
+        )
+    }
+}
+
+fn display_pure(p: &Pure, aut: &Automaton) -> String {
+    match p {
+        Pure::Const(true) => "⊤".into(),
+        Pure::Const(false) => "⊥".into(),
+        Pure::Eq(a, b) => format!("{} = {}", display_expr(a, aut), display_expr(b, aut)),
+        Pure::Not(p) => format!("¬({})", display_pure(p, aut)),
+        Pure::And(a, b) => format!("({} ∧ {})", display_pure(a, aut), display_pure(b, aut)),
+        Pure::Or(a, b) => format!("({} ∨ {})", display_pure(a, aut), display_pure(b, aut)),
+        Pure::Implies(a, b) => {
+            format!("({} ⇒ {})", display_pure(a, aut), display_pure(b, aut))
+        }
+    }
+}
+
+fn display_expr(e: &BitExpr, aut: &Automaton) -> String {
+    match e {
+        BitExpr::Lit(bv) => format!("0b{bv}"),
+        BitExpr::Buf(s) => format!("buf{}", s.symbol()),
+        BitExpr::Hdr(s, h) => format!("{}{}", aut.header_name(*h), s.symbol()),
+        BitExpr::Var(v) => format!("x{}", v.0),
+        BitExpr::Slice(e, start, len) => {
+            format!("{}[{start};{len}]", display_expr(e, aut))
+        }
+        BitExpr::Concat(a, b) => {
+            format!("({} ++ {})", display_expr(a, aut), display_expr(b, aut))
+        }
+    }
+}

@@ -151,7 +151,10 @@ pub fn check(aut: &Automaton, cert: &Certificate) -> Result<(), CertificateError
 }
 
 /// Checks the entailment obligations across worker threads, returning the
-/// first failing obligation (if any).
+/// *lowest-index* failing obligation (if any). Deterministic: whichever
+/// worker wins the race, the reported failure is the same one a sequential
+/// sweep would find, so error messages are stable across runs and match
+/// the independent `leapfrog-certcheck` checker obligation-for-obligation.
 fn parallel_find_failure(
     aut: &Automaton,
     relation: &[ConfRel],
@@ -167,25 +170,32 @@ fn parallel_find_failure(
             .find(|ob| !entails_stateless(aut, relation, ob))
             .cloned();
     }
-    let failed: std::sync::Mutex<Option<ConfRel>> = std::sync::Mutex::new(None);
+    let failed: std::sync::Mutex<Option<(usize, ConfRel)>> = std::sync::Mutex::new(None);
     let chunk = obligations.len().div_ceil(workers);
     std::thread::scope(|s| {
-        for part in obligations.chunks(chunk) {
+        for (c, part) in obligations.chunks(chunk).enumerate() {
             let failed = &failed;
             s.spawn(move || {
-                for ob in part {
-                    if failed.lock().unwrap().is_some() {
+                for (i, ob) in part.iter().enumerate() {
+                    let index = c * chunk + i;
+                    // A recorded failure below our position makes the rest
+                    // of this chunk irrelevant; one at a higher position
+                    // can still be improved on.
+                    if matches!(&*failed.lock().unwrap(), Some((best, _)) if *best < index) {
                         return;
                     }
                     if !entails_stateless(aut, relation, ob) {
-                        *failed.lock().unwrap() = Some(ob.clone());
+                        let mut slot = failed.lock().unwrap();
+                        if !matches!(&*slot, Some((best, _)) if *best < index) {
+                            *slot = Some((index, ob.clone()));
+                        }
                         return;
                     }
                 }
             });
         }
     });
-    failed.into_inner().unwrap()
+    failed.into_inner().unwrap().map(|(_, ob)| ob)
 }
 
 #[cfg(test)]
@@ -270,5 +280,30 @@ mod tests {
             ),
         });
         assert!(check(&aut, &cert).is_err());
+    }
+
+    #[test]
+    fn closure_failure_is_deterministic() {
+        // Two independently-failing bogus conjuncts: whichever worker
+        // races ahead, the reported failure must be the lowest-index
+        // obligation, i.e. the same error every run.
+        let (aut, cert) = certified_pair();
+        let guard = cert.query.guard;
+        let h = aut.header_by_name("l.h").unwrap();
+        let bogus = |bits: &str| ConfRel {
+            guard,
+            vars: vec![],
+            phi: Pure::eq(
+                BitExpr::Hdr(Side::Left, h),
+                BitExpr::Lit(bits.parse().unwrap()),
+            ),
+        };
+        let mut tampered = cert.clone();
+        tampered.relation.push(bogus("11"));
+        tampered.relation.push(bogus("00"));
+        let first = check(&aut, &tampered).unwrap_err();
+        for _ in 0..10 {
+            assert_eq!(check(&aut, &tampered).unwrap_err(), first);
+        }
     }
 }

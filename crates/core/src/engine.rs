@@ -1052,7 +1052,10 @@ impl Engine {
                 continue;
             }
             adopted += entries.iter().map(|(_, memo)| memo.len()).sum::<usize>();
-            self.saved_warm.entry((fp, fp2)).or_default().extend(entries);
+            self.saved_warm
+                .entry((fp, fp2))
+                .or_default()
+                .extend(entries);
         }
         if adopted > 0 {
             let note = format!(

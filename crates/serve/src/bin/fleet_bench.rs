@@ -79,7 +79,11 @@ fn main() {
     let names: Vec<String> = standard_benchmarks(scale)
         .iter()
         .map(|b| b.name.to_string())
-        .chain(mutants::mutant_benchmarks().iter().map(|b| b.name.to_string()))
+        .chain(
+            mutants::mutant_benchmarks()
+                .iter()
+                .map(|b| b.name.to_string()),
+        )
         .collect();
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -107,7 +111,9 @@ fn main() {
     failures += diff(&single, &merged, "workers=1", "workers=2+merge");
     if memo_hits == 0 {
         failures += 1;
-        eprintln!("FAIL merge: the 2-worker fleet replayed no memoized verdicts from the 4-worker save");
+        eprintln!(
+            "FAIL merge: the 2-worker fleet replayed no memoized verdicts from the 4-worker save"
+        );
     } else {
         println!("merge leg: 2-worker fleet replayed {memo_hits} memoized verdicts from the 4-worker save");
     }

@@ -14,6 +14,12 @@
 //! failure; on success the daemon is asked to shut down (unless
 //! `--no-shutdown`) and the process exits 0.
 //!
+//! Every `Equivalent` verdict is additionally round-tripped through the
+//! daemon's `verify` request: the wire certificate must re-discharge in
+//! the independent `leapfrog-certcheck` trust root, and a deliberately
+//! tampered copy (corrupted leap flag) must be rejected with a named
+//! obligation.
+//!
 //! After the rows, the gauntlet re-checks the first row (guaranteeing at
 //! least one warm memo hit) and scrapes the daemon's `metrics` request:
 //! the Prometheus exposition must parse, the core counters (checks,
@@ -92,6 +98,8 @@ fn main() {
         rows.extend(mutants::mutant_benchmarks());
     }
     let mut failures = 0usize;
+    let mut certified = 0usize;
+    let mut tamper_target: Option<(String, leapfrog::Certificate)> = None;
     for bench in &rows {
         let local = outcome_to_value(&check_language_equivalence(
             &bench.left,
@@ -130,11 +138,62 @@ fn main() {
                         );
                     }
                 }
+                // Every wire certificate goes back through the daemon's
+                // `verify` request: the independent trust root must
+                // re-discharge every obligation.
+                if let leapfrog_serve::WireOutcome::Equivalent(cert) = &reply.outcome {
+                    match client.verify_named(bench.name, &cert.to_json()) {
+                        Ok(v) if v.ok => certified += 1,
+                        Ok(v) => {
+                            failures += 1;
+                            eprintln!(
+                                "FAIL {:<28} trust root rejected the wire certificate [{}]: {}",
+                                bench.name,
+                                v.error_class.as_deref().unwrap_or("?"),
+                                v.detail.as_deref().unwrap_or("?"),
+                            );
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            eprintln!("FAIL {:<28} verify request: {e}", bench.name);
+                        }
+                    }
+                    if tamper_target.is_none() {
+                        tamper_target = Some((bench.name.to_string(), cert.clone()));
+                    }
+                }
             }
             Err(e) => {
                 failures += 1;
                 eprintln!("FAIL {:<28} protocol error: {e}", bench.name);
             }
+        }
+    }
+
+    // The negative verify leg: a tampered certificate (corrupted leap
+    // flag) must be rejected with a named failing obligation.
+    match &tamper_target {
+        Some((name, cert)) => {
+            let mut bad = cert.clone();
+            bad.leaps = !bad.leaps;
+            match client.verify_named(name, &bad.to_json()) {
+                Ok(v) if !v.ok => println!(
+                    "verify: {certified} wire certificates re-discharged; tampered one rejected [{}]",
+                    v.error_class.as_deref().unwrap_or("?"),
+                ),
+                Ok(_) => {
+                    failures += 1;
+                    eprintln!("FAIL {name:<28} trust root accepted a tampered certificate");
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("FAIL {name:<28} tampered verify request: {e}");
+                }
+            }
+        }
+        None => {
+            failures += 1;
+            eprintln!("FAIL no equivalent row produced a certificate to verify");
         }
     }
 

@@ -8,7 +8,8 @@ use leapfrog::RunStats;
 
 use crate::proto::{
     self, fleet_stats_from_value, overloaded_from_value, run_stats_from_value,
-    wire_outcome_from_value, FleetStats, Overloaded, PairSpec, Request, WireOptions, WireOutcome,
+    verify_reply_from_value, wire_outcome_from_value, FleetStats, Overloaded, PairSpec, Request,
+    VerifyReply, WireOptions, WireOutcome,
 };
 
 /// Why a client call failed. Soak and load tools branch on this: an
@@ -133,9 +134,8 @@ impl Client {
     /// Sends one request value and reads the reply value.
     pub fn round_trip(&mut self, request: &Value) -> Result<Value, ClientError> {
         proto::write_frame(&mut self.stream, &request.render())?;
-        let reply = proto::read_frame(&mut self.stream)?.ok_or_else(|| {
-            ClientError::Protocol("server closed the connection".to_string())
-        })?;
+        let reply = proto::read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".to_string()))?;
         json::parse(&reply).map_err(|e| ClientError::Protocol(e.to_string()))
     }
 
@@ -203,6 +203,33 @@ impl Client {
         self.check(PairSpec::Named(name.to_string()), options)
     }
 
+    /// Asks the daemon to re-validate a certificate for a pair through
+    /// the independent `leapfrog-certcheck` trust root. `certificate_json`
+    /// is the `"Equivalent"` payload of a check reply (or a loaded
+    /// archive); the reply names the failing obligation on rejection.
+    pub fn verify(
+        &mut self,
+        pair: PairSpec,
+        certificate_json: &str,
+    ) -> Result<VerifyReply, ClientError> {
+        let certificate = json::parse(certificate_json)
+            .map_err(|e| ClientError::Protocol(format!("certificate is not JSON: {e}")))?;
+        let reply = self.round_trip_checked(&proto::request_to_value(&Request::Verify {
+            pair,
+            certificate,
+        }))?;
+        verify_reply_from_value(&reply).map_err(ClientError::Protocol)
+    }
+
+    /// [`Client::verify`] against a named suite row.
+    pub fn verify_named(
+        &mut self,
+        name: &str,
+        certificate_json: &str,
+    ) -> Result<VerifyReply, ClientError> {
+        self.verify(PairSpec::Named(name.to_string()), certificate_json)
+    }
+
     /// The fleet's aggregate cumulative statistics (the `"engine"`
     /// payload of the `stats` reply — field-wise sum over all shards).
     pub fn engine_stats(&mut self) -> Result<Value, ClientError> {
@@ -245,8 +272,7 @@ impl Client {
     /// Asks the daemon to persist its state (when configured) and exit.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         let reply = self.round_trip_checked(&proto::request_to_value(&Request::Shutdown))?;
-        json::get(&reply, "bye")
-            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        json::get(&reply, "bye").map_err(|e| ClientError::Protocol(e.to_string()))?;
         Ok(())
     }
 }

@@ -46,6 +46,6 @@ pub mod server;
 pub use client::{CheckReply, Client, ClientError};
 pub use proto::{
     outcome_to_value, read_frame, write_frame, EngineStatsReply, FleetStats, OverloadScope,
-    Overloaded, PairSpec, Request, WireOutcome,
+    Overloaded, PairSpec, Request, VerifyReply, WireOutcome,
 };
 pub use server::{Server, ServerOptions};

@@ -15,6 +15,7 @@
 //! {"check": {"pair": {"inline": {"left": "parser A { … }", "left_start": "s",
 //!                                "right": "parser B { … }", "right_start": "s"}},
 //!            "options": {"leaps": true, "max_iterations": 10000}}}
+//! {"verify": {"pair": {"named": "Speculative loop"}, "certificate": {…certificate…}}}
 //! {"stats": {}}
 //! {"metrics": {}}
 //! {"slow_log": {}}
@@ -28,6 +29,11 @@
 //! individually instead of joining a batch, since it poses a different
 //! query shape).
 //!
+//! `verify` re-validates a previously obtained certificate against the
+//! pair's sum automaton through the independent `leapfrog-certcheck`
+//! trust root — own JSON decoding, WP transformer, and solver; no engine
+//! state is touched, so the connection thread answers it directly.
+//!
 //! # Responses
 //!
 //! ```json
@@ -37,6 +43,9 @@
 //!  "shards": [{"shard": 0, "engine": {…}}, …], "metrics": {…registry counters…}}
 //! {"metrics": {"text": "<Prometheus exposition>", "json": {…}}}
 //! {"slow_queries": [{"label": "…", "wall_ms": 12, "threshold_ms": 5, "spans": […]}]}
+//! {"verified": {"ok": true}}
+//! {"verified": {"ok": false, "class": "not_closed",
+//!               "detail": "relation is not closed under WP: …"}}
 //! {"overloaded": {"scope": "shard", "shard": 2, "depth": 256, "limit": 256,
 //!                 "retry_after_ms": 120}}
 //! {"bye": true}
@@ -161,7 +170,7 @@ impl WireOptions {
 }
 
 /// One wire request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Pose a language-equivalence query.
     Check {
@@ -169,6 +178,15 @@ pub enum Request {
         pair: PairSpec,
         /// Per-query option overrides.
         options: WireOptions,
+    },
+    /// Re-validate a certificate for a pair through the independent
+    /// `leapfrog-certcheck` trust root.
+    Verify {
+        /// The parser pair the certificate is about.
+        pair: PairSpec,
+        /// The certificate document (the `"Equivalent"` payload of a
+        /// check reply, or a loaded archive).
+        certificate: Value,
     },
     /// Ask for the engine's cumulative statistics.
     Stats,
@@ -182,28 +200,55 @@ pub enum Request {
     Shutdown,
 }
 
+/// Encodes a pair spec (the `"pair"` payload of check/verify requests).
+fn pair_spec_to_value(pair: &PairSpec) -> Value {
+    match pair {
+        PairSpec::Named(name) => json::obj(vec![("named", Value::Str(name.clone()))]),
+        PairSpec::Inline {
+            left,
+            left_start,
+            right,
+            right_start,
+        } => json::obj(vec![(
+            "inline",
+            json::obj(vec![
+                ("left", Value::Str(left.clone())),
+                ("left_start", Value::Str(left_start.clone())),
+                ("right", Value::Str(right.clone())),
+                ("right_start", Value::Str(right_start.clone())),
+            ]),
+        )]),
+    }
+}
+
+/// Decodes a pair spec.
+fn pair_spec_from_value(pair_v: &Value) -> Result<PairSpec, String> {
+    let err = |e: json::JsonError| e.to_string();
+    if let Ok(name) = json::get(pair_v, "named") {
+        return Ok(PairSpec::Named(
+            json::as_str(name).map_err(err)?.to_string(),
+        ));
+    }
+    let inline = json::get(pair_v, "inline")
+        .map_err(|_| "pair must be {\"named\": …} or {\"inline\": …}".to_string())?;
+    let field = |k: &str| -> Result<String, String> {
+        Ok(json::as_str(json::get(inline, k).map_err(err)?)
+            .map_err(err)?
+            .to_string())
+    };
+    Ok(PairSpec::Inline {
+        left: field("left")?,
+        left_start: field("left_start")?,
+        right: field("right")?,
+        right_start: field("right_start")?,
+    })
+}
+
 /// Encodes a request.
 pub fn request_to_value(req: &Request) -> Value {
     match req {
         Request::Check { pair, options } => {
-            let pair_v = match pair {
-                PairSpec::Named(name) => json::obj(vec![("named", Value::Str(name.clone()))]),
-                PairSpec::Inline {
-                    left,
-                    left_start,
-                    right,
-                    right_start,
-                } => json::obj(vec![(
-                    "inline",
-                    json::obj(vec![
-                        ("left", Value::Str(left.clone())),
-                        ("left_start", Value::Str(left_start.clone())),
-                        ("right", Value::Str(right.clone())),
-                        ("right_start", Value::Str(right_start.clone())),
-                    ]),
-                )]),
-            };
-            let mut fields = vec![("pair", pair_v)];
+            let mut fields = vec![("pair", pair_spec_to_value(pair))];
             if !options.is_default() {
                 let mut opt_fields = Vec::new();
                 if let Some(b) = options.leaps {
@@ -222,6 +267,13 @@ pub fn request_to_value(req: &Request) -> Value {
             }
             json::obj(vec![("check", json::obj(fields))])
         }
+        Request::Verify { pair, certificate } => json::obj(vec![(
+            "verify",
+            json::obj(vec![
+                ("pair", pair_spec_to_value(pair)),
+                ("certificate", certificate.clone()),
+            ]),
+        )]),
         Request::Stats => json::obj(vec![("stats", json::obj(vec![]))]),
         Request::Metrics => json::obj(vec![("metrics", json::obj(vec![]))]),
         Request::SlowLog => json::obj(vec![("slow_log", json::obj(vec![]))]),
@@ -233,24 +285,7 @@ pub fn request_to_value(req: &Request) -> Value {
 pub fn request_from_value(v: &Value) -> Result<Request, String> {
     let err = |e: json::JsonError| e.to_string();
     if let Ok(body) = json::get(v, "check") {
-        let pair_v = json::get(body, "pair").map_err(err)?;
-        let pair = if let Ok(name) = json::get(pair_v, "named") {
-            PairSpec::Named(json::as_str(name).map_err(err)?.to_string())
-        } else {
-            let inline = json::get(pair_v, "inline")
-                .map_err(|_| "pair must be {\"named\": …} or {\"inline\": …}".to_string())?;
-            let field = |k: &str| -> Result<String, String> {
-                Ok(json::as_str(json::get(inline, k).map_err(err)?)
-                    .map_err(err)?
-                    .to_string())
-            };
-            PairSpec::Inline {
-                left: field("left")?,
-                left_start: field("left_start")?,
-                right: field("right")?,
-                right_start: field("right_start")?,
-            }
-        };
+        let pair = pair_spec_from_value(json::get(body, "pair").map_err(err)?)?;
         let mut options = WireOptions::default();
         if let Ok(opts) = json::get(body, "options") {
             if let Ok(b) = json::get(opts, "leaps") {
@@ -268,6 +303,12 @@ pub fn request_from_value(v: &Value) -> Result<Request, String> {
         }
         return Ok(Request::Check { pair, options });
     }
+    if let Ok(body) = json::get(v, "verify") {
+        return Ok(Request::Verify {
+            pair: pair_spec_from_value(json::get(body, "pair").map_err(err)?)?,
+            certificate: json::get(body, "certificate").map_err(err)?.clone(),
+        });
+    }
     if json::get(v, "stats").is_ok() {
         return Ok(Request::Stats);
     }
@@ -280,7 +321,81 @@ pub fn request_from_value(v: &Value) -> Result<Request, String> {
     if json::get(v, "shutdown").is_ok() {
         return Ok(Request::Shutdown);
     }
-    Err("unknown request (expected check / stats / metrics / slow_log / shutdown)".to_string())
+    Err(
+        "unknown request (expected check / verify / stats / metrics / slow_log / shutdown)"
+            .to_string(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Verification
+
+/// The typed `verified` reply: the trust root's verdict on a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReply {
+    /// Whether every obligation re-discharged.
+    pub ok: bool,
+    /// The failing obligation class (stable machine-readable name, e.g.
+    /// `"not_closed"`); `None` iff `ok`.
+    pub error_class: Option<String>,
+    /// Human-readable description of the failing obligation; `None` iff
+    /// `ok`.
+    pub detail: Option<String>,
+}
+
+impl VerifyReply {
+    /// The accepting reply.
+    pub fn accepted() -> VerifyReply {
+        VerifyReply {
+            ok: true,
+            error_class: None,
+            detail: None,
+        }
+    }
+
+    /// A rejecting reply carrying the named failing obligation.
+    pub fn rejected(class: &str, detail: &str) -> VerifyReply {
+        VerifyReply {
+            ok: false,
+            error_class: Some(class.to_string()),
+            detail: Some(detail.to_string()),
+        }
+    }
+}
+
+/// Encodes a verify reply as a full reply document: `{"verified": {…}}`.
+pub fn verify_reply_to_value(r: &VerifyReply) -> Value {
+    let mut fields = vec![("ok", Value::Bool(r.ok))];
+    if let Some(class) = &r.error_class {
+        fields.push(("class", Value::Str(class.clone())));
+    }
+    if let Some(detail) = &r.detail {
+        fields.push(("detail", Value::Str(detail.clone())));
+    }
+    json::obj(vec![("verified", json::obj(fields))])
+}
+
+/// Decodes a `{"verified": {…}}` reply. An accepting reply must carry no
+/// error payload and a rejecting one must carry both fields.
+pub fn verify_reply_from_value(v: &Value) -> Result<VerifyReply, String> {
+    let err = |e: json::JsonError| e.to_string();
+    let body = json::get(v, "verified").map_err(err)?;
+    let ok = json::as_bool(json::get(body, "ok").map_err(err)?).map_err(err)?;
+    let field = |k: &str| -> Result<Option<String>, String> {
+        match json::get(body, k) {
+            Ok(v) => Ok(Some(json::as_str(v).map_err(err)?.to_string())),
+            Err(_) => Ok(None),
+        }
+    };
+    let reply = VerifyReply {
+        ok,
+        error_class: field("class")?,
+        detail: field("detail")?,
+    };
+    if ok != (reply.error_class.is_none() && reply.detail.is_none()) {
+        return Err("verified reply mixes ok with an error payload".to_string());
+    }
+    Ok(reply)
 }
 
 // ---------------------------------------------------------------------------

@@ -334,7 +334,8 @@ impl Server {
                 let state_dir = state_dir.clone();
                 let plan = plan.clone();
                 s.spawn(move || {
-                    let engine = build_shard_engine(config, state_dir.as_deref(), &plan, shard, workers);
+                    let engine =
+                        build_shard_engine(config, state_dir.as_deref(), &plan, shard, workers);
                     let save_dir = state_dir.map(|d| d.join(format!("shard-{shard}")));
                     shard_loop(engine, rx, depth, save_dir, ShardMeters::new(shard));
                 });
@@ -545,6 +546,23 @@ fn check_reply(outcome: &leapfrog::Outcome, stats: Value) -> Value {
     ])
 }
 
+/// The `verify` reply: resolve the pair, rebuild its sum automaton, and
+/// re-validate the certificate through the independent
+/// `leapfrog-certcheck` trust root. Touches no engine state — the
+/// connection thread answers it directly, like `metrics`.
+fn verify_reply(fleet: &Fleet, pair: &PairSpec, certificate: &Value) -> Value {
+    let (_, left, _, right, _) = match resolve(&fleet.rows, pair) {
+        Ok(r) => r,
+        Err(e) => return error_value(&e),
+    };
+    let sum = leapfrog_p4a::sum::sum(&left, &right);
+    let reply = match leapfrog_certcheck::check_json(&sum.automaton, &certificate.render()) {
+        Ok(()) => proto::VerifyReply::accepted(),
+        Err(e) => proto::VerifyReply::rejected(e.class(), &e.to_string()),
+    };
+    proto::verify_reply_to_value(&reply)
+}
+
 /// The `metrics` reply: one registry snapshot rendered both as
 /// Prometheus text exposition and as structured JSON, so the two views
 /// are always consistent with each other.
@@ -737,22 +755,20 @@ fn try_take_quota<'a>(
 /// wait for the verdict. Returns the rendered reply payload.
 fn run_check(fleet: &Fleet, peer: Option<IpAddr>, pair: PairSpec, options: WireOptions) -> String {
     let _slot = match (fleet.client_quota, peer) {
-        (quota, Some(ip)) if quota > 0 => {
-            match try_take_quota(&fleet.inflight, ip, quota) {
-                Ok(slot) => Some(slot),
-                Err(inflight) => {
-                    meters::OVERLOADED_TOTAL.inc();
-                    return overloaded_to_value(&Overloaded {
-                        scope: OverloadScope::Client,
-                        shard: None,
-                        depth: inflight,
-                        limit: quota as u64,
-                        retry_after_ms: retry_after_ms(inflight),
-                    })
-                    .render();
-                }
+        (quota, Some(ip)) if quota > 0 => match try_take_quota(&fleet.inflight, ip, quota) {
+            Ok(slot) => Some(slot),
+            Err(inflight) => {
+                meters::OVERLOADED_TOTAL.inc();
+                return overloaded_to_value(&Overloaded {
+                    scope: OverloadScope::Client,
+                    shard: None,
+                    depth: inflight,
+                    limit: quota as u64,
+                    retry_after_ms: retry_after_ms(inflight),
+                })
+                .render();
             }
-        }
+        },
         _ => None,
     };
     let (name, left, ql, right, qr) = match resolve(&fleet.rows, &pair) {
@@ -899,6 +915,9 @@ fn handle_connection(mut stream: TcpStream, fleet: &Fleet, stop: &AtomicBool) {
             Ok(Request::Check { pair, options }) => run_check(fleet, peer, pair, options),
             // Introspection requests read only process-global state:
             // answered right here, never queued behind a check.
+            Ok(Request::Verify { pair, certificate }) => {
+                verify_reply(fleet, &pair, &certificate).render()
+            }
             Ok(Request::Metrics) => metrics_reply().render(),
             Ok(Request::SlowLog) => slow_log_reply().render(),
             Ok(Request::Stats) => stats_reply(fleet).render(),

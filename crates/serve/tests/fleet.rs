@@ -86,10 +86,7 @@ fn verdict_bytes_identical_across_worker_counts() {
     shutdown(&addr, handle);
 
     assert_eq!(single.len(), names.len());
-    assert_eq!(
-        single, sharded,
-        "sharding must never change a verdict byte"
-    );
+    assert_eq!(single, sharded, "sharding must never change a verdict byte");
 }
 
 #[test]

@@ -14,9 +14,9 @@ use leapfrog_obs::{PhaseBreakdown, PhaseStat, PHASES};
 use leapfrog_serve::proto::{
     fleet_stats_from_value, fleet_stats_to_value, outcome_to_value, overloaded_from_value,
     overloaded_to_value, request_from_value, request_to_value, run_stats_from_value,
-    run_stats_to_value, wire_outcome_from_value, wire_outcome_to_value, wire_witness_of,
-    EngineStatsReply, FleetStats, OverloadScope, Overloaded, PairSpec, Request, WireOptions,
-    WireOutcome,
+    run_stats_to_value, verify_reply_from_value, verify_reply_to_value, wire_outcome_from_value,
+    wire_outcome_to_value, wire_witness_of, EngineStatsReply, FleetStats, OverloadScope,
+    Overloaded, PairSpec, Request, VerifyReply, WireOptions, WireOutcome,
 };
 use leapfrog_smt::{QueryStats, SolverStats};
 use leapfrog_suite::mutants::mutant_benchmarks;
@@ -240,8 +240,9 @@ fn fleet_stats_roundtrip_randomized() {
     };
     for round in 0..40 {
         let workers = 1 + (next() % 8) as usize;
-        let shards: Vec<EngineStatsReply> =
-            (0..workers).map(|_| random_stats_reply(&mut next)).collect();
+        let shards: Vec<EngineStatsReply> = (0..workers)
+            .map(|_| random_stats_reply(&mut next))
+            .collect();
         let fleet = FleetStats::of_shards(shards.clone());
         assert_eq!(fleet.workers, workers);
         let summed: u64 = shards.iter().map(|s| s.stats.checks).sum();
@@ -356,5 +357,79 @@ fn requests_roundtrip() {
         let back = request_from_value(&json::parse(&text).unwrap()).unwrap();
         assert_eq!(&back, req, "request round trip: {text}");
         assert_eq!(request_to_value(&back).render(), text);
+    }
+}
+
+#[test]
+fn verify_requests_roundtrip_with_a_real_certificate() {
+    // A verify request embeds the certificate document verbatim; the
+    // round trip must preserve it byte-for-byte so the daemon's trust
+    // root sees exactly what the client archived.
+    let bench = &standard_benchmarks(Scale::Small)[0];
+    let outcome = check_language_equivalence(
+        &bench.left,
+        bench.left_start,
+        &bench.right,
+        bench.right_start,
+    );
+    let Outcome::Equivalent(cert) = outcome else {
+        panic!("{} must verify", bench.name);
+    };
+    let requests = [
+        Request::Verify {
+            pair: PairSpec::Named(bench.name.to_string()),
+            certificate: json::parse(&cert.to_json()).unwrap(),
+        },
+        Request::Verify {
+            pair: PairSpec::Inline {
+                left: "parser A { state s { extract(h, 2); goto accept; } }".into(),
+                left_start: "s".into(),
+                right: "parser B { state s { extract(g, 2); goto accept; } }".into(),
+                right_start: "s".into(),
+            },
+            certificate: json::parse("{\"leaps\": true}").unwrap(),
+        },
+    ];
+    for req in &requests {
+        let text = request_to_value(req).render();
+        let back = request_from_value(&json::parse(&text).unwrap()).unwrap();
+        assert_eq!(&back, req, "verify request round trip: {text}");
+        assert_eq!(request_to_value(&back).render(), text);
+        // The embedded certificate must survive rendering unchanged.
+        if let Request::Verify { certificate, .. } = &back {
+            let body = json::get(&json::parse(&text).unwrap(), "verify")
+                .and_then(|b| json::get(b, "certificate").cloned())
+                .unwrap();
+            assert_eq!(&body, certificate);
+        }
+    }
+}
+
+#[test]
+fn verify_replies_roundtrip() {
+    let replies = [
+        VerifyReply::accepted(),
+        VerifyReply::rejected(
+            "not_closed",
+            "relation is not closed under WP: ⟨l.s, 0⟩ / ⟨r.t, 1⟩ ⇒ …",
+        ),
+        VerifyReply::rejected("malformed", "relation[3]: unknown expression tag"),
+    ];
+    for reply in &replies {
+        let text = verify_reply_to_value(reply).render();
+        let parsed = json::parse(&text).expect("verify reply JSON parses");
+        assert_eq!(parsed.render(), text, "value round trip: {text}");
+        let decoded = verify_reply_from_value(&parsed).expect("typed decode");
+        assert_eq!(&decoded, reply, "typed fields survive: {text}");
+        assert_eq!(verify_reply_to_value(&decoded).render(), text);
+    }
+    // An accepting reply carrying an error payload (or a rejection
+    // missing one) is a protocol error, not a lenient decode.
+    for bad in [
+        "{\"verified\": {\"ok\": true, \"class\": \"not_closed\", \"detail\": \"x\"}}",
+        "{\"verified\": {\"ok\": false}}",
+    ] {
+        let parsed = json::parse(bad).unwrap();
+        assert!(verify_reply_from_value(&parsed).is_err(), "{bad}");
     }
 }
