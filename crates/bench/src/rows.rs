@@ -62,6 +62,11 @@ pub struct RowResult {
     pub sat_conflicts: u64,
     /// CDCL unit propagations across every SAT solve of the run.
     pub sat_propagations: u64,
+    /// Configured SAT portfolio lanes (0 when no portfolio raced — the
+    /// single-solver baseline).
+    pub portfolio_lanes: u64,
+    /// Portfolio races won per lane index (all-zero without a portfolio).
+    pub portfolio_wins: Vec<u64>,
     /// Cold wall-clock of this row on a transient engine pinned to 1
     /// worker thread — the intra-query parallel axis's baseline point
     /// (`None` when the host cannot measure it).
@@ -265,7 +270,8 @@ pub fn rows_to_json(
              \"speedup\": {}, \"cegar_rounds\": {}, \"blocks_validated\": {}, \
              \"blocks_considered\": {}, \"session_rebuilds\": {}, \
              \"peak_live_clauses\": {}, \"sat_conflicts\": {}, \
-             \"sat_propagations\": {}, \"cold_t1_secs\": {}, \
+             \"sat_propagations\": {}, \"portfolio_lanes\": {}, \
+             \"portfolio_win_histogram\": [{}], \"cold_t1_secs\": {}, \
              \"cold_t4_secs\": {}, \"warm_speedup\": {}, \
              \"sessions_reused\": {}, \"sum_cache_hits\": {}, \
              \"entailment_memo_hits\": {}, \"certcheck_secs\": {}, \
@@ -293,6 +299,12 @@ pub fn rows_to_json(
             row.peak_live_clauses,
             row.sat_conflicts,
             row.sat_propagations,
+            row.portfolio_lanes,
+            row.portfolio_wins
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
             row.cold_t1
                 .map(|d| format!("{:.6}", d.as_secs_f64()))
                 .unwrap_or_else(|| "null".into()),
@@ -369,6 +381,8 @@ fn finish(
         peak_live_clauses: stats.queries.live_clauses_peak,
         sat_conflicts: stats.queries.sat.conflicts,
         sat_propagations: stats.queries.sat.propagations,
+        portfolio_lanes: stats.queries.portfolio.lanes,
+        portfolio_wins: stats.queries.portfolio.wins.to_vec(),
         cold_t1: None,
         cold_t4: None,
         warm_speedup: None,
@@ -430,6 +444,8 @@ mod tests {
             "\"peak_live_clauses\"",
             "\"sat_conflicts\"",
             "\"sat_propagations\"",
+            "\"portfolio_lanes\"",
+            "\"portfolio_win_histogram\"",
             "\"cold_t1_secs\": 0.500000",
             "\"cold_t4_secs\": 0.250000",
             "\"warm_speedup\": 2.0000",

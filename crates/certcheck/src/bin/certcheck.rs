@@ -6,7 +6,10 @@
 //! prints the named failing obligation and exits 1 (2 for usage errors).
 //!
 //! Usage:
-//!   certcheck <left.p4a> <left-start> <right.p4a> <right-start> <cert.json>
+//!
+//! ```text
+//! certcheck <left.p4a> <left-start> <right.p4a> <right-start> <cert.json>
+//! ```
 
 use std::process::ExitCode;
 

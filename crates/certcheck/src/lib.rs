@@ -31,6 +31,8 @@
 //!    `ρ ∈ R` over every reachable predecessor pair;
 //! 4. the query entails every relation conjunct at the query's guard.
 
+#![warn(missing_docs)]
+
 use std::fmt;
 
 use leapfrog_p4a::ast::Automaton;

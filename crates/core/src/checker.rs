@@ -4,7 +4,7 @@
 //! ablation).
 //!
 //! Since the persistent-engine redesign, this module is a *thin wrapper*:
-//! a [`Checker`] owns a transient [`Engine`](crate::Engine) configured
+//! a [`Checker`] owns a transient [`Engine`] configured
 //! from its [`Options`] and delegates the actual worklist run to it (see
 //! [`crate::engine`] for the algorithm and the warm-state machinery).
 //! Certificates and witnesses are byte-identical whichever entry point is
@@ -29,7 +29,7 @@ use crate::stats::RunStats;
 /// described in the paper; the §7.3 ablation disables them selectively.
 /// [`Options::default`] reads the `LEAPFROG_*` environment variables —
 /// the typed, env-free configuration path is
-/// [`EngineConfig`](crate::EngineConfig).
+/// [`EngineConfig`].
 #[derive(Debug, Clone, Copy)]
 pub struct Options {
     /// Use bisimulations with leaps (§5.2). Disabling falls back to
@@ -79,6 +79,13 @@ pub struct Options {
     /// Verdicts and witnesses are identical either way; only solver
     /// wall-clock changes.
     pub sat_lbd: bool,
+    /// SAT portfolio racing: the number of differently-configured CDCL
+    /// lanes racing each sufficiently large entailment solve (first answer
+    /// wins, deterministic tie-break, models always from the canonical
+    /// lane 0). `0` or `1` disable racing. Defaults from
+    /// `LEAPFROG_SAT_PORTFOLIO`. Certificates and witnesses are
+    /// byte-identical at every lane count; only wall-clock changes.
+    pub sat_portfolio: usize,
 }
 
 impl Default for Options {
@@ -94,6 +101,10 @@ impl Default for Options {
             session_gc_floor: session_gc_floor_from_env(),
             blast_cache: std::env::var("LEAPFROG_NO_BLAST_CACHE").as_deref() != Ok("1"),
             sat_lbd: std::env::var("LEAPFROG_SAT_LBD").as_deref() != Ok("0"),
+            sat_portfolio: std::env::var("LEAPFROG_SAT_PORTFOLIO")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
     }
 }

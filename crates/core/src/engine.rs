@@ -63,7 +63,8 @@ use leapfrog_obs::{trace, Phase};
 use leapfrog_p4a::ast::{Automaton, StateId, Target};
 use leapfrog_p4a::sum::{sum, Sum};
 use leapfrog_smt::{
-    CheckResult, InstLedger, QueryStats, SharedBlastCache, SmtSolver, SolverConfig, LBD_BUCKETS,
+    CheckResult, InstLedger, PortfolioConfig, QueryStats, SharedBlastCache, SmtSolver,
+    SolverConfig, LBD_BUCKETS, MAX_PORTFOLIO_LANES,
 };
 
 use crate::certificate::Certificate;
@@ -96,6 +97,7 @@ pub const STATE_CORPUS_FILE: &str = "corpus.txt";
 /// | `LEAPFROG_STRICT_WITNESS` | [`strict_witness`](Self::strict_witness) |
 /// | `LEAPFROG_NO_BLAST_CACHE` | [`blast_cache`](Self::blast_cache) |
 /// | `LEAPFROG_SAT_LBD` | [`sat_lbd`](Self::sat_lbd) |
+/// | `LEAPFROG_SAT_PORTFOLIO` | [`sat_portfolio`](Self::sat_portfolio) |
 /// | `LEAPFROG_WARM_CAP` | [`warm_capacity`](Self::warm_capacity) |
 ///
 /// Only `leaps`, `reach_pruning`, `early_stop` and `max_iterations`
@@ -128,6 +130,12 @@ pub struct EngineConfig {
     /// core (off = activity-only deletion, the ablation baseline).
     /// Verdicts and witnesses are identical either way.
     pub sat_lbd: bool,
+    /// SAT portfolio racing lanes for entailment-session solves: `0`/`1`
+    /// run the single canonical solver; `n ≥ 2` race `n`
+    /// differently-configured CDCL lanes per sufficiently large solve,
+    /// first answer wins. Models are always the canonical lane's, so
+    /// certificates and witnesses are byte-identical at every lane count.
+    pub sat_portfolio: usize,
     /// LRU capacity bound on the warm-state maps (`0` = unbounded): at
     /// most this many warm query-shape states, interned pairs, resident
     /// guard sessions per pool and instantiation-ledger entries stay
@@ -154,6 +162,7 @@ impl Default for EngineConfig {
             session_gc_floor: DEFAULT_SESSION_GC_FLOOR,
             blast_cache: true,
             sat_lbd: true,
+            sat_portfolio: 0,
             warm_capacity: 0,
             state_dir: None,
         }
@@ -177,6 +186,10 @@ impl EngineConfig {
             session_gc_floor: session_gc_floor_from_env(),
             blast_cache: std::env::var("LEAPFROG_NO_BLAST_CACHE").as_deref() != Ok("1"),
             sat_lbd: std::env::var("LEAPFROG_SAT_LBD").as_deref() != Ok("0"),
+            sat_portfolio: std::env::var("LEAPFROG_SAT_PORTFOLIO")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
             warm_capacity: warm_capacity_from_env(),
             ..EngineConfig::default()
         }
@@ -196,6 +209,7 @@ impl EngineConfig {
             session_gc_floor: o.session_gc_floor,
             blast_cache: o.blast_cache,
             sat_lbd: o.sat_lbd,
+            sat_portfolio: o.sat_portfolio,
             ..EngineConfig::default()
         }
     }
@@ -213,6 +227,7 @@ impl EngineConfig {
             session_gc_floor: self.session_gc_floor,
             blast_cache: self.blast_cache,
             sat_lbd: self.sat_lbd,
+            sat_portfolio: self.sat_portfolio,
         }
     }
 
@@ -279,6 +294,13 @@ impl EngineConfig {
     /// CDCL core (builder style).
     pub fn sat_lbd(mut self, on: bool) -> Self {
         self.sat_lbd = on;
+        self
+    }
+
+    /// Sets the SAT portfolio lane count (builder style; `0`/`1` = no
+    /// racing).
+    pub fn sat_portfolio(mut self, lanes: usize) -> Self {
+        self.sat_portfolio = lanes;
         self
     }
 
@@ -514,7 +536,7 @@ fn pair_fingerprint(left: &Automaton, ql: StateId, right: &Automaton, qr: StateI
 }
 
 /// The stable 128-bit routing fingerprint of a query pair: both salted
-/// [`pair_fingerprint`] halves packed into one integer — the same key
+/// `pair_fingerprint` halves packed into one integer — the same key
 /// that indexes persisted warm state. A fleet deployment routes a pair
 /// to shard `route_fingerprint(..) % workers`, so a pair always lands
 /// on the shard whose warm universe already knows it, and a saved state
@@ -773,6 +795,23 @@ mod meters {
         LazyCounter::new("leapfrog_sat_lbd_8_plus_total"),
     ];
     pub static QUERY_SECONDS: LazyHistogram = LazyHistogram::new("leapfrog_query_seconds");
+    pub static SAT_PORTFOLIO_RACES: LazyCounter =
+        LazyCounter::new("leapfrog_sat_portfolio_races_total");
+    pub static SAT_PORTFOLIO_SOLO: LazyCounter =
+        LazyCounter::new("leapfrog_sat_portfolio_solo_total");
+    /// Portfolio race wins as one counter per lane (the registry has no
+    /// label support, so the lane index is baked into the metric name,
+    /// mirroring the LBD bucket counters above).
+    pub static SAT_PORTFOLIO_WINS: [LazyCounter; super::MAX_PORTFOLIO_LANES] = [
+        LazyCounter::new("leapfrog_sat_portfolio_wins_0_total"),
+        LazyCounter::new("leapfrog_sat_portfolio_wins_1_total"),
+        LazyCounter::new("leapfrog_sat_portfolio_wins_2_total"),
+        LazyCounter::new("leapfrog_sat_portfolio_wins_3_total"),
+        LazyCounter::new("leapfrog_sat_portfolio_wins_4_total"),
+        LazyCounter::new("leapfrog_sat_portfolio_wins_5_total"),
+        LazyCounter::new("leapfrog_sat_portfolio_wins_6_total"),
+        LazyCounter::new("leapfrog_sat_portfolio_wins_7_total"),
+    ];
 }
 
 /// Per-query trace context: opened before any per-query work (so the
@@ -1308,6 +1347,12 @@ impl Engine {
         for (bucket, n) in meters::SAT_LBD_BUCKETS.iter().zip(sat.lbd_histogram) {
             bucket.add(n);
         }
+        let portfolio = &stats.queries.portfolio;
+        meters::SAT_PORTFOLIO_RACES.add(portfolio.races);
+        meters::SAT_PORTFOLIO_SOLO.add(portfolio.solo);
+        for (lane, n) in meters::SAT_PORTFOLIO_WINS.iter().zip(portfolio.wins) {
+            lane.add(n);
+        }
     }
 
     /// Applies the [`EngineConfig::warm_capacity`] LRU bound between runs:
@@ -1390,6 +1435,21 @@ impl Engine {
     /// thread the batch runs sequentially and still reuses everything.
     /// Outcomes are returned in submission order and are bit-identical to
     /// checking each spec individually.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use leapfrog::{EngineConfig, QuerySpec};
+    /// use leapfrog_p4a::surface::parse;
+    ///
+    /// let a = parse("parser A { state s { extract(h, 2); goto accept } }").unwrap();
+    /// let q = a.state_by_name("s").unwrap();
+    /// let mut engine = EngineConfig::new().threads(1).build();
+    /// let spec = QuerySpec::new("self", &a, q, &a, q);
+    /// // The second query hits the warm state the first one built.
+    /// let outcomes = engine.check_batch(&[spec.clone(), spec]);
+    /// assert!(outcomes.iter().all(|o| o.is_equivalent()));
+    /// ```
     pub fn check_batch(&mut self, specs: &[QuerySpec]) -> Vec<Outcome> {
         self.stats.batches += 1;
         meters::BATCHES.inc();
@@ -1620,7 +1680,17 @@ fn run_worklist(
         gc_ratio: opts.session_gc_ratio,
         gc_floor: opts.session_gc_floor,
         ledger: Some(ledger.clone()),
-        sat: SolverConfig { lbd: opts.sat_lbd },
+        sat: {
+            let base = SolverConfig {
+                lbd: opts.sat_lbd,
+                ..SolverConfig::default()
+            };
+            if opts.sat_portfolio >= 2 {
+                PortfolioConfig::race(base, opts.sat_portfolio)
+            } else {
+                PortfolioConfig::single(base)
+            }
+        },
     };
     warm.ensure_pools(threads, &session_cfg);
     let mut main_pool = warm.main_pool.take().expect("ensured above");

@@ -134,6 +134,17 @@ impl RunStats {
 
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
+        let portfolio = if self.queries.portfolio.lanes >= 2 {
+            format!(
+                " portfolio(lanes={} races={} solo={} wins={:?})",
+                self.queries.portfolio.lanes,
+                self.queries.portfolio.races,
+                self.queries.portfolio.solo,
+                &self.queries.portfolio.wins[..self.queries.portfolio.lanes as usize],
+            )
+        } else {
+            String::new()
+        };
         let witnesses = if self.witnesses_confirmed + self.witnesses_unconfirmed > 0 {
             format!(
                 " witnesses={}/{} minimized_bits={}",
@@ -148,7 +159,7 @@ impl RunStats {
             "iterations={} extended={} skipped={} wp={} scope={} queries={} \
              threads={} index_hit={:.0}% blast_cache={:.0}% cegar_rounds={} \
              oracle_skip={:.0}% rebuilds={} peak_clauses={} warm(sessions={} \
-             memo={} sum={} reach={} ledger={}) time={:.2?}{}",
+             memo={} sum={} reach={} ledger={}) time={:.2?}{}{}",
             self.iterations,
             self.extended,
             self.skipped,
@@ -168,6 +179,7 @@ impl RunStats {
             self.reach_cache_hits,
             self.queries.inst_ledger_hits,
             self.wall_time,
+            portfolio,
             witnesses,
         )
     }

@@ -45,8 +45,8 @@ use std::time::Instant;
 use leapfrog_bitvec::BitVec;
 use leapfrog_p4a::ast::Automaton;
 use leapfrog_smt::{
-    instantiate_forall, BBit, BlastContext, BvVar, Declarations, Formula, InstLedger, QueryStats,
-    RefinementOracle, SharedBlastCache, SolverConfig, SolverStats,
+    instantiate_forall, BBit, BlastContext, BvVar, Declarations, Formula, InstLedger,
+    PortfolioConfig, PortfolioStats, QueryStats, RefinementOracle, SharedBlastCache, SolverStats,
 };
 
 use crate::confrel::ConfRel;
@@ -87,10 +87,12 @@ pub struct SessionConfig {
     /// keyed by canonical block identity and support valuation, shared by
     /// every session of an engine (across guards, pools and threads).
     pub ledger: Option<InstLedger>,
-    /// CDCL solver construction knobs for every context this session (or
-    /// pool) creates — including GC-rebuild replacements. Engines read
-    /// the `LEAPFROG_SAT_*` environment once and pass the result here.
-    pub sat: SolverConfig,
+    /// CDCL portfolio (lane configurations and racing thresholds) for
+    /// every context this session (or pool) creates — including GC-rebuild
+    /// replacements. A single-lane portfolio is a plain solver; engines
+    /// read the `LEAPFROG_SAT_*` environment once and pass the result
+    /// here.
+    pub sat: PortfolioConfig,
 }
 
 impl Default for SessionConfig {
@@ -102,7 +104,7 @@ impl Default for SessionConfig {
             gc_ratio: None,
             gc_floor: 0,
             ledger: None,
-            sat: SolverConfig::from_env(),
+            sat: PortfolioConfig::from_env(),
         }
     }
 }
@@ -143,6 +145,9 @@ pub struct GuardSession {
     /// validation solves. `stats.sat` is always `sat_retired` + the live
     /// context's counters, so totals survive rebuilds.
     sat_retired: SolverStats,
+    /// Portfolio racing counters of retired contexts and oracle solves —
+    /// the racing-side mirror of `sat_retired`.
+    portfolio_retired: PortfolioStats,
 }
 
 impl GuardSession {
@@ -177,9 +182,9 @@ impl GuardSession {
                 guard_left: guard.left.buf_len,
                 guard_right: guard.right.buf_len,
             },
-            ctx: BlastContext::with_config(cfg.sat),
+            ctx: BlastContext::with_portfolio(cfg.sat.clone()),
             premise_count: 0,
-            oracle: RefinementOracle::with_solver_config(cfg.sat),
+            oracle: RefinementOracle::with_portfolio(cfg.sat.clone()),
             permanent: Vec::new(),
             live_clauses: 0,
             cfg,
@@ -187,6 +192,7 @@ impl GuardSession {
             checks: 0,
             stats: QueryStats::default(),
             sat_retired: SolverStats::default(),
+            portfolio_retired: PortfolioStats::default(),
         }
     }
 
@@ -223,7 +229,8 @@ impl GuardSession {
             return;
         }
         self.sat_retired.absorb(&self.ctx.solver().stats());
-        self.ctx = BlastContext::with_config(self.cfg.sat);
+        self.portfolio_retired.absorb(&self.ctx.portfolio_stats());
+        self.ctx = BlastContext::with_portfolio(self.cfg.sat.clone());
         self.live_clauses = 0;
         self.stats.session_rebuilds += 1;
         meters::SESSION_REBUILDS.inc();
@@ -357,6 +364,7 @@ impl GuardSession {
                     self.stats.blocks_validated += round.validated;
                     self.stats.inst_ledger_hits += round.ledger_hits;
                     self.sat_retired.absorb(&round.sat);
+                    self.portfolio_retired.absorb(&round.portfolio);
                     match round.refinement {
                         None => break false,
                         Some(batch) => {
@@ -388,6 +396,9 @@ impl GuardSession {
         let mut sat = self.sat_retired;
         sat.absorb(&self.ctx.solver().stats());
         self.stats.sat = sat;
+        let mut portfolio = self.portfolio_retired.clone();
+        portfolio.absorb(&self.ctx.portfolio_stats());
+        self.stats.portfolio = portfolio;
     }
 
     /// Asserts `f` permanently: it joins the persisted list replayed by GC

@@ -14,7 +14,8 @@
 //! [cache]: https://docs.rs/leapfrog-smt
 //!
 //! The loaders return plain clause lists; [`Cnf::load_into`] feeds them to
-//! a [`Solver`] built with whatever [`SolverConfig`] the caller wants,
+//! a [`Solver`] built with whatever [`crate::SolverConfig`] the caller
+//! wants,
 //! which is how the `sat_micro` dev binary A/B-tests solver heuristics on
 //! identical input.
 

@@ -18,7 +18,8 @@
 //! Clauses live in a single flat `u32` arena rather than a `Vec` of
 //! heap-allocated literal vectors: each clause is a three-word header
 //! (packed length + learnt flag, `f32` activity bits, LBD) followed by its
-//! literals inline, and a [`ClauseRef`] is the arena offset of the header.
+//! literals inline, and a clause reference is the arena offset of the
+//! header.
 //! Propagation therefore walks contiguous memory instead of chasing
 //! per-clause pointers. Database reduction compacts the arena in place —
 //! deleted clauses are physically reclaimed and every watcher list and
@@ -55,8 +56,12 @@
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 pub mod dimacs;
+mod portfolio;
+
+pub use portfolio::{Portfolio, PortfolioConfig, PortfolioStats, MAX_PORTFOLIO_LANES};
 
 /// A propositional variable, identified by a dense index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -238,28 +243,74 @@ impl SolverStats {
 /// environment variables, mirroring the cache/GC knob pattern elsewhere in
 /// the workspace: `from_env` for ambient configuration, struct fields for
 /// programmatic control.
-#[derive(Debug, Clone, Copy)]
+///
+/// The search-diversity knobs (`seed`, `invert_phase`, `restart_offset`)
+/// exist for portfolio lanes: they perturb *which* satisfying assignment or
+/// refutation the search finds first, never *whether* one exists. A config
+/// with all three at their defaults is the *canonical* configuration — the
+/// one whose search trajectory single-solver mode reproduces exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverConfig {
     /// Glucose-style two-tier LBD learnt-clause management (default on).
     /// Off falls back to activity-only deletion — the ablation baseline.
     pub lbd: bool,
+    /// Branching-diversity seed: nonzero seeds give fresh variables a tiny
+    /// deterministic initial VSIDS activity (splitmix64 of `seed` and the
+    /// variable index), so ties in the activity order break differently per
+    /// lane. `0` (default) keeps the canonical all-zero initialization.
+    pub seed: u64,
+    /// Start phase saving at `true` instead of `false` for fresh variables,
+    /// sending the lane to the opposite corner of the assignment space.
+    pub invert_phase: bool,
+    /// Shifts the Luby restart schedule by this many virtual restarts, so
+    /// lanes restart at different conflict counts. `0` is canonical.
+    pub restart_offset: u64,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { lbd: true }
+        SolverConfig {
+            lbd: true,
+            seed: 0,
+            invert_phase: false,
+            restart_offset: 0,
+        }
     }
 }
 
 impl SolverConfig {
     /// Reads the configuration from the environment:
-    /// `LEAPFROG_SAT_LBD=0` disables LBD-tiered clause management.
+    /// `LEAPFROG_SAT_LBD=0` disables LBD-tiered clause management. The
+    /// diversity knobs stay at their canonical defaults — they are derived
+    /// per portfolio lane (see [`PortfolioConfig::race`]), not ambient.
     pub fn from_env() -> Self {
         let lbd = std::env::var("LEAPFROG_SAT_LBD")
             .map(|v| v != "0")
             .unwrap_or(true);
-        SolverConfig { lbd }
+        SolverConfig {
+            lbd,
+            ..SolverConfig::default()
+        }
     }
+
+    /// Whether this is the canonical search trajectory (no diversity
+    /// perturbation) for its LBD setting.
+    pub fn is_canonical(&self) -> bool {
+        self.seed == 0 && !self.invert_phase && self.restart_offset == 0
+    }
+}
+
+/// Deterministic per-variable activity jitter for nonzero seeds
+/// (splitmix64 finalizer), scaled far below one conflict's activity bump so
+/// it only breaks ties among otherwise-equal variables.
+fn activity_jitter(seed: u64, var_index: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(var_index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64 * 1e-6
 }
 
 /// A conflict-driven clause-learning SAT solver.
@@ -364,8 +415,12 @@ impl Solver {
         self.assigns.push(Assign::Unassigned);
         self.levels.push(0);
         self.reasons.push(REASON_NONE);
-        self.activity.push(0.0);
-        self.saved_phase.push(false);
+        self.activity.push(if self.cfg.seed == 0 {
+            0.0
+        } else {
+            activity_jitter(self.cfg.seed, v.0 as u64)
+        });
+        self.saved_phase.push(self.cfg.invert_phase);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.bin_watches.push(Vec::new());
@@ -399,6 +454,13 @@ impl Solver {
     /// Solver statistics across all calls so far.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// Whether the clause set is already known unsatisfiable at the root
+    /// level — every future [`Solver::solve`] answers `Unsat` in O(1). The
+    /// portfolio harness uses this to skip spawning race threads.
+    pub fn root_conflict(&self) -> bool {
+        self.unsat_at_root
     }
 
     /// Lowers the learnt-DB reduction threshold so tests can exercise
@@ -510,24 +572,44 @@ impl Solver {
     /// Solves under the given assumptions. Assumptions are literals that
     /// must hold for this call only.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        static NEVER: AtomicBool = AtomicBool::new(false);
+        self.solve_interruptible(assumptions, &NEVER)
+            .expect("solve interrupted without a stop flag")
+    }
+
+    /// [`Solver::solve`] with a cooperative stop flag, the primitive the
+    /// portfolio racing harness is built on: the flag is checked once per
+    /// conflict and once per decision, and a raised flag makes the call
+    /// return `None` with the solver backtracked to the root — fully
+    /// reusable (learnt clauses and heuristic state are kept), but with no
+    /// verdict for this call.
+    pub fn solve_interruptible(
+        &mut self,
+        assumptions: &[Lit],
+        stop: &AtomicBool,
+    ) -> Option<SolveResult> {
         self.backtrack(0);
         if self.unsat_at_root {
-            return SolveResult::Unsat;
+            return Some(SolveResult::Unsat);
         }
         if self.propagate().is_some() {
             self.unsat_at_root = true;
-            return SolveResult::Unsat;
+            return Some(SolveResult::Unsat);
         }
 
-        let mut conflicts_until_restart = luby(self.stats.restarts) * 100;
+        let mut conflicts_until_restart = luby(self.stats.restarts + self.cfg.restart_offset) * 100;
 
         loop {
+            if stop.load(Ordering::Relaxed) {
+                self.backtrack(0);
+                return None;
+            }
             match self.propagate() {
                 Some(confl) => {
                     self.stats.conflicts += 1;
                     if self.decision_level() == 0 {
                         self.unsat_at_root = true;
-                        return SolveResult::Unsat;
+                        return Some(SolveResult::Unsat);
                     }
                     // If the conflict is at or below the assumption levels we
                     // must be careful: analyze can still learn and backjump;
@@ -542,7 +624,8 @@ impl Solver {
                 None => {
                     if conflicts_until_restart == 0 {
                         self.stats.restarts += 1;
-                        conflicts_until_restart = luby(self.stats.restarts) * 100;
+                        conflicts_until_restart =
+                            luby(self.stats.restarts + self.cfg.restart_offset) * 100;
                         self.backtrack(0);
                     }
                     if self.n_learnt as f64 >= self.max_learnt {
@@ -554,7 +637,7 @@ impl Solver {
                     for &a in assumptions {
                         match self.lit_value(a) {
                             Some(true) => continue,
-                            Some(false) => return SolveResult::Unsat,
+                            Some(false) => return Some(SolveResult::Unsat),
                             None => {
                                 self.trail_lim.push(self.trail.len());
                                 self.enqueue_decision(a);
@@ -574,7 +657,7 @@ impl Solver {
                             let phase = self.saved_phase[v.0 as usize];
                             self.enqueue_decision(Lit::with_polarity(v, phase));
                         }
-                        None => return SolveResult::Sat,
+                        None => return Some(SolveResult::Sat),
                     }
                 }
             }
@@ -1564,7 +1647,10 @@ mod tests {
             let (n, clauses) = random_cnf(&mut next);
             let reference = reference_dpll(n, &clauses);
             for lbd in [true, false] {
-                let mut s = Solver::with_config(SolverConfig { lbd });
+                let mut s = Solver::with_config(SolverConfig {
+                    lbd,
+                    ..SolverConfig::default()
+                });
                 s.set_max_learnt(8.0); // exercise reduction constantly
                 let vars = lits(&mut s, n);
                 for c in &clauses {
@@ -1686,7 +1772,10 @@ mod tests {
             let (n, clauses) = random_cnf(&mut next);
             let mut verdicts = Vec::new();
             for lbd in [true, false] {
-                let mut s = Solver::with_config(SolverConfig { lbd });
+                let mut s = Solver::with_config(SolverConfig {
+                    lbd,
+                    ..SolverConfig::default()
+                });
                 s.set_max_learnt(8.0);
                 let vars = lits(&mut s, n);
                 for c in &clauses {

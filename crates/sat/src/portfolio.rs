@@ -1,0 +1,611 @@
+//! Portfolio racing: the same CNF solved by K differently-configured CDCL
+//! lanes on scoped threads, first answer wins.
+//!
+//! # Determinism contract
+//!
+//! The portfolio is a pure wall-clock optimization — it must never change a
+//! byte of what the engine produces. That follows from two rules, both
+//! enforced here rather than trusted to callers:
+//!
+//! 1. **Verdicts are semantic.** Every lane solves the identical clause
+//!    set under the identical assumptions, so `Sat`/`Unsat` agree across
+//!    lanes by soundness; racing only changes *when* the answer arrives.
+//! 2. **Models come from the canonical lane.** On a `Sat` answer the model
+//!    handed downstream is always lane 0's own, produced by lane 0 running
+//!    its canonical search to completion (a faster `Sat` from another lane
+//!    stops the remaining lanes but never lane 0). Lane 0's search state is
+//!    only ever interrupted on `Unsat` answers — which carry no model, and
+//!    after which the next model request again waits for lane 0's own
+//!    completion. A portfolio at any lane count therefore hands out exactly
+//!    the verdict-and-model sequence of a single canonical solver as far as
+//!    anything model-consuming (CEGAR refinement, witness extraction) can
+//!    observe; only counters and wall-clock differ.
+//!
+//! The *win* attribution uses a deterministic tie-break: when several lanes
+//! finish within the settle window, the lowest-configured lane index is
+//! recorded as the winner.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::{Lit, SolveResult, Solver, SolverConfig, SolverStats};
+
+/// Upper bound on configured portfolio lanes — keeps per-lane metric names
+/// and win histograms fixed-size everywhere downstream.
+pub const MAX_PORTFOLIO_LANES: usize = 8;
+
+/// A racing portfolio configuration: the ordered list of lane
+/// [`SolverConfig`]s (lane 0 is the canonical one whose models are used
+/// downstream) plus the racing thresholds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Per-lane solver configurations. One entry means no racing at all —
+    /// the portfolio degenerates to a plain canonical solver.
+    pub lanes: Vec<SolverConfig>,
+    /// Live-clause floor below which a solve runs on lane 0 alone instead
+    /// of spawning race threads: thread startup costs more than small
+    /// instances take to solve outright.
+    pub min_clauses: usize,
+    /// The tie-break settle window: after the first lane finishes, other
+    /// lanes get this long to also finish before losers are stopped; the
+    /// lowest-indexed finisher inside the window is recorded as the winner.
+    pub settle: Duration,
+}
+
+/// Default racing floor (live clauses) before threads are spawned.
+pub const DEFAULT_PORTFOLIO_MIN_CLAUSES: usize = 1024;
+/// Default tie-break settle window.
+pub const DEFAULT_PORTFOLIO_SETTLE: Duration = Duration::from_micros(200);
+
+impl PortfolioConfig {
+    /// A non-racing portfolio: one canonical lane with the given config.
+    pub fn single(cfg: SolverConfig) -> Self {
+        PortfolioConfig {
+            lanes: vec![cfg],
+            min_clauses: DEFAULT_PORTFOLIO_MIN_CLAUSES,
+            settle: DEFAULT_PORTFOLIO_SETTLE,
+        }
+    }
+
+    /// Derives an `n`-lane racing portfolio from a base configuration.
+    /// Lane 0 is the base itself (canonical — untouched search trajectory);
+    /// the remaining lanes perturb it along independent axes: lane 1 flips
+    /// the LBD retention policy, and every further lane gets a distinct
+    /// branching seed, alternating phase polarity and a shifted restart
+    /// schedule. `n` is clamped to `1..=`[`MAX_PORTFOLIO_LANES`].
+    pub fn race(base: SolverConfig, n: usize) -> Self {
+        let n = n.clamp(1, MAX_PORTFOLIO_LANES);
+        let mut lanes = Vec::with_capacity(n);
+        for i in 0..n {
+            lanes.push(match i {
+                0 => base,
+                1 => SolverConfig {
+                    lbd: !base.lbd,
+                    ..base
+                },
+                _ => SolverConfig {
+                    lbd: if i % 2 == 0 { base.lbd } else { !base.lbd },
+                    seed: i as u64,
+                    invert_phase: i % 2 == 0,
+                    restart_offset: i as u64,
+                },
+            });
+        }
+        PortfolioConfig {
+            lanes,
+            min_clauses: DEFAULT_PORTFOLIO_MIN_CLAUSES,
+            settle: DEFAULT_PORTFOLIO_SETTLE,
+        }
+    }
+
+    /// Reads the portfolio from the environment: `LEAPFROG_SAT_PORTFOLIO=N`
+    /// races N derived lanes (`0`, `1` or unset mean off), with the base
+    /// configuration from [`SolverConfig::from_env`] and an optional racing
+    /// floor from `LEAPFROG_SAT_PORTFOLIO_MIN_CLAUSES`.
+    pub fn from_env() -> Self {
+        let n = std::env::var("LEAPFROG_SAT_PORTFOLIO")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let mut cfg = if n >= 2 {
+            Self::race(SolverConfig::from_env(), n)
+        } else {
+            Self::single(SolverConfig::from_env())
+        };
+        if let Some(floor) = std::env::var("LEAPFROG_SAT_PORTFOLIO_MIN_CLAUSES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.min_clauses = floor;
+        }
+        cfg
+    }
+
+    /// Number of configured lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether this configuration ever races (more than one lane).
+    pub fn is_racing(&self) -> bool {
+        self.lanes.len() > 1
+    }
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        Self::single(SolverConfig::default())
+    }
+}
+
+/// Aggregated racing statistics: how often the portfolio raced, which lane
+/// answered first, and each lane's cumulative solver counters.
+#[derive(Debug, Clone, Default)]
+pub struct PortfolioStats {
+    /// Configured lane count (maximum seen when absorbed across solvers).
+    pub lanes: u64,
+    /// Solves that actually raced on threads.
+    pub races: u64,
+    /// Solves answered by lane 0 alone (single lane, small instance, or a
+    /// root-level conflict).
+    pub solo: u64,
+    /// Races won per lane: `wins[i]` counts races whose first finisher
+    /// (lowest lane inside the settle window) was lane `i`.
+    pub wins: [u64; MAX_PORTFOLIO_LANES],
+    /// Per-lane cumulative [`SolverStats`] — lane 0's counters are also
+    /// what the portfolio reports as its headline solver statistics.
+    pub lane_stats: Vec<SolverStats>,
+}
+
+impl PortfolioStats {
+    /// Adds another portfolio's counters into this one (lane-wise).
+    pub fn absorb(&mut self, other: &PortfolioStats) {
+        self.lanes = self.lanes.max(other.lanes);
+        self.races += other.races;
+        self.solo += other.solo;
+        for (a, b) in self.wins.iter_mut().zip(other.wins) {
+            *a += b;
+        }
+        if self.lane_stats.len() < other.lane_stats.len() {
+            self.lane_stats
+                .resize_with(other.lane_stats.len(), SolverStats::default);
+        }
+        for (a, b) in self.lane_stats.iter_mut().zip(&other.lane_stats) {
+            a.absorb(b);
+        }
+    }
+
+    /// The counters accumulated since `base` was snapshotted from the same
+    /// accumulator (mirrors [`SolverStats::delta_since`]).
+    pub fn delta_since(&self, base: &PortfolioStats) -> PortfolioStats {
+        let mut wins = [0u64; MAX_PORTFOLIO_LANES];
+        for (i, w) in wins.iter_mut().enumerate() {
+            *w = self.wins[i] - base.wins[i];
+        }
+        let lane_stats = self
+            .lane_stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| match base.lane_stats.get(i) {
+                Some(b) => s.delta_since(b),
+                None => *s,
+            })
+            .collect();
+        PortfolioStats {
+            lanes: self.lanes,
+            races: self.races - base.races,
+            solo: self.solo - base.solo,
+            wins,
+            lane_stats,
+        }
+    }
+
+    /// Total races won by lanes other than the canonical lane 0.
+    pub fn non_canonical_wins(&self) -> u64 {
+        self.wins[1..].iter().sum()
+    }
+}
+
+/// What one lane posted on the race scoreboard.
+#[derive(Clone, Copy)]
+struct Finish {
+    lane: usize,
+    verdict: SolveResult,
+}
+
+/// A K-lane racing solver with the same incremental interface as a single
+/// [`Solver`]: variables and clauses are mirrored into every lane, solves
+/// race on scoped threads, and models are always read from lane 0 (see the
+/// module docs for why that makes the portfolio byte-invisible).
+pub struct Portfolio {
+    lanes: Vec<Solver>,
+    cfg: PortfolioConfig,
+    races: u64,
+    solo: u64,
+    wins: [u64; MAX_PORTFOLIO_LANES],
+    /// Test hook: per-lane artificial start delay, used to pin the settle
+    /// window tie-break without relying on real instance hardness.
+    #[doc(hidden)]
+    pub lane_delays: Vec<Duration>,
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Self::with_config(PortfolioConfig::default())
+    }
+}
+
+impl Portfolio {
+    /// Creates an empty portfolio from the environment
+    /// (see [`PortfolioConfig::from_env`]).
+    pub fn new() -> Self {
+        Self::with_config(PortfolioConfig::from_env())
+    }
+
+    /// Creates an empty portfolio with an explicit configuration. An empty
+    /// lane list is treated as a single default lane.
+    pub fn with_config(mut cfg: PortfolioConfig) -> Self {
+        if cfg.lanes.is_empty() {
+            cfg.lanes.push(SolverConfig::default());
+        }
+        cfg.lanes.truncate(MAX_PORTFOLIO_LANES);
+        Portfolio {
+            lanes: cfg.lanes.iter().map(|&c| Solver::with_config(c)).collect(),
+            cfg,
+            races: 0,
+            solo: 0,
+            wins: [0; MAX_PORTFOLIO_LANES],
+            lane_delays: Vec::new(),
+        }
+    }
+
+    /// The active portfolio configuration.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.cfg
+    }
+
+    /// The canonical lane (lane 0) — the solver whose models, values and
+    /// headline statistics the portfolio exposes.
+    pub fn canonical(&self) -> &Solver {
+        &self.lanes[0]
+    }
+
+    /// Allocates a fresh variable in every lane. Lanes allocate in
+    /// lock-step, so a [`Var`](crate::Var)/[`Lit`] is valid in all of them.
+    pub fn new_var(&mut self) -> crate::Var {
+        let mut it = self.lanes.iter_mut();
+        let v = it
+            .next()
+            .expect("portfolio has at least one lane")
+            .new_var();
+        for lane in it {
+            let w = lane.new_var();
+            debug_assert_eq!(v, w, "portfolio lanes drifted out of lock-step");
+        }
+        v
+    }
+
+    /// Adds a clause to every lane. Returns `false` if the clause set is
+    /// now unsatisfiable at the root (lanes agree by construction).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        let mut ok = true;
+        for lane in &mut self.lanes {
+            ok &= lane.add_clause(lits);
+        }
+        ok
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.lanes[0].num_vars()
+    }
+
+    /// Live clauses in the canonical lane (lanes hold identical root
+    /// clause sets; learnt sets differ).
+    pub fn num_clauses(&self) -> usize {
+        self.lanes[0].num_clauses()
+    }
+
+    /// Monotone count of root-level clause insertions (canonical lane).
+    pub fn clauses_added(&self) -> u64 {
+        self.lanes[0].clauses_added()
+    }
+
+    /// The canonical lane's solver statistics — intentionally comparable
+    /// with a portfolio-off run; the other lanes' work is reported
+    /// separately via [`Portfolio::portfolio_stats`].
+    pub fn stats(&self) -> SolverStats {
+        self.lanes[0].stats()
+    }
+
+    /// Racing statistics: race/solo counts, per-lane win histogram and
+    /// per-lane cumulative solver counters.
+    pub fn portfolio_stats(&self) -> PortfolioStats {
+        PortfolioStats {
+            lanes: self.lanes.len() as u64,
+            races: self.races,
+            solo: self.solo,
+            wins: self.wins,
+            lane_stats: self.lanes.iter().map(|l| l.stats()).collect(),
+        }
+    }
+
+    /// The model value of `v` after a `Sat` answer, read from the
+    /// canonical lane.
+    pub fn value(&self, v: crate::Var) -> Option<bool> {
+        self.lanes[0].value(v)
+    }
+
+    /// The model value of a literal, read from the canonical lane.
+    pub fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.lanes[0].lit_value(l)
+    }
+
+    /// Solves under the given assumptions, racing the lanes when the
+    /// instance is large enough. On `Sat`, lane 0 always runs its own
+    /// search to completion so the model is the canonical one.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.lanes.len() == 1
+            || self.lanes[0].root_conflict()
+            || self.lanes[0].num_clauses() < self.cfg.min_clauses
+        {
+            self.solo += 1;
+            return self.lanes[0].solve(assumptions);
+        }
+        self.races += 1;
+        let settle = self.cfg.settle;
+        let delays = &self.lane_delays;
+        let n = self.lanes.len();
+        let stops: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+        let board: Mutex<Vec<Finish>> = Mutex::new(Vec::new());
+        let cv = Condvar::new();
+
+        let mut winner = 0usize;
+        let mut verdict = None;
+        std::thread::scope(|s| {
+            for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
+                let stop = &stops[lane_idx];
+                let board = &board;
+                let cv = &cv;
+                let delay = delays.get(lane_idx).copied();
+                s.spawn(move || {
+                    if let Some(d) = delay {
+                        // Test-only pacing; `lane_delays` is empty in
+                        // production portfolios.
+                        std::thread::sleep(d);
+                    }
+                    if let Some(v) = lane.solve_interruptible(assumptions, stop) {
+                        let mut b = board.lock().unwrap();
+                        b.push(Finish {
+                            lane: lane_idx,
+                            verdict: v,
+                        });
+                        cv.notify_all();
+                    }
+                });
+            }
+
+            // Coordinate the race from the calling thread: wait for the
+            // first finisher, give near-simultaneous lanes the settle
+            // window, then stop the losers. The timeout on every wait is
+            // defensive only (a lane that panics never posts).
+            let tick = Duration::from_millis(10);
+            let mut b = board.lock().unwrap();
+            while b.is_empty() {
+                b = cv.wait_timeout(b, tick).unwrap().0;
+            }
+            drop(b);
+            std::thread::sleep(settle);
+
+            let b = board.lock().unwrap();
+            let first = b
+                .iter()
+                .map(|f| f.lane)
+                .min()
+                .expect("scoreboard cannot empty once posted");
+            winner = first;
+            let v = b[0].verdict;
+            debug_assert!(
+                b.iter().all(|f| f.verdict == v),
+                "portfolio lanes disagreed on a verdict"
+            );
+            verdict = Some(v);
+            let lane0_done = b.iter().any(|f| f.lane == 0);
+            drop(b);
+
+            match v {
+                SolveResult::Unsat => {
+                    for stop in &stops {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                SolveResult::Sat => {
+                    // Stop every lane except the canonical one, then wait
+                    // for lane 0's own completion: its assignment is the
+                    // model handed downstream.
+                    for stop in stops.iter().skip(1) {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    if !lane0_done {
+                        let mut b = board.lock().unwrap();
+                        while !b.iter().any(|f| f.lane == 0) {
+                            b = cv.wait_timeout(b, tick).unwrap().0;
+                        }
+                    }
+                }
+            }
+        });
+        self.wins[winner] += 1;
+        verdict.expect("race completed without a verdict")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    /// A small pigeonhole instance (`p` pigeons into `p - 1` holes):
+    /// unsatisfiable, and hard enough to generate real search.
+    fn pigeonhole(s: &mut Portfolio, pigeons: usize) {
+        let holes = pigeons - 1;
+        let var = |p: usize, h: usize| Var((p * holes + h) as u32);
+        for _ in 0..pigeons * holes {
+            s.new_var();
+        }
+        for p in 0..pigeons {
+            let clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+                }
+            }
+        }
+    }
+
+    fn racing_config(n: usize) -> PortfolioConfig {
+        let mut cfg = PortfolioConfig::race(SolverConfig::default(), n);
+        cfg.min_clauses = 0; // race even on tiny test instances
+        cfg
+    }
+
+    #[test]
+    fn derived_lanes_are_distinct_and_lane0_is_canonical() {
+        let cfg = PortfolioConfig::race(SolverConfig::default(), 4);
+        assert_eq!(cfg.lane_count(), 4);
+        assert_eq!(cfg.lanes[0], SolverConfig::default());
+        assert!(cfg.lanes[0].is_canonical());
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert_ne!(cfg.lanes[i], cfg.lanes[j], "lanes {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn racing_agrees_with_single_solver_on_verdicts() {
+        let mut racing = Portfolio::with_config(racing_config(4));
+        let mut single = Portfolio::with_config(PortfolioConfig::single(SolverConfig::default()));
+        pigeonhole(&mut racing, 5);
+        pigeonhole(&mut single, 5);
+        assert_eq!(racing.solve(&[]), SolveResult::Unsat);
+        assert_eq!(single.solve(&[]), SolveResult::Unsat);
+        let ps = racing.portfolio_stats();
+        assert_eq!(ps.races, 1);
+        assert_eq!(ps.wins.iter().sum::<u64>(), 1);
+        assert_eq!(ps.lane_stats.len(), 4);
+    }
+
+    #[test]
+    fn sat_models_come_from_the_canonical_lane() {
+        // An instance with many models: racing lanes will find different
+        // ones, but the portfolio must report exactly what a lone
+        // canonical solver reports.
+        let build = |s: &mut Portfolio| {
+            let vars: Vec<Var> = (0..30).map(|_| s.new_var()).collect();
+            for w in vars.windows(2) {
+                s.add_clause(&[Lit::pos(w[0]), Lit::pos(w[1])]);
+            }
+            vars
+        };
+        let mut racing = Portfolio::with_config(racing_config(4));
+        let mut single = Portfolio::with_config(PortfolioConfig::single(SolverConfig::default()));
+        let vr = build(&mut racing);
+        let vs = build(&mut single);
+        assert_eq!(racing.solve(&[]), SolveResult::Sat);
+        assert_eq!(single.solve(&[]), SolveResult::Sat);
+        for (a, b) in vr.iter().zip(&vs) {
+            assert_eq!(racing.value(*a), single.value(*b));
+        }
+    }
+
+    #[test]
+    fn tie_break_prefers_lowest_lane_within_settle_window() {
+        // All lanes solve the trivial instance instantly — well inside the
+        // settle window — so the deterministic tie-break must always
+        // attribute the win to lane 0, regardless of scheduling.
+        for _ in 0..20 {
+            let mut p = Portfolio::with_config(racing_config(3));
+            pigeonhole(&mut p, 4);
+            assert_eq!(p.solve(&[]), SolveResult::Unsat);
+            let ps = p.portfolio_stats();
+            assert_eq!(ps.wins[0], 1, "lowest finisher must win ties");
+        }
+    }
+
+    #[test]
+    fn slowed_canonical_lane_loses_the_race_but_keeps_the_model() {
+        // Delay lane 0 past the settle window: a non-canonical lane must
+        // be attributed the win. On Unsat that's the whole story; repeat
+        // with a satisfiable instance to check the model still comes from
+        // the (slow) canonical lane.
+        let mut p = Portfolio::with_config(racing_config(2));
+        p.lane_delays = vec![Duration::from_millis(50), Duration::ZERO];
+        pigeonhole(&mut p, 4);
+        assert_eq!(p.solve(&[]), SolveResult::Unsat);
+        let ps = p.portfolio_stats();
+        assert_eq!(ps.wins[1], 1, "slowed winning lane must lose the tie-break");
+        assert_eq!(ps.non_canonical_wins(), 1);
+
+        let mut p = Portfolio::with_config(racing_config(2));
+        p.lane_delays = vec![Duration::from_millis(50), Duration::ZERO];
+        let vars: Vec<Var> = (0..8).map(|_| p.new_var()).collect();
+        for w in vars.windows(2) {
+            p.add_clause(&[Lit::pos(w[0]), Lit::pos(w[1])]);
+        }
+        assert_eq!(p.solve(&[]), SolveResult::Sat);
+        let mut single = Solver::with_config(SolverConfig::default());
+        let svars: Vec<Var> = (0..8).map(|_| single.new_var()).collect();
+        for w in svars.windows(2) {
+            single.add_clause(&[Lit::pos(w[0]), Lit::pos(w[1])]);
+        }
+        assert_eq!(single.solve(&[]), SolveResult::Sat);
+        for (a, b) in vars.iter().zip(&svars) {
+            assert_eq!(p.value(*a), single.value(*b), "model must be canonical");
+        }
+    }
+
+    #[test]
+    fn interrupted_solver_stays_usable() {
+        let mut s = Solver::with_config(SolverConfig::default());
+        let stop = AtomicBool::new(true);
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        // A pre-raised flag interrupts before any decision.
+        assert_eq!(s.solve_interruptible(&[], &stop), None);
+        // The solver answers normally afterwards.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.add_clause(&[Lit::neg(a)]));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn portfolio_stats_absorb_and_delta_roundtrip() {
+        let mut a = PortfolioStats {
+            lanes: 2,
+            races: 3,
+            solo: 1,
+            ..PortfolioStats::default()
+        };
+        a.wins[0] = 2;
+        a.wins[1] = 1;
+        a.lane_stats = vec![SolverStats::default(); 2];
+        a.lane_stats[1].conflicts = 7;
+        let base = a.clone();
+        let mut b = a.clone();
+        b.absorb(&a);
+        assert_eq!(b.races, 6);
+        assert_eq!(b.wins[0], 4);
+        assert_eq!(b.lane_stats[1].conflicts, 14);
+        let d = b.delta_since(&base);
+        assert_eq!(d.races, 3);
+        assert_eq!(d.wins[1], 1);
+        assert_eq!(d.lane_stats[1].conflicts, 7);
+    }
+}

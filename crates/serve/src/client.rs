@@ -207,6 +207,22 @@ impl Client {
     /// the independent `leapfrog-certcheck` trust root. `certificate_json`
     /// is the `"Equivalent"` payload of a check reply (or a loaded
     /// archive); the reply names the failing obligation on rejection.
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use leapfrog_serve::{Client, PairSpec, WireOutcome};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut client = Client::connect("127.0.0.1:4747")?;
+    /// let reply = client.check_named("ethernet")?;
+    /// if let WireOutcome::Equivalent(cert) = &reply.outcome {
+    ///     let verdict = client.verify(PairSpec::Named("ethernet".into()), &cert.to_json())?;
+    ///     assert!(verdict.ok, "trust root must re-discharge every obligation");
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn verify(
         &mut self,
         pair: PairSpec,

@@ -39,6 +39,8 @@
 //! save-at-4/load-at-2 merge leg, the third proves a cold restart from
 //! a saved state dir replays memoized verdicts without changing a byte.
 
+#![warn(missing_docs)]
+
 pub mod client;
 pub mod proto;
 pub mod server;

@@ -2,7 +2,7 @@
 //! one TCP listener.
 //!
 //! The server spawns `workers` *engine shards*, each owning its own
-//! [`Engine`](leapfrog::Engine), warm-state universe, and job queue.
+//! [`leapfrog::Engine`], warm-state universe, and job queue.
 //! Connections are handled on their own threads; a check request is
 //! resolved to automata right there and routed by the pair's stable
 //! 128-bit fingerprint — shard index `route_fingerprint(pair) % workers`

@@ -18,7 +18,7 @@ use leapfrog_serve::proto::{
     wire_outcome_to_value, wire_witness_of, EngineStatsReply, FleetStats, OverloadScope,
     Overloaded, PairSpec, Request, VerifyReply, WireOptions, WireOutcome,
 };
-use leapfrog_smt::{QueryStats, SolverStats};
+use leapfrog_smt::{PortfolioStats, QueryStats, SolverStats};
 use leapfrog_suite::mutants::mutant_benchmarks;
 use leapfrog_suite::utility::sloppy_strict;
 use leapfrog_suite::{standard_benchmarks, Scale};
@@ -176,6 +176,23 @@ fn run_stats_roundtrip_randomized() {
                     deleted_clauses: next() % 1_000_000,
                     learnt_clauses: next() % 1_000_000,
                     lbd_histogram: std::array::from_fn(|_| next() % 100_000),
+                },
+                portfolio: PortfolioStats {
+                    lanes: next() % 8,
+                    races: next() % 10_000,
+                    solo: next() % 10_000,
+                    wins: std::array::from_fn(|_| next() % 10_000),
+                    lane_stats: (0..(next() % 4))
+                        .map(|_| SolverStats {
+                            decisions: next() % 1_000_000,
+                            propagations: next() % 100_000_000,
+                            conflicts: next() % 1_000_000,
+                            restarts: next() % 10_000,
+                            deleted_clauses: next() % 1_000_000,
+                            learnt_clauses: next() % 1_000_000,
+                            lbd_histogram: std::array::from_fn(|_| next() % 100_000),
+                        })
+                        .collect(),
                 },
                 durations: (0..(next() % 8))
                     .map(|_| Duration::from_nanos(next() % 5_000_000_000))

@@ -27,7 +27,10 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use leapfrog_bitvec::BitVec;
-use leapfrog_sat::{Lit, SolveResult, Solver, SolverConfig, SolverStats, Var};
+use leapfrog_sat::{
+    Lit, Portfolio, PortfolioConfig, PortfolioStats, SolveResult, Solver, SolverConfig,
+    SolverStats, Var,
+};
 
 use crate::term::{BvVar, Declarations, Formula, Model, Term};
 
@@ -57,6 +60,15 @@ impl ClauseSink for Solver {
     }
     fn add_clause(&mut self, lits: &[Lit]) -> bool {
         Solver::add_clause(self, lits)
+    }
+}
+
+impl ClauseSink for Portfolio {
+    fn fresh_lit(&mut self) -> Lit {
+        Lit::pos(self.new_var())
+    }
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Portfolio::add_clause(self, lits)
     }
 }
 
@@ -267,9 +279,16 @@ fn negate(b: BBit) -> BBit {
     }
 }
 
-/// An incremental bit-blasting context over a CDCL solver.
+/// An incremental bit-blasting context over a CDCL solver portfolio.
+///
+/// With one configured lane (the default) this is exactly the old
+/// single-solver context; with `LEAPFROG_SAT_PORTFOLIO=N` (or an explicit
+/// [`PortfolioConfig`]) every solve large enough to clear the racing floor
+/// is raced across the lanes. Models always come from the canonical lane,
+/// so everything downstream of a context is byte-identical at any lane
+/// count (see [`leapfrog_sat::Portfolio`] for the argument).
 pub struct BlastContext {
-    engine: Engine<Solver>,
+    engine: Engine<Portfolio>,
 }
 
 impl Default for BlastContext {
@@ -279,24 +298,38 @@ impl Default for BlastContext {
 }
 
 impl BlastContext {
-    /// Creates an empty context over a solver configured from the
-    /// `LEAPFROG_SAT_*` environment (the ambient-compat path).
+    /// Creates an empty context over a solver portfolio configured from
+    /// the `LEAPFROG_SAT_*` environment (the ambient-compat path).
     pub fn new() -> Self {
-        BlastContext::with_config(SolverConfig::from_env())
+        BlastContext::with_portfolio(PortfolioConfig::from_env())
     }
 
-    /// Creates an empty context over a solver with an explicit
+    /// Creates an empty single-lane context with an explicit solver
     /// configuration — the typed path engines use so the knob is read
     /// once at engine construction, not once per query context.
     pub fn with_config(cfg: SolverConfig) -> Self {
+        BlastContext::with_portfolio(PortfolioConfig::single(cfg))
+    }
+
+    /// Creates an empty context over an explicit solver portfolio — the
+    /// typed racing path (`EngineConfig::sat_portfolio`).
+    pub fn with_portfolio(cfg: PortfolioConfig) -> Self {
         BlastContext {
-            engine: Engine::new(Solver::with_config(cfg)),
+            engine: Engine::new(Portfolio::with_config(cfg)),
         }
     }
 
-    /// Access to the underlying solver's statistics.
+    /// Access to the canonical lane's solver, for statistics. Counters
+    /// read here are intentionally comparable with a portfolio-off run;
+    /// the racing lanes report via [`BlastContext::portfolio_stats`].
     pub fn solver(&self) -> &Solver {
-        &self.engine.sink
+        self.engine.sink.canonical()
+    }
+
+    /// Racing statistics for this context's portfolio: race/solo counts,
+    /// the per-lane win histogram and per-lane solver counters.
+    pub fn portfolio_stats(&self) -> PortfolioStats {
+        self.engine.sink.portfolio_stats()
     }
 
     /// The SAT literals representing `v`'s bits, allocating on first use.
@@ -764,26 +797,27 @@ impl SharedBlastCache {
 
 /// Convenience: checks satisfiability of a single quantifier-free formula.
 pub fn sat_qf(decls: &Declarations, f: &Formula) -> Option<Model> {
-    sat_qf_counting(decls, SolverConfig::from_env(), f).0
+    sat_qf_counting(decls, &PortfolioConfig::from_env(), f).0
 }
 
-/// [`sat_qf`] with an explicit solver configuration and the short-lived
+/// [`sat_qf`] with an explicit solver portfolio and the short-lived
 /// context's CDCL counters handed back, so callers (the CEGAR validation
 /// path) can fold the work into their query statistics instead of losing
-/// it with the context.
+/// it with the context. These validation contexts are typically far below
+/// the portfolio's racing floor, so in practice they solve on the
+/// canonical lane alone.
 pub fn sat_qf_counting(
     decls: &Declarations,
-    cfg: SolverConfig,
+    cfg: &PortfolioConfig,
     f: &Formula,
-) -> (Option<Model>, SolverStats) {
+) -> (Option<Model>, SolverStats, PortfolioStats) {
     debug_assert!(f.is_quantifier_free());
-    let mut ctx = BlastContext::with_config(cfg);
+    let mut ctx = BlastContext::with_portfolio(cfg.clone());
     if !ctx.assert_formula(decls, f) {
-        return (None, ctx.solver().stats());
+        return (None, ctx.solver().stats(), ctx.portfolio_stats());
     }
     let m = ctx.solve(decls);
-    let stats = ctx.solver().stats();
-    (m, stats)
+    (m, ctx.solver().stats(), ctx.portfolio_stats())
 }
 
 #[allow(unused)]

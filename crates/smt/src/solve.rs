@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use crate::blast::{canonical_key, sat_qf_counting, BlastContext, SharedBlastCache};
 use crate::smtlib;
 use crate::term::{BvVar, Declarations, Formula, Model, Term};
-use leapfrog_sat::{SolverConfig, SolverStats};
+use leapfrog_sat::{PortfolioConfig, PortfolioStats, SolverConfig, SolverStats};
 
 /// Global metric handles for the solving core. Counters mirror the
 /// per-query [`QueryStats`] fields but accumulate process-wide, so the
@@ -90,6 +90,11 @@ pub struct QueryStats {
     /// contexts (across GC rebuilds), one-shot contexts and the
     /// quantifier-free validation solves of the CEGAR oracle.
     pub sat: SolverStats,
+    /// SAT portfolio racing counters (race/solo counts, per-lane wins and
+    /// per-lane solver work) summed over the same contexts. All zero when
+    /// no portfolio is configured; `sat` above always reports only the
+    /// canonical lane, so it stays comparable across lane counts.
+    pub portfolio: PortfolioStats,
     /// Wall-clock time per query, in the order issued.
     pub durations: Vec<Duration>,
 }
@@ -124,6 +129,7 @@ impl QueryStats {
         self.blast_cache_misses += other.blast_cache_misses;
         self.inst_ledger_hits += other.inst_ledger_hits;
         self.sat.absorb(&other.sat);
+        self.portfolio.absorb(&other.portfolio);
         self.durations.extend(other.durations.iter().copied());
     }
 
@@ -144,6 +150,7 @@ impl QueryStats {
             blast_cache_misses: self.blast_cache_misses - base.blast_cache_misses,
             inst_ledger_hits: self.inst_ledger_hits - base.inst_ledger_hits,
             sat: self.sat.delta_since(&base.sat),
+            portfolio: self.portfolio.delta_since(&base.portfolio),
             durations: self.durations[base.durations.len().min(self.durations.len())..].to_vec(),
         }
     }
@@ -232,7 +239,7 @@ impl SmtSolver {
 }
 
 /// Per-query CEGAR counters threaded out of the solving core.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct SolveMeters {
     rounds: u64,
     blocks_considered: u64,
@@ -240,6 +247,7 @@ struct SolveMeters {
     cache_hits: u64,
     cache_misses: u64,
     sat: SolverStats,
+    portfolio: PortfolioStats,
 }
 
 impl SolveMeters {
@@ -250,6 +258,7 @@ impl SolveMeters {
         stats.blast_cache_hits += self.cache_hits;
         stats.blast_cache_misses += self.cache_misses;
         stats.sat.absorb(&self.sat);
+        stats.portfolio.absorb(&self.portfolio);
     }
 }
 
@@ -332,6 +341,7 @@ fn check_sat_counting(
     }
     if !ok {
         meters.sat.absorb(&ctx.solver().stats());
+        meters.portfolio.absorb(&ctx.portfolio_stats());
         return (SatOutcome::Unsat, meters);
     }
 
@@ -340,6 +350,7 @@ fn check_sat_counting(
         match ctx.solve(&decls) {
             None => {
                 meters.sat.absorb(&ctx.solver().stats());
+                meters.portfolio.absorb(&ctx.portfolio_stats());
                 return (SatOutcome::Unsat, meters);
             }
             Some(model) => {
@@ -349,14 +360,17 @@ fn check_sat_counting(
                 let round = oracle.validate(&decls, &model);
                 meters.blocks_validated += round.validated;
                 meters.sat.absorb(&round.sat);
+                meters.portfolio.absorb(&round.portfolio);
                 match round.refinement {
                     None => {
                         meters.sat.absorb(&ctx.solver().stats());
+                        meters.portfolio.absorb(&ctx.portfolio_stats());
                         return (SatOutcome::Sat(model), meters);
                     }
                     Some(batch) => {
                         if !assert(&mut ctx, &decls, &batch, &mut meters) {
                             meters.sat.absorb(&ctx.solver().stats());
+                            meters.portfolio.absorb(&ctx.portfolio_stats());
                             return (SatOutcome::Unsat, meters);
                         }
                     }
@@ -648,6 +662,10 @@ pub struct OracleRound {
     /// CDCL counters of the quantifier-free validation solves this round
     /// (each validation runs in its own short-lived solver context).
     pub sat: SolverStats,
+    /// Portfolio racing counters of the same validation solves — in
+    /// practice all-solo, since validation contexts sit far below the
+    /// racing floor.
+    pub portfolio: PortfolioStats,
 }
 
 /// The variable-indexed CEGAR model validator.
@@ -672,7 +690,7 @@ pub struct OracleRound {
 pub struct RefinementOracle {
     blocks: Vec<OracleBlock>,
     /// Construction knobs for the short-lived validation solvers.
-    sat_cfg: SolverConfig,
+    sat_cfg: PortfolioConfig,
 }
 
 impl Default for RefinementOracle {
@@ -685,12 +703,18 @@ impl RefinementOracle {
     /// An oracle with no blocks; validation solvers configured from the
     /// `LEAPFROG_SAT_*` environment.
     pub fn new() -> RefinementOracle {
-        RefinementOracle::with_solver_config(SolverConfig::from_env())
+        RefinementOracle::with_portfolio(PortfolioConfig::from_env())
     }
 
     /// An oracle with no blocks whose validation solves run under an
-    /// explicit solver configuration (the typed path guard sessions use).
+    /// explicit single-lane solver configuration.
     pub fn with_solver_config(sat_cfg: SolverConfig) -> RefinementOracle {
+        RefinementOracle::with_portfolio(PortfolioConfig::single(sat_cfg))
+    }
+
+    /// An oracle with no blocks whose validation solves run under an
+    /// explicit solver portfolio (the typed path guard sessions use).
+    pub fn with_portfolio(sat_cfg: PortfolioConfig) -> RefinementOracle {
         RefinementOracle {
             blocks: Vec::new(),
             sat_cfg,
@@ -811,11 +835,12 @@ impl RefinementOracle {
                 .collect();
             match refute_closed(
                 decls,
-                self.sat_cfg,
+                &self.sat_cfg,
                 &block.xs,
                 &block.body,
                 &map,
                 &mut round.sat,
+                &mut round.portfolio,
             ) {
                 Some(witness) => {
                     if let (Some(ledger), Some(lkey)) = (ledger, lkey) {
@@ -873,28 +898,32 @@ pub fn violates_forall(
     }
     refute_closed(
         decls,
-        SolverConfig::from_env(),
+        &PortfolioConfig::from_env(),
         xs,
         body,
         &map,
         &mut SolverStats::default(),
+        &mut PortfolioStats::default(),
     )
 }
 
 /// Closes `body`'s support variables with `map` and searches for values
 /// of `xs` falsifying the closed body — the shared core of
 /// [`violates_forall`] and [`RefinementOracle::validate`].
+#[allow(clippy::too_many_arguments)]
 fn refute_closed(
     decls: &Declarations,
-    sat_cfg: SolverConfig,
+    sat_cfg: &PortfolioConfig,
     xs: &[BvVar],
     body: &Formula,
     map: &HashMap<BvVar, Term>,
     sat: &mut SolverStats,
+    portfolio: &mut PortfolioStats,
 ) -> Option<Vec<BitVec>> {
     let closed = Formula::not(body.subst(map));
-    let (m, solve_stats) = sat_qf_counting(decls, sat_cfg, &closed);
+    let (m, solve_stats, portfolio_stats) = sat_qf_counting(decls, sat_cfg, &closed);
     sat.absorb(&solve_stats);
+    portfolio.absorb(&portfolio_stats);
     let m = m?;
     Some(
         xs.iter()

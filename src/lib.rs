@@ -58,11 +58,15 @@
 //! | `LEAPFROG_SESSION_GC_FLOOR` | `session_gc_floor(n)` |
 //! | `LEAPFROG_STRICT_WITNESS` | `strict_witness(true)` |
 //! | `LEAPFROG_NO_BLAST_CACHE` | `blast_cache(false)` |
+//! | `LEAPFROG_SAT_LBD` | `sat_lbd(false)` when `0` |
+//! | `LEAPFROG_SAT_PORTFOLIO` | `sat_portfolio(lanes)` (`0`/`1` = single solver) |
+//! | `LEAPFROG_WARM_CAP` | `warm_capacity(n)` (`0` = unbounded) |
 //!
 //! `LEAPFROG_SCALE`, `LEAPFROG_WITNESS_CORPUS` and
 //! `LEAPFROG_SKIP_BASELINE` configure the evaluation *harness* (suite /
 //! bench), not the engine; `LEAPFROG_DUMP_SMT` remains an smt-layer
-//! debugging knob.
+//! debugging knob. The authoritative knob-by-knob table (defaults,
+//! layer, config field) is in `docs/ARCHITECTURE.md`.
 //!
 //! # Verdict API
 //!
@@ -96,6 +100,8 @@
 //! assert!(witness.check());
 //! assert_eq!(witness.packet.len(), 1);
 //! ```
+
+#![warn(missing_docs)]
 
 pub use leapfrog as checker;
 pub use leapfrog_bitvec as bitvec;

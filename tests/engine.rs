@@ -108,6 +108,48 @@ fn witnesses_identical_one_shot_cold_warm_and_batch() {
 }
 
 #[test]
+fn portfolio_engines_agree_with_the_single_solver_byte_for_byte() {
+    // The persistent-engine side of the portfolio contract: cold, warm and
+    // batch runs through portfolio-racing engines (2 and 4 lanes) must
+    // reproduce the single-solver certificate and witness bytes exactly,
+    // at threads ∈ {1, 4}.
+    let (a, sa, b, sb) = chunking_pair();
+    let (l, ql, r, qr) = refuted_pair();
+    let base_cert = cert_json(&check_language_equivalence(&a, sa, &b, sb));
+    let base_witness = witness_text(&check_language_equivalence(&l, ql, &r, qr));
+    for lanes in [2usize, 4] {
+        for threads in [1usize, 4] {
+            let mut engine = EngineConfig::new()
+                .sat_portfolio(lanes)
+                .threads(threads)
+                .build();
+            let cold = cert_json(&engine.check(&a, sa, &b, sb));
+            assert_eq!(
+                base_cert, cold,
+                "cold certificate differs at lanes={lanes} threads={threads}"
+            );
+            let warm = cert_json(&engine.check(&a, sa, &b, sb));
+            assert_eq!(
+                base_cert, warm,
+                "warm certificate differs at lanes={lanes} threads={threads}"
+            );
+            let cold_w = witness_text(&engine.check(&l, ql, &r, qr));
+            assert_eq!(
+                base_witness, cold_w,
+                "witness differs at lanes={lanes} threads={threads}"
+            );
+            let specs = vec![
+                QuerySpec::new("cert", &a, sa, &b, sb),
+                QuerySpec::new("sanity", &l, ql, &r, qr),
+            ];
+            let outcomes = engine.check_batch(&specs);
+            assert_eq!(base_cert, cert_json(&outcomes[0]));
+            assert_eq!(base_witness, witness_text(&outcomes[1]));
+        }
+    }
+}
+
+#[test]
 fn warm_reuse_is_observable_in_stats() {
     let (a, sa, b, sb) = chunking_pair();
     let mut engine = EngineConfig::new().threads(1).build();
@@ -233,6 +275,7 @@ fn config_from_options_round_trips() {
         session_gc_floor: 64,
         blast_cache: false,
         sat_lbd: false,
+        sat_portfolio: 3,
     };
     let cfg = EngineConfig::from_options(&opts);
     let back = cfg.options();

@@ -313,6 +313,127 @@ fn results_are_byte_identical_with_lbd_management_on_and_off() {
 }
 
 #[test]
+fn results_are_byte_identical_across_portfolio_lane_counts() {
+    // SAT portfolio racing is a pure wall-clock optimization: verdicts are
+    // semantic and models always come from the canonical lane, so
+    // certificates and the query trajectory must be byte-identical with
+    // the portfolio off, at 2 lanes and at 4 lanes — across thread counts,
+    // with LBD management disabled, and under a forced session GC.
+    for (name, left, ql, right, qr) in equivalent_pairs() {
+        let mut jsons = Vec::new();
+        // Query trajectories are only comparable at a fixed thread count
+        // (parallel runs add speculative checks and merge rechecks), so
+        // they are grouped by every knob except the lane count.
+        let mut queries: std::collections::HashMap<String, Vec<u64>> =
+            std::collections::HashMap::new();
+        let mut variants: Vec<Options> = Vec::new();
+        for lanes in [0usize, 2, 4] {
+            for threads in [1usize, 4] {
+                variants.push(Options {
+                    sat_portfolio: lanes,
+                    threads,
+                    ..Options::default()
+                });
+            }
+        }
+        // The interaction axes: racing with the LBD policy flipped, and
+        // racing while the clause-budget GC churns contexts.
+        variants.push(Options {
+            sat_portfolio: 2,
+            sat_lbd: false,
+            ..opts(2)
+        });
+        variants.push(Options {
+            sat_portfolio: 2,
+            session_gc_ratio: Some(0.001),
+            session_gc_floor: 0,
+            ..opts(2)
+        });
+        for o in variants {
+            let label = format!(
+                "lanes={} threads={} lbd={} gc={:?}",
+                o.sat_portfolio, o.threads, o.sat_lbd, o.session_gc_ratio
+            );
+            let mut checker = Checker::new(&left, ql, &right, qr, o);
+            match checker.run() {
+                Outcome::Equivalent(cert) => jsons.push(cert.to_json()),
+                other => panic!("{name}: expected Equivalent at {label}, got {other:?}"),
+            }
+            let group = format!(
+                "threads={} lbd={} gc={:?}",
+                o.threads, o.sat_lbd, o.session_gc_ratio
+            );
+            queries
+                .entry(group)
+                .or_default()
+                .push(checker.stats().queries.queries);
+            let portfolio = &checker.stats().queries.portfolio;
+            if o.sat_portfolio >= 2 {
+                assert_eq!(
+                    portfolio.lanes, o.sat_portfolio as u64,
+                    "{name}: configured lanes must surface in RunStats at {label}"
+                );
+                assert!(
+                    portfolio.races + portfolio.solo > 0,
+                    "{name}: portfolio solve counters must be wired at {label}"
+                );
+            } else {
+                assert_eq!(
+                    portfolio.races, 0,
+                    "{name}: no races may be recorded with the portfolio off"
+                );
+            }
+        }
+        assert!(
+            jsons.windows(2).all(|w| w[0] == w[1]),
+            "{name}: certificate JSON differs across portfolio lane counts"
+        );
+        for (group, counts) in &queries {
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "{name}: query trajectory differs across lane counts at {group}: {counts:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn witnesses_are_byte_identical_across_portfolio_lane_counts() {
+    // The refuted side of the same contract: the rendered witness (packet,
+    // stores, trace) must not depend on the portfolio lane count.
+    let (sloppy, strict) = sloppy_strict::sloppy_strict_parsers();
+    let ql = sloppy.state_by_name(sloppy_strict::SLOPPY_START).unwrap();
+    let qr = strict.state_by_name(sloppy_strict::STRICT_START).unwrap();
+    let mut rendered = Vec::new();
+    for lanes in [0usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let o = Options {
+                sat_portfolio: lanes,
+                threads,
+                ..Options::default()
+            };
+            let mut checker = Checker::new(&sloppy, ql, &strict, qr, o);
+            match checker.run() {
+                Outcome::NotEquivalent(refutation) => {
+                    let w = refutation.witness().unwrap_or_else(|| {
+                        panic!("witness must confirm at lanes={lanes} threads={threads}")
+                    });
+                    assert!(w.check());
+                    rendered.push(format!("{w}"));
+                }
+                other => panic!(
+                    "expected NotEquivalent at lanes={lanes} threads={threads}, got {other:?}"
+                ),
+            }
+        }
+    }
+    assert!(
+        rendered.windows(2).all(|w| w[0] == w[1]),
+        "witness rendering differs across portfolio lane counts:\n{rendered:?}"
+    );
+}
+
+#[test]
 fn oracle_skips_validations_on_a_real_row() {
     // The variable-indexed oracle must actually save validation solves on
     // a row with quantified premises (blocks_validated < blocks_considered
