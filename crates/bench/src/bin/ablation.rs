@@ -89,11 +89,16 @@ fn run_lbd(bench: &Benchmark, lbd: bool) -> (leapfrog::Outcome, u64) {
 
 /// The portfolio ablation: re-runs the solver-heavy applicability rows
 /// with SAT portfolio racing at the given lane count (`0` = the
-/// single-solver baseline). Models always come from the canonical lane,
-/// so verdicts, witnesses *and* the query trajectory must be identical at
-/// every lane count — the section hard-fails on any divergence.
+/// single-solver baseline), with the racing floor forced to zero so every
+/// entailment solve actually races. The canonical lane always completes
+/// its own unperturbed search, so verdicts, witnesses *and* the query
+/// trajectory must be identical at every lane count — the section
+/// hard-fails on any divergence.
 fn run_portfolio(bench: &Benchmark, lanes: usize) -> (leapfrog::Outcome, u64) {
-    let mut engine = EngineConfig::from_env().sat_portfolio(lanes).build();
+    let mut engine = EngineConfig::from_env()
+        .sat_portfolio(lanes)
+        .sat_portfolio_min_clauses(0)
+        .build();
     ALLOC.reset();
     let start = Instant::now();
     let outcome = engine.check(

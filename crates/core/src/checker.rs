@@ -20,8 +20,8 @@ use leapfrog_p4a::sum::Sum;
 
 use crate::certificate::Certificate;
 use crate::engine::{
-    session_gc_floor_from_env, session_gc_from_env, strict_witness_from_env, threads_from_env,
-    Engine, EngineConfig, PairId, QueryRequest,
+    portfolio_min_clauses_from_env, session_gc_floor_from_env, session_gc_from_env,
+    strict_witness_from_env, threads_from_env, Engine, EngineConfig, PairId, QueryRequest,
 };
 use crate::stats::RunStats;
 
@@ -86,6 +86,12 @@ pub struct Options {
     /// `LEAPFROG_SAT_PORTFOLIO`. Certificates and witnesses are
     /// byte-identical at every lane count; only wall-clock changes.
     pub sat_portfolio: usize,
+    /// Racing floor for the SAT portfolio: entailment solves on contexts
+    /// holding fewer live clauses than this run on the canonical lane
+    /// alone instead of spawning race threads. Defaults from
+    /// `LEAPFROG_SAT_PORTFOLIO_MIN_CLAUSES` (unset = 1024). Results are
+    /// bit-identical at every setting.
+    pub sat_portfolio_min_clauses: usize,
 }
 
 impl Default for Options {
@@ -105,6 +111,7 @@ impl Default for Options {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
+            sat_portfolio_min_clauses: portfolio_min_clauses_from_env(),
         }
     }
 }

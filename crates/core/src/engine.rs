@@ -64,7 +64,7 @@ use leapfrog_p4a::ast::{Automaton, StateId, Target};
 use leapfrog_p4a::sum::{sum, Sum};
 use leapfrog_smt::{
     CheckResult, InstLedger, PortfolioConfig, QueryStats, SharedBlastCache, SmtSolver,
-    SolverConfig, LBD_BUCKETS, MAX_PORTFOLIO_LANES,
+    SolverConfig, DEFAULT_PORTFOLIO_MIN_CLAUSES, LBD_BUCKETS, MAX_PORTFOLIO_LANES,
 };
 
 use crate::certificate::Certificate;
@@ -98,6 +98,7 @@ pub const STATE_CORPUS_FILE: &str = "corpus.txt";
 /// | `LEAPFROG_NO_BLAST_CACHE` | [`blast_cache`](Self::blast_cache) |
 /// | `LEAPFROG_SAT_LBD` | [`sat_lbd`](Self::sat_lbd) |
 /// | `LEAPFROG_SAT_PORTFOLIO` | [`sat_portfolio`](Self::sat_portfolio) |
+/// | `LEAPFROG_SAT_PORTFOLIO_MIN_CLAUSES` | [`sat_portfolio_min_clauses`](Self::sat_portfolio_min_clauses) |
 /// | `LEAPFROG_WARM_CAP` | [`warm_capacity`](Self::warm_capacity) |
 ///
 /// Only `leaps`, `reach_pruning`, `early_stop` and `max_iterations`
@@ -136,6 +137,11 @@ pub struct EngineConfig {
     /// first answer wins. Models are always the canonical lane's, so
     /// certificates and witnesses are byte-identical at every lane count.
     pub sat_portfolio: usize,
+    /// Racing floor for the SAT portfolio: an entailment session holding
+    /// fewer live clauses than this solves on the canonical lane alone
+    /// (thread startup costs more than small instances take to solve).
+    /// Results are bit-identical at every setting.
+    pub sat_portfolio_min_clauses: usize,
     /// LRU capacity bound on the warm-state maps (`0` = unbounded): at
     /// most this many warm query-shape states, interned pairs, resident
     /// guard sessions per pool and instantiation-ledger entries stay
@@ -163,6 +169,7 @@ impl Default for EngineConfig {
             blast_cache: true,
             sat_lbd: true,
             sat_portfolio: 0,
+            sat_portfolio_min_clauses: DEFAULT_PORTFOLIO_MIN_CLAUSES,
             warm_capacity: 0,
             state_dir: None,
         }
@@ -190,6 +197,7 @@ impl EngineConfig {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
+            sat_portfolio_min_clauses: portfolio_min_clauses_from_env(),
             warm_capacity: warm_capacity_from_env(),
             ..EngineConfig::default()
         }
@@ -210,6 +218,7 @@ impl EngineConfig {
             blast_cache: o.blast_cache,
             sat_lbd: o.sat_lbd,
             sat_portfolio: o.sat_portfolio,
+            sat_portfolio_min_clauses: o.sat_portfolio_min_clauses,
             ..EngineConfig::default()
         }
     }
@@ -228,6 +237,7 @@ impl EngineConfig {
             blast_cache: self.blast_cache,
             sat_lbd: self.sat_lbd,
             sat_portfolio: self.sat_portfolio,
+            sat_portfolio_min_clauses: self.sat_portfolio_min_clauses,
         }
     }
 
@@ -304,6 +314,13 @@ impl EngineConfig {
         self
     }
 
+    /// Sets the SAT portfolio racing floor (builder style): sessions with
+    /// fewer live clauses than this solve on the canonical lane alone.
+    pub fn sat_portfolio_min_clauses(mut self, clauses: usize) -> Self {
+        self.sat_portfolio_min_clauses = clauses;
+        self
+    }
+
     /// Sets the LRU capacity bound on the warm-state maps (builder style;
     /// `0` = unbounded).
     pub fn warm_capacity(mut self, cap: usize) -> Self {
@@ -370,6 +387,13 @@ pub(crate) fn warm_capacity_from_env() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0)
+}
+
+pub(crate) fn portfolio_min_clauses_from_env() -> usize {
+    std::env::var("LEAPFROG_SAT_PORTFOLIO_MIN_CLAUSES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_PORTFOLIO_MIN_CLAUSES)
 }
 
 /// A handle to an automaton pair interned by [`Engine::prepare_pair`]:
@@ -1685,11 +1709,13 @@ fn run_worklist(
                 lbd: opts.sat_lbd,
                 ..SolverConfig::default()
             };
-            if opts.sat_portfolio >= 2 {
+            let mut sat = if opts.sat_portfolio >= 2 {
                 PortfolioConfig::race(base, opts.sat_portfolio)
             } else {
                 PortfolioConfig::single(base)
-            }
+            };
+            sat.min_clauses = opts.sat_portfolio_min_clauses;
+            sat
         },
     };
     warm.ensure_pools(threads, &session_cfg);

@@ -135,12 +135,15 @@ impl RunStats {
     /// A one-line human-readable summary.
     pub fn summary(&self) -> String {
         let portfolio = if self.queries.portfolio.lanes >= 2 {
+            // Defensive clamp: `lanes` may come from a decoded stats frame,
+            // and formatting must not panic on an out-of-range value.
+            let lanes = (self.queries.portfolio.lanes as usize).min(self.queries.portfolio.wins.len());
             format!(
                 " portfolio(lanes={} races={} solo={} wins={:?})",
                 self.queries.portfolio.lanes,
                 self.queries.portfolio.races,
                 self.queries.portfolio.solo,
-                &self.queries.portfolio.wins[..self.queries.portfolio.lanes as usize],
+                &self.queries.portfolio.wins[..lanes],
             )
         } else {
             String::new()

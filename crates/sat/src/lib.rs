@@ -61,7 +61,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 pub mod dimacs;
 mod portfolio;
 
-pub use portfolio::{Portfolio, PortfolioConfig, PortfolioStats, MAX_PORTFOLIO_LANES};
+pub use portfolio::{
+    Portfolio, PortfolioConfig, PortfolioStats, DEFAULT_PORTFOLIO_MIN_CLAUSES,
+    MAX_PORTFOLIO_LANES,
+};
 
 /// A propositional variable, identified by a dense index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -578,11 +581,12 @@ impl Solver {
     }
 
     /// [`Solver::solve`] with a cooperative stop flag, the primitive the
-    /// portfolio racing harness is built on: the flag is checked once per
-    /// conflict and once per decision, and a raised flag makes the call
-    /// return `None` with the solver backtracked to the root — fully
-    /// reusable (learnt clauses and heuristic state are kept), but with no
-    /// verdict for this call.
+    /// portfolio racing harness runs its *helper* lanes on (the canonical
+    /// lane 0 always searches to completion and is never handed a stop
+    /// flag): the flag is checked once per conflict and once per decision,
+    /// and a raised flag makes the call return `None` with the solver
+    /// backtracked to the root — fully reusable (learnt clauses and
+    /// heuristic state are kept), but with no verdict for this call.
     pub fn solve_interruptible(
         &mut self,
         assumptions: &[Lit],

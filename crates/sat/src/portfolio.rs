@@ -1,5 +1,5 @@
 //! Portfolio racing: the same CNF solved by K differently-configured CDCL
-//! lanes on scoped threads, first answer wins.
+//! lanes on racing threads, first answer wins.
 //!
 //! # Determinism contract
 //!
@@ -7,26 +7,49 @@
 //! byte of what the engine produces. That follows from two rules, both
 //! enforced here rather than trusted to callers:
 //!
-//! 1. **Verdicts are semantic.** Every lane solves the identical clause
-//!    set under the identical assumptions, so `Sat`/`Unsat` agree across
-//!    lanes by soundness; racing only changes *when* the answer arrives.
-//! 2. **Models come from the canonical lane.** On a `Sat` answer the model
-//!    handed downstream is always lane 0's own, produced by lane 0 running
-//!    its canonical search to completion (a faster `Sat` from another lane
-//!    stops the remaining lanes but never lane 0). Lane 0's search state is
-//!    only ever interrupted on `Unsat` answers — which carry no model, and
-//!    after which the next model request again waits for lane 0's own
-//!    completion. A portfolio at any lane count therefore hands out exactly
-//!    the verdict-and-model sequence of a single canonical solver as far as
-//!    anything model-consuming (CEGAR refinement, witness extraction) can
-//!    observe; only counters and wall-clock differ.
+//! 1. **Verdicts are semantic.** Every lane solves the identical clause set
+//!    under the identical assumptions, so `Sat`/`Unsat` agree across lanes
+//!    by soundness; racing only changes *when* the answer arrives.
+//! 2. **The canonical lane is never perturbed.** Lane 0 runs every search
+//!    with the canonical configuration to full completion — it is never
+//!    handed a stop flag — so its entire evolution (models, learnt clauses,
+//!    branching activity, saved phases, restart counters) is byte-for-byte
+//!    what a single solver with the portfolio off would have. A faster
+//!    `Sat` from another lane stops the remaining losers but still waits
+//!    for lane 0, whose assignment is the model handed downstream. A
+//!    faster `Unsat` returns to the caller immediately (`Unsat` carries no
+//!    model) while lane 0 finishes its own search on a background
+//!    *catch-up* thread; every subsequent observation of canonical state —
+//!    the next solve, clause or variable insertion, a model or counter
+//!    read — first waits for that catch-up to land. Callers therefore see
+//!    exactly the verdicts, models and solver statistics of a lone
+//!    canonical solver at every lane count; only wall-clock time (and the
+//!    portfolio's own racing counters) differ.
+//!
+//! The raced-`Unsat` latency win is consequently the gap between the
+//! winning lane's finish and the caller's next canonical-state access:
+//! one-shot harnesses (`sat_micro`) realize the full gap, while persistent
+//! guard sessions that immediately retire an activation literal afterwards
+//! bound it tightly — they get the early verdict, then pay the remaining
+//! canonical search on the next touch.
 //!
 //! The *win* attribution uses a deterministic tie-break: when several lanes
 //! finish within the settle window, the lowest-configured lane index is
 //! recorded as the winner.
+//!
+//! # Lane failure
+//!
+//! A lane whose search panics posts a poison marker on the race scoreboard
+//! instead of a finish, so the coordinator's waits always terminate — a
+//! dead lane can lose a race but cannot hang it. The panic is re-raised
+//! from [`Portfolio::solve`] (or from whichever later access joins a dead
+//! catch-up thread); the portfolio must not be reused after that, since
+//! the canonical solver may have died with its lane.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::{Lit, SolveResult, Solver, SolverConfig, SolverStats};
@@ -214,12 +237,118 @@ struct Finish {
     verdict: SolveResult,
 }
 
+/// Shared per-race state (finish posts plus liveness accounting).
+#[derive(Default)]
+struct BoardState {
+    /// Lanes that completed a search, in finish order.
+    finishes: Vec<Finish>,
+    /// Lanes that can never post a finish anymore (their search panicked).
+    poisoned: usize,
+    /// Whether the canonical lane is among the poisoned ones.
+    lane0_poisoned: bool,
+    /// Panic payloads captured from helper lanes, re-raised by the
+    /// coordinator (a scoped thread that unwinds on its own would reach
+    /// scope exit as an anonymous "a scoped thread panicked").
+    panics: Vec<Box<dyn std::any::Any + Send>>,
+}
+
+/// The race scoreboard. A panicking lane posts a poison marker instead of
+/// a finish, so every coordinator wait has a condition some live-or-dead
+/// lane is guaranteed to eventually satisfy — the race can fail but it
+/// cannot hang.
+#[derive(Default)]
+struct Scoreboard {
+    state: Mutex<BoardState>,
+    cv: Condvar,
+}
+
+impl Scoreboard {
+    fn lock(&self) -> MutexGuard<'_, BoardState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn wait<'a>(&self, guard: MutexGuard<'a, BoardState>) -> MutexGuard<'a, BoardState> {
+        self.cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn post(&self, lane: usize, verdict: SolveResult) {
+        self.lock().finishes.push(Finish { lane, verdict });
+        self.cv.notify_all();
+    }
+
+    /// Marks the canonical lane dead. Its panic payload travels through
+    /// the lane's own [`JoinHandle`] instead of the board.
+    fn poison_canonical(&self) {
+        {
+            let mut st = self.lock();
+            st.poisoned += 1;
+            st.lane0_poisoned = true;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks a helper lane dead and parks its panic payload for the
+    /// coordinator to re-raise.
+    fn poison_helper(&self, payload: Box<dyn std::any::Any + Send>) {
+        {
+            let mut st = self.lock();
+            st.poisoned += 1;
+            st.panics.push(payload);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Lane 0's home slot. The canonical solver is either resident here or
+/// owned by a background *catch-up* thread finishing a raced `Unsat`
+/// search (see the module docs); [`CanonLane::join`] waits that thread out
+/// and brings the solver home, re-raising its panic if the lane died.
+struct CanonLane {
+    solver: Option<Solver>,
+    pending: Option<JoinHandle<Solver>>,
+}
+
+impl CanonLane {
+    fn resident(solver: Solver) -> CanonLane {
+        CanonLane {
+            solver: Some(solver),
+            pending: None,
+        }
+    }
+
+    fn join(&mut self) -> &mut Solver {
+        if let Some(handle) = self.pending.take() {
+            match handle.join() {
+                Ok(solver) => self.solver = Some(solver),
+                Err(panic) => resume_unwind(panic),
+            }
+        }
+        self.solver
+            .as_mut()
+            .expect("canonical solver resident (lost only if a racing solve panicked)")
+    }
+}
+
+/// Joins any pending canonical catch-up and returns the resident lane 0
+/// solver. A free function over the field (rather than a `&mut self`
+/// method) so callers can keep borrowing the portfolio's other fields.
+fn canon_mut(canon: &mut Mutex<CanonLane>) -> &mut Solver {
+    canon
+        .get_mut()
+        .unwrap_or_else(PoisonError::into_inner)
+        .join()
+}
+
 /// A K-lane racing solver with the same incremental interface as a single
 /// [`Solver`]: variables and clauses are mirrored into every lane, solves
-/// race on scoped threads, and models are always read from lane 0 (see the
-/// module docs for why that makes the portfolio byte-invisible).
+/// race on threads, and models are always read from lane 0 (see the module
+/// docs for why that makes the portfolio byte-invisible).
 pub struct Portfolio {
-    lanes: Vec<Solver>,
+    /// Lane 0, behind a mutex so shared-reference accessors can also wait
+    /// out a background catch-up before reading canonical state.
+    canon: Mutex<CanonLane>,
+    /// Lanes `1..n`; only ever searched inside `solve`'s race scope.
+    others: Vec<Solver>,
     cfg: PortfolioConfig,
     races: u64,
     solo: u64,
@@ -228,6 +357,10 @@ pub struct Portfolio {
     /// window tie-break without relying on real instance hardness.
     #[doc(hidden)]
     pub lane_delays: Vec<Duration>,
+    /// Test hook: per-lane injected panic inside the racing search, used
+    /// to exercise the scoreboard's liveness accounting.
+    #[doc(hidden)]
+    pub lane_panics: Vec<bool>,
 }
 
 impl Default for Portfolio {
@@ -251,12 +384,17 @@ impl Portfolio {
         }
         cfg.lanes.truncate(MAX_PORTFOLIO_LANES);
         Portfolio {
-            lanes: cfg.lanes.iter().map(|&c| Solver::with_config(c)).collect(),
+            canon: Mutex::new(CanonLane::resident(Solver::with_config(cfg.lanes[0]))),
+            others: cfg.lanes[1..]
+                .iter()
+                .map(|&c| Solver::with_config(c))
+                .collect(),
             cfg,
             races: 0,
             solo: 0,
             wins: [0; MAX_PORTFOLIO_LANES],
             lane_delays: Vec::new(),
+            lane_panics: Vec::new(),
         }
     }
 
@@ -265,21 +403,27 @@ impl Portfolio {
         &self.cfg
     }
 
+    /// Locks lane 0 and applies `f` to it, waiting out a background
+    /// catch-up first so shared-reference reads still observe exactly the
+    /// solo-solver state.
+    fn with_canon<R>(&self, f: impl FnOnce(&Solver) -> R) -> R {
+        let mut canon = self.canon.lock().unwrap_or_else(PoisonError::into_inner);
+        f(canon.join())
+    }
+
     /// The canonical lane (lane 0) — the solver whose models, values and
-    /// headline statistics the portfolio exposes.
-    pub fn canonical(&self) -> &Solver {
-        &self.lanes[0]
+    /// headline statistics the portfolio exposes. Takes `&mut self`
+    /// because it may first have to wait out a background catch-up solve
+    /// (see the module docs).
+    pub fn canonical(&mut self) -> &Solver {
+        canon_mut(&mut self.canon)
     }
 
     /// Allocates a fresh variable in every lane. Lanes allocate in
     /// lock-step, so a [`Var`](crate::Var)/[`Lit`] is valid in all of them.
     pub fn new_var(&mut self) -> crate::Var {
-        let mut it = self.lanes.iter_mut();
-        let v = it
-            .next()
-            .expect("portfolio has at least one lane")
-            .new_var();
-        for lane in it {
+        let v = canon_mut(&mut self.canon).new_var();
+        for lane in &mut self.others {
             let w = lane.new_var();
             debug_assert_eq!(v, w, "portfolio lanes drifted out of lock-step");
         }
@@ -287,157 +431,249 @@ impl Portfolio {
     }
 
     /// Adds a clause to every lane. Returns `false` if the clause set is
-    /// now unsatisfiable at the root (lanes agree by construction).
+    /// known unsatisfiable at the root. The returned flag is the canonical
+    /// lane's own: a helper lane with extra learnt clauses may detect a
+    /// root conflict a solve earlier, but downstream control flow must
+    /// match a single-solver run exactly — such a lane simply answers its
+    /// next race instantly.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
-        let mut ok = true;
-        for lane in &mut self.lanes {
-            ok &= lane.add_clause(lits);
+        let ok = canon_mut(&mut self.canon).add_clause(lits);
+        for lane in &mut self.others {
+            lane.add_clause(lits);
         }
         ok
     }
 
     /// Number of variables allocated so far.
     pub fn num_vars(&self) -> usize {
-        self.lanes[0].num_vars()
+        self.with_canon(|s| s.num_vars())
     }
 
     /// Live clauses in the canonical lane (lanes hold identical root
     /// clause sets; learnt sets differ).
     pub fn num_clauses(&self) -> usize {
-        self.lanes[0].num_clauses()
+        self.with_canon(|s| s.num_clauses())
     }
 
     /// Monotone count of root-level clause insertions (canonical lane).
     pub fn clauses_added(&self) -> u64 {
-        self.lanes[0].clauses_added()
+        self.with_canon(|s| s.clauses_added())
     }
 
     /// The canonical lane's solver statistics — intentionally comparable
     /// with a portfolio-off run; the other lanes' work is reported
     /// separately via [`Portfolio::portfolio_stats`].
     pub fn stats(&self) -> SolverStats {
-        self.lanes[0].stats()
+        self.with_canon(|s| s.stats())
     }
 
     /// Racing statistics: race/solo counts, per-lane win histogram and
     /// per-lane cumulative solver counters.
     pub fn portfolio_stats(&self) -> PortfolioStats {
+        let mut lane_stats = Vec::with_capacity(1 + self.others.len());
+        lane_stats.push(self.with_canon(|s| s.stats()));
+        lane_stats.extend(self.others.iter().map(|l| l.stats()));
         PortfolioStats {
-            lanes: self.lanes.len() as u64,
+            lanes: (1 + self.others.len()) as u64,
             races: self.races,
             solo: self.solo,
             wins: self.wins,
-            lane_stats: self.lanes.iter().map(|l| l.stats()).collect(),
+            lane_stats,
         }
     }
 
     /// The model value of `v` after a `Sat` answer, read from the
     /// canonical lane.
     pub fn value(&self, v: crate::Var) -> Option<bool> {
-        self.lanes[0].value(v)
+        self.with_canon(|s| s.value(v))
     }
 
     /// The model value of a literal, read from the canonical lane.
     pub fn lit_value(&self, l: Lit) -> Option<bool> {
-        self.lanes[0].lit_value(l)
+        self.with_canon(|s| s.lit_value(l))
     }
 
     /// Solves under the given assumptions, racing the lanes when the
-    /// instance is large enough. On `Sat`, lane 0 always runs its own
-    /// search to completion so the model is the canonical one.
+    /// instance is large enough. Lane 0 always runs its own search to
+    /// completion — synchronously on `Sat` (the model must be canonical),
+    /// on a background catch-up thread when it loses an `Unsat` race.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
-        if self.lanes.len() == 1
-            || self.lanes[0].root_conflict()
-            || self.lanes[0].num_clauses() < self.cfg.min_clauses
+        let lane0 = canon_mut(&mut self.canon);
+        if self.others.is_empty()
+            || lane0.root_conflict()
+            || lane0.num_clauses() < self.cfg.min_clauses
         {
             self.solo += 1;
-            return self.lanes[0].solve(assumptions);
+            return lane0.solve(assumptions);
         }
         self.races += 1;
+        let n = 1 + self.others.len();
         let settle = self.cfg.settle;
-        let delays = &self.lane_delays;
-        let n = self.lanes.len();
-        let stops: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-        let board: Mutex<Vec<Finish>> = Mutex::new(Vec::new());
-        let cv = Condvar::new();
+        let board = Arc::new(Scoreboard::default());
+
+        // Lane 0 races on an unscoped thread that owns the solver
+        // outright, so a raced `Unsat` can return to the caller while the
+        // canonical search completes in the background. It gets no stop
+        // flag: the canonical search always runs to completion.
+        let mut lane0 = self
+            .canon
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .solver
+            .take()
+            .expect("canonical solver resident after join");
+        let lane0_board = Arc::clone(&board);
+        let lane0_assumptions = assumptions.to_vec();
+        let lane0_delay = self.lane_delays.first().copied();
+        let lane0_inject = self.lane_panics.first().copied().unwrap_or(false);
+        let lane0_handle = std::thread::spawn(move || {
+            if let Some(d) = lane0_delay {
+                // Test-only pacing; `lane_delays` is empty in production.
+                std::thread::sleep(d);
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                if lane0_inject {
+                    panic!("injected lane panic");
+                }
+                lane0.solve(&lane0_assumptions)
+            }));
+            match result {
+                Ok(v) => {
+                    lane0_board.post(0, v);
+                    lane0
+                }
+                Err(panic) => {
+                    lane0_board.poison_canonical();
+                    resume_unwind(panic)
+                }
+            }
+        });
+
+        let stops: Vec<AtomicBool> = self.others.iter().map(|_| AtomicBool::new(false)).collect();
+        let delays: Vec<Option<Duration>> =
+            (1..n).map(|i| self.lane_delays.get(i).copied()).collect();
+        let injects: Vec<bool> = (1..n)
+            .map(|i| self.lane_panics.get(i).copied().unwrap_or(false))
+            .collect();
 
         let mut winner = 0usize;
         let mut verdict = None;
         std::thread::scope(|s| {
-            for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
-                let stop = &stops[lane_idx];
+            for (i, lane) in self.others.iter_mut().enumerate() {
+                let lane_idx = i + 1;
+                let stop = &stops[i];
                 let board = &board;
-                let cv = &cv;
-                let delay = delays.get(lane_idx).copied();
+                let delay = delays[i];
+                let inject = injects[i];
                 s.spawn(move || {
                     if let Some(d) = delay {
-                        // Test-only pacing; `lane_delays` is empty in
-                        // production portfolios.
                         std::thread::sleep(d);
                     }
-                    if let Some(v) = lane.solve_interruptible(assumptions, stop) {
-                        let mut b = board.lock().unwrap();
-                        b.push(Finish {
-                            lane: lane_idx,
-                            verdict: v,
-                        });
-                        cv.notify_all();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        if inject {
+                            panic!("injected lane panic");
+                        }
+                        lane.solve_interruptible(assumptions, stop)
+                    }));
+                    match result {
+                        Ok(Some(v)) => board.post(lane_idx, v),
+                        Ok(None) => {} // stopped as a loser: nothing to post
+                        Err(panic) => board.poison_helper(panic),
                     }
                 });
             }
 
             // Coordinate the race from the calling thread: wait for the
             // first finisher, give near-simultaneous lanes the settle
-            // window, then stop the losers. The timeout on every wait is
-            // defensive only (a lane that panics never posts).
-            let tick = Duration::from_millis(10);
-            let mut b = board.lock().unwrap();
-            while b.is_empty() {
-                b = cv.wait_timeout(b, tick).unwrap().0;
+            // window, then stop the losers.
+            let mut st = board.lock();
+            while st.finishes.is_empty() && st.poisoned < n {
+                st = board.wait(st);
             }
-            drop(b);
+            if st.finishes.is_empty() {
+                // Every lane panicked; the payloads are re-raised after
+                // the scope closes.
+                return;
+            }
+            drop(st);
             std::thread::sleep(settle);
 
-            let b = board.lock().unwrap();
-            let first = b
+            let st = board.lock();
+            winner = st
+                .finishes
                 .iter()
                 .map(|f| f.lane)
                 .min()
                 .expect("scoreboard cannot empty once posted");
-            winner = first;
-            let v = b[0].verdict;
+            let v = st.finishes[0].verdict;
             debug_assert!(
-                b.iter().all(|f| f.verdict == v),
+                st.finishes.iter().all(|f| f.verdict == v),
                 "portfolio lanes disagreed on a verdict"
             );
             verdict = Some(v);
-            let lane0_done = b.iter().any(|f| f.lane == 0);
-            drop(b);
+            drop(st);
 
-            match v {
-                SolveResult::Unsat => {
-                    for stop in &stops {
-                        stop.store(true, Ordering::Relaxed);
-                    }
-                }
-                SolveResult::Sat => {
-                    // Stop every lane except the canonical one, then wait
-                    // for lane 0's own completion: its assignment is the
-                    // model handed downstream.
-                    for stop in stops.iter().skip(1) {
-                        stop.store(true, Ordering::Relaxed);
-                    }
-                    if !lane0_done {
-                        let mut b = board.lock().unwrap();
-                        while !b.iter().any(|f| f.lane == 0) {
-                            b = cv.wait_timeout(b, tick).unwrap().0;
-                        }
-                    }
+            // Stop the losing helpers. Lane 0 has no stop flag — the
+            // canonical search always completes, on this thread's time
+            // for `Sat`, in the background for a raced `Unsat`.
+            for stop in &stops {
+                stop.store(true, Ordering::Relaxed);
+            }
+
+            if v == SolveResult::Sat {
+                // The model handed downstream is lane 0's own: wait for
+                // the canonical completion (or its death, re-raised at
+                // the join below).
+                let mut st = board.lock();
+                while !st.finishes.iter().any(|f| f.lane == 0) && !st.lane0_poisoned {
+                    st = board.wait(st);
                 }
             }
         });
+
+        let mut st = board.lock();
+        let lane0_done = st.finishes.iter().any(|f| f.lane == 0);
+        let lane0_poisoned = st.lane0_poisoned;
+        let helper_panic = st.panics.drain(..).next();
+        drop(st);
+        let canon = self.canon.get_mut().unwrap_or_else(PoisonError::into_inner);
+        if lane0_done
+            || lane0_poisoned
+            || helper_panic.is_some()
+            || verdict != Some(SolveResult::Unsat)
+        {
+            // Lane 0 already finished (or a lane died and the solve is
+            // about to fail): bring the canonical solver home now. A dead
+            // lane 0 re-raises its own panic here.
+            match lane0_handle.join() {
+                Ok(solver) => canon.solver = Some(solver),
+                Err(panic) => resume_unwind(panic),
+            }
+        } else {
+            // A raced `Unsat` with the canonical search still running:
+            // hand the verdict back now and let lane 0 catch up in the
+            // background. Whoever next observes canonical state joins it
+            // first (`CanonLane::join`).
+            canon.pending = Some(lane0_handle);
+        }
+        if let Some(panic) = helper_panic {
+            resume_unwind(panic);
+        }
+        let v = verdict.expect("verdict posted unless every lane panicked");
         self.wins[winner] += 1;
-        verdict.expect("race completed without a verdict")
+        v
+    }
+}
+
+impl Drop for Portfolio {
+    /// Waits out any background canonical catch-up so no solver thread
+    /// outlives its portfolio. A panic from that thread is swallowed here:
+    /// re-raising during an unwind would abort the process.
+    fn drop(&mut self) {
+        let canon = self.canon.get_mut().unwrap_or_else(PoisonError::into_inner);
+        if let Some(handle) = canon.pending.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -465,6 +701,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Pigeonhole clauses gated behind an activation variable (returned),
+    /// so an `Unsat` verdict comes from the assumption rather than a root
+    /// conflict and the portfolio stays solvable afterwards.
+    fn gated_pigeonhole(s: &mut Portfolio, pigeons: usize) -> Var {
+        let holes = pigeons - 1;
+        let act = s.new_var();
+        let var = |p: usize, h: usize| Var((1 + p * holes + h) as u32);
+        for _ in 0..pigeons * holes {
+            s.new_var();
+        }
+        for p in 0..pigeons {
+            let mut clause: Vec<Lit> = (0..holes).map(|h| Lit::pos(var(p, h))).collect();
+            clause.push(Lit::neg(act));
+            s.add_clause(&clause);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in p1 + 1..pigeons {
+                    s.add_clause(&[Lit::neg(var(p1, h)), Lit::neg(var(p2, h)), Lit::neg(act)]);
+                }
+            }
+        }
+        act
     }
 
     fn racing_config(n: usize) -> PortfolioConfig {
@@ -524,6 +785,63 @@ mod tests {
     }
 
     #[test]
+    fn raced_unsat_leaves_canonical_state_identical_to_solo() {
+        // The high bar of the determinism contract: after an Unsat race
+        // (where lane 0 may lose and catch up in the background), every
+        // observable piece of canonical state — the next model, the
+        // solver counters, the live-clause count — must match a
+        // portfolio-off solver that ran the same sequence.
+        let run = |cfg: PortfolioConfig| {
+            let mut p = Portfolio::with_config(cfg);
+            let act = gated_pigeonhole(&mut p, 6);
+            assert_eq!(p.solve(&[Lit::pos(act)]), SolveResult::Unsat);
+            assert_eq!(p.solve(&[]), SolveResult::Sat);
+            let model: Vec<Option<bool>> =
+                (0..p.num_vars()).map(|v| p.value(Var(v as u32))).collect();
+            (model, format!("{:?}", p.stats()), p.num_clauses())
+        };
+        let solo = run(PortfolioConfig::single(SolverConfig::default()));
+        for lanes in [2, 4] {
+            let raced = run(racing_config(lanes));
+            assert_eq!(raced.0, solo.0, "{lanes}-lane model diverged");
+            assert_eq!(raced.1, solo.1, "{lanes}-lane canonical stats diverged");
+            assert_eq!(raced.2, solo.2, "{lanes}-lane live clauses diverged");
+        }
+    }
+
+    #[test]
+    fn raced_unsat_returns_before_the_canonical_catch_up() {
+        let mut p = Portfolio::with_config(racing_config(2));
+        p.lane_delays = vec![Duration::from_millis(600), Duration::ZERO];
+        let act = gated_pigeonhole(&mut p, 5);
+        let t0 = std::time::Instant::now();
+        assert_eq!(p.solve(&[Lit::pos(act)]), SolveResult::Unsat);
+        let verdict_at = t0.elapsed();
+        // The delayed canonical lane is still asleep when lane 1 wins;
+        // the verdict must come back without waiting for it...
+        assert!(
+            verdict_at < Duration::from_millis(300),
+            "raced Unsat verdict waited for the canonical lane: {verdict_at:?}"
+        );
+        // ...and the next canonical-state read must wait the catch-up out.
+        let stats = p.stats();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(600),
+            "stats read did not join the catch-up"
+        );
+        assert!(stats.conflicts > 0, "canonical lane never really searched");
+    }
+
+    #[test]
+    fn dropping_a_portfolio_with_a_pending_catch_up_joins_it() {
+        let mut p = Portfolio::with_config(racing_config(2));
+        p.lane_delays = vec![Duration::from_millis(100), Duration::ZERO];
+        let act = gated_pigeonhole(&mut p, 5);
+        assert_eq!(p.solve(&[Lit::pos(act)]), SolveResult::Unsat);
+        drop(p); // must wait out the catch-up thread, not leak or panic
+    }
+
+    #[test]
     fn tie_break_prefers_lowest_lane_within_settle_window() {
         // All lanes solve the trivial instance instantly — well inside the
         // settle window — so the deterministic tie-break must always
@@ -567,6 +885,37 @@ mod tests {
         for (a, b) in vars.iter().zip(&svars) {
             assert_eq!(p.value(*a), single.value(*b), "model must be canonical");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected lane panic")]
+    fn a_panicking_helper_lane_fails_the_solve_instead_of_hanging_it() {
+        let mut p = Portfolio::with_config(racing_config(2));
+        p.lane_panics = vec![false, true];
+        pigeonhole(&mut p, 4);
+        let _ = p.solve(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected lane panic")]
+    fn a_panicking_canonical_lane_fails_the_solve_instead_of_hanging_it() {
+        let mut p = Portfolio::with_config(racing_config(2));
+        p.lane_panics = vec![true, false];
+        pigeonhole(&mut p, 4);
+        // Depending on when lane 0's death lands on the scoreboard, the
+        // panic re-raises either from the solve itself or from the next
+        // canonical-state access that joins the dead lane.
+        let _ = p.solve(&[]);
+        let _ = p.stats();
+    }
+
+    #[test]
+    #[should_panic(expected = "injected lane panic")]
+    fn every_lane_panicking_fails_the_solve_instead_of_hanging_it() {
+        let mut p = Portfolio::with_config(racing_config(2));
+        p.lane_panics = vec![true, true];
+        pigeonhole(&mut p, 4);
+        let _ = p.solve(&[]);
     }
 
     #[test]

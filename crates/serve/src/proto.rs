@@ -867,8 +867,16 @@ pub fn portfolio_stats_from_value(v: &Value) -> Result<PortfolioStats, String> {
     for (slot, v) in wins.iter_mut().zip(win_values) {
         *slot = json::as_usize(v).map_err(err)? as u64;
     }
+    let lanes = n("lanes")?;
+    // Consumers index win histograms by the lane count; an out-of-range
+    // frame must be rejected here, not panic whoever formats it.
+    if lanes > MAX_PORTFOLIO_LANES as u64 {
+        return Err(format!(
+            "portfolio lane count {lanes} exceeds the maximum of {MAX_PORTFOLIO_LANES}"
+        ));
+    }
     Ok(PortfolioStats {
-        lanes: n("lanes")?,
+        lanes,
         races: n("races")?,
         solo: n("solo")?,
         wins,

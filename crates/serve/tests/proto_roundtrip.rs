@@ -13,10 +13,11 @@ use leapfrog::{Outcome, RunStats};
 use leapfrog_obs::{PhaseBreakdown, PhaseStat, PHASES};
 use leapfrog_serve::proto::{
     fleet_stats_from_value, fleet_stats_to_value, outcome_to_value, overloaded_from_value,
-    overloaded_to_value, request_from_value, request_to_value, run_stats_from_value,
-    run_stats_to_value, verify_reply_from_value, verify_reply_to_value, wire_outcome_from_value,
-    wire_outcome_to_value, wire_witness_of, EngineStatsReply, FleetStats, OverloadScope,
-    Overloaded, PairSpec, Request, VerifyReply, WireOptions, WireOutcome,
+    overloaded_to_value, portfolio_stats_from_value, portfolio_stats_to_value, request_from_value,
+    request_to_value, run_stats_from_value, run_stats_to_value, verify_reply_from_value,
+    verify_reply_to_value, wire_outcome_from_value, wire_outcome_to_value, wire_witness_of,
+    EngineStatsReply, FleetStats, OverloadScope, Overloaded, PairSpec, Request, VerifyReply,
+    WireOptions, WireOutcome,
 };
 use leapfrog_smt::{PortfolioStats, QueryStats, SolverStats};
 use leapfrog_suite::mutants::mutant_benchmarks;
@@ -296,6 +297,28 @@ fn fleet_stats_rejects_mislabelled_shards() {
     let broken = text.replacen("\"shard\": 0", "\"shard\": 9", 1);
     let parsed = json::parse(&broken).expect("still valid JSON");
     assert!(fleet_stats_from_value(&parsed).is_err());
+}
+
+#[test]
+fn portfolio_frames_with_out_of_range_lane_counts_are_rejected() {
+    let stats = PortfolioStats {
+        lanes: 2,
+        ..PortfolioStats::default()
+    };
+    let mut v = portfolio_stats_to_value(&stats);
+    portfolio_stats_from_value(&v).expect("in-range lane count decodes");
+    // Tamper the lane count past the histogram width: consumers slice the
+    // wins array by it, so the decoder must reject rather than let a
+    // malformed frame panic whoever formats the stats.
+    if let json::Value::Obj(fields) = &mut v {
+        for (k, val) in fields.iter_mut() {
+            if k == "lanes" {
+                *val = json::Value::Num(9.0);
+            }
+        }
+    }
+    let err = portfolio_stats_from_value(&v).expect_err("lanes above the cap must be rejected");
+    assert!(err.contains("lane count"), "unexpected error: {err}");
 }
 
 #[test]

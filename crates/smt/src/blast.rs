@@ -322,7 +322,9 @@ impl BlastContext {
     /// Access to the canonical lane's solver, for statistics. Counters
     /// read here are intentionally comparable with a portfolio-off run;
     /// the racing lanes report via [`BlastContext::portfolio_stats`].
-    pub fn solver(&self) -> &Solver {
+    /// Takes `&mut self` because the portfolio may first have to wait out
+    /// a background canonical catch-up (see [`Portfolio::canonical`]).
+    pub fn solver(&mut self) -> &Solver {
         self.engine.sink.canonical()
     }
 
@@ -445,10 +447,14 @@ impl BlastContext {
             SolveResult::Unsat => None,
             SolveResult::Sat => {
                 let mut m = Model::new();
-                for (&v, bits) in &self.engine.var_bits {
+                // Read the model through the canonical lane directly: one
+                // catch-up join up front instead of a lock per literal.
+                let Engine { sink, var_bits, .. } = &mut self.engine;
+                let canon = sink.canonical();
+                for (&v, bits) in var_bits.iter() {
                     let mut bv = BitVec::zeros(bits.len());
                     for (i, &l) in bits.iter().enumerate() {
-                        if self.engine.sink.lit_value(l) == Some(true) {
+                        if canon.lit_value(l) == Some(true) {
                             bv.set(i, true);
                         }
                     }

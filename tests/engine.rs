@@ -119,8 +119,12 @@ fn portfolio_engines_agree_with_the_single_solver_byte_for_byte() {
     let base_witness = witness_text(&check_language_equivalence(&l, ql, &r, qr));
     for lanes in [2usize, 4] {
         for threads in [1usize, 4] {
+            // Zero racing floor: every entailment solve actually races,
+            // so the byte-identity claim is tested on real races (with
+            // the default floor, small fixtures mostly solve solo).
             let mut engine = EngineConfig::new()
                 .sat_portfolio(lanes)
+                .sat_portfolio_min_clauses(0)
                 .threads(threads)
                 .build();
             let cold = cert_json(&engine.check(&a, sa, &b, sb));
@@ -276,6 +280,7 @@ fn config_from_options_round_trips() {
         blast_cache: false,
         sat_lbd: false,
         sat_portfolio: 3,
+        sat_portfolio_min_clauses: 17,
     };
     let cfg = EngineConfig::from_options(&opts);
     let back = cfg.options();

@@ -349,10 +349,24 @@ fn results_are_byte_identical_across_portfolio_lane_counts() {
             session_gc_floor: 0,
             ..opts(2)
         });
+        // Zero racing floor: every entailment solve actually races, so the
+        // byte-identity assertions bite on real races (with the default
+        // floor, small fixtures mostly solve solo below it).
+        for lanes in [2usize, 4] {
+            variants.push(Options {
+                sat_portfolio: lanes,
+                sat_portfolio_min_clauses: 0,
+                ..opts(1)
+            });
+        }
         for o in variants {
             let label = format!(
-                "lanes={} threads={} lbd={} gc={:?}",
-                o.sat_portfolio, o.threads, o.sat_lbd, o.session_gc_ratio
+                "lanes={} floor={} threads={} lbd={} gc={:?}",
+                o.sat_portfolio,
+                o.sat_portfolio_min_clauses,
+                o.threads,
+                o.sat_lbd,
+                o.session_gc_ratio
             );
             let mut checker = Checker::new(&left, ql, &right, qr, o);
             match checker.run() {
@@ -377,6 +391,12 @@ fn results_are_byte_identical_across_portfolio_lane_counts() {
                     portfolio.races + portfolio.solo > 0,
                     "{name}: portfolio solve counters must be wired at {label}"
                 );
+                if o.sat_portfolio_min_clauses == 0 {
+                    assert!(
+                        portfolio.races > 0,
+                        "{name}: a zero racing floor must make solves race at {label}"
+                    );
+                }
             } else {
                 assert_eq!(
                     portfolio.races, 0,
@@ -407,8 +427,11 @@ fn witnesses_are_byte_identical_across_portfolio_lane_counts() {
     let mut rendered = Vec::new();
     for lanes in [0usize, 2, 4] {
         for threads in [1usize, 4] {
+            // Zero racing floor so racing variants really race (the floor
+            // is irrelevant with the portfolio off).
             let o = Options {
                 sat_portfolio: lanes,
+                sat_portfolio_min_clauses: 0,
                 threads,
                 ..Options::default()
             };
@@ -424,6 +447,12 @@ fn witnesses_are_byte_identical_across_portfolio_lane_counts() {
                 other => panic!(
                     "expected NotEquivalent at lanes={lanes} threads={threads}, got {other:?}"
                 ),
+            }
+            if lanes >= 2 {
+                assert!(
+                    checker.stats().queries.portfolio.races > 0,
+                    "zero racing floor must make solves race at lanes={lanes} threads={threads}"
+                );
             }
         }
     }
